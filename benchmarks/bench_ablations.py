@@ -1,0 +1,45 @@
+"""Benchmark: the ablation studies (design choices of DESIGN.md)."""
+
+from repro.experiments import ablations
+
+
+def test_routing_optimization(benchmark):
+    result = benchmark(ablations.routing_optimization)
+    assert result.ratio("optimized (skip softmax1)", "textbook") < 1.0
+    benchmark.extra_info["variants"] = {
+        k: round(v, 4) for k, v in result.variants.items()
+    }
+
+
+def test_weight_double_buffering(benchmark):
+    result = benchmark(ablations.weight_double_buffering)
+    ratio = result.variants["single-buffered"] / result.variants["double-buffered (Weight2)"]
+    assert ratio > 1.5
+    benchmark.extra_info["slowdown_without_weight2"] = round(ratio, 2)
+
+
+def test_array_size_sweep(benchmark):
+    result = benchmark(ablations.array_size_sweep)
+    times = [result.variants[f"{s}x{s}"] for s in (4, 8, 16, 32)]
+    assert times == sorted(times, reverse=True)
+    benchmark.extra_info["total_ms"] = {k: round(v, 3) for k, v in result.variants.items()}
+
+
+def test_conv_mapping_policy(benchmark):
+    result = benchmark(ablations.conv_mapping_policy)
+    assert result.variants["channel_serial"] > result.variants["channel_parallel"]
+    benchmark.extra_info["conv1_us"] = {k: round(v, 1) for k, v in result.variants.items()}
+
+
+def test_bitwidth_sweep(benchmark):
+    result = benchmark(ablations.bitwidth_sweep)
+    assert result.variants["16b"] > result.variants["4b"]
+    benchmark.extra_info["area_mm2"] = {k: round(v, 3) for k, v in result.variants.items()}
+
+
+def test_squash_lut_precision(benchmark):
+    result = benchmark(ablations.squash_lut_precision)
+    assert result.variants["4b data"] > result.variants["8b data"]
+    benchmark.extra_info["mean_abs_error"] = {
+        k: round(v, 5) for k, v in result.variants.items()
+    }

@@ -1,0 +1,40 @@
+"""Benchmarks of the functional CapsuleNet paths (float and quantized)."""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.model import CapsuleNet
+from repro.capsnet.ops import squash
+from repro.capsnet.routing import routing_by_agreement
+from repro.data.synthetic import SyntheticDigits
+
+
+@pytest.fixture(scope="module")
+def tiny_float_net(tiny_config):
+    return CapsuleNet(tiny_config)
+
+
+def test_float_inference_tiny(benchmark, tiny_float_net, tiny_image):
+    out = benchmark(tiny_float_net.forward, tiny_image)
+    assert out.lengths.shape == (3,)
+
+
+def test_routing_mnist_size(benchmark):
+    """Routing at the paper's ClassCaps dimensions (1152 x 10 x 16)."""
+    rng = np.random.default_rng(0)
+    u_hat = 0.1 * rng.standard_normal((1152, 10, 16))
+    result = benchmark(routing_by_agreement, u_hat, 3, True)
+    assert result.v.shape == (10, 16)
+
+
+def test_squash_primarycaps_size(benchmark):
+    rng = np.random.default_rng(0)
+    s = rng.standard_normal((1152, 8))
+    out = benchmark(squash, s)
+    assert np.all(np.linalg.norm(out, axis=-1) < 1.0)
+
+
+def test_synthetic_digit_generation(benchmark):
+    generator = SyntheticDigits(seed=7)
+    dataset = benchmark(generator.generate, 10)
+    assert len(dataset) == 10

@@ -1,0 +1,28 @@
+"""Benchmarks for the extension experiments (motivation, energy, batching)."""
+
+from repro.experiments import batching, energy, motivation
+
+
+def test_motivation(benchmark):
+    result = benchmark(motivation.run)
+    assert result.compute_bound_layers["PrimaryCaps"]
+    assert result.fits_onchip
+    benchmark.extra_info["network_intensity"] = round(
+        result.network_point.arithmetic_intensity, 1
+    )
+    print(motivation.format_report(result))
+
+
+def test_energy(benchmark):
+    result = benchmark(energy.run)
+    assert result.consistent
+    benchmark.extra_info["dynamic_uj"] = round(result.bottomup_total_uj, 1)
+    benchmark.extra_info["envelope_uj"] = round(result.topdown_energy_uj, 1)
+    print(energy.format_report(result))
+
+
+def test_batching(benchmark):
+    result = benchmark(batching.run)
+    assert result.capsacc_images_per_s > result.gpu_images_per_s[1]
+    benchmark.extra_info["crossover_batch"] = result.crossover_batch
+    print(batching.format_report(result))

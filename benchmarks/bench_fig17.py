@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig 17 (routing-step CapsAcc vs GPU)."""
+
+from repro.experiments import fig17
+
+
+def test_fig17(benchmark):
+    result = benchmark(fig17.run)
+    report = result.report
+    # Reproduction claims (paper: Sum 3x, Update 6x, FC slower, Squash the
+    # dominant win).
+    assert 1.5 < report.row("Sum1").speedup < 6.0
+    assert 3.0 < report.row("Update1").speedup < 12.0
+    assert report.row("FC").speedup < 1.0
+    assert report.row("Squash1").speedup > 100.0
+    benchmark.extra_info["speedups"] = {
+        row.name: round(row.speedup, 2) for row in report.rows
+    }
+    print(fig17.format_report(result))
+
+
+def test_fig17_without_routing_optimization(benchmark):
+    result = benchmark(fig17.run, optimized_routing=False)
+    # Without the skip, Softmax1 costs the same as the later iterations.
+    softmax1 = result.report.row("Softmax1").capsacc_us
+    softmax2 = result.report.row("Softmax2").capsacc_us
+    assert abs(softmax1 - softmax2) / softmax2 < 0.01

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig 3 (squashing function and derivative peak)."""
+
+import pytest
+
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark):
+    result = benchmark(fig3.run)
+    assert result.peak_x == pytest.approx(result.paper_peak[0], abs=2e-3)
+    assert result.peak_y == pytest.approx(result.paper_peak[1], abs=1e-3)
+    benchmark.extra_info["peak"] = (round(result.peak_x, 4), round(result.peak_y, 4))
+    benchmark.extra_info["lut_max_error"] = round(result.lut_max_error, 5)
+    print(fig3.format_report(result))

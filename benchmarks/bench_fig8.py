@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig 8 (GPU layer-wise inference time)."""
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark):
+    result = benchmark(fig8.run)
+    # Paper's observation: ClassCaps ~10x slower than the conv layers.
+    assert 5.0 < result.classcaps_dominance < 20.0
+    benchmark.extra_info["layer_ms"] = {
+        layer: round(ms, 3) for layer, ms in result.layer_ms.items()
+    }
+    benchmark.extra_info["classcaps_dominance"] = round(result.classcaps_dominance, 1)
+    print(fig8.format_report(result))

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 9 (GPU time per routing step)."""
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark):
+    result = benchmark(fig9.run)
+    # Paper's observation: squashing dominates every routing iteration.
+    assert result.dominant_step.startswith("Squash")
+    benchmark.extra_info["step_us"] = {
+        step: round(us, 1) for step, us in result.step_us.items()
+    }
+    print(fig9.format_report(result))

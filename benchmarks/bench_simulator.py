@@ -1,0 +1,74 @@
+"""Benchmarks of the simulator itself (the performance-sensitive code).
+
+These measure the repository's own hot paths: the cycle-stepped systolic
+array, the fast GEMM engine, the bit-accurate quantized inference and the
+fully mapped accelerator execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.hwops import QuantizedFormats
+from repro.hw.accelerator import CapsAccAccelerator, GemmJob
+from repro.hw.config import AcceleratorConfig
+from repro.hw.systolic import SystolicArray
+from repro.mapping.execute import MappedInference
+
+FMTS = QuantizedFormats()
+ACC_FMT = FMTS.acc(FMTS.caps_data, FMTS.classcaps_weight)
+
+
+@pytest.fixture(scope="module")
+def gemm_operands():
+    rng = np.random.default_rng(0)
+    data = rng.integers(-60, 60, size=(64, 64))
+    weights = rng.integers(-60, 60, size=(64, 64))
+    return data, weights
+
+
+def test_stepped_systolic_tile(benchmark, gemm_operands):
+    """One 16x16 weight-stationary tile pass, clock edge by clock edge."""
+    config = AcceleratorConfig()
+    array = SystolicArray(config, FMTS.caps_data, FMTS.classcaps_weight, ACC_FMT)
+    data, weights = gemm_operands
+    tile = weights[:16, :16]
+    stream = data[:, :16]
+
+    def run():
+        array.load_weights(tile)
+        return array.run_tile(stream)
+
+    result = benchmark(run)
+    assert np.array_equal(result.psums, array.compute_tile_reference(tile, stream))
+
+
+def test_stepped_full_gemm(benchmark, gemm_operands):
+    config = AcceleratorConfig()
+    accel = CapsAccAccelerator(config)
+    data, weights = gemm_operands
+    job = GemmJob("bench", data, weights, FMTS.caps_data, FMTS.classcaps_weight, ACC_FMT)
+    result = benchmark(accel.run_gemm, job, "stepped")
+    expected = np.clip(data.astype(np.int64) @ weights, ACC_FMT.raw_min, ACC_FMT.raw_max)
+    assert np.array_equal(result.acc, expected)
+
+
+def test_fast_full_gemm(benchmark, gemm_operands):
+    config = AcceleratorConfig()
+    accel = CapsAccAccelerator(config)
+    data, weights = gemm_operands
+    job = GemmJob("bench", data, weights, FMTS.caps_data, FMTS.classcaps_weight, ACC_FMT)
+    result = benchmark(accel.run_gemm, job, "fast")
+    expected = np.clip(data.astype(np.int64) @ weights, ACC_FMT.raw_min, ACC_FMT.raw_max)
+    assert np.array_equal(result.acc, expected)
+
+
+def test_quantized_inference_tiny(benchmark, tiny_qnet, tiny_image):
+    out = benchmark(tiny_qnet.forward, tiny_image)
+    assert out.saturation.rate < 0.01
+
+
+def test_mapped_inference_tiny(benchmark, tiny_qnet, tiny_image):
+    mapped = MappedInference(tiny_qnet)
+    reference = tiny_qnet.forward(tiny_image)
+    result = benchmark(mapped.run, tiny_image)
+    assert np.array_equal(result.class_caps_raw, reference.class_caps_raw)

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table II, Table III and Fig 18 (synthesis)."""
+
+import pytest
+
+from repro.experiments import fig18, table2, table3
+from repro.perf.calibration import PAPER_TABLE2
+
+
+def test_table2(benchmark):
+    result = benchmark(table2.run)
+    values = {row["parameter"]: row["ours"] for row in result.rows}
+    assert values["area_mm2"] == pytest.approx(PAPER_TABLE2["area_mm2"], rel=0.2)
+    assert values["power_mw"] == pytest.approx(PAPER_TABLE2["power_mw"], rel=0.2)
+    benchmark.extra_info["area_mm2"] = round(values["area_mm2"], 3)
+    benchmark.extra_info["power_mw"] = round(values["power_mw"], 1)
+    print(table2.format_report(result))
+
+
+def test_table3(benchmark):
+    result = benchmark(table3.run)
+    assert result.max_relative_error() < 0.30
+    benchmark.extra_info["max_rel_error"] = round(result.max_relative_error(), 3)
+    print(table3.format_report(result))
+
+
+def test_fig18(benchmark):
+    result = benchmark(fig18.run)
+    assert result.buffers_dominate()
+    benchmark.extra_info["area_pct"] = {
+        name: round(fraction * 100, 1) for name, fraction in result.area_fractions.items()
+    }
+    print(fig18.format_report(result))

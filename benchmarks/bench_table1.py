@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table I and Fig 5 (parameter accounting)."""
+
+from repro.experiments import fig5, table1
+
+
+def test_table1(benchmark):
+    result = benchmark(table1.run)
+    assert all(result.parameter_matches.values())
+    rows = {name: params for name, _, params, _ in result.rows}
+    benchmark.extra_info["parameters"] = rows
+    benchmark.extra_info["weight_mb"] = round(result.weight_megabytes, 2)
+    print(table1.format_report(result))
+
+
+def test_fig5(benchmark):
+    result = benchmark(fig5.run)
+    assert result.matches_paper
+    benchmark.extra_info["fractions"] = {
+        layer: round(fraction, 4) for layer, fraction in result.fractions.items()
+    }
+    print(fig5.format_report(result))

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Run with:  pytest benchmarks/ --benchmark-only
+Each benchmark regenerates one paper artifact (table or figure); the
+headline reproduction claims are asserted so a performance regression that
+breaks a result fails loudly, and key values are attached to
+``benchmark.extra_info`` for inspection in the JSON output.
+"""
+
+import pytest
+
+from repro.capsnet.config import mnist_capsnet_config, tiny_capsnet_config
+from repro.capsnet.quantized import QuantizedCapsuleNet
+from repro.data.synthetic import SyntheticDigits
+
+
+@pytest.fixture(scope="session")
+def mnist_config():
+    return mnist_capsnet_config()
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return tiny_capsnet_config()
+
+
+@pytest.fixture(scope="session")
+def tiny_qnet(tiny_config):
+    return QuantizedCapsuleNet(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_image(tiny_config):
+    generator = SyntheticDigits(size=tiny_config.image_size, seed=3)
+    return generator.generate(1, classes=(1,)).images[0]

@@ -1,0 +1,37 @@
+"""Accuracy parity: does 8-bit hardware inference preserve accuracy?
+
+The paper argues that because CapsAcc is functionally compliant with the
+CapsuleNet, classification accuracy is unchanged.  This example trains the
+ClassCaps layer on synthetic digits (frozen conv features, margin loss),
+then classifies a held-out set with the float reference and the bit-
+accurate quantized path and compares.
+
+Run:  python examples/accuracy_parity.py           (tiny network, seconds)
+      python examples/accuracy_parity.py --full    (MNIST-size network)
+"""
+
+import sys
+
+from repro.capsnet.config import mnist_capsnet_config, tiny_capsnet_config
+from repro.experiments import accuracy
+
+
+def main() -> None:
+    if "--full" in sys.argv:
+        config = mnist_capsnet_config()
+        result = accuracy.run(
+            config=config, train_count=60, test_count=30, epochs=6, seed=11
+        )
+    else:
+        result = accuracy.run()
+    print(accuracy.format_report(result))
+    gap = abs(result.float_accuracy - result.quantized_accuracy)
+    print(f"\nAccuracy gap float vs 8-bit: {gap * 100:.1f} points")
+    print("(The paper reports zero gap for its trained MNIST network; the")
+    print(" remaining gap here reflects 8-bit quantization of a small model")
+    print(" trained on frozen random features, not a hardware mismatch —")
+    print(" the hardware path is bit-identical to the quantized reference.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Prints Table I, Fig 3, Fig 5, Fig 8, Fig 9, Fig 16, Fig 17, Table II,
+Table III and Fig 18 side by side with the paper's (digitized) values,
+followed by the ablation studies and the accuracy-parity experiment.
+
+Run:  python examples/paper_artifacts.py
+      python examples/paper_artifacts.py --fast   (skip training-based parts)
+"""
+
+import sys
+
+from repro.experiments import runner
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    suite = runner.run_all(include_accuracy=not fast, include_ablations=not fast)
+    print(suite.report_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: run the paper's MNIST CapsuleNet through the CapsAcc stack.
+
+Builds the exact network of paper Fig 1, classifies a synthetic digit with
+the float reference and the 8-bit quantized (hardware golden) path, then
+evaluates the accelerator performance model and compares against the GPU
+baseline — the headline numbers of paper Figs 16/17.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.capsnet.config import mnist_capsnet_config
+from repro.capsnet.model import CapsuleNet
+from repro.capsnet.quantized import QuantizedCapsuleNet
+from repro.data.synthetic import SyntheticDigits
+from repro.perf.compare import compare_layers
+from repro.perf.model import CapsAccPerformanceModel
+
+
+def main() -> None:
+    config = mnist_capsnet_config()
+    print(f"CapsuleNet: {config.total_parameter_count:,} trainable parameters")
+    print(f"Primary capsules: {config.num_primary_capsules} x {config.primary.capsule_dim}D")
+
+    # One digit through both inference paths.
+    digit = SyntheticDigits(seed=42).generate(1, classes=(7,))
+    image = digit.images[0]
+
+    float_net = CapsuleNet(config)
+    quant_net = QuantizedCapsuleNet(config)
+    float_out = float_net.forward(image)
+    quant_out = quant_net.forward(image)
+    max_err = abs(quant_out.class_caps - float_out.class_capsules).max()
+    print("\nFloat capsule lengths:", [f"{x:.3f}" for x in float_out.lengths])
+    print(f"8-bit vs float class-capsule error: max {max_err:.4f}")
+    print(f"Quantized saturation rate: {quant_out.saturation.rate:.2e}")
+    print("(weights are pseudo-trained — dataflow and performance are the"
+          " point here; see examples/accuracy_parity.py for accuracy)")
+
+    # Accelerator performance (paper Table II instance: 16x16 @ 250 MHz).
+    model = CapsAccPerformanceModel(network=config)
+    perf = model.run()
+    print(f"\nCapsAcc inference latency: {perf.total_time_ms:.3f} ms"
+          f" at {model.accelerator.clock_mhz:.0f} MHz"
+          f" ({perf.utilization() * 100:.0f}% PE utilization)")
+    for layer, us in perf.layer_times_us().items():
+        print(f"  {layer:12s} {us / 1e3:8.3f} ms")
+
+    # Against the GPU baseline (paper Fig 16).
+    print("\nCapsAcc vs GPU (paper annotations: ClassCaps 12x, Total 6x):")
+    for name, gpu_us, acc_us, speedup, _ in compare_layers(network=config).as_table():
+        print(f"  {name:12s} GPU {gpu_us / 1e3:8.2f} ms"
+              f"  CapsAcc {acc_us / 1e3:8.2f} ms  -> {speedup:5.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so pip cannot perform a PEP 660 editable install.  This legacy ``setup.py``
+lets ``pip install -e .`` fall back to ``setup.py develop``, which needs
+only setuptools.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""Functional CapsuleNet reference model (paper Section II).
+
+This package implements the MNIST CapsuleNet of Sabour et al. (the paper's
+workload) from scratch:
+
+* :mod:`repro.capsnet.config` — architecture hyper-parameters and the exact
+  MNIST configuration of the paper (Fig 1).
+* :mod:`repro.capsnet.ops` — numpy convolution, ReLU, squashing, softmax and
+  margin loss.
+* :mod:`repro.capsnet.routing` — routing-by-agreement, both the textbook
+  variant (Fig 4) and the CapsAcc-optimized variant that skips the first
+  softmax (Section V-C).
+* :mod:`repro.capsnet.layers` / :mod:`repro.capsnet.model` — layer objects
+  and the full network.
+* :mod:`repro.capsnet.params` — Table I accounting (inputs / trainable
+  parameters / outputs per layer).
+* :mod:`repro.capsnet.quantized` — the 8-bit fixed-point inference path that
+  the hardware simulator reproduces bit-exactly.
+* :mod:`repro.capsnet.train` — a lightweight trainer for the ClassCaps layer
+  used by the accuracy-parity experiment.
+"""
+
+from repro.capsnet.config import (
+    CapsNetConfig,
+    ClassCapsSpec,
+    ConvLayerSpec,
+    PrimaryCapsSpec,
+    mnist_capsnet_config,
+    tiny_capsnet_config,
+)
+from repro.capsnet.model import CapsuleNet, ModelOutput
+from repro.capsnet.routing import RoutingResult, routing_by_agreement
+from repro.capsnet.params import layer_statistics, parameter_breakdown
+
+__all__ = [
+    "CapsNetConfig",
+    "ConvLayerSpec",
+    "PrimaryCapsSpec",
+    "ClassCapsSpec",
+    "mnist_capsnet_config",
+    "tiny_capsnet_config",
+    "CapsuleNet",
+    "ModelOutput",
+    "routing_by_agreement",
+    "RoutingResult",
+    "layer_statistics",
+    "parameter_breakdown",
+]

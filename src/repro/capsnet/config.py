@@ -1,0 +1,272 @@
+"""CapsuleNet architecture configuration (paper Fig 1).
+
+The MNIST CapsuleNet consists of three layers:
+
+* **Conv1** — 9x9 convolution, 256 channels, stride 1, ReLU.
+* **PrimaryCaps** — 9x9 convolution, stride 2, 32 capsule channels of
+  8-dimensional capsules (256 convolution channels in total), squashing.
+* **ClassCaps** — fully-connected capsule layer, one 16-dimensional capsule
+  per output class, routing-by-agreement with 3 iterations.
+
+:func:`mnist_capsnet_config` reproduces these dimensions exactly;
+:func:`tiny_capsnet_config` is a scaled-down variant for fast tests that
+exercises every code path with the same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+def conv_output_size(input_size: int, kernel_size: int, stride: int) -> int:
+    """Spatial output size of a VALID convolution."""
+    if input_size < kernel_size:
+        raise ConfigError(
+            f"input size {input_size} smaller than kernel {kernel_size}"
+        )
+    return (input_size - kernel_size) // stride + 1
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """A plain convolutional layer (Conv1)."""
+
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.in_channels, self.out_channels, self.kernel_size, self.stride) < 1:
+            raise ConfigError("conv layer dimensions must be positive")
+
+    @property
+    def weight_count(self) -> int:
+        """Trainable weights excluding biases."""
+        return self.out_channels * self.in_channels * self.kernel_size**2
+
+    @property
+    def bias_count(self) -> int:
+        """One bias per output channel."""
+        return self.out_channels
+
+    @property
+    def parameter_count(self) -> int:
+        """Total trainable parameters (weights + biases)."""
+        return self.weight_count + self.bias_count
+
+
+@dataclass(frozen=True)
+class PrimaryCapsSpec:
+    """The first capsule layer, implemented as a convolution.
+
+    ``capsule_channels`` capsule types, each of dimension ``capsule_dim``,
+    are produced by a convolution with ``capsule_channels * capsule_dim``
+    output channels (32 * 8 = 256 for MNIST).
+    """
+
+    in_channels: int
+    capsule_channels: int
+    capsule_dim: int
+    kernel_size: int
+    stride: int = 2
+
+    def __post_init__(self) -> None:
+        dims = (
+            self.in_channels,
+            self.capsule_channels,
+            self.capsule_dim,
+            self.kernel_size,
+            self.stride,
+        )
+        if min(dims) < 1:
+            raise ConfigError("primary caps dimensions must be positive")
+
+    @property
+    def conv_out_channels(self) -> int:
+        """Convolution channels implementing the capsules."""
+        return self.capsule_channels * self.capsule_dim
+
+    @property
+    def weight_count(self) -> int:
+        """Trainable weights excluding biases."""
+        return self.conv_out_channels * self.in_channels * self.kernel_size**2
+
+    @property
+    def bias_count(self) -> int:
+        """One bias per convolution output channel."""
+        return self.conv_out_channels
+
+    @property
+    def parameter_count(self) -> int:
+        """Total trainable parameters (weights + biases)."""
+        return self.weight_count + self.bias_count
+
+
+@dataclass(frozen=True)
+class ClassCapsSpec:
+    """The final capsule layer with routing-by-agreement."""
+
+    num_classes: int
+    out_dim: int
+    routing_iterations: int = 3
+
+    def __post_init__(self) -> None:
+        if min(self.num_classes, self.out_dim, self.routing_iterations) < 1:
+            raise ConfigError("class caps dimensions must be positive")
+
+
+@dataclass(frozen=True)
+class CapsNetConfig:
+    """Complete CapsuleNet architecture description."""
+
+    image_size: int
+    in_channels: int
+    conv1: ConvLayerSpec
+    primary: PrimaryCapsSpec
+    classcaps: ClassCapsSpec
+
+    def __post_init__(self) -> None:
+        if self.conv1.in_channels != self.in_channels:
+            raise ConfigError("conv1 input channels must match image channels")
+        if self.primary.in_channels != self.conv1.out_channels:
+            raise ConfigError("primary caps input channels must match conv1 output")
+
+    # ---- derived dimensions -------------------------------------------------
+
+    @property
+    def conv1_out_size(self) -> int:
+        """Spatial size after Conv1."""
+        return conv_output_size(self.image_size, self.conv1.kernel_size, self.conv1.stride)
+
+    @property
+    def primary_out_size(self) -> int:
+        """Spatial size after the PrimaryCaps convolution."""
+        return conv_output_size(
+            self.conv1_out_size, self.primary.kernel_size, self.primary.stride
+        )
+
+    @property
+    def num_primary_capsules(self) -> int:
+        """Total number of primary capsules (spatial x capsule channels)."""
+        return self.primary_out_size**2 * self.primary.capsule_channels
+
+    @property
+    def classcaps_weight_count(self) -> int:
+        """Trainable weights of the ClassCaps transformation matrices."""
+        return (
+            self.num_primary_capsules
+            * self.classcaps.num_classes
+            * self.classcaps.out_dim
+            * self.primary.capsule_dim
+        )
+
+    @property
+    def coupling_coefficient_count(self) -> int:
+        """Run-time coupling coefficients (one per input/output capsule pair)."""
+        return self.num_primary_capsules * self.classcaps.num_classes
+
+    @property
+    def input_count(self) -> int:
+        """Number of scalar network inputs."""
+        return self.image_size**2 * self.in_channels
+
+    @property
+    def output_count(self) -> int:
+        """Number of scalar network outputs (class capsule components)."""
+        return self.classcaps.num_classes * self.classcaps.out_dim
+
+    @property
+    def total_parameter_count(self) -> int:
+        """All trainable parameters (excluding run-time coupling coefficients)."""
+        return (
+            self.conv1.parameter_count
+            + self.primary.parameter_count
+            + self.classcaps_weight_count
+        )
+
+
+def mnist_capsnet_config() -> CapsNetConfig:
+    """The exact MNIST CapsuleNet of the paper (Fig 1 / Table I)."""
+    conv1 = ConvLayerSpec(in_channels=1, out_channels=256, kernel_size=9, stride=1)
+    primary = PrimaryCapsSpec(
+        in_channels=256,
+        capsule_channels=32,
+        capsule_dim=8,
+        kernel_size=9,
+        stride=2,
+    )
+    classcaps = ClassCapsSpec(num_classes=10, out_dim=16, routing_iterations=3)
+    return CapsNetConfig(
+        image_size=28, in_channels=1, conv1=conv1, primary=primary, classcaps=classcaps
+    )
+
+
+def custom_capsnet_config(
+    image_size: int,
+    num_classes: int,
+    in_channels: int = 1,
+    conv1_channels: int = 256,
+    conv1_kernel: int = 9,
+    capsule_channels: int = 32,
+    capsule_dim: int = 8,
+    primary_kernel: int = 9,
+    primary_stride: int = 2,
+    class_dim: int = 16,
+    routing_iterations: int = 3,
+) -> CapsNetConfig:
+    """Build a CapsuleNet for an arbitrary input/dataset geometry.
+
+    Keeps the paper's three-layer structure while letting every dimension
+    scale — e.g. a 32x32x3 CIFAR-like configuration::
+
+        custom_capsnet_config(image_size=32, num_classes=10, in_channels=3)
+
+    The whole stack (quantized path, dataflow mappings, performance and
+    synthesis models) derives from the configuration, so any valid geometry
+    runs unmodified.
+    """
+    conv1 = ConvLayerSpec(
+        in_channels=in_channels,
+        out_channels=conv1_channels,
+        kernel_size=conv1_kernel,
+        stride=1,
+    )
+    primary = PrimaryCapsSpec(
+        in_channels=conv1_channels,
+        capsule_channels=capsule_channels,
+        capsule_dim=capsule_dim,
+        kernel_size=primary_kernel,
+        stride=primary_stride,
+    )
+    classcaps = ClassCapsSpec(
+        num_classes=num_classes,
+        out_dim=class_dim,
+        routing_iterations=routing_iterations,
+    )
+    return CapsNetConfig(
+        image_size=image_size,
+        in_channels=in_channels,
+        conv1=conv1,
+        primary=primary,
+        classcaps=classcaps,
+    )
+
+
+def tiny_capsnet_config() -> CapsNetConfig:
+    """A structurally identical but small network for fast tests.
+
+    Image 12x12 -> Conv1 5x5/8ch -> 8x8 -> PrimaryCaps 5x5 stride 2,
+    2 capsule channels of dimension 4 -> 2x2 spatial -> 8 primary capsules ->
+    3 class capsules of dimension 6.
+    """
+    conv1 = ConvLayerSpec(in_channels=1, out_channels=8, kernel_size=5, stride=1)
+    primary = PrimaryCapsSpec(
+        in_channels=8, capsule_channels=2, capsule_dim=4, kernel_size=5, stride=2
+    )
+    classcaps = ClassCapsSpec(num_classes=3, out_dim=6, routing_iterations=3)
+    return CapsNetConfig(
+        image_size=12, in_channels=1, conv1=conv1, primary=primary, classcaps=classcaps
+    )

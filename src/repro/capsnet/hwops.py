@@ -1,0 +1,222 @@
+"""Bit-accurate quantized operators mirroring the CapsAcc datapath.
+
+These functions are the *golden model* of what the accelerator hardware
+computes: integer GEMMs with 25-bit accumulation, the norm unit (square LUT,
+accumulate, integer square root), the squash LUT, and the softmax unit (max
+subtraction, exp LUT, accumulate, integer division).  The cycle-level
+simulator in :mod:`repro.hw` must agree with these functions bit-for-bit —
+that equivalence is the reproduction of the paper's functional-compliance
+claim and is asserted by the integration tests.
+
+All values are raw integer codes (``int64`` numpy arrays) tagged by the
+formats in :class:`QuantizedFormats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.capsnet.ops import im2col
+from repro.errors import ShapeError
+from repro.fixedpoint import formats as F
+from repro.fixedpoint.arith import requantize, saturate_raw
+from repro.fixedpoint.lut import LookupTable, LookupTable2D
+from repro.fixedpoint.luts import build_exp_lut, build_square_lut, build_squash_lut, fixed_sqrt
+from repro.fixedpoint.qformat import QFormat
+
+
+@dataclass(frozen=True)
+class QuantizedFormats:
+    """Binary-point assignments for every tensor in the quantized network.
+
+    Bit widths follow the paper (8-bit data/weights, 25-bit accumulators,
+    6+5-bit squash LUT inputs, 12-bit square LUT input, 8-bit exp LUT);
+    binary-point positions are the design choice documented in
+    :mod:`repro.fixedpoint.formats`.
+    """
+
+    input: QFormat = QFormat(8, 7)
+    conv1_weight: QFormat = F.WEIGHT8
+    conv1_out: QFormat = QFormat(8, 4)
+    primary_weight: QFormat = F.WEIGHT8
+    primary_preact: QFormat = QFormat(8, 4)
+    caps_data: QFormat = QFormat(8, 6)
+    classcaps_weight: QFormat = F.WEIGHT8
+    coupling: QFormat = F.WEIGHT8
+    logits: QFormat = F.EXP_IN8
+    squash_in: QFormat = F.SQUASH_IN6
+    norm: QFormat = F.NORM5
+    square_in: QFormat = F.SQUARE_IN12
+    square_out: QFormat = F.SQUARE_OUT8
+    exp_out: QFormat = F.EXP_OUT8
+    acc_bits: int = 25
+
+    def acc(self, data_fmt: QFormat, weight_fmt: QFormat) -> QFormat:
+        """Accumulator format for a data/weight product chain."""
+        return QFormat(self.acc_bits, data_fmt.frac_bits + weight_fmt.frac_bits)
+
+
+@dataclass
+class HardwareLuts:
+    """The three activation ROMs, built once per format configuration."""
+
+    squash: LookupTable2D
+    square: LookupTable
+    exp: LookupTable
+
+    @classmethod
+    def build(cls, fmts: QuantizedFormats | None = None) -> "HardwareLuts":
+        """Construct the ROM set for a format configuration."""
+        fmts = fmts if fmts is not None else QuantizedFormats()
+        return cls(
+            squash=build_squash_lut(fmts.squash_in, fmts.norm, fmts.caps_data),
+            square=build_square_lut(fmts.square_in, fmts.square_out),
+            exp=build_exp_lut(fmts.logits, fmts.exp_out),
+        )
+
+
+@dataclass
+class SaturationCounter:
+    """Diagnostic counter of values clipped by requantization/saturation."""
+
+    events: int = 0
+    total: int = 0
+    sites: dict = field(default_factory=dict)
+
+    def record(self, site: str, raw: np.ndarray, fmt: QFormat) -> None:
+        """Count how many raw codes in ``raw`` lie outside ``fmt``."""
+        arr = np.asarray(raw)
+        clipped = int(np.count_nonzero((arr < fmt.raw_min) | (arr > fmt.raw_max)))
+        self.events += clipped
+        self.total += arr.size
+        if clipped:
+            self.sites[site] = self.sites.get(site, 0) + clipped
+
+    @property
+    def rate(self) -> float:
+        """Fraction of processed values that saturated."""
+        return self.events / self.total if self.total else 0.0
+
+
+def quantized_matmul(
+    data_raw: np.ndarray,
+    weight_raw: np.ndarray,
+    acc_fmt: QFormat,
+    counter: SaturationCounter | None = None,
+    site: str = "matmul",
+) -> np.ndarray:
+    """Integer GEMM ``data @ weight`` with saturation at the accumulator width.
+
+    Products are exact in ``int64``; the final sums saturate to ``acc_fmt``
+    (the 25-bit partial-sum clamp at accumulator readout).
+    """
+    acc = np.asarray(data_raw, dtype=np.int64) @ np.asarray(weight_raw, dtype=np.int64)
+    if counter is not None:
+        counter.record(site, acc, acc_fmt)
+    return saturate_raw(acc, acc_fmt)
+
+
+def quantized_conv2d(
+    x_raw: np.ndarray,
+    weight_raw: np.ndarray,
+    bias_raw: np.ndarray | None,
+    stride: int,
+    acc_fmt: QFormat,
+    counter: SaturationCounter | None = None,
+    site: str = "conv",
+) -> np.ndarray:
+    """Integer valid convolution; returns accumulator-format raw values.
+
+    ``x_raw`` is ``(C, H, W)``, ``weight_raw`` is ``(O, C, K, K)``; the bias
+    must already be expressed in ``acc_fmt``.
+    """
+    out_channels = weight_raw.shape[0]
+    kernel_size = weight_raw.shape[2]
+    if weight_raw.shape[2] != weight_raw.shape[3]:
+        raise ShapeError("only square kernels are supported")
+    patches = im2col(np.asarray(x_raw, dtype=np.int64), kernel_size, stride)
+    wmat = np.asarray(weight_raw, dtype=np.int64).reshape(out_channels, -1)
+    acc = patches @ wmat.T
+    if bias_raw is not None:
+        acc = acc + np.asarray(bias_raw, dtype=np.int64)
+    if counter is not None:
+        counter.record(site, acc, acc_fmt)
+    acc = saturate_raw(acc, acc_fmt)
+    from repro.capsnet.config import conv_output_size
+
+    out_h = conv_output_size(x_raw.shape[1], kernel_size, stride)
+    out_w = conv_output_size(x_raw.shape[2], kernel_size, stride)
+    return acc.T.reshape(out_channels, out_h, out_w)
+
+
+def hw_relu(raw: np.ndarray) -> np.ndarray:
+    """ReLU on raw codes (sign is preserved by two's complement)."""
+    return np.maximum(np.asarray(raw, dtype=np.int64), 0)
+
+
+def hw_norm(
+    vec_raw: np.ndarray,
+    in_fmt: QFormat,
+    luts: HardwareLuts,
+    fmts: QuantizedFormats,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The norm unit (paper Fig 11f) over the last axis of ``vec_raw``.
+
+    Each component is requantized onto the square-LUT input grid, squared via
+    the LUT, accumulated in an internal register, and square-rooted into the
+    5-bit norm format.  Returns ``(norm_raw, sum_of_squares_raw)``; the sum
+    of squares is in ``square_out`` format summed exactly (register width
+    exceeds 8 bits) and is also used directly for classification, where the
+    monotonicity of x^2 makes the square root unnecessary.
+    """
+    square_in = requantize(vec_raw, in_fmt, fmts.square_in)
+    squares = luts.square.lookup(square_in)
+    sumsq = np.sum(squares, axis=-1, dtype=np.int64)
+    norm = fixed_sqrt(sumsq, fmts.square_out, fmts.norm)
+    return norm, sumsq
+
+
+def hw_squash(
+    vec_raw: np.ndarray,
+    in_fmt: QFormat,
+    luts: HardwareLuts,
+    fmts: QuantizedFormats,
+) -> np.ndarray:
+    """The squash unit (paper Fig 11e) over the last axis of ``vec_raw``.
+
+    The norm arrives from the norm unit; each component is requantized onto
+    the 6-bit LUT grid and looked up against the 5-bit norm, producing 8-bit
+    capsule components.
+    """
+    norm, _ = hw_norm(vec_raw, in_fmt, luts, fmts)
+    squash_in = requantize(vec_raw, in_fmt, fmts.squash_in)
+    norm_b = np.broadcast_to(np.expand_dims(norm, -1), squash_in.shape)
+    return luts.squash.lookup(squash_in, norm_b)
+
+
+def hw_softmax(
+    logits_raw: np.ndarray,
+    luts: HardwareLuts,
+    fmts: QuantizedFormats,
+    axis: int = -1,
+) -> np.ndarray:
+    """The softmax unit (paper Fig 11g) along ``axis``.
+
+    The control logic subtracts the running maximum (keeping exp-LUT inputs
+    non-positive), looks up ``exp``, accumulates the denominator in a
+    register, and divides with round-to-nearest integer division.  The
+    output lands in the coupling-coefficient format so it can feed the
+    weight port of the systolic array directly.
+    """
+    logits = np.asarray(logits_raw, dtype=np.int64)
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    shifted = saturate_raw(shifted, fmts.logits)
+    exps = luts.exp.lookup(shifted)
+    denom = np.sum(exps, axis=axis, keepdims=True, dtype=np.int64)
+    scale = 1 << fmts.coupling.frac_bits
+    # Round-to-nearest integer division: (2*n*scale + d) // (2*d).
+    numer = 2 * exps * scale + denom
+    coupling = numer // (2 * denom)
+    return saturate_raw(coupling, fmts.coupling)

@@ -1,0 +1,121 @@
+"""Layer objects of the CapsuleNet (float reference path).
+
+Each layer owns its weights, validates shapes eagerly and exposes a
+``forward`` method plus introspection used by the Table I accounting and by
+the dataflow mappings (which need exact dimensions, not just results).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.capsnet.config import ClassCapsSpec, ConvLayerSpec, PrimaryCapsSpec
+from repro.capsnet.ops import conv2d, relu, squash
+from repro.capsnet.routing import RoutingResult, routing_by_agreement
+from repro.errors import ShapeError
+
+
+class Conv1Layer:
+    """The Conv1 layer: valid convolution + ReLU."""
+
+    def __init__(self, spec: ConvLayerSpec, weight: np.ndarray, bias: np.ndarray) -> None:
+        expected = (spec.out_channels, spec.in_channels, spec.kernel_size, spec.kernel_size)
+        if weight.shape != expected:
+            raise ShapeError(f"conv1 weight shape {weight.shape} != {expected}")
+        if bias.shape != (spec.out_channels,):
+            raise ShapeError(f"conv1 bias shape {bias.shape} != ({spec.out_channels},)")
+        self.spec = spec
+        self.weight = weight
+        self.bias = bias
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply convolution and ReLU to a ``(C, H, W)`` image."""
+        return relu(conv2d(x, self.weight, self.bias, self.spec.stride))
+
+
+class PrimaryCapsLayer:
+    """PrimaryCaps: convolution producing capsules, then squashing.
+
+    The convolution output ``(capsule_channels * capsule_dim, H, W)`` is
+    regrouped into ``(H * W * capsule_channels, capsule_dim)`` capsules —
+    channel-major within each spatial position — and squashed per capsule.
+    """
+
+    def __init__(self, spec: PrimaryCapsSpec, weight: np.ndarray, bias: np.ndarray) -> None:
+        expected = (
+            spec.conv_out_channels,
+            spec.in_channels,
+            spec.kernel_size,
+            spec.kernel_size,
+        )
+        if weight.shape != expected:
+            raise ShapeError(f"primary caps weight shape {weight.shape} != {expected}")
+        if bias.shape != (spec.conv_out_channels,):
+            raise ShapeError(
+                f"primary caps bias shape {bias.shape} != ({spec.conv_out_channels},)"
+            )
+        self.spec = spec
+        self.weight = weight
+        self.bias = bias
+
+    def conv_forward(self, x: np.ndarray) -> np.ndarray:
+        """The raw convolution output ``(conv_out_channels, H, W)``."""
+        return conv2d(x, self.weight, self.bias, self.spec.stride)
+
+    def group_capsules(self, conv_out: np.ndarray) -> np.ndarray:
+        """Regroup a convolution output into ``(num_capsules, capsule_dim)``."""
+        channels, out_h, out_w = conv_out.shape
+        if channels != self.spec.conv_out_channels:
+            raise ShapeError(
+                f"expected {self.spec.conv_out_channels} channels, got {channels}"
+            )
+        grouped = conv_out.reshape(
+            self.spec.capsule_channels, self.spec.capsule_dim, out_h, out_w
+        )
+        # (capsule_channel, dim, h, w) -> (h, w, capsule_channel, dim)
+        return grouped.transpose(2, 3, 0, 1).reshape(-1, self.spec.capsule_dim)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Produce squashed primary capsules ``(num_capsules, capsule_dim)``."""
+        return squash(self.group_capsules(self.conv_forward(x)), axis=-1)
+
+
+class ClassCapsLayer:
+    """ClassCaps: per-pair linear predictions followed by routing."""
+
+    def __init__(
+        self,
+        spec: ClassCapsSpec,
+        weight: np.ndarray,
+        num_in_capsules: int,
+        in_dim: int,
+    ) -> None:
+        expected = (num_in_capsules, spec.num_classes, spec.out_dim, in_dim)
+        if weight.shape != expected:
+            raise ShapeError(f"class caps weight shape {weight.shape} != {expected}")
+        self.spec = spec
+        self.weight = weight
+        self.num_in_capsules = num_in_capsules
+        self.in_dim = in_dim
+
+    def predictions(self, u: np.ndarray) -> np.ndarray:
+        """Prediction vectors ``u_hat[i, j, :] = W[i, j] @ u[i]``.
+
+        Input ``u`` has shape ``(num_in, in_dim)``; the result has shape
+        ``(num_in, num_classes, out_dim)``.
+        """
+        if u.shape != (self.num_in_capsules, self.in_dim):
+            raise ShapeError(
+                f"input capsules shape {u.shape} != "
+                f"({self.num_in_capsules}, {self.in_dim})"
+            )
+        return np.einsum("ijod,id->ijo", self.weight, u)
+
+    def forward(self, u: np.ndarray, optimized_routing: bool = False) -> RoutingResult:
+        """Run predictions and routing, returning the full routing result."""
+        u_hat = self.predictions(u)
+        return routing_by_agreement(
+            u_hat,
+            num_iterations=self.spec.routing_iterations,
+            optimized=optimized_routing,
+        )

@@ -1,0 +1,109 @@
+"""The complete CapsuleNet model (float reference path).
+
+:class:`CapsuleNet` composes the three layers of paper Fig 1 and exposes the
+intermediate tensors that the dataflow mappings, the quantized path and the
+experiments need (conv activations, primary capsules, prediction vectors,
+routing trace and class capsule lengths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
+from repro.capsnet.layers import ClassCapsLayer, Conv1Layer, PrimaryCapsLayer
+from repro.capsnet.ops import capsule_lengths
+from repro.capsnet.routing import RoutingResult
+from repro.capsnet.weights import pseudo_trained_weights, validate_weights
+from repro.errors import ShapeError
+
+
+@dataclass
+class ModelOutput:
+    """All intermediate and final tensors of one inference pass."""
+
+    conv1_out: np.ndarray
+    primary_capsules: np.ndarray
+    u_hat: np.ndarray
+    routing: RoutingResult
+    class_capsules: np.ndarray
+    lengths: np.ndarray
+
+    @property
+    def prediction(self) -> int:
+        """Predicted class (argmax of capsule lengths)."""
+        return int(np.argmax(self.lengths))
+
+
+class CapsuleNet:
+    """The MNIST CapsuleNet of the paper (Fig 1), float reference.
+
+    Parameters
+    ----------
+    config:
+        Architecture; defaults to the paper's MNIST configuration.
+    weights:
+        Weight dictionary (see :mod:`repro.capsnet.weights`); defaults to
+        deterministic pseudo-trained weights.
+    optimized_routing:
+        Use the CapsAcc first-softmax-skip routing variant.  Does not change
+        any output (verified by tests); it changes the recorded step trace.
+    """
+
+    def __init__(
+        self,
+        config: CapsNetConfig | None = None,
+        weights: dict[str, np.ndarray] | None = None,
+        optimized_routing: bool = False,
+    ) -> None:
+        self.config = config if config is not None else mnist_capsnet_config()
+        if weights is None:
+            weights = pseudo_trained_weights(self.config)
+        validate_weights(self.config, weights)
+        self.weights = weights
+        self.optimized_routing = optimized_routing
+        self.conv1 = Conv1Layer(self.config.conv1, weights["conv1_w"], weights["conv1_b"])
+        self.primary = PrimaryCapsLayer(
+            self.config.primary, weights["primary_w"], weights["primary_b"]
+        )
+        self.classcaps = ClassCapsLayer(
+            self.config.classcaps,
+            weights["classcaps_w"],
+            num_in_capsules=self.config.num_primary_capsules,
+            in_dim=self.config.primary.capsule_dim,
+        )
+
+    def forward(self, image: np.ndarray) -> ModelOutput:
+        """Run one inference pass on a ``(C, H, W)`` or ``(H, W)`` image."""
+        x = self._check_image(image)
+        conv1_out = self.conv1.forward(x)
+        primary = self.primary.forward(conv1_out)
+        u_hat = self.classcaps.predictions(primary)
+        routing = self.classcaps.forward(primary, optimized_routing=self.optimized_routing)
+        lengths = capsule_lengths(routing.v)
+        return ModelOutput(
+            conv1_out=conv1_out,
+            primary_capsules=primary,
+            u_hat=u_hat,
+            routing=routing,
+            class_capsules=routing.v,
+            lengths=lengths,
+        )
+
+    def predict(self, image: np.ndarray) -> int:
+        """Classify one image."""
+        return self.forward(image).prediction
+
+    def predict_batch(self, images: np.ndarray) -> np.ndarray:
+        """Classify a batch of images of shape ``(N, H, W)`` or ``(N, C, H, W)``."""
+        return np.array([self.predict(img) for img in images], dtype=np.int64)
+
+    def _check_image(self, image: np.ndarray) -> np.ndarray:
+        if image.ndim == 2:
+            image = image[np.newaxis]
+        expected = (self.config.in_channels, self.config.image_size, self.config.image_size)
+        if image.shape != expected:
+            raise ShapeError(f"image shape {image.shape} != {expected}")
+        return np.asarray(image, dtype=np.float64)

@@ -1,0 +1,242 @@
+"""The 8-bit quantized CapsuleNet inference path (golden hardware model).
+
+:class:`QuantizedCapsuleNet` executes the exact integer computation the
+CapsAcc hardware performs: weights and activations quantized to 8 bits,
+25-bit accumulation, ROM-based squash / exp / square, integer square root
+and integer division.  Its outputs are raw integer codes plus float views
+for comparison against the float reference.
+
+The routing loop mirrors :func:`repro.capsnet.routing.routing_by_agreement`,
+including the CapsAcc first-softmax skip; in the quantized domain the skip
+is *still* exact because the uniform initialization ``round(2^frac / n)``
+equals the hardware softmax of an all-zero logit row (asserted in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
+from repro.capsnet.hwops import (
+    HardwareLuts,
+    QuantizedFormats,
+    SaturationCounter,
+    hw_norm,
+    hw_relu,
+    hw_softmax,
+    hw_squash,
+    quantized_conv2d,
+    quantized_matmul,
+)
+from repro.capsnet.weights import pseudo_trained_weights, validate_weights
+from repro.errors import ShapeError
+from repro.fixedpoint.arith import requantize, saturate_raw
+from repro.fixedpoint.quantize import from_raw, to_raw
+
+
+@dataclass
+class QuantizedOutput:
+    """Raw-integer results of one quantized inference pass."""
+
+    conv1_out_raw: np.ndarray
+    primary_raw: np.ndarray
+    u_hat_raw: np.ndarray
+    class_caps_raw: np.ndarray
+    coupling_raw: np.ndarray
+    length_sumsq_raw: np.ndarray
+    saturation: SaturationCounter
+    formats: QuantizedFormats = field(default_factory=QuantizedFormats)
+
+    @property
+    def prediction(self) -> int:
+        """Predicted class: argmax of the capsule sum-of-squares register."""
+        return int(np.argmax(self.length_sumsq_raw))
+
+    @property
+    def class_caps(self) -> np.ndarray:
+        """Class capsules as real values."""
+        return from_raw(self.class_caps_raw, self.formats.caps_data)
+
+    @property
+    def primary_capsules(self) -> np.ndarray:
+        """Primary capsules as real values."""
+        return from_raw(self.primary_raw, self.formats.caps_data)
+
+
+class QuantizedCapsuleNet:
+    """8-bit fixed-point CapsuleNet matching the CapsAcc datapath.
+
+    Parameters
+    ----------
+    config:
+        Architecture; defaults to the paper's MNIST configuration.
+    weights:
+        Float weight dictionary, quantized once at construction.
+    formats:
+        Binary-point configuration (defaults reproduce the paper's widths).
+    optimized_routing:
+        Skip the first softmax (CapsAcc optimization).  Exact in the
+        quantized domain as well.
+    """
+
+    def __init__(
+        self,
+        config: CapsNetConfig | None = None,
+        weights: dict[str, np.ndarray] | None = None,
+        formats: QuantizedFormats | None = None,
+        optimized_routing: bool = True,
+    ) -> None:
+        self.config = config if config is not None else mnist_capsnet_config()
+        if weights is None:
+            weights = pseudo_trained_weights(self.config)
+        validate_weights(self.config, weights)
+        self.formats = formats if formats is not None else QuantizedFormats()
+        self.luts = HardwareLuts.build(self.formats)
+        self.optimized_routing = optimized_routing
+        fmts = self.formats
+        conv1_acc = fmts.acc(fmts.input, fmts.conv1_weight)
+        primary_acc = fmts.acc(fmts.conv1_out, fmts.primary_weight)
+        self.raw_weights = {
+            "conv1_w": to_raw(weights["conv1_w"], fmts.conv1_weight),
+            "conv1_b": to_raw(weights["conv1_b"], conv1_acc),
+            "primary_w": to_raw(weights["primary_w"], fmts.primary_weight),
+            "primary_b": to_raw(weights["primary_b"], primary_acc),
+            "classcaps_w": to_raw(weights["classcaps_w"], fmts.classcaps_weight),
+        }
+
+    # ---- layer-by-layer quantized forward -----------------------------------
+
+    def conv1_forward(self, image_raw: np.ndarray, counter: SaturationCounter) -> np.ndarray:
+        """Conv1 + ReLU; returns raw values in ``formats.conv1_out``."""
+        fmts = self.formats
+        acc_fmt = fmts.acc(fmts.input, fmts.conv1_weight)
+        acc = quantized_conv2d(
+            image_raw,
+            self.raw_weights["conv1_w"],
+            self.raw_weights["conv1_b"],
+            self.config.conv1.stride,
+            acc_fmt,
+            counter,
+            site="conv1",
+        )
+        return requantize(hw_relu(acc), acc_fmt, fmts.conv1_out)
+
+    def primary_forward(self, conv1_raw: np.ndarray, counter: SaturationCounter) -> np.ndarray:
+        """PrimaryCaps conv + squash; returns raw capsules in ``caps_data``."""
+        fmts = self.formats
+        acc_fmt = fmts.acc(fmts.conv1_out, fmts.primary_weight)
+        acc = quantized_conv2d(
+            conv1_raw,
+            self.raw_weights["primary_w"],
+            self.raw_weights["primary_b"],
+            self.config.primary.stride,
+            acc_fmt,
+            counter,
+            site="primary_conv",
+        )
+        preact = requantize(acc, acc_fmt, fmts.primary_preact)
+        spec = self.config.primary
+        out_h = out_w = self.config.primary_out_size
+        grouped = preact.reshape(spec.capsule_channels, spec.capsule_dim, out_h, out_w)
+        capsules = grouped.transpose(2, 3, 0, 1).reshape(-1, spec.capsule_dim)
+        return hw_squash(capsules, fmts.primary_preact, self.luts, fmts)
+
+    def classcaps_predictions(
+        self, primary_raw: np.ndarray, counter: SaturationCounter
+    ) -> np.ndarray:
+        """Prediction vectors u_hat in ``caps_data`` format.
+
+        ``u_hat[i, j, :] = W[i, j] @ u[i]`` computed as integer dot products
+        with 25-bit accumulation.
+        """
+        fmts = self.formats
+        acc_fmt = fmts.acc(fmts.caps_data, fmts.classcaps_weight)
+        w = self.raw_weights["classcaps_w"]
+        acc = np.einsum("ijod,id->ijo", w, primary_raw, dtype=np.int64)
+        counter.record("classcaps_fc", acc, acc_fmt)
+        acc = saturate_raw(acc, acc_fmt)
+        return requantize(acc, acc_fmt, fmts.caps_data)
+
+    def route(
+        self, u_hat_raw: np.ndarray, counter: SaturationCounter
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Quantized routing-by-agreement; returns ``(v_raw, c_raw)``."""
+        fmts = self.formats
+        num_in, num_out, _ = u_hat_raw.shape
+        iterations = self.config.classcaps.routing_iterations
+        b_raw = np.zeros((num_in, num_out), dtype=np.int64)
+        sum_acc_fmt = fmts.acc(fmts.caps_data, fmts.coupling)
+        upd_acc_fmt = fmts.acc(fmts.caps_data, fmts.caps_data)
+
+        if self.optimized_routing:
+            c_raw = np.full(
+                (num_in, num_out),
+                self._uniform_coupling_code(num_out),
+                dtype=np.int64,
+            )
+        else:
+            c_raw = hw_softmax(b_raw, self.luts, fmts, axis=1)
+
+        v_raw = np.zeros((num_out, u_hat_raw.shape[2]), dtype=np.int64)
+        for iteration in range(1, iterations + 1):
+            if iteration > 1:
+                c_raw = hw_softmax(b_raw, self.luts, fmts, axis=1)
+            s_acc = np.einsum("ij,ijo->jo", c_raw, u_hat_raw, dtype=np.int64)
+            counter.record("routing_sum", s_acc, sum_acc_fmt)
+            s_acc = saturate_raw(s_acc, sum_acc_fmt)
+            s_raw = requantize(s_acc, sum_acc_fmt, fmts.primary_preact)
+            v_raw = hw_squash(s_raw, fmts.primary_preact, self.luts, fmts)
+            if iteration < iterations:
+                agree = np.einsum("ijo,jo->ij", u_hat_raw, v_raw, dtype=np.int64)
+                counter.record("routing_update", agree, upd_acc_fmt)
+                agree = saturate_raw(agree, upd_acc_fmt)
+                delta = requantize(agree, upd_acc_fmt, fmts.logits)
+                b_raw = saturate_raw(b_raw + delta, fmts.logits)
+        return v_raw, c_raw
+
+    def _uniform_coupling_code(self, num_out: int) -> int:
+        """Raw code of the uniform coupling coefficient ``1 / num_out``.
+
+        Matches what the hardware softmax produces on an all-zero logit row
+        (same exp code for every entry, divided by ``num_out`` copies of
+        itself), so the optimized and textbook variants stay bit-identical.
+        """
+        fmts = self.formats
+        zero_row = np.zeros((1, num_out), dtype=np.int64)
+        return int(hw_softmax(zero_row, self.luts, fmts, axis=1)[0, 0])
+
+    def forward(self, image: np.ndarray) -> QuantizedOutput:
+        """Run one quantized inference pass on a ``(H, W)`` or ``(C, H, W)`` image."""
+        if image.ndim == 2:
+            image = image[np.newaxis]
+        expected = (self.config.in_channels, self.config.image_size, self.config.image_size)
+        if image.shape != expected:
+            raise ShapeError(f"image shape {image.shape} != {expected}")
+        fmts = self.formats
+        counter = SaturationCounter()
+        image_raw = to_raw(image, fmts.input)
+        conv1_raw = self.conv1_forward(image_raw, counter)
+        primary_raw = self.primary_forward(conv1_raw, counter)
+        u_hat_raw = self.classcaps_predictions(primary_raw, counter)
+        v_raw, c_raw = self.route(u_hat_raw, counter)
+        _, sumsq = hw_norm(v_raw, fmts.caps_data, self.luts, fmts)
+        return QuantizedOutput(
+            conv1_out_raw=conv1_raw,
+            primary_raw=primary_raw,
+            u_hat_raw=u_hat_raw,
+            class_caps_raw=v_raw,
+            coupling_raw=c_raw,
+            length_sumsq_raw=sumsq,
+            saturation=counter,
+            formats=fmts,
+        )
+
+    def predict(self, image: np.ndarray) -> int:
+        """Classify one image with the quantized network."""
+        return self.forward(image).prediction
+
+    def predict_batch(self, images: np.ndarray) -> np.ndarray:
+        """Classify a batch of images of shape ``(N, H, W)`` or ``(N, C, H, W)``."""
+        return np.array([self.predict(image) for image in images], dtype=np.int64)

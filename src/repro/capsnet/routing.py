@@ -1,0 +1,136 @@
+"""Routing-by-agreement (paper Fig 4) and the CapsAcc optimization.
+
+The textbook algorithm initializes the routing logits ``b_ij = 0`` and starts
+every inference by computing ``c_i = softmax(b_i)`` — a softmax over all-zero
+rows, which always yields the uniform distribution.  CapsAcc's algorithmic
+optimization (Section V-C) therefore skips that first softmax and directly
+initializes the coupling coefficients ``c_ij = 1 / num_output_capsules``.
+Both variants are implemented here and are provably identical in output;
+:mod:`tests.capsnet.test_routing` asserts the equality, and the performance
+model charges the optimized variant zero softmax cycles in iteration one.
+
+The routing loop structure matches the paper's measured step sequence
+(Fig 9): ``softmax -> sum -> squash`` every iteration, with an ``update``
+between iterations (so ``iterations - 1`` updates in total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.capsnet.ops import softmax, squash
+from repro.errors import ShapeError
+
+
+@dataclass
+class RoutingStep:
+    """One recorded step of the routing loop (for tracing / perf models)."""
+
+    name: str
+    iteration: int
+    skipped: bool = False
+
+
+@dataclass
+class RoutingResult:
+    """Outputs of routing-by-agreement.
+
+    Attributes
+    ----------
+    v:
+        Output capsules, shape ``(num_out, out_dim)``.
+    c:
+        Final coupling coefficients, shape ``(num_in, num_out)``.
+    b:
+        Final routing logits, shape ``(num_in, num_out)``.
+    steps:
+        The executed (and skipped) steps in order, for performance tracing.
+    s_history / v_history:
+        Pre- and post-squash capsule states per iteration (used by the
+        quantized path comparison and by tests).
+    """
+
+    v: np.ndarray
+    c: np.ndarray
+    b: np.ndarray
+    steps: list[RoutingStep] = field(default_factory=list)
+    s_history: list[np.ndarray] = field(default_factory=list)
+    v_history: list[np.ndarray] = field(default_factory=list)
+
+
+def routing_by_agreement(
+    u_hat: np.ndarray,
+    num_iterations: int = 3,
+    optimized: bool = False,
+) -> RoutingResult:
+    """Route prediction vectors to output capsules.
+
+    Parameters
+    ----------
+    u_hat:
+        Prediction vectors ``u_hat[i, j, :]`` of shape
+        ``(num_in, num_out, out_dim)``.
+    num_iterations:
+        Routing iterations (3 for the MNIST CapsuleNet).
+    optimized:
+        Apply the CapsAcc first-softmax skip: initialize the coupling
+        coefficients uniformly instead of running a softmax over the all-zero
+        logits.  Functionally identical to the textbook algorithm.
+
+    Returns
+    -------
+    RoutingResult
+        Final capsules, coefficients, logits and the executed step trace.
+    """
+    if u_hat.ndim != 3:
+        raise ShapeError(f"u_hat must be (num_in, num_out, out_dim), got {u_hat.shape}")
+    if num_iterations < 1:
+        raise ShapeError("routing needs at least one iteration")
+    num_in, num_out, _ = u_hat.shape
+    b = np.zeros((num_in, num_out), dtype=u_hat.dtype)
+    result = RoutingResult(v=np.empty(0), c=np.empty(0), b=b)
+
+    c = np.full((num_in, num_out), 1.0 / num_out, dtype=u_hat.dtype)
+    v = np.zeros((num_out, u_hat.shape[2]), dtype=u_hat.dtype)
+    for iteration in range(1, num_iterations + 1):
+        if iteration == 1 and optimized:
+            # CapsAcc optimization: softmax(0) is uniform, so initialize
+            # c directly and skip the computation.
+            result.steps.append(RoutingStep("softmax", iteration, skipped=True))
+        else:
+            c = softmax(b, axis=1)
+            result.steps.append(RoutingStep("softmax", iteration))
+        s = np.einsum("ij,ijd->jd", c, u_hat)
+        result.steps.append(RoutingStep("sum", iteration))
+        v = squash(s, axis=-1)
+        result.steps.append(RoutingStep("squash", iteration))
+        result.s_history.append(s)
+        result.v_history.append(v)
+        if iteration < num_iterations:
+            b = b + np.einsum("ijd,jd->ij", u_hat, v)
+            result.steps.append(RoutingStep("update", iteration))
+
+    result.v = v
+    result.c = c
+    result.b = b
+    return result
+
+
+def routing_step_sequence(num_iterations: int, optimized: bool) -> list[str]:
+    """Names of routing steps in execution order (labels of paper Fig 9/17).
+
+    The sequence is ``Softmax1, Sum1, Squash1, Update1, Softmax2, ...`` with
+    no update after the final iteration.  When ``optimized`` the first
+    softmax is tagged ``(skipped)``.
+    """
+    names: list[str] = []
+    for iteration in range(1, num_iterations + 1):
+        tag = " (skipped)" if iteration == 1 and optimized else ""
+        names.append(f"Softmax{iteration}{tag}")
+        names.append(f"Sum{iteration}")
+        names.append(f"Squash{iteration}")
+        if iteration < num_iterations:
+            names.append(f"Update{iteration}")
+    return names

@@ -1,0 +1,183 @@
+"""Lightweight ClassCaps trainer for the accuracy-parity experiment.
+
+The paper runs inference with the trained network of Sabour et al. and
+reports that the hardware preserves its classification accuracy because the
+datapath is functionally compliant.  To exercise that claim end to end we
+need *some* trained weights.  Full CapsuleNet training (backprop through two
+convolutions and unrolled routing) is out of the paper's scope; instead this
+module trains only the ClassCaps transformation matrices on frozen
+convolutional features — an extreme-learning-machine-style setup that
+reaches high accuracy on the synthetic digits and yields a real network on
+which float-vs-quantized accuracy can be compared.
+
+The gradient is exact under fixed coupling coefficients (the coefficients
+are re-estimated by routing every forward pass, coordinate-descent style):
+
+* ``lengths[j] = ||v_j|| = n_j^2 / (1 + n_j^2)`` with ``n_j = ||s_j||``
+* ``d lengths[j] / d s[j,o] = 2 s[j,o] / (1 + n_j^2)^2``
+* ``d s[j,o] / d W[i,j,o,d] = c[i,j] * u[i,d]``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.capsnet.config import CapsNetConfig
+from repro.capsnet.layers import Conv1Layer, PrimaryCapsLayer
+from repro.capsnet.routing import routing_by_agreement
+from repro.capsnet.weights import pseudo_trained_weights
+from repro.data.dataset import Dataset
+from repro.errors import ConfigError
+
+
+@dataclass
+class TrainResult:
+    """Fitted weights plus training diagnostics."""
+
+    weights: dict[str, np.ndarray]
+    loss_history: list[float] = field(default_factory=list)
+    train_accuracy: float = 0.0
+
+
+def extract_primary_features(
+    config: CapsNetConfig, weights: dict[str, np.ndarray], images: np.ndarray
+) -> np.ndarray:
+    """Primary capsules for a batch of images, shape ``(N, num_caps, dim)``."""
+    conv1 = Conv1Layer(config.conv1, weights["conv1_w"], weights["conv1_b"])
+    primary = PrimaryCapsLayer(config.primary, weights["primary_w"], weights["primary_b"])
+    features = np.empty(
+        (len(images), config.num_primary_capsules, config.primary.capsule_dim)
+    )
+    for index, image in enumerate(images):
+        x = image[np.newaxis] if image.ndim == 2 else image
+        features[index] = primary.forward(conv1.forward(x))
+    return features
+
+
+def _margin_loss_gradient(
+    lengths: np.ndarray,
+    target: int,
+    m_plus: float,
+    m_minus: float,
+    lam: float,
+) -> tuple[float, np.ndarray]:
+    """Margin loss value and its gradient w.r.t. the capsule lengths."""
+    present = np.maximum(0.0, m_plus - lengths)
+    absent = np.maximum(0.0, lengths - m_minus)
+    mask = np.zeros_like(lengths)
+    mask[target] = 1.0
+    loss = float(np.sum(mask * present**2 + lam * (1.0 - mask) * absent**2))
+    grad = -2.0 * mask * present + 2.0 * lam * (1.0 - mask) * absent
+    return loss, grad
+
+
+def train_classcaps(
+    config: CapsNetConfig,
+    features: np.ndarray,
+    labels: np.ndarray,
+    epochs: int = 20,
+    learning_rate: float = 0.05,
+    weight_decay: float = 1e-4,
+    seed: int = 11,
+    m_plus: float = 0.9,
+    m_minus: float = 0.1,
+    lam: float = 0.5,
+    max_weight: float = 1.5,
+) -> TrainResult:
+    """Fit the ClassCaps matrices by SGD on the margin loss.
+
+    Parameters
+    ----------
+    config:
+        Network architecture (defines capsule counts and dimensions).
+    features:
+        Primary capsules per example, ``(N, num_caps, in_dim)``.
+    labels:
+        Class index per example.
+    epochs / learning_rate / weight_decay / seed:
+        Optimization hyper-parameters.
+    m_plus / m_minus / lam:
+        Margin-loss hyper-parameters (paper defaults).
+    max_weight:
+        Hard clamp keeping weights inside the 8-bit fixed-point range so the
+        fitted network quantizes without saturation.
+    """
+    num_caps, in_dim = features.shape[1], features.shape[2]
+    if num_caps != config.num_primary_capsules or in_dim != config.primary.capsule_dim:
+        raise ConfigError("feature shape does not match the configuration")
+    num_classes = config.classcaps.num_classes
+    out_dim = config.classcaps.out_dim
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(in_dim)
+    w = scale * rng.standard_normal((num_caps, num_classes, out_dim, in_dim))
+
+    result = TrainResult(weights={})
+    for _ in range(epochs):
+        order = rng.permutation(len(features))
+        epoch_loss = 0.0
+        for index in order:
+            u = features[index]
+            target = int(labels[index])
+            u_hat = np.einsum("ijod,id->ijo", w, u)
+            routing = routing_by_agreement(
+                u_hat, config.classcaps.routing_iterations, optimized=True
+            )
+            s = routing.s_history[-1]
+            norms_sq = np.sum(s * s, axis=-1)
+            lengths = norms_sq / (1.0 + norms_sq)
+            loss, dl_dlen = _margin_loss_gradient(lengths, target, m_plus, m_minus, lam)
+            epoch_loss += loss
+            # dL/ds[j,o] = dL/dlen[j] * 2 s[j,o] / (1 + n_j^2)^2
+            dl_ds = dl_dlen[:, np.newaxis] * 2.0 * s / (1.0 + norms_sq[:, np.newaxis]) ** 2
+            # dL/dW[i,j,o,d] = dL/ds[j,o] * c[i,j] * u[i,d]
+            grad = np.einsum("jo,ij,id->ijod", dl_ds, routing.c, u)
+            w -= learning_rate * (grad + weight_decay * w)
+            np.clip(w, -max_weight, max_weight, out=w)
+        result.loss_history.append(epoch_loss / len(features))
+
+    result.weights = {"classcaps_w": w}
+    result.train_accuracy = evaluate_classcaps(config, w, features, labels)
+    return result
+
+
+def evaluate_classcaps(
+    config: CapsNetConfig,
+    classcaps_w: np.ndarray,
+    features: np.ndarray,
+    labels: np.ndarray,
+) -> float:
+    """Classification accuracy of ClassCaps weights on extracted features."""
+    correct = 0
+    for u, label in zip(features, labels):
+        u_hat = np.einsum("ijod,id->ijo", classcaps_w, u)
+        routing = routing_by_agreement(
+            u_hat, config.classcaps.routing_iterations, optimized=True
+        )
+        lengths = np.linalg.norm(routing.v, axis=-1)
+        if int(np.argmax(lengths)) == int(label):
+            correct += 1
+    return correct / len(features)
+
+
+def train_on_dataset(
+    config: CapsNetConfig,
+    dataset: Dataset,
+    epochs: int = 20,
+    learning_rate: float = 0.05,
+    seed: int = 11,
+) -> tuple[dict[str, np.ndarray], TrainResult]:
+    """Convenience: frozen-feature training on a dataset.
+
+    Returns a complete weight dictionary (frozen conv weights + fitted
+    ClassCaps weights) and the training diagnostics.
+    """
+    base = pseudo_trained_weights(config, seed=seed)
+    features = extract_primary_features(config, base, dataset.images)
+    result = train_classcaps(
+        config, features, dataset.labels, epochs=epochs, learning_rate=learning_rate, seed=seed
+    )
+    fitted = dict(base)
+    fitted["classcaps_w"] = result.weights["classcaps_w"]
+    return fitted, result

@@ -1,0 +1,104 @@
+"""Weight generation, saving and loading.
+
+The paper runs inference with the trained network of Sabour et al.; training
+infrastructure is out of scope for both the paper and this reproduction (the
+paper explicitly excludes the decoder and losses).  For dataflow, cycle and
+synthesis experiments any weights of the right shape and dynamic range work;
+:func:`pseudo_trained_weights` generates deterministic weights whose scale is
+chosen so that activations stay inside the 8-bit fixed-point formats, as a
+trained, quantization-calibrated network's would.
+
+For the accuracy-parity experiment, :mod:`repro.capsnet.train` fits the
+ClassCaps matrices on real features; the fitted weights round-trip through
+:func:`save_weights` / :func:`load_weights`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.capsnet.config import CapsNetConfig
+from repro.errors import ShapeError
+
+#: Keys every weight dictionary must contain.
+WEIGHT_KEYS = ("conv1_w", "conv1_b", "primary_w", "primary_b", "classcaps_w")
+
+
+def weight_shapes(config: CapsNetConfig) -> dict[str, tuple[int, ...]]:
+    """Expected array shape for every weight key."""
+    conv1 = config.conv1
+    primary = config.primary
+    return {
+        "conv1_w": (conv1.out_channels, conv1.in_channels, conv1.kernel_size, conv1.kernel_size),
+        "conv1_b": (conv1.out_channels,),
+        "primary_w": (
+            primary.conv_out_channels,
+            primary.in_channels,
+            primary.kernel_size,
+            primary.kernel_size,
+        ),
+        "primary_b": (primary.conv_out_channels,),
+        "classcaps_w": (
+            config.num_primary_capsules,
+            config.classcaps.num_classes,
+            config.classcaps.out_dim,
+            config.primary.capsule_dim,
+        ),
+    }
+
+
+def validate_weights(config: CapsNetConfig, weights: dict[str, np.ndarray]) -> None:
+    """Raise :class:`ShapeError` unless ``weights`` matches ``config``."""
+    expected = weight_shapes(config)
+    for key, shape in expected.items():
+        if key not in weights:
+            raise ShapeError(f"missing weight array {key!r}")
+        if tuple(weights[key].shape) != shape:
+            raise ShapeError(
+                f"weight {key!r} has shape {weights[key].shape}, expected {shape}"
+            )
+
+
+def pseudo_trained_weights(
+    config: CapsNetConfig, seed: int = 2019, dtype=np.float64
+) -> dict[str, np.ndarray]:
+    """Deterministic weights with trained-network-like dynamic range.
+
+    Fan-in-scaled normal weights keep every layer's activations within the
+    8-bit fixed-point ranges used by the accelerator (verified by the
+    quantization tests), mimicking a quantization-aware-calibrated network.
+    """
+    rng = np.random.default_rng(seed)
+    shapes = weight_shapes(config)
+
+    def fan_in_scaled(shape: tuple[int, ...], fan_in: int, gain: float) -> np.ndarray:
+        return (gain / np.sqrt(fan_in)) * rng.standard_normal(shape)
+
+    conv1_fan = config.conv1.in_channels * config.conv1.kernel_size**2
+    primary_fan = config.primary.in_channels * config.primary.kernel_size**2
+    weights = {
+        "conv1_w": fan_in_scaled(shapes["conv1_w"], conv1_fan, gain=1.0),
+        "conv1_b": np.zeros(shapes["conv1_b"]),
+        "primary_w": fan_in_scaled(shapes["primary_w"], primary_fan, gain=1.0),
+        "primary_b": np.zeros(shapes["primary_b"]),
+        "classcaps_w": fan_in_scaled(
+            shapes["classcaps_w"], config.primary.capsule_dim, gain=1.0
+        ),
+    }
+    return {key: value.astype(dtype) for key, value in weights.items()}
+
+
+def save_weights(path: str | Path, weights: dict[str, np.ndarray]) -> None:
+    """Save a weight dictionary to a compressed ``.npz`` file."""
+    np.savez_compressed(Path(path), **weights)
+
+
+def load_weights(path: str | Path, config: CapsNetConfig | None = None) -> dict[str, np.ndarray]:
+    """Load weights from ``.npz``, optionally validating against a config."""
+    with np.load(Path(path)) as archive:
+        weights = {key: archive[key] for key in archive.files}
+    if config is not None:
+        validate_weights(config, weights)
+    return weights

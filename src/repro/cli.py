@@ -1,0 +1,136 @@
+"""Command-line interface for the CapsAcc reproduction.
+
+Usage::
+
+    python -m repro.cli list                 # available artifacts
+    python -m repro.cli run table1 fig16     # regenerate specific artifacts
+    python -m repro.cli run all              # everything (incl. training)
+    python -m repro.cli sweep --array 8 32   # quick design-space sweep
+    python -m repro.cli info                 # network + accelerator summary
+
+The CLI is a thin shell over :mod:`repro.experiments`; everything it prints
+is available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.capsnet.config import mnist_capsnet_config
+from repro.experiments import ablations, accuracy, runner
+from repro.hw.config import AcceleratorConfig
+from repro.perf.model import CapsAccPerformanceModel
+from repro.synthesis.report import SynthesisReport
+from repro.version import __version__
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("Available artifacts:")
+    for key in runner.STANDARD_DRIVERS:
+        print(f"  {key}")
+    print("  ablations")
+    print("  accuracy")
+    print("  all")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    requested = args.artifacts
+    if "all" in requested:
+        suite = runner.run_all()
+        print(suite.report_text())
+        return 0
+    unknown = [
+        name
+        for name in requested
+        if name not in runner.STANDARD_DRIVERS and name not in ("ablations", "accuracy")
+    ]
+    if unknown:
+        print(f"unknown artifacts: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    reports = []
+    for name in requested:
+        if name == "ablations":
+            reports.append(ablations.format_report(ablations.run_all()))
+        elif name == "accuracy":
+            reports.append(accuracy.format_report(accuracy.run()))
+        else:
+            driver = runner.STANDARD_DRIVERS[name]
+            reports.append(driver.format_report(driver.run()))
+    print(("\n\n" + "=" * 72 + "\n\n").join(reports))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    network = mnist_capsnet_config()
+    print(f"{'array':>8s} {'latency ms':>11s} {'area mm2':>9s} {'power mW':>9s}")
+    for size in args.array:
+        config = AcceleratorConfig().with_array(size, size)
+        latency = CapsAccPerformanceModel(accelerator=config, network=network).run()
+        synth = SynthesisReport(config=config).table2()
+        print(
+            f"{size:>4d}x{size:<3d} {latency.total_time_ms:11.3f}"
+            f" {synth['area_mm2']:9.2f} {synth['power_mw']:9.1f}"
+        )
+    return 0
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    network = mnist_capsnet_config()
+    accel = AcceleratorConfig()
+    perf = CapsAccPerformanceModel(accelerator=accel, network=network).run()
+    print(f"repro {__version__} — CapsAcc (DATE 2019) reproduction")
+    print(f"Network: MNIST CapsuleNet, {network.total_parameter_count:,} parameters,")
+    print(
+        f"  {network.num_primary_capsules} primary capsules x"
+        f" {network.primary.capsule_dim}D ->"
+        f" {network.classcaps.num_classes} class capsules x"
+        f" {network.classcaps.out_dim}D"
+    )
+    print(
+        f"Accelerator: {accel.rows}x{accel.cols} PEs @ {accel.clock_mhz:.0f} MHz,"
+        f" {accel.data_bits}-bit data, {accel.acc_bits}-bit accumulation"
+    )
+    print(
+        f"Modelled inference: {perf.total_time_ms:.3f} ms"
+        f" ({perf.utilization() * 100:.0f}% PE utilization)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CapsAcc (DATE 2019) reproduction toolkit"
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available artifacts").set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="regenerate paper artifacts")
+    run_parser.add_argument("artifacts", nargs="+", help="artifact ids or 'all'")
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = sub.add_parser("sweep", help="array-size design sweep")
+    sweep_parser.add_argument(
+        "--array", type=int, nargs="+", default=[8, 16, 32], help="array sizes"
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    sub.add_parser("info", help="network and accelerator summary").set_defaults(
+        func=_cmd_info
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""MNIST data substrate.
+
+The paper evaluates on MNIST.  This environment has no network access, so
+:mod:`repro.data.synthetic` provides a procedural 28x28 digit generator
+(stroke-rendered digits with affine jitter and noise) that exercises every
+code path of the model and accelerator identically to real data.  When real
+MNIST idx files are available locally, :mod:`repro.data.mnist` loads them
+instead (``load_dataset`` prefers real data automatically).
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import SyntheticDigits, render_digit
+from repro.data.mnist import load_dataset, load_mnist_idx
+
+__all__ = [
+    "Dataset",
+    "SyntheticDigits",
+    "render_digit",
+    "load_dataset",
+    "load_mnist_idx",
+]

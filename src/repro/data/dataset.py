@@ -1,0 +1,63 @@
+"""A minimal dataset container shared by loaders and generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A labelled image dataset.
+
+    Attributes
+    ----------
+    images:
+        Float array of shape ``(N, H, W)`` with values in ``[0, 1]``.
+    labels:
+        Integer array of shape ``(N,)``.
+    name:
+        Human-readable origin (``"synthetic"`` or ``"mnist"``).
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.images.ndim != 3:
+            raise DataError(f"images must be (N, H, W), got shape {self.images.shape}")
+        if self.labels.shape != (self.images.shape[0],):
+            raise DataError("labels must have one entry per image")
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    @property
+    def image_size(self) -> int:
+        """Spatial size (images are square)."""
+        return self.images.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct labels."""
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+    def take(self, count: int) -> "Dataset":
+        """First ``count`` examples as a new dataset."""
+        return Dataset(self.images[:count], self.labels[:count], self.name)
+
+    def split(self, train_fraction: float, seed: int = 0) -> tuple["Dataset", "Dataset"]:
+        """Shuffle deterministically and split into train / test."""
+        if not 0.0 < train_fraction < 1.0:
+            raise DataError("train_fraction must lie strictly between 0 and 1")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        cut = int(round(train_fraction * len(self)))
+        train_idx, test_idx = order[:cut], order[cut:]
+        train = Dataset(self.images[train_idx], self.labels[train_idx], self.name)
+        test = Dataset(self.images[test_idx], self.labels[test_idx], self.name)
+        return train, test

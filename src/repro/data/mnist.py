@@ -1,0 +1,98 @@
+"""Loader for MNIST idx files, with synthetic fallback.
+
+``load_mnist_idx`` parses the original idx1/idx3 formats (optionally
+gzipped).  ``load_dataset`` looks for real MNIST under common locations and
+falls back to :class:`repro.data.synthetic.SyntheticDigits` when absent, so
+every experiment runs unmodified with or without the real dataset.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import SyntheticDigits
+from repro.errors import DataError
+
+#: Default filenames of the MNIST distribution.
+MNIST_FILES = {
+    "train_images": "train-images-idx3-ubyte",
+    "train_labels": "train-labels-idx1-ubyte",
+    "test_images": "t10k-images-idx3-ubyte",
+    "test_labels": "t10k-labels-idx1-ubyte",
+}
+
+
+def _open_maybe_gzip(path: Path):
+    gz = path.with_name(path.name + ".gz")
+    if path.exists():
+        return open(path, "rb")
+    if gz.exists():
+        return gzip.open(gz, "rb")
+    raise DataError(f"missing MNIST file {path} (or {gz})")
+
+
+def _read_idx(path: Path) -> np.ndarray:
+    """Parse one idx file into a numpy array."""
+    with _open_maybe_gzip(path) as handle:
+        magic = struct.unpack(">I", handle.read(4))[0]
+        dtype_code = (magic >> 8) & 0xFF
+        ndim = magic & 0xFF
+        if dtype_code != 0x08:
+            raise DataError(f"unsupported idx dtype code 0x{dtype_code:02x} in {path}")
+        shape = struct.unpack(f">{ndim}I", handle.read(4 * ndim))
+        data = np.frombuffer(handle.read(), dtype=np.uint8)
+    expected = int(np.prod(shape))
+    if data.size != expected:
+        raise DataError(f"idx payload size {data.size} != header {expected} in {path}")
+    return data.reshape(shape)
+
+
+def load_mnist_idx(directory: str | Path) -> tuple[Dataset, Dataset]:
+    """Load real MNIST train/test datasets from idx files in ``directory``."""
+    directory = Path(directory)
+    train_images = _read_idx(directory / MNIST_FILES["train_images"]).astype(np.float64) / 255.0
+    train_labels = _read_idx(directory / MNIST_FILES["train_labels"]).astype(np.int64)
+    test_images = _read_idx(directory / MNIST_FILES["test_images"]).astype(np.float64) / 255.0
+    test_labels = _read_idx(directory / MNIST_FILES["test_labels"]).astype(np.int64)
+    return (
+        Dataset(train_images, train_labels, name="mnist"),
+        Dataset(test_images, test_labels, name="mnist"),
+    )
+
+
+def load_dataset(
+    mnist_dir: str | Path | None = None,
+    train_count: int = 400,
+    test_count: int = 200,
+    seed: int = 7,
+) -> tuple[Dataset, Dataset]:
+    """Return (train, test) datasets: real MNIST if available, else synthetic.
+
+    Parameters
+    ----------
+    mnist_dir:
+        Directory containing idx files; also tried: ``./data/mnist``.
+    train_count / test_count:
+        Sizes used when generating the synthetic fallback (real MNIST is
+        returned in full).
+    seed:
+        Seed for the synthetic generator.
+    """
+    candidates = []
+    if mnist_dir is not None:
+        candidates.append(Path(mnist_dir))
+    candidates.append(Path("data/mnist"))
+    for candidate in candidates:
+        try:
+            return load_mnist_idx(candidate)
+        except DataError:
+            continue
+    generator = SyntheticDigits(seed=seed)
+    combined = generator.generate(train_count + test_count)
+    train_fraction = train_count / (train_count + test_count)
+    return combined.split(train_fraction, seed=seed)

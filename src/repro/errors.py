@@ -1,0 +1,39 @@
+"""Exception hierarchy for the CapsAcc reproduction.
+
+All exceptions raised on purpose by this package derive from
+:class:`ReproError` so callers can catch package-level failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class QFormatError(ReproError):
+    """An invalid fixed-point format specification or conversion."""
+
+
+class SaturationError(ReproError):
+    """A value exceeded its format range while saturation was disabled."""
+
+
+class ShapeError(ReproError):
+    """A tensor shape is inconsistent with the layer or mapping definition."""
+
+
+class MappingError(ReproError):
+    """A dataflow mapping cannot be scheduled onto the configured array."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """An invalid accelerator, model or experiment configuration."""
+
+
+class DataError(ReproError):
+    """A dataset could not be loaded or generated."""

@@ -1,0 +1,65 @@
+"""Experiment drivers: one module per paper table and figure.
+
+Every driver exposes ``run()`` returning a structured result and
+``format_report(result)`` returning the printable artifact; ``runner.py``
+executes the full suite (used by EXPERIMENTS.md and the benchmarks).
+
+=========  ==========================================================
+driver     paper artifact
+=========  ==========================================================
+table1     Table I — per-layer inputs / parameters / outputs
+fig3       Fig 3 — squashing function and derivative peak
+fig5       Fig 5 — parameter distribution across layers
+fig8       Fig 8 — GPU layer-wise inference time
+fig9       Fig 9 — GPU routing-step time
+fig16      Fig 16 — CapsAcc vs GPU per layer
+fig17      Fig 17 — CapsAcc vs GPU per routing step
+table2     Table II — synthesized accelerator parameters
+table3     Table III — per-component area and power
+fig18      Fig 18 — area / power breakdowns
+ablations  design-choice studies (routing skip, weight reuse, array
+           size, bit width, conv mapping policy)
+accuracy   float-vs-quantized classification parity
+motivation Section III analysis (compute vs memory intensity, 8 MB fit)
+energy     energy per inference (top-down vs bottom-up, extension)
+batching   GPU batch-throughput crossover (extension)
+=========  ==========================================================
+"""
+
+from repro.experiments import (
+    ablations,
+    accuracy,
+    batching,
+    energy,
+    fig3,
+    fig5,
+    fig8,
+    fig9,
+    fig16,
+    fig17,
+    fig18,
+    motivation,
+    runner,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "table1",
+    "fig3",
+    "fig5",
+    "fig8",
+    "fig9",
+    "fig16",
+    "fig17",
+    "table2",
+    "table3",
+    "fig18",
+    "ablations",
+    "accuracy",
+    "motivation",
+    "energy",
+    "batching",
+    "runner",
+]

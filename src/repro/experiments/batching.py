@@ -1,0 +1,92 @@
+"""Batching extension: where does the GPU win back on throughput?
+
+The paper's comparison is batch-1 inference — the embedded / latency-
+critical case CapsAcc targets.  A GPU amortizes its per-op dispatch
+overhead over larger batches, so there is a crossover batch size beyond
+which GPU *throughput* (not latency) overtakes the batch-1 accelerator.
+This experiment sweeps the batch size, reporting images/s for both targets
+and the crossover — quantifying the domain where the paper's conclusion
+holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
+from repro.experiments.common import format_table
+from repro.hw.config import AcceleratorConfig
+from repro.perf.gpu import GpuModel, gtx1070_paper_profile, scale_kernels_to_batch
+from repro.perf.kernels import CapsNetGpuWorkload
+from repro.perf.model import CapsAccPerformanceModel
+
+
+@dataclass
+class BatchingResult:
+    """Throughput per batch size and the crossover."""
+
+    batch_sizes: list[int]
+    gpu_images_per_s: dict[int, float]
+    capsacc_images_per_s: float
+    capsacc_latency_ms: float
+
+    @property
+    def crossover_batch(self) -> int | None:
+        """Smallest swept batch at which the GPU's throughput wins."""
+        for batch in self.batch_sizes:
+            if self.gpu_images_per_s[batch] > self.capsacc_images_per_s:
+                return batch
+        return None
+
+
+def run(
+    config: CapsNetConfig | None = None,
+    accelerator: AcceleratorConfig | None = None,
+    batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128),
+) -> BatchingResult:
+    """Sweep GPU batch sizes against the batch-1 accelerator."""
+    config = config if config is not None else mnist_capsnet_config()
+    accelerator = accelerator if accelerator is not None else AcceleratorConfig()
+    gpu = GpuModel(gtx1070_paper_profile())
+    workload = CapsNetGpuWorkload(config)
+    batch1_kernels = [
+        kernel
+        for kernels in workload.layer_kernels().values()
+        for kernel in kernels
+    ]
+    gpu_throughput = {}
+    for batch in batch_sizes:
+        seconds = gpu.sequence_time_s(scale_kernels_to_batch(batch1_kernels, batch))
+        gpu_throughput[batch] = batch / seconds
+
+    perf = CapsAccPerformanceModel(accelerator=accelerator, network=config).run()
+    latency_ms = perf.total_time_ms
+    return BatchingResult(
+        batch_sizes=list(batch_sizes),
+        gpu_images_per_s=gpu_throughput,
+        capsacc_images_per_s=1e3 / latency_ms,
+        capsacc_latency_ms=latency_ms,
+    )
+
+
+def format_report(result: BatchingResult) -> str:
+    """Printable batching study."""
+    rows = [
+        (batch, f"{result.gpu_images_per_s[batch]:.1f}", f"{result.capsacc_images_per_s:.1f}")
+        for batch in result.batch_sizes
+    ]
+    table = format_table(
+        ["GPU batch", "GPU img/s", "CapsAcc img/s (batch 1)"],
+        rows,
+        title="Batching study: throughput crossover",
+    )
+    crossover = result.crossover_batch
+    if crossover is None:
+        note = "\nNo crossover within the swept range."
+    else:
+        note = (
+            f"\nGPU throughput overtakes at batch {crossover}; below that —"
+            " the paper's embedded batch-1 regime — CapsAcc wins on both"
+            " latency and throughput."
+        )
+    return table + note

@@ -1,0 +1,73 @@
+"""Shared report formatting for the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def format_table(headers: list[str], rows: Iterable[Iterable], title: str = "") -> str:
+    """Render rows as a fixed-width ASCII table."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def log_bar_chart(values: dict[str, float], unit: str, width: int = 46) -> str:
+    """Render a log-scale horizontal bar chart (the paper's figure style).
+
+    Bars are proportional to ``log10(value / min_value)`` so an order of
+    magnitude difference is clearly visible, matching the log axes of
+    Figs 8, 9, 16 and 17.
+    """
+    positive = {k: v for k, v in values.items() if v > 0}
+    if not positive:
+        return "(no data)"
+    low = min(positive.values())
+    high = max(positive.values())
+    span = math.log10(high / low) if high > low else 1.0
+    label_width = max(len(name) for name in values)
+    lines = []
+    for name, value in values.items():
+        if value <= 0:
+            bar = ""
+        else:
+            fraction = math.log10(value / low) / span if span else 1.0
+            bar = "#" * max(1, int(round(fraction * width)))
+        lines.append(f"{name.ljust(label_width)}  {value:>12.2f} {unit}  |{bar}")
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    """Format a fraction as a percentage, using "<1%" like the paper."""
+    pct = value * 100.0
+    if pct < 1.0:
+        return "<1%"
+    return f"{pct:.0f}%"
+
+
+def ratio_label(speedup: float) -> str:
+    """Annotate a speedup the way the paper does (Nx faster / % slower)."""
+    if speedup >= 1.0:
+        return f"{speedup:.2g}x faster"
+    return f"{(1.0 / speedup - 1.0) * 100:.0f}% slower"

@@ -1,0 +1,205 @@
+"""Export experiment results as machine-readable artifacts.
+
+Writes one CSV per figure/table (the data series behind each paper plot)
+plus a combined JSON manifest — the format downstream users need to
+re-plot the paper's figures with their own tooling.
+
+::
+
+    python -m repro.experiments.export out/        # writes out/*.csv + manifest
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments import (
+    fig3,
+    fig5,
+    fig8,
+    fig9,
+    fig16,
+    fig17,
+    fig18,
+    table1,
+    table2,
+    table3,
+)
+
+
+def _write_csv(path: Path, headers: list[str], rows: list) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def export_table1(directory: Path) -> Path:
+    """Table I rows with paper values alongside."""
+    result = table1.run()
+    rows = []
+    for name, inputs, params, outputs in result.rows:
+        paper = result.paper_rows.get(name, {})
+        rows.append(
+            (name, inputs, params, outputs,
+             paper.get("inputs"), paper.get("parameters"), paper.get("outputs"))
+        )
+    path = directory / "table1.csv"
+    _write_csv(
+        path,
+        ["layer", "inputs", "parameters", "outputs",
+         "paper_inputs", "paper_parameters", "paper_outputs"],
+        rows,
+    )
+    return path
+
+
+def export_fig3(directory: Path) -> Path:
+    """The sampled squash curve and its derivative."""
+    result = fig3.run()
+    rows = list(zip(result.x, result.squash, result.derivative))
+    path = directory / "fig3.csv"
+    _write_csv(path, ["x", "squash", "derivative"], rows)
+    return path
+
+
+def export_fig5(directory: Path) -> Path:
+    """Parameter distribution fractions."""
+    result = fig5.run()
+    rows = [
+        (layer, fraction, result.paper_labels.get(layer, ""))
+        for layer, fraction in result.fractions.items()
+    ]
+    path = directory / "fig5.csv"
+    _write_csv(path, ["layer", "fraction", "paper_label"], rows)
+    return path
+
+
+def export_fig8(directory: Path) -> Path:
+    """GPU layer times."""
+    result = fig8.run()
+    rows = [
+        (layer, ms, result.paper_layer_ms.get(layer))
+        for layer, ms in result.layer_ms.items()
+    ]
+    path = directory / "fig8.csv"
+    _write_csv(path, ["layer", "model_ms", "paper_ms"], rows)
+    return path
+
+
+def export_fig9(directory: Path) -> Path:
+    """GPU routing-step times."""
+    result = fig9.run()
+    rows = [
+        (step, us, result.paper_step_us.get(step.rstrip("123")))
+        for step, us in result.step_us.items()
+    ]
+    path = directory / "fig9.csv"
+    _write_csv(path, ["step", "model_us", "paper_us"], rows)
+    return path
+
+
+def export_fig16(directory: Path) -> Path:
+    """Layer-wise comparison series."""
+    result = fig16.run()
+    rows = [
+        (row.name, row.gpu_us, row.capsacc_us, row.speedup, row.paper_speedup)
+        for row in result.report.rows
+    ]
+    path = directory / "fig16.csv"
+    _write_csv(path, ["layer", "gpu_us", "capsacc_us", "speedup", "paper_speedup"], rows)
+    return path
+
+
+def export_fig17(directory: Path) -> Path:
+    """Routing-step comparison series."""
+    result = fig17.run()
+    rows = [
+        (row.name, row.gpu_us, row.capsacc_us, row.speedup, row.paper_speedup)
+        for row in result.report.rows
+    ]
+    path = directory / "fig17.csv"
+    _write_csv(path, ["step", "gpu_us", "capsacc_us", "speedup", "paper_speedup"], rows)
+    return path
+
+
+def export_table2(directory: Path) -> Path:
+    """Synthesis parameters."""
+    result = table2.run()
+    rows = [(row["parameter"], row["ours"], row["paper"]) for row in result.rows]
+    path = directory / "table2.csv"
+    _write_csv(path, ["parameter", "model", "paper"], rows)
+    return path
+
+
+def export_table3(directory: Path) -> Path:
+    """Per-component area and power."""
+    result = table3.run()
+    rows = [
+        (row["component"], row["area_um2"], row["paper_area_um2"],
+         row["power_mw"], row["paper_power_mw"])
+        for row in result.rows
+    ]
+    path = directory / "table3.csv"
+    _write_csv(
+        path,
+        ["component", "area_um2", "paper_area_um2", "power_mw", "paper_power_mw"],
+        rows,
+    )
+    return path
+
+
+def export_fig18(directory: Path) -> Path:
+    """Area and power breakdown fractions."""
+    result = fig18.run()
+    rows = [
+        (name, area, result.power_fractions[name])
+        for name, area in result.area_fractions.items()
+    ]
+    path = directory / "fig18.csv"
+    _write_csv(path, ["component", "area_fraction", "power_fraction"], rows)
+    return path
+
+
+#: Exporters by artifact id.
+EXPORTERS = {
+    "table1": export_table1,
+    "fig3": export_fig3,
+    "fig5": export_fig5,
+    "fig8": export_fig8,
+    "fig9": export_fig9,
+    "fig16": export_fig16,
+    "fig17": export_fig17,
+    "table2": export_table2,
+    "table3": export_table3,
+    "fig18": export_fig18,
+}
+
+
+def export_all(directory: str | Path) -> dict[str, str]:
+    """Write every artifact CSV plus a JSON manifest; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {}
+    for artifact, exporter in EXPORTERS.items():
+        manifest[artifact] = str(exporter(directory))
+    manifest_path = directory / "manifest.json"
+    with open(manifest_path, "w") as handle:
+        json.dump({"artifacts": manifest}, handle, indent=2)
+    manifest["manifest"] = str(manifest_path)
+    return manifest
+
+
+def main() -> None:
+    """Entry point: ``python -m repro.experiments.export <dir>``."""
+    directory = sys.argv[1] if len(sys.argv) > 1 else "artifacts"
+    paths = export_all(directory)
+    for artifact, path in paths.items():
+        print(f"{artifact:10s} -> {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Fig 18: area and power breakdowns of the accelerator.
+
+The paper's breakdowns show the buffers dominating (the data buffer alone
+~46-47%) with the systolic array about a quarter of the budget — the
+data-reuse argument in silicon.  Both breakdowns follow structurally from
+the synthesis model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import format_table, percent
+from repro.hw.config import AcceleratorConfig
+from repro.perf.calibration import PAPER_AREA_BREAKDOWN_PCT, PAPER_POWER_BREAKDOWN_PCT
+from repro.synthesis.report import SynthesisReport
+
+
+@dataclass
+class Fig18Result:
+    """Area and power fractions with paper annotations."""
+
+    area_fractions: dict[str, float]
+    power_fractions: dict[str, float]
+
+    def buffers_dominate(self) -> bool:
+        """Paper's qualitative claim: buffers >50%, array about 1/4."""
+        buffers = sum(
+            self.area_fractions[name]
+            for name in ("Data Buffer", "Routing Buffer", "Weight Buffer")
+        )
+        array = self.area_fractions["Systolic Array"]
+        return buffers > 0.5 and 0.15 < array < 0.35
+
+
+def run(config: AcceleratorConfig | None = None) -> Fig18Result:
+    """Compute the Fig 18 breakdowns."""
+    report = SynthesisReport(config=config if config is not None else AcceleratorConfig())
+    return Fig18Result(
+        area_fractions=report.area_breakdown(),
+        power_fractions=report.power_breakdown(),
+    )
+
+
+def format_report(result: Fig18Result) -> str:
+    """Printable Fig 18 comparison."""
+    rows = []
+    for name, area in result.area_fractions.items():
+        rows.append(
+            (
+                name,
+                percent(area),
+                f"{PAPER_AREA_BREAKDOWN_PCT.get(name, 0):.0f}%",
+                percent(result.power_fractions[name]),
+                f"{PAPER_POWER_BREAKDOWN_PCT.get(name, 0):.0f}%",
+            )
+        )
+    table = format_table(
+        ["Component", "Area", "(paper)", "Power", "(paper)"],
+        rows,
+        title="Fig 18: area and power breakdown",
+    )
+    verdict = "\nBuffers dominate, array ~1/4 of budget: " + (
+        "yes" if result.buffers_dominate() else "NO"
+    )
+    return table + verdict

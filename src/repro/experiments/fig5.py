@@ -1,0 +1,60 @@
+"""Fig 5: distribution of trainable parameters across layers.
+
+The paper annotates the pie chart with <1% (Conv1), 78% (PrimaryCaps),
+22% (ClassCaps) and <1% (coupling coefficients); these fractions follow
+exactly from the Table I parameter counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
+from repro.capsnet.params import parameter_breakdown
+from repro.experiments.common import format_table, percent
+
+#: The paper's pie-chart annotations.
+PAPER_FRACTIONS = {
+    "Conv1": "<1%",
+    "PrimaryCaps": "78%",
+    "ClassCaps": "22%",
+    "Coupling Coeff": "<1%",
+}
+
+
+@dataclass
+class Fig5Result:
+    """Computed fractions plus the paper's annotations."""
+
+    fractions: dict[str, float]
+    paper_labels: dict[str, str]
+
+    def label(self, layer: str) -> str:
+        """Our percentage label in the paper's style."""
+        return percent(self.fractions[layer])
+
+    @property
+    def matches_paper(self) -> bool:
+        """Whether every rounded label equals the paper annotation."""
+        return all(self.label(layer) == label for layer, label in self.paper_labels.items())
+
+
+def run(config: CapsNetConfig | None = None) -> Fig5Result:
+    """Compute the Fig 5 fractions."""
+    config = config if config is not None else mnist_capsnet_config()
+    return Fig5Result(fractions=parameter_breakdown(config), paper_labels=PAPER_FRACTIONS)
+
+
+def format_report(result: Fig5Result) -> str:
+    """Printable Fig 5 comparison."""
+    rows = [
+        (layer, f"{fraction * 100:.2f}%", result.label(layer), result.paper_labels.get(layer, "-"))
+        for layer, fraction in result.fractions.items()
+    ]
+    table = format_table(
+        ["Layer", "exact", "label", "paper"],
+        rows,
+        title="Fig 5: trainable parameter distribution",
+    )
+    verdict = "\nLabels match the paper: " + ("yes" if result.matches_paper else "NO")
+    return table + verdict

@@ -1,0 +1,72 @@
+"""Fig 8: layer-wise GPU inference time.
+
+Runs the GPU workload model per layer and checks the paper's headline
+observation: the ClassCaps layer is roughly an order of magnitude slower
+than the convolutional layers (the routing/squashing bottleneck that
+motivates the accelerator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
+from repro.experiments.common import format_table, log_bar_chart
+from repro.perf.calibration import PAPER_GPU_LAYER_MS
+from repro.perf.gpu import GpuModel, gtx1070_paper_profile
+from repro.perf.kernels import CapsNetGpuWorkload
+
+
+@dataclass
+class Fig8Result:
+    """Per-layer GPU times and the dominance ratio."""
+
+    layer_ms: dict[str, float]
+    paper_layer_ms: dict[str, float]
+
+    @property
+    def classcaps_dominance(self) -> float:
+        """ClassCaps time over the mean of the convolution layers."""
+        conv_mean = (self.layer_ms["Conv1"] + self.layer_ms["PrimaryCaps"]) / 2.0
+        return self.layer_ms["ClassCaps"] / conv_mean
+
+    @property
+    def total_ms(self) -> float:
+        """Total inference time."""
+        return sum(v for k, v in self.layer_ms.items() if k != "Total")
+
+
+def run(
+    config: CapsNetConfig | None = None,
+    gpu: GpuModel | None = None,
+) -> Fig8Result:
+    """Evaluate the GPU model per layer."""
+    config = config if config is not None else mnist_capsnet_config()
+    gpu = gpu if gpu is not None else GpuModel(gtx1070_paper_profile())
+    workload = CapsNetGpuWorkload(config)
+    layer_ms = {
+        layer: gpu.sequence_time_us(kernels) / 1e3
+        for layer, kernels in workload.layer_kernels().items()
+    }
+    return Fig8Result(layer_ms=layer_ms, paper_layer_ms=PAPER_GPU_LAYER_MS)
+
+
+def format_report(result: Fig8Result) -> str:
+    """Printable Fig 8 with the digitized paper values alongside."""
+    values = dict(result.layer_ms)
+    values["Total"] = result.total_ms
+    chart = log_bar_chart(values, "ms")
+    rows = [
+        (layer, ms, result.paper_layer_ms.get(layer, "-"))
+        for layer, ms in values.items()
+    ]
+    table = format_table(
+        ["Layer", "model [ms]", "paper (digitized) [ms]"],
+        rows,
+        title="Fig 8: GPU layer-wise inference time",
+    )
+    note = (
+        f"\nClassCaps is {result.classcaps_dominance:.1f}x slower than the mean"
+        " of the convolution layers (paper: ~10x)."
+    )
+    return table + "\n\n" + chart + note

@@ -1,0 +1,61 @@
+"""Fig 9: GPU time per routing-by-agreement step.
+
+Reproduces the paper's key motivational finding: the squashing operation
+dominates every routing iteration on the GPU (framework dispatch overheads
+on tiny per-capsule tensors), which is what the accelerator's LUT-based
+squash unit attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
+from repro.experiments.common import format_table, log_bar_chart
+from repro.perf.calibration import PAPER_GPU_STEP_US
+from repro.perf.gpu import GpuModel, gtx1070_paper_profile
+from repro.perf.kernels import CapsNetGpuWorkload
+
+
+@dataclass
+class Fig9Result:
+    """Per-step GPU times in execution order."""
+
+    step_us: dict[str, float]
+    paper_step_us: dict[str, float]
+
+    @property
+    def dominant_step(self) -> str:
+        """The slowest routing step (paper: Squash)."""
+        return max(self.step_us, key=self.step_us.get)
+
+
+def run(
+    config: CapsNetConfig | None = None,
+    gpu: GpuModel | None = None,
+) -> Fig9Result:
+    """Evaluate the GPU model per routing step."""
+    config = config if config is not None else mnist_capsnet_config()
+    gpu = gpu if gpu is not None else GpuModel(gtx1070_paper_profile())
+    workload = CapsNetGpuWorkload(config)
+    step_us = {
+        label: gpu.sequence_time_us(kernels)
+        for label, kernels in workload.routing_step_kernels().items()
+    }
+    return Fig9Result(step_us=step_us, paper_step_us=PAPER_GPU_STEP_US)
+
+
+def format_report(result: Fig9Result) -> str:
+    """Printable Fig 9 with paper values alongside."""
+    rows = []
+    for label, us in result.step_us.items():
+        base = label.rstrip("123")
+        rows.append((label, us, result.paper_step_us.get(base, "-")))
+    table = format_table(
+        ["Step", "model [us]", "paper (digitized) [us]"],
+        rows,
+        title="Fig 9: GPU time per routing step",
+    )
+    chart = log_bar_chart(result.step_us, "us")
+    note = f"\nDominant step: {result.dominant_step} (paper: Squash)."
+    return table + "\n\n" + chart + note

@@ -1,0 +1,87 @@
+"""Run every experiment and assemble the full report.
+
+``python -m repro.experiments.runner`` prints every table and figure of the
+paper next to the digitized paper values; ``run_all`` returns the raw
+results for programmatic use (the benchmark harness and EXPERIMENTS.md are
+generated from it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments import (
+    ablations,
+    accuracy,
+    batching,
+    energy,
+    fig3,
+    fig5,
+    fig8,
+    fig9,
+    fig16,
+    fig17,
+    fig18,
+    motivation,
+    table1,
+    table2,
+    table3,
+)
+
+#: Drivers with a uniform run/format interface, in paper order.
+STANDARD_DRIVERS = {
+    "table1": table1,
+    "fig3": fig3,
+    "fig5": fig5,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig16": fig16,
+    "fig17": fig17,
+    "table2": table2,
+    "table3": table3,
+    "fig18": fig18,
+    "motivation": motivation,
+    "energy": energy,
+    "batching": batching,
+}
+
+
+@dataclass
+class SuiteResult:
+    """All experiment results keyed by artifact id."""
+
+    results: dict = field(default_factory=dict)
+    reports: dict = field(default_factory=dict)
+
+    def report_text(self) -> str:
+        """The full printable report."""
+        separator = "\n\n" + "=" * 72 + "\n\n"
+        return separator.join(self.reports[key] for key in self.reports)
+
+
+def run_all(include_accuracy: bool = True, include_ablations: bool = True) -> SuiteResult:
+    """Execute every experiment driver."""
+    suite = SuiteResult()
+    for key, driver in STANDARD_DRIVERS.items():
+        result = driver.run()
+        suite.results[key] = result
+        suite.reports[key] = driver.format_report(result)
+    if include_ablations:
+        ablation_results = ablations.run_all()
+        suite.results["ablations"] = ablation_results
+        suite.reports["ablations"] = ablations.format_report(ablation_results)
+    if include_accuracy:
+        accuracy_result = accuracy.run()
+        suite.results["accuracy"] = accuracy_result
+        suite.reports["accuracy"] = accuracy.format_report(accuracy_result)
+    return suite
+
+
+def main() -> None:
+    """Entry point: print the full suite report."""
+    suite = run_all()
+    print(suite.report_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Table II: synthesized accelerator parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import format_table
+from repro.hw.config import AcceleratorConfig
+from repro.synthesis.report import SynthesisReport
+
+
+@dataclass
+class Table2Result:
+    """Our parameters next to the paper's."""
+
+    rows: list[dict]
+
+
+def run(config: AcceleratorConfig | None = None) -> Table2Result:
+    """Produce the Table II comparison for a configuration."""
+    report = SynthesisReport(config=config if config is not None else AcceleratorConfig())
+    return Table2Result(rows=report.compare_table2())
+
+
+def format_report(result: Table2Result) -> str:
+    """Printable Table II."""
+    rows = [(row["parameter"], row["ours"], row["paper"]) for row in result.rows]
+    return format_table(
+        ["Parameter", "model", "paper"],
+        rows,
+        title="Table II: synthesized CapsAcc parameters",
+    )

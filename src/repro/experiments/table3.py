@@ -1,0 +1,53 @@
+"""Table III: per-component area and power."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import format_table
+from repro.hw.config import AcceleratorConfig
+from repro.synthesis.report import SynthesisReport
+
+
+@dataclass
+class Table3Result:
+    """Per-component rows with paper values."""
+
+    rows: list[dict]
+
+    def max_relative_error(self) -> float:
+        """Largest relative area error against the paper across components."""
+        errors = []
+        for row in self.rows:
+            if row["paper_area_um2"]:
+                errors.append(
+                    abs(row["area_um2"] - row["paper_area_um2"]) / row["paper_area_um2"]
+                )
+        return max(errors) if errors else float("nan")
+
+
+def run(config: AcceleratorConfig | None = None) -> Table3Result:
+    """Produce the Table III comparison for a configuration."""
+    report = SynthesisReport(config=config if config is not None else AcceleratorConfig())
+    return Table3Result(rows=report.compare_table3())
+
+
+def format_report(result: Table3Result) -> str:
+    """Printable Table III."""
+    rows = [
+        (
+            row["component"],
+            row["area_um2"],
+            row["paper_area_um2"] or "-",
+            row["power_mw"],
+            row["paper_power_mw"] or "-",
+        )
+        for row in result.rows
+    ]
+    table = format_table(
+        ["Component", "Area [um2]", "(paper)", "Power [mW]", "(paper)"],
+        rows,
+        title="Table III: per-component area and power",
+    )
+    note = f"\nMax relative area error vs paper: {result.max_relative_error() * 100:.1f}%"
+    return table + note

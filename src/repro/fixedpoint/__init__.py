@@ -1,0 +1,78 @@
+"""Fixed-point arithmetic substrate for the CapsAcc datapath.
+
+The paper's datapath (Section IV) uses:
+
+* 8-bit fixed-point data and weights entering each processing element,
+* 25-bit fixed-point partial sums inside the systolic array and accumulator,
+* a squashing lookup table with a 6-bit data input and a 5-bit norm input
+  producing an 8-bit output,
+* an 8-bit exponential lookup table inside the softmax unit,
+* a square lookup table with 12-bit input and 8-bit output inside the norm
+  unit.
+
+This package provides the Q-format machinery (:mod:`repro.fixedpoint.qformat`),
+vectorized quantizers (:mod:`repro.fixedpoint.quantize`), saturating raw
+integer arithmetic (:mod:`repro.fixedpoint.arith`), a generic lookup-table
+builder (:mod:`repro.fixedpoint.lut`) and the concrete CapsAcc tables
+(:mod:`repro.fixedpoint.luts`).
+"""
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import (
+    ACC25,
+    DATA8,
+    EXP_IN8,
+    EXP_OUT8,
+    NORM5,
+    SQUARE_IN12,
+    SQUARE_OUT8,
+    SQUASH_IN6,
+    SQUASH_OUT8,
+    WEIGHT8,
+)
+from repro.fixedpoint.quantize import Rounding, quantize, to_raw, from_raw
+from repro.fixedpoint.arith import (
+    fx_add,
+    fx_mul,
+    fx_mac,
+    product_format,
+    requantize,
+    saturate_raw,
+)
+from repro.fixedpoint.lut import LookupTable, LookupTable2D
+from repro.fixedpoint.luts import (
+    build_exp_lut,
+    build_square_lut,
+    build_squash_lut,
+    fixed_sqrt,
+)
+
+__all__ = [
+    "QFormat",
+    "Rounding",
+    "quantize",
+    "to_raw",
+    "from_raw",
+    "fx_add",
+    "fx_mul",
+    "fx_mac",
+    "product_format",
+    "requantize",
+    "saturate_raw",
+    "LookupTable",
+    "LookupTable2D",
+    "build_exp_lut",
+    "build_square_lut",
+    "build_squash_lut",
+    "fixed_sqrt",
+    "DATA8",
+    "WEIGHT8",
+    "ACC25",
+    "SQUASH_IN6",
+    "NORM5",
+    "SQUASH_OUT8",
+    "SQUARE_IN12",
+    "SQUARE_OUT8",
+    "EXP_IN8",
+    "EXP_OUT8",
+]

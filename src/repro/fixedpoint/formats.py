@@ -1,0 +1,54 @@
+"""Concrete Q-formats of the CapsAcc datapath (paper Section IV).
+
+The paper fixes the bit *widths*; the binary-point positions are a design
+choice the paper leaves implicit.  The positions below are chosen so that
+
+* products of data and weights align exactly with the accumulator format
+  (``DATA8.frac_bits + WEIGHT8.frac_bits == ACC25.frac_bits``),
+* capsule activations (bounded by 1 after squashing) keep maximum precision,
+* the norm input of the squash LUT covers the dynamic range observed for
+  ``||s_j||`` on the MNIST CapsuleNet.
+
+Changing these constants is supported everywhere (the bit-width ablation
+sweeps them); the defaults reproduce the paper's widths.
+"""
+
+from repro.fixedpoint.qformat import QFormat
+
+#: 8-bit data entering a processing element (activations, predictions).
+DATA8 = QFormat(total_bits=8, frac_bits=4)
+
+#: 8-bit weights entering a processing element (also coupling coefficients).
+WEIGHT8 = QFormat(total_bits=8, frac_bits=6)
+
+#: 25-bit partial sums inside the systolic array and accumulator.  The
+#: fractional part equals the product alignment of DATA8 x WEIGHT8.
+ACC25 = QFormat(total_bits=25, frac_bits=DATA8.frac_bits + WEIGHT8.frac_bits)
+
+#: 6-bit data input of the squashing LUT (components of s_j).
+SQUASH_IN6 = QFormat(total_bits=6, frac_bits=3)
+
+#: 5-bit norm input of the squashing LUT (||s_j|| is non-negative).  The
+#: range [0, 3.875] covers the pre-squash norms observed on the CapsuleNet;
+#: larger norms saturate, where the squash gain n/(1+n^2) is already flat.
+NORM5 = QFormat(total_bits=5, frac_bits=3, signed=False)
+
+#: 8-bit output of the squashing LUT; squashed components lie in (-1, 1).
+SQUASH_OUT8 = QFormat(total_bits=8, frac_bits=6)
+
+#: 12-bit input of the square LUT inside the norm unit.
+SQUARE_IN12 = QFormat(total_bits=12, frac_bits=8)
+
+#: 8-bit output of the square LUT (squares are non-negative).  The fine
+#: 1/64 step preserves classification precision for capsule outputs
+#: (|v| <= 1, so squares never saturate); pre-squash elements beyond |s| = 2
+#: clamp, where the squash gain is insensitive to the exact norm.
+SQUARE_OUT8 = QFormat(total_bits=8, frac_bits=6, signed=False)
+
+#: 8-bit input of the exponential LUT inside the softmax unit.  The control
+#: logic subtracts the row maximum first, so inputs are <= 0 and the output
+#: lies in (0, 1].
+EXP_IN8 = QFormat(total_bits=8, frac_bits=4)
+
+#: 8-bit output of the exponential LUT.
+EXP_OUT8 = QFormat(total_bits=8, frac_bits=7, signed=False)

@@ -1,0 +1,134 @@
+"""Concrete CapsAcc lookup tables and the fixed-point square root.
+
+These are the ROMs of paper Figures 11e-11g:
+
+* **squash** (Fig 11e): 6-bit data and 5-bit norm in, 8-bit out.  Computes
+  one output component ``v_d = s_d * ||s|| / (1 + ||s||^2)`` given the
+  component ``s_d`` and the vector norm ``||s||`` (the norm arrives from the
+  norm unit, so it is not recomputed inside the squash unit).
+* **square** (inside the norm unit, Fig 11f): 12-bit in, 8-bit out.
+* **exp** (inside the softmax unit, Fig 11g): 8-bit in, 8-bit out.
+
+The norm unit's final square root (Fig 11f) is an exact integer square root
+(:func:`fixed_sqrt`), bit-reproducible across platforms.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.fixedpoint import formats
+from repro.fixedpoint.lut import LookupTable, LookupTable2D
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.arith import saturate_raw
+from repro.fixedpoint.quantize import Rounding
+
+
+def squash_gain(norm: np.ndarray) -> np.ndarray:
+    """The scalar factor applied to each component by the squash function.
+
+    ``squash(s) = s * ||s|| / (1 + ||s||^2) / 1`` per component can be
+    written ``v_d = s_d * g(||s||)`` with ``g(n) = n / (1 + n^2)``.
+    """
+    n = np.asarray(norm, dtype=np.float64)
+    return n / (1.0 + n * n)
+
+
+def build_squash_lut(
+    data_fmt: QFormat = formats.SQUASH_IN6,
+    norm_fmt: QFormat = formats.NORM5,
+    out_fmt: QFormat = formats.SQUASH_OUT8,
+) -> LookupTable2D:
+    """Build the two-input squashing ROM of Figure 11e.
+
+    Entries are clamped to [-1, 1]: squashed components are mathematically
+    bounded by 1, but address pairs where the norm input was saturated
+    upstream (large vectors clamp in the square LUT) would otherwise
+    tabulate an overestimated gain.  The clamp keeps the hardware output
+    inside the function's true range for every reachable address.
+    """
+
+    def entry(s_d: np.ndarray, norm: np.ndarray) -> np.ndarray:
+        return np.clip(s_d * squash_gain(norm), -1.0, 1.0)
+
+    return LookupTable2D(entry, data_fmt, norm_fmt, out_fmt, name="squash")
+
+
+def build_square_lut(
+    in_fmt: QFormat = formats.SQUARE_IN12,
+    out_fmt: QFormat = formats.SQUARE_OUT8,
+) -> LookupTable:
+    """Build the square ROM used by the norm unit (Figure 11f)."""
+    return LookupTable(lambda x: x * x, in_fmt, out_fmt, name="square")
+
+
+def build_exp_lut(
+    in_fmt: QFormat = formats.EXP_IN8,
+    out_fmt: QFormat = formats.EXP_OUT8,
+) -> LookupTable:
+    """Build the exponential ROM used by the softmax unit (Figure 11g).
+
+    The softmax control logic subtracts the running maximum before the
+    lookup, so only non-positive inputs occur in operation; the table is
+    nevertheless defined (with saturation) over the full input range.
+    """
+
+    def entry(x: np.ndarray) -> np.ndarray:
+        return np.minimum(np.exp(x), out_fmt.max_value)
+
+    return LookupTable(entry, in_fmt, out_fmt, name="exp")
+
+
+def fixed_sqrt(
+    raw: np.ndarray | int,
+    in_fmt: QFormat,
+    out_fmt: QFormat = formats.NORM5,
+) -> np.ndarray:
+    """Exact fixed-point square root of non-negative raw codes.
+
+    Computes ``round(sqrt(value))`` in ``out_fmt`` using integer arithmetic
+    only: the input raw code is rescaled so that the integer square root of
+    the shifted operand lands directly on the output grid, then rounded to
+    nearest by comparing the remainder against the midpoint.
+
+    Negative inputs (which cannot reach a hardware norm unit) raise
+    ``ValueError``.
+    """
+    arr = np.atleast_1d(np.asarray(raw, dtype=np.int64))
+    if arr.size and arr.min() < 0:
+        raise ValueError("fixed_sqrt requires non-negative input codes")
+    # value = raw * 2^-f_in; out_raw = round(sqrt(value) * 2^f_out)
+    #       = round(sqrt(raw * 2^(2*f_out - f_in)))
+    shift = 2 * out_fmt.frac_bits - in_fmt.frac_bits
+    out = np.empty(arr.shape, dtype=np.int64)
+    flat_in = arr.ravel()
+    flat_out = out.ravel()
+    for i, code in enumerate(flat_in):
+        operand = int(code) << shift if shift >= 0 else int(code) >> (-shift)
+        root = math.isqrt(operand)
+        # Round to nearest: bump when operand >= (root + 0.5)^2, i.e. when
+        # the integer remainder operand - root^2 exceeds root.
+        if operand - root * root > root:
+            root += 1
+        flat_out[i] = root
+    result = saturate_raw(out, out_fmt)
+    if np.isscalar(raw) or np.asarray(raw).ndim == 0:
+        return result.reshape(())
+    return result
+
+
+def lut_inventory() -> dict[str, int]:
+    """Storage (bits) of every ROM in the default configuration.
+
+    Used by the synthesis model to size the activation unit.
+    """
+    squash = build_squash_lut()
+    square = build_square_lut()
+    exp = build_exp_lut()
+    return {
+        "squash": squash.storage_bits,
+        "square": square.storage_bits,
+        "exp": exp.storage_bits,
+    }

@@ -1,0 +1,103 @@
+"""Vectorized float <-> raw fixed-point conversion.
+
+The converters operate on numpy arrays (or scalars) and return ``int64`` raw
+arrays, which comfortably hold every format used by CapsAcc (max 50-bit
+products).  Saturating behaviour matches a hardware clamp; the non-saturating
+mode raises so silent overflow cannot corrupt a simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import SaturationError
+from repro.fixedpoint.qformat import QFormat
+
+
+class Rounding(enum.Enum):
+    """Rounding mode applied when a real value falls between raw codes.
+
+    ``NEAREST`` rounds half away from zero (the behaviour of an adder-based
+    hardware rounder that adds 0.5 ulp before truncation of the magnitude);
+    ``FLOOR`` truncates toward negative infinity (dropping fraction bits in
+    two's complement); ``ZERO`` truncates toward zero.
+    """
+
+    NEAREST = "nearest"
+    FLOOR = "floor"
+    ZERO = "zero"
+
+
+def _round(scaled: np.ndarray, rounding: Rounding) -> np.ndarray:
+    if rounding is Rounding.NEAREST:
+        return np.where(scaled >= 0, np.floor(scaled + 0.5), np.ceil(scaled - 0.5))
+    if rounding is Rounding.FLOOR:
+        return np.floor(scaled)
+    if rounding is Rounding.ZERO:
+        return np.trunc(scaled)
+    raise ValueError(f"unknown rounding mode {rounding!r}")
+
+
+def to_raw(
+    values: np.ndarray | float,
+    fmt: QFormat,
+    rounding: Rounding = Rounding.NEAREST,
+    saturate: bool = True,
+) -> np.ndarray:
+    """Convert real values to raw integers in ``fmt``.
+
+    Parameters
+    ----------
+    values:
+        Array-like of real numbers.
+    fmt:
+        Target fixed-point format.
+    rounding:
+        How to resolve values between representable codes.
+    saturate:
+        Clamp out-of-range values to the format limits when true; raise
+        :class:`~repro.errors.SaturationError` otherwise.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` array of raw codes with the same shape as ``values``.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    scaled = arr * (1 << fmt.frac_bits) if fmt.frac_bits >= 0 else arr / (1 << -fmt.frac_bits)
+    raw = _round(scaled, rounding)
+    if saturate:
+        raw = np.clip(raw, fmt.raw_min, fmt.raw_max)
+    else:
+        if np.any(raw < fmt.raw_min) or np.any(raw > fmt.raw_max):
+            raise SaturationError(
+                f"value out of range for {fmt.describe()} and saturation disabled"
+            )
+    return raw.astype(np.int64)
+
+
+def from_raw(raw: np.ndarray | int, fmt: QFormat) -> np.ndarray:
+    """Convert raw integers in ``fmt`` back to real values (float64)."""
+    arr = np.asarray(raw, dtype=np.float64)
+    if fmt.frac_bits >= 0:
+        return arr / (1 << fmt.frac_bits)
+    return arr * (1 << -fmt.frac_bits)
+
+
+def quantize(
+    values: np.ndarray | float,
+    fmt: QFormat,
+    rounding: Rounding = Rounding.NEAREST,
+    saturate: bool = True,
+) -> np.ndarray:
+    """Round-trip real values through ``fmt`` (quantization in one call)."""
+    return from_raw(to_raw(values, fmt, rounding=rounding, saturate=saturate), fmt)
+
+
+def quantization_error_bound(fmt: QFormat, rounding: Rounding = Rounding.NEAREST) -> float:
+    """Worst-case absolute error for in-range values quantized into ``fmt``."""
+    if rounding is Rounding.NEAREST:
+        return fmt.resolution / 2.0
+    return fmt.resolution

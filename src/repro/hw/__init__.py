@@ -1,0 +1,42 @@
+"""Cycle-stepped, bit-accurate CapsAcc micro-architecture simulator.
+
+Models the architecture of paper Section IV / Figures 10-11:
+
+* :mod:`repro.hw.pe` — one processing element (scalar reference of Fig 11b).
+* :mod:`repro.hw.systolic` — the n x m systolic array, vectorized across
+  PEs but cycle-for-cycle and bit-for-bit equivalent to the scalar PE.
+* :mod:`repro.hw.accumulator` — per-column FIFO accumulators (Fig 11c).
+* :mod:`repro.hw.activation` — the activation unit with ReLU / norm /
+  squash / softmax datapaths and their paper latencies (Fig 11d-g).
+* :mod:`repro.hw.buffers` — data / routing / weight buffers and memories
+  with bandwidth limits and access counting (for the power model).
+* :mod:`repro.hw.accelerator` — the top level that executes GEMM jobs and
+  layer schedules, producing both bit-exact results and cycle statistics.
+"""
+
+from repro.hw.config import AcceleratorConfig
+from repro.hw.stats import CycleStats
+from repro.hw.pe import ProcessingElement
+from repro.hw.systolic import SystolicArray
+from repro.hw.accumulator import AccumulatorBank
+from repro.hw.activation import ActivationUnit, activation_latency
+from repro.hw.buffers import Buffer, MemoryModel
+from repro.hw.accelerator import CapsAccAccelerator, GemmJob
+from repro.hw.control import ControlProgram, ControlStep, compile_schedule
+
+__all__ = [
+    "AcceleratorConfig",
+    "CycleStats",
+    "ProcessingElement",
+    "SystolicArray",
+    "AccumulatorBank",
+    "ActivationUnit",
+    "activation_latency",
+    "Buffer",
+    "MemoryModel",
+    "CapsAccAccelerator",
+    "GemmJob",
+    "ControlProgram",
+    "ControlStep",
+    "compile_schedule",
+]

@@ -1,0 +1,291 @@
+"""Top-level CapsAcc accelerator: GEMM execution with cycle accounting.
+
+The accelerator executes :class:`GemmJob` descriptions — dense
+``(M x K) @ (K x N)`` products in raw fixed-point — on the systolic array,
+tiling ``K`` over the array rows (with accumulator chunk summing) and ``N``
+over the array columns.  Two execution engines produce *identical results
+and identical cycle accounting*:
+
+* ``stepped`` — drives the bit-accurate :class:`~repro.hw.systolic.SystolicArray`
+  clock edge by clock edge (used by tests and small workloads);
+* ``fast`` — computes results with saturating numpy GEMMs and cycles with
+  the closed-form model (used for full-layer simulations).
+
+Cycle model.  One tile pass streams ``M`` data vectors through a latched
+``R x C`` weight tile and needs ``M + R + C - 1`` cycles; loading a tile
+takes ``R + 1`` cycles (one shift per row plus the latch edge).  With the
+Weight2 double-buffer register (paper Fig 11b) the *next* tile's load
+overlaps the current stream, so a tile's marginal cost is
+``max(M, R + 1)`` plus one exposed fill/drain per K-chunk sequence; the
+RTL achieves the overlap with a staggered latch, which a global-latch
+step simulator cannot reproduce bit-accurately, so the stepped engine runs
+tiles sequentially and reports both sequential and overlapped accounting
+(the overlapped numbers are what :mod:`repro.perf` uses; the equality of
+the *sequential* accounting against true stepped execution is asserted in
+tests, validating the shared formulas).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.capsnet.hwops import QuantizedFormats
+from repro.errors import MappingError, ShapeError
+from repro.fixedpoint.qformat import QFormat
+from repro.hw.accumulator import AccumulatorBank
+from repro.hw.activation import ActivationUnit
+from repro.hw.buffers import Buffer, MemoryModel
+from repro.hw.config import AcceleratorConfig
+from repro.hw.stats import CycleStats
+from repro.hw.systolic import SystolicArray
+
+
+@dataclass
+class GemmJob:
+    """One dense matrix product to execute on the array.
+
+    ``data`` is ``(M, K)`` raw integers in ``data_fmt``; ``weights`` is
+    ``(K, N)`` raw integers in ``weight_fmt``.  ``data_source`` /
+    ``weight_source`` name the buffer each operand streams from, which
+    drives the access counters (``"feedback"`` models the horizontal
+    feedback multiplexer of Fig 10 and costs no buffer reads).
+    """
+
+    name: str
+    data: np.ndarray
+    weights: np.ndarray
+    data_fmt: QFormat
+    weight_fmt: QFormat
+    acc_fmt: QFormat
+    data_source: str = "data_buffer"
+    weight_source: str = "weight_buffer"
+
+
+@dataclass
+class GemmResult:
+    """Result of one GEMM execution."""
+
+    acc: np.ndarray
+    stats: CycleStats
+    overlapped_cycles: int = 0
+
+
+@dataclass
+class TilingPlan:
+    """Derived tiling quantities for a GEMM on a given array."""
+
+    m: int
+    k: int
+    n: int
+    k_chunks: int
+    n_tiles: int
+
+    @property
+    def tiles(self) -> int:
+        """Total weight tiles loaded."""
+        return self.k_chunks * self.n_tiles
+
+
+def plan_tiling(config: AcceleratorConfig, m: int, k: int, n: int) -> TilingPlan:
+    """Tile a GEMM over the array: K across rows, N across columns."""
+    if min(m, k, n) < 1:
+        raise MappingError("GEMM dimensions must be positive")
+    return TilingPlan(
+        m=m,
+        k=k,
+        n=n,
+        k_chunks=math.ceil(k / config.rows),
+        n_tiles=math.ceil(n / config.cols),
+    )
+
+
+def chunk_sizes(total: int, step: int) -> list[int]:
+    """Sizes of consecutive chunks covering ``total`` in steps of ``step``."""
+    sizes = [step] * (total // step)
+    if total % step:
+        sizes.append(total % step)
+    return sizes
+
+
+def gemm_cycles(
+    config: AcceleratorConfig, m: int, k: int, n: int, overlap: bool | None = None
+) -> dict[str, int]:
+    """Closed-form cycle accounting for one GEMM.
+
+    Loading a tile whose K-chunk occupies ``r`` rows costs ``r + 1`` cycles
+    (one shift per active row plus the latch edge); streaming costs ``M``
+    cycles per tile plus one exposed array fill/drain of ``R + C - 1``
+    cycles.  With double-buffering (``overlap``) each load hides under the
+    previous tile's stream, exposing only ``max(0, load - M)``; without it,
+    every load stalls the array.  Returns ``total``, ``compute``,
+    ``weight_stall`` and ``fill_drain`` entries.  ``overlap=None`` uses the
+    configuration's double-buffering setting.
+    """
+    if overlap is None:
+        overlap = config.weight_double_buffer
+    plan = plan_tiling(config, m, k, n)
+    rows, cols = config.rows, config.cols
+    loads = [size + 1 for size in chunk_sizes(k, rows)] * plan.n_tiles
+    compute = plan.tiles * m
+    if overlap:
+        # The first load is fully exposed; later loads hide under the
+        # previous tile's stream.  One array fill/drain is exposed at the
+        # end (intermediate drains pipeline through the accumulators).
+        stall = loads[0] + sum(max(0, load - m) for load in loads[1:])
+        fill_drain = rows + cols - 1
+    else:
+        stall = sum(loads)
+        fill_drain = plan.tiles * (rows + cols - 1)
+    total = compute + stall + fill_drain
+    return {
+        "total": total,
+        "compute": compute,
+        "weight_stall": stall,
+        "fill_drain": fill_drain,
+    }
+
+
+class CapsAccAccelerator:
+    """The complete accelerator: array, accumulators, buffers, activation."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig | None = None,
+        formats: QuantizedFormats | None = None,
+    ) -> None:
+        self.config = config if config is not None else AcceleratorConfig()
+        self.formats = formats if formats is not None else QuantizedFormats()
+        self.activation = ActivationUnit(self.formats)
+        self.data_buffer = Buffer(
+            "data_buffer",
+            self.config.data_buffer_kb,
+            self.config.data_bits,
+            self.config.data_bus_words,
+        )
+        self.weight_buffer = Buffer(
+            "weight_buffer",
+            self.config.weight_buffer_kb,
+            self.config.weight_bits,
+            self.config.weight_bus_words,
+        )
+        self.routing_buffer = Buffer(
+            "routing_buffer",
+            self.config.routing_buffer_kb,
+            self.config.data_bits,
+            self.config.data_bus_words,
+        )
+        self.weight_memory = MemoryModel("weight_memory", self.config.onchip_memory_mb)
+        self.data_memory = MemoryModel("data_memory", self.config.onchip_memory_mb)
+
+    # ---- GEMM execution ------------------------------------------------------
+
+    def run_gemm(self, job: GemmJob, engine: str = "fast") -> GemmResult:
+        """Execute a GEMM job; returns accumulator-format results and stats."""
+        data = np.asarray(job.data, dtype=np.int64)
+        weights = np.asarray(job.weights, dtype=np.int64)
+        if data.ndim != 2 or weights.ndim != 2 or data.shape[1] != weights.shape[0]:
+            raise ShapeError(
+                f"GEMM shapes inconsistent: data {data.shape}, weights {weights.shape}"
+            )
+        m, k = data.shape
+        n = weights.shape[1]
+        plan = plan_tiling(self.config, m, k, n)
+        if engine == "fast":
+            acc = self._fast_gemm(data, weights, job.acc_fmt, plan)
+        elif engine == "stepped":
+            acc = self._stepped_gemm(data, weights, job, plan)
+        else:
+            raise MappingError(f"unknown engine {engine!r}")
+        stats = self._account(job, plan)
+        overlapped = gemm_cycles(self.config, m, k, n, overlap=True)["total"]
+        return GemmResult(acc=acc, stats=stats, overlapped_cycles=overlapped)
+
+    def _fast_gemm(
+        self,
+        data: np.ndarray,
+        weights: np.ndarray,
+        acc_fmt: QFormat,
+        plan: TilingPlan,
+    ) -> np.ndarray:
+        """Chunked saturating GEMM matching the array's accumulation order."""
+        rows = self.config.rows
+        acc = np.zeros((plan.m, plan.n), dtype=np.int64)
+        for chunk in range(plan.k_chunks):
+            lo = chunk * rows
+            hi = min(lo + rows, plan.k)
+            partial = data[:, lo:hi] @ weights[lo:hi, :]
+            np.clip(partial, acc_fmt.raw_min, acc_fmt.raw_max, out=partial)
+            acc += partial
+            np.clip(acc, acc_fmt.raw_min, acc_fmt.raw_max, out=acc)
+        return acc
+
+    def _stepped_gemm(
+        self,
+        data: np.ndarray,
+        weights: np.ndarray,
+        job: GemmJob,
+        plan: TilingPlan,
+    ) -> np.ndarray:
+        """Clock-edge-accurate execution on the systolic array."""
+        config = self.config
+        rows, cols = config.rows, config.cols
+        array = SystolicArray(config, job.data_fmt, job.weight_fmt, job.acc_fmt)
+        acc_bank = AccumulatorBank(cols, depth=max(plan.m, 1), acc_fmt=job.acc_fmt)
+        result = np.zeros((plan.m, plan.n), dtype=np.int64)
+        for n_tile in range(plan.n_tiles):
+            n_lo = n_tile * cols
+            n_hi = min(n_lo + cols, plan.n)
+            for chunk in range(plan.k_chunks):
+                k_lo = chunk * rows
+                k_hi = min(k_lo + rows, plan.k)
+                tile = np.zeros((rows, cols), dtype=np.int64)
+                tile[: k_hi - k_lo, : n_hi - n_lo] = weights[k_lo:k_hi, n_lo:n_hi]
+                array.load_weights(tile, active_rows=k_hi - k_lo)
+                stream = np.zeros((plan.m, rows), dtype=np.int64)
+                stream[:, : k_hi - k_lo] = data[:, k_lo:k_hi]
+                tile_out = array.run_tile(stream)
+                acc_bank.accumulate(tile_out.psums, first_chunk=(chunk == 0))
+            result[:, n_lo:n_hi] = acc_bank.drain()[:, : n_hi - n_lo]
+        return result
+
+    def _account(self, job: GemmJob, plan: TilingPlan) -> CycleStats:
+        """Cycle/access accounting shared by both engines (sequential model)."""
+        config = self.config
+        cycles = gemm_cycles(config, plan.m, plan.k, plan.n, overlap=False)
+        stats = CycleStats(
+            total_cycles=cycles["total"],
+            compute_cycles=cycles["compute"],
+            weight_stall_cycles=cycles["weight_stall"],
+            fill_drain_cycles=cycles["fill_drain"],
+            mac_count=plan.m * plan.k * plan.n,
+        )
+        # Weight traffic: every tile pass loads its (actual) weight words.
+        weight_words = plan.k * plan.n
+        # Data traffic: the full (M, K) operand streams once per N-tile.
+        data_words = plan.m * plan.k * plan.n_tiles
+        if job.weight_source != "feedback":
+            stats.add_access(f"{job.weight_source}.read", weight_words)
+            self._buffer(job.weight_source).reads += weight_words
+        if job.data_source != "feedback":
+            stats.add_access(f"{job.data_source}.read", data_words)
+            self._buffer(job.data_source).reads += data_words
+        stats.add_access("accumulator.write", plan.m * plan.n * plan.k_chunks)
+        return stats
+
+    def _buffer(self, name: str) -> Buffer:
+        buffers = {
+            "data_buffer": self.data_buffer,
+            "weight_buffer": self.weight_buffer,
+            "routing_buffer": self.routing_buffer,
+        }
+        if name not in buffers:
+            raise MappingError(f"unknown buffer {name!r}")
+        return buffers[name]
+
+    def reset_counters(self) -> None:
+        """Zero all buffer access counters."""
+        for buffer in (self.data_buffer, self.weight_buffer, self.routing_buffer):
+            buffer.reset_counters()

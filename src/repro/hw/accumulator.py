@@ -1,0 +1,72 @@
+"""Per-column FIFO accumulators (paper Fig 11c).
+
+One accumulator sits under each systolic-array column.  It consists of a
+FIFO buffer holding one 25-bit partial sum per pending output and an adder;
+a multiplexer selects between storing fresh psums from the array (first
+K-chunk of a tile sequence) and adding incoming psums to the stored ones
+(subsequent K-chunks).  The FIFO receives one value per column per cycle —
+exactly the array's output rate — so accumulation adds no extra cycles;
+only the configured depth limits how many outputs a pass may produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, SimulationError
+from repro.fixedpoint.qformat import QFormat
+
+
+class AccumulatorBank:
+    """A bank of ``cols`` FIFO accumulators with saturating adders."""
+
+    def __init__(self, cols: int, depth: int, acc_fmt: QFormat) -> None:
+        if cols < 1 or depth < 1:
+            raise ShapeError("accumulator bank needs positive cols and depth")
+        self.cols = cols
+        self.depth = depth
+        self.acc_fmt = acc_fmt
+        self._store: np.ndarray | None = None
+        #: Total values written into the FIFO (for the power model).
+        self.write_count = 0
+        #: Total adder operations performed.
+        self.add_count = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Number of pending outputs currently held per column."""
+        return 0 if self._store is None else self._store.shape[0]
+
+    def accumulate(self, psums: np.ndarray, first_chunk: bool) -> None:
+        """Store or add one tile pass worth of partial sums.
+
+        ``psums`` has shape ``(M, cols)``.  ``first_chunk`` selects the
+        store path (fresh outputs); otherwise values are added to the held
+        partial sums with 25-bit saturation.
+        """
+        arr = np.asarray(psums, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != self.cols:
+            raise ShapeError(f"psums must be (M, {self.cols}), got {arr.shape}")
+        if arr.shape[0] > self.depth:
+            raise SimulationError(
+                f"tile pass produces {arr.shape[0]} outputs per column,"
+                f" accumulator depth is {self.depth}"
+            )
+        self.write_count += arr.size
+        if first_chunk:
+            self._store = arr.copy()
+            return
+        if self._store is None or self._store.shape != arr.shape:
+            raise SimulationError("accumulate called out of order")
+        self.add_count += arr.size
+        total = self._store + arr
+        np.clip(total, self.acc_fmt.raw_min, self.acc_fmt.raw_max, out=total)
+        self._store = total
+
+    def drain(self) -> np.ndarray:
+        """Pop all held outputs, shape ``(M, cols)``."""
+        if self._store is None:
+            raise SimulationError("drain called on an empty accumulator bank")
+        result = self._store
+        self._store = None
+        return result

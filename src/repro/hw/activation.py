@@ -1,0 +1,123 @@
+"""The activation unit (paper Fig 11d-g).
+
+One activation unit sits under each accumulator (one per array column).  It
+contains four parallel datapaths — ReLU, norm, squash and softmax — and an
+output multiplexer selecting the active one.  The 25-bit accumulator values
+are reduced to 8 bits on entry (Section IV-C).
+
+Latencies (paper Section IV-C), for an ``n``-element input array:
+
+========  =====================  =============================
+function  latency (cycles)       source
+========  =====================  =============================
+ReLU      1                      trivial comparator
+Norm      n + 1                  square LUT + accumulate + sqrt
+Squash    n + 2                  one cycle after the norm
+Softmax   2 n                    exp pass + divide pass
+========  =====================  =============================
+
+The arithmetic delegates to the golden quantized operators in
+:mod:`repro.capsnet.hwops`, so the hardware pipeline and the quantized
+reference cannot diverge.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+import numpy as np
+
+from repro.capsnet.hwops import (
+    HardwareLuts,
+    QuantizedFormats,
+    hw_norm,
+    hw_relu,
+    hw_softmax,
+    hw_squash,
+)
+from repro.errors import SimulationError
+from repro.fixedpoint.arith import requantize
+from repro.fixedpoint.qformat import QFormat
+
+
+class ActivationMode(enum.Enum):
+    """Selectable activation datapaths (the multiplexer of Fig 11d)."""
+
+    NONE = "none"
+    RELU = "relu"
+    NORM = "norm"
+    SQUASH = "squash"
+    SOFTMAX = "softmax"
+
+
+def activation_latency(mode: ActivationMode, n: int) -> int:
+    """Latency in cycles of one activation over an ``n``-element array."""
+    if n < 1:
+        raise SimulationError("activation arrays must be non-empty")
+    if mode is ActivationMode.NONE:
+        return 0
+    if mode is ActivationMode.RELU:
+        return 1
+    if mode is ActivationMode.NORM:
+        return n + 1
+    if mode is ActivationMode.SQUASH:
+        return n + 2
+    if mode is ActivationMode.SOFTMAX:
+        return 2 * n
+    raise SimulationError(f"unknown activation mode {mode!r}")
+
+
+def batched_activation_latency(
+    mode: ActivationMode, n: int, groups: int, units: int
+) -> int:
+    """Cycles to process ``groups`` independent ``n``-element arrays.
+
+    Groups distribute over ``units`` parallel activation units (one per
+    array column); each unit pipelines its assigned groups back to back.
+    """
+    if groups < 0 or units < 1:
+        raise SimulationError("invalid activation batch")
+    per_unit = math.ceil(groups / units)
+    return per_unit * activation_latency(mode, n)
+
+
+class ActivationUnit:
+    """Bit-accurate activation unit shared across all columns.
+
+    The physical design instantiates one unit per column; arrays processed
+    here are laid out so that the column dimension is vectorized, and the
+    latency helpers account for the per-column parallelism.
+    """
+
+    def __init__(self, formats: QuantizedFormats, luts: HardwareLuts | None = None) -> None:
+        self.formats = formats
+        self.luts = luts if luts is not None else HardwareLuts.build(formats)
+
+    def relu(self, acc_raw: np.ndarray, acc_fmt: QFormat, out_fmt: QFormat) -> np.ndarray:
+        """ReLU on accumulator values, reduced to the 8-bit output format."""
+        return requantize(hw_relu(acc_raw), acc_fmt, out_fmt)
+
+    def passthrough(
+        self, acc_raw: np.ndarray, acc_fmt: QFormat, out_fmt: QFormat
+    ) -> np.ndarray:
+        """Width reduction without nonlinearity (used by FC / update stages)."""
+        return requantize(acc_raw, acc_fmt, out_fmt)
+
+    def norm(self, vec_raw: np.ndarray, in_fmt: QFormat) -> tuple[np.ndarray, np.ndarray]:
+        """Norm unit output ``(norm, sum_of_squares)`` over the last axis."""
+        return hw_norm(vec_raw, in_fmt, self.luts, self.formats)
+
+    def squash(self, vec_raw: np.ndarray, in_fmt: QFormat) -> np.ndarray:
+        """Squash unit output over the last axis of ``vec_raw``."""
+        return hw_squash(vec_raw, in_fmt, self.luts, self.formats)
+
+    def softmax(self, logits_raw: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Softmax unit output along ``axis``."""
+        return hw_softmax(logits_raw, self.luts, self.formats, axis=axis)
+
+    def batched_latency(
+        self, mode: ActivationMode, n: int, groups: int, units: int
+    ) -> int:
+        """See :func:`batched_activation_latency`."""
+        return batched_activation_latency(mode, n, groups, units)

@@ -1,0 +1,90 @@
+"""Buffers and on-chip memories with bandwidth limits and access counting.
+
+The paper's architecture (Fig 10) places three buffers between the on-chip
+memories and the datapath: the Data Buffer (left edge of the array), the
+Weight Buffer (top edge) and the Routing Buffer (coupling coefficients and
+capsule state during routing).  Buffers avoid repeated memory reads — the
+data-reuse theme of the paper — so the simulator counts every word moved
+per buffer; the synthesis model converts counts into dynamic energy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class Buffer:
+    """An on-chip buffer with a fixed per-cycle word bandwidth."""
+
+    name: str
+    size_kb: float
+    word_bits: int
+    bandwidth_words: int
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def capacity_words(self) -> int:
+        """Number of words the buffer can hold."""
+        return int(self.size_kb * 1024 * 8 // self.word_bits)
+
+    def read_cycles(self, words: int) -> int:
+        """Cycles to stream ``words`` out at the configured bandwidth."""
+        self._check(words)
+        self.reads += words
+        return math.ceil(words / self.bandwidth_words)
+
+    def write_cycles(self, words: int) -> int:
+        """Cycles to stream ``words`` in at the configured bandwidth."""
+        self._check(words)
+        self.writes += words
+        return math.ceil(words / self.bandwidth_words)
+
+    def _check(self, words: int) -> None:
+        if words < 0:
+            raise SimulationError(f"negative word count on buffer {self.name}")
+
+    def reset_counters(self) -> None:
+        """Zero the access counters."""
+        self.reads = 0
+        self.writes = 0
+
+
+@dataclass
+class MemoryModel:
+    """On-chip weight/data memory (8 MB in the paper's instance).
+
+    Only traffic is tracked; the latency of memory-to-buffer transfers is
+    assumed hidden behind compute by the control unit's prefetching, which
+    is the design intent the paper states for the buffers.
+    """
+
+    name: str
+    size_mb: float
+    reads: int = 0
+    writes: int = 0
+    #: Traffic per named consumer, for reports.
+    traffic: dict = field(default_factory=dict)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Capacity in bytes."""
+        return int(self.size_mb * 1024 * 1024)
+
+    def read(self, words: int, consumer: str = "datapath") -> None:
+        """Record a read of ``words`` 8-bit words."""
+        self.reads += words
+        self.traffic[consumer] = self.traffic.get(consumer, 0) + words
+
+    def write(self, words: int, consumer: str = "datapath") -> None:
+        """Record a write of ``words`` 8-bit words."""
+        self.writes += words
+        self.traffic[consumer] = self.traffic.get(consumer, 0) + words
+
+    def fits(self, total_bytes: int) -> bool:
+        """Whether ``total_bytes`` fits in the memory."""
+        return total_bytes <= self.capacity_bytes

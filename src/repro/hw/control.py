@@ -1,0 +1,127 @@
+"""The control unit (paper Section IV-D).
+
+At each stage of the inference the control unit generates the signals that
+steer the datapath: the two input multiplexers in front of the systolic
+array (fresh data from the buffers vs reuse through the feedback path —
+Fig 10), the activation-unit output select (Fig 11d), and the buffer
+enables.  This module compiles a stage schedule into an explicit
+:class:`ControlProgram` and validates the dataflow legality rules that the
+paper's scenarios imply:
+
+* the feedback path can only reuse operands that a previous stage actually
+  produced at the array/activation outputs;
+* the routing buffer is only addressed during ClassCaps stages;
+* every stage selects exactly one activation path.
+
+The executable lowering keeps its own (equivalent) sequencing; the control
+program is the single place where the signal view of the schedule lives,
+and tests assert the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MappingError
+from repro.hw.activation import ActivationMode
+from repro.mapping.shapes import StageShape
+
+
+@dataclass(frozen=True)
+class ControlStep:
+    """Control signals asserted for one stage."""
+
+    stage: str
+    #: Data-input multiplexer: ``"buffer"`` or ``"feedback"`` (Fig 10).
+    data_mux: str
+    #: Weight-input multiplexer: ``"weight_buffer"`` or ``"routing_buffer"``.
+    weight_mux: str
+    #: Activation output select (Fig 11d).
+    activation_select: ActivationMode
+    #: Whether the stage's outputs are written back to the routing buffer.
+    routing_buffer_write: bool
+    #: Whether array/activation outputs remain available on the feedback path.
+    exposes_feedback: bool
+
+
+@dataclass
+class ControlProgram:
+    """The compiled signal sequence for a full inference."""
+
+    steps: list[ControlStep] = field(default_factory=list)
+
+    def step(self, stage: str) -> ControlStep:
+        """Look up the signals of a stage by name."""
+        for entry in self.steps:
+            if entry.stage == stage:
+                return entry
+        raise KeyError(stage)
+
+
+def _stage_activation(stage: StageShape) -> ActivationMode:
+    modes = {work.mode for work in stage.activations}
+    if len(modes) > 1:
+        raise MappingError(f"stage {stage.name!r} selects multiple activation paths")
+    if modes:
+        return modes.pop()
+    return ActivationMode.NONE
+
+
+def compile_schedule(stages: list[StageShape]) -> ControlProgram:
+    """Compile a stage schedule into control signals, validating legality."""
+    program = ControlProgram()
+    feedback_live = False
+    for stage in stages:
+        data_sources = {shape.data_source for shape in stage.gemms}
+        weight_sources = {shape.weight_source for shape in stage.gemms}
+        if len(data_sources) > 1 or len(weight_sources) > 1:
+            raise MappingError(
+                f"stage {stage.name!r} mixes operand sources within one pass"
+            )
+        data_source = data_sources.pop() if data_sources else "data_buffer"
+        weight_source = weight_sources.pop() if weight_sources else "weight_buffer"
+
+        if data_source == "feedback" and not feedback_live:
+            raise MappingError(
+                f"stage {stage.name!r} reuses the feedback path before any"
+                " stage produced data on it"
+            )
+        if weight_source == "routing_buffer" and not _is_routing_stage(stage.name):
+            raise MappingError(
+                f"stage {stage.name!r} addresses the routing buffer outside"
+                " the routing loop"
+            )
+
+        activation = _stage_activation(stage)
+        routing_write = _is_routing_stage(stage.name) or stage.name == "load"
+        program.steps.append(
+            ControlStep(
+                stage=stage.name,
+                data_mux="feedback" if data_source == "feedback" else "buffer",
+                weight_mux=weight_source,
+                activation_select=activation,
+                routing_buffer_write=routing_write,
+                exposes_feedback=bool(stage.gemms) or stage.name == "classcaps_fc",
+            )
+        )
+        if stage.gemms:
+            feedback_live = True
+    return program
+
+
+def _is_routing_stage(name: str) -> bool:
+    prefixes = ("softmax", "sum", "squash", "update", "load")
+    return name.startswith(prefixes)
+
+
+def signal_summary(program: ControlProgram) -> list[tuple[str, str, str, str]]:
+    """Rows of ``(stage, data mux, weight mux, activation)`` for reports."""
+    return [
+        (
+            step.stage,
+            step.data_mux,
+            step.weight_mux,
+            step.activation_select.value,
+        )
+        for step in program.steps
+    ]

@@ -1,0 +1,118 @@
+"""On-chip weight-memory layout (the 8 MB memory of Table II).
+
+The paper sizes the weight memory at 8 MB from the Table I parameter counts
+(Section III-A).  This module makes the layout explicit: a contiguous
+region per parameter tensor, with tile-granular address generation for the
+weight-buffer prefetches the control unit issues.  It provides the fit
+check behind the paper's observation and the address streams that a
+memory-traffic-accurate simulation consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
+from repro.errors import ConfigError, MappingError
+from repro.hw.config import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A contiguous byte region of the on-chip weight memory."""
+
+    name: str
+    offset: int
+    size_bytes: int
+
+    @property
+    def end(self) -> int:
+        """First byte after the region."""
+        return self.offset + self.size_bytes
+
+    def contains(self, address: int) -> bool:
+        """Whether an absolute address falls inside this region."""
+        return self.offset <= address < self.end
+
+
+class WeightMemoryLayout:
+    """Packed layout of every weight tensor in the on-chip memory."""
+
+    def __init__(
+        self,
+        config: CapsNetConfig | None = None,
+        accelerator: AcceleratorConfig | None = None,
+        bytes_per_weight: int = 1,
+        alignment: int = 64,
+    ) -> None:
+        if alignment < 1 or alignment & (alignment - 1):
+            raise ConfigError("alignment must be a power of two")
+        self.config = config if config is not None else mnist_capsnet_config()
+        self.accelerator = accelerator if accelerator is not None else AcceleratorConfig()
+        self.bytes_per_weight = bytes_per_weight
+        self.alignment = alignment
+        self.regions: dict[str, MemoryRegion] = {}
+        self._build()
+
+    def _build(self) -> None:
+        cursor = 0
+        cfg = self.config
+        tensors = [
+            ("conv1_w", cfg.conv1.weight_count),
+            ("conv1_b", cfg.conv1.bias_count),
+            ("primary_w", cfg.primary.weight_count),
+            ("primary_b", cfg.primary.bias_count),
+            ("classcaps_w", cfg.classcaps_weight_count),
+        ]
+        for name, count in tensors:
+            size = count * self.bytes_per_weight
+            self.regions[name] = MemoryRegion(name, cursor, size)
+            cursor = self._align(cursor + size)
+        self.total_bytes = cursor
+
+    def _align(self, address: int) -> int:
+        mask = self.alignment - 1
+        return (address + mask) & ~mask
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the on-chip memory occupied by weights."""
+        capacity = int(self.accelerator.onchip_memory_mb * 1024 * 1024)
+        return self.total_bytes / capacity
+
+    def fits(self) -> bool:
+        """The paper's Section III-A observation: everything fits in 8 MB."""
+        return self.utilization <= 1.0
+
+    def region(self, name: str) -> MemoryRegion:
+        """Look up a tensor's region."""
+        if name not in self.regions:
+            raise MappingError(f"unknown weight tensor {name!r}")
+        return self.regions[name]
+
+    def no_overlaps(self) -> bool:
+        """Layout invariant: regions are disjoint."""
+        ordered = sorted(self.regions.values(), key=lambda region: region.offset)
+        for first, second in zip(ordered[:-1], ordered[1:]):
+            if first.end > second.offset:
+                return False
+        return True
+
+    def tile_addresses(self, name: str, tile_bytes: int) -> list[int]:
+        """Start addresses of consecutive weight-buffer prefetch tiles.
+
+        The control unit streams a tensor into the weight buffer in
+        ``tile_bytes`` chunks; the last tile may be short.
+        """
+        if tile_bytes < 1:
+            raise MappingError("tile size must be positive")
+        region = self.region(name)
+        return list(range(region.offset, region.end, tile_bytes))
+
+    def prefetch_cycles(self, name: str, words_per_cycle: int | None = None) -> int:
+        """Cycles to stream a full tensor from memory into the buffer."""
+        if words_per_cycle is None:
+            words_per_cycle = self.accelerator.weight_bus_words
+        region = self.region(name)
+        words = region.size_bytes // self.bytes_per_weight
+        return -(-words // words_per_cycle)

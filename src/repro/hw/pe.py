@@ -1,0 +1,97 @@
+"""Scalar model of one processing element (paper Fig 11b).
+
+A PE has three inputs (Data from the left, Weight and Partial sum from the
+top) and three outputs (Data to the right, Weight and Partial sum to the
+bottom), plus four internal registers:
+
+* ``data_reg`` — synchronizes the horizontal data transfer,
+* ``weight1_reg`` — synchronizes the vertical weight shift,
+* ``weight2_reg`` — holds the stationary weight used by the multiplier
+  (the data-reuse register: convolution reuses the held filter across many
+  inputs, and loading the next tile can overlap with compute),
+* ``psum_reg`` — stores the partial sum before passing it down.
+
+Every cycle the PE computes ``psum_out = psum_in + data_reg * weight2_reg``
+with an 8x8-bit multiplier and a 25-bit saturating adder.
+
+This scalar class exists as an executable specification; the vectorized
+:class:`repro.hw.systolic.SystolicArray` implements identical semantics for
+the whole grid and is tested for exact equivalence against a grid of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fixedpoint.qformat import QFormat
+
+
+def _saturate(value: int, fmt: QFormat) -> int:
+    if value > fmt.raw_max:
+        return fmt.raw_max
+    if value < fmt.raw_min:
+        return fmt.raw_min
+    return value
+
+
+@dataclass
+class PEOutputs:
+    """Values a PE presents to its neighbours during one cycle."""
+
+    data_out: int
+    weight_out: int
+    psum_out: int
+
+
+class ProcessingElement:
+    """One systolic processing element with bit-accurate arithmetic."""
+
+    def __init__(
+        self,
+        data_fmt: QFormat,
+        weight_fmt: QFormat,
+        acc_fmt: QFormat,
+    ) -> None:
+        self.data_fmt = data_fmt
+        self.weight_fmt = weight_fmt
+        self.acc_fmt = acc_fmt
+        self.data_reg = 0
+        self.weight1_reg = 0
+        self.weight2_reg = 0
+        self.psum_reg = 0
+
+    def step(
+        self,
+        data_in: int,
+        weight_in: int,
+        psum_in: int,
+        latch_weight: bool = False,
+    ) -> PEOutputs:
+        """Advance one clock edge.
+
+        The returned outputs are the *register* values after the edge, which
+        neighbouring PEs consume on the next cycle.  ``latch_weight`` copies
+        the shift register (``weight1``) into the hold register (``weight2``)
+        on this edge, activating a freshly loaded weight tile.
+        """
+        product = self.data_reg * self.weight2_reg
+        new_psum = _saturate(psum_in + product, self.acc_fmt)
+        new_data = _saturate(data_in, self.data_fmt)
+        new_weight1 = _saturate(weight_in, self.weight_fmt)
+        new_weight2 = self.weight1_reg if latch_weight else self.weight2_reg
+        self.psum_reg = new_psum
+        self.data_reg = new_data
+        self.weight1_reg = new_weight1
+        self.weight2_reg = new_weight2
+        return PEOutputs(
+            data_out=self.data_reg,
+            weight_out=self.weight1_reg,
+            psum_out=self.psum_reg,
+        )
+
+    def reset(self) -> None:
+        """Clear all registers."""
+        self.data_reg = 0
+        self.weight1_reg = 0
+        self.weight2_reg = 0
+        self.psum_reg = 0

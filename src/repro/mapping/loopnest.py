@@ -1,0 +1,137 @@
+"""The mapping loop nest of paper Fig 13.
+
+The paper expresses every CapsuleNet operation as an eight-deep loop nest::
+
+    for l in output capsules:
+      for k in output channels:
+        for j in input capsules:
+          for i in input channels:
+            for g in output columns:
+              for f in output rows:
+                for c in kernel/input columns:
+                  for r in kernel/input rows:
+                    Sum += Weight * Data
+
+:class:`LoopNest` represents the nest symbolically; per-layer instances are
+used to cross-check the MAC counts of the GEMM lowering (the two must agree
+exactly — asserted in tests) and to document each layer's traversal order
+(the A/B/C/D arrows of Fig 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capsnet.config import CapsNetConfig
+from repro.errors import MappingError
+
+#: Canonical loop names, outermost first, as printed in Fig 13.
+LOOP_ORDER = ("l", "k", "j", "i", "g", "f", "c", "r")
+
+LOOP_DESCRIPTIONS = {
+    "l": "output capsules",
+    "k": "output channels",
+    "j": "input capsules",
+    "i": "input channels",
+    "g": "output columns in a feature map",
+    "f": "output rows in a feature map",
+    "c": "kernel/input columns",
+    "r": "kernel/input rows",
+}
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One loop level: a dimension name and its trip count."""
+
+    name: str
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.name not in LOOP_ORDER:
+            raise MappingError(f"unknown loop dimension {self.name!r}")
+        if self.count < 1:
+            raise MappingError(f"loop {self.name!r} needs a positive trip count")
+
+    @property
+    def description(self) -> str:
+        """Human-readable meaning of the dimension."""
+        return LOOP_DESCRIPTIONS[self.name]
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """An ordered loop nest describing one layer's MAC iteration space."""
+
+    name: str
+    loops: tuple[Loop, ...]
+
+    def __post_init__(self) -> None:
+        names = [loop.name for loop in self.loops]
+        if len(set(names)) != len(names):
+            raise MappingError("duplicate loop dimensions in nest")
+        order = [name for name in LOOP_ORDER if name in names]
+        if names != order:
+            raise MappingError(
+                f"loops must follow the Fig 13 order {LOOP_ORDER}, got {names}"
+            )
+
+    @property
+    def total_macs(self) -> int:
+        """Product of all trip counts: MACs executed by the nest."""
+        total = 1
+        for loop in self.loops:
+            total *= loop.count
+        return total
+
+    def trip(self, name: str) -> int:
+        """Trip count of a dimension (1 when absent)."""
+        for loop in self.loops:
+            if loop.name == name:
+                return loop.count
+        return 1
+
+
+def capsule_loop_nest(config: CapsNetConfig, layer: str) -> LoopNest:
+    """The Fig 13 nest instantiated for one layer of ``config``.
+
+    ``layer`` is ``"conv1"``, ``"primarycaps"`` or ``"classcaps"`` (the FC
+    prediction step; routing steps have their own shapes).
+    """
+    if layer == "conv1":
+        spec = config.conv1
+        return LoopNest(
+            "conv1",
+            (
+                Loop("k", spec.out_channels),
+                Loop("i", spec.in_channels),
+                Loop("g", config.conv1_out_size),
+                Loop("f", config.conv1_out_size),
+                Loop("c", spec.kernel_size),
+                Loop("r", spec.kernel_size),
+            ),
+        )
+    if layer == "primarycaps":
+        spec = config.primary
+        return LoopNest(
+            "primarycaps",
+            (
+                Loop("k", spec.conv_out_channels),
+                Loop("i", spec.in_channels),
+                Loop("g", config.primary_out_size),
+                Loop("f", config.primary_out_size),
+                Loop("c", spec.kernel_size),
+                Loop("r", spec.kernel_size),
+            ),
+        )
+    if layer == "classcaps":
+        return LoopNest(
+            "classcaps",
+            (
+                Loop("l", config.classcaps.num_classes),
+                Loop("k", config.classcaps.out_dim),
+                Loop("j", config.num_primary_capsules),
+                Loop("i", config.primary.capsule_dim),
+            ),
+        )
+    raise MappingError(f"unknown layer {layer!r}")

@@ -1,0 +1,302 @@
+"""Shape-level stage descriptions of every CapsuleNet operation (Fig 12/14).
+
+A :class:`StageShape` captures what the control unit schedules for one
+inference stage: the GEMMs executed on the systolic array (dimensions,
+repetition count and operand sources), the activation work, and any bulk
+buffer transfers.  The performance model turns these into cycles; the
+executable lowering in :mod:`repro.mapping.execute` materializes them with
+real data.
+
+Mappings reproduced from the paper:
+
+* **Conv1 / PrimaryCaps** (Fig 14a/b, Fig 12a): convolution lowered to a
+  weight-stationary GEMM — filters held in the array, input data streamed
+  and reused across the filter (the Weight2 register).  ``M`` = output
+  positions, ``K`` = input channels x kernel area, ``N`` = output channels.
+  The paper's row-by-row traversal (A, B) then channel traversal (C, D)
+  fixes the loop order; the accumulator-minimizing variant that finishes
+  one output channel before the next is available as
+  ``policy="channel_serial"`` (ablation).
+* **ClassCaps FC** (Fig 14c): every input capsule has its own ``out_dim x
+  in_dim`` matrix per class, so weights cannot be reused across capsules;
+  one small GEMM per input capsule with the capsule vector stationary-
+  streamed against its 160 weight rows.
+* **Routing scenarios** (Fig 12b/c/d): the sum streams predictions from
+  the data buffer (first iteration) or the horizontal feedback path
+  (later iterations — the paper's data-reuse optimization), with coupling
+  coefficients on the weight port from the routing buffer; the update
+  reuses predictions via feedback against the capsule outputs; softmax and
+  squash run in the activation units.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.capsnet.config import CapsNetConfig
+from repro.errors import MappingError
+from repro.hw.activation import ActivationMode
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """A batch of identical GEMMs executed back to back."""
+
+    m: int
+    k: int
+    n: int
+    count: int = 1
+    data_source: str = "data_buffer"
+    weight_source: str = "weight_buffer"
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n, self.count) < 1:
+            raise MappingError("GEMM shape dimensions must be positive")
+
+    @property
+    def macs(self) -> int:
+        """Useful multiply-accumulates across the batch."""
+        return self.m * self.k * self.n * self.count
+
+
+@dataclass(frozen=True)
+class ActivationWork:
+    """Activation-unit work: ``groups`` arrays of ``n`` elements.
+
+    ``units`` is the number of activation units that can work in parallel:
+    ``None`` means one per array column (element-local operations such as
+    ReLU).  Vector operations whose input spans several columns — capsule
+    squashes and the routing softmax, whose operand vectors are produced
+    across different column accumulators — serialize through a single unit
+    (``units=1``), the conservative reading of the paper's per-column
+    activation units.
+    """
+
+    mode: ActivationMode
+    n: int
+    groups: int = 1
+    units: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.groups < 1:
+            raise MappingError("activation work must be non-empty")
+        if self.units is not None and self.units < 1:
+            raise MappingError("units must be positive when given")
+
+
+@dataclass(frozen=True)
+class StageShape:
+    """One scheduled stage: GEMMs + activations + bulk transfers."""
+
+    name: str
+    gemms: tuple[GemmShape, ...] = ()
+    activations: tuple[ActivationWork, ...] = ()
+    #: Words moved over a buffer port (16 words/cycle) outside GEMM
+    #: streaming — e.g. staging predictions into the data buffer.
+    transfer_words: int = 0
+
+    @property
+    def macs(self) -> int:
+        """Total useful MACs in the stage."""
+        return sum(shape.macs for shape in self.gemms)
+
+
+# ---- layer stages ------------------------------------------------------------
+
+
+def conv_stage(
+    config: CapsNetConfig,
+    layer: str,
+    policy: str = "channel_parallel",
+) -> StageShape:
+    """Convolution stage shape for ``"conv1"`` or ``"primarycaps"``.
+
+    ``channel_parallel`` places output channels across array columns (the
+    throughput mapping); ``channel_serial`` computes one output channel at
+    a time (the paper's accumulator-minimizing traversal, Fig 14b note),
+    costing column utilization.
+    """
+    if layer == "conv1":
+        spec = config.conv1
+        out_size = config.conv1_out_size
+        out_channels = spec.out_channels
+        kernel_area = spec.kernel_size**2
+        in_channels = spec.in_channels
+        activation = ActivationWork(
+            ActivationMode.RELU, n=1, groups=out_size**2 * out_channels
+        )
+    elif layer == "primarycaps":
+        spec = config.primary
+        out_size = config.primary_out_size
+        out_channels = spec.conv_out_channels
+        kernel_area = spec.kernel_size**2
+        in_channels = spec.in_channels
+        activation = ActivationWork(
+            ActivationMode.SQUASH,
+            n=config.primary.capsule_dim,
+            groups=config.num_primary_capsules,
+            units=1,
+        )
+    else:
+        raise MappingError(f"unknown convolution layer {layer!r}")
+
+    m = out_size**2
+    k = in_channels * kernel_area
+    if policy == "channel_parallel":
+        gemm = GemmShape(m=m, k=k, n=out_channels)
+    elif policy == "channel_serial":
+        gemm = GemmShape(m=m, k=k, n=1, count=out_channels)
+    else:
+        raise MappingError(f"unknown conv mapping policy {policy!r}")
+    return StageShape(name=layer, gemms=(gemm,), activations=(activation,))
+
+
+def classcaps_fc_stage(config: CapsNetConfig) -> StageShape:
+    """The ClassCaps prediction (FC) stage: one GEMM per input capsule.
+
+    For capsule ``i`` the stationary operand is the capsule vector
+    ``u[i]`` (``K = capsule_dim`` rows) and its ``num_classes * out_dim``
+    weight columns stream through the weight port — weights are unique per
+    capsule, so this stage is weight-bandwidth-bound (the paper measures it
+    slightly *slower* than the GPU, Fig 17 "FC: 14% slower").
+    """
+    spec = config.classcaps
+    gemm = GemmShape(
+        m=1,
+        k=config.primary.capsule_dim,
+        n=spec.num_classes * spec.out_dim,
+        count=config.num_primary_capsules,
+    )
+    return StageShape(name="classcaps_fc", gemms=(gemm,))
+
+
+def load_stage(config: CapsNetConfig) -> StageShape:
+    """The routing "Load" step: staging operands for the routing loop.
+
+    Moves the primary capsule outputs into the data buffer and the
+    initialized coupling coefficients into the routing buffer.
+    """
+    u_words = config.num_primary_capsules * config.primary.capsule_dim
+    c_words = config.coupling_coefficient_count
+    return StageShape(name="load", transfer_words=u_words + c_words)
+
+
+# ---- routing stages ----------------------------------------------------------
+
+
+def routing_sum_stage(config: CapsNetConfig, iteration: int) -> StageShape:
+    """Sum generation ``s_j = sum_i c_ij u_hat_ij`` (Fig 12b / 12d).
+
+    One GEMM per output capsule: ``M = out_dim`` prediction rows against
+    the capsule's coupling column (``K`` = input capsules).  In iteration 1
+    predictions stream from the data buffer (Fig 12b); later iterations
+    reuse them through the horizontal feedback path (Fig 12d).
+    """
+    source = "data_buffer" if iteration == 1 else "feedback"
+    gemm = GemmShape(
+        m=config.classcaps.out_dim,
+        k=config.num_primary_capsules,
+        n=1,
+        count=config.classcaps.num_classes,
+        data_source=source,
+        weight_source="routing_buffer",
+    )
+    return StageShape(name=f"sum{iteration}", gemms=(gemm,))
+
+
+def routing_squash_stage(config: CapsNetConfig, iteration: int) -> StageShape:
+    """Squashing of the ``num_classes`` summed capsules."""
+    work = ActivationWork(
+        ActivationMode.SQUASH,
+        n=config.classcaps.out_dim,
+        groups=config.classcaps.num_classes,
+        units=1,
+    )
+    v_words = config.classcaps.num_classes * config.classcaps.out_dim
+    return StageShape(name=f"squash{iteration}", activations=(work,), transfer_words=v_words)
+
+
+def routing_update_stage(config: CapsNetConfig, iteration: int) -> StageShape:
+    """Logit update ``b_ij += u_hat_ij . v_j`` (Fig 12c).
+
+    Predictions reuse the horizontal feedback; the squashed outputs arrive
+    from the routing buffer on the weight port.  One GEMM per output
+    capsule: ``M`` = input capsules, ``K`` = capsule dimension.
+    """
+    gemm = GemmShape(
+        m=config.num_primary_capsules,
+        k=config.classcaps.out_dim,
+        n=1,
+        count=config.classcaps.num_classes,
+        data_source="feedback",
+        weight_source="routing_buffer",
+    )
+    b_words = config.coupling_coefficient_count
+    return StageShape(name=f"update{iteration}", gemms=(gemm,), transfer_words=b_words)
+
+
+def routing_softmax_stage(config: CapsNetConfig, iteration: int, optimized: bool) -> StageShape:
+    """Softmax over each input capsule's logit row (Fig 12c).
+
+    With the CapsAcc routing optimization the first iteration's softmax is
+    skipped entirely: the coupling coefficients are initialized directly
+    (a single transfer of the uniform value), saving the full softmax pass.
+    """
+    c_words = config.coupling_coefficient_count
+    if iteration == 1 and optimized:
+        return StageShape(name="softmax1 (skipped)", transfer_words=c_words)
+    work = ActivationWork(
+        ActivationMode.SOFTMAX,
+        n=config.classcaps.num_classes,
+        groups=config.num_primary_capsules,
+        units=1,
+    )
+    return StageShape(
+        name=f"softmax{iteration}", activations=(work,), transfer_words=2 * c_words
+    )
+
+
+def routing_stages(config: CapsNetConfig, optimized: bool = True) -> list[StageShape]:
+    """All routing stages in execution order (the Fig 9/17 sequence)."""
+    stages: list[StageShape] = []
+    iterations = config.classcaps.routing_iterations
+    for iteration in range(1, iterations + 1):
+        stages.append(routing_softmax_stage(config, iteration, optimized))
+        stages.append(routing_sum_stage(config, iteration))
+        stages.append(routing_squash_stage(config, iteration))
+        if iteration < iterations:
+            stages.append(routing_update_stage(config, iteration))
+    return stages
+
+
+def full_inference_stages(
+    config: CapsNetConfig,
+    optimized_routing: bool = True,
+    conv_policy: str = "channel_parallel",
+) -> list[StageShape]:
+    """Every stage of a complete inference pass, in order."""
+    stages = [
+        conv_stage(config, "conv1", policy=conv_policy),
+        conv_stage(config, "primarycaps", policy=conv_policy),
+        load_stage(config),
+        classcaps_fc_stage(config),
+    ]
+    stages.extend(routing_stages(config, optimized=optimized_routing))
+    return stages
+
+
+def stage_layer(name: str) -> str:
+    """Map a stage name to its paper layer (for Fig 16 aggregation)."""
+    if name == "conv1":
+        return "Conv1"
+    if name == "primarycaps":
+        return "PrimaryCaps"
+    return "ClassCaps"
+
+
+def transfer_cycles(words: int, bus_words: int) -> int:
+    """Cycles to move ``words`` over a ``bus_words``-wide port."""
+    if words == 0:
+        return 0
+    return math.ceil(words / bus_words)

@@ -1,0 +1,118 @@
+"""CapsAcc-vs-GPU comparison (Figs 16 and 17) and paper-value checks.
+
+The comparison functions pair the analytical CapsAcc model with the GPU
+workload model and compute speedups per layer and per routing step, next to
+the paper's annotated factors, producing the data behind Figs 16/17 and the
+rows recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
+from repro.perf import calibration
+from repro.perf.gpu import GpuModel, gtx1070_paper_profile
+from repro.perf.kernels import CapsNetGpuWorkload
+from repro.perf.model import CapsAccPerformanceModel
+
+
+@dataclass
+class SpeedupRow:
+    """One compared quantity: GPU time, CapsAcc time, speedups."""
+
+    name: str
+    gpu_us: float
+    capsacc_us: float
+    paper_speedup: float | None = None
+
+    @property
+    def speedup(self) -> float:
+        """Measured CapsAcc speedup over the GPU (>1 = CapsAcc faster)."""
+        return self.gpu_us / self.capsacc_us if self.capsacc_us else float("inf")
+
+    @property
+    def direction_matches_paper(self) -> bool:
+        """Whether the winner matches the paper's annotation."""
+        if self.paper_speedup is None:
+            return True
+        return (self.speedup >= 1.0) == (self.paper_speedup >= 1.0)
+
+
+@dataclass
+class SpeedupReport:
+    """A set of compared rows plus convenience accessors."""
+
+    rows: list[SpeedupRow] = field(default_factory=list)
+
+    def row(self, name: str) -> SpeedupRow:
+        """Look up a row by name."""
+        for entry in self.rows:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def as_table(self) -> list[tuple]:
+        """Rows as ``(name, gpu_us, capsacc_us, speedup, paper)`` tuples."""
+        return [
+            (row.name, row.gpu_us, row.capsacc_us, row.speedup, row.paper_speedup)
+            for row in self.rows
+        ]
+
+
+def compare_layers(
+    network: CapsNetConfig | None = None,
+    capsacc: CapsAccPerformanceModel | None = None,
+    gpu: GpuModel | None = None,
+) -> SpeedupReport:
+    """Per-layer CapsAcc vs GPU comparison (Fig 16)."""
+    network = network if network is not None else mnist_capsnet_config()
+    capsacc = capsacc if capsacc is not None else CapsAccPerformanceModel(network=network)
+    gpu = gpu if gpu is not None else GpuModel(gtx1070_paper_profile())
+    workload = CapsNetGpuWorkload(network)
+    capsacc_layers = capsacc.layer_times_us()
+    gpu_layers = {
+        layer: gpu.sequence_time_us(kernels)
+        for layer, kernels in workload.layer_kernels().items()
+    }
+    gpu_layers["Total"] = sum(gpu_layers.values())
+    report = SpeedupReport()
+    for layer in ("Conv1", "PrimaryCaps", "ClassCaps", "Total"):
+        report.rows.append(
+            SpeedupRow(
+                name=layer,
+                gpu_us=gpu_layers[layer],
+                capsacc_us=capsacc_layers[layer],
+                paper_speedup=calibration.PAPER_LAYER_SPEEDUP.get(layer),
+            )
+        )
+    return report
+
+
+def compare_routing_steps(
+    network: CapsNetConfig | None = None,
+    capsacc: CapsAccPerformanceModel | None = None,
+    gpu: GpuModel | None = None,
+) -> SpeedupReport:
+    """Per-routing-step CapsAcc vs GPU comparison (Fig 17)."""
+    network = network if network is not None else mnist_capsnet_config()
+    capsacc = capsacc if capsacc is not None else CapsAccPerformanceModel(network=network)
+    gpu = gpu if gpu is not None else GpuModel(gtx1070_paper_profile())
+    workload = CapsNetGpuWorkload(network)
+    gpu_steps = {
+        label: gpu.sequence_time_us(kernels)
+        for label, kernels in workload.routing_step_kernels().items()
+    }
+    capsacc_steps = capsacc.routing_step_times_us()
+    report = SpeedupReport()
+    for label, gpu_us in gpu_steps.items():
+        base = label.rstrip("123")
+        report.rows.append(
+            SpeedupRow(
+                name=label,
+                gpu_us=gpu_us,
+                capsacc_us=capsacc_steps[label],
+                paper_speedup=calibration.PAPER_STEP_SPEEDUP.get(base),
+            )
+        )
+    return report

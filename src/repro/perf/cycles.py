@@ -1,0 +1,121 @@
+"""Closed-form cycle model for mapped stages.
+
+Turns the shape-level stage descriptions of :mod:`repro.mapping.shapes`
+into cycle counts using exactly the GEMM formulas of
+:func:`repro.hw.accelerator.gemm_cycles` (shared code, so the analytical
+model and the cycle-stepped simulator cannot drift apart) plus the
+activation-unit latencies of :mod:`repro.hw.activation` and bus transfer
+costs.  GEMM streaming, activation pipelines and bulk transfers are charged
+serially per stage — a conservative model of the control unit's stage
+sequencing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.hw.accelerator import gemm_cycles
+from repro.hw.activation import activation_latency, batched_activation_latency
+from repro.hw.config import AcceleratorConfig
+from repro.hw.stats import CycleStats
+from repro.mapping.shapes import StageShape, transfer_cycles
+
+
+@dataclass
+class StagePerf:
+    """Cycle-level performance of one mapped stage."""
+
+    name: str
+    cycles: int
+    gemm_cycles: int
+    activation_cycles: int
+    transfer_cycles: int
+    macs: int
+
+    def time_us(self, clock_mhz: float) -> float:
+        """Stage latency in microseconds at the given clock."""
+        return self.cycles / clock_mhz
+
+    def utilization(self, num_pes: int) -> float:
+        """Achieved MACs per PE-cycle over the stage."""
+        if self.cycles == 0:
+            return 0.0
+        return self.macs / (self.cycles * num_pes)
+
+
+def stage_performance(
+    config: AcceleratorConfig,
+    stage: StageShape,
+    overlap: bool | None = None,
+) -> StagePerf:
+    """Cycle accounting for one stage on a given accelerator configuration."""
+    gemm_total = 0
+    for shape in stage.gemms:
+        cycles = gemm_cycles(config, shape.m, shape.k, shape.n, overlap=overlap)
+        gemm_total += cycles["total"] * shape.count
+    activation_total = 0
+    for work in stage.activations:
+        units = work.units if work.units is not None else config.cols
+        activation_total += batched_activation_latency(
+            work.mode, work.n, work.groups, units
+        )
+    transfer_total = transfer_cycles(stage.transfer_words, config.data_bus_words)
+    total = gemm_total + activation_total + transfer_total
+    return StagePerf(
+        name=stage.name,
+        cycles=total,
+        gemm_cycles=gemm_total,
+        activation_cycles=activation_total,
+        transfer_cycles=transfer_total,
+        macs=stage.macs,
+    )
+
+
+def stage_accesses(stage: StageShape, config: AcceleratorConfig) -> CycleStats:
+    """Estimated buffer traffic of one stage (for the power model).
+
+    Weight-port operands are read once per tile load; data-port operands
+    stream once per column tile; feedback operands cost nothing (the
+    Fig 10 multiplexers).  Outputs are written back at one word per
+    produced value.
+    """
+    stats = CycleStats()
+    for shape in stage.gemms:
+        n_tiles = math.ceil(shape.n / config.cols)
+        weight_words = shape.k * shape.n * shape.count
+        data_words = shape.m * shape.k * n_tiles * shape.count
+        out_words = shape.m * shape.n * shape.count
+        if shape.weight_source != "feedback":
+            stats.add_access(f"{shape.weight_source}.read", weight_words)
+        if shape.data_source != "feedback":
+            stats.add_access(f"{shape.data_source}.read", data_words)
+        stats.add_access("accumulator.write", out_words)
+        stats.add_access("data_buffer.write", out_words)
+    for work in stage.activations:
+        stats.add_access("activation.ops", work.n * work.groups)
+    if stage.transfer_words:
+        stats.add_access("data_buffer.write", stage.transfer_words)
+    stats.mac_count = stage.macs
+    return stats
+
+
+def activation_only_cycles(config: AcceleratorConfig, mode, n: int, groups: int) -> int:
+    """Convenience wrapper mirroring the activation unit latency rules."""
+    return batched_activation_latency(mode, n, groups, config.cols)
+
+
+def peak_gemm_cycles(config: AcceleratorConfig, macs: int) -> float:
+    """Ideal cycles if every PE did useful work every cycle (lower bound)."""
+    return macs / config.num_pes
+
+
+__all__ = [
+    "StagePerf",
+    "stage_performance",
+    "stage_accesses",
+    "activation_only_cycles",
+    "peak_gemm_cycles",
+    "activation_latency",
+]

@@ -1,0 +1,252 @@
+"""Framework-operation extraction for the GPU baseline.
+
+Builds, for each CapsuleNet layer and each routing step, the list of
+framework operations a 2018-era eager PyTorch implementation issues.  The
+structure follows the reference implementations circulating at the time of
+the paper (e.g. the widely used gram-ai / higgsfield CapsNet ports):
+
+* convolutions map to one cuDNN kernel plus bias and activation
+  elementwise kernels;
+* the ClassCaps prediction is a broadcast + one batched matmul;
+* softmax over the routing logits decomposes into transpose / max /
+  subtract / exp / sum / divide;
+* the ClassCaps squash is applied per output capsule in a Python loop
+  (norm, add, divide, multiply per capsule) — the implementation detail
+  that makes squashing the paper's dominant routing step (Fig 9);
+* the logit update is an elementwise product plus a reduction plus an add.
+
+Every operation count scales with the network configuration, so the same
+extraction works for the tiny test network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capsnet.config import CapsNetConfig
+from repro.capsnet.routing import routing_step_sequence
+from repro.perf.gpu import GpuKernel
+
+#: Bytes per element of the GPU's working datatype (float32).
+ELEMENT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class ImplementationProfile:
+    """Knobs describing how the measured PyTorch implementation was written."""
+
+    #: Apply the ClassCaps squash with a Python loop over output capsules
+    #: (the behaviour consistent with the paper's measured squash times).
+    squash_loop_over_capsules: bool = True
+    #: Framework ops per squash application (norm, scale, divide, multiply).
+    ops_per_squash: int = 4
+    #: Framework ops per softmax (transpose, max, sub, exp, sum, div).
+    ops_per_softmax: int = 6
+
+
+class CapsNetGpuWorkload:
+    """Kernel sequences of a CapsuleNet forward pass on the GPU."""
+
+    def __init__(
+        self,
+        config: CapsNetConfig,
+        impl: ImplementationProfile | None = None,
+    ) -> None:
+        self.config = config
+        self.impl = impl if impl is not None else ImplementationProfile()
+
+    # ---- layers ---------------------------------------------------------------
+
+    def conv1_kernels(self) -> list[GpuKernel]:
+        """Conv1: convolution + bias + ReLU."""
+        cfg = self.config
+        spec = cfg.conv1
+        out_elems = cfg.conv1_out_size**2 * spec.out_channels
+        macs = out_elems * spec.in_channels * spec.kernel_size**2
+        in_bytes = cfg.input_count * ELEMENT_BYTES
+        w_bytes = spec.weight_count * ELEMENT_BYTES
+        out_bytes = out_elems * ELEMENT_BYTES
+        return [
+            GpuKernel("conv1.conv", "conv", flops=2 * macs, bytes=in_bytes + w_bytes + out_bytes),
+            GpuKernel("conv1.bias", "elementwise", flops=out_elems, bytes=2 * out_bytes),
+            GpuKernel("conv1.relu", "elementwise", flops=out_elems, bytes=2 * out_bytes),
+        ]
+
+    def primarycaps_kernels(self) -> list[GpuKernel]:
+        """PrimaryCaps: convolution + bias + vectorized squash."""
+        cfg = self.config
+        spec = cfg.primary
+        out_elems = cfg.primary_out_size**2 * spec.conv_out_channels
+        macs = out_elems * spec.in_channels * spec.kernel_size**2
+        in_elems = cfg.conv1_out_size**2 * spec.in_channels
+        kernels = [
+            GpuKernel(
+                "primary.conv",
+                "conv",
+                flops=2 * macs,
+                bytes=(in_elems + spec.weight_count + out_elems) * ELEMENT_BYTES,
+            ),
+            GpuKernel(
+                "primary.bias", "elementwise", flops=out_elems, bytes=2 * out_elems * ELEMENT_BYTES
+            ),
+        ]
+        # Vectorized squash over all primary capsules at once.
+        squash_bytes = 2 * out_elems * ELEMENT_BYTES
+        for index in range(self.impl.ops_per_squash):
+            kind = "reduce" if index == 0 else "elementwise"
+            kernels.append(
+                GpuKernel(f"primary.squash{index}", kind, flops=out_elems, bytes=squash_bytes)
+            )
+        return kernels
+
+    # ---- routing steps ----------------------------------------------------------
+
+    def load_kernels(self) -> list[GpuKernel]:
+        """Staging of predictions / logits before routing."""
+        cfg = self.config
+        u_elems = cfg.num_primary_capsules * cfg.primary.capsule_dim
+        b_elems = cfg.coupling_coefficient_count
+        return [
+            GpuKernel("load.stage_u", "elementwise", bytes=2 * u_elems * ELEMENT_BYTES),
+            GpuKernel("load.zero_b", "elementwise", bytes=b_elems * ELEMENT_BYTES),
+        ]
+
+    def fc_kernels(self) -> list[GpuKernel]:
+        """ClassCaps predictions: broadcast + batched matmul."""
+        cfg = self.config
+        macs = cfg.classcaps_weight_count  # each weight used once
+        u_hat_elems = (
+            cfg.num_primary_capsules * cfg.classcaps.num_classes * cfg.classcaps.out_dim
+        )
+        w_bytes = cfg.classcaps_weight_count * ELEMENT_BYTES
+        return [
+            GpuKernel("fc.broadcast", "elementwise", bytes=2 * u_hat_elems * ELEMENT_BYTES),
+            GpuKernel(
+                "fc.bmm", "gemm", flops=2 * macs, bytes=w_bytes + u_hat_elems * ELEMENT_BYTES
+            ),
+        ]
+
+    def softmax_kernels(self, iteration: int) -> list[GpuKernel]:
+        """Softmax over the routing logits (one op chain)."""
+        elems = self.config.coupling_coefficient_count
+        kernels = []
+        for index in range(self.impl.ops_per_softmax):
+            kind = "reduce" if index in (1, 4) else "elementwise"
+            kernels.append(
+                GpuKernel(
+                    f"softmax{iteration}.op{index}",
+                    kind,
+                    flops=elems,
+                    bytes=2 * elems * ELEMENT_BYTES,
+                )
+            )
+        return kernels
+
+    def sum_kernels(self, iteration: int) -> list[GpuKernel]:
+        """Weighted prediction sum: elementwise product + reduction."""
+        cfg = self.config
+        u_hat_elems = (
+            cfg.num_primary_capsules * cfg.classcaps.num_classes * cfg.classcaps.out_dim
+        )
+        out_elems = cfg.output_count
+        return [
+            GpuKernel(
+                f"sum{iteration}.mul",
+                "elementwise",
+                flops=u_hat_elems,
+                bytes=3 * u_hat_elems * ELEMENT_BYTES,
+            ),
+            GpuKernel(
+                f"sum{iteration}.reduce",
+                "reduce",
+                flops=u_hat_elems,
+                bytes=(u_hat_elems + out_elems) * ELEMENT_BYTES,
+            ),
+        ]
+
+    def squash_kernels(self, iteration: int) -> list[GpuKernel]:
+        """ClassCaps squash: per-capsule op loop (the measured hotspot)."""
+        cfg = self.config
+        caps = cfg.classcaps.num_classes
+        dim = cfg.classcaps.out_dim
+        loops = caps if self.impl.squash_loop_over_capsules else 1
+        elems = dim if self.impl.squash_loop_over_capsules else caps * dim
+        kernels = []
+        for capsule in range(loops):
+            for index in range(self.impl.ops_per_squash):
+                kind = "reduce" if index == 0 else "elementwise"
+                kernels.append(
+                    GpuKernel(
+                        f"squash{iteration}.c{capsule}.op{index}",
+                        kind,
+                        flops=elems,
+                        bytes=2 * elems * ELEMENT_BYTES,
+                    )
+                )
+        return kernels
+
+    def update_kernels(self, iteration: int) -> list[GpuKernel]:
+        """Routing logit update: product + reduction + accumulate."""
+        cfg = self.config
+        u_hat_elems = (
+            cfg.num_primary_capsules * cfg.classcaps.num_classes * cfg.classcaps.out_dim
+        )
+        b_elems = cfg.coupling_coefficient_count
+        return [
+            GpuKernel(
+                f"update{iteration}.mul",
+                "elementwise",
+                flops=u_hat_elems,
+                bytes=3 * u_hat_elems * ELEMENT_BYTES,
+            ),
+            GpuKernel(
+                f"update{iteration}.reduce",
+                "reduce",
+                flops=u_hat_elems,
+                bytes=(u_hat_elems + b_elems) * ELEMENT_BYTES,
+            ),
+            GpuKernel(
+                f"update{iteration}.add",
+                "elementwise",
+                flops=b_elems,
+                bytes=3 * b_elems * ELEMENT_BYTES,
+            ),
+        ]
+
+    # ---- aggregation -----------------------------------------------------------
+
+    def routing_step_kernels(self) -> dict[str, list[GpuKernel]]:
+        """Kernel list per routing step label (Fig 9 sequence).
+
+        The GPU implementation runs the textbook algorithm, so the first
+        softmax is *not* skipped here — only CapsAcc applies that
+        optimization.
+        """
+        steps: dict[str, list[GpuKernel]] = {
+            "Load": self.load_kernels(),
+            "FC": self.fc_kernels(),
+        }
+        for label in routing_step_sequence(
+            self.config.classcaps.routing_iterations, optimized=False
+        ):
+            iteration = int(label[-1])
+            if label.startswith("Softmax"):
+                steps[label] = self.softmax_kernels(iteration)
+            elif label.startswith("Sum"):
+                steps[label] = self.sum_kernels(iteration)
+            elif label.startswith("Squash"):
+                steps[label] = self.squash_kernels(iteration)
+            elif label.startswith("Update"):
+                steps[label] = self.update_kernels(iteration)
+        return steps
+
+    def layer_kernels(self) -> dict[str, list[GpuKernel]]:
+        """Kernel list per layer (Fig 8 aggregation)."""
+        classcaps: list[GpuKernel] = []
+        for kernels in self.routing_step_kernels().values():
+            classcaps.extend(kernels)
+        return {
+            "Conv1": self.conv1_kernels(),
+            "PrimaryCaps": self.primarycaps_kernels(),
+            "ClassCaps": classcaps,
+        }

@@ -1,0 +1,130 @@
+"""End-to-end CapsAcc performance model (Figs 16 and 17, CapsAcc side).
+
+:class:`CapsAccPerformanceModel` composes the mapped stage shapes of
+:mod:`repro.mapping.shapes` with the cycle model of
+:mod:`repro.perf.cycles` to produce, for a network and accelerator
+configuration:
+
+* per-stage cycles and microseconds,
+* per-layer aggregation (Conv1 / PrimaryCaps / ClassCaps / Total — Fig 16),
+* per-routing-step times with the paper's step labels (Fig 17),
+* total inference latency and achieved utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
+from repro.hw.config import AcceleratorConfig
+from repro.mapping.shapes import (
+    classcaps_fc_stage,
+    conv_stage,
+    full_inference_stages,
+    load_stage,
+    stage_layer,
+)
+from repro.perf.cycles import StagePerf, stage_performance
+
+
+@dataclass
+class InferencePerformance:
+    """Full-network performance summary."""
+
+    stages: list[StagePerf]
+    clock_mhz: float
+    num_pes: int
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles for one complete inference."""
+        return sum(stage.cycles for stage in self.stages)
+
+    @property
+    def total_time_ms(self) -> float:
+        """Latency of one inference in milliseconds."""
+        return self.total_cycles / self.clock_mhz / 1e3
+
+    def layer_times_us(self) -> dict[str, float]:
+        """Per-layer latency in microseconds (Fig 16 aggregation)."""
+        layers: dict[str, float] = {"Conv1": 0.0, "PrimaryCaps": 0.0, "ClassCaps": 0.0}
+        for stage in self.stages:
+            layers[stage_layer(stage.name)] += stage.time_us(self.clock_mhz)
+        layers["Total"] = sum(layers.values())
+        return layers
+
+    def stage_times_us(self) -> dict[str, float]:
+        """Per-stage latency in microseconds, in execution order."""
+        return {stage.name: stage.time_us(self.clock_mhz) for stage in self.stages}
+
+    def utilization(self) -> float:
+        """Overall achieved MACs per PE-cycle."""
+        total_macs = sum(stage.macs for stage in self.stages)
+        if self.total_cycles == 0:
+            return 0.0
+        return total_macs / (self.total_cycles * self.num_pes)
+
+
+@dataclass
+class CapsAccPerformanceModel:
+    """Analytical performance model of CapsAcc running a CapsuleNet.
+
+    Parameters
+    ----------
+    accelerator:
+        Hardware configuration (defaults to the paper's Table II instance).
+    network:
+        CapsuleNet architecture (defaults to the paper's MNIST network).
+    optimized_routing:
+        Apply the first-softmax skip (Section V-C).
+    conv_policy:
+        Convolution mapping policy (see :func:`repro.mapping.shapes.conv_stage`).
+    """
+
+    accelerator: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+    network: CapsNetConfig = field(default_factory=mnist_capsnet_config)
+    optimized_routing: bool = True
+    conv_policy: str = "channel_parallel"
+
+    def run(self) -> InferencePerformance:
+        """Evaluate all stages of one inference pass."""
+        stages = full_inference_stages(
+            self.network,
+            optimized_routing=self.optimized_routing,
+            conv_policy=self.conv_policy,
+        )
+        perf = [stage_performance(self.accelerator, stage) for stage in stages]
+        return InferencePerformance(
+            stages=perf,
+            clock_mhz=self.accelerator.clock_mhz,
+            num_pes=self.accelerator.num_pes,
+        )
+
+    def routing_step_times_us(self) -> dict[str, float]:
+        """Per-routing-step latency with the paper's Fig 17 labels.
+
+        Labels are ``Load, FC, Softmax1, Sum1, Squash1, Update1, ...``; a
+        skipped softmax appears at its initialization-transfer cost.
+        """
+        clock = self.accelerator.clock_mhz
+        times: dict[str, float] = {}
+        load = stage_performance(self.accelerator, load_stage(self.network))
+        times["Load"] = load.time_us(clock)
+        fc = stage_performance(self.accelerator, classcaps_fc_stage(self.network))
+        times["FC"] = fc.time_us(clock)
+        from repro.mapping.shapes import routing_stages
+
+        for stage in routing_stages(self.network, optimized=self.optimized_routing):
+            perf = stage_performance(self.accelerator, stage)
+            label = stage.name.replace(" (skipped)", "")
+            times[label.capitalize()] = perf.time_us(clock)
+        return times
+
+    def layer_times_us(self) -> dict[str, float]:
+        """Per-layer latency in microseconds (Fig 16)."""
+        return self.run().layer_times_us()
+
+    def conv_stage_perf(self, layer: str) -> StagePerf:
+        """Performance of a single convolution stage (for ablations)."""
+        stage = conv_stage(self.network, layer, policy=self.conv_policy)
+        return stage_performance(self.accelerator, stage)

@@ -1,0 +1,150 @@
+"""Generic roofline model and arithmetic-intensity analysis.
+
+Supports the paper's Section III motivational claims: CapsuleNet inference
+is *compute*-intensive rather than *memory*-intensive (the bottleneck is
+squashing, not weight traffic), and an 8 MB on-chip memory suffices for all
+parameters.  The roofline also cross-checks the GPU device profiles and
+gives the accelerator's theoretical bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
+from repro.errors import ConfigError
+from repro.hw.config import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload on a roofline: operations vs bytes moved."""
+
+    name: str
+    operations: float
+    bytes_moved: float
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Operations per byte."""
+        if self.bytes_moved == 0:
+            return float("inf")
+        return self.operations / self.bytes_moved
+
+
+@dataclass(frozen=True)
+class RooflineMachine:
+    """A machine's compute and bandwidth ceilings."""
+
+    name: str
+    peak_ops_per_s: float
+    bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.peak_ops_per_s <= 0 or self.bandwidth_bytes_per_s <= 0:
+            raise ConfigError("roofline ceilings must be positive")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity (ops/byte) at which the roofline flattens."""
+        return self.peak_ops_per_s / self.bandwidth_bytes_per_s
+
+    def attainable_ops_per_s(self, intensity: float) -> float:
+        """The roofline: min(peak, bandwidth * intensity)."""
+        if intensity < 0:
+            raise ConfigError("arithmetic intensity cannot be negative")
+        return min(self.peak_ops_per_s, self.bandwidth_bytes_per_s * intensity)
+
+    def time_s(self, point: RooflinePoint) -> float:
+        """Lower-bound execution time of a workload on this machine."""
+        rate = self.attainable_ops_per_s(point.arithmetic_intensity)
+        return point.operations / rate
+
+    def is_compute_bound(self, point: RooflinePoint) -> bool:
+        """Whether the workload sits right of the ridge."""
+        return point.arithmetic_intensity >= self.ridge_intensity
+
+
+def capsacc_machine(config: AcceleratorConfig | None = None) -> RooflineMachine:
+    """Roofline ceilings of a CapsAcc instance.
+
+    Compute ceiling: one MAC per PE per cycle.  Bandwidth ceiling: the two
+    16-word/cycle operand ports between the buffers and the array.
+    """
+    config = config if config is not None else AcceleratorConfig()
+    bandwidth = (
+        (config.data_bus_words + config.weight_bus_words)
+        * (config.data_bits // 8 or 1)
+        * config.clock_mhz
+        * 1e6
+    )
+    return RooflineMachine(
+        name=f"CapsAcc {config.rows}x{config.cols}",
+        peak_ops_per_s=config.peak_macs_per_second,
+        bandwidth_bytes_per_s=bandwidth,
+    )
+
+
+def layer_roofline_points(
+    config: CapsNetConfig | None = None, bytes_per_value: int = 1
+) -> list[RooflinePoint]:
+    """MACs and minimum operand traffic per layer (unique values moved once).
+
+    Traffic counts each input, weight and output value exactly once — the
+    compulsory traffic a perfect cache would incur, which is the right
+    quantity for the compute-vs-memory-intensive question of Section III.
+    """
+    config = config if config is not None else mnist_capsnet_config()
+    points = []
+    conv1_out = config.conv1_out_size**2 * config.conv1.out_channels
+    points.append(
+        RooflinePoint(
+            "Conv1",
+            operations=conv1_out * config.conv1.in_channels * config.conv1.kernel_size**2,
+            bytes_moved=bytes_per_value
+            * (config.input_count + config.conv1.parameter_count + conv1_out),
+        )
+    )
+    primary_out = config.num_primary_capsules * config.primary.capsule_dim
+    points.append(
+        RooflinePoint(
+            "PrimaryCaps",
+            operations=config.primary_out_size**2
+            * config.primary.conv_out_channels
+            * config.primary.in_channels
+            * config.primary.kernel_size**2,
+            bytes_moved=bytes_per_value
+            * (conv1_out + config.primary.parameter_count + primary_out),
+        )
+    )
+    u_hat_count = (
+        config.num_primary_capsules * config.classcaps.num_classes * config.classcaps.out_dim
+    )
+    routing_macs = config.classcaps.routing_iterations * u_hat_count + (
+        config.classcaps.routing_iterations - 1
+    ) * u_hat_count
+    points.append(
+        RooflinePoint(
+            "ClassCaps",
+            operations=config.classcaps_weight_count + routing_macs,
+            bytes_moved=bytes_per_value
+            * (
+                primary_out
+                + config.classcaps_weight_count
+                + u_hat_count
+                + config.coupling_coefficient_count
+                + config.output_count
+            ),
+        )
+    )
+    return points
+
+
+def network_roofline_point(config: CapsNetConfig | None = None) -> RooflinePoint:
+    """The whole network as one roofline point."""
+    points = layer_roofline_points(config)
+    return RooflinePoint(
+        "CapsuleNet",
+        operations=sum(p.operations for p in points),
+        bytes_moved=sum(p.bytes_moved for p in points),
+    )

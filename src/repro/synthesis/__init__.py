@@ -1,0 +1,40 @@
+"""32nm CMOS synthesis model: area, power and energy (Tables II/III, Fig 18).
+
+The paper synthesizes CapsAcc with Synopsys Design Compiler in a 32nm
+library and reports per-component area and power.  This package substitutes
+that flow with an analytical model:
+
+* :mod:`repro.synthesis.tech` — technology parameters (gate, SRAM, register
+  file and ROM densities; power densities; access energies) for 32nm, with
+  first-order scaling to neighbouring nodes for ablations.
+* :mod:`repro.synthesis.components` — structural gate/bit counts for every
+  architecture component (PE datapath, accumulator FIFOs, activation ROMs,
+  buffers, control).
+* :mod:`repro.synthesis.power` — power from area/activity and energy per
+  inference from simulated access counts.
+* :mod:`repro.synthesis.report` — Table II / Table III / Fig 18 generation
+  and paper comparison.
+
+Calibration: the component models are first-principles (gate counts times
+a routed-gate area); the single fitted constant per storage kind (SRAM /
+register file / ROM bit area) is chosen once so the 32nm defaults land near
+Table III, and is reported in the docs.  The *breakdown shape* — buffers
+dominating, the systolic array about a quarter of the budget — follows
+from structure, not fitting.
+"""
+
+from repro.synthesis.tech import TechnologyParameters, TECH_32NM, scaled_technology
+from repro.synthesis.components import ComponentEstimate, synthesize_components
+from repro.synthesis.power import component_power_mw, energy_per_inference_uj
+from repro.synthesis.report import SynthesisReport
+
+__all__ = [
+    "TechnologyParameters",
+    "TECH_32NM",
+    "scaled_technology",
+    "ComponentEstimate",
+    "synthesize_components",
+    "component_power_mw",
+    "energy_per_inference_uj",
+    "SynthesisReport",
+]

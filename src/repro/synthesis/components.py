@@ -1,0 +1,143 @@
+"""Structural area estimates for every CapsAcc component (Table III rows).
+
+Each estimator counts the gates / storage bits implied by the architecture
+configuration and converts them to area with the technology densities.  The
+component list matches the paper's Table III: Accumulator, Activation,
+Data Buffer, Routing Buffer, Weight Buffer, Systolic Array, Other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fixedpoint.luts import lut_inventory
+from repro.hw.config import AcceleratorConfig
+from repro.synthesis.tech import (
+    TECH_32NM,
+    TechnologyParameters,
+    adder_gates,
+    multiplier_gates,
+    mux_gates,
+    register_gates,
+)
+
+#: Routing/wiring overhead applied on top of raw standard-cell area.
+WIRING_FACTOR = 1.2
+
+#: FIFO depth of each accumulator (outputs pending per column); sized for
+#: the largest tile pass of the MNIST network (Conv1 streams 400 outputs).
+DEFAULT_ACCUMULATOR_DEPTH = 512
+
+
+@dataclass(frozen=True)
+class ComponentEstimate:
+    """Area estimate for one architecture component."""
+
+    name: str
+    kind: str
+    area_um2: float
+
+    @property
+    def area_mm2(self) -> float:
+        """Area in square millimetres."""
+        return self.area_um2 / 1e6
+
+
+def pe_gates(config: AcceleratorConfig) -> int:
+    """NAND2-equivalents of one processing element (Fig 11b).
+
+    Multiplier (data x weight), partial-sum adder, the four registers
+    (data, weight1, weight2, partial sum) and input multiplexers.
+    """
+    gates = multiplier_gates(config.data_bits, config.weight_bits)
+    gates += adder_gates(config.acc_bits)
+    gates += register_gates(config.data_bits)  # data register
+    gates += register_gates(config.weight_bits) * 2  # weight shift + hold
+    gates += register_gates(config.acc_bits)  # partial-sum register
+    gates += mux_gates(config.data_bits) + mux_gates(config.weight_bits)
+    return gates
+
+
+def systolic_array_area(
+    config: AcceleratorConfig, tech: TechnologyParameters = TECH_32NM
+) -> ComponentEstimate:
+    """Area of the full PE array."""
+    total_gates = pe_gates(config) * config.num_pes
+    area = total_gates * tech.gate_area_um2 * WIRING_FACTOR
+    return ComponentEstimate("Systolic Array", "logic", area)
+
+
+def accumulator_area(
+    config: AcceleratorConfig,
+    tech: TechnologyParameters = TECH_32NM,
+    depth: int = DEFAULT_ACCUMULATOR_DEPTH,
+) -> ComponentEstimate:
+    """Area of the per-column FIFO accumulators (Fig 11c)."""
+    fifo_bits = depth * config.acc_bits
+    per_column = fifo_bits * tech.regfile_bit_area_um2
+    per_column += (
+        adder_gates(config.acc_bits) + mux_gates(config.acc_bits) + register_gates(8)
+    ) * tech.gate_area_um2 * WIRING_FACTOR
+    return ComponentEstimate("Accumulator", "regfile", per_column * config.cols)
+
+
+def activation_area(
+    config: AcceleratorConfig, tech: TechnologyParameters = TECH_32NM
+) -> ComponentEstimate:
+    """Area of the activation units (Fig 11d-g): ROMs plus datapaths.
+
+    Each of the ``cols`` units carries the squash, square and exp ROMs and
+    the norm/softmax datapaths (accumulation registers, adders, divider).
+    """
+    rom_bits = sum(lut_inventory().values())
+    rom_area = rom_bits * tech.rom_bit_area_um2
+    datapath_gates = (
+        adder_gates(16) * 2  # norm and softmax accumulation
+        + register_gates(16) * 3  # square, exp and output registers
+        + adder_gates(24)  # divider (iterative) core adder
+        + mux_gates(config.data_bits, ways=4)  # output select (Fig 11d)
+        + 200  # sqrt and control logic
+    )
+    datapath_area = datapath_gates * tech.gate_area_um2 * WIRING_FACTOR
+    return ComponentEstimate(
+        "Activation", "rom", (rom_area + datapath_area) * config.cols
+    )
+
+
+def buffer_area(
+    name: str, size_kb: float, tech: TechnologyParameters = TECH_32NM
+) -> ComponentEstimate:
+    """Area of one SRAM buffer."""
+    bits = size_kb * 1024 * 8
+    return ComponentEstimate(name, "sram", bits * tech.sram_bit_area_um2)
+
+
+def control_area(
+    config: AcceleratorConfig, tech: TechnologyParameters = TECH_32NM
+) -> ComponentEstimate:
+    """Area of the control unit and glue logic ("Other" in Table III)."""
+    gates = 1500 + 10 * (config.rows + config.cols)
+    return ComponentEstimate("Other", "control", gates * tech.gate_area_um2)
+
+
+def synthesize_components(
+    config: AcceleratorConfig | None = None,
+    tech: TechnologyParameters = TECH_32NM,
+    accumulator_depth: int = DEFAULT_ACCUMULATOR_DEPTH,
+) -> list[ComponentEstimate]:
+    """Full component list in the paper's Table III order."""
+    config = config if config is not None else AcceleratorConfig()
+    return [
+        accumulator_area(config, tech, depth=accumulator_depth),
+        activation_area(config, tech),
+        buffer_area("Data Buffer", config.data_buffer_kb, tech),
+        buffer_area("Routing Buffer", config.routing_buffer_kb, tech),
+        buffer_area("Weight Buffer", config.weight_buffer_kb, tech),
+        systolic_array_area(config, tech),
+        control_area(config, tech),
+    ]
+
+
+def total_area_mm2(components: list[ComponentEstimate]) -> float:
+    """Summed area in mm^2 (the paper's Table II area is this sum)."""
+    return sum(component.area_mm2 for component in components)

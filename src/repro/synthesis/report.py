@@ -1,0 +1,102 @@
+"""Synthesis reports: Table II, Table III and the Fig 18 breakdowns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.config import AcceleratorConfig
+from repro.perf.calibration import PAPER_TABLE2, PAPER_TABLE3
+from repro.synthesis.components import (
+    ComponentEstimate,
+    synthesize_components,
+    total_area_mm2,
+)
+from repro.synthesis.power import component_power_mw, total_power_mw
+from repro.synthesis.tech import TECH_32NM, TechnologyParameters
+
+
+@dataclass
+class SynthesisReport:
+    """Area/power report for one accelerator configuration."""
+
+    config: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+    tech: TechnologyParameters = TECH_32NM
+
+    def __post_init__(self) -> None:
+        self.components: list[ComponentEstimate] = synthesize_components(
+            self.config, self.tech
+        )
+        self.power_mw: dict[str, float] = component_power_mw(
+            self.components,
+            self.tech,
+            voltage_v=self.config.voltage_v,
+            clock_mhz=self.config.clock_mhz,
+        )
+
+    # ---- Table II -------------------------------------------------------------
+
+    def table2(self) -> dict[str, float]:
+        """Synthesized accelerator parameters (paper Table II)."""
+        return {
+            "technology_nm": self.config.technology_nm,
+            "voltage_v": self.config.voltage_v,
+            "area_mm2": total_area_mm2(self.components),
+            "power_mw": total_power_mw(
+                self.components,
+                self.tech,
+                voltage_v=self.config.voltage_v,
+                clock_mhz=self.config.clock_mhz,
+            ),
+            "clock_mhz": self.config.clock_mhz,
+            "bit_width": self.config.data_bits,
+            "onchip_memory_mb": self.config.onchip_memory_mb,
+        }
+
+    # ---- Table III ------------------------------------------------------------
+
+    def table3(self) -> list[tuple[str, float, float]]:
+        """Per-component ``(name, area_um2, power_mw)`` rows (paper Table III)."""
+        return [
+            (component.name, component.area_um2, self.power_mw[component.name])
+            for component in self.components
+        ]
+
+    # ---- Fig 18 ---------------------------------------------------------------
+
+    def area_breakdown(self) -> dict[str, float]:
+        """Fraction of total area per component (Fig 18a)."""
+        total = sum(component.area_um2 for component in self.components)
+        return {
+            component.name: component.area_um2 / total for component in self.components
+        }
+
+    def power_breakdown(self) -> dict[str, float]:
+        """Fraction of total power per component (Fig 18b)."""
+        total = sum(self.power_mw.values())
+        return {name: power / total for name, power in self.power_mw.items()}
+
+    # ---- paper comparison -------------------------------------------------------
+
+    def compare_table3(self) -> list[dict]:
+        """Measured-vs-paper rows for every Table III component."""
+        rows = []
+        for name, area_um2, power_mw in self.table3():
+            paper = PAPER_TABLE3.get(name, {})
+            rows.append(
+                {
+                    "component": name,
+                    "area_um2": area_um2,
+                    "paper_area_um2": paper.get("area_um2"),
+                    "power_mw": power_mw,
+                    "paper_power_mw": paper.get("power_mw"),
+                }
+            )
+        return rows
+
+    def compare_table2(self) -> list[dict]:
+        """Measured-vs-paper rows for the Table II parameters."""
+        ours = self.table2()
+        return [
+            {"parameter": key, "ours": ours[key], "paper": PAPER_TABLE2.get(key)}
+            for key in ours
+        ]

@@ -1,0 +1,126 @@
+"""Technology parameters for the synthesis model.
+
+``TECH_32NM`` reproduces the paper's 32nm node at 1.05 V.  Densities are
+routed (post-layout-equivalent) values:
+
+* ``gate_area_um2`` — area of one NAND2-equivalent including routing
+  overhead (~2.4 um^2 at 32nm).
+* ``sram_bit_area_um2`` — effective SRAM macro density including periphery
+  (~0.55 um^2/bit for the buffer-sized macros used here).
+* ``regfile_bit_area_um2`` — register-file density (FIFO storage).
+* ``rom_bit_area_um2`` — ROM density (activation lookup tables).
+
+Power densities (mW/mm^2 at nominal voltage and clock) are fitted once to
+the paper's Table III (power per area is nearly uniform at ~70 mW/mm^2
+across its components, with the ROM-heavy activation unit lower).  Access
+energies feed the energy-per-inference extension experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """One CMOS technology point."""
+
+    name: str
+    node_nm: int
+    nominal_voltage_v: float
+    nominal_clock_mhz: float
+    gate_area_um2: float
+    sram_bit_area_um2: float
+    regfile_bit_area_um2: float
+    rom_bit_area_um2: float
+    #: Power density per component kind, mW per mm^2 at nominal V and f.
+    power_density_mw_per_mm2: dict
+    #: Dynamic access energies in pJ (8-bit word granularity).
+    energy_pj: dict
+
+    def density(self, kind: str) -> float:
+        """Power density for a component kind."""
+        if kind not in self.power_density_mw_per_mm2:
+            raise ConfigError(f"no power density for component kind {kind!r}")
+        return self.power_density_mw_per_mm2[kind]
+
+    def access_energy(self, event: str) -> float:
+        """Energy in pJ for one counted event."""
+        if event not in self.energy_pj:
+            raise ConfigError(f"no access energy for event {event!r}")
+        return self.energy_pj[event]
+
+
+TECH_32NM = TechnologyParameters(
+    name="32nm generic",
+    node_nm=32,
+    nominal_voltage_v=1.05,
+    nominal_clock_mhz=250.0,
+    gate_area_um2=2.4,
+    sram_bit_area_um2=0.55,
+    regfile_bit_area_um2=1.20,
+    rom_bit_area_um2=0.10,
+    power_density_mw_per_mm2={
+        "logic": 68.0,
+        "sram": 72.0,
+        "regfile": 73.0,
+        "rom": 42.0,
+        "control": 30.0,
+    },
+    energy_pj={
+        "mac": 0.9,
+        "sram_access": 1.2,
+        "regfile_access": 0.8,
+        "lut_access": 0.4,
+        "memory_access": 6.0,
+    },
+)
+
+
+def scaled_technology(node_nm: int, base: TechnologyParameters = TECH_32NM) -> TechnologyParameters:
+    """First-order Dennard-style scaling of a technology point.
+
+    Area scales with the square of the feature-size ratio; energies scale
+    with the ratio; power densities are kept constant (a conservative
+    post-Dennard assumption).  Intended for ablation sweeps, not sign-off.
+    """
+    if node_nm < 5 or node_nm > 250:
+        raise ConfigError(f"implausible technology node {node_nm}nm")
+    ratio = node_nm / base.node_nm
+    area_scale = ratio**2
+    return replace(
+        base,
+        name=f"{node_nm}nm scaled",
+        node_nm=node_nm,
+        gate_area_um2=base.gate_area_um2 * area_scale,
+        sram_bit_area_um2=base.sram_bit_area_um2 * area_scale,
+        regfile_bit_area_um2=base.regfile_bit_area_um2 * area_scale,
+        rom_bit_area_um2=base.rom_bit_area_um2 * area_scale,
+        energy_pj={key: value * ratio for key, value in base.energy_pj.items()},
+    )
+
+
+# ---- gate-count building blocks ------------------------------------------------
+
+
+def multiplier_gates(bits_a: int, bits_b: int) -> int:
+    """NAND2-equivalents of an array multiplier (one FA per partial bit)."""
+    full_adders = bits_a * bits_b
+    return full_adders * 7
+
+
+def adder_gates(bits: int) -> int:
+    """NAND2-equivalents of a ripple/carry-select adder."""
+    return bits * 7
+
+
+def register_gates(bits: int) -> int:
+    """NAND2-equivalents of a flip-flop register."""
+    return bits * 5
+
+
+def mux_gates(bits: int, ways: int = 2) -> int:
+    """NAND2-equivalents of a ``ways``-to-1 multiplexer."""
+    return bits * (ways - 1) * 3

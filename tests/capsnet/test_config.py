@@ -1,0 +1,116 @@
+"""Unit tests for the CapsuleNet configuration."""
+
+import pytest
+
+from repro.capsnet.config import (
+    CapsNetConfig,
+    ClassCapsSpec,
+    ConvLayerSpec,
+    PrimaryCapsSpec,
+    conv_output_size,
+    mnist_capsnet_config,
+    tiny_capsnet_config,
+)
+from repro.errors import ConfigError
+
+
+class TestConvOutputSize:
+    def test_stride_one(self):
+        assert conv_output_size(28, 9, 1) == 20
+
+    def test_stride_two(self):
+        assert conv_output_size(20, 9, 2) == 6
+
+    def test_kernel_equals_input(self):
+        assert conv_output_size(9, 9, 1) == 1
+
+    def test_too_small_raises(self):
+        with pytest.raises(ConfigError):
+            conv_output_size(5, 9, 1)
+
+
+class TestMnistConfig:
+    def test_paper_fig1_dimensions(self, mnist_config):
+        assert mnist_config.image_size == 28
+        assert mnist_config.conv1.out_channels == 256
+        assert mnist_config.conv1.kernel_size == 9
+        assert mnist_config.primary.capsule_channels == 32
+        assert mnist_config.primary.capsule_dim == 8
+        assert mnist_config.classcaps.num_classes == 10
+        assert mnist_config.classcaps.out_dim == 16
+
+    def test_derived_spatial_sizes(self, mnist_config):
+        assert mnist_config.conv1_out_size == 20
+        assert mnist_config.primary_out_size == 6
+
+    def test_primary_capsule_count(self, mnist_config):
+        assert mnist_config.num_primary_capsules == 6 * 6 * 32 == 1152
+
+    def test_paper_parameter_counts(self, mnist_config):
+        assert mnist_config.conv1.parameter_count == 20992
+        assert mnist_config.primary.parameter_count == 5308672
+        assert mnist_config.classcaps_weight_count == 1474560
+        assert mnist_config.coupling_coefficient_count == 11520
+
+    def test_io_counts(self, mnist_config):
+        assert mnist_config.input_count == 784
+        assert mnist_config.output_count == 160
+
+    def test_total_parameters(self, mnist_config):
+        assert mnist_config.total_parameter_count == 20992 + 5308672 + 1474560
+
+
+class TestTinyConfig:
+    def test_structurally_consistent(self, tiny_config):
+        assert tiny_config.conv1_out_size == 8
+        assert tiny_config.primary_out_size == 2
+        assert tiny_config.num_primary_capsules == 2 * 2 * 2
+
+    def test_distinct_from_mnist(self, tiny_config, mnist_config):
+        assert tiny_config.total_parameter_count < mnist_config.total_parameter_count
+
+
+class TestValidation:
+    def test_channel_mismatch_conv1(self):
+        conv1 = ConvLayerSpec(in_channels=3, out_channels=8, kernel_size=3)
+        primary = PrimaryCapsSpec(in_channels=8, capsule_channels=2, capsule_dim=4, kernel_size=3)
+        with pytest.raises(ConfigError):
+            CapsNetConfig(
+                image_size=12,
+                in_channels=1,
+                conv1=conv1,
+                primary=primary,
+                classcaps=ClassCapsSpec(3, 6),
+            )
+
+    def test_channel_mismatch_primary(self):
+        conv1 = ConvLayerSpec(in_channels=1, out_channels=8, kernel_size=3)
+        primary = PrimaryCapsSpec(in_channels=16, capsule_channels=2, capsule_dim=4, kernel_size=3)
+        with pytest.raises(ConfigError):
+            CapsNetConfig(
+                image_size=12,
+                in_channels=1,
+                conv1=conv1,
+                primary=primary,
+                classcaps=ClassCapsSpec(3, 6),
+            )
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ConfigError):
+            ConvLayerSpec(in_channels=0, out_channels=8, kernel_size=3)
+        with pytest.raises(ConfigError):
+            ClassCapsSpec(num_classes=3, out_dim=6, routing_iterations=0)
+
+    def test_configs_are_frozen(self):
+        config = tiny_capsnet_config()
+        with pytest.raises(AttributeError):
+            config.image_size = 99
+
+
+class TestPrimarySpec:
+    def test_conv_out_channels(self):
+        spec = PrimaryCapsSpec(in_channels=4, capsule_channels=3, capsule_dim=5, kernel_size=3)
+        assert spec.conv_out_channels == 15
+
+    def test_mnist_conv_channels(self):
+        assert mnist_capsnet_config().primary.conv_out_channels == 256

@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for CapsuleNet invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capsnet.hwops import HardwareLuts, QuantizedFormats, hw_softmax, hw_squash
+from repro.capsnet.ops import margin_loss, softmax, squash
+from repro.capsnet.routing import routing_by_agreement
+from repro.fixedpoint.quantize import from_raw
+
+FMTS = QuantizedFormats()
+LUTS = HardwareLuts.build(FMTS)
+
+
+def arrays(shape_strategy, lo=-5.0, hi=5.0):
+    return shape_strategy.flatmap(
+        lambda shape: st.integers(0, 2**31 - 1).map(
+            lambda seed: np.random.default_rng(seed).uniform(lo, hi, size=shape)
+        )
+    )
+
+
+@given(s=arrays(st.tuples(st.integers(1, 20), st.integers(1, 16))))
+@settings(max_examples=100, deadline=None)
+def test_squash_norm_strictly_below_one(s):
+    norms = np.linalg.norm(squash(s), axis=-1)
+    assert np.all(norms < 1.0)
+
+
+@given(s=arrays(st.tuples(st.integers(1, 20), st.integers(2, 16))))
+@settings(max_examples=100, deadline=None)
+def test_squash_monotone_in_input_norm(s):
+    """Scaling the input up never shrinks the squashed norm."""
+    small = np.linalg.norm(squash(s), axis=-1)
+    large = np.linalg.norm(squash(2.0 * s), axis=-1)
+    assert np.all(large >= small - 1e-12)
+
+
+@given(x=arrays(st.tuples(st.integers(1, 10), st.integers(2, 12))))
+@settings(max_examples=100, deadline=None)
+def test_softmax_is_probability_distribution(x):
+    out = softmax(x, axis=1)
+    assert np.all(out > 0)
+    assert np.allclose(out.sum(axis=1), 1.0)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    num_in=st.integers(2, 20),
+    num_out=st.integers(2, 6),
+    dim=st.integers(2, 8),
+    iterations=st.integers(1, 4),
+)
+@settings(max_examples=60, deadline=None)
+def test_routing_invariants(seed, num_in, num_out, dim, iterations):
+    rng = np.random.default_rng(seed)
+    u_hat = rng.standard_normal((num_in, num_out, dim))
+    result = routing_by_agreement(u_hat, iterations)
+    # Coupling coefficients are a distribution over output capsules.
+    assert np.allclose(result.c.sum(axis=1), 1.0)
+    assert np.all(result.c >= 0)
+    # Outputs are squashed.
+    assert np.all(np.linalg.norm(result.v, axis=-1) < 1.0)
+    # Optimized variant is always identical.
+    optimized = routing_by_agreement(u_hat, iterations, optimized=True)
+    assert np.allclose(result.v, optimized.v)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    rows=st.integers(1, 20),
+    cols=st.integers(2, 12),
+)
+@settings(max_examples=60, deadline=None)
+def test_hw_softmax_rows_near_one(seed, rows, cols):
+    rng = np.random.default_rng(seed)
+    logits = rng.integers(-100, 100, size=(rows, cols))
+    c = from_raw(hw_softmax(logits, LUTS, FMTS, axis=1), FMTS.coupling)
+    assert np.all(np.abs(c.sum(axis=1) - 1.0) < 0.1)
+    assert np.all(c >= 0)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    groups=st.integers(1, 10),
+    dim=st.integers(2, 16),
+)
+@settings(max_examples=60, deadline=None)
+def test_hw_squash_bounded(seed, groups, dim):
+    rng = np.random.default_rng(seed)
+    vec = rng.integers(-128, 128, size=(groups, dim))
+    out = from_raw(hw_squash(vec, FMTS.primary_preact, LUTS, FMTS), FMTS.caps_data)
+    assert np.all(np.abs(out) <= 1.0 + FMTS.caps_data.resolution)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    classes=st.integers(2, 10),
+)
+@settings(max_examples=100, deadline=None)
+def test_margin_loss_non_negative_and_zero_at_ideal(seed, classes):
+    rng = np.random.default_rng(seed)
+    lengths = rng.uniform(0, 1, size=classes)
+    target = int(rng.integers(0, classes))
+    assert margin_loss(lengths, target) >= 0.0
+    ideal = np.full(classes, 0.05)
+    ideal[target] = 0.95
+    assert margin_loss(ideal, target) == 0.0

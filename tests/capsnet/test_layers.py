@@ -1,0 +1,126 @@
+"""Unit tests for the layer objects."""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.layers import ClassCapsLayer, Conv1Layer, PrimaryCapsLayer
+from repro.capsnet.ops import squash
+from repro.errors import ShapeError
+
+
+class TestConv1Layer:
+    def test_forward_shape(self, tiny_config, tiny_weights, tiny_images):
+        layer = Conv1Layer(tiny_config.conv1, tiny_weights["conv1_w"], tiny_weights["conv1_b"])
+        out = layer.forward(tiny_images[0][np.newaxis])
+        size = tiny_config.conv1_out_size
+        assert out.shape == (tiny_config.conv1.out_channels, size, size)
+
+    def test_relu_applied(self, tiny_config, tiny_weights, tiny_images):
+        layer = Conv1Layer(tiny_config.conv1, tiny_weights["conv1_w"], tiny_weights["conv1_b"])
+        out = layer.forward(tiny_images[0][np.newaxis])
+        assert out.min() >= 0.0
+
+    def test_shape_validation(self, tiny_config, tiny_weights):
+        with pytest.raises(ShapeError):
+            Conv1Layer(tiny_config.conv1, tiny_weights["conv1_w"][:, :, :1, :], tiny_weights["conv1_b"])
+        with pytest.raises(ShapeError):
+            Conv1Layer(tiny_config.conv1, tiny_weights["conv1_w"], tiny_weights["conv1_b"][:-1])
+
+
+class TestPrimaryCapsLayer:
+    @pytest.fixture
+    def layer(self, tiny_config, tiny_weights):
+        return PrimaryCapsLayer(
+            tiny_config.primary, tiny_weights["primary_w"], tiny_weights["primary_b"]
+        )
+
+    @pytest.fixture
+    def conv1_out(self, tiny_config, tiny_weights, tiny_images):
+        conv1 = Conv1Layer(tiny_config.conv1, tiny_weights["conv1_w"], tiny_weights["conv1_b"])
+        return conv1.forward(tiny_images[0][np.newaxis])
+
+    def test_capsule_shape(self, layer, conv1_out, tiny_config):
+        caps = layer.forward(conv1_out)
+        assert caps.shape == (
+            tiny_config.num_primary_capsules,
+            tiny_config.primary.capsule_dim,
+        )
+
+    def test_capsules_squashed(self, layer, conv1_out):
+        caps = layer.forward(conv1_out)
+        assert np.all(np.linalg.norm(caps, axis=-1) < 1.0)
+
+    def test_grouping_channel_major(self, layer, tiny_config):
+        # Synthetic conv output where channel c has constant value c lets us
+        # verify the (h, w, capsule_channel, dim) grouping order.
+        out_size = tiny_config.primary_out_size
+        channels = tiny_config.primary.conv_out_channels
+        conv_out = np.arange(channels, dtype=np.float64)[:, np.newaxis, np.newaxis]
+        conv_out = np.broadcast_to(conv_out, (channels, out_size, out_size)).copy()
+        grouped = layer.group_capsules(conv_out)
+        dim = tiny_config.primary.capsule_dim
+        # First capsule at (0,0) is capsule-channel 0 -> conv channels 0..dim-1.
+        assert list(grouped[0]) == list(range(dim))
+        # Second capsule at (0,0) is capsule-channel 1 -> next dim channels.
+        assert list(grouped[1]) == list(range(dim, 2 * dim))
+
+    def test_forward_equals_manual_pipeline(self, layer, conv1_out):
+        manual = squash(layer.group_capsules(layer.conv_forward(conv1_out)), axis=-1)
+        assert np.allclose(layer.forward(conv1_out), manual)
+
+    def test_group_rejects_wrong_channels(self, layer, tiny_config):
+        with pytest.raises(ShapeError):
+            layer.group_capsules(np.zeros((3, 2, 2)))
+
+
+class TestClassCapsLayer:
+    @pytest.fixture
+    def layer(self, tiny_config, tiny_weights):
+        return ClassCapsLayer(
+            tiny_config.classcaps,
+            tiny_weights["classcaps_w"],
+            num_in_capsules=tiny_config.num_primary_capsules,
+            in_dim=tiny_config.primary.capsule_dim,
+        )
+
+    def test_prediction_shape(self, layer, tiny_config, rng):
+        u = rng.standard_normal(
+            (tiny_config.num_primary_capsules, tiny_config.primary.capsule_dim)
+        )
+        u_hat = layer.predictions(u)
+        assert u_hat.shape == (
+            tiny_config.num_primary_capsules,
+            tiny_config.classcaps.num_classes,
+            tiny_config.classcaps.out_dim,
+        )
+
+    def test_predictions_are_per_pair_matvecs(self, layer, tiny_config, rng):
+        u = rng.standard_normal(
+            (tiny_config.num_primary_capsules, tiny_config.primary.capsule_dim)
+        )
+        u_hat = layer.predictions(u)
+        i, j = 3, 1
+        assert np.allclose(u_hat[i, j], layer.weight[i, j] @ u[i])
+
+    def test_forward_runs_routing(self, layer, tiny_config, rng):
+        u = rng.standard_normal(
+            (tiny_config.num_primary_capsules, tiny_config.primary.capsule_dim)
+        )
+        result = layer.forward(u)
+        assert result.v.shape == (
+            tiny_config.classcaps.num_classes,
+            tiny_config.classcaps.out_dim,
+        )
+
+    def test_input_shape_validated(self, layer):
+        with pytest.raises(ShapeError):
+            layer.predictions(np.zeros((3, 3)))
+
+    def test_weight_shape_validated(self, tiny_config, tiny_weights):
+        with pytest.raises(ShapeError):
+            ClassCapsLayer(
+                tiny_config.classcaps,
+                tiny_weights["classcaps_w"],
+                num_in_capsules=5,
+                in_dim=tiny_config.primary.capsule_dim,
+            )

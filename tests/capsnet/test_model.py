@@ -1,0 +1,85 @@
+"""Unit tests for the complete CapsuleNet model."""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.model import CapsuleNet
+from repro.errors import ShapeError
+
+
+@pytest.fixture(scope="module")
+def net(tiny_config, tiny_weights):
+    return CapsuleNet(tiny_config, weights=tiny_weights)
+
+
+class TestForward:
+    def test_output_shapes(self, net, tiny_config, tiny_images):
+        out = net.forward(tiny_images[0])
+        assert out.class_capsules.shape == (
+            tiny_config.classcaps.num_classes,
+            tiny_config.classcaps.out_dim,
+        )
+        assert out.lengths.shape == (tiny_config.classcaps.num_classes,)
+        assert out.u_hat.shape == (
+            tiny_config.num_primary_capsules,
+            tiny_config.classcaps.num_classes,
+            tiny_config.classcaps.out_dim,
+        )
+
+    def test_accepts_2d_image(self, net, tiny_images):
+        assert net.forward(tiny_images[0]).prediction in range(3)
+
+    def test_deterministic(self, net, tiny_images):
+        a = net.forward(tiny_images[0])
+        b = net.forward(tiny_images[0])
+        assert np.array_equal(a.lengths, b.lengths)
+
+    def test_lengths_below_one(self, net, tiny_images):
+        out = net.forward(tiny_images[0])
+        assert np.all(out.lengths < 1.0)
+
+    def test_prediction_is_argmax(self, net, tiny_images):
+        out = net.forward(tiny_images[1])
+        assert out.prediction == int(np.argmax(out.lengths))
+
+    def test_wrong_image_size_raises(self, net):
+        with pytest.raises(ShapeError):
+            net.forward(np.zeros((5, 5)))
+
+    def test_batch_prediction(self, net, tiny_images):
+        preds = net.predict_batch(tiny_images)
+        assert preds.shape == (len(tiny_images),)
+        singles = [net.predict(img) for img in tiny_images]
+        assert list(preds) == singles
+
+
+class TestRoutingVariants:
+    def test_optimized_routing_same_outputs(self, tiny_config, tiny_weights, tiny_images):
+        plain = CapsuleNet(tiny_config, weights=tiny_weights, optimized_routing=False)
+        optimized = CapsuleNet(tiny_config, weights=tiny_weights, optimized_routing=True)
+        a = plain.forward(tiny_images[0])
+        b = optimized.forward(tiny_images[0])
+        assert np.allclose(a.class_capsules, b.class_capsules)
+        assert a.prediction == b.prediction
+
+    def test_trace_differs(self, tiny_config, tiny_weights, tiny_images):
+        optimized = CapsuleNet(tiny_config, weights=tiny_weights, optimized_routing=True)
+        out = optimized.forward(tiny_images[0])
+        assert out.routing.steps[0].skipped
+
+
+class TestConstruction:
+    def test_default_weights_generated(self, tiny_config):
+        net = CapsuleNet(tiny_config)
+        assert net.weights["conv1_w"].shape[0] == tiny_config.conv1.out_channels
+
+    def test_default_config_is_mnist(self):
+        net = CapsuleNet()
+        assert net.config.image_size == 28
+        assert net.config.num_primary_capsules == 1152
+
+    def test_invalid_weights_rejected(self, tiny_config, tiny_weights):
+        broken = dict(tiny_weights)
+        broken["conv1_b"] = np.zeros(3)
+        with pytest.raises(ShapeError):
+            CapsuleNet(tiny_config, weights=broken)

@@ -1,0 +1,188 @@
+"""Unit tests for the numerical building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.ops import (
+    capsule_lengths,
+    conv2d,
+    im2col,
+    margin_loss,
+    relu,
+    softmax,
+    squash,
+    squash_scalar,
+    squash_scalar_derivative,
+)
+from repro.errors import ShapeError
+
+
+class TestIm2col:
+    def test_patch_count_and_width(self):
+        x = np.arange(2 * 6 * 6, dtype=np.float64).reshape(2, 6, 6)
+        patches = im2col(x, kernel_size=3, stride=1)
+        assert patches.shape == (16, 18)
+
+    def test_stride_two(self):
+        x = np.zeros((1, 8, 8))
+        assert im2col(x, 3, 2).shape == (9, 9)
+
+    def test_first_patch_contents(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4)
+        patches = im2col(x, 2, 1)
+        assert list(patches[0]) == [0, 1, 4, 5]
+
+    def test_row_major_output_order(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4)
+        patches = im2col(x, 2, 1)
+        # Second patch shifts one column right.
+        assert list(patches[1]) == [1, 2, 5, 6]
+
+    def test_integer_dtype_preserved(self):
+        x = np.arange(16, dtype=np.int64).reshape(1, 4, 4)
+        assert im2col(x, 2, 1).dtype == np.int64
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ShapeError):
+            im2col(np.zeros((4, 4)), 2, 1)
+
+    def test_rejects_kernel_larger_than_input(self):
+        with pytest.raises(ShapeError):
+            im2col(np.zeros((1, 3, 3)), 5, 1)
+
+
+class TestConv2d:
+    def test_identity_kernel(self):
+        x = np.arange(9, dtype=np.float64).reshape(1, 3, 3)
+        w = np.zeros((1, 1, 1, 1))
+        w[0, 0, 0, 0] = 1.0
+        out = conv2d(x, w, None, stride=1)
+        assert np.array_equal(out, x)
+
+    def test_matches_naive_convolution(self, rng):
+        x = rng.standard_normal((3, 7, 7))
+        w = rng.standard_normal((4, 3, 3, 3))
+        b = rng.standard_normal(4)
+        out = conv2d(x, w, b, stride=2)
+        assert out.shape == (4, 3, 3)
+        # Naive reference at one output position.
+        patch = x[:, 2:5, 2:5]
+        expected = np.sum(patch * w[1]) + b[1]
+        assert out[1, 1, 1] == pytest.approx(expected)
+
+    def test_bias_optional(self, rng):
+        x = rng.standard_normal((1, 5, 5))
+        w = rng.standard_normal((2, 1, 3, 3))
+        no_bias = conv2d(x, w, None, 1)
+        with_bias = conv2d(x, w, np.array([1.0, -1.0]), 1)
+        assert np.allclose(with_bias[0], no_bias[0] + 1.0)
+        assert np.allclose(with_bias[1], no_bias[1] - 1.0)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            conv2d(np.zeros((2, 5, 5)), np.zeros((1, 3, 3, 3)), None, 1)
+
+    def test_non_square_kernel_raises(self):
+        with pytest.raises(ShapeError):
+            conv2d(np.zeros((1, 5, 5)), np.zeros((1, 1, 3, 2)), None, 1)
+
+
+class TestRelu:
+    def test_clamps_negative(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+
+class TestSquash:
+    def test_zero_vector_maps_to_zero(self):
+        assert np.allclose(squash(np.zeros((3, 4))), 0.0)
+
+    def test_output_norm_below_one(self, rng):
+        s = rng.standard_normal((50, 8)) * 5
+        v = squash(s)
+        assert np.all(np.linalg.norm(v, axis=-1) < 1.0)
+
+    def test_norm_formula(self):
+        s = np.array([[3.0, 4.0]])  # norm 5
+        v = squash(s)
+        assert np.linalg.norm(v) == pytest.approx(25 / 26, rel=1e-6)
+
+    def test_preserves_direction(self, rng):
+        s = rng.standard_normal((10, 4))
+        v = squash(s)
+        cos = np.sum(s * v, axis=-1) / (
+            np.linalg.norm(s, axis=-1) * np.linalg.norm(v, axis=-1)
+        )
+        assert np.allclose(cos, 1.0)
+
+    def test_axis_argument(self, rng):
+        s = rng.standard_normal((4, 6))
+        assert np.allclose(squash(s, axis=0), squash(s.T, axis=1).T)
+
+
+class TestScalarSquash:
+    def test_monotone_non_negative(self):
+        x = np.linspace(0, 6, 100)
+        y = squash_scalar(x)
+        assert np.all(np.diff(y) > 0)
+        assert np.all(y < 1.0)
+
+    def test_derivative_peak_location(self):
+        x = np.linspace(0.01, 3, 20000)
+        dy = squash_scalar_derivative(x)
+        peak_x = x[np.argmax(dy)]
+        assert peak_x == pytest.approx(1 / np.sqrt(3), abs=1e-3)
+
+    def test_derivative_peak_value_matches_paper(self):
+        peak = squash_scalar_derivative(1 / np.sqrt(3))
+        assert peak == pytest.approx(0.6495, abs=1e-4)
+
+    def test_derivative_is_gradient(self):
+        x = np.linspace(0.1, 4, 1000)
+        numeric = np.gradient(squash_scalar(x), x)
+        # np.gradient is first-order at the endpoints; compare the interior.
+        assert np.allclose(
+            squash_scalar_derivative(x)[1:-1], numeric[1:-1], atol=1e-3
+        )
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.standard_normal((7, 5))
+        assert np.allclose(softmax(x, axis=1).sum(axis=1), 1.0)
+
+    def test_uniform_on_constant_rows(self):
+        out = softmax(np.zeros((3, 4)), axis=1)
+        assert np.allclose(out, 0.25)
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal(6)
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    def test_large_values_stable(self):
+        out = softmax(np.array([1000.0, 1000.0]))
+        assert np.allclose(out, 0.5)
+
+
+class TestLengthsAndLoss:
+    def test_capsule_lengths(self):
+        v = np.array([[3.0, 4.0], [0.0, 0.0]])
+        assert np.allclose(capsule_lengths(v), [5.0, 0.0])
+
+    def test_margin_loss_zero_when_perfect(self):
+        lengths = np.array([0.05, 0.95, 0.0])
+        assert margin_loss(lengths, target=1) == 0.0
+
+    def test_margin_loss_penalizes_absent_class(self):
+        lengths = np.array([0.95, 0.95])
+        assert margin_loss(lengths, target=0) > 0.0
+
+    def test_margin_loss_penalizes_weak_target(self):
+        lengths = np.array([0.1, 0.0])
+        loss = margin_loss(lengths, target=0)
+        assert loss == pytest.approx((0.9 - 0.1) ** 2)
+
+    def test_lambda_downweights_absent(self):
+        lengths = np.array([0.9, 0.5])
+        full = margin_loss(lengths, target=0, lam=1.0)
+        half = margin_loss(lengths, target=0, lam=0.5)
+        assert half == pytest.approx(full / 2)

@@ -1,0 +1,76 @@
+"""Unit tests for the Table I accounting."""
+
+import pytest
+
+from repro.capsnet.params import (
+    PAPER_TABLE1,
+    layer_statistics,
+    parameter_breakdown,
+    total_weight_bytes,
+)
+
+
+class TestLayerStatistics:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return {s.name: s for s in layer_statistics()}
+
+    def test_four_rows(self, stats):
+        assert set(stats) == {"Conv1", "PrimaryCaps", "ClassCaps", "Coupling Coeff"}
+
+    def test_conv1_matches_paper_exactly(self, stats):
+        row = stats["Conv1"]
+        assert row.inputs == 784
+        assert row.parameters == 20992
+        assert row.outputs == 102400
+
+    def test_primarycaps_parameters_match_paper(self, stats):
+        assert stats["PrimaryCaps"].parameters == PAPER_TABLE1["PrimaryCaps"]["parameters"]
+
+    def test_primarycaps_output_is_corrected(self, stats):
+        # The paper prints 102400; the stride-2 architecture gives 9216.
+        assert stats["PrimaryCaps"].outputs == 9216
+        assert PAPER_TABLE1["PrimaryCaps"]["outputs"] == 102400
+
+    def test_classcaps_matches_paper(self, stats):
+        row = stats["ClassCaps"]
+        assert row.parameters == 1474560
+        assert row.outputs == 160
+
+    def test_coupling_matches_paper(self, stats):
+        row = stats["Coupling Coeff"]
+        assert row.parameters == 11520
+        assert row.inputs == 160
+        assert row.outputs == 160
+
+    def test_io_chaining(self, stats):
+        assert stats["PrimaryCaps"].inputs == stats["Conv1"].outputs
+        assert stats["ClassCaps"].inputs == stats["PrimaryCaps"].outputs
+
+    def test_as_row_format(self, stats):
+        assert stats["Conv1"].as_row() == ("Conv1", 784, 20992, 102400)
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        breakdown = parameter_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_paper_fig5_fractions(self):
+        breakdown = parameter_breakdown()
+        assert breakdown["Conv1"] < 0.01
+        assert breakdown["PrimaryCaps"] == pytest.approx(0.78, abs=0.005)
+        assert breakdown["ClassCaps"] == pytest.approx(0.22, abs=0.005)
+        assert breakdown["Coupling Coeff"] < 0.01
+
+
+class TestWeightStorage:
+    def test_fits_paper_8mb_claim(self):
+        assert total_weight_bytes() <= 8 * 1024 * 1024
+
+    def test_8bit_size_about_6_5_mb(self):
+        mb = total_weight_bytes() / (1024 * 1024)
+        assert 6.0 < mb < 7.0
+
+    def test_scales_with_bit_width(self):
+        assert total_weight_bytes(bits_per_weight=16) == 2 * total_weight_bytes()

@@ -1,0 +1,133 @@
+"""Unit tests for routing-by-agreement and the CapsAcc optimization."""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.ops import softmax, squash
+from repro.capsnet.routing import (
+    RoutingStep,
+    routing_by_agreement,
+    routing_step_sequence,
+)
+from repro.errors import ShapeError
+
+
+@pytest.fixture
+def u_hat(rng):
+    return rng.standard_normal((12, 4, 6))
+
+
+class TestAlgorithm:
+    def test_output_shapes(self, u_hat):
+        result = routing_by_agreement(u_hat, 3)
+        assert result.v.shape == (4, 6)
+        assert result.c.shape == (12, 4)
+        assert result.b.shape == (12, 4)
+
+    def test_single_iteration_is_uniform_average(self, u_hat):
+        result = routing_by_agreement(u_hat, 1)
+        s = u_hat.mean(axis=0) * 1.0  # uniform c = 1/4... over inputs
+        expected = squash(np.einsum("ij,ijd->jd", np.full((12, 4), 0.25), u_hat))
+        assert np.allclose(result.v, expected)
+        assert np.allclose(result.c, 0.25)
+
+    def test_coupling_rows_sum_to_one(self, u_hat):
+        result = routing_by_agreement(u_hat, 3)
+        assert np.allclose(result.c.sum(axis=1), 1.0)
+
+    def test_outputs_squashed(self, u_hat):
+        result = routing_by_agreement(u_hat, 3)
+        assert np.all(np.linalg.norm(result.v, axis=-1) < 1.0)
+
+    def test_history_lengths(self, u_hat):
+        result = routing_by_agreement(u_hat, 3)
+        assert len(result.s_history) == 3
+        assert len(result.v_history) == 3
+
+    def test_agreement_increases_coupling(self, rng):
+        # One input capsule perfectly aligned with output 0's consensus
+        # should end with higher coupling to output 0 than a random one.
+        num_in, num_out, dim = 20, 3, 4
+        u_hat = rng.standard_normal((num_in, num_out, dim)) * 0.1
+        aligned = np.zeros((num_out, dim))
+        aligned[0, 0] = 1.0
+        for i in range(10):
+            u_hat[i] = aligned  # strong consensus for output 0
+        result = routing_by_agreement(u_hat, 3)
+        assert result.c[:10, 0].mean() > result.c[10:, 0].mean()
+
+
+class TestOptimization:
+    def test_optimized_identical_to_textbook(self, u_hat):
+        plain = routing_by_agreement(u_hat, 3, optimized=False)
+        optimized = routing_by_agreement(u_hat, 3, optimized=True)
+        assert np.allclose(plain.v, optimized.v)
+        assert np.allclose(plain.c, optimized.c)
+        assert np.allclose(plain.b, optimized.b)
+
+    def test_optimized_identical_for_any_iterations(self, u_hat):
+        for iterations in (1, 2, 4):
+            plain = routing_by_agreement(u_hat, iterations, optimized=False)
+            optimized = routing_by_agreement(u_hat, iterations, optimized=True)
+            assert np.allclose(plain.v, optimized.v)
+
+    def test_first_softmax_marked_skipped(self, u_hat):
+        result = routing_by_agreement(u_hat, 3, optimized=True)
+        first = result.steps[0]
+        assert first.name == "softmax"
+        assert first.skipped
+
+    def test_textbook_runs_all_softmaxes(self, u_hat):
+        result = routing_by_agreement(u_hat, 3, optimized=False)
+        softmaxes = [s for s in result.steps if s.name == "softmax"]
+        assert len(softmaxes) == 3
+        assert not any(s.skipped for s in softmaxes)
+
+    def test_softmax_of_zeros_is_uniform(self):
+        # The identity the optimization relies on.
+        assert np.allclose(softmax(np.zeros((5, 7)), axis=1), 1.0 / 7)
+
+
+class TestStepTrace:
+    def test_step_count(self, u_hat):
+        result = routing_by_agreement(u_hat, 3)
+        # 3 softmax + 3 sum + 3 squash + 2 update
+        assert len(result.steps) == 11
+
+    def test_no_update_after_last_iteration(self, u_hat):
+        result = routing_by_agreement(u_hat, 3)
+        assert result.steps[-1].name == "squash"
+
+    def test_step_order_within_iteration(self, u_hat):
+        result = routing_by_agreement(u_hat, 2)
+        names = [s.name for s in result.steps]
+        assert names == ["softmax", "sum", "squash", "update", "softmax", "sum", "squash"]
+
+
+class TestStepSequence:
+    def test_paper_fig9_labels(self):
+        labels = routing_step_sequence(3, optimized=False)
+        assert labels == [
+            "Softmax1", "Sum1", "Squash1", "Update1",
+            "Softmax2", "Sum2", "Squash2", "Update2",
+            "Softmax3", "Sum3", "Squash3",
+        ]
+
+    def test_optimized_marks_first_softmax(self):
+        labels = routing_step_sequence(3, optimized=True)
+        assert labels[0] == "Softmax1 (skipped)"
+        assert labels[4] == "Softmax2"
+
+
+class TestValidation:
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ShapeError):
+            routing_by_agreement(np.zeros((3, 4)), 3)
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ShapeError):
+            routing_by_agreement(np.zeros((3, 4, 5)), 0)
+
+    def test_routing_step_dataclass(self):
+        step = RoutingStep("sum", 2)
+        assert not step.skipped

@@ -1,0 +1,82 @@
+"""Unit tests for the lightweight ClassCaps trainer."""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.train import (
+    evaluate_classcaps,
+    extract_primary_features,
+    train_classcaps,
+    train_on_dataset,
+)
+from repro.capsnet.weights import pseudo_trained_weights
+from repro.data.synthetic import SyntheticDigits
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def train_data(tiny_config):
+    generator = SyntheticDigits(size=tiny_config.image_size, seed=21)
+    return generator.generate(60, classes=(0, 1, 2))
+
+
+@pytest.fixture(scope="module")
+def features(tiny_config, train_data):
+    weights = pseudo_trained_weights(tiny_config, seed=2019)
+    return extract_primary_features(tiny_config, weights, train_data.images)
+
+
+class TestFeatureExtraction:
+    def test_shape(self, tiny_config, features, train_data):
+        assert features.shape == (
+            len(train_data),
+            tiny_config.num_primary_capsules,
+            tiny_config.primary.capsule_dim,
+        )
+
+    def test_features_squashed(self, features):
+        assert np.all(np.linalg.norm(features, axis=-1) < 1.0)
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_config, features, train_data):
+        result = train_classcaps(
+            tiny_config, features, train_data.labels, epochs=8, seed=3
+        )
+        assert result.loss_history[-1] < result.loss_history[0]
+
+    def test_reaches_reasonable_train_accuracy(self, tiny_config, features, train_data):
+        result = train_classcaps(
+            tiny_config, features, train_data.labels, epochs=15, learning_rate=0.1, seed=3
+        )
+        # Frozen random conv features cap the achievable accuracy; well
+        # above the 1/3 chance level is what this smoke test guards.
+        assert result.train_accuracy >= 0.7
+
+    def test_beats_untrained_weights(self, tiny_config, features, train_data, rng):
+        result = train_classcaps(
+            tiny_config, features, train_data.labels, epochs=12, seed=3
+        )
+        scale = 1.0 / np.sqrt(tiny_config.primary.capsule_dim)
+        random_w = scale * rng.standard_normal(result.weights["classcaps_w"].shape)
+        random_acc = evaluate_classcaps(tiny_config, random_w, features, train_data.labels)
+        assert result.train_accuracy > random_acc
+
+    def test_weights_bounded_for_quantization(self, tiny_config, features, train_data):
+        result = train_classcaps(
+            tiny_config, features, train_data.labels, epochs=5, seed=3, max_weight=1.5
+        )
+        assert np.abs(result.weights["classcaps_w"]).max() <= 1.5
+
+    def test_feature_shape_validated(self, tiny_config, train_data):
+        with pytest.raises(ConfigError):
+            train_classcaps(
+                tiny_config, np.zeros((10, 3, 3)), train_data.labels[:10], epochs=1
+            )
+
+
+class TestTrainOnDataset:
+    def test_returns_complete_weight_dict(self, tiny_config, train_data):
+        weights, result = train_on_dataset(tiny_config, train_data, epochs=3)
+        assert set(weights) >= {"conv1_w", "conv1_b", "primary_w", "primary_b", "classcaps_w"}
+        assert len(result.loss_history) == 3

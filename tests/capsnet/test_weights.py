@@ -1,0 +1,85 @@
+"""Unit tests for weight generation and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.weights import (
+    WEIGHT_KEYS,
+    load_weights,
+    pseudo_trained_weights,
+    save_weights,
+    validate_weights,
+    weight_shapes,
+)
+from repro.errors import ShapeError
+
+
+class TestShapes:
+    def test_all_keys_present(self, tiny_config):
+        shapes = weight_shapes(tiny_config)
+        assert set(shapes) == set(WEIGHT_KEYS)
+
+    def test_mnist_classcaps_shape(self, mnist_config):
+        shapes = weight_shapes(mnist_config)
+        assert shapes["classcaps_w"] == (1152, 10, 16, 8)
+
+    def test_generated_weights_match_shapes(self, tiny_config):
+        weights = pseudo_trained_weights(tiny_config)
+        for key, shape in weight_shapes(tiny_config).items():
+            assert weights[key].shape == shape
+
+
+class TestGeneration:
+    def test_deterministic_by_seed(self, tiny_config):
+        a = pseudo_trained_weights(tiny_config, seed=7)
+        b = pseudo_trained_weights(tiny_config, seed=7)
+        for key in WEIGHT_KEYS:
+            assert np.array_equal(a[key], b[key])
+
+    def test_different_seeds_differ(self, tiny_config):
+        a = pseudo_trained_weights(tiny_config, seed=7)
+        b = pseudo_trained_weights(tiny_config, seed=8)
+        assert not np.array_equal(a["conv1_w"], b["conv1_w"])
+
+    def test_biases_zero(self, tiny_config):
+        weights = pseudo_trained_weights(tiny_config)
+        assert np.all(weights["conv1_b"] == 0)
+        assert np.all(weights["primary_b"] == 0)
+
+    def test_fan_in_scaling_bounds_magnitude(self, mnist_config):
+        weights = pseudo_trained_weights(mnist_config)
+        # Weights should comfortably fit the 8-bit Q(8,6) range of +-2.
+        assert np.abs(weights["conv1_w"]).max() < 2.0
+        assert np.abs(weights["primary_w"]).max() < 2.0
+
+
+class TestValidation:
+    def test_missing_key_raises(self, tiny_config, tiny_weights):
+        broken = dict(tiny_weights)
+        del broken["primary_w"]
+        with pytest.raises(ShapeError):
+            validate_weights(tiny_config, broken)
+
+    def test_wrong_shape_raises(self, tiny_config, tiny_weights):
+        broken = dict(tiny_weights)
+        broken["classcaps_w"] = broken["classcaps_w"][:2]
+        with pytest.raises(ShapeError):
+            validate_weights(tiny_config, broken)
+
+    def test_valid_passes(self, tiny_config, tiny_weights):
+        validate_weights(tiny_config, tiny_weights)
+
+
+class TestPersistence:
+    def test_round_trip(self, tiny_config, tiny_weights, tmp_path):
+        path = tmp_path / "weights.npz"
+        save_weights(path, tiny_weights)
+        loaded = load_weights(path, config=tiny_config)
+        for key in WEIGHT_KEYS:
+            assert np.array_equal(loaded[key], tiny_weights[key])
+
+    def test_load_validates_when_config_given(self, mnist_config, tiny_weights, tmp_path):
+        path = tmp_path / "weights.npz"
+        save_weights(path, tiny_weights)
+        with pytest.raises(ShapeError):
+            load_weights(path, config=mnist_config)

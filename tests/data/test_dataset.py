@@ -1,0 +1,61 @@
+"""Unit tests for the dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+
+
+@pytest.fixture
+def dataset(rng):
+    images = rng.uniform(0, 1, size=(20, 12, 12))
+    labels = np.arange(20) % 4
+    return Dataset(images, labels, name="test")
+
+
+class TestConstruction:
+    def test_basic_properties(self, dataset):
+        assert len(dataset) == 20
+        assert dataset.image_size == 12
+        assert dataset.num_classes == 4
+
+    def test_rejects_wrong_rank(self, rng):
+        with pytest.raises(DataError):
+            Dataset(rng.uniform(size=(5, 4)), np.zeros(5, dtype=np.int64), "bad")
+
+    def test_rejects_label_mismatch(self, rng):
+        with pytest.raises(DataError):
+            Dataset(rng.uniform(size=(5, 4, 4)), np.zeros(4, dtype=np.int64), "bad")
+
+
+class TestOperations:
+    def test_take(self, dataset):
+        subset = dataset.take(5)
+        assert len(subset) == 5
+        assert np.array_equal(subset.images, dataset.images[:5])
+
+    def test_split_sizes(self, dataset):
+        train, test = dataset.split(0.75, seed=1)
+        assert len(train) == 15
+        assert len(test) == 5
+
+    def test_split_is_partition(self, dataset):
+        train, test = dataset.split(0.5, seed=2)
+        combined = np.concatenate([train.images, test.images])
+        assert combined.shape[0] == len(dataset)
+        # Every original image appears exactly once.
+        original = {img.tobytes() for img in dataset.images}
+        split_set = {img.tobytes() for img in combined}
+        assert original == split_set
+
+    def test_split_deterministic(self, dataset):
+        a_train, _ = dataset.split(0.5, seed=3)
+        b_train, _ = dataset.split(0.5, seed=3)
+        assert np.array_equal(a_train.images, b_train.images)
+
+    def test_split_validates_fraction(self, dataset):
+        with pytest.raises(DataError):
+            dataset.split(1.5)
+        with pytest.raises(DataError):
+            dataset.split(0.0)

@@ -1,0 +1,95 @@
+"""Unit tests for the idx loader and dataset dispatch."""
+
+import gzip
+import struct
+
+import numpy as np
+import pytest
+
+from repro.data.mnist import MNIST_FILES, load_dataset, load_mnist_idx
+from repro.errors import DataError
+
+
+def _write_idx_images(path, images: np.ndarray) -> None:
+    count, height, width = images.shape
+    with open(path, "wb") as handle:
+        handle.write(struct.pack(">IIII", 0x00000803, count, height, width))
+        handle.write(images.astype(np.uint8).tobytes())
+
+
+def _write_idx_labels(path, labels: np.ndarray) -> None:
+    with open(path, "wb") as handle:
+        handle.write(struct.pack(">II", 0x00000801, len(labels)))
+        handle.write(labels.astype(np.uint8).tobytes())
+
+
+@pytest.fixture
+def mnist_dir(tmp_path, rng):
+    images = rng.integers(0, 256, size=(10, 28, 28)).astype(np.uint8)
+    labels = (np.arange(10) % 10).astype(np.uint8)
+    _write_idx_images(tmp_path / MNIST_FILES["train_images"], images)
+    _write_idx_labels(tmp_path / MNIST_FILES["train_labels"], labels)
+    _write_idx_images(tmp_path / MNIST_FILES["test_images"], images[:4])
+    _write_idx_labels(tmp_path / MNIST_FILES["test_labels"], labels[:4])
+    return tmp_path
+
+
+class TestIdxLoader:
+    def test_loads_train_and_test(self, mnist_dir):
+        train, test = load_mnist_idx(mnist_dir)
+        assert len(train) == 10
+        assert len(test) == 4
+        assert train.name == "mnist"
+
+    def test_images_normalized(self, mnist_dir):
+        train, _ = load_mnist_idx(mnist_dir)
+        assert train.images.max() <= 1.0
+        assert train.images.min() >= 0.0
+
+    def test_gzip_variant(self, tmp_path, rng):
+        images = rng.integers(0, 256, size=(3, 28, 28)).astype(np.uint8)
+        labels = np.array([1, 2, 3], dtype=np.uint8)
+        for key, writer, data in (
+            ("train_images", _write_idx_images, images),
+            ("train_labels", _write_idx_labels, labels),
+            ("test_images", _write_idx_images, images),
+            ("test_labels", _write_idx_labels, labels),
+        ):
+            plain = tmp_path / MNIST_FILES[key]
+            writer(plain, data)
+            with open(plain, "rb") as src, gzip.open(
+                str(plain) + ".gz", "wb"
+            ) as dst:
+                dst.write(src.read())
+            plain.unlink()
+        train, test = load_mnist_idx(tmp_path)
+        assert len(train) == 3
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            load_mnist_idx(tmp_path / "nope")
+
+    def test_truncated_payload_raises(self, tmp_path):
+        path = tmp_path / MNIST_FILES["train_images"]
+        with open(path, "wb") as handle:
+            handle.write(struct.pack(">IIII", 0x00000803, 10, 28, 28))
+            handle.write(b"\x00" * 100)  # far too short
+        with pytest.raises(DataError):
+            load_mnist_idx(tmp_path)
+
+
+class TestLoadDataset:
+    def test_prefers_real_mnist(self, mnist_dir):
+        train, test = load_dataset(mnist_dir=mnist_dir)
+        assert train.name == "mnist"
+
+    def test_falls_back_to_synthetic(self, tmp_path):
+        train, test = load_dataset(mnist_dir=tmp_path / "missing", train_count=30, test_count=10)
+        assert train.name == "synthetic"
+        assert len(train) == 30
+        assert len(test) == 10
+
+    def test_synthetic_fallback_deterministic(self, tmp_path):
+        a, _ = load_dataset(mnist_dir=tmp_path / "missing", train_count=10, test_count=5, seed=9)
+        b, _ = load_dataset(mnist_dir=tmp_path / "missing", train_count=10, test_count=5, seed=9)
+        assert np.array_equal(a.images, b.images)

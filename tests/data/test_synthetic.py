@@ -1,0 +1,93 @@
+"""Unit tests for the synthetic digit generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import DIGIT_STROKES, SyntheticDigits, render_digit
+from repro.errors import DataError
+
+
+class TestRenderDigit:
+    def test_all_ten_digits_render(self):
+        for digit in range(10):
+            image = render_digit(digit)
+            assert image.shape == (28, 28)
+            assert image.max() <= 1.0
+            assert image.min() >= 0.0
+
+    def test_canonical_render_deterministic(self):
+        assert np.array_equal(render_digit(3), render_digit(3))
+
+    def test_has_ink(self):
+        for digit in range(10):
+            assert render_digit(digit).sum() > 5.0
+
+    def test_digits_are_distinct(self):
+        images = [render_digit(d).ravel() for d in range(10)]
+        for a in range(10):
+            for b in range(a + 1, 10):
+                distance = np.linalg.norm(images[a] - images[b])
+                assert distance > 1.0, f"digits {a} and {b} too similar"
+
+    def test_jitter_changes_image(self):
+        rng = np.random.default_rng(0)
+        canonical = render_digit(5)
+        jittered = render_digit(5, rng=rng)
+        assert not np.array_equal(canonical, jittered)
+
+    def test_zero_jitter_is_canonical(self):
+        rng = np.random.default_rng(0)
+        assert np.array_equal(render_digit(5, rng=rng, jitter=0.0), render_digit(5))
+
+    def test_custom_size(self):
+        assert render_digit(7, size=16).shape == (16, 16)
+
+    def test_unknown_digit_raises(self):
+        with pytest.raises(DataError):
+            render_digit(11)
+
+    def test_stroke_table_complete(self):
+        assert set(DIGIT_STROKES) == set(range(10))
+
+
+class TestSyntheticDigits:
+    def test_generate_counts_and_labels(self):
+        dataset = SyntheticDigits(seed=1).generate(25)
+        assert len(dataset) == 25
+        assert dataset.images.shape == (25, 28, 28)
+        assert set(dataset.labels) == set(range(10))
+
+    def test_class_filter(self):
+        dataset = SyntheticDigits(seed=1).generate(12, classes=(3, 7))
+        assert set(dataset.labels) == {3, 7}
+
+    def test_uniform_class_cycling(self):
+        dataset = SyntheticDigits(seed=1).generate(20, classes=(0, 1))
+        assert np.count_nonzero(dataset.labels == 0) == 10
+
+    def test_deterministic_by_seed(self):
+        a = SyntheticDigits(seed=5).generate(6)
+        b = SyntheticDigits(seed=5).generate(6)
+        assert np.array_equal(a.images, b.images)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticDigits(seed=5).generate(6)
+        b = SyntheticDigits(seed=6).generate(6)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_values_in_unit_range(self):
+        dataset = SyntheticDigits(seed=2).generate(10)
+        assert dataset.images.min() >= 0.0
+        assert dataset.images.max() <= 1.0
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(DataError):
+            SyntheticDigits(size=8)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(DataError):
+            SyntheticDigits().generate(0)
+
+    def test_samples_of_same_class_vary(self):
+        dataset = SyntheticDigits(seed=3).generate(20, classes=(4,))
+        assert not np.array_equal(dataset.images[0], dataset.images[1])

@@ -1,0 +1,86 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestRoutingOptimization:
+    def test_optimized_is_faster(self):
+        result = ablations.routing_optimization()
+        assert result.ratio("optimized (skip softmax1)", "textbook") < 1.0
+
+    def test_saving_is_one_softmax_pass(self, mnist_config):
+        result = ablations.routing_optimization(mnist_config)
+        optimized = result.variants["optimized (skip softmax1)"]
+        textbook = result.variants["textbook"]
+        saved_ms = textbook - optimized
+        # One softmax pass over 1152 rows of 10 costs ~23k cycles ~ 0.09 ms
+        # (minus the replacement transfer), so the saving is small but real.
+        assert 0.01 < saved_ms < 0.2
+
+
+class TestWeightDoubleBuffering:
+    def test_double_buffering_faster(self):
+        result = ablations.weight_double_buffering()
+        assert (
+            result.variants["double-buffered (Weight2)"]
+            < result.variants["single-buffered"]
+        )
+
+    def test_single_buffer_hurts_a_lot(self):
+        """PrimaryCaps loads 20736 K-rows of weights; stalling on every
+        load roughly doubles the layer."""
+        result = ablations.weight_double_buffering()
+        ratio = result.variants["single-buffered"] / result.variants[
+            "double-buffered (Weight2)"
+        ]
+        assert ratio > 1.5
+
+
+class TestArraySweep:
+    def test_monotone_in_array_size(self):
+        result = ablations.array_size_sweep()
+        times = [result.variants[f"{s}x{s}"] for s in (4, 8, 16, 32)]
+        assert times == sorted(times, reverse=True)
+
+    def test_scaling_efficiency_decays(self):
+        """Going 16->32 quadruples PEs but cannot quadruple speed (fill,
+        activation and transfer terms do not scale)."""
+        result = ablations.array_size_sweep()
+        speedup = result.variants["16x16"] / result.variants["32x32"]
+        assert 1.5 < speedup < 4.0
+
+
+class TestConvPolicy:
+    def test_serial_much_slower(self):
+        result = ablations.conv_mapping_policy()
+        assert result.variants["channel_serial"] > 5 * result.variants["channel_parallel"]
+
+
+class TestBitwidth:
+    def test_area_grows_with_width(self):
+        result = ablations.bitwidth_sweep()
+        areas = [result.variants[f"{w}b"] for w in (4, 6, 8, 12, 16)]
+        assert areas == sorted(areas)
+
+
+class TestSquashLutPrecision:
+    def test_error_decreases_with_bits(self):
+        result = ablations.squash_lut_precision()
+        errors = [result.variants[f"{b}b data"] for b in (4, 5, 6, 7, 8)]
+        assert errors[0] > errors[-1]
+
+    def test_paper_choice_is_at_knee(self):
+        """6 bits is within 2x of the 8-bit error — the paper's cheap spot."""
+        result = ablations.squash_lut_precision()
+        assert result.variants["6b data"] < 2.5 * result.variants["8b data"]
+
+
+class TestRunner:
+    def test_run_all_and_format(self):
+        results = ablations.run_all()
+        assert len(results) == 6
+        text = ablations.format_report(results)
+        assert "routing-optimization" in text
+        assert "bit-width" in text

@@ -1,0 +1,158 @@
+"""Tests for the per-artifact experiment drivers (reproduction claims)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig3,
+    fig5,
+    fig8,
+    fig9,
+    fig16,
+    fig17,
+    fig18,
+    table1,
+    table2,
+    table3,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1.run()
+
+    def test_parameters_match_paper(self, result):
+        assert all(result.parameter_matches.values())
+
+    def test_weights_fit_8mb(self, result):
+        assert result.weight_megabytes < 8.0
+
+    def test_report_mentions_paper_values(self, result):
+        text = table1.format_report(result)
+        assert "5308672" in text.replace(",", "")
+        assert "8 MB" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3.run()
+
+    def test_numeric_peak_matches_analytic(self, result):
+        assert result.peak_x == pytest.approx(result.analytic_peak_x, abs=2e-3)
+        assert result.peak_y == pytest.approx(result.analytic_peak_y, abs=1e-4)
+
+    def test_peak_matches_paper_annotation(self, result):
+        paper_x, paper_y = result.paper_peak
+        assert result.peak_x == pytest.approx(paper_x, abs=2e-3)
+        assert result.peak_y == pytest.approx(paper_y, abs=1e-3)
+
+    def test_squash_curve_bounded(self, result):
+        assert np.all(result.squash >= 0)
+        assert np.all(result.squash < 1)
+
+    def test_lut_error_small(self, result):
+        assert result.lut_max_error < 0.05
+
+    def test_report_renders(self, result):
+        assert "0.577" in fig3.format_report(result)
+
+
+class TestFig5:
+    def test_labels_match_paper(self):
+        result = fig5.run()
+        assert result.matches_paper
+        assert result.label("PrimaryCaps") == "78%"
+        assert result.label("Conv1") == "<1%"
+
+    def test_report_renders(self):
+        assert "78%" in fig5.format_report(fig5.run())
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8.run()
+
+    def test_classcaps_dominates(self, result):
+        """Paper: ClassCaps ~10x slower than the conv layers on the GPU."""
+        assert 5.0 < result.classcaps_dominance < 20.0
+
+    def test_layer_ordering(self, result):
+        assert result.layer_ms["ClassCaps"] > result.layer_ms["PrimaryCaps"]
+        assert result.layer_ms["PrimaryCaps"] > result.layer_ms["Conv1"]
+
+    def test_total_in_tens_of_ms(self, result):
+        assert 5.0 < result.total_ms < 60.0
+
+    def test_report_renders(self, result):
+        assert "ClassCaps" in fig8.format_report(result)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9.run()
+
+    def test_squash_is_dominant_step(self, result):
+        assert result.dominant_step.startswith("Squash")
+
+    def test_all_iterations_present(self, result):
+        for label in ("Softmax1", "Sum2", "Squash3", "Update2"):
+            assert label in result.step_us
+
+    def test_report_renders(self, result):
+        assert "Squash" in fig9.format_report(result)
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig16.run()
+
+    def test_classcaps_and_total_directions_match(self, result):
+        assert result.directions["ClassCaps"]
+        assert result.directions["Total"]
+
+    def test_report_renders(self, result):
+        text = fig16.format_report(result)
+        assert "Fig 16" in text
+        assert "faster" in text
+
+
+class TestFig17:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig17.run()
+
+    def test_fc_direction_matches(self, result):
+        assert result.directions["FC"]
+
+    def test_sum_and_update_directions_match(self, result):
+        for label in ("Sum1", "Sum2", "Sum3", "Update1", "Update2"):
+            assert result.directions[label], label
+
+    def test_report_mentions_skip(self, result):
+        assert "skipped" in fig17.format_report(result)
+
+
+class TestSynthesisArtifacts:
+    def test_table2_rows(self):
+        result = table2.run()
+        params = {row["parameter"] for row in result.rows}
+        assert "area_mm2" in params
+        assert "power_mw" in params
+
+    def test_table3_error_bound(self):
+        result = table3.run()
+        assert result.max_relative_error() < 0.30
+
+    def test_fig18_buffers_dominate(self):
+        result = fig18.run()
+        assert result.buffers_dominate()
+
+    def test_reports_render(self):
+        assert "Table II" in table2.format_report(table2.run())
+        assert "Table III" in table3.format_report(table3.run())
+        assert "Fig 18" in fig18.format_report(fig18.run())

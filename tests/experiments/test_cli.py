@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestListCommand:
+    def test_lists_artifacts(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig16" in out
+        assert "all" in out
+
+
+class TestRunCommand:
+    def test_run_single_artifact(self, capsys):
+        assert cli.main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_run_multiple_artifacts(self, capsys):
+        assert cli.main(["run", "fig5", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 5" in out
+        assert "Table II" in out
+
+    def test_unknown_artifact_fails(self, capsys):
+        assert cli.main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_prints_rows(self, capsys):
+        assert cli.main(["sweep", "--array", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "4x4" in out
+        assert "8x8" in out
+
+
+class TestInfoCommand:
+    def test_info_summarizes(self, capsys):
+        assert cli.main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "CapsuleNet" in out
+        assert "16x16" in out

@@ -1,0 +1,72 @@
+"""Tests for the shared report formatting helpers."""
+
+import math
+
+from repro.experiments.common import format_table, log_bar_chart, percent, ratio_label
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [(1, 2), (30, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_column_widths_fit_widest_cell(self):
+        text = format_table(["x"], [("short",), ("much-longer-cell",)])
+        header, rule, *rows = text.splitlines()
+        assert len(rule) >= len("much-longer-cell")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [(3.14159,), (0.0001234,), (12345.6,)])
+        assert "3.142" in text
+        assert "0.000123" in text
+        assert "1.23e+04" in text
+
+    def test_zero_renders_as_zero(self):
+        assert "0" in format_table(["v"], [(0.0,)])
+
+
+class TestLogBarChart:
+    def test_bar_lengths_follow_log_scale(self):
+        chart = log_bar_chart({"small": 1.0, "mid": 10.0, "big": 100.0}, "ms", width=40)
+        lines = chart.splitlines()
+        lengths = [line.count("#") for line in lines]
+        assert lengths[0] < lengths[1] < lengths[2]
+        # Log scale: the two decades give equally spaced bars.
+        assert math.isclose(lengths[1] - lengths[0], lengths[2] - lengths[1], abs_tol=1)
+
+    def test_minimum_one_hash_for_positive(self):
+        chart = log_bar_chart({"a": 1.0, "b": 1e6}, "us")
+        assert chart.splitlines()[0].count("#") >= 1
+
+    def test_zero_values_get_empty_bar(self):
+        chart = log_bar_chart({"zero": 0.0, "one": 1.0}, "us")
+        assert chart.splitlines()[0].count("#") == 0
+
+    def test_all_equal_values(self):
+        chart = log_bar_chart({"a": 5.0, "b": 5.0}, "us")
+        assert "(no data)" not in chart
+
+    def test_empty_input(self):
+        assert log_bar_chart({}, "us") == "(no data)"
+
+
+class TestLabels:
+    def test_percent_paper_style(self):
+        assert percent(0.005) == "<1%"
+        assert percent(0.78) == "78%"
+        assert percent(0.216) == "22%"
+
+    def test_ratio_label_faster(self):
+        assert ratio_label(6.0) == "6x faster"
+        assert ratio_label(12.14) == "12x faster"
+
+    def test_ratio_label_slower_matches_paper_phrasing(self):
+        # The paper annotates Conv1 as "46% slower".
+        assert ratio_label(1 / 1.46) == "46% slower"
+
+    def test_ratio_label_unity(self):
+        assert ratio_label(1.0) == "1x faster"

@@ -1,0 +1,63 @@
+"""Tests for the artifact export module."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments import export
+
+
+class TestIndividualExports:
+    def test_table1_csv(self, tmp_path):
+        path = export.export_table1(tmp_path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        conv1 = next(row for row in rows if row["layer"] == "Conv1")
+        assert conv1["parameters"] == "20992"
+        assert conv1["paper_parameters"] == "20992"
+
+    def test_fig3_csv_has_curve(self, tmp_path):
+        path = export.export_fig3(tmp_path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) > 1000
+        assert {"x", "squash", "derivative"} <= set(rows[0])
+
+    def test_fig16_csv_speedups(self, tmp_path):
+        path = export.export_fig16(tmp_path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        total = next(row for row in rows if row["layer"] == "Total")
+        assert float(total["speedup"]) > 1.0
+
+    def test_fig18_fractions_sum(self, tmp_path):
+        path = export.export_fig18(tmp_path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert sum(float(row["area_fraction"]) for row in rows) == pytest.approx(1.0)
+
+
+class TestExportAll:
+    @pytest.fixture(scope="class")
+    def manifest(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("artifacts")
+        return directory, export.export_all(directory)
+
+    def test_every_artifact_written(self, manifest):
+        directory, paths = manifest
+        for artifact in export.EXPORTERS:
+            assert artifact in paths
+            assert (directory / f"{artifact}.csv").exists()
+
+    def test_manifest_json(self, manifest):
+        directory, _ = manifest
+        with open(directory / "manifest.json") as handle:
+            data = json.load(handle)
+        assert set(data["artifacts"]) == set(export.EXPORTERS)
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "out"
+        export.export_all(target)
+        assert (target / "manifest.json").exists()

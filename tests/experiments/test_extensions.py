@@ -1,0 +1,73 @@
+"""Tests for the extension experiments (motivation, energy, batching)."""
+
+import pytest
+
+from repro.experiments import batching, energy, motivation
+
+
+class TestMotivation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return motivation.run()
+
+    def test_conv_layers_compute_bound(self, result):
+        """Paper observation 1: inference is compute-intensive."""
+        assert result.compute_bound_layers["Conv1"]
+        assert result.compute_bound_layers["PrimaryCaps"]
+
+    def test_parameters_fit_onchip(self, result):
+        """Paper observation 3: 8 MB suffices for every parameter."""
+        assert result.fits_onchip
+        assert 6.0 < result.weight_megabytes < 7.0
+
+    def test_network_intensity_above_ridge(self, result):
+        assert result.network_point.arithmetic_intensity > result.ridge_intensity
+
+    def test_report_renders(self, result):
+        text = motivation.format_report(result)
+        assert "compute" in text
+        assert "8 MB" in text
+
+
+class TestEnergy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return energy.run()
+
+    def test_bottomup_within_topdown_envelope(self, result):
+        assert result.consistent
+
+    def test_macs_dominate_dynamic_energy(self, result):
+        assert result.bottomup_energy_uj["mac"] == max(
+            result.bottomup_energy_uj.values()
+        )
+
+    def test_plausible_magnitudes(self, result):
+        # ~200M MACs at ~1 pJ each plus traffic: hundreds of microjoules.
+        assert 50 < result.bottomup_total_uj < 1000
+        assert 200 < result.topdown_energy_uj < 2000
+
+    def test_report_renders(self, result):
+        assert "uJ" in energy.format_report(result)
+
+
+class TestBatching:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return batching.run()
+
+    def test_capsacc_wins_at_batch_one(self, result):
+        """The paper's regime: batch-1 latency-critical inference."""
+        assert result.capsacc_images_per_s > result.gpu_images_per_s[1]
+
+    def test_gpu_throughput_monotone_in_batch(self, result):
+        values = [result.gpu_images_per_s[b] for b in result.batch_sizes]
+        assert values == sorted(values)
+
+    def test_crossover_exists_and_beyond_embedded_batches(self, result):
+        crossover = result.crossover_batch
+        assert crossover is not None
+        assert crossover >= 8
+
+    def test_report_renders(self, result):
+        assert "crossover" in batching.format_report(result).lower()

@@ -1,0 +1,32 @@
+"""Smoke tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRunAll:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        # Skip the training-based and sweep-heavy parts for speed; the
+        # artifact drivers themselves all execute.
+        return runner.run_all(include_accuracy=False, include_ablations=False)
+
+    def test_every_standard_driver_ran(self, suite):
+        for key in runner.STANDARD_DRIVERS:
+            assert key in suite.results
+            assert key in suite.reports
+
+    def test_report_text_concatenates(self, suite):
+        text = suite.report_text()
+        assert "Table I" in text
+        assert "Fig 16" in text
+        assert "Fig 18" in text
+        assert "Batching" in text
+
+    def test_driver_count_covers_paper_artifacts(self):
+        paper_artifacts = {
+            "table1", "table2", "table3",
+            "fig3", "fig5", "fig8", "fig9", "fig16", "fig17", "fig18",
+        }
+        assert paper_artifacts <= set(runner.STANDARD_DRIVERS)

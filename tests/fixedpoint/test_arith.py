@@ -1,0 +1,131 @@
+"""Unit tests for saturating raw arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QFormatError
+from repro.fixedpoint.arith import (
+    align_raw,
+    check_fits,
+    fx_add,
+    fx_mac,
+    fx_mul,
+    product_format,
+    requantize,
+    saturate_raw,
+)
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import Rounding
+
+DATA = QFormat(8, 4)
+WEIGHT = QFormat(8, 6)
+ACC = QFormat(25, 10)
+
+
+class TestProductFormat:
+    def test_widths_add(self):
+        fmt = product_format(DATA, WEIGHT)
+        assert fmt.total_bits == 16
+        assert fmt.frac_bits == 10
+
+    def test_signedness_propagates(self):
+        unsigned = QFormat(5, 2, signed=False)
+        assert product_format(unsigned, unsigned).signed is False
+        assert product_format(unsigned, DATA).signed is True
+
+
+class TestMul:
+    def test_exact_product(self):
+        raw, fmt = fx_mul(np.array([3]), DATA, np.array([5]), WEIGHT)
+        assert raw[0] == 15
+        assert fmt.frac_bits == 10
+
+    def test_real_value_consistency(self):
+        a_raw, b_raw = np.array([24]), np.array([-40])
+        raw, fmt = fx_mul(a_raw, DATA, b_raw, WEIGHT)
+        expected = (24 / 16) * (-40 / 64)
+        assert raw[0] / (1 << fmt.frac_bits) == pytest.approx(expected)
+
+
+class TestAlign:
+    def test_left_shift_exact(self):
+        assert align_raw(np.array([3]), DATA, 10)[0] == 3 << 6
+
+    def test_right_shift_floors(self):
+        assert align_raw(np.array([-1]), ACC, 4)[0] == -1  # arithmetic shift
+        assert align_raw(np.array([63]), ACC, 4)[0] == 0
+
+
+class TestAdd:
+    def test_aligned_addition(self):
+        out = fx_add(np.array([16]), DATA, np.array([64]), WEIGHT, ACC)
+        # 1.0 + 1.0 = 2.0 -> raw 2048 at frac 10
+        assert out[0] == 2048
+
+    def test_saturates_at_out_format(self):
+        big = np.array([ACC.raw_max])
+        out = fx_add(big, ACC, big, ACC, ACC)
+        assert out[0] == ACC.raw_max
+
+    def test_no_saturate_raises(self):
+        big = np.array([ACC.raw_max])
+        with pytest.raises(QFormatError):
+            fx_add(big, ACC, big, ACC, ACC, saturate=False)
+
+
+class TestMac:
+    def test_matches_manual(self):
+        acc = np.zeros(1, dtype=np.int64)
+        out = fx_mac(acc, ACC, np.array([10]), DATA, np.array([20]), WEIGHT)
+        assert out[0] == 200
+
+    def test_chain_matches_dot_product(self, rng):
+        data = rng.integers(-100, 100, size=20)
+        weight = rng.integers(-100, 100, size=20)
+        acc = np.zeros(1, dtype=np.int64)
+        for d, w in zip(data, weight):
+            acc = fx_mac(acc, ACC, np.array([d]), DATA, np.array([w]), WEIGHT)
+        assert acc[0] == np.dot(data, weight)
+
+    def test_saturation_at_acc_limit(self):
+        acc = np.array([ACC.raw_max - 1])
+        out = fx_mac(acc, ACC, np.array([127]), DATA, np.array([127]), WEIGHT)
+        assert out[0] == ACC.raw_max
+
+
+class TestRequantize:
+    def test_nearest_rounding_positive(self):
+        # 25-bit frac 10 -> 8-bit frac 4: shift 6, half = 32
+        assert requantize(np.array([31]), ACC, DATA)[0] == 0
+        assert requantize(np.array([32]), ACC, DATA)[0] == 1
+
+    def test_nearest_rounding_symmetric(self):
+        assert requantize(np.array([-32]), ACC, DATA)[0] == -1
+        assert requantize(np.array([-31]), ACC, DATA)[0] == 0
+
+    def test_floor_mode(self):
+        assert requantize(np.array([-1]), ACC, DATA, Rounding.FLOOR)[0] == -1
+
+    def test_zero_mode(self):
+        assert requantize(np.array([-63]), ACC, DATA, Rounding.ZERO)[0] == 0
+
+    def test_upshift_exact(self):
+        narrow = QFormat(8, 2)
+        wide = QFormat(16, 6)
+        assert requantize(np.array([5]), narrow, wide)[0] == 80
+
+    def test_saturates(self):
+        assert requantize(np.array([ACC.raw_max]), ACC, DATA)[0] == DATA.raw_max
+
+
+class TestHelpers:
+    def test_saturate_raw_clamps_both_sides(self):
+        out = saturate_raw(np.array([-1000, 0, 1000]), QFormat(8, 0))
+        assert list(out) == [-128, 0, 127]
+
+    def test_check_fits_passes_in_range(self):
+        check_fits(np.array([0, 1]), DATA)
+
+    def test_check_fits_raises(self):
+        with pytest.raises(QFormatError):
+            check_fits(np.array([1 << 20]), DATA)

@@ -1,0 +1,79 @@
+"""Unit tests for the generic LUT builders."""
+
+import numpy as np
+
+from repro.fixedpoint.lut import LookupTable, LookupTable2D
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import from_raw, quantize, to_raw
+
+IN_FMT = QFormat(6, 3)
+OUT_FMT = QFormat(8, 6)
+
+
+class TestLookupTable:
+    def test_identity_function_round_trips(self):
+        # Output format must cover the input range ([-4, 3.875]) and its
+        # 1/8 resolution for the identity to be exact.
+        wide_out = QFormat(8, 4)
+        lut = LookupTable(lambda x: x, IN_FMT, wide_out)
+        codes = np.arange(IN_FMT.raw_min, IN_FMT.raw_max + 1)
+        got = from_raw(lut.lookup(codes), wide_out)
+        assert np.allclose(got, from_raw(codes, IN_FMT))
+
+    def test_matches_quantized_function(self):
+        lut = LookupTable(np.tanh, IN_FMT, OUT_FMT)
+        codes = np.arange(IN_FMT.raw_min, IN_FMT.raw_max + 1)
+        expected = quantize(np.tanh(from_raw(codes, IN_FMT)), OUT_FMT)
+        assert np.array_equal(from_raw(lut.lookup(codes), OUT_FMT), expected)
+
+    def test_negative_codes_address_correctly(self):
+        lut = LookupTable(lambda x: x, IN_FMT, OUT_FMT)
+        assert from_raw(lut.lookup(-1), OUT_FMT) == from_raw(-1, IN_FMT)
+
+    def test_storage_bits(self):
+        lut = LookupTable(lambda x: x, IN_FMT, OUT_FMT)
+        assert lut.num_entries == 64
+        assert lut.storage_bits == 64 * 8
+
+    def test_lookup_real_convenience(self):
+        lut = LookupTable(lambda x: 2 * x, IN_FMT, OUT_FMT)
+        assert lut.lookup_real(0.5) == 1.0
+
+    def test_out_of_range_address_wraps_like_bus(self):
+        lut = LookupTable(lambda x: x, IN_FMT, OUT_FMT)
+        # 64 wraps to address 0 on a 6-bit bus.
+        assert lut.lookup(64) == lut.lookup(0)
+
+
+class TestLookupTable2D:
+    def test_addressing_both_inputs(self):
+        lut = LookupTable2D(
+            lambda a, b: a * b,
+            QFormat(4, 2),
+            QFormat(3, 1, signed=False),
+            QFormat(8, 4),
+        )
+        a_raw = to_raw(0.5, QFormat(4, 2))
+        b_raw = to_raw(2.0, QFormat(3, 1, signed=False))
+        assert from_raw(lut.lookup(a_raw, b_raw), QFormat(8, 4)) == 1.0
+
+    def test_storage_is_product_of_code_spaces(self):
+        lut = LookupTable2D(
+            lambda a, b: a + b, QFormat(6, 3), QFormat(5, 2, signed=False), OUT_FMT
+        )
+        assert lut.num_entries == 64 * 32
+        assert lut.storage_bits == 64 * 32 * 8
+
+    def test_vectorized_lookup(self):
+        lut = LookupTable2D(
+            lambda a, b: a + b, QFormat(4, 1), QFormat(4, 1, signed=False), QFormat(8, 2)
+        )
+        a = np.array([[1, 2], [3, 4]])
+        b = np.array([[0, 1], [2, 3]])
+        assert lut.lookup(a, b).shape == (2, 2)
+
+    def test_output_saturates(self):
+        lut = LookupTable2D(
+            lambda a, b: a * b * 100, QFormat(4, 0), QFormat(4, 0, signed=False), QFormat(8, 0)
+        )
+        assert lut.lookup(7, 15) == 127

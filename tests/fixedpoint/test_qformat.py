@@ -1,0 +1,89 @@
+"""Unit tests for the Q-format specification."""
+
+import pytest
+
+from repro.errors import QFormatError
+from repro.fixedpoint.qformat import QFormat
+
+
+class TestRanges:
+    def test_signed_8bit_raw_range(self):
+        fmt = QFormat(8, 4)
+        assert fmt.raw_min == -128
+        assert fmt.raw_max == 127
+
+    def test_unsigned_raw_range(self):
+        fmt = QFormat(5, 2, signed=False)
+        assert fmt.raw_min == 0
+        assert fmt.raw_max == 31
+
+    def test_real_range_signed(self):
+        fmt = QFormat(8, 4)
+        assert fmt.min_value == -8.0
+        assert fmt.max_value == pytest.approx(7.9375)
+
+    def test_resolution(self):
+        assert QFormat(8, 6).resolution == pytest.approx(1.0 / 64)
+
+    def test_negative_frac_bits_resolution(self):
+        assert QFormat(8, -2).resolution == 4.0
+
+    def test_int_bits_accounts_for_sign(self):
+        assert QFormat(8, 4).int_bits == 3
+        assert QFormat(8, 4, signed=False).int_bits == 4
+
+    def test_num_codes(self):
+        assert QFormat(6, 3).num_codes == 64
+
+    def test_25bit_accumulator_range(self):
+        fmt = QFormat(25, 10)
+        assert fmt.raw_max == 2**24 - 1
+        assert fmt.raw_min == -(2**24)
+
+
+class TestValidation:
+    def test_zero_bits_rejected(self):
+        with pytest.raises(QFormatError):
+            QFormat(0, 0)
+
+    def test_signed_needs_two_bits(self):
+        with pytest.raises(QFormatError):
+            QFormat(1, 0, signed=True)
+
+    def test_unsigned_single_bit_allowed(self):
+        fmt = QFormat(1, 0, signed=False)
+        assert fmt.raw_max == 1
+
+
+class TestContainsAndWrap:
+    def test_contains_raw(self):
+        fmt = QFormat(8, 0)
+        assert fmt.contains_raw(127)
+        assert fmt.contains_raw(-128)
+        assert not fmt.contains_raw(128)
+
+    def test_wrap_positive_in_range(self):
+        fmt = QFormat(8, 0)
+        assert fmt.wrap_raw(100) == 100
+
+    def test_wrap_twos_complement(self):
+        fmt = QFormat(8, 0)
+        assert fmt.wrap_raw(255) == -1
+        assert fmt.wrap_raw(128) == -128
+
+    def test_wrap_unsigned_masks(self):
+        fmt = QFormat(5, 0, signed=False)
+        assert fmt.wrap_raw(33) == 1
+
+    def test_describe_mentions_bits(self):
+        text = QFormat(8, 6).describe()
+        assert "8 bits" in text
+
+
+class TestEquality:
+    def test_frozen_dataclass_equality(self):
+        assert QFormat(8, 4) == QFormat(8, 4)
+        assert QFormat(8, 4) != QFormat(8, 5)
+
+    def test_hashable(self):
+        assert len({QFormat(8, 4), QFormat(8, 4), QFormat(8, 5)}) == 2

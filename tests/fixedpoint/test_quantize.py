@@ -1,0 +1,84 @@
+"""Unit tests for float <-> raw conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SaturationError
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import (
+    Rounding,
+    from_raw,
+    quantization_error_bound,
+    quantize,
+    to_raw,
+)
+
+FMT = QFormat(8, 4)
+
+
+class TestToRaw:
+    def test_exact_values(self):
+        assert to_raw(1.0, FMT) == 16
+        assert to_raw(-1.0, FMT) == -16
+
+    def test_rounding_nearest_half_away(self):
+        assert to_raw(1.0 / 32, FMT) == 1  # 0.5 ulp rounds away from zero
+        assert to_raw(-1.0 / 32, FMT) == -1
+
+    def test_rounding_floor(self):
+        assert to_raw(0.99 / 16, FMT, rounding=Rounding.FLOOR) == 0
+        assert to_raw(-0.01, FMT, rounding=Rounding.FLOOR) == -1
+
+    def test_rounding_zero_truncates(self):
+        assert to_raw(-0.05, FMT, rounding=Rounding.ZERO) == 0
+
+    def test_saturation_clamps(self):
+        assert to_raw(100.0, FMT) == FMT.raw_max
+        assert to_raw(-100.0, FMT) == FMT.raw_min
+
+    def test_saturation_disabled_raises(self):
+        with pytest.raises(SaturationError):
+            to_raw(100.0, FMT, saturate=False)
+
+    def test_vectorized_shape(self):
+        values = np.linspace(-1, 1, 7).reshape(7, 1)
+        raw = to_raw(values, FMT)
+        assert raw.shape == (7, 1)
+        assert raw.dtype == np.int64
+
+    def test_negative_frac_bits(self):
+        coarse = QFormat(8, -2)
+        assert to_raw(8.0, coarse) == 2
+
+
+class TestFromRaw:
+    def test_round_trip_exact_grid(self):
+        raw = np.arange(FMT.raw_min, FMT.raw_max + 1)
+        values = from_raw(raw, FMT)
+        assert np.array_equal(to_raw(values, FMT), raw)
+
+    def test_scaling(self):
+        assert from_raw(16, FMT) == 1.0
+
+    def test_negative_frac_bits(self):
+        coarse = QFormat(8, -2)
+        assert from_raw(2, coarse) == 8.0
+
+
+class TestQuantize:
+    def test_error_bound_nearest(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(FMT.min_value, FMT.max_value, size=1000)
+        err = np.abs(quantize(values, FMT) - values)
+        assert err.max() <= quantization_error_bound(FMT) + 1e-12
+
+    def test_error_bound_floor(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(FMT.min_value, FMT.max_value - FMT.resolution, size=1000)
+        err = np.abs(quantize(values, FMT, rounding=Rounding.FLOOR) - values)
+        assert err.max() <= quantization_error_bound(FMT, Rounding.FLOOR) + 1e-12
+
+    def test_idempotent(self):
+        values = np.linspace(-2, 2, 101)
+        once = quantize(values, FMT)
+        assert np.array_equal(quantize(once, FMT), once)

@@ -1,0 +1,79 @@
+"""Unit tests for the FIFO accumulator bank."""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.hwops import QuantizedFormats
+from repro.errors import ShapeError, SimulationError
+from repro.hw.accumulator import AccumulatorBank
+
+ACC = QuantizedFormats().acc(QuantizedFormats().caps_data, QuantizedFormats().coupling)
+
+
+@pytest.fixture
+def bank():
+    return AccumulatorBank(cols=4, depth=16, acc_fmt=ACC)
+
+
+class TestAccumulate:
+    def test_store_then_drain(self, bank, rng):
+        psums = rng.integers(-100, 100, size=(8, 4))
+        bank.accumulate(psums, first_chunk=True)
+        assert np.array_equal(bank.drain(), psums)
+
+    def test_chunk_summation(self, bank, rng):
+        a = rng.integers(-100, 100, size=(8, 4))
+        b = rng.integers(-100, 100, size=(8, 4))
+        bank.accumulate(a, first_chunk=True)
+        bank.accumulate(b, first_chunk=False)
+        assert np.array_equal(bank.drain(), a + b)
+
+    def test_first_chunk_resets(self, bank, rng):
+        a = rng.integers(-10, 10, size=(4, 4))
+        bank.accumulate(a, first_chunk=True)
+        bank.drain()
+        b = rng.integers(-10, 10, size=(4, 4))
+        bank.accumulate(b, first_chunk=True)
+        assert np.array_equal(bank.drain(), b)
+
+    def test_saturating_addition(self, bank):
+        near_max = np.full((2, 4), ACC.raw_max - 5, dtype=np.int64)
+        bank.accumulate(near_max, first_chunk=True)
+        bank.accumulate(near_max, first_chunk=False)
+        assert np.all(bank.drain() == ACC.raw_max)
+
+    def test_occupancy(self, bank, rng):
+        assert bank.occupancy == 0
+        bank.accumulate(rng.integers(-5, 5, size=(6, 4)), first_chunk=True)
+        assert bank.occupancy == 6
+
+
+class TestErrors:
+    def test_depth_overflow_raises(self, bank, rng):
+        with pytest.raises(SimulationError):
+            bank.accumulate(rng.integers(-5, 5, size=(17, 4)), first_chunk=True)
+
+    def test_wrong_cols_raises(self, bank, rng):
+        with pytest.raises(ShapeError):
+            bank.accumulate(rng.integers(-5, 5, size=(4, 3)), first_chunk=True)
+
+    def test_add_before_store_raises(self, bank, rng):
+        with pytest.raises(SimulationError):
+            bank.accumulate(rng.integers(-5, 5, size=(4, 4)), first_chunk=False)
+
+    def test_drain_empty_raises(self, bank):
+        with pytest.raises(SimulationError):
+            bank.drain()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ShapeError):
+            AccumulatorBank(cols=0, depth=4, acc_fmt=ACC)
+
+
+class TestCounters:
+    def test_write_and_add_counts(self, bank, rng):
+        a = rng.integers(-5, 5, size=(8, 4))
+        bank.accumulate(a, first_chunk=True)
+        bank.accumulate(a, first_chunk=False)
+        assert bank.write_count == 64
+        assert bank.add_count == 32

@@ -1,0 +1,92 @@
+"""Unit tests for the activation unit and its latency model."""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.hwops import QuantizedFormats, hw_norm, hw_softmax, hw_squash
+from repro.errors import SimulationError
+from repro.fixedpoint.quantize import to_raw
+from repro.hw.activation import (
+    ActivationMode,
+    ActivationUnit,
+    activation_latency,
+    batched_activation_latency,
+)
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return ActivationUnit(QuantizedFormats())
+
+
+class TestLatencies:
+    def test_paper_latency_rules(self):
+        assert activation_latency(ActivationMode.RELU, 16) == 1
+        assert activation_latency(ActivationMode.NORM, 16) == 17
+        assert activation_latency(ActivationMode.SQUASH, 16) == 18
+        assert activation_latency(ActivationMode.SOFTMAX, 16) == 32
+
+    def test_none_mode_free(self):
+        assert activation_latency(ActivationMode.NONE, 8) == 0
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(SimulationError):
+            activation_latency(ActivationMode.RELU, 0)
+
+    def test_batched_distributes_over_units(self):
+        # 32 groups of softmax(n=10) over 16 units: 2 per unit x 20 cycles.
+        assert batched_activation_latency(ActivationMode.SOFTMAX, 10, 32, 16) == 40
+
+    def test_batched_single_unit_serializes(self):
+        assert batched_activation_latency(ActivationMode.SQUASH, 16, 10, 1) == 180
+
+    def test_batched_validates(self):
+        with pytest.raises(SimulationError):
+            batched_activation_latency(ActivationMode.RELU, 1, 1, 0)
+
+    def test_unit_method_delegates(self, unit):
+        assert unit.batched_latency(ActivationMode.NORM, 8, 4, 2) == 2 * 9
+
+
+class TestArithmetic:
+    def test_relu_requantizes(self, unit):
+        fmts = unit.formats
+        acc_fmt = fmts.acc(fmts.input, fmts.conv1_weight)
+        acc = np.array([-(1 << 12), 0, 1 << 12])
+        out = unit.relu(acc, acc_fmt, fmts.conv1_out)
+        assert out[0] == 0
+        assert out[2] > 0
+
+    def test_passthrough_keeps_sign(self, unit):
+        fmts = unit.formats
+        acc_fmt = fmts.acc(fmts.caps_data, fmts.caps_data)
+        out = unit.passthrough(np.array([-(1 << 10)]), acc_fmt, fmts.logits)
+        assert out[0] < 0
+
+    def test_squash_matches_hwops(self, unit, rng):
+        fmts = unit.formats
+        vec = to_raw(rng.uniform(-1, 1, size=(5, 8)), fmts.primary_preact)
+        expected = hw_squash(vec, fmts.primary_preact, unit.luts, fmts)
+        assert np.array_equal(unit.squash(vec, fmts.primary_preact), expected)
+
+    def test_norm_matches_hwops(self, unit, rng):
+        fmts = unit.formats
+        vec = to_raw(rng.uniform(-1, 1, size=(5, 8)), fmts.caps_data)
+        expected = hw_norm(vec, fmts.caps_data, unit.luts, fmts)
+        got = unit.norm(vec, fmts.caps_data)
+        assert np.array_equal(got[0], expected[0])
+        assert np.array_equal(got[1], expected[1])
+
+    def test_softmax_matches_hwops(self, unit, rng):
+        fmts = unit.formats
+        logits = rng.integers(-50, 50, size=(6, 10))
+        expected = hw_softmax(logits, unit.luts, fmts, axis=1)
+        assert np.array_equal(unit.softmax(logits, axis=1), expected)
+
+    def test_shares_caller_luts(self):
+        fmts = QuantizedFormats()
+        from repro.capsnet.hwops import HardwareLuts
+
+        luts = HardwareLuts.build(fmts)
+        unit = ActivationUnit(fmts, luts)
+        assert unit.luts is luts

@@ -1,0 +1,60 @@
+"""Unit tests for buffers and memory models."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.buffers import Buffer, MemoryModel
+
+
+class TestBuffer:
+    @pytest.fixture
+    def buffer(self):
+        return Buffer("data_buffer", size_kb=64, word_bits=8, bandwidth_words=16)
+
+    def test_capacity(self, buffer):
+        assert buffer.capacity_words == 64 * 1024
+
+    def test_read_cycles_rounds_up(self, buffer):
+        assert buffer.read_cycles(16) == 1
+        assert buffer.read_cycles(17) == 2
+
+    def test_counters_accumulate(self, buffer):
+        buffer.read_cycles(100)
+        buffer.write_cycles(50)
+        assert buffer.reads == 100
+        assert buffer.writes == 50
+
+    def test_reset_counters(self, buffer):
+        buffer.read_cycles(10)
+        buffer.reset_counters()
+        assert buffer.reads == 0
+
+    def test_negative_words_rejected(self, buffer):
+        with pytest.raises(SimulationError):
+            buffer.read_cycles(-1)
+
+    def test_wide_words_capacity(self):
+        wide = Buffer("acc", size_kb=1, word_bits=25, bandwidth_words=4)
+        assert wide.capacity_words == 1024 * 8 // 25
+
+
+class TestMemoryModel:
+    @pytest.fixture
+    def memory(self):
+        return MemoryModel("weight_memory", size_mb=8)
+
+    def test_capacity(self, memory):
+        assert memory.capacity_bytes == 8 * 1024 * 1024
+
+    def test_fits_paper_weights(self, memory):
+        from repro.capsnet.params import total_weight_bytes
+
+        assert memory.fits(total_weight_bytes())
+
+    def test_traffic_by_consumer(self, memory):
+        memory.read(100, consumer="conv1")
+        memory.read(50, consumer="conv1")
+        memory.write(25, consumer="routing")
+        assert memory.traffic == {"conv1": 150, "routing": 25}
+        assert memory.reads == 150
+        assert memory.writes == 25

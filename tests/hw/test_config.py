@@ -1,0 +1,67 @@
+"""Unit tests for the accelerator configuration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.config import AcceleratorConfig, paper_config
+
+
+class TestDefaults:
+    def test_paper_table2_values(self):
+        config = paper_config()
+        assert config.rows == 16
+        assert config.cols == 16
+        assert config.clock_mhz == 250.0
+        assert config.data_bits == 8
+        assert config.acc_bits == 25
+        assert config.onchip_memory_mb == 8.0
+        assert config.voltage_v == 1.05
+        assert config.technology_nm == 32
+
+    def test_num_pes(self):
+        assert paper_config().num_pes == 256
+
+    def test_cycle_time(self):
+        assert paper_config().cycle_ns == pytest.approx(4.0)
+
+    def test_peak_throughput(self):
+        assert paper_config().peak_macs_per_second == pytest.approx(64e9)
+
+
+class TestConversions:
+    def test_cycles_to_us(self):
+        assert paper_config().cycles_to_us(250) == pytest.approx(1.0)
+
+    def test_cycles_to_ms(self):
+        assert paper_config().cycles_to_ms(250000) == pytest.approx(1.0)
+
+
+class TestVariants:
+    def test_with_array(self):
+        small = paper_config().with_array(8, 4)
+        assert small.rows == 8
+        assert small.cols == 4
+        assert paper_config().rows == 16  # original untouched
+
+    def test_without_weight_reuse(self):
+        variant = paper_config().without_weight_reuse()
+        assert not variant.weight_double_buffer
+        assert paper_config().weight_double_buffer
+
+
+class TestValidation:
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(rows=0)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(clock_mhz=0)
+
+    def test_rejects_narrow_accumulator(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(data_bits=8, weight_bits=8, acc_bits=15)
+
+    def test_rejects_zero_bus(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(data_bus_words=0)

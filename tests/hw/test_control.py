@@ -1,0 +1,108 @@
+"""Unit tests for the control unit (Section IV-D)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.hw.activation import ActivationMode
+from repro.hw.control import compile_schedule, signal_summary
+from repro.mapping.shapes import (
+    ActivationWork,
+    GemmShape,
+    StageShape,
+    full_inference_stages,
+)
+
+
+@pytest.fixture(scope="module")
+def program(mnist_config):
+    return compile_schedule(full_inference_stages(mnist_config))
+
+
+class TestFullSchedule:
+    def test_compiles_every_stage(self, program, mnist_config):
+        assert len(program.steps) == len(full_inference_stages(mnist_config))
+
+    def test_conv_stages_use_buffers(self, program):
+        for name in ("conv1", "primarycaps"):
+            step = program.step(name)
+            assert step.data_mux == "buffer"
+            assert step.weight_mux == "weight_buffer"
+
+    def test_conv_activation_selects(self, program):
+        assert program.step("conv1").activation_select is ActivationMode.RELU
+        assert program.step("primarycaps").activation_select is ActivationMode.SQUASH
+
+    def test_first_sum_from_buffer_later_from_feedback(self, program):
+        assert program.step("sum1").data_mux == "buffer"
+        assert program.step("sum2").data_mux == "feedback"
+        assert program.step("sum3").data_mux == "feedback"
+
+    def test_routing_stages_use_routing_buffer_weights(self, program):
+        for name in ("sum1", "sum2", "update1"):
+            assert program.step(name).weight_mux == "routing_buffer"
+
+    def test_routing_outputs_written_back(self, program):
+        for name in ("squash1", "softmax2", "update1"):
+            assert program.step(name).routing_buffer_write
+
+    def test_skipped_softmax_has_no_activation(self, program):
+        assert program.step("softmax1 (skipped)").activation_select is ActivationMode.NONE
+
+    def test_signal_summary_shape(self, program):
+        rows = signal_summary(program)
+        assert len(rows) == len(program.steps)
+        assert rows[0][0] == "conv1"
+
+
+class TestLegalityChecks:
+    def test_feedback_before_production_rejected(self):
+        bad = StageShape(
+            "sum1",
+            gemms=(GemmShape(m=4, k=4, n=1, data_source="feedback",
+                             weight_source="routing_buffer"),),
+        )
+        with pytest.raises(MappingError):
+            compile_schedule([bad])
+
+    def test_routing_buffer_outside_routing_rejected(self):
+        bad = StageShape(
+            "conv1",
+            gemms=(GemmShape(m=4, k=4, n=4, weight_source="routing_buffer"),),
+        )
+        with pytest.raises(MappingError):
+            compile_schedule([bad])
+
+    def test_mixed_sources_in_one_stage_rejected(self):
+        bad = StageShape(
+            "sum1",
+            gemms=(
+                GemmShape(m=4, k=4, n=1, data_source="data_buffer",
+                          weight_source="routing_buffer"),
+                GemmShape(m=4, k=4, n=1, data_source="feedback",
+                          weight_source="routing_buffer"),
+            ),
+        )
+        with pytest.raises(MappingError):
+            compile_schedule([bad])
+
+    def test_multiple_activation_paths_rejected(self):
+        bad = StageShape(
+            "conv1",
+            gemms=(GemmShape(m=4, k=4, n=4),),
+            activations=(
+                ActivationWork(ActivationMode.RELU, 1, 1),
+                ActivationWork(ActivationMode.SQUASH, 4, 1),
+            ),
+        )
+        with pytest.raises(MappingError):
+            compile_schedule([bad])
+
+    def test_textbook_schedule_also_legal(self, mnist_config):
+        program = compile_schedule(
+            full_inference_stages(mnist_config, optimized_routing=False)
+        )
+        assert program.step("softmax1").activation_select is ActivationMode.SOFTMAX
+
+    def test_tiny_config_schedule_legal(self, tiny_config):
+        program = compile_schedule(full_inference_stages(tiny_config))
+        assert program.step("sum2").data_mux == "feedback"

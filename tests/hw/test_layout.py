@@ -1,0 +1,82 @@
+"""Tests for the on-chip weight-memory layout."""
+
+import pytest
+
+from repro.errors import ConfigError, MappingError
+from repro.hw.config import AcceleratorConfig
+from repro.hw.layout import WeightMemoryLayout
+
+
+@pytest.fixture(scope="module")
+def layout(mnist_config):
+    return WeightMemoryLayout(mnist_config)
+
+
+class TestLayout:
+    def test_all_tensors_present(self, layout):
+        assert set(layout.regions) == {
+            "conv1_w", "conv1_b", "primary_w", "primary_b", "classcaps_w"
+        }
+
+    def test_region_sizes_match_counts(self, layout, mnist_config):
+        assert layout.region("conv1_w").size_bytes == mnist_config.conv1.weight_count
+        assert layout.region("classcaps_w").size_bytes == mnist_config.classcaps_weight_count
+
+    def test_regions_disjoint(self, layout):
+        assert layout.no_overlaps()
+
+    def test_regions_aligned(self, layout):
+        for region in layout.regions.values():
+            assert region.offset % layout.alignment == 0
+
+    def test_fits_paper_8mb(self, layout):
+        """The paper's Section III-A observation."""
+        assert layout.fits()
+        assert 0.7 < layout.utilization < 0.9  # ~6.5 MB of 8 MB
+
+    def test_contains(self, layout):
+        region = layout.region("primary_w")
+        assert region.contains(region.offset)
+        assert not region.contains(region.end)
+
+    def test_16bit_weights_do_not_fit(self, mnist_config):
+        wide = WeightMemoryLayout(mnist_config, bytes_per_weight=2)
+        assert not wide.fits()
+
+    def test_tiny_config_tiny_footprint(self, tiny_config):
+        layout = WeightMemoryLayout(tiny_config)
+        assert layout.utilization < 0.01
+
+
+class TestAddressGeneration:
+    def test_tile_addresses_cover_region(self, layout):
+        region = layout.region("conv1_w")
+        addresses = layout.tile_addresses("conv1_w", tile_bytes=4096)
+        assert addresses[0] == region.offset
+        assert addresses[-1] < region.end
+        assert len(addresses) == -(-region.size_bytes // 4096)
+
+    def test_tile_addresses_monotone(self, layout):
+        addresses = layout.tile_addresses("classcaps_w", tile_bytes=1024)
+        assert addresses == sorted(addresses)
+
+    def test_prefetch_cycles(self, layout, mnist_config):
+        cycles = layout.prefetch_cycles("classcaps_w")
+        assert cycles == -(-mnist_config.classcaps_weight_count // 16)
+
+    def test_unknown_tensor_rejected(self, layout):
+        with pytest.raises(MappingError):
+            layout.region("decoder_w")
+        with pytest.raises(MappingError):
+            layout.tile_addresses("conv1_w", 0)
+
+
+class TestValidation:
+    def test_alignment_must_be_power_of_two(self, mnist_config):
+        with pytest.raises(ConfigError):
+            WeightMemoryLayout(mnist_config, alignment=48)
+
+    def test_small_memory_configuration(self, mnist_config):
+        small = AcceleratorConfig(onchip_memory_mb=1.0)
+        layout = WeightMemoryLayout(mnist_config, accelerator=small)
+        assert not layout.fits()

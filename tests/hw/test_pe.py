@@ -1,0 +1,89 @@
+"""Unit tests for the scalar processing element."""
+
+import pytest
+
+from repro.capsnet.hwops import QuantizedFormats
+from repro.hw.pe import ProcessingElement
+
+FMTS = QuantizedFormats()
+DATA = FMTS.caps_data
+WEIGHT = FMTS.classcaps_weight
+ACC = FMTS.acc(DATA, WEIGHT)
+
+
+@pytest.fixture
+def pe():
+    return ProcessingElement(DATA, WEIGHT, ACC)
+
+
+class TestDatapath:
+    def test_initial_state_zero(self, pe):
+        assert pe.data_reg == 0
+        assert pe.psum_reg == 0
+
+    def test_mac_uses_registered_data(self, pe):
+        # Cycle 1: present data; multiply still sees the old (zero) data.
+        pe.weight1_reg = 0
+        pe.weight2_reg = 3
+        out1 = pe.step(data_in=5, weight_in=0, psum_in=0)
+        assert out1.psum_out == 0
+        # Cycle 2: the registered data (5) multiplies the held weight (3).
+        out2 = pe.step(data_in=0, weight_in=0, psum_in=0)
+        assert out2.psum_out == 15
+
+    def test_psum_in_added(self, pe):
+        pe.data_reg = 4
+        pe.weight2_reg = 2
+        out = pe.step(data_in=0, weight_in=0, psum_in=100)
+        assert out.psum_out == 108
+
+    def test_weight_shift_chain(self, pe):
+        out = pe.step(data_in=0, weight_in=7, psum_in=0)
+        assert out.weight_out == 7
+        assert pe.weight1_reg == 7
+        assert pe.weight2_reg == 0  # not latched yet
+
+    def test_latch_copies_shift_register(self, pe):
+        pe.step(data_in=0, weight_in=9, psum_in=0)
+        pe.step(data_in=0, weight_in=0, psum_in=0, latch_weight=True)
+        assert pe.weight2_reg == 9
+
+    def test_latch_uses_pre_shift_value(self, pe):
+        pe.step(data_in=0, weight_in=9, psum_in=0)
+        # Latch while simultaneously shifting in a new weight: the hold
+        # register must capture the OLD shift value.
+        pe.step(data_in=0, weight_in=5, psum_in=0, latch_weight=True)
+        assert pe.weight2_reg == 9
+        assert pe.weight1_reg == 5
+
+    def test_data_passes_right(self, pe):
+        out = pe.step(data_in=11, weight_in=0, psum_in=0)
+        assert out.data_out == 11
+
+
+class TestSaturation:
+    def test_psum_saturates_at_25_bits(self, pe):
+        pe.data_reg = 127
+        pe.weight2_reg = 127
+        out = pe.step(data_in=0, weight_in=0, psum_in=ACC.raw_max - 1)
+        assert out.psum_out == ACC.raw_max
+
+    def test_data_in_clamped(self, pe):
+        pe.step(data_in=1000, weight_in=0, psum_in=0)
+        assert pe.data_reg == DATA.raw_max
+
+    def test_negative_saturation(self, pe):
+        pe.data_reg = -128
+        pe.weight2_reg = 127
+        out = pe.step(data_in=0, weight_in=0, psum_in=ACC.raw_min + 1)
+        assert out.psum_out == ACC.raw_min
+
+
+class TestReset:
+    def test_reset_clears_registers(self, pe):
+        pe.step(data_in=3, weight_in=4, psum_in=0)
+        pe.reset()
+        assert pe.data_reg == 0
+        assert pe.weight1_reg == 0
+        assert pe.weight2_reg == 0
+        assert pe.psum_reg == 0

@@ -1,0 +1,57 @@
+"""Tests for the cycle statistics container."""
+
+import pytest
+
+from repro.hw.stats import CycleStats
+
+
+class TestAddition:
+    def test_fields_sum(self):
+        a = CycleStats(total_cycles=10, compute_cycles=6, mac_count=100)
+        b = CycleStats(total_cycles=5, compute_cycles=3, mac_count=50)
+        c = a + b
+        assert c.total_cycles == 15
+        assert c.compute_cycles == 9
+        assert c.mac_count == 150
+
+    def test_access_maps_merge(self):
+        a = CycleStats()
+        a.add_access("data_buffer.read", 10)
+        b = CycleStats()
+        b.add_access("data_buffer.read", 5)
+        b.add_access("weight_buffer.read", 7)
+        c = a + b
+        assert c.accesses == {"data_buffer.read": 15, "weight_buffer.read": 7}
+
+    def test_addition_does_not_mutate_operands(self):
+        a = CycleStats()
+        a.add_access("x", 1)
+        b = CycleStats()
+        _ = a + b
+        assert a.accesses == {"x": 1}
+        assert b.accesses == {}
+
+    def test_identity_element(self):
+        a = CycleStats(total_cycles=3, mac_count=9)
+        c = a + CycleStats()
+        assert c.total_cycles == 3
+        assert c.mac_count == 9
+
+
+class TestDerivedMetrics:
+    def test_utilization(self):
+        stats = CycleStats(total_cycles=100, mac_count=12800)
+        assert stats.utilization(256) == pytest.approx(0.5)
+
+    def test_utilization_zero_cycles(self):
+        assert CycleStats().utilization(256) == 0.0
+
+    def test_time_us(self):
+        stats = CycleStats(total_cycles=250)
+        assert stats.time_us(250.0) == pytest.approx(1.0)
+
+    def test_summary_mentions_counts(self):
+        stats = CycleStats(total_cycles=42, mac_count=7)
+        text = stats.summary()
+        assert "42 cycles" in text
+        assert "7 MACs" in text

@@ -1,0 +1,195 @@
+"""Unit tests for the vectorized systolic array.
+
+Includes the PE-equivalence test: the vectorized array must match a grid of
+scalar :class:`ProcessingElement` objects cycle for cycle, bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.hwops import QuantizedFormats
+from repro.errors import ShapeError
+from repro.hw.config import AcceleratorConfig
+from repro.hw.pe import ProcessingElement
+from repro.hw.systolic import SystolicArray
+
+FMTS = QuantizedFormats()
+DATA = FMTS.caps_data
+WEIGHT = FMTS.classcaps_weight
+ACC = FMTS.acc(DATA, WEIGHT)
+
+
+def make_array(rows=4, cols=4):
+    return SystolicArray(AcceleratorConfig(rows=rows, cols=cols), DATA, WEIGHT, ACC)
+
+
+class TestStep:
+    def test_cycle_counter(self):
+        array = make_array()
+        array.step()
+        array.step()
+        assert array.cycle == 2
+
+    def test_data_shifts_right(self):
+        array = make_array()
+        array.step(data_in=np.array([1, 2, 3, 4]))
+        assert list(array.data[:, 0]) == [1, 2, 3, 4]
+        array.step()
+        assert list(array.data[:, 1]) == [1, 2, 3, 4]
+        assert list(array.data[:, 0]) == [0, 0, 0, 0]
+
+    def test_weights_shift_down(self):
+        array = make_array()
+        array.step(weight_in=np.array([5, 6, 7, 8]))
+        assert list(array.weight_shift[0]) == [5, 6, 7, 8]
+        array.step()
+        assert list(array.weight_shift[1]) == [5, 6, 7, 8]
+
+    def test_wrong_edge_shape_raises(self):
+        array = make_array()
+        with pytest.raises(ShapeError):
+            array.step(data_in=np.zeros(3))
+
+    def test_reset(self):
+        array = make_array()
+        array.step(data_in=np.array([1, 1, 1, 1]))
+        array.reset()
+        assert array.cycle == 0
+        assert np.all(array.data == 0)
+
+
+class TestLoadWeights:
+    def test_full_tile_placement(self, rng):
+        array = make_array()
+        tile = rng.integers(-10, 10, size=(4, 4))
+        cycles = array.load_weights(tile)
+        assert cycles == 5
+        assert np.array_equal(array.weight_hold, tile)
+
+    def test_partial_tile_placement(self, rng):
+        array = make_array()
+        tile = np.zeros((4, 4), dtype=np.int64)
+        tile[:2] = rng.integers(-10, 10, size=(2, 4))
+        cycles = array.load_weights(tile, active_rows=2)
+        assert cycles == 3
+        assert np.array_equal(array.weight_hold, tile)
+
+    def test_partial_tile_requires_zero_padding(self, rng):
+        array = make_array()
+        tile = rng.integers(1, 10, size=(4, 4))
+        with pytest.raises(ShapeError):
+            array.load_weights(tile, active_rows=2)
+
+    def test_wrong_tile_shape_raises(self):
+        array = make_array()
+        with pytest.raises(ShapeError):
+            array.load_weights(np.zeros((3, 4), dtype=np.int64))
+
+    def test_reload_replaces_previous_tile(self, rng):
+        array = make_array()
+        first = rng.integers(-9, 9, size=(4, 4))
+        second = rng.integers(-9, 9, size=(4, 4))
+        array.load_weights(first)
+        array.run_tile(rng.integers(-5, 5, size=(6, 4)))
+        array.load_weights(second)
+        assert np.array_equal(array.weight_hold, second)
+
+
+class TestRunTile:
+    def test_matches_reference_gemm(self, rng):
+        array = make_array()
+        tile = rng.integers(-60, 60, size=(4, 4))
+        vectors = rng.integers(-60, 60, size=(10, 4))
+        array.load_weights(tile)
+        result = array.run_tile(vectors)
+        assert np.array_equal(result.psums, array.compute_tile_reference(tile, vectors))
+
+    def test_cycle_count_formula(self, rng):
+        array = make_array()
+        tile = rng.integers(-5, 5, size=(4, 4))
+        array.load_weights(tile)
+        result = array.run_tile(rng.integers(-5, 5, size=(7, 4)))
+        assert result.cycles == 7 + 4 + 4 - 1
+
+    def test_single_vector(self, rng):
+        array = make_array()
+        tile = rng.integers(-5, 5, size=(4, 4))
+        vector = rng.integers(-5, 5, size=(1, 4))
+        array.load_weights(tile)
+        result = array.run_tile(vector)
+        assert np.array_equal(result.psums, array.compute_tile_reference(tile, vector))
+
+    def test_consecutive_tiles_independent(self, rng):
+        array = make_array()
+        for _ in range(3):
+            tile = rng.integers(-40, 40, size=(4, 4))
+            vectors = rng.integers(-40, 40, size=(5, 4))
+            array.load_weights(tile)
+            result = array.run_tile(vectors)
+            assert np.array_equal(
+                result.psums, array.compute_tile_reference(tile, vectors)
+            )
+
+    def test_rectangular_array(self, rng):
+        config = AcceleratorConfig(rows=3, cols=5)
+        array = SystolicArray(config, DATA, WEIGHT, ACC)
+        tile = rng.integers(-20, 20, size=(3, 5))
+        vectors = rng.integers(-20, 20, size=(8, 3))
+        array.load_weights(tile)
+        result = array.run_tile(vectors)
+        assert np.array_equal(result.psums, array.compute_tile_reference(tile, vectors))
+
+    def test_wrong_vector_width_raises(self, rng):
+        array = make_array()
+        array.load_weights(rng.integers(-5, 5, size=(4, 4)))
+        with pytest.raises(ShapeError):
+            array.run_tile(np.zeros((3, 5), dtype=np.int64))
+
+
+class TestPEEquivalence:
+    """The vectorized array must equal a grid of scalar PEs bit for bit."""
+
+    def _scalar_grid_step(self, grid, data_in, weight_in, latch):
+        rows = len(grid)
+        cols = len(grid[0])
+        # Capture current register state (pre-edge) for neighbour inputs.
+        psums = [[grid[r][c].psum_reg for c in range(cols)] for r in range(rows)]
+        datas = [[grid[r][c].data_reg for c in range(cols)] for r in range(rows)]
+        weights = [[grid[r][c].weight1_reg for c in range(cols)] for r in range(rows)]
+        bottom = []
+        for r in range(rows):
+            for c in range(cols):
+                pe_data_in = data_in[r] if c == 0 else datas[r][c - 1]
+                pe_weight_in = weight_in[c] if r == 0 else weights[r - 1][c]
+                pe_psum_in = 0 if r == 0 else psums[r - 1][c]
+                out = grid[r][c].step(
+                    pe_data_in, pe_weight_in, pe_psum_in, latch_weight=latch
+                )
+                if r == rows - 1:
+                    bottom.append(out.psum_out)
+        return np.array(bottom, dtype=np.int64)
+
+    def test_random_stimulus_equivalence(self, rng):
+        rows = cols = 3
+        config = AcceleratorConfig(rows=rows, cols=cols)
+        array = SystolicArray(config, DATA, WEIGHT, ACC)
+        grid = [
+            [ProcessingElement(DATA, WEIGHT, ACC) for _ in range(cols)]
+            for _ in range(rows)
+        ]
+        for cycle in range(60):
+            data_in = rng.integers(-100, 100, size=rows)
+            weight_in = rng.integers(-100, 100, size=cols)
+            latch = bool(rng.integers(0, 4) == 0)
+            vec_bottom = array.step(
+                data_in=data_in, weight_in=weight_in, latch_weights=latch
+            )
+            scalar_bottom = self._scalar_grid_step(grid, data_in, weight_in, latch)
+            assert np.array_equal(vec_bottom, scalar_bottom), f"cycle {cycle}"
+            # Full register-plane equivalence, not just the outputs.
+            for r in range(rows):
+                for c in range(cols):
+                    assert array.data[r, c] == grid[r][c].data_reg
+                    assert array.psum[r, c] == grid[r][c].psum_reg
+                    assert array.weight_shift[r, c] == grid[r][c].weight1_reg
+                    assert array.weight_hold[r, c] == grid[r][c].weight2_reg

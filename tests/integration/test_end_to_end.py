@@ -1,0 +1,107 @@
+"""Cross-package integration tests: the full validation chain of DESIGN.md.
+
+1. float model -> quantized model: bounded error, classification agreement;
+2. quantized model -> mapped accelerator execution: bit-exact;
+3. analytical cycle model -> stepped simulator: exact cycle agreement;
+4. experiments -> paper claims (covered in tests/experiments).
+"""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.model import CapsuleNet
+from repro.capsnet.quantized import QuantizedCapsuleNet
+from repro.errors import ReproError
+from repro.hw.accelerator import CapsAccAccelerator, GemmJob, gemm_cycles
+from repro.hw.config import AcceleratorConfig
+from repro.mapping.execute import MappedInference
+from repro.mapping.shapes import full_inference_stages
+from repro.perf.cycles import stage_performance
+
+
+class TestFloatToQuantizedChain:
+    def test_end_to_end_error_bounded(self, tiny_config, tiny_weights, tiny_images):
+        fnet = CapsuleNet(tiny_config, weights=tiny_weights)
+        qnet = QuantizedCapsuleNet(tiny_config, weights=tiny_weights)
+        for image in tiny_images:
+            fout = fnet.forward(image)
+            qout = qnet.forward(image)
+            assert np.max(np.abs(qout.class_caps - fout.class_capsules)) < 0.15
+
+
+class TestQuantizedToHardwareChain:
+    def test_mapped_execution_bit_exact(self, tiny_qnet, tiny_images):
+        mapped = MappedInference(tiny_qnet)
+        for image in tiny_images:
+            reference = tiny_qnet.forward(image)
+            result = mapped.run(image)
+            assert np.array_equal(result.class_caps_raw, reference.class_caps_raw)
+            assert result.total_stats.mac_count > 0
+
+
+class TestAnalyticalToSteppedChain:
+    def test_mapped_stage_cycles_match_analytical_model(self, tiny_qnet, tiny_images):
+        """Sequential per-stage GEMM cycles from the executable lowering
+        match the shape-level analytical model evaluated without overlap."""
+        accel_config = AcceleratorConfig()
+        mapped = MappedInference(tiny_qnet, CapsAccAccelerator(accel_config, tiny_qnet.formats))
+        result = mapped.run(tiny_images[0])
+        stages = {s.name: s for s in full_inference_stages(tiny_qnet.config)}
+        for name in ("conv1", "primarycaps", "classcaps_fc"):
+            analytical = stage_performance(accel_config, stages[name], overlap=False)
+            measured = result.stage_stats[name]
+            assert measured.total_cycles == analytical.gemm_cycles, name
+
+    def test_routing_stage_cycles_match(self, tiny_qnet, tiny_images):
+        accel_config = AcceleratorConfig()
+        mapped = MappedInference(tiny_qnet, CapsAccAccelerator(accel_config, tiny_qnet.formats))
+        result = mapped.run(tiny_images[0])
+        stages = {s.name: s for s in full_inference_stages(tiny_qnet.config)}
+        for name in ("sum1", "sum2", "update1", "update2"):
+            analytical = stage_performance(accel_config, stages[name], overlap=False)
+            assert result.stage_stats[name].total_cycles == analytical.gemm_cycles, name
+
+
+class TestErrorHierarchy:
+    def test_all_package_errors_catchable_as_repro_error(self):
+        from repro import errors
+
+        for name in (
+            "QFormatError",
+            "SaturationError",
+            "ShapeError",
+            "MappingError",
+            "SimulationError",
+            "ConfigError",
+            "DataError",
+        ):
+            assert issubclass(getattr(errors, name), ReproError)
+
+    def test_public_api_imports(self):
+        import repro
+
+        assert repro.CapsuleNet is not None
+        assert repro.AcceleratorConfig is not None
+        assert repro.CapsAccPerformanceModel is not None
+        assert callable(repro.gtx1070_paper_profile)
+
+
+class TestOverlapConsistency:
+    def test_overlapped_cycles_reported_by_executor(self, rng):
+        config = AcceleratorConfig(rows=4, cols=4)
+        accel = CapsAccAccelerator(config)
+        from repro.capsnet.hwops import QuantizedFormats
+
+        fmts = QuantizedFormats()
+        acc_fmt = fmts.acc(fmts.caps_data, fmts.coupling)
+        job = GemmJob(
+            "j",
+            rng.integers(-20, 20, size=(6, 9)),
+            rng.integers(-20, 20, size=(9, 5)),
+            fmts.caps_data,
+            fmts.coupling,
+            acc_fmt,
+        )
+        result = accel.run_gemm(job)
+        assert result.overlapped_cycles == gemm_cycles(config, 6, 9, 5, overlap=True)["total"]
+        assert result.overlapped_cycles <= result.stats.total_cycles

@@ -1,0 +1,52 @@
+"""Executable conv mapping policies: identical results, different cycles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.mapping.execute import MappedInference
+
+
+class TestChannelSerialExecution:
+    @pytest.fixture(scope="class")
+    def results(self, tiny_qnet, tiny_images):
+        parallel = MappedInference(tiny_qnet, conv_policy="channel_parallel")
+        serial = MappedInference(tiny_qnet, conv_policy="channel_serial")
+        return parallel.run(tiny_images[0]), serial.run(tiny_images[0])
+
+    def test_bit_identical_results(self, results):
+        parallel, serial = results
+        assert np.array_equal(parallel.conv1_raw, serial.conv1_raw)
+        assert np.array_equal(parallel.primary_raw, serial.primary_raw)
+        assert np.array_equal(parallel.class_caps_raw, serial.class_caps_raw)
+
+    def test_serial_costs_more_cycles(self, results):
+        parallel, serial = results
+        assert (
+            serial.stage_stats["conv1"].total_cycles
+            > parallel.stage_stats["conv1"].total_cycles
+        )
+
+    def test_same_mac_count(self, results):
+        parallel, serial = results
+        assert (
+            serial.stage_stats["conv1"].mac_count
+            == parallel.stage_stats["conv1"].mac_count
+        )
+
+    def test_serial_matches_quantized_reference(self, tiny_qnet, tiny_images):
+        serial = MappedInference(tiny_qnet, conv_policy="channel_serial")
+        reference = tiny_qnet.forward(tiny_images[1])
+        result = serial.run(tiny_images[1])
+        assert np.array_equal(result.class_caps_raw, reference.class_caps_raw)
+
+    def test_unknown_policy_rejected(self, tiny_qnet):
+        with pytest.raises(ShapeError):
+            MappedInference(tiny_qnet, conv_policy="diagonal")
+
+
+class TestQuantizedBatchPredict:
+    def test_batch_matches_singles(self, tiny_qnet, tiny_images):
+        batch = tiny_qnet.predict_batch(tiny_images)
+        singles = [tiny_qnet.predict(image) for image in tiny_images]
+        assert list(batch) == singles

@@ -1,0 +1,155 @@
+"""Unit tests for the shape-level stage descriptions."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.hw.activation import ActivationMode
+from repro.mapping.shapes import (
+    ActivationWork,
+    GemmShape,
+    classcaps_fc_stage,
+    conv_stage,
+    full_inference_stages,
+    load_stage,
+    routing_sum_stage,
+    routing_stages,
+    routing_update_stage,
+    stage_layer,
+    transfer_cycles,
+)
+
+
+class TestGemmShape:
+    def test_macs(self):
+        shape = GemmShape(m=4, k=5, n=6, count=3)
+        assert shape.macs == 360
+
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            GemmShape(m=0, k=1, n=1)
+
+
+class TestActivationWork:
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            ActivationWork(ActivationMode.RELU, n=0)
+        with pytest.raises(MappingError):
+            ActivationWork(ActivationMode.RELU, n=1, units=0)
+
+
+class TestConvStages:
+    def test_conv1_dimensions(self, mnist_config):
+        stage = conv_stage(mnist_config, "conv1")
+        gemm = stage.gemms[0]
+        assert (gemm.m, gemm.k, gemm.n) == (400, 81, 256)
+        assert stage.activations[0].mode is ActivationMode.RELU
+
+    def test_primarycaps_dimensions(self, mnist_config):
+        stage = conv_stage(mnist_config, "primarycaps")
+        gemm = stage.gemms[0]
+        assert (gemm.m, gemm.k, gemm.n) == (36, 9 * 9 * 256, 256)
+        assert stage.activations[0].mode is ActivationMode.SQUASH
+        assert stage.activations[0].groups == 1152
+
+    def test_channel_serial_policy(self, mnist_config):
+        stage = conv_stage(mnist_config, "conv1", policy="channel_serial")
+        gemm = stage.gemms[0]
+        assert gemm.n == 1
+        assert gemm.count == 256
+        assert gemm.macs == conv_stage(mnist_config, "conv1").macs
+
+    def test_unknown_policy_rejected(self, mnist_config):
+        with pytest.raises(MappingError):
+            conv_stage(mnist_config, "conv1", policy="zigzag")
+
+    def test_unknown_layer_rejected(self, mnist_config):
+        with pytest.raises(MappingError):
+            conv_stage(mnist_config, "classcaps")
+
+
+class TestClassCapsStages:
+    def test_fc_one_gemm_per_capsule(self, mnist_config):
+        stage = classcaps_fc_stage(mnist_config)
+        gemm = stage.gemms[0]
+        assert gemm.count == 1152
+        assert (gemm.m, gemm.k, gemm.n) == (1, 8, 160)
+        assert stage.macs == 1474560  # every FC weight used exactly once
+
+    def test_load_stage_words(self, mnist_config):
+        stage = load_stage(mnist_config)
+        assert stage.transfer_words == 1152 * 8 + 11520
+
+
+class TestRoutingStages:
+    def test_sum_uses_data_buffer_then_feedback(self, mnist_config):
+        first = routing_sum_stage(mnist_config, 1)
+        later = routing_sum_stage(mnist_config, 2)
+        assert first.gemms[0].data_source == "data_buffer"
+        assert later.gemms[0].data_source == "feedback"
+
+    def test_sum_coefficients_from_routing_buffer(self, mnist_config):
+        stage = routing_sum_stage(mnist_config, 1)
+        assert stage.gemms[0].weight_source == "routing_buffer"
+
+    def test_update_reuses_feedback(self, mnist_config):
+        stage = routing_update_stage(mnist_config, 1)
+        assert stage.gemms[0].data_source == "feedback"
+        assert stage.gemms[0].m == 1152
+
+    def test_optimized_sequence_skips_first_softmax(self, mnist_config):
+        stages = routing_stages(mnist_config, optimized=True)
+        names = [s.name for s in stages]
+        assert names[0] == "softmax1 (skipped)"
+        assert "softmax2" in names
+        skipped = stages[0]
+        assert not skipped.activations  # transfer only
+        assert skipped.transfer_words > 0
+
+    def test_textbook_sequence_runs_all(self, mnist_config):
+        stages = routing_stages(mnist_config, optimized=False)
+        softmaxes = [s for s in stages if s.name.startswith("softmax")]
+        assert len(softmaxes) == 3
+        assert all(s.activations for s in softmaxes)
+
+    def test_sequence_order_matches_fig9(self, mnist_config):
+        names = [s.name for s in routing_stages(mnist_config, optimized=False)]
+        assert names == [
+            "softmax1", "sum1", "squash1", "update1",
+            "softmax2", "sum2", "squash2", "update2",
+            "softmax3", "sum3", "squash3",
+        ]
+
+    def test_cross_column_activations_serialize(self, mnist_config):
+        stages = routing_stages(mnist_config, optimized=False)
+        for stage in stages:
+            for work in stage.activations:
+                assert work.units == 1
+
+
+class TestFullInference:
+    def test_stage_order(self, mnist_config):
+        names = [s.name for s in full_inference_stages(mnist_config)]
+        assert names[:4] == ["conv1", "primarycaps", "load", "classcaps_fc"]
+        assert names[-1] == "squash3"
+
+    def test_total_macs_constant_across_policies(self, mnist_config):
+        parallel = sum(s.macs for s in full_inference_stages(mnist_config))
+        serial = sum(
+            s.macs
+            for s in full_inference_stages(mnist_config, conv_policy="channel_serial")
+        )
+        assert parallel == serial
+
+    def test_stage_layer_aggregation(self):
+        assert stage_layer("conv1") == "Conv1"
+        assert stage_layer("primarycaps") == "PrimaryCaps"
+        assert stage_layer("sum2") == "ClassCaps"
+        assert stage_layer("classcaps_fc") == "ClassCaps"
+
+
+class TestTransferCycles:
+    def test_rounds_up(self):
+        assert transfer_cycles(17, 16) == 2
+
+    def test_zero_free(self):
+        assert transfer_cycles(0, 16) == 0

@@ -1,0 +1,117 @@
+"""Unit tests for the CapsAcc-vs-GPU comparisons (Fig 16/17 shape checks).
+
+These tests pin the *reproduction claims*: orderings, winners and rough
+factors that must hold for the repo to count as reproducing the paper.
+"""
+
+import pytest
+
+from repro.perf.compare import SpeedupRow, compare_layers, compare_routing_steps
+
+
+@pytest.fixture(scope="module")
+def layer_report():
+    return compare_layers()
+
+
+@pytest.fixture(scope="module")
+def step_report():
+    return compare_routing_steps()
+
+
+class TestSpeedupRow:
+    def test_speedup_computation(self):
+        row = SpeedupRow("x", gpu_us=100.0, capsacc_us=25.0)
+        assert row.speedup == 4.0
+
+    def test_direction_check(self):
+        fast = SpeedupRow("x", 100.0, 25.0, paper_speedup=3.0)
+        assert fast.direction_matches_paper
+        slow = SpeedupRow("x", 100.0, 200.0, paper_speedup=3.0)
+        assert not slow.direction_matches_paper
+
+    def test_report_lookup(self, layer_report):
+        assert layer_report.row("Total").name == "Total"
+        with pytest.raises(KeyError):
+            layer_report.row("Pooling")
+
+
+class TestFig16Claims:
+    def test_classcaps_speedup_near_paper_12x(self, layer_report):
+        """Paper: ClassCaps 12x faster on CapsAcc."""
+        speedup = layer_report.row("ClassCaps").speedup
+        assert 8.0 < speedup < 20.0
+
+    def test_total_speedup_near_paper_6x(self, layer_report):
+        """Paper: overall 6x faster; we land in the same small-integer band."""
+        speedup = layer_report.row("Total").speedup
+        assert 3.0 < speedup < 9.0
+
+    def test_gpu_classcaps_dominates_gpu_total(self, layer_report):
+        gpu_classcaps = layer_report.row("ClassCaps").gpu_us
+        gpu_total = layer_report.row("Total").gpu_us
+        assert gpu_classcaps > 0.6 * gpu_total
+
+    def test_primarycaps_roughly_comparable(self, layer_report):
+        """The paper's Fig 16 shows PrimaryCaps nearly even between targets."""
+        speedup = layer_report.row("PrimaryCaps").speedup
+        assert 0.5 < speedup < 2.5
+
+
+class TestFig17Claims:
+    def test_sum_speedup_matches_paper_3x(self, step_report):
+        for label in ("Sum1", "Sum2", "Sum3"):
+            assert 1.5 < step_report.row(label).speedup < 6.0
+
+    def test_update_speedup_matches_paper_6x(self, step_report):
+        for label in ("Update1", "Update2"):
+            assert 3.0 < step_report.row(label).speedup < 12.0
+
+    def test_fc_crossover_gpu_wins(self, step_report):
+        """Paper: FC is 14% slower on CapsAcc — the GPU wins this step."""
+        assert step_report.row("FC").speedup < 1.0
+
+    def test_squash_is_dominant_win(self, step_report):
+        """Paper: squash 172x — the largest per-step speedup by far."""
+        squash = step_report.row("Squash1").speedup
+        others = [
+            row.speedup
+            for row in step_report.rows
+            if not row.name.startswith("Squash")
+        ]
+        assert squash > 100.0
+        assert squash > 3 * max(others)
+
+    def test_squash_dominates_gpu_steps(self, step_report):
+        gpu_squash = step_report.row("Squash1").gpu_us
+        for label in ("Sum1", "Update1", "FC", "Load"):
+            assert gpu_squash > step_report.row(label).gpu_us
+
+    def test_softmax_speedup_small_multiple(self, step_report):
+        """Paper: softmax 3x (for the non-skipped iterations)."""
+        for label in ("Softmax2", "Softmax3"):
+            assert 2.0 < step_report.row(label).speedup < 10.0
+
+    def test_optimized_softmax1_much_faster(self, step_report):
+        """The skipped first softmax shows the routing optimization."""
+        assert step_report.row("Softmax1").speedup > step_report.row("Softmax2").speedup
+
+
+class TestReportStructure:
+    def test_layer_rows_complete(self, layer_report):
+        assert [row.name for row in layer_report.rows] == [
+            "Conv1",
+            "PrimaryCaps",
+            "ClassCaps",
+            "Total",
+        ]
+
+    def test_step_rows_complete(self, step_report):
+        names = [row.name for row in step_report.rows]
+        assert names[0] == "Load"
+        assert len(names) == 13  # Load, FC, 3x(softmax,sum,squash) + 2 updates
+
+    def test_as_table_shape(self, layer_report):
+        table = layer_report.as_table()
+        assert len(table) == 4
+        assert len(table[0]) == 5

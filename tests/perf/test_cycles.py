@@ -1,0 +1,102 @@
+"""Unit tests for the analytical stage cycle model."""
+
+import pytest
+
+from repro.hw.activation import ActivationMode
+from repro.hw.config import AcceleratorConfig
+from repro.mapping.shapes import (
+    ActivationWork,
+    GemmShape,
+    StageShape,
+    classcaps_fc_stage,
+    conv_stage,
+    load_stage,
+)
+from repro.perf.cycles import (
+    peak_gemm_cycles,
+    stage_accesses,
+    stage_performance,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return AcceleratorConfig()
+
+
+class TestStagePerformance:
+    def test_gemm_only_stage(self, config):
+        stage = StageShape("s", gemms=(GemmShape(m=100, k=16, n=16),))
+        perf = stage_performance(config, stage)
+        assert perf.gemm_cycles > 0
+        assert perf.activation_cycles == 0
+        assert perf.cycles == perf.gemm_cycles
+
+    def test_count_multiplies(self, config):
+        single = StageShape("s", gemms=(GemmShape(m=10, k=16, n=16),))
+        triple = StageShape("s", gemms=(GemmShape(m=10, k=16, n=16, count=3),))
+        assert (
+            stage_performance(config, triple).gemm_cycles
+            == 3 * stage_performance(config, single).gemm_cycles
+        )
+
+    def test_activation_uses_units(self, config):
+        parallel = StageShape(
+            "s", activations=(ActivationWork(ActivationMode.SQUASH, 8, 32),)
+        )
+        serial = StageShape(
+            "s", activations=(ActivationWork(ActivationMode.SQUASH, 8, 32, units=1),)
+        )
+        assert (
+            stage_performance(config, serial).activation_cycles
+            == 16 * stage_performance(config, parallel).activation_cycles
+        )
+
+    def test_transfer_cycles(self, config):
+        stage = StageShape("s", transfer_words=160)
+        assert stage_performance(config, stage).transfer_cycles == 10
+
+    def test_time_conversion(self, config):
+        stage = StageShape("s", transfer_words=16 * 250)
+        perf = stage_performance(config, stage)
+        assert perf.time_us(config.clock_mhz) == pytest.approx(1.0)
+
+    def test_utilization_bounds(self, config, mnist_config):
+        perf = stage_performance(config, conv_stage(mnist_config, "primarycaps"))
+        util = perf.utilization(config.num_pes)
+        assert 0.5 < util <= 1.0  # big conv keeps the array mostly busy
+
+    def test_conv1_mnist_cycles(self, config, mnist_config):
+        perf = stage_performance(config, conv_stage(mnist_config, "conv1"))
+        lower = peak_gemm_cycles(config, perf.macs)
+        assert perf.cycles >= lower
+        # Known value for the default mapping: 96 tiles x 400 + overheads.
+        assert perf.gemm_cycles == 96 * 400 + 17 + 31
+
+    def test_fc_stage_weight_bound(self, config, mnist_config):
+        perf = stage_performance(config, classcaps_fc_stage(mnist_config))
+        # The FC stage must at least ingest every weight over the 16-wide
+        # weight port: 1,474,560 / 16 cycles.
+        assert perf.cycles >= 1474560 // 16
+
+    def test_load_stage_pure_transfer(self, config, mnist_config):
+        perf = stage_performance(config, load_stage(mnist_config))
+        assert perf.gemm_cycles == 0
+        assert perf.cycles == perf.transfer_cycles
+
+
+class TestStageAccesses:
+    def test_conv_stage_traffic(self, config, mnist_config):
+        stage = conv_stage(mnist_config, "conv1")
+        stats = stage_accesses(stage, config)
+        assert stats.accesses["weight_buffer.read"] == 81 * 256
+        assert stats.accesses["data_buffer.read"] == 400 * 81 * 16
+        assert stats.mac_count == stage.macs
+
+    def test_feedback_sources_free(self, config, mnist_config):
+        from repro.mapping.shapes import routing_update_stage
+
+        stage = routing_update_stage(mnist_config, 1)
+        stats = stage_accesses(stage, config)
+        assert "data_buffer.read" not in stats.accesses
+        assert "routing_buffer.read" in stats.accesses

@@ -1,0 +1,81 @@
+"""Unit tests for the GPU device model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf.gpu import (
+    GpuDeviceProfile,
+    GpuKernel,
+    GpuModel,
+    gtx1070_ideal_profile,
+    gtx1070_paper_profile,
+)
+
+
+class TestKernelTiming:
+    @pytest.fixture
+    def model(self):
+        return GpuModel(gtx1070_paper_profile())
+
+    def test_overhead_dominates_tiny_kernels(self, model):
+        tiny = GpuKernel("tiny", "elementwise", flops=100, bytes=400)
+        assert model.kernel_time_s(tiny) == pytest.approx(
+            model.profile.op_overhead_s, rel=0.01
+        )
+
+    def test_compute_bound_kernel(self, model):
+        big = GpuKernel("big", "gemm", flops=1e12, bytes=1e6)
+        expected = 1e12 / (model.profile.peak_flops * 0.10)
+        assert model.kernel_time_s(big) == pytest.approx(
+            model.profile.op_overhead_s + expected
+        )
+
+    def test_memory_bound_kernel(self, model):
+        streaming = GpuKernel("copy", "elementwise", flops=1e3, bytes=1e9)
+        expected = 1e9 / model.profile.memory_bandwidth
+        assert model.kernel_time_s(streaming) == pytest.approx(
+            model.profile.op_overhead_s + expected
+        )
+
+    def test_count_multiplies(self, model):
+        one = GpuKernel("k", "elementwise", flops=10, bytes=10, count=1)
+        ten = GpuKernel("k", "elementwise", flops=10, bytes=10, count=10)
+        assert model.kernel_time_s(ten) == pytest.approx(10 * model.kernel_time_s(one))
+
+    def test_sequence_is_sum(self, model):
+        kernels = [
+            GpuKernel("a", "elementwise", flops=10, bytes=10),
+            GpuKernel("b", "reduce", flops=10, bytes=10),
+        ]
+        total = model.sequence_time_s(kernels)
+        assert total == pytest.approx(sum(model.kernel_time_s(k) for k in kernels))
+
+    def test_unknown_kind_raises(self, model):
+        with pytest.raises(ConfigError):
+            model.kernel_time_s(GpuKernel("x", "quantum", flops=1, bytes=1))
+
+
+class TestProfiles:
+    def test_paper_profile_parameters(self):
+        profile = gtx1070_paper_profile()
+        assert profile.peak_flops == pytest.approx(6.5e12)
+        assert profile.memory_bandwidth == pytest.approx(256e9)
+        assert profile.op_overhead_s > 1e-5
+
+    def test_ideal_profile_is_faster(self):
+        kernel = GpuKernel("k", "gemm", flops=1e9, bytes=1e6)
+        paper = GpuModel(gtx1070_paper_profile()).kernel_time_s(kernel)
+        ideal = GpuModel(gtx1070_ideal_profile()).kernel_time_s(kernel)
+        assert ideal < paper
+
+    def test_custom_profile(self):
+        profile = GpuDeviceProfile(
+            name="test",
+            peak_flops=1e12,
+            memory_bandwidth=1e11,
+            op_overhead_s=0.0,
+            efficiency={"gemm": 1.0},
+        )
+        model = GpuModel(profile)
+        kernel = GpuKernel("k", "gemm", flops=1e12, bytes=0)
+        assert model.kernel_time_s(kernel) == pytest.approx(1.0)

@@ -1,0 +1,65 @@
+"""Unit tests for the GPU workload extraction."""
+
+import pytest
+
+from repro.perf.kernels import CapsNetGpuWorkload, ImplementationProfile
+
+
+@pytest.fixture(scope="module")
+def workload(mnist_config):
+    return CapsNetGpuWorkload(mnist_config)
+
+
+class TestLayerKernels:
+    def test_conv1_flops(self, workload):
+        conv = workload.conv1_kernels()[0]
+        assert conv.flops == 2 * 400 * 81 * 256
+
+    def test_primarycaps_flops(self, workload):
+        conv = workload.primarycaps_kernels()[0]
+        assert conv.flops == 2 * 36 * (9 * 9 * 256) * 256
+
+    def test_layer_keys(self, workload):
+        layers = workload.layer_kernels()
+        assert set(layers) == {"Conv1", "PrimaryCaps", "ClassCaps"}
+
+    def test_classcaps_aggregates_routing(self, workload):
+        layers = workload.layer_kernels()
+        step_count = sum(
+            len(kernels) for kernels in workload.routing_step_kernels().values()
+        )
+        assert len(layers["ClassCaps"]) == step_count
+
+
+class TestRoutingSteps:
+    def test_step_labels_follow_fig9(self, workload):
+        labels = list(workload.routing_step_kernels())
+        assert labels[:2] == ["Load", "FC"]
+        assert "Squash3" in labels
+        assert "Update3" not in labels  # no update after the last iteration
+
+    def test_gpu_runs_textbook_routing(self, workload):
+        # The GPU baseline does not apply the CapsAcc softmax skip.
+        assert "Softmax1" in workload.routing_step_kernels()
+
+    def test_fc_uses_every_weight_once(self, workload, mnist_config):
+        fc = workload.fc_kernels()
+        bmm = [k for k in fc if k.kind == "gemm"][0]
+        assert bmm.flops == 2 * mnist_config.classcaps_weight_count
+
+    def test_squash_loops_over_capsules(self, workload, mnist_config):
+        kernels = workload.squash_kernels(1)
+        expected = mnist_config.classcaps.num_classes * 4
+        assert len(kernels) == expected
+
+    def test_vectorized_squash_profile(self, mnist_config):
+        impl = ImplementationProfile(squash_loop_over_capsules=False)
+        workload = CapsNetGpuWorkload(mnist_config, impl=impl)
+        assert len(workload.squash_kernels(1)) == impl.ops_per_squash
+
+    def test_tiny_config_scales(self, tiny_config):
+        workload = CapsNetGpuWorkload(tiny_config)
+        labels = list(workload.routing_step_kernels())
+        assert "Squash3" in labels
+        conv = workload.conv1_kernels()[0]
+        assert conv.flops == 2 * 64 * 25 * 8

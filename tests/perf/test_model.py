@@ -1,0 +1,103 @@
+"""Unit tests for the end-to-end CapsAcc performance model."""
+
+import pytest
+
+from repro.hw.config import AcceleratorConfig
+from repro.perf.model import CapsAccPerformanceModel
+
+
+@pytest.fixture(scope="module")
+def model(mnist_config):
+    return CapsAccPerformanceModel(network=mnist_config)
+
+
+@pytest.fixture(scope="module")
+def perf(model):
+    return model.run()
+
+
+class TestInferencePerformance:
+    def test_total_in_expected_band(self, perf):
+        # The PrimaryCaps layer alone needs >= 191M MACs / 256 PEs ~ 2.99 ms
+        # at 250 MHz; the full network lands in single-digit milliseconds.
+        assert 3.0 < perf.total_time_ms < 10.0
+
+    def test_layer_aggregation_sums_to_total(self, perf):
+        layers = perf.layer_times_us()
+        partial = layers["Conv1"] + layers["PrimaryCaps"] + layers["ClassCaps"]
+        assert layers["Total"] == pytest.approx(partial)
+        assert layers["Total"] == pytest.approx(perf.total_time_ms * 1e3)
+
+    def test_primarycaps_dominates_compute(self, perf):
+        layers = perf.layer_times_us()
+        assert layers["PrimaryCaps"] > layers["Conv1"]
+        assert layers["PrimaryCaps"] > layers["ClassCaps"]
+
+    def test_primarycaps_near_compute_bound(self, perf, mnist_config):
+        layers = perf.layer_times_us()
+        macs = 36 * (9 * 9 * 256) * 256
+        bound_us = macs / 256 / 250.0  # MACs / PEs / MHz
+        assert layers["PrimaryCaps"] >= bound_us
+        assert layers["PrimaryCaps"] < 1.1 * bound_us
+
+    def test_stage_times_ordered(self, perf):
+        names = list(perf.stage_times_us())
+        assert names[0] == "conv1"
+        assert names[-1] == "squash3"
+
+    def test_utilization_sensible(self, perf):
+        assert 0.5 < perf.utilization() <= 1.0
+
+
+class TestRoutingStepTimes:
+    def test_labels(self, model):
+        steps = model.routing_step_times_us()
+        assert list(steps)[:4] == ["Load", "FC", "Softmax1", "Sum1"]
+        assert "Squash3" in steps
+
+    def test_optimization_makes_softmax1_cheap(self, mnist_config):
+        optimized = CapsAccPerformanceModel(network=mnist_config, optimized_routing=True)
+        textbook = CapsAccPerformanceModel(network=mnist_config, optimized_routing=False)
+        assert (
+            optimized.routing_step_times_us()["Softmax1"]
+            < textbook.routing_step_times_us()["Softmax1"] / 5
+        )
+
+    def test_later_softmaxes_unaffected(self, mnist_config):
+        optimized = CapsAccPerformanceModel(network=mnist_config, optimized_routing=True)
+        textbook = CapsAccPerformanceModel(network=mnist_config, optimized_routing=False)
+        assert optimized.routing_step_times_us()["Softmax2"] == pytest.approx(
+            textbook.routing_step_times_us()["Softmax2"]
+        )
+
+
+class TestConfigurationEffects:
+    def test_larger_array_faster(self, mnist_config):
+        base = CapsAccPerformanceModel(network=mnist_config).run().total_time_ms
+        big = CapsAccPerformanceModel(
+            accelerator=AcceleratorConfig().with_array(32, 32), network=mnist_config
+        ).run().total_time_ms
+        assert big < base
+
+    def test_no_double_buffer_slower(self, mnist_config):
+        base = CapsAccPerformanceModel(network=mnist_config).run().total_time_ms
+        slow = CapsAccPerformanceModel(
+            accelerator=AcceleratorConfig().without_weight_reuse(),
+            network=mnist_config,
+        ).run().total_time_ms
+        assert slow > base
+
+    def test_channel_serial_conv_slower(self, mnist_config):
+        parallel = CapsAccPerformanceModel(network=mnist_config)
+        serial = CapsAccPerformanceModel(
+            network=mnist_config, conv_policy="channel_serial"
+        )
+        clock = parallel.accelerator.clock_mhz
+        assert serial.conv_stage_perf("conv1").time_us(clock) > parallel.conv_stage_perf(
+            "conv1"
+        ).time_us(clock)
+
+    def test_tiny_network_much_faster(self, tiny_config, mnist_config):
+        tiny = CapsAccPerformanceModel(network=tiny_config).run().total_time_ms
+        full = CapsAccPerformanceModel(network=mnist_config).run().total_time_ms
+        assert tiny < full / 50

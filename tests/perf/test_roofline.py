@@ -1,0 +1,96 @@
+"""Unit tests for the roofline model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.config import AcceleratorConfig
+from repro.perf.roofline import (
+    RooflineMachine,
+    RooflinePoint,
+    capsacc_machine,
+    layer_roofline_points,
+    network_roofline_point,
+)
+
+
+class TestRooflinePoint:
+    def test_intensity(self):
+        point = RooflinePoint("p", operations=1000, bytes_moved=100)
+        assert point.arithmetic_intensity == 10.0
+
+    def test_zero_bytes_infinite_intensity(self):
+        assert RooflinePoint("p", 10, 0).arithmetic_intensity == float("inf")
+
+
+class TestRooflineMachine:
+    @pytest.fixture
+    def machine(self):
+        return RooflineMachine("m", peak_ops_per_s=1e9, bandwidth_bytes_per_s=1e8)
+
+    def test_ridge(self, machine):
+        assert machine.ridge_intensity == 10.0
+
+    def test_attainable_below_ridge(self, machine):
+        assert machine.attainable_ops_per_s(5.0) == 5e8
+
+    def test_attainable_above_ridge_is_peak(self, machine):
+        assert machine.attainable_ops_per_s(100.0) == 1e9
+
+    def test_time_memory_bound(self, machine):
+        point = RooflinePoint("p", operations=1e8, bytes_moved=1e8)  # intensity 1
+        assert machine.time_s(point) == pytest.approx(1.0)
+
+    def test_time_compute_bound(self, machine):
+        point = RooflinePoint("p", operations=1e9, bytes_moved=1e6)
+        assert machine.time_s(point) == pytest.approx(1.0)
+
+    def test_compute_bound_classification(self, machine):
+        assert machine.is_compute_bound(RooflinePoint("p", 1e9, 1e6))
+        assert not machine.is_compute_bound(RooflinePoint("p", 1e6, 1e6))
+
+    def test_negative_intensity_rejected(self, machine):
+        with pytest.raises(ConfigError):
+            machine.attainable_ops_per_s(-1.0)
+
+    def test_invalid_ceilings_rejected(self):
+        with pytest.raises(ConfigError):
+            RooflineMachine("bad", 0, 1)
+
+
+class TestCapsAccMachine:
+    def test_peak_is_pe_count_times_clock(self):
+        machine = capsacc_machine(AcceleratorConfig())
+        assert machine.peak_ops_per_s == pytest.approx(256 * 250e6)
+
+    def test_ridge_at_8_ops_per_byte(self):
+        machine = capsacc_machine(AcceleratorConfig())
+        assert machine.ridge_intensity == pytest.approx(8.0)
+
+
+class TestNetworkPoints:
+    def test_layer_names(self, mnist_config):
+        names = [p.name for p in layer_roofline_points(mnist_config)]
+        assert names == ["Conv1", "PrimaryCaps", "ClassCaps"]
+
+    def test_mac_counts_match_known_values(self, mnist_config):
+        points = {p.name: p for p in layer_roofline_points(mnist_config)}
+        assert points["Conv1"].operations == 400 * 81 * 256
+        assert points["PrimaryCaps"].operations == 36 * (9 * 9 * 256) * 256
+
+    def test_conv_layers_compute_bound_on_capsacc(self, mnist_config):
+        machine = capsacc_machine(AcceleratorConfig())
+        points = {p.name: p for p in layer_roofline_points(mnist_config)}
+        assert machine.is_compute_bound(points["Conv1"])
+        assert machine.is_compute_bound(points["PrimaryCaps"])
+
+    def test_classcaps_memory_bound(self, mnist_config):
+        """Every ClassCaps weight is used once: intensity near 1 op/byte."""
+        machine = capsacc_machine(AcceleratorConfig())
+        points = {p.name: p for p in layer_roofline_points(mnist_config)}
+        assert not machine.is_compute_bound(points["ClassCaps"])
+
+    def test_network_point_sums_layers(self, mnist_config):
+        layers = layer_roofline_points(mnist_config)
+        network = network_roofline_point(mnist_config)
+        assert network.operations == sum(p.operations for p in layers)
+        assert network.bytes_moved == sum(p.bytes_moved for p in layers)

@@ -1,0 +1,84 @@
+"""Unit tests for structural area estimates."""
+
+import pytest
+
+from repro.hw.config import AcceleratorConfig
+from repro.perf.calibration import PAPER_TABLE3
+from repro.synthesis.components import (
+    accumulator_area,
+    activation_area,
+    buffer_area,
+    control_area,
+    pe_gates,
+    synthesize_components,
+    systolic_array_area,
+    total_area_mm2,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return AcceleratorConfig()
+
+
+class TestPEModel:
+    def test_pe_gate_count_plausible(self, config):
+        gates = pe_gates(config)
+        # 8x8 multiplier dominates; hundreds-to-low-thousands of gates.
+        assert 500 < gates < 2000
+
+    def test_wider_datapath_more_gates(self, config):
+        wide = AcceleratorConfig(data_bits=16, weight_bits=16, acc_bits=41)
+        assert pe_gates(wide) > pe_gates(config)
+
+
+class TestComponentAreas:
+    def test_systolic_array_near_paper(self, config):
+        area = systolic_array_area(config).area_um2
+        paper = PAPER_TABLE3["Systolic Array"]["area_um2"]
+        assert abs(area - paper) / paper < 0.15
+
+    def test_accumulator_near_paper(self, config):
+        area = accumulator_area(config).area_um2
+        paper = PAPER_TABLE3["Accumulator"]["area_um2"]
+        assert abs(area - paper) / paper < 0.30
+
+    def test_activation_near_paper(self, config):
+        area = activation_area(config).area_um2
+        paper = PAPER_TABLE3["Activation"]["area_um2"]
+        assert abs(area - paper) / paper < 0.30
+
+    def test_buffers_near_paper(self, config):
+        for name, size in (
+            ("Data Buffer", config.data_buffer_kb),
+            ("Routing Buffer", config.routing_buffer_kb),
+            ("Weight Buffer", config.weight_buffer_kb),
+        ):
+            area = buffer_area(name, size).area_um2
+            paper = PAPER_TABLE3[name]["area_um2"]
+            assert abs(area - paper) / paper < 0.20, name
+
+    def test_control_near_paper(self, config):
+        area = control_area(config).area_um2
+        paper = PAPER_TABLE3["Other"]["area_um2"]
+        assert abs(area - paper) / paper < 0.30
+
+    def test_component_list_matches_table3(self, config):
+        names = [c.name for c in synthesize_components(config)]
+        assert names == list(PAPER_TABLE3)
+
+
+class TestScalingBehaviour:
+    def test_array_area_scales_quadratically(self, config):
+        base = systolic_array_area(config).area_um2
+        double = systolic_array_area(config.with_array(32, 32)).area_um2
+        assert double == pytest.approx(4 * base, rel=0.01)
+
+    def test_buffer_area_linear_in_size(self):
+        assert buffer_area("b", 128).area_um2 == pytest.approx(
+            2 * buffer_area("b", 64).area_um2
+        )
+
+    def test_total_area_near_paper_2_9mm2(self, config):
+        total = total_area_mm2(synthesize_components(config))
+        assert 2.3 < total < 3.3

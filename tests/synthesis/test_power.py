@@ -1,0 +1,66 @@
+"""Unit tests for power and energy estimation."""
+
+import pytest
+
+from repro.hw.config import AcceleratorConfig
+from repro.hw.stats import CycleStats
+from repro.synthesis.components import synthesize_components
+from repro.synthesis.power import (
+    average_power_mw,
+    component_power_mw,
+    energy_per_inference_uj,
+    total_power_mw,
+)
+
+
+@pytest.fixture(scope="module")
+def components():
+    return synthesize_components(AcceleratorConfig())
+
+
+class TestPowerFromArea:
+    def test_total_near_paper_202mw(self, components):
+        total = total_power_mw(components)
+        assert 160 < total < 240
+
+    def test_voltage_scaling_quadratic(self, components):
+        nominal = total_power_mw(components, voltage_v=1.05)
+        reduced = total_power_mw(components, voltage_v=1.05 / 2)
+        assert reduced == pytest.approx(nominal / 4)
+
+    def test_clock_scaling_linear(self, components):
+        nominal = total_power_mw(components, clock_mhz=250)
+        halved = total_power_mw(components, clock_mhz=125)
+        assert halved == pytest.approx(nominal / 2)
+
+    def test_per_component_keys(self, components):
+        power = component_power_mw(components)
+        assert set(power) == {c.name for c in components}
+
+    def test_data_buffer_dominates(self, components):
+        power = component_power_mw(components)
+        assert power["Data Buffer"] == max(power.values())
+
+
+class TestEnergyFromActivity:
+    def test_mac_energy_counted(self):
+        stats = CycleStats(mac_count=1_000_000)
+        energy = energy_per_inference_uj(stats)
+        assert energy["mac"] == pytest.approx(0.9)  # 1e6 x 0.9 pJ = 0.9 uJ
+
+    def test_buffer_energy_by_category(self):
+        stats = CycleStats()
+        stats.add_access("data_buffer.read", 1_000_000)
+        stats.add_access("routing_buffer.write", 500_000)
+        energy = energy_per_inference_uj(stats)
+        assert energy["data_buffer"] == pytest.approx(1.2)
+        assert energy["routing_buffer"] == pytest.approx(0.6)
+
+    def test_average_power(self):
+        config = AcceleratorConfig()
+        stats = CycleStats(total_cycles=250_000, mac_count=100_000_000)
+        # 100M MACs x 0.9 pJ = 90 uJ over 1 ms -> 90 mW.
+        assert average_power_mw(stats, config) == pytest.approx(90.0)
+
+    def test_zero_cycles_zero_power(self):
+        assert average_power_mw(CycleStats(), AcceleratorConfig()) == 0.0

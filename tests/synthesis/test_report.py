@@ -1,0 +1,82 @@
+"""Unit tests for the synthesis reports (Tables II/III, Fig 18)."""
+
+import pytest
+
+from repro.hw.config import AcceleratorConfig
+from repro.perf.calibration import (
+    PAPER_AREA_BREAKDOWN_PCT,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+)
+from repro.synthesis.report import SynthesisReport
+
+
+@pytest.fixture(scope="module")
+def report():
+    return SynthesisReport()
+
+
+class TestTable2:
+    def test_fixed_parameters_match_paper_exactly(self, report):
+        table = report.table2()
+        assert table["technology_nm"] == PAPER_TABLE2["technology_nm"]
+        assert table["voltage_v"] == PAPER_TABLE2["voltage_v"]
+        assert table["clock_mhz"] == PAPER_TABLE2["clock_mhz"]
+        assert table["bit_width"] == PAPER_TABLE2["bit_width"]
+        assert table["onchip_memory_mb"] == PAPER_TABLE2["onchip_memory_mb"]
+
+    def test_area_within_paper_band(self, report):
+        assert report.table2()["area_mm2"] == pytest.approx(
+            PAPER_TABLE2["area_mm2"], rel=0.2
+        )
+
+    def test_power_within_paper_band(self, report):
+        assert report.table2()["power_mw"] == pytest.approx(
+            PAPER_TABLE2["power_mw"], rel=0.2
+        )
+
+
+class TestTable3:
+    def test_rows_in_paper_order(self, report):
+        names = [row[0] for row in report.table3()]
+        assert names == list(PAPER_TABLE3)
+
+    def test_every_component_within_30pct_of_paper(self, report):
+        for name, area, power in report.table3():
+            paper = PAPER_TABLE3[name]
+            assert abs(area - paper["area_um2"]) / paper["area_um2"] < 0.30, name
+            assert abs(power - paper["power_mw"]) / paper["power_mw"] < 0.30, name
+
+    def test_compare_rows_include_paper(self, report):
+        rows = report.compare_table3()
+        assert all(row["paper_area_um2"] for row in rows)
+
+
+class TestFig18:
+    def test_breakdowns_sum_to_one(self, report):
+        assert sum(report.area_breakdown().values()) == pytest.approx(1.0)
+        assert sum(report.power_breakdown().values()) == pytest.approx(1.0)
+
+    def test_area_fractions_near_paper(self, report):
+        for name, fraction in report.area_breakdown().items():
+            paper_pct = PAPER_AREA_BREAKDOWN_PCT[name]
+            assert abs(fraction * 100 - paper_pct) < 4.0, name
+
+    def test_data_buffer_dominates(self, report):
+        breakdown = report.area_breakdown()
+        assert breakdown["Data Buffer"] == max(breakdown.values())
+
+    def test_array_about_quarter(self, report):
+        assert 0.18 < report.area_breakdown()["Systolic Array"] < 0.30
+
+
+class TestConfigurationSensitivity:
+    def test_bigger_array_more_area(self):
+        base = SynthesisReport().table2()["area_mm2"]
+        big = SynthesisReport(config=AcceleratorConfig().with_array(32, 32))
+        assert big.table2()["area_mm2"] > base
+
+    def test_bigger_buffers_more_power(self):
+        base = SynthesisReport().table2()["power_mw"]
+        big = SynthesisReport(config=AcceleratorConfig(data_buffer_kb=512.0))
+        assert big.table2()["power_mw"] > base

@@ -1,0 +1,66 @@
+"""Unit tests for technology parameters and gate models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.synthesis.tech import (
+    TECH_32NM,
+    adder_gates,
+    multiplier_gates,
+    mux_gates,
+    register_gates,
+    scaled_technology,
+)
+
+
+class TestTech32nm:
+    def test_matches_paper_operating_point(self):
+        assert TECH_32NM.node_nm == 32
+        assert TECH_32NM.nominal_voltage_v == pytest.approx(1.05)
+        assert TECH_32NM.nominal_clock_mhz == pytest.approx(250.0)
+
+    def test_density_lookup(self):
+        assert TECH_32NM.density("sram") > 0
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ConfigError):
+            TECH_32NM.density("photonic")
+
+    def test_access_energy_lookup(self):
+        assert TECH_32NM.access_energy("mac") > 0
+        with pytest.raises(ConfigError):
+            TECH_32NM.access_energy("teleport")
+
+
+class TestScaling:
+    def test_smaller_node_smaller_area(self):
+        scaled = scaled_technology(16)
+        assert scaled.gate_area_um2 == pytest.approx(TECH_32NM.gate_area_um2 / 4)
+        assert scaled.sram_bit_area_um2 < TECH_32NM.sram_bit_area_um2
+
+    def test_energy_scales_linearly(self):
+        scaled = scaled_technology(16)
+        assert scaled.energy_pj["mac"] == pytest.approx(TECH_32NM.energy_pj["mac"] / 2)
+
+    def test_larger_node(self):
+        scaled = scaled_technology(64)
+        assert scaled.gate_area_um2 == pytest.approx(TECH_32NM.gate_area_um2 * 4)
+
+    def test_implausible_node_rejected(self):
+        with pytest.raises(ConfigError):
+            scaled_technology(1)
+
+
+class TestGateModels:
+    def test_multiplier_grows_with_width(self):
+        assert multiplier_gates(8, 8) == 8 * 8 * 7
+        assert multiplier_gates(16, 16) > multiplier_gates(8, 8)
+
+    def test_adder_linear(self):
+        assert adder_gates(25) == 175
+
+    def test_register_linear(self):
+        assert register_gates(8) == 40
+
+    def test_mux_scales_with_ways(self):
+        assert mux_gates(8, ways=4) == 3 * mux_gates(8, ways=2)
