@@ -12,7 +12,7 @@ Run:  python examples/accuracy_parity.py           (tiny network, seconds)
 
 import sys
 
-from repro.capsnet.config import mnist_capsnet_config, tiny_capsnet_config
+from repro.capsnet.config import mnist_capsnet_config
 from repro.experiments import accuracy
 
 

@@ -118,6 +118,77 @@ def quantized_matmul(
     return saturate_raw(acc, acc_fmt)
 
 
+def chunked_saturating_matmul(
+    data_raw: np.ndarray,
+    weight_raw: np.ndarray,
+    acc_fmt: QFormat,
+    chunk_rows: int,
+) -> np.ndarray:
+    """Integer GEMM with per-K-chunk saturation, batched over leading axes.
+
+    Reproduces the systolic array's accumulation order exactly: the K axis
+    is split into chunks of ``chunk_rows`` (one weight tile's worth of
+    rows); each chunk's partial product saturates to ``acc_fmt`` at the
+    accumulator entry, and the running sum saturates again after every
+    chunk.  ``data_raw`` is ``(..., M, K)`` and ``weight_raw`` is
+    ``(K, N)`` or ``(..., K, N)`` — leading axes broadcast, so one call
+    executes a whole batch of independent products (the grouped-GEMM path
+    of the batched execution engine).
+
+    When intermediates stay below 2**53 the arithmetic is performed with
+    (much faster) BLAS float64 GEMMs — every value is then exactly
+    representable, so results are bit-identical to int64.  When, in
+    addition, no element can reach the accumulator limit at *any* chunk
+    boundary, the chunk loop itself is skipped: the clipped accumulation
+    degenerates to the plain product.
+    """
+    data = np.asarray(data_raw, dtype=np.int64)
+    weights = np.asarray(weight_raw, dtype=np.int64)
+    if data.shape[-1] != weights.shape[-2]:
+        raise ShapeError(
+            f"GEMM shapes inconsistent: data {data.shape}, weights {weights.shape}"
+        )
+    k = data.shape[-1]
+    max_d = int(max(data.max(initial=0), -data.min(initial=0)))
+    max_w = int(max(weights.max(initial=0), -weights.min(initial=0)))
+    if k * max_d * max_w < 2**53:
+        data_op: np.ndarray = data.astype(np.float64)
+        weight_op: np.ndarray = weights.astype(np.float64)
+        # No-saturation fast path: every prefix of the chunked accumulation
+        # is bounded per element by sum_k |d|*|w| <= rowsum(|d|) * max|w|.
+        # If that bound never reaches either accumulator limit (for
+        # unsigned formats the lower limit of 0 disables the path), no
+        # clip can trigger at any chunk boundary, so the plain product is
+        # bit-identical to the chunked clipped accumulation — and one GEMM
+        # replaces the chunk loop.  When the bound fails, go straight to
+        # the chunk loop: genuinely saturating inputs shouldn't pay for a
+        # second full-size bound GEMM first.
+        limit = min(acc_fmt.raw_max, -acc_fmt.raw_min)
+        row_bound = np.max(np.abs(data_op).sum(axis=-1), initial=0.0) * max_w
+        if row_bound <= limit:
+            return (data_op @ weight_op).astype(np.int64)
+    elif chunk_rows * max_d * max_w < 2**53:
+        data_op = data.astype(np.float64)
+        weight_op = weights.astype(np.float64)
+    else:
+        data_op, weight_op = data, weights
+    use_float = data_op.dtype == np.float64
+    out_shape = np.broadcast_shapes(data.shape[:-2], weights.shape[:-2]) + (
+        data.shape[-2],
+        weights.shape[-1],
+    )
+    acc = np.zeros(out_shape, dtype=np.int64)
+    for lo in range(0, k, chunk_rows):
+        hi = min(lo + chunk_rows, k)
+        partial = data_op[..., :, lo:hi] @ weight_op[..., lo:hi, :]
+        if use_float:
+            partial = partial.astype(np.int64)
+        np.clip(partial, acc_fmt.raw_min, acc_fmt.raw_max, out=partial)
+        acc += partial
+        np.clip(acc, acc_fmt.raw_min, acc_fmt.raw_max, out=acc)
+    return acc
+
+
 def quantized_conv2d(
     x_raw: np.ndarray,
     weight_raw: np.ndarray,

@@ -28,7 +28,6 @@ from repro.capsnet.hwops import (
     hw_softmax,
     hw_squash,
     quantized_conv2d,
-    quantized_matmul,
 )
 from repro.capsnet.weights import pseudo_trained_weights, validate_weights
 from repro.errors import ShapeError

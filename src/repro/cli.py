@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli run all              # everything (incl. training)
     python -m repro.cli sweep --array 8 32   # quick design-space sweep
     python -m repro.cli info                 # network + accelerator summary
+    python -m repro.cli simulate --batch-size 8   # batched engine simulation
 
 The CLI is a thin shell over :mod:`repro.experiments`; everything it prints
 is available programmatically.
@@ -99,6 +100,66 @@ def _cmd_info(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.capsnet.config import tiny_capsnet_config
+    from repro.capsnet.quantized import QuantizedCapsuleNet
+    from repro.data.synthetic import SyntheticDigits
+    from repro.hw.scheduler import BatchScheduler, LayerReport
+
+    if args.batch_size < 1 or args.images is not None and args.images < 1:
+        print("batch size and image count must be positive", file=sys.stderr)
+        return 2
+    network = (
+        tiny_capsnet_config() if args.network == "tiny" else mnist_capsnet_config()
+    )
+    count = args.images if args.images is not None else args.batch_size
+    dataset = SyntheticDigits(size=network.image_size, seed=args.seed).generate(count)
+    qnet = QuantizedCapsuleNet(network)
+    scheduler = BatchScheduler(qnet, engine=args.engine)
+    config = scheduler.accelerator.config
+
+    layers: dict[str, LayerReport] = {}
+    predictions = []
+    start = time.perf_counter()
+    for lo in range(0, count, args.batch_size):
+        result = scheduler.run_batch(dataset.images[lo : lo + args.batch_size])
+        predictions.append(result.predictions)
+        for name, report in result.layers.items():
+            layers.setdefault(name, LayerReport(name=name)).merge(report)
+    wall = time.perf_counter() - start
+    predictions = np.concatenate(predictions)
+
+    total = LayerReport(name="total")
+    for report in layers.values():
+        total.merge(report)
+    print(
+        f"Batched simulation: {count} images, batch size {args.batch_size},"
+        f" {args.network} network, {args.engine} engine"
+    )
+    print(f"{'layer':14s} {'cycles':>10s} {'w/ reuse':>10s} {'jobs':>6s} {'util':>6s}")
+    for report in list(layers.values()) + [total]:
+        print(
+            f"{report.name:14s} {report.stats.total_cycles:10d}"
+            f" {report.overlapped_cycles:10d} {report.jobs:6d}"
+            f" {report.utilization(config.num_pes):5.1%}"
+        )
+    cycles_per_image = total.overlapped_cycles / count
+    modeled = config.clock_mhz * 1e6 / cycles_per_image
+    print(f"Modeled: {cycles_per_image:,.0f} cycles/image"
+          f" = {config.cycles_to_us(cycles_per_image):.1f} us/image"
+          f" = {modeled:,.0f} images/s at {config.clock_mhz:.0f} MHz")
+    print(f"Simulator wall clock: {wall:.3f} s = {count / wall:,.1f} images/s")
+    accuracy = float(np.mean(predictions == dataset.labels))
+    shown = predictions[:16].tolist()
+    suffix = f" ... ({count} total)" if count > 16 else ""
+    print(f"Predictions: {shown}{suffix} (synthetic-label accuracy {accuracy:.0%})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -118,6 +179,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--array", type=int, nargs="+", default=[8, 16, 32], help="array sizes"
     )
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    sim_parser = sub.add_parser(
+        "simulate", help="run the batched execution engine on synthetic images"
+    )
+    sim_parser.add_argument(
+        "--batch-size", type=int, default=1, help="images per scheduled batch"
+    )
+    sim_parser.add_argument(
+        "--images", type=int, default=None, help="total images (default: one batch)"
+    )
+    sim_parser.add_argument(
+        "--network",
+        choices=("mnist", "tiny"),
+        default="mnist",
+        help="network configuration to simulate",
+    )
+    sim_parser.add_argument(
+        "--engine",
+        choices=("fast", "stepped"),
+        default="fast",
+        help="execution engine (stepped is clock-edge accurate but slow)",
+    )
+    sim_parser.add_argument("--seed", type=int, default=7, help="synthetic data seed")
+    sim_parser.set_defaults(func=_cmd_simulate)
 
     sub.add_parser("info", help="network and accelerator summary").set_defaults(
         func=_cmd_info

@@ -23,7 +23,6 @@ from repro.fixedpoint import formats
 from repro.fixedpoint.lut import LookupTable, LookupTable2D
 from repro.fixedpoint.qformat import QFormat
 from repro.fixedpoint.arith import saturate_raw
-from repro.fixedpoint.quantize import Rounding
 
 
 def squash_gain(norm: np.ndarray) -> np.ndarray:

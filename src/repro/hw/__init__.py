@@ -21,10 +21,36 @@ from repro.hw.systolic import SystolicArray
 from repro.hw.accumulator import AccumulatorBank
 from repro.hw.activation import ActivationUnit, activation_latency
 from repro.hw.buffers import Buffer, MemoryModel
-from repro.hw.accelerator import CapsAccAccelerator, GemmJob
+from repro.hw.accelerator import (
+    BatchedGemmJob,
+    BatchedGemmResult,
+    CapsAccAccelerator,
+    GemmJob,
+    GroupedGemmJob,
+    batched_gemm_cycles,
+)
 from repro.hw.control import ControlProgram, ControlStep, compile_schedule
 
+# The batched scheduler depends on the quantized model layer; re-export it
+# lazily so `import repro.hw` alone doesn't pull the full CapsNet stack.
+_SCHEDULER_EXPORTS = ("BatchResult", "BatchScheduler", "LayerReport")
+
+
+def __getattr__(name: str):
+    if name in _SCHEDULER_EXPORTS:
+        from repro.hw import scheduler
+
+        return getattr(scheduler, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "BatchedGemmJob",
+    "BatchedGemmResult",
+    "BatchResult",
+    "BatchScheduler",
+    "GroupedGemmJob",
+    "LayerReport",
+    "batched_gemm_cycles",
     "AcceleratorConfig",
     "CycleStats",
     "ProcessingElement",

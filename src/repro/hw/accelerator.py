@@ -3,8 +3,12 @@
 The accelerator executes :class:`GemmJob` descriptions — dense
 ``(M x K) @ (K x N)`` products in raw fixed-point — on the systolic array,
 tiling ``K`` over the array rows (with accumulator chunk summing) and ``N``
-over the array columns.  Two execution engines produce *identical results
-and identical cycle accounting*:
+over the array columns.  :class:`BatchedGemmJob` stacks ``B`` images'
+activations into one ``(B*M, K)`` stream per weight tile (tile loads
+amortize over the batch); :class:`GroupedGemmJob` runs ``G`` independent
+same-shape GEMMs back to back with one vectorized numpy call per K-chunk.
+Two execution engines produce *identical results and identical cycle
+accounting*:
 
 * ``stepped`` — drives the bit-accurate :class:`~repro.hw.systolic.SystolicArray`
   clock edge by clock edge (used by tests and small workloads);
@@ -28,11 +32,11 @@ tests, validating the shared formulas).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.capsnet.hwops import QuantizedFormats
+from repro.capsnet.hwops import QuantizedFormats, chunked_saturating_matmul
 from repro.errors import MappingError, ShapeError
 from repro.fixedpoint.qformat import QFormat
 from repro.hw.accumulator import AccumulatorBank
@@ -44,14 +48,13 @@ from repro.hw.systolic import SystolicArray
 
 
 @dataclass
-class GemmJob:
-    """One dense matrix product to execute on the array.
+class GemmJobSpec:
+    """Operand/format description shared by every GEMM job type.
 
-    ``data`` is ``(M, K)`` raw integers in ``data_fmt``; ``weights`` is
-    ``(K, N)`` raw integers in ``weight_fmt``.  ``data_source`` /
-    ``weight_source`` name the buffer each operand streams from, which
-    drives the access counters (``"feedback"`` models the horizontal
-    feedback multiplexer of Fig 10 and costs no buffer reads).
+    ``data_source`` / ``weight_source`` name the buffer each operand
+    streams from, which drives the access counters (``"feedback"`` models
+    the horizontal feedback multiplexer of Fig 10 and costs no buffer
+    reads).  Subclasses fix the expected array ranks.
     """
 
     name: str
@@ -65,12 +68,56 @@ class GemmJob:
 
 
 @dataclass
+class GemmJob(GemmJobSpec):
+    """One dense matrix product to execute on the array.
+
+    ``data`` is ``(M, K)`` raw integers in ``data_fmt``; ``weights`` is
+    ``(K, N)`` raw integers in ``weight_fmt``.
+    """
+
+
+@dataclass
+class BatchedGemmJob(GemmJobSpec):
+    """``B`` images' activations against one shared weight matrix.
+
+    ``data`` is ``(B, M, K)``; ``weights`` is ``(K, N)`` and is shared by
+    the whole batch.  The engine stacks the activations into a single
+    ``(B*M, K)`` stream per weight tile, so every tile is loaded **once
+    per batch** instead of once per image — the paper's weight reuse,
+    extended across images.
+    """
+
+
+@dataclass
+class GroupedGemmJob(GemmJobSpec):
+    """``G`` independent same-shape GEMMs executed back to back.
+
+    ``data`` is ``(G, M, K)`` and ``weights`` is ``(G, K, N)`` — every
+    group has its *own* weights (e.g. per-image coupling coefficients in
+    the routing loop), so there is no cross-group tile reuse; the grouped
+    job exists so the simulator can execute the whole group with one
+    vectorized numpy call per K-chunk instead of ``G`` Python-level jobs.
+    Cycle accounting is exactly ``G`` sequential single GEMMs.
+    """
+
+
+@dataclass
 class GemmResult:
     """Result of one GEMM execution."""
 
     acc: np.ndarray
     stats: CycleStats
     overlapped_cycles: int = 0
+
+
+@dataclass
+class BatchedGemmResult:
+    """Result of one batched (or grouped) GEMM execution."""
+
+    acc: np.ndarray
+    stats: CycleStats
+    overlapped_cycles: int = 0
+    batch: int = 1
 
 
 @dataclass
@@ -148,6 +195,25 @@ def gemm_cycles(
     }
 
 
+def batched_gemm_cycles(
+    config: AcceleratorConfig,
+    batch: int,
+    m: int,
+    k: int,
+    n: int,
+    overlap: bool | None = None,
+) -> dict[str, int]:
+    """Closed-form cycles for a ``B``-image batched GEMM.
+
+    The batch stacks into a single ``(B*M, K)`` stream per weight tile, so
+    the accounting is exactly :func:`gemm_cycles` with ``M' = B * M`` —
+    tile loads and fill/drain amortize over the whole batch.
+    """
+    if batch < 1:
+        raise MappingError("batch size must be positive")
+    return gemm_cycles(config, batch * m, k, n, overlap=overlap)
+
+
 class CapsAccAccelerator:
     """The complete accelerator: array, accumulators, buffers, activation."""
 
@@ -194,46 +260,126 @@ class CapsAccAccelerator:
         n = weights.shape[1]
         plan = plan_tiling(self.config, m, k, n)
         if engine == "fast":
-            acc = self._fast_gemm(data, weights, job.acc_fmt, plan)
+            acc = chunked_saturating_matmul(data, weights, job.acc_fmt, self.config.rows)
         elif engine == "stepped":
-            acc = self._stepped_gemm(data, weights, job, plan)
+            acc = self._stepped_gemm(
+                data, weights, job.data_fmt, job.weight_fmt, job.acc_fmt, plan
+            )
         else:
             raise MappingError(f"unknown engine {engine!r}")
-        stats = self._account(job, plan)
+        stats = self._account(plan, job.data_source, job.weight_source)
         overlapped = gemm_cycles(self.config, m, k, n, overlap=True)["total"]
         return GemmResult(acc=acc, stats=stats, overlapped_cycles=overlapped)
 
-    def _fast_gemm(
-        self,
-        data: np.ndarray,
-        weights: np.ndarray,
-        acc_fmt: QFormat,
-        plan: TilingPlan,
-    ) -> np.ndarray:
-        """Chunked saturating GEMM matching the array's accumulation order."""
-        rows = self.config.rows
-        acc = np.zeros((plan.m, plan.n), dtype=np.int64)
-        for chunk in range(plan.k_chunks):
-            lo = chunk * rows
-            hi = min(lo + rows, plan.k)
-            partial = data[:, lo:hi] @ weights[lo:hi, :]
-            np.clip(partial, acc_fmt.raw_min, acc_fmt.raw_max, out=partial)
-            acc += partial
-            np.clip(acc, acc_fmt.raw_min, acc_fmt.raw_max, out=acc)
-        return acc
+    def run_batched_gemm(
+        self, job: BatchedGemmJob, engine: str = "fast"
+    ) -> BatchedGemmResult:
+        """Execute ``B`` images against one weight matrix as a stacked stream.
+
+        The ``(B, M, K)`` activations become one ``(B*M, K)`` stream per
+        weight tile, so the cycle accounting — and the stepped execution —
+        is exactly a single GEMM with ``M' = B*M``: tile loads are paid
+        once per batch.  Returns per-image results of shape ``(B, M, N)``.
+
+        Like the single-image path, the accumulator FIFO is sized to the
+        job (``B*M`` pending partial sums per column) — an idealized
+        assumption a fixed-depth hardware FIFO would cap, forcing M-tiling
+        and re-streaming beyond its depth.
+        """
+        data = np.asarray(job.data, dtype=np.int64)
+        weights = np.asarray(job.weights, dtype=np.int64)
+        if data.ndim != 3 or weights.ndim != 2 or data.shape[2] != weights.shape[0]:
+            raise ShapeError(
+                f"batched GEMM shapes inconsistent: data {data.shape},"
+                f" weights {weights.shape}"
+            )
+        batch, m, k = data.shape
+        n = weights.shape[1]
+        stacked = data.reshape(batch * m, k)
+        plan = plan_tiling(self.config, batch * m, k, n)
+        if engine == "fast":
+            acc = chunked_saturating_matmul(
+                stacked, weights, job.acc_fmt, self.config.rows
+            )
+        elif engine == "stepped":
+            acc = self._stepped_gemm(
+                stacked, weights, job.data_fmt, job.weight_fmt, job.acc_fmt, plan
+            )
+        else:
+            raise MappingError(f"unknown engine {engine!r}")
+        stats = self._account(plan, job.data_source, job.weight_source)
+        overlapped = batched_gemm_cycles(
+            self.config, batch, m, k, n, overlap=True
+        )["total"]
+        return BatchedGemmResult(
+            acc=acc.reshape(batch, m, n),
+            stats=stats,
+            overlapped_cycles=overlapped,
+            batch=batch,
+        )
+
+    def run_grouped_gemm(
+        self, job: GroupedGemmJob, engine: str = "fast"
+    ) -> BatchedGemmResult:
+        """Execute ``G`` independent same-shape GEMMs back to back.
+
+        Results are bit-identical to ``G`` separate :meth:`run_gemm` calls
+        and the accounting is their exact sequential sum; the fast engine
+        computes the whole group with one vectorized call per K-chunk.
+        """
+        data = np.asarray(job.data, dtype=np.int64)
+        weights = np.asarray(job.weights, dtype=np.int64)
+        if (
+            data.ndim != 3
+            or weights.ndim != 3
+            or data.shape[0] != weights.shape[0]
+            or data.shape[2] != weights.shape[1]
+        ):
+            raise ShapeError(
+                f"grouped GEMM shapes inconsistent: data {data.shape},"
+                f" weights {weights.shape}"
+            )
+        groups, m, k = data.shape
+        n = weights.shape[2]
+        plan = plan_tiling(self.config, m, k, n)
+        if engine == "fast":
+            acc = chunked_saturating_matmul(data, weights, job.acc_fmt, self.config.rows)
+        elif engine == "stepped":
+            acc = np.stack(
+                [
+                    self._stepped_gemm(
+                        data[g],
+                        weights[g],
+                        job.data_fmt,
+                        job.weight_fmt,
+                        job.acc_fmt,
+                        plan,
+                    )
+                    for g in range(groups)
+                ]
+            )
+        else:
+            raise MappingError(f"unknown engine {engine!r}")
+        stats = self._account(plan, job.data_source, job.weight_source, count=groups)
+        overlapped = groups * gemm_cycles(self.config, m, k, n, overlap=True)["total"]
+        return BatchedGemmResult(
+            acc=acc, stats=stats, overlapped_cycles=overlapped, batch=groups
+        )
 
     def _stepped_gemm(
         self,
         data: np.ndarray,
         weights: np.ndarray,
-        job: GemmJob,
+        data_fmt: QFormat,
+        weight_fmt: QFormat,
+        acc_fmt: QFormat,
         plan: TilingPlan,
     ) -> np.ndarray:
         """Clock-edge-accurate execution on the systolic array."""
         config = self.config
         rows, cols = config.rows, config.cols
-        array = SystolicArray(config, job.data_fmt, job.weight_fmt, job.acc_fmt)
-        acc_bank = AccumulatorBank(cols, depth=max(plan.m, 1), acc_fmt=job.acc_fmt)
+        array = SystolicArray(config, data_fmt, weight_fmt, acc_fmt)
+        acc_bank = AccumulatorBank(cols, depth=max(plan.m, 1), acc_fmt=acc_fmt)
         result = np.zeros((plan.m, plan.n), dtype=np.int64)
         for n_tile in range(plan.n_tiles):
             n_lo = n_tile * cols
@@ -251,28 +397,39 @@ class CapsAccAccelerator:
             result[:, n_lo:n_hi] = acc_bank.drain()[:, : n_hi - n_lo]
         return result
 
-    def _account(self, job: GemmJob, plan: TilingPlan) -> CycleStats:
-        """Cycle/access accounting shared by both engines (sequential model)."""
+    def _account(
+        self,
+        plan: TilingPlan,
+        data_source: str,
+        weight_source: str,
+        count: int = 1,
+    ) -> CycleStats:
+        """Cycle/access accounting shared by all engines (sequential model).
+
+        ``count`` repeats the whole accounting for grouped jobs — ``count``
+        identical-shape GEMMs executed back to back, each paying its own
+        weight loads.
+        """
         config = self.config
         cycles = gemm_cycles(config, plan.m, plan.k, plan.n, overlap=False)
         stats = CycleStats(
-            total_cycles=cycles["total"],
-            compute_cycles=cycles["compute"],
-            weight_stall_cycles=cycles["weight_stall"],
-            fill_drain_cycles=cycles["fill_drain"],
-            mac_count=plan.m * plan.k * plan.n,
+            total_cycles=cycles["total"] * count,
+            compute_cycles=cycles["compute"] * count,
+            weight_stall_cycles=cycles["weight_stall"] * count,
+            fill_drain_cycles=cycles["fill_drain"] * count,
+            mac_count=plan.m * plan.k * plan.n * count,
         )
         # Weight traffic: every tile pass loads its (actual) weight words.
-        weight_words = plan.k * plan.n
+        weight_words = plan.k * plan.n * count
         # Data traffic: the full (M, K) operand streams once per N-tile.
-        data_words = plan.m * plan.k * plan.n_tiles
-        if job.weight_source != "feedback":
-            stats.add_access(f"{job.weight_source}.read", weight_words)
-            self._buffer(job.weight_source).reads += weight_words
-        if job.data_source != "feedback":
-            stats.add_access(f"{job.data_source}.read", data_words)
-            self._buffer(job.data_source).reads += data_words
-        stats.add_access("accumulator.write", plan.m * plan.n * plan.k_chunks)
+        data_words = plan.m * plan.k * plan.n_tiles * count
+        if weight_source != "feedback":
+            stats.add_access(f"{weight_source}.read", weight_words)
+            self._buffer(weight_source).reads += weight_words
+        if data_source != "feedback":
+            stats.add_access(f"{data_source}.read", data_words)
+            self._buffer(data_source).reads += data_words
+        stats.add_access("accumulator.write", plan.m * plan.n * plan.k_chunks * count)
         return stats
 
     def _buffer(self, name: str) -> Buffer:

@@ -32,7 +32,7 @@ Mappings reproduced from the paper:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.capsnet.config import CapsNetConfig
 from repro.errors import MappingError
@@ -49,6 +49,11 @@ class GemmShape:
     count: int = 1
     data_source: str = "data_buffer"
     weight_source: str = "weight_buffer"
+    #: Whether the weight operand is shared by every image of a batch.
+    #: Shared weights let a batch stack into the ``M`` stream (tile loads
+    #: amortize); per-image weights (routing coefficients) replicate the
+    #: whole GEMM per image instead.
+    weight_shared: bool = True
 
     def __post_init__(self) -> None:
         if min(self.m, self.k, self.n, self.count) < 1:
@@ -100,6 +105,35 @@ class StageShape:
     def macs(self) -> int:
         """Total useful MACs in the stage."""
         return sum(shape.macs for shape in self.gemms)
+
+
+def batch_stage(stage: StageShape, batch: int) -> StageShape:
+    """The stage as scheduled for a ``batch``-image mini-batch.
+
+    Weight-shared GEMMs stack the batch into their ``M`` stream (one tile
+    load per batch — the batched execution engine's amortization);
+    per-image-weight GEMMs repeat ``batch`` times.  Activation work and
+    bulk transfers scale linearly with the batch.
+    """
+    if batch < 1:
+        raise MappingError("batch size must be positive")
+    if batch == 1:
+        return stage
+    gemms = tuple(
+        replace(shape, m=shape.m * batch)
+        if shape.weight_shared
+        else replace(shape, count=shape.count * batch)
+        for shape in stage.gemms
+    )
+    activations = tuple(
+        replace(work, groups=work.groups * batch) for work in stage.activations
+    )
+    return StageShape(
+        name=stage.name,
+        gemms=gemms,
+        activations=activations,
+        transfer_words=stage.transfer_words * batch,
+    )
 
 
 # ---- layer stages ------------------------------------------------------------
@@ -201,6 +235,7 @@ def routing_sum_stage(config: CapsNetConfig, iteration: int) -> StageShape:
         count=config.classcaps.num_classes,
         data_source=source,
         weight_source="routing_buffer",
+        weight_shared=False,
     )
     return StageShape(name=f"sum{iteration}", gemms=(gemm,))
 
@@ -231,6 +266,7 @@ def routing_update_stage(config: CapsNetConfig, iteration: int) -> StageShape:
         count=config.classcaps.num_classes,
         data_source="feedback",
         weight_source="routing_buffer",
+        weight_shared=False,
     )
     b_words = config.coupling_coefficient_count
     return StageShape(name=f"update{iteration}", gemms=(gemm,), transfer_words=b_words)

@@ -20,7 +20,7 @@ from repro.hw.accelerator import gemm_cycles
 from repro.hw.activation import activation_latency, batched_activation_latency
 from repro.hw.config import AcceleratorConfig
 from repro.hw.stats import CycleStats
-from repro.mapping.shapes import StageShape, transfer_cycles
+from repro.mapping.shapes import StageShape, batch_stage, transfer_cycles
 
 
 @dataclass
@@ -49,8 +49,17 @@ def stage_performance(
     config: AcceleratorConfig,
     stage: StageShape,
     overlap: bool | None = None,
+    batch: int = 1,
 ) -> StagePerf:
-    """Cycle accounting for one stage on a given accelerator configuration."""
+    """Cycle accounting for one stage on a given accelerator configuration.
+
+    With ``batch > 1`` the stage is costed as scheduled by the batched
+    execution engine (:func:`repro.mapping.shapes.batch_stage`): weight-
+    shared GEMMs stack the batch into their stream, per-image-weight GEMMs
+    repeat, and activations/transfers scale linearly.  The returned cycles
+    cover the *whole batch*.
+    """
+    stage = batch_stage(stage, batch)
     gemm_total = 0
     for shape in stage.gemms:
         cycles = gemm_cycles(config, shape.m, shape.k, shape.n, overlap=overlap)

@@ -29,21 +29,34 @@ from repro.perf.cycles import StagePerf, stage_performance
 
 @dataclass
 class InferencePerformance:
-    """Full-network performance summary."""
+    """Full-network performance summary (one batch of ``batch`` images)."""
 
     stages: list[StagePerf]
     clock_mhz: float
     num_pes: int
+    batch: int = 1
 
     @property
     def total_cycles(self) -> int:
-        """Cycles for one complete inference."""
+        """Cycles for one complete batch."""
         return sum(stage.cycles for stage in self.stages)
 
     @property
     def total_time_ms(self) -> float:
-        """Latency of one inference in milliseconds."""
+        """Latency of one batch in milliseconds."""
         return self.total_cycles / self.clock_mhz / 1e3
+
+    @property
+    def cycles_per_image(self) -> float:
+        """Amortized cycles per image."""
+        return self.total_cycles / self.batch
+
+    @property
+    def images_per_second(self) -> float:
+        """Modeled throughput in images per second."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.batch * self.clock_mhz * 1e6 / self.total_cycles
 
     def layer_times_us(self) -> dict[str, float]:
         """Per-layer latency in microseconds (Fig 16 aggregation)."""
@@ -86,18 +99,29 @@ class CapsAccPerformanceModel:
     optimized_routing: bool = True
     conv_policy: str = "channel_parallel"
 
-    def run(self) -> InferencePerformance:
-        """Evaluate all stages of one inference pass."""
+    def run(self, batch: int = 1) -> InferencePerformance:
+        """Evaluate all stages of one inference pass over a ``batch``.
+
+        With ``batch > 1`` the closed-form model costs the batched
+        execution engine's schedule — weight-shared stages stack the batch
+        into their stream (amortizing tile loads), per-image-weight routing
+        stages repeat — and is validated against the stepped engine by the
+        batched equivalence tests.
+        """
         stages = full_inference_stages(
             self.network,
             optimized_routing=self.optimized_routing,
             conv_policy=self.conv_policy,
         )
-        perf = [stage_performance(self.accelerator, stage) for stage in stages]
+        perf = [
+            stage_performance(self.accelerator, stage, batch=batch)
+            for stage in stages
+        ]
         return InferencePerformance(
             stages=perf,
             clock_mhz=self.accelerator.clock_mhz,
             num_pes=self.accelerator.num_pes,
+            batch=batch,
         )
 
     def routing_step_times_us(self) -> dict[str, float]:

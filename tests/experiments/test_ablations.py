@@ -1,6 +1,5 @@
 """Tests for the ablation studies."""
 
-import pytest
 
 from repro.experiments import ablations
 

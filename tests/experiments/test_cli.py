@@ -50,6 +50,44 @@ class TestSweepCommand:
         assert "8x8" in out
 
 
+class TestSimulateCommand:
+    def test_batched_simulation_reports_throughput(self, capsys):
+        assert cli.main(
+            ["simulate", "--network", "tiny", "--batch-size", "4", "--images", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch size 4" in out
+        assert "images/s" in out
+        assert "classcaps_fc" in out
+        assert "util" in out
+
+    def test_batch_size_one_works(self, capsys):
+        assert cli.main(
+            ["simulate", "--network", "tiny", "--batch-size", "1", "--images", "2"]
+        ) == 0
+        assert "batch size 1" in capsys.readouterr().out
+
+    def test_rejects_non_positive_batch(self, capsys):
+        assert cli.main(["simulate", "--network", "tiny", "--batch-size", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_stepped_engine_accepted(self, capsys):
+        assert cli.main(
+            [
+                "simulate",
+                "--network",
+                "tiny",
+                "--batch-size",
+                "2",
+                "--images",
+                "2",
+                "--engine",
+                "stepped",
+            ]
+        ) == 0
+        assert "stepped engine" in capsys.readouterr().out
+
+
 class TestInfoCommand:
     def test_info_summarizes(self, capsys):
         assert cli.main(["info"]) == 0

@@ -1,6 +1,5 @@
 """Unit tests for the concrete CapsAcc lookup tables and fixed sqrt."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,0 +1,258 @@
+"""Equivalence tests for the batched / grouped GEMM execution paths.
+
+The guarantees:
+
+* a batched job is bit-identical to ``B`` independent single-image runs,
+  on both engines;
+* the closed-form batched cycle accounting equals what the stepped engine
+  actually consumes for the stacked stream, tile by tile;
+* batching amortizes weight-tile loads: cycles and weight traffic are
+  strictly below ``B`` independent runs;
+* the chunked saturating matmul (including its no-saturation BLAS fast
+  path) matches the pure-int64 per-chunk reference even when values clip
+  mid-accumulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.hwops import QuantizedFormats, chunked_saturating_matmul
+from repro.errors import ShapeError
+from repro.fixedpoint.qformat import QFormat
+from repro.hw.accelerator import (
+    BatchedGemmJob,
+    CapsAccAccelerator,
+    GemmJob,
+    GroupedGemmJob,
+    batched_gemm_cycles,
+    chunk_sizes,
+    gemm_cycles,
+    plan_tiling,
+)
+from repro.hw.systolic import SystolicArray
+
+FMTS = QuantizedFormats()
+DATA = FMTS.caps_data
+WEIGHT = FMTS.classcaps_weight
+ACC = FMTS.acc(DATA, WEIGHT)
+
+
+def reference_chunked(data, weights, acc_fmt, rows):
+    """Pure-int64 per-chunk clipped accumulation (the array's order)."""
+    data = np.asarray(data, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.int64)
+    k = data.shape[-1]
+    acc = np.zeros(data.shape[:-1] + weights.shape[-1:], dtype=np.int64)
+    for lo in range(0, k, rows):
+        hi = min(lo + rows, k)
+        partial = data[..., :, lo:hi] @ weights[..., lo:hi, :]
+        np.clip(partial, acc_fmt.raw_min, acc_fmt.raw_max, out=partial)
+        acc += partial
+        np.clip(acc, acc_fmt.raw_min, acc_fmt.raw_max, out=acc)
+    return acc
+
+
+def make_batched_job(rng, batch, m, k, n, **kwargs):
+    data = rng.integers(-60, 60, size=(batch, m, k))
+    weights = rng.integers(-60, 60, size=(k, n))
+    return BatchedGemmJob("batched", data, weights, DATA, WEIGHT, ACC, **kwargs)
+
+
+class TestChunkedSaturatingMatmul:
+    @pytest.mark.parametrize("shape", [(5, 9, 7), (3, 4, 33, 6), (1, 1, 1)])
+    def test_matches_reference_without_saturation(self, rng, shape):
+        # data is (..., M, K); weights (K, N) broadcast across leading axes
+        data = rng.integers(-60, 60, size=shape)
+        weights = rng.integers(-60, 60, size=(shape[-1], 5))
+        out = chunked_saturating_matmul(data, weights, ACC, 4)
+        assert np.array_equal(out, reference_chunked(data, weights, ACC, 4))
+
+    def test_matches_reference_with_saturation(self, rng):
+        """Large magnitudes force mid-accumulation clipping; the fast path
+        must bow out and the chunked path must clip in array order."""
+        acc_fmt = QFormat(12, 0)  # tiny accumulator: clips constantly
+        data = rng.integers(-120, 120, size=(6, 40))
+        weights = rng.integers(-120, 120, size=(40, 3))
+        out = chunked_saturating_matmul(data, weights, acc_fmt, 4)
+        assert np.array_equal(out, reference_chunked(data, weights, acc_fmt, 4))
+        # sanity: saturation genuinely occurred, so the plain product differs
+        assert not np.array_equal(out, data @ weights)
+
+    def test_saturating_case_matches_stepped_engine(self, rng, small_accel_config):
+        """The stepped systolic array is ground truth for clipping order."""
+        acc_fmt = QFormat(16, 0)
+        data = rng.integers(-128, 127, size=(5, 13))
+        weights = rng.integers(-128, 127, size=(13, 4))
+        accel = CapsAccAccelerator(small_accel_config)
+        job = GemmJob("sat", data, weights, QFormat(8, 0), QFormat(8, 0), acc_fmt)
+        fast = accel.run_gemm(job, engine="fast")
+        stepped = accel.run_gemm(job, engine="stepped")
+        assert np.array_equal(fast.acc, stepped.acc)
+
+    def test_unsigned_accumulator_clips_from_below(self):
+        """The fast path must respect raw_min too: with an unsigned
+        accumulator a negative partial clips to 0 mid-accumulation."""
+        acc_fmt = QFormat(8, 0, signed=False)
+        data = np.array([[-3, 2]], dtype=np.int64)
+        weights = np.array([[4], [1]], dtype=np.int64)
+        out = chunked_saturating_matmul(data, weights, acc_fmt, 1)
+        assert np.array_equal(out, reference_chunked(data, weights, acc_fmt, 1))
+        assert out[0, 0] == 2  # -12 clips to 0, then +2
+
+    def test_grouped_weights_broadcast(self, rng):
+        data = rng.integers(-60, 60, size=(4, 3, 9))
+        weights = rng.integers(-60, 60, size=(4, 9, 2))
+        out = chunked_saturating_matmul(data, weights, ACC, 4)
+        for g in range(4):
+            assert np.array_equal(
+                out[g], reference_chunked(data[g], weights[g], ACC, 4)
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            chunked_saturating_matmul(
+                np.zeros((2, 3), dtype=np.int64), np.zeros((4, 2), dtype=np.int64), ACC, 4
+            )
+
+
+class TestBatchedGemm:
+    @pytest.mark.parametrize("batch,m,k,n", [(1, 4, 5, 6), (3, 5, 9, 7), (4, 1, 8, 18)])
+    def test_matches_independent_single_runs(
+        self, rng, small_accel_config, batch, m, k, n
+    ):
+        accel = CapsAccAccelerator(small_accel_config)
+        job = make_batched_job(rng, batch, m, k, n)
+        batched = accel.run_batched_gemm(job, engine="fast")
+        assert batched.acc.shape == (batch, m, n)
+        for b in range(batch):
+            single = accel.run_gemm(
+                GemmJob("single", job.data[b], job.weights, DATA, WEIGHT, ACC)
+            )
+            assert np.array_equal(batched.acc[b], single.acc)
+
+    def test_engines_agree(self, rng, small_accel_config):
+        accel = CapsAccAccelerator(small_accel_config)
+        job = make_batched_job(rng, 3, 4, 9, 6)
+        fast = accel.run_batched_gemm(job, engine="fast")
+        stepped = accel.run_batched_gemm(job, engine="stepped")
+        assert np.array_equal(fast.acc, stepped.acc)
+        assert fast.stats.total_cycles == stepped.stats.total_cycles
+
+    @pytest.mark.parametrize("batch,m,k,n", [(2, 3, 9, 5), (3, 2, 4, 18)])
+    def test_closed_form_matches_stepped_execution(
+        self, rng, small_accel_config, batch, m, k, n
+    ):
+        """Sequential batched accounting equals real stepped cycles for the
+        stacked ``(B*M, K)`` stream, tile by tile."""
+        config = small_accel_config
+        job = make_batched_job(rng, batch, m, k, n)
+        stacked = job.data.reshape(batch * m, k)
+        array = SystolicArray(config, DATA, WEIGHT, ACC)
+        measured = 0
+        plan = plan_tiling(config, batch * m, k, n)
+        for n_tile in range(plan.n_tiles):
+            for chunk_index, chunk in enumerate(chunk_sizes(k, config.rows)):
+                k_lo = chunk_index * config.rows
+                n_lo = n_tile * config.cols
+                tile = np.zeros((config.rows, config.cols), dtype=np.int64)
+                block = job.weights[k_lo : k_lo + chunk, n_lo : n_lo + config.cols]
+                tile[: block.shape[0], : block.shape[1]] = block
+                measured += array.load_weights(tile, active_rows=chunk)
+                stream = np.zeros((batch * m, config.rows), dtype=np.int64)
+                stream[:, :chunk] = stacked[:, k_lo : k_lo + chunk]
+                measured += array.run_tile(stream).cycles
+        formula = batched_gemm_cycles(config, batch, m, k, n, overlap=False)
+        assert formula["total"] == measured
+        accel = CapsAccAccelerator(config)
+        result = accel.run_batched_gemm(job)
+        assert result.stats.total_cycles == measured
+
+    def test_batching_amortizes_tile_loads(self, rng, small_accel_config):
+        """A batch costs strictly less than B independent runs — in cycles
+        (fewer exposed loads/drains) and in weight-buffer traffic."""
+        accel = CapsAccAccelerator(small_accel_config)
+        batch, m, k, n = 4, 3, 9, 6
+        job = make_batched_job(rng, batch, m, k, n)
+        accel.reset_counters()
+        batched = accel.run_batched_gemm(job)
+        batched_weight_reads = accel.weight_buffer.reads
+        single = gemm_cycles(small_accel_config, m, k, n, overlap=False)["total"]
+        assert batched.stats.total_cycles < batch * single
+        assert batched_weight_reads == k * n  # once per batch, not per image
+        single_ovl = gemm_cycles(small_accel_config, m, k, n, overlap=True)["total"]
+        assert batched.overlapped_cycles < batch * single_ovl
+
+    def test_mac_count_scales_with_batch(self, rng, small_accel_config):
+        accel = CapsAccAccelerator(small_accel_config)
+        result = accel.run_batched_gemm(make_batched_job(rng, 3, 4, 5, 6))
+        assert result.stats.mac_count == 3 * 4 * 5 * 6
+        assert result.batch == 3
+
+    def test_bad_shapes_rejected(self, rng, small_accel_config):
+        accel = CapsAccAccelerator(small_accel_config)
+        job = BatchedGemmJob(
+            "bad",
+            np.zeros((2, 3, 4), dtype=np.int64),
+            np.zeros((5, 2), dtype=np.int64),
+            DATA,
+            WEIGHT,
+            ACC,
+        )
+        with pytest.raises(ShapeError):
+            accel.run_batched_gemm(job)
+
+    def test_zero_batch_rejected(self, small_accel_config):
+        from repro.errors import MappingError
+
+        with pytest.raises(MappingError):
+            batched_gemm_cycles(small_accel_config, 0, 2, 2, 2)
+
+
+class TestGroupedGemm:
+    def test_matches_independent_runs_and_sums_stats(self, rng, small_accel_config):
+        accel = CapsAccAccelerator(small_accel_config)
+        groups, m, k, n = 5, 3, 9, 4
+        data = rng.integers(-60, 60, size=(groups, m, k))
+        weights = rng.integers(-60, 60, size=(groups, k, n))
+        job = GroupedGemmJob("grp", data, weights, DATA, WEIGHT, ACC)
+        grouped = accel.run_grouped_gemm(job)
+        total = 0
+        for g in range(groups):
+            single = accel.run_gemm(
+                GemmJob("one", data[g], weights[g], DATA, WEIGHT, ACC)
+            )
+            assert np.array_equal(grouped.acc[g], single.acc)
+            total += single.stats.total_cycles
+        assert grouped.stats.total_cycles == total
+        assert grouped.stats.mac_count == groups * m * k * n
+
+    def test_engines_agree(self, rng, small_accel_config):
+        accel = CapsAccAccelerator(small_accel_config)
+        data = rng.integers(-60, 60, size=(3, 2, 7))
+        weights = rng.integers(-60, 60, size=(3, 7, 5))
+        job = GroupedGemmJob("grp", data, weights, DATA, WEIGHT, ACC)
+        fast = accel.run_grouped_gemm(job, engine="fast")
+        stepped = accel.run_grouped_gemm(job, engine="stepped")
+        assert np.array_equal(fast.acc, stepped.acc)
+
+    def test_no_cross_group_weight_amortization(self, rng, small_accel_config):
+        accel = CapsAccAccelerator(small_accel_config)
+        groups, m, k, n = 3, 2, 5, 4
+        data = rng.integers(-60, 60, size=(groups, m, k))
+        weights = rng.integers(-60, 60, size=(groups, k, n))
+        accel.reset_counters()
+        accel.run_grouped_gemm(GroupedGemmJob("grp", data, weights, DATA, WEIGHT, ACC))
+        assert accel.weight_buffer.reads == groups * k * n
+
+    def test_bad_shapes_rejected(self, rng, small_accel_config):
+        accel = CapsAccAccelerator(small_accel_config)
+        job = GroupedGemmJob(
+            "bad",
+            np.zeros((2, 3, 4), dtype=np.int64),
+            np.zeros((3, 4, 2), dtype=np.int64),
+            DATA,
+            WEIGHT,
+            ACC,
+        )
+        with pytest.raises(ShapeError):
+            accel.run_grouped_gemm(job)

@@ -1,0 +1,146 @@
+"""Tests for the batched multi-image scheduler.
+
+The key guarantees:
+
+* batched scheduling is bit-identical, image for image, to the
+  single-image executable lowering (and to the quantized golden model);
+* results are invariant to how the stream is split into batches;
+* the per-layer GEMM accounting agrees with the analytical performance
+  model evaluated at the same batch size (shared formulas);
+* both engines agree; batching strictly improves amortized cycles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.quantized import QuantizedCapsuleNet
+from repro.errors import ShapeError
+from repro.hw.accelerator import CapsAccAccelerator
+from repro.hw.config import AcceleratorConfig
+from repro.hw.scheduler import BatchScheduler
+from repro.mapping.execute import MappedInference
+from repro.mapping.shapes import classcaps_fc_stage, conv_stage, routing_stages
+from repro.perf.cycles import stage_performance
+
+
+@pytest.fixture(scope="module")
+def qnet(tiny_config, tiny_weights):
+    return QuantizedCapsuleNet(tiny_config, weights=tiny_weights)
+
+
+@pytest.fixture(scope="module")
+def batch_result(qnet, tiny_images):
+    return BatchScheduler(qnet).run_batch(tiny_images)
+
+
+class TestBitExactness:
+    def test_matches_mapped_inference_per_image(self, qnet, tiny_images, batch_result):
+        mapped = MappedInference(qnet)
+        for b, image in enumerate(tiny_images):
+            single = mapped.run(image)
+            assert np.array_equal(batch_result.conv1_raw[b], single.conv1_raw)
+            assert np.array_equal(batch_result.primary_raw[b], single.primary_raw)
+            assert np.array_equal(batch_result.u_hat_raw[b], single.u_hat_raw)
+            assert np.array_equal(batch_result.class_caps_raw[b], single.class_caps_raw)
+            assert np.array_equal(batch_result.coupling_raw[b], single.coupling_raw)
+
+    def test_matches_quantized_golden_predictions(self, qnet, tiny_images, batch_result):
+        assert np.array_equal(
+            batch_result.predictions, qnet.predict_batch(tiny_images)
+        )
+
+    def test_batch_split_invariance(self, qnet, tiny_images, batch_result):
+        scheduler = BatchScheduler(qnet)
+        parts = [scheduler.run_batch(tiny_images[:2]), scheduler.run_batch(tiny_images[2:])]
+        merged = np.concatenate([p.class_caps_raw for p in parts])
+        assert np.array_equal(merged, batch_result.class_caps_raw)
+
+    def test_non_optimized_routing_matches(self, tiny_config, tiny_weights, tiny_images):
+        qnet = QuantizedCapsuleNet(
+            tiny_config, weights=tiny_weights, optimized_routing=False
+        )
+        result = BatchScheduler(qnet).run_batch(tiny_images[:2])
+        mapped = MappedInference(qnet)
+        for b in range(2):
+            single = mapped.run(tiny_images[b])
+            assert np.array_equal(result.class_caps_raw[b], single.class_caps_raw)
+        assert "softmax1" in result.layers
+
+    def test_stepped_engine_agrees(self, qnet, tiny_images, batch_result):
+        accel = CapsAccAccelerator(AcceleratorConfig(rows=8, cols=8), formats=qnet.formats)
+        stepped = BatchScheduler(qnet, accelerator=accel, engine="stepped").run_batch(
+            tiny_images[:2]
+        )
+        fast = BatchScheduler(
+            qnet,
+            accelerator=CapsAccAccelerator(
+                AcceleratorConfig(rows=8, cols=8), formats=qnet.formats
+            ),
+        ).run_batch(tiny_images[:2])
+        assert np.array_equal(stepped.class_caps_raw, fast.class_caps_raw)
+        assert stepped.total_cycles == fast.total_cycles
+
+    def test_rejects_bad_batch_shape(self, qnet, tiny_images):
+        with pytest.raises(ShapeError):
+            BatchScheduler(qnet).run_batch(tiny_images[0])
+
+
+class TestAccounting:
+    @pytest.fixture(scope="class")
+    def batch(self, tiny_images):
+        return len(tiny_images)
+
+    def test_conv_layers_match_perf_model(self, qnet, batch_result, batch):
+        config = BatchScheduler(qnet).accelerator.config
+        for layer in ("conv1", "primarycaps"):
+            stage = conv_stage(qnet.config, layer)
+            perf = stage_performance(config, stage, overlap=False, batch=batch)
+            report = batch_result.layers[layer]
+            assert report.gemm_cycles == perf.gemm_cycles
+            assert report.stats.activation_cycles == perf.activation_cycles
+            assert report.stats.mac_count == stage.macs * batch
+
+    def test_fc_layer_matches_perf_model(self, qnet, batch_result, batch):
+        config = BatchScheduler(qnet).accelerator.config
+        stage = classcaps_fc_stage(qnet.config)
+        perf = stage_performance(config, stage, overlap=False, batch=batch)
+        report = batch_result.layers["classcaps_fc"]
+        assert report.gemm_cycles == perf.gemm_cycles
+        assert report.jobs == qnet.config.num_primary_capsules
+
+    def test_routing_layers_match_perf_model(self, qnet, batch_result, batch):
+        config = BatchScheduler(qnet).accelerator.config
+        for stage in routing_stages(qnet.config, optimized=True):
+            if not stage.gemms:
+                continue
+            perf = stage_performance(config, stage, overlap=False, batch=batch)
+            report = batch_result.layers[stage.name]
+            assert report.gemm_cycles == perf.gemm_cycles
+
+    def test_overlap_never_slower(self, batch_result):
+        for report in batch_result.layers.values():
+            assert report.overlapped_cycles <= report.stats.total_cycles
+        assert batch_result.overlapped_cycles <= batch_result.total_cycles
+
+    def test_batching_improves_amortized_cycles(self, qnet, tiny_images):
+        scheduler = BatchScheduler(qnet)
+        one = scheduler.run_batch(tiny_images[:1])
+        full = scheduler.run_batch(tiny_images)
+        assert full.cycles_per_image() < one.cycles_per_image()
+        assert full.images_per_second(250.0) > one.images_per_second(250.0)
+
+    def test_utilization_bounded_and_improves(self, qnet, tiny_images):
+        scheduler = BatchScheduler(qnet)
+        config = scheduler.accelerator.config
+        one = scheduler.run_batch(tiny_images[:1])
+        full = scheduler.run_batch(tiny_images)
+        assert 0.0 < one.utilization(config.num_pes) <= 1.0
+        assert one.utilization(config.num_pes) < full.utilization(config.num_pes) <= 1.0
+
+    def test_total_stats_sum_layers(self, batch_result):
+        assert batch_result.total_cycles == sum(
+            r.stats.total_cycles for r in batch_result.layers.values()
+        )
+        assert batch_result.total_stats.mac_count == sum(
+            r.stats.mac_count for r in batch_result.layers.values()
+        )

@@ -7,7 +7,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.capsnet.model import CapsuleNet
 from repro.capsnet.quantized import QuantizedCapsuleNet
