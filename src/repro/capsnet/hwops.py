@@ -22,9 +22,9 @@ from repro.capsnet.ops import im2col
 from repro.errors import ShapeError
 from repro.fixedpoint import formats as F
 from repro.fixedpoint.arith import requantize, saturate_raw
-from repro.fixedpoint.lut import LookupTable, LookupTable2D
+from repro.fixedpoint.luts import LookupTable, LookupTable2D
 from repro.fixedpoint.luts import build_exp_lut, build_square_lut, build_squash_lut, fixed_sqrt
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import QFormat
 
 
 @dataclass(frozen=True)

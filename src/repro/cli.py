@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli sweep --array 8 32   # quick design-space sweep
     python -m repro.cli info                 # network + accelerator summary
     python -m repro.cli simulate --batch-size 8   # batched engine simulation
+    python -m repro.cli serve-sim --rate 400 --arrays 2   # serving simulator
 
 The CLI is a thin shell over :mod:`repro.experiments`; everything it prints
 is available programmatically.
@@ -160,6 +161,85 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.capsnet.config import tiny_capsnet_config
+    from repro.data.synthetic import SyntheticDigits
+    from repro.errors import ConfigError
+    from repro.serve import (
+        AnalyticBatchCost,
+        BatchPolicy,
+        ScheduledBatchCost,
+        ServingSimulator,
+        make_trace,
+    )
+
+    network = (
+        tiny_capsnet_config() if args.network == "tiny" else mnist_capsnet_config()
+    )
+    try:
+        accel_config = AcceleratorConfig(acc_fifo_depth=args.fifo_depth)
+        if args.cost == "analytic":
+            if args.execute:
+                raise ConfigError("--execute needs the scheduled cost model")
+            if args.accounting != "overlapped":
+                raise ConfigError(
+                    "--accounting only applies to --cost scheduled (the"
+                    " analytic model always costs the overlapped schedule)"
+                )
+            cost = AnalyticBatchCost(network=network, accel_config=accel_config)
+        else:
+            cost = ScheduledBatchCost(
+                network=network, accel_config=accel_config, accounting=args.accounting
+            )
+
+        # One Generator seeds everything — the arrival trace and (in execute
+        # mode) the request images — so a run is reproducible end to end.
+        rng = np.random.default_rng(args.seed)
+        trace_kwargs = {"burst_size": args.burst_size} if args.trace == "bursty" else {}
+        trace = make_trace(args.trace, args.rate, args.requests, rng, **trace_kwargs)
+        images = None
+        if args.execute:
+            images = SyntheticDigits(size=network.image_size, rng=rng).generate(
+                args.requests
+            ).images
+        policy = BatchPolicy(max_batch=args.max_batch, max_wait_us=args.max_wait_us)
+        simulator = ServingSimulator(
+            trace,
+            policy,
+            cost,
+            arrays=args.arrays,
+            images=images,
+            execute=args.execute,
+            network_name=args.network,
+        )
+        report = simulator.run(with_crosscheck=args.cost == "scheduled")
+    except ConfigError as error:
+        print(f"serve-sim: {error}", file=sys.stderr)
+        return 2
+    print(report.format_table())
+    if report.crosscheck:
+        worst = max(entry["rel_error"] for entry in report.crosscheck.values())
+        print(
+            f"  perf-model crosscheck: {len(report.crosscheck)} batch size(s),"
+            f" worst relative error {worst:.2%}"
+        )
+    elif args.cost == "scheduled" and args.accounting == "sequential":
+        print("  perf-model crosscheck skipped (it models the overlapped schedule)")
+    if report.predictions is not None:
+        shown = report.predictions[:16].tolist()
+        suffix = f" ... ({report.completed} total)" if report.completed > 16 else ""
+        print(f"  predictions: {shown}{suffix}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -203,6 +283,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim_parser.add_argument("--seed", type=int, default=7, help="synthetic data seed")
     sim_parser.set_defaults(func=_cmd_simulate)
+
+    serve_parser = sub.add_parser(
+        "serve-sim",
+        help="discrete-event serving simulation (dynamic batching, N arrays)",
+    )
+    serve_parser.add_argument(
+        "--rate", type=float, default=400.0, help="mean arrival rate (requests/s)"
+    )
+    serve_parser.add_argument(
+        "--requests", type=int, default=64, help="requests in the trace"
+    )
+    serve_parser.add_argument(
+        "--trace",
+        choices=("poisson", "bursty", "uniform"),
+        default="poisson",
+        help="arrival process",
+    )
+    serve_parser.add_argument(
+        "--burst-size", type=int, default=8, help="requests per burst (bursty trace)"
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=8, help="dynamic batcher batch-size cap"
+    )
+    serve_parser.add_argument(
+        "--max-wait-us",
+        type=float,
+        default=2000.0,
+        help="max coalescing wait past the oldest queued request (us)",
+    )
+    serve_parser.add_argument(
+        "--arrays", type=int, default=1, help="accelerator arrays to shard across"
+    )
+    serve_parser.add_argument(
+        "--network", choices=("mnist", "tiny"), default="mnist"
+    )
+    serve_parser.add_argument(
+        "--cost",
+        choices=("scheduled", "analytic"),
+        default="scheduled",
+        help="batch cost model (scheduled = bit-exact batched engine)",
+    )
+    serve_parser.add_argument(
+        "--accounting",
+        choices=("overlapped", "sequential"),
+        default="overlapped",
+        help="cycle accounting charged per batch",
+    )
+    serve_parser.add_argument(
+        "--execute",
+        action="store_true",
+        help="run every batch through the engine on real images (predictions)",
+    )
+    serve_parser.add_argument(
+        "--fifo-depth",
+        type=int,
+        default=None,
+        help="accumulator FIFO depth (default: sized to the job)",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=7, help="seed for the trace and image generator"
+    )
+    serve_parser.add_argument("--json", type=str, default=None, help="write report JSON")
+    serve_parser.set_defaults(func=_cmd_serve_sim)
 
     sub.add_parser("info", help="network and accelerator summary").set_defaults(
         func=_cmd_info

@@ -158,21 +158,35 @@ def render_digit(
 
 
 class SyntheticDigits:
-    """Deterministic generator of labelled synthetic digit datasets."""
+    """Deterministic generator of labelled synthetic digit datasets.
 
-    def __init__(self, size: int = 28, seed: int = 7, jitter: float = 1.0) -> None:
+    Randomness comes from a single :class:`numpy.random.Generator`: pass
+    ``rng`` to share one stream with other consumers (e.g. the serving
+    simulator's arrival trace, so one CLI seed reproduces a whole run), or
+    leave it ``None`` to derive a fresh stream from ``seed`` on every
+    :meth:`generate` call (two calls then yield identical datasets).
+    """
+
+    def __init__(
+        self,
+        size: int = 28,
+        seed: int = 7,
+        jitter: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
         if size < 12:
             raise DataError("digit rendering needs at least a 12-pixel canvas")
         self.size = size
         self.seed = seed
         self.jitter = jitter
+        self.rng = rng
 
     def generate(self, count: int, classes: tuple[int, ...] | None = None) -> Dataset:
         """Generate ``count`` images cycling uniformly over ``classes``."""
         if count < 1:
             raise DataError("count must be positive")
         classes = classes if classes is not None else tuple(range(10))
-        rng = np.random.default_rng(self.seed)
+        rng = self.rng if self.rng is not None else np.random.default_rng(self.seed)
         images = np.empty((count, self.size, self.size), dtype=np.float64)
         labels = np.empty(count, dtype=np.int64)
         for index in range(count):

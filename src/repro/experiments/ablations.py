@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
 from repro.experiments.common import format_table
 from repro.fixedpoint.luts import build_squash_lut
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import QFormat
 from repro.hw.config import AcceleratorConfig
 from repro.perf.model import CapsAccPerformanceModel
 from repro.synthesis.report import SynthesisReport

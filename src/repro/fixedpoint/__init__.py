@@ -10,16 +10,17 @@ The paper's datapath (Section IV) uses:
 * a square lookup table with 12-bit input and 8-bit output inside the norm
   unit.
 
-This package provides the Q-format machinery (:mod:`repro.fixedpoint.qformat`),
-vectorized quantizers (:mod:`repro.fixedpoint.quantize`), saturating raw
-integer arithmetic (:mod:`repro.fixedpoint.arith`), a generic lookup-table
-builder (:mod:`repro.fixedpoint.lut`) and the concrete CapsAcc tables
-(:mod:`repro.fixedpoint.luts`).
+This package provides the Q-format machinery and concrete datapath formats
+(:mod:`repro.fixedpoint.formats`), vectorized quantizers
+(:mod:`repro.fixedpoint.quantize`), saturating raw integer arithmetic
+(:mod:`repro.fixedpoint.arith`) and the lookup-table builders plus concrete
+CapsAcc tables (:mod:`repro.fixedpoint.luts`).  ``qformat`` and ``lut``
+remain as import shims for backward compatibility.
 """
 
-from repro.fixedpoint.qformat import QFormat
 from repro.fixedpoint.formats import (
     ACC25,
+    QFormat,
     DATA8,
     EXP_IN8,
     EXP_OUT8,
@@ -39,8 +40,9 @@ from repro.fixedpoint.arith import (
     requantize,
     saturate_raw,
 )
-from repro.fixedpoint.lut import LookupTable, LookupTable2D
 from repro.fixedpoint.luts import (
+    LookupTable,
+    LookupTable2D,
     build_exp_lut,
     build_square_lut,
     build_squash_lut,

@@ -1,7 +1,7 @@
 """Saturating raw-integer arithmetic mirroring the CapsAcc datapath.
 
 Every function operates on *raw* integer arrays (``int64``) tagged with a
-:class:`~repro.fixedpoint.qformat.QFormat`.  This is the layer the
+:class:`~repro.fixedpoint.formats.QFormat`.  This is the layer the
 bit-accurate hardware simulator computes with: the multiplier inside a
 processing element is :func:`fx_mul`, the 25-bit partial-sum adder is
 :func:`fx_add` with saturation, and the 25-to-8-bit reduction in front of the
@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import QFormatError
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import QFormat
 from repro.fixedpoint.quantize import Rounding
 
 

@@ -1,7 +1,13 @@
-"""Concrete Q-formats of the CapsAcc datapath (paper Section IV).
+"""Q-format machinery and the concrete CapsAcc datapath formats.
 
-The paper fixes the bit *widths*; the binary-point positions are a design
-choice the paper leaves implicit.  The positions below are chosen so that
+A :class:`QFormat` describes a fixed-point representation by its total bit
+width, the number of fractional bits and its signedness.  The *raw* integer
+``r`` represents the real value ``r * 2**-frac_bits``.
+
+The module-level constants are the concrete formats of the CapsAcc
+datapath (paper Section IV).  The paper fixes the bit *widths*; the
+binary-point positions are a design choice the paper leaves implicit.  The
+positions below are chosen so that
 
 * products of data and weights align exactly with the accumulator format
   (``DATA8.frac_bits + WEIGHT8.frac_bits == ACC25.frac_bits``),
@@ -11,9 +17,110 @@ choice the paper leaves implicit.  The positions below are chosen so that
 
 Changing these constants is supported everywhere (the bit-width ablation
 sweeps them); the defaults reproduce the paper's widths.
+
+(This module absorbed the former ``repro.fixedpoint.qformat``, which
+remains importable as a thin re-export shim.)
 """
 
-from repro.fixedpoint.qformat import QFormat
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QFormatError
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A fixed-point number format.
+
+    Parameters
+    ----------
+    total_bits:
+        Total width of the representation in bits, including the sign bit
+        for signed formats.  Must be at least 1 (at least 2 when signed).
+    frac_bits:
+        Number of fractional bits.  May exceed ``total_bits`` (a format with
+        only sub-unit resolution) and may be negative (a coarse format whose
+        step is larger than 1); both occur in intermediate datapath values.
+    signed:
+        Whether the format is two's-complement signed.
+    """
+
+    total_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 1:
+            raise QFormatError(f"total_bits must be >= 1, got {self.total_bits}")
+        if self.signed and self.total_bits < 2:
+            raise QFormatError("signed formats need at least 2 bits")
+
+    @property
+    def int_bits(self) -> int:
+        """Number of integer (non-fractional, non-sign) bits."""
+        sign = 1 if self.signed else 0
+        return self.total_bits - self.frac_bits - sign
+
+    @property
+    def raw_min(self) -> int:
+        """Smallest representable raw integer."""
+        if self.signed:
+            return -(1 << (self.total_bits - 1))
+        return 0
+
+    @property
+    def raw_max(self) -> int:
+        """Largest representable raw integer."""
+        if self.signed:
+            return (1 << (self.total_bits - 1)) - 1
+        return (1 << self.total_bits) - 1
+
+    @property
+    def resolution(self) -> float:
+        """Real-valued step between adjacent representable numbers."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.raw_min * self.resolution
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.raw_max * self.resolution
+
+    @property
+    def num_codes(self) -> int:
+        """Number of distinct representable values (LUT addressing size)."""
+        return 1 << self.total_bits
+
+    def contains_raw(self, raw: int) -> bool:
+        """Whether ``raw`` fits in this format without saturation."""
+        return self.raw_min <= raw <= self.raw_max
+
+    def wrap_raw(self, raw: int) -> int:
+        """Two's-complement wrap of ``raw`` into this format's range.
+
+        Used for LUT address decoding, where the hardware simply takes the
+        low ``total_bits`` bits of the bus.
+        """
+        mask = (1 << self.total_bits) - 1
+        value = raw & mask
+        if self.signed and value > self.raw_max:
+            value -= 1 << self.total_bits
+        return value
+
+    def describe(self) -> str:
+        """Human-readable ``Qm.n`` style description."""
+        kind = "s" if self.signed else "u"
+        return (
+            f"Q{kind}{self.int_bits}.{self.frac_bits}"
+            f" ({self.total_bits} bits, range [{self.min_value:g}, {self.max_value:g}],"
+            f" step {self.resolution:g})"
+        )
+
 
 #: 8-bit data entering a processing element (activations, predictions).
 DATA8 = QFormat(total_bits=8, frac_bits=4)

@@ -1,132 +1,14 @@
-"""Generic lookup-table builders for the activation datapath.
+"""Backward-compatibility shim for :mod:`repro.fixedpoint.luts`.
 
-The CapsAcc activation unit implements squash, exp and square with ROM
-lookup tables (paper Figures 11e-11g).  :class:`LookupTable` models a
-single-input ROM; :class:`LookupTable2D` models the two-input squash ROM
-whose address is the concatenation of the data and norm buses.
-
-Tables are materialized as numpy arrays indexed by the *unsigned* reading of
-the raw input bus, exactly as a hardware ROM would be addressed, and report
-their storage footprint for the synthesis model.
+The generic ROM builders historically lived here, parallel to the concrete
+CapsAcc tables in ``luts.py``.  The two modules were merged; import from
+:mod:`repro.fixedpoint.luts` (or the :mod:`repro.fixedpoint` package)
+instead.
 """
 
-from __future__ import annotations
+from repro.fixedpoint.luts import (
+    LookupTable as LookupTable,
+    LookupTable2D as LookupTable2D,
+)
 
-from typing import Callable
-
-import numpy as np
-
-from repro.fixedpoint.qformat import QFormat
-from repro.fixedpoint.quantize import Rounding, from_raw, to_raw
-
-
-def _address(raw: np.ndarray, fmt: QFormat) -> np.ndarray:
-    """Unsigned ROM address for a (possibly signed) raw bus value."""
-    mask = (1 << fmt.total_bits) - 1
-    return np.asarray(raw, dtype=np.int64) & mask
-
-
-def _all_raw_codes(fmt: QFormat) -> np.ndarray:
-    """Every raw code of ``fmt`` ordered by its unsigned address."""
-    addresses = np.arange(fmt.num_codes, dtype=np.int64)
-    if not fmt.signed:
-        return addresses
-    # Addresses above raw_max encode negative values in two's complement.
-    return np.where(addresses > fmt.raw_max, addresses - fmt.num_codes, addresses)
-
-
-class LookupTable:
-    """A single-input ROM mapping ``in_fmt`` raw codes to ``out_fmt`` codes.
-
-    Parameters
-    ----------
-    func:
-        Vectorized real-valued function the ROM approximates.
-    in_fmt / out_fmt:
-        Input and output bus formats.
-    rounding:
-        Rounding used when building table entries.
-    name:
-        Identifier used by the synthesis model and reports.
-    """
-
-    def __init__(
-        self,
-        func: Callable[[np.ndarray], np.ndarray],
-        in_fmt: QFormat,
-        out_fmt: QFormat,
-        rounding: Rounding = Rounding.NEAREST,
-        name: str = "lut",
-    ) -> None:
-        self.in_fmt = in_fmt
-        self.out_fmt = out_fmt
-        self.name = name
-        codes = _all_raw_codes(in_fmt)
-        values = func(from_raw(codes, in_fmt))
-        self._table = to_raw(values, out_fmt, rounding=rounding)
-
-    @property
-    def num_entries(self) -> int:
-        """Number of ROM words."""
-        return self.in_fmt.num_codes
-
-    @property
-    def storage_bits(self) -> int:
-        """ROM size in bits (words x output width)."""
-        return self.num_entries * self.out_fmt.total_bits
-
-    def lookup(self, raw_in: np.ndarray | int) -> np.ndarray:
-        """Raw output codes for raw input codes (vectorized)."""
-        return self._table[_address(raw_in, self.in_fmt)]
-
-    def lookup_real(self, values: np.ndarray | float) -> np.ndarray:
-        """Convenience: quantize real inputs, look up, return real outputs."""
-        raw_in = to_raw(values, self.in_fmt)
-        return from_raw(self.lookup(raw_in), self.out_fmt)
-
-
-class LookupTable2D:
-    """A two-input ROM addressed by the concatenation ``{a_bus, b_bus}``.
-
-    Models the squashing LUT of Figure 11e: a 6-bit data input and a 5-bit
-    norm input form an 11-bit address into an 8-bit-wide ROM.
-    """
-
-    def __init__(
-        self,
-        func: Callable[[np.ndarray, np.ndarray], np.ndarray],
-        a_fmt: QFormat,
-        b_fmt: QFormat,
-        out_fmt: QFormat,
-        rounding: Rounding = Rounding.NEAREST,
-        name: str = "lut2d",
-    ) -> None:
-        self.a_fmt = a_fmt
-        self.b_fmt = b_fmt
-        self.out_fmt = out_fmt
-        self.name = name
-        a_codes = _all_raw_codes(a_fmt)
-        b_codes = _all_raw_codes(b_fmt)
-        a_grid, b_grid = np.meshgrid(a_codes, b_codes, indexing="ij")
-        values = func(from_raw(a_grid, a_fmt), from_raw(b_grid, b_fmt))
-        self._table = to_raw(values, out_fmt, rounding=rounding)
-
-    @property
-    def num_entries(self) -> int:
-        """Number of ROM words."""
-        return self.a_fmt.num_codes * self.b_fmt.num_codes
-
-    @property
-    def storage_bits(self) -> int:
-        """ROM size in bits (words x output width)."""
-        return self.num_entries * self.out_fmt.total_bits
-
-    def lookup(self, a_raw: np.ndarray | int, b_raw: np.ndarray | int) -> np.ndarray:
-        """Raw output codes for a pair of raw input buses (vectorized)."""
-        return self._table[_address(a_raw, self.a_fmt), _address(b_raw, self.b_fmt)]
-
-    def lookup_real(self, a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
-        """Convenience: quantize real inputs, look up, return real outputs."""
-        a_raw = to_raw(a, self.a_fmt)
-        b_raw = to_raw(b, self.b_fmt)
-        return from_raw(self.lookup(a_raw, b_raw), self.out_fmt)
+__all__ = ["LookupTable", "LookupTable2D"]

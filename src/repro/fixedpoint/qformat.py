@@ -1,108 +1,11 @@
-"""Q-format specification for fixed-point numbers.
+"""Backward-compatibility shim for :mod:`repro.fixedpoint.formats`.
 
-A :class:`QFormat` describes a fixed-point representation by its total bit
-width, the number of fractional bits and its signedness.  The *raw* integer
-``r`` represents the real value ``r * 2**-frac_bits``.
-
-The formats used by the CapsAcc datapath are defined in
-:mod:`repro.fixedpoint.formats`; this module is format-agnostic.
+:class:`QFormat` historically lived here, parallel to the concrete format
+constants in ``formats.py``.  The two modules were merged; import from
+:mod:`repro.fixedpoint.formats` (or the :mod:`repro.fixedpoint` package)
+instead.
 """
 
-from __future__ import annotations
+from repro.fixedpoint.formats import QFormat as QFormat
 
-from dataclasses import dataclass
-
-from repro.errors import QFormatError
-
-
-@dataclass(frozen=True)
-class QFormat:
-    """A fixed-point number format.
-
-    Parameters
-    ----------
-    total_bits:
-        Total width of the representation in bits, including the sign bit
-        for signed formats.  Must be at least 1 (at least 2 when signed).
-    frac_bits:
-        Number of fractional bits.  May exceed ``total_bits`` (a format with
-        only sub-unit resolution) and may be negative (a coarse format whose
-        step is larger than 1); both occur in intermediate datapath values.
-    signed:
-        Whether the format is two's-complement signed.
-    """
-
-    total_bits: int
-    frac_bits: int
-    signed: bool = True
-
-    def __post_init__(self) -> None:
-        if self.total_bits < 1:
-            raise QFormatError(f"total_bits must be >= 1, got {self.total_bits}")
-        if self.signed and self.total_bits < 2:
-            raise QFormatError("signed formats need at least 2 bits")
-
-    @property
-    def int_bits(self) -> int:
-        """Number of integer (non-fractional, non-sign) bits."""
-        sign = 1 if self.signed else 0
-        return self.total_bits - self.frac_bits - sign
-
-    @property
-    def raw_min(self) -> int:
-        """Smallest representable raw integer."""
-        if self.signed:
-            return -(1 << (self.total_bits - 1))
-        return 0
-
-    @property
-    def raw_max(self) -> int:
-        """Largest representable raw integer."""
-        if self.signed:
-            return (1 << (self.total_bits - 1)) - 1
-        return (1 << self.total_bits) - 1
-
-    @property
-    def resolution(self) -> float:
-        """Real-valued step between adjacent representable numbers."""
-        return 2.0 ** (-self.frac_bits)
-
-    @property
-    def min_value(self) -> float:
-        """Smallest representable real value."""
-        return self.raw_min * self.resolution
-
-    @property
-    def max_value(self) -> float:
-        """Largest representable real value."""
-        return self.raw_max * self.resolution
-
-    @property
-    def num_codes(self) -> int:
-        """Number of distinct representable values (LUT addressing size)."""
-        return 1 << self.total_bits
-
-    def contains_raw(self, raw: int) -> bool:
-        """Whether ``raw`` fits in this format without saturation."""
-        return self.raw_min <= raw <= self.raw_max
-
-    def wrap_raw(self, raw: int) -> int:
-        """Two's-complement wrap of ``raw`` into this format's range.
-
-        Used for LUT address decoding, where the hardware simply takes the
-        low ``total_bits`` bits of the bus.
-        """
-        mask = (1 << self.total_bits) - 1
-        value = raw & mask
-        if self.signed and value > self.raw_max:
-            value -= 1 << self.total_bits
-        return value
-
-    def describe(self) -> str:
-        """Human-readable ``Qm.n`` style description."""
-        kind = "s" if self.signed else "u"
-        return (
-            f"Q{kind}{self.int_bits}.{self.frac_bits}"
-            f" ({self.total_bits} bits, range [{self.min_value:g}, {self.max_value:g}],"
-            f" step {self.resolution:g})"
-        )
+__all__ = ["QFormat"]

@@ -13,7 +13,7 @@ import enum
 import numpy as np
 
 from repro.errors import SaturationError
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import QFormat
 
 
 class Rounding(enum.Enum):

@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.capsnet.hwops import QuantizedFormats, chunked_saturating_matmul
 from repro.errors import MappingError, ShapeError
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import QFormat
 from repro.hw.accumulator import AccumulatorBank
 from repro.hw.activation import ActivationUnit
 from repro.hw.buffers import Buffer, MemoryModel
@@ -129,24 +129,24 @@ class TilingPlan:
     n: int
     k_chunks: int
     n_tiles: int
+    #: Row counts of the M-passes a bounded accumulator FIFO forces: every
+    #: pass streams at most ``acc_fifo_depth`` rows and re-loads every
+    #: weight tile.  ``(m,)`` when the FIFO is sized to the job.
+    m_passes: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.m_passes:
+            self.m_passes = (self.m,)
 
     @property
     def tiles(self) -> int:
-        """Total weight tiles loaded."""
+        """Weight tiles loaded per M-pass."""
         return self.k_chunks * self.n_tiles
 
-
-def plan_tiling(config: AcceleratorConfig, m: int, k: int, n: int) -> TilingPlan:
-    """Tile a GEMM over the array: K across rows, N across columns."""
-    if min(m, k, n) < 1:
-        raise MappingError("GEMM dimensions must be positive")
-    return TilingPlan(
-        m=m,
-        k=k,
-        n=n,
-        k_chunks=math.ceil(k / config.rows),
-        n_tiles=math.ceil(n / config.cols),
-    )
+    @property
+    def total_tile_loads(self) -> int:
+        """Weight tiles loaded over all M-passes."""
+        return self.tiles * len(self.m_passes)
 
 
 def chunk_sizes(total: int, step: int) -> list[int]:
@@ -155,6 +155,26 @@ def chunk_sizes(total: int, step: int) -> list[int]:
     if total % step:
         sizes.append(total % step)
     return sizes
+
+
+def plan_tiling(config: AcceleratorConfig, m: int, k: int, n: int) -> TilingPlan:
+    """Tile a GEMM over the array: K across rows, N across columns.
+
+    A fixed ``config.acc_fifo_depth`` additionally tiles M: one column
+    FIFO can only hold that many pending partial sums, so longer streams
+    split into M-passes that each re-load the full weight tile sequence.
+    """
+    if min(m, k, n) < 1:
+        raise MappingError("GEMM dimensions must be positive")
+    depth = config.acc_fifo_depth
+    return TilingPlan(
+        m=m,
+        k=k,
+        n=n,
+        k_chunks=math.ceil(k / config.rows),
+        n_tiles=math.ceil(n / config.cols),
+        m_passes=tuple(chunk_sizes(m, depth)) if depth else (m,),
+    )
 
 
 def gemm_cycles(
@@ -167,7 +187,10 @@ def gemm_cycles(
     cycles per tile plus one exposed array fill/drain of ``R + C - 1``
     cycles.  With double-buffering (``overlap``) each load hides under the
     previous tile's stream, exposing only ``max(0, load - M)``; without it,
-    every load stalls the array.  Returns ``total``, ``compute``,
+    every load stalls the array.  A fixed ``config.acc_fifo_depth`` splits
+    the stream into M-passes of at most that many rows, each pass paying
+    its own tile loads and fill/drain (the cost a bounded column FIFO
+    imposes on large batches).  Returns ``total``, ``compute``,
     ``weight_stall`` and ``fill_drain`` entries.  ``overlap=None`` uses the
     configuration's double-buffering setting.
     """
@@ -176,16 +199,21 @@ def gemm_cycles(
     plan = plan_tiling(config, m, k, n)
     rows, cols = config.rows, config.cols
     loads = [size + 1 for size in chunk_sizes(k, rows)] * plan.n_tiles
-    compute = plan.tiles * m
-    if overlap:
-        # The first load is fully exposed; later loads hide under the
-        # previous tile's stream.  One array fill/drain is exposed at the
-        # end (intermediate drains pipeline through the accumulators).
-        stall = loads[0] + sum(max(0, load - m) for load in loads[1:])
-        fill_drain = rows + cols - 1
-    else:
-        stall = sum(loads)
-        fill_drain = plan.tiles * (rows + cols - 1)
+    compute = 0
+    stall = 0
+    fill_drain = 0
+    for pass_m in plan.m_passes:
+        compute += plan.tiles * pass_m
+        if overlap:
+            # The first load is fully exposed; later loads hide under the
+            # previous tile's stream.  One array fill/drain is exposed at
+            # the end of each pass (intermediate drains pipeline through
+            # the accumulators).
+            stall += loads[0] + sum(max(0, load - pass_m) for load in loads[1:])
+            fill_drain += rows + cols - 1
+        else:
+            stall += sum(loads)
+            fill_drain += plan.tiles * (rows + cols - 1)
     total = compute + stall + fill_drain
     return {
         "total": total,
@@ -281,10 +309,11 @@ class CapsAccAccelerator:
         is exactly a single GEMM with ``M' = B*M``: tile loads are paid
         once per batch.  Returns per-image results of shape ``(B, M, N)``.
 
-        Like the single-image path, the accumulator FIFO is sized to the
-        job (``B*M`` pending partial sums per column) — an idealized
-        assumption a fixed-depth hardware FIFO would cap, forcing M-tiling
-        and re-streaming beyond its depth.
+        With the default ``acc_fifo_depth=None`` the accumulator FIFO is
+        sized to the job (``B*M`` pending partial sums per column); a
+        fixed depth caps it, M-tiling the stacked stream into passes that
+        each re-load the weight tiles (accounted by :func:`gemm_cycles`
+        and executed pass by pass on the stepped engine).
         """
         data = np.asarray(job.data, dtype=np.int64)
         weights = np.asarray(job.weights, dtype=np.int64)
@@ -375,26 +404,36 @@ class CapsAccAccelerator:
         acc_fmt: QFormat,
         plan: TilingPlan,
     ) -> np.ndarray:
-        """Clock-edge-accurate execution on the systolic array."""
+        """Clock-edge-accurate execution on the systolic array.
+
+        A bounded accumulator FIFO runs the plan's M-passes back to back;
+        row results are independent, so the output is bit-identical to a
+        single job-sized pass.
+        """
         config = self.config
         rows, cols = config.rows, config.cols
         array = SystolicArray(config, data_fmt, weight_fmt, acc_fmt)
-        acc_bank = AccumulatorBank(cols, depth=max(plan.m, 1), acc_fmt=acc_fmt)
+        depth = config.acc_fifo_depth or max(plan.m, 1)
+        acc_bank = AccumulatorBank(cols, depth=depth, acc_fmt=acc_fmt)
         result = np.zeros((plan.m, plan.n), dtype=np.int64)
-        for n_tile in range(plan.n_tiles):
-            n_lo = n_tile * cols
-            n_hi = min(n_lo + cols, plan.n)
-            for chunk in range(plan.k_chunks):
-                k_lo = chunk * rows
-                k_hi = min(k_lo + rows, plan.k)
-                tile = np.zeros((rows, cols), dtype=np.int64)
-                tile[: k_hi - k_lo, : n_hi - n_lo] = weights[k_lo:k_hi, n_lo:n_hi]
-                array.load_weights(tile, active_rows=k_hi - k_lo)
-                stream = np.zeros((plan.m, rows), dtype=np.int64)
-                stream[:, : k_hi - k_lo] = data[:, k_lo:k_hi]
-                tile_out = array.run_tile(stream)
-                acc_bank.accumulate(tile_out.psums, first_chunk=(chunk == 0))
-            result[:, n_lo:n_hi] = acc_bank.drain()[:, : n_hi - n_lo]
+        m_lo = 0
+        for pass_m in plan.m_passes:
+            m_hi = m_lo + pass_m
+            for n_tile in range(plan.n_tiles):
+                n_lo = n_tile * cols
+                n_hi = min(n_lo + cols, plan.n)
+                for chunk in range(plan.k_chunks):
+                    k_lo = chunk * rows
+                    k_hi = min(k_lo + rows, plan.k)
+                    tile = np.zeros((rows, cols), dtype=np.int64)
+                    tile[: k_hi - k_lo, : n_hi - n_lo] = weights[k_lo:k_hi, n_lo:n_hi]
+                    array.load_weights(tile, active_rows=k_hi - k_lo)
+                    stream = np.zeros((pass_m, rows), dtype=np.int64)
+                    stream[:, : k_hi - k_lo] = data[m_lo:m_hi, k_lo:k_hi]
+                    tile_out = array.run_tile(stream)
+                    acc_bank.accumulate(tile_out.psums, first_chunk=(chunk == 0))
+                result[m_lo:m_hi, n_lo:n_hi] = acc_bank.drain()[:, : n_hi - n_lo]
+            m_lo = m_hi
         return result
 
     def _account(
@@ -419,8 +458,9 @@ class CapsAccAccelerator:
             fill_drain_cycles=cycles["fill_drain"] * count,
             mac_count=plan.m * plan.k * plan.n * count,
         )
-        # Weight traffic: every tile pass loads its (actual) weight words.
-        weight_words = plan.k * plan.n * count
+        # Weight traffic: every tile pass loads its (actual) weight words,
+        # once per M-pass when a bounded FIFO forces re-streaming.
+        weight_words = plan.k * plan.n * len(plan.m_passes) * count
         # Data traffic: the full (M, K) operand streams once per N-tile.
         data_words = plan.m * plan.k * plan.n_tiles * count
         if weight_source != "feedback":

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeError, SimulationError
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import QFormat
 
 
 class AccumulatorBank:

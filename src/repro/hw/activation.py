@@ -38,7 +38,7 @@ from repro.capsnet.hwops import (
 )
 from repro.errors import SimulationError
 from repro.fixedpoint.arith import requantize
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import QFormat
 
 
 class ActivationMode(enum.Enum):

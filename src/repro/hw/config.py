@@ -36,6 +36,12 @@ class AcceleratorConfig:
     #: (the multiplexers of Fig 10).  When false, reused operands must
     #: round-trip through the data buffer (costing buffer bandwidth).
     feedback_path: bool = True
+    #: Depth of each per-column accumulator FIFO (paper Fig 11c): how many
+    #: pending partial sums one column can hold during a K-chunk sequence.
+    #: ``None`` sizes the FIFO to the job (the idealized accounting used
+    #: for paper calibration); a fixed depth forces streams longer than
+    #: the FIFO to M-tile, re-loading every weight tile once per M-pass.
+    acc_fifo_depth: int | None = None
     data_buffer_kb: float = 256.0
     routing_buffer_kb: float = 64.0
     weight_buffer_kb: float = 24.0
@@ -56,6 +62,8 @@ class AcceleratorConfig:
             )
         if self.data_bus_words < 1 or self.weight_bus_words < 1:
             raise ConfigError("bus widths must be positive")
+        if self.acc_fifo_depth is not None and self.acc_fifo_depth < 1:
+            raise ConfigError("accumulator FIFO depth must be positive")
 
     @property
     def num_pes(self) -> int:
@@ -87,6 +95,10 @@ class AcceleratorConfig:
     def without_weight_reuse(self) -> "AcceleratorConfig":
         """A copy with the Weight2 double-buffer removed (ablation)."""
         return replace(self, weight_double_buffer=False)
+
+    def with_fifo_depth(self, depth: int | None) -> "AcceleratorConfig":
+        """A copy with a fixed (or re-idealized) accumulator FIFO depth."""
+        return replace(self, acc_fifo_depth=depth)
 
 
 def paper_config() -> AcceleratorConfig:

@@ -201,6 +201,8 @@ class BatchScheduler:
         if images.ndim != 4 or images.shape[1:] != expected:
             raise ShapeError(f"batch shape {images.shape} != (B,) + {expected}")
         batch = images.shape[0]
+        if batch < 1:
+            raise ShapeError("batch must contain at least one image")
         layers: dict[str, LayerReport] = {}
 
         # ---- Conv1: batch-stacked im2col GEMM --------------------------------

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ShapeError, SimulationError
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import QFormat
 from repro.hw.config import AcceleratorConfig
 
 

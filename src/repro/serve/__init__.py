@@ -1,0 +1,75 @@
+"""Async inference-serving simulator for CapsAcc.
+
+The serving subsystem models the system *around* the accelerator: requests
+arrive on a configurable trace (:mod:`repro.serve.trace`), a dynamic
+batcher coalesces them under a max-batch / max-wait policy
+(:mod:`repro.serve.batcher`), and a dispatcher shards formed batches
+across N simulated arrays (:mod:`repro.serve.dispatcher`), each advancing
+on the cycle-exact costs of the batched execution engine
+(:mod:`repro.serve.costs`).  The discrete-event loop and the latency
+decomposition (queueing / batching / compute) live in
+:mod:`repro.serve.simulator`; reports in :mod:`repro.serve.stats`.
+
+Quick start::
+
+    import numpy as np
+    from repro.serve import (
+        BatchPolicy, ScheduledBatchCost, ServingSimulator, poisson_trace,
+    )
+
+    rng = np.random.default_rng(7)
+    trace = poisson_trace(rate_rps=400.0, count=64, rng=rng)
+    cost = ScheduledBatchCost()                   # paper MNIST network
+    sim = ServingSimulator(trace, BatchPolicy(max_batch=8), cost, arrays=2)
+    report = sim.run(with_crosscheck=True)
+    print(report.format_table())
+"""
+
+from repro.serve.batcher import BatchPolicy, DynamicBatcher, QueuedRequest
+from repro.serve.costs import (
+    ACCOUNTINGS,
+    AnalyticBatchCost,
+    ScheduledBatchCost,
+    crosscheck,
+)
+from repro.serve.dispatcher import ArrayPool, ArrayStats
+from repro.serve.simulator import ServingSimulator
+from repro.serve.stats import (
+    BatchRecord,
+    RequestRecord,
+    ServingReport,
+    percentile_summary,
+)
+from repro.serve.trace import (
+    TRACE_KINDS,
+    ArrivalTrace,
+    bursty_trace,
+    make_trace,
+    poisson_trace,
+    replay_trace,
+    uniform_trace,
+)
+
+__all__ = [
+    "ACCOUNTINGS",
+    "TRACE_KINDS",
+    "AnalyticBatchCost",
+    "ArrayPool",
+    "ArrayStats",
+    "ArrivalTrace",
+    "BatchPolicy",
+    "BatchRecord",
+    "DynamicBatcher",
+    "QueuedRequest",
+    "RequestRecord",
+    "ScheduledBatchCost",
+    "ServingReport",
+    "ServingSimulator",
+    "bursty_trace",
+    "crosscheck",
+    "make_trace",
+    "percentile_summary",
+    "poisson_trace",
+    "replay_trace",
+    "uniform_trace",
+]

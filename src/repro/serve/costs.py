@@ -1,0 +1,180 @@
+"""Per-batch compute-cost models for the serving simulator.
+
+:class:`ScheduledBatchCost` is the ground truth: it runs
+:class:`repro.hw.scheduler.BatchScheduler` on a real batch, so the cycles
+the serving simulator charges are **bit-identical** to the batched engine
+run standalone.  Cycle accounting depends only on the batch size (tiling
+is shape-driven; data never changes the schedule), so per-size costs are
+memoized with a zero-image probe batch and real request images only need
+executing when the caller wants predictions.
+
+:class:`AnalyticBatchCost` is the closed-form :mod:`repro.perf` model of
+the same schedule; :func:`crosscheck` asserts the two agree to a small
+relative tolerance, keeping the fast analytic path honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
+from repro.capsnet.quantized import QuantizedCapsuleNet
+from repro.errors import ConfigError
+from repro.hw.accelerator import CapsAccAccelerator
+from repro.hw.config import AcceleratorConfig
+from repro.hw.scheduler import BatchResult, BatchScheduler
+from repro.perf.model import CapsAccPerformanceModel
+
+#: Supported cycle accountings: double-buffered Weight2 overlap (what the
+#: paper's architecture achieves and :mod:`repro.perf` models) or the
+#: fully sequential schedule (weight loads stall compute).
+ACCOUNTINGS = ("overlapped", "sequential")
+
+
+def _batch_cycles(result: BatchResult, accounting: str) -> int:
+    if accounting == "overlapped":
+        return result.overlapped_cycles
+    if accounting == "sequential":
+        return result.total_cycles
+    raise ConfigError(f"unknown accounting {accounting!r} (choose from {ACCOUNTINGS})")
+
+
+class ScheduledBatchCost:
+    """Exact batch costs from the batched execution engine.
+
+    Parameters
+    ----------
+    qnet:
+        Quantized network to schedule; built from ``network`` when omitted.
+    network:
+        Network configuration (defaults to the paper's MNIST CapsuleNet).
+    accel_config:
+        Accelerator configuration (array size, clock, FIFO depth, ...).
+    accounting:
+        ``"overlapped"`` (default) or ``"sequential"`` cycle accounting.
+    engine:
+        Execution engine for the scheduler (``fast``/``stepped``).
+    """
+
+    def __init__(
+        self,
+        qnet: QuantizedCapsuleNet | None = None,
+        network: CapsNetConfig | None = None,
+        accel_config: AcceleratorConfig | None = None,
+        accounting: str = "overlapped",
+        engine: str = "fast",
+    ) -> None:
+        if accounting not in ACCOUNTINGS:
+            raise ConfigError(
+                f"unknown accounting {accounting!r} (choose from {ACCOUNTINGS})"
+            )
+        if qnet is None:
+            qnet = QuantizedCapsuleNet(network if network is not None else mnist_capsnet_config())
+        self.qnet = qnet
+        accelerator = (
+            CapsAccAccelerator(accel_config, formats=qnet.formats)
+            if accel_config is not None
+            else None
+        )
+        self.scheduler = BatchScheduler(qnet, accelerator=accelerator, engine=engine)
+        self.accounting = accounting
+        self._memo: dict[int, int] = {}
+
+    @property
+    def config(self) -> AcceleratorConfig:
+        """The accelerator configuration costs are computed for."""
+        return self.scheduler.accelerator.config
+
+    def batch_cycles(self, batch_size: int) -> int:
+        """Cycles one ``batch_size`` batch occupies an array (memoized).
+
+        Probes the scheduler with a zero-image batch; tiling — and
+        therefore the accounting — is shape-driven, so the memoized value
+        is bit-identical to any real batch of the same size.
+        """
+        if batch_size < 1:
+            raise ConfigError("batch size must be positive")
+        if batch_size not in self._memo:
+            size = self.qnet.config.image_size
+            probe = np.zeros((batch_size, size, size), dtype=np.float64)
+            self._memo[batch_size] = _batch_cycles(
+                self.scheduler.run_batch(probe), self.accounting
+            )
+        return self._memo[batch_size]
+
+    def execute(self, images: np.ndarray) -> tuple[int, BatchResult]:
+        """Run a real batch; returns its cycles and the full result."""
+        result = self.scheduler.run_batch(images)
+        cycles = _batch_cycles(result, self.accounting)
+        self._memo.setdefault(result.batch, cycles)
+        return cycles, result
+
+
+class AnalyticBatchCost:
+    """Closed-form batch costs from the :mod:`repro.perf` model.
+
+    Orders of magnitude faster than executing the scheduler — useful for
+    long traces — and validated against :class:`ScheduledBatchCost` by
+    :func:`crosscheck` (the analytic model uses the same shared cycle
+    formulas, so agreement is tight but not bit-exact: the scheduler's
+    per-capsule FC jobs and activation interleaving differ slightly).
+    """
+
+    def __init__(
+        self,
+        network: CapsNetConfig | None = None,
+        accel_config: AcceleratorConfig | None = None,
+        optimized_routing: bool = True,
+    ) -> None:
+        self.network = network if network is not None else mnist_capsnet_config()
+        self._config = accel_config if accel_config is not None else AcceleratorConfig()
+        self.model = CapsAccPerformanceModel(
+            accelerator=self._config,
+            network=self.network,
+            optimized_routing=optimized_routing,
+        )
+        self._memo: dict[int, int] = {}
+
+    @property
+    def config(self) -> AcceleratorConfig:
+        """The accelerator configuration costs are computed for."""
+        return self._config
+
+    def batch_cycles(self, batch_size: int) -> int:
+        """Closed-form cycles for one batch (memoized)."""
+        if batch_size < 1:
+            raise ConfigError("batch size must be positive")
+        if batch_size not in self._memo:
+            self._memo[batch_size] = self.model.run(batch=batch_size).total_cycles
+        return self._memo[batch_size]
+
+
+def crosscheck(
+    scheduled: ScheduledBatchCost,
+    analytic: AnalyticBatchCost,
+    batch_sizes: tuple[int, ...] = (1, 4, 8),
+    rel_tol: float = 0.02,
+) -> dict[int, dict[str, float]]:
+    """Compare exact scheduler cycles against the closed-form model.
+
+    Returns per-batch-size ``{"scheduled", "analytic", "rel_error"}`` and
+    raises :class:`~repro.errors.ConfigError` if any relative error
+    exceeds ``rel_tol`` — the guard that keeps the fast analytic path
+    consistent with the bit-exact engine.
+    """
+    report: dict[int, dict[str, float]] = {}
+    for batch in batch_sizes:
+        exact = scheduled.batch_cycles(batch)
+        model = analytic.batch_cycles(batch)
+        rel = abs(model - exact) / exact
+        report[batch] = {
+            "scheduled": float(exact),
+            "analytic": float(model),
+            "rel_error": float(rel),
+        }
+        if rel > rel_tol:
+            raise ConfigError(
+                f"analytic model diverges from scheduler at batch {batch}:"
+                f" {model} vs {exact} cycles ({rel:.1%} > {rel_tol:.1%})"
+            )
+    return report

@@ -1,0 +1,71 @@
+"""Multi-array dispatcher: shards formed batches across accelerator arrays.
+
+The serving simulator models ``N`` identical CapsAcc arrays (the
+multi-array scaling axis of the ROADMAP).  The pool hands an idle array to
+each formed batch — lowest array id first, which makes runs deterministic
+— and keeps per-array busy-time / batch / request counters for the
+utilization report.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class ArrayStats:
+    """Utilization counters for one simulated array."""
+
+    array: int
+    busy_us: float = 0.0
+    batches: int = 0
+    requests: int = 0
+
+    def utilization(self, makespan_us: float) -> float:
+        """Fraction of the simulated span this array spent computing."""
+        if makespan_us <= 0:
+            return 0.0
+        return self.busy_us / makespan_us
+
+
+@dataclass
+class ArrayPool:
+    """Idle/busy bookkeeping for ``count`` identical accelerator arrays."""
+
+    count: int
+    stats: list[ArrayStats] = field(init=False)
+    _idle: list[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigError("array count must be positive")
+        self.stats = [ArrayStats(array=i) for i in range(self.count)]
+        self._idle = list(range(self.count))
+        heapq.heapify(self._idle)
+
+    @property
+    def idle_count(self) -> int:
+        """Number of currently idle arrays."""
+        return len(self._idle)
+
+    def has_idle(self) -> bool:
+        """Whether any array can accept a batch."""
+        return bool(self._idle)
+
+    def acquire(self, batch_size: int, duration_us: float) -> int:
+        """Claim the lowest-id idle array for a batch; returns the array id."""
+        if not self._idle:
+            raise ConfigError("acquire() with no idle array")
+        array = heapq.heappop(self._idle)
+        stat = self.stats[array]
+        stat.busy_us += duration_us
+        stat.batches += 1
+        stat.requests += batch_size
+        return array
+
+    def release(self, array: int) -> None:
+        """Return an array to the idle pool when its batch completes."""
+        heapq.heappush(self._idle, array)

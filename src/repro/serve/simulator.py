@@ -1,0 +1,231 @@
+"""Discrete-event serving simulator: trace -> batcher -> arrays -> report.
+
+:class:`ServingSimulator` advances a virtual clock (microseconds) over
+three event kinds — request arrival, batch-completion, coalescing-timeout
+— and drives the dynamic batcher and the multi-array dispatcher:
+
+1. arriving requests queue in the :class:`~repro.serve.batcher.DynamicBatcher`;
+2. whenever an array is idle and the batcher is *ready* (full batch, or
+   the oldest request's ``max_wait_us`` expired), a batch dispatches to
+   the lowest-id idle array;
+3. the batch occupies the array for exactly the cycles the cost model
+   charges — bit-identical to ``BatchScheduler`` when the scheduled cost
+   model is used — and its completion frees the array for the next batch.
+
+Waiting time is attributed to *batching* (an array was idle; the policy
+chose to coalesce) vs *queueing* (all arrays busy) by integrating the
+any-array-idle indicator, so the decomposition sums exactly to the wait.
+
+In ``execute`` mode each dispatched batch also runs through the batched
+engine on the request's actual images, producing bit-exact predictions
+and making the host wall-clock throughput a real "simulated serving"
+measurement (the per-job dispatch cost batching amortizes is genuine
+simulation work, exactly as in ``benchmarks/bench_batched.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.serve.batcher import BatchPolicy, DynamicBatcher, QueuedRequest
+from repro.serve.costs import AnalyticBatchCost, ScheduledBatchCost, crosscheck
+from repro.serve.dispatcher import ArrayPool
+from repro.serve.stats import BatchRecord, RequestRecord, ServingReport
+from repro.serve.trace import ArrivalTrace
+
+# Event kinds, in tie-break order: completions free arrays before arrivals
+# at the same instant see the pool; timeouts run last.
+_DONE, _ARRIVE, _TIMEOUT = 0, 1, 2
+
+
+class ServingSimulator:
+    """Simulates serving one request trace on ``arrays`` CapsAcc arrays.
+
+    Parameters
+    ----------
+    trace:
+        Arrival times of every request.
+    policy:
+        Dynamic batching policy (``max_batch=1`` for the serving baseline).
+    cost:
+        Per-batch cost model (:class:`~repro.serve.costs.ScheduledBatchCost`
+        or :class:`~repro.serve.costs.AnalyticBatchCost`).
+    arrays:
+        Number of identical accelerator arrays to shard batches across.
+    images:
+        Optional ``(count, H, W)`` request images, aligned with the trace.
+        Required by ``execute`` mode.
+    execute:
+        Run every dispatched batch through the batched engine on its real
+        images (bit-exact predictions; slower).  Without it, batch costs
+        come from the memoized cost model and no outputs are produced.
+    network_name:
+        Label for reports.
+    """
+
+    def __init__(
+        self,
+        trace: ArrivalTrace,
+        policy: BatchPolicy,
+        cost: ScheduledBatchCost | AnalyticBatchCost,
+        arrays: int = 1,
+        images: np.ndarray | None = None,
+        execute: bool = False,
+        network_name: str = "capsnet",
+    ) -> None:
+        self.trace = trace
+        self.policy = policy
+        self.cost = cost
+        self.arrays = arrays
+        self.images = None if images is None else np.asarray(images)
+        self.execute = execute
+        self.network_name = network_name
+        if execute and not isinstance(cost, ScheduledBatchCost):
+            raise ConfigError("execute mode needs the scheduled (exact) cost model")
+        if execute and self.images is None:
+            raise ConfigError("execute mode needs per-request images")
+        if self.images is not None and len(self.images) != trace.count:
+            raise ShapeError(
+                f"{len(self.images)} images for {trace.count} requests"
+            )
+
+    def run(self, with_crosscheck: bool = False) -> ServingReport:
+        """Run the trace to completion and return the full report."""
+        wall_start = time.perf_counter()
+        config = self.cost.config
+        batcher = DynamicBatcher(self.policy)
+        pool = ArrayPool(self.arrays)
+        requests = [
+            RequestRecord(index=i, arrival_us=float(t))
+            for i, t in enumerate(self.trace.times_us)
+        ]
+        batches: list[BatchRecord] = []
+        running: dict[int, BatchRecord] = {}  # array id -> in-flight batch
+        predictions = (
+            np.full(self.trace.count, -1, dtype=np.int64) if self.execute else None
+        )
+
+        events: list[tuple[float, int, int, int]] = []
+        seq = 0
+        for i, record in enumerate(requests):
+            events.append((record.arrival_us, _ARRIVE, seq, i))
+            seq += 1
+        heapq.heapify(events)
+        scheduled_timeouts: set[float] = set()
+
+        # Integral of the any-array-idle indicator, for the batching vs
+        # queueing attribution; sampled per request at arrival.
+        idle_accum = 0.0
+        last_time = 0.0
+        idle_at_arrival = np.zeros(self.trace.count, dtype=np.float64)
+        makespan = 0.0
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            if pool.has_idle():
+                idle_accum += now - last_time
+            last_time = now
+
+            if kind == _ARRIVE:
+                idle_at_arrival[payload] = idle_accum
+                batcher.add(QueuedRequest(index=payload, arrival_us=now))
+            elif kind == _DONE:
+                batch = running.pop(payload)
+                batch.done_us = now
+                for index in batch.request_indices:
+                    requests[index].done_us = now
+                pool.release(payload)
+                makespan = max(makespan, now)
+            # _TIMEOUT carries no state: readiness is re-evaluated below.
+
+            while pool.has_idle() and batcher.ready(now):
+                members = batcher.take()
+                size = len(members)
+                if self.execute:
+                    indices = [member.index for member in members]
+                    cycles, result = self.cost.execute(self.images[indices])
+                    predictions[indices] = result.predictions
+                else:
+                    cycles = self.cost.batch_cycles(size)
+                duration = config.cycles_to_us(cycles)
+                array = pool.acquire(size, duration)
+                batch = BatchRecord(
+                    index=len(batches),
+                    size=size,
+                    array=array,
+                    dispatch_us=now,
+                    done_us=now + duration,
+                    cycles=cycles,
+                    request_indices=[member.index for member in members],
+                )
+                batches.append(batch)
+                running[array] = batch
+                for member in members:
+                    record = requests[member.index]
+                    record.dispatch_us = now
+                    record.batch_index = batch.index
+                    # Clamp float-epsilon residue of the idle-time integral
+                    # so components stay non-negative and sum to the wait.
+                    wait = now - record.arrival_us
+                    batching = idle_accum - idle_at_arrival[member.index]
+                    record.batching_us = min(max(batching, 0.0), wait)
+                    record.queueing_us = wait - record.batching_us
+                events_entry = (now + duration, _DONE, seq, array)
+                seq += 1
+                heapq.heappush(events, events_entry)
+
+            if pool.has_idle() and len(batcher) and not batcher.ready(now):
+                deadline = batcher.oldest_deadline_us
+                if deadline not in scheduled_timeouts:
+                    scheduled_timeouts.add(deadline)
+                    heapq.heappush(events, (deadline, _TIMEOUT, seq, 0))
+                    seq += 1
+
+        wall_seconds = time.perf_counter() - wall_start
+        check = None
+        if (
+            with_crosscheck
+            and isinstance(self.cost, ScheduledBatchCost)
+            and self.cost.accounting == "overlapped"  # the schedule perf models
+        ):
+            analytic = AnalyticBatchCost(
+                network=self.cost.qnet.config, accel_config=config
+            )
+            sizes = tuple(sorted({batch.size for batch in batches}))
+            check = {
+                str(size): values
+                for size, values in crosscheck(self.cost, analytic, sizes).items()
+            }
+        return ServingReport(
+            network=self.network_name,
+            trace_name=self.trace.name,
+            offered_rps=self.trace.offered_rps,
+            policy={
+                "max_batch": self.policy.max_batch,
+                "max_wait_us": self.policy.max_wait_us,
+                "describe": self.policy.describe(),
+            },
+            arrays=self.arrays,
+            clock_mhz=config.clock_mhz,
+            accounting=getattr(self.cost, "accounting", "overlapped"),
+            requests=requests,
+            batches=batches,
+            array_stats=[
+                {
+                    "array": stat.array,
+                    "busy_us": stat.busy_us,
+                    "batches": stat.batches,
+                    "requests": stat.requests,
+                    "utilization": stat.utilization(makespan),
+                }
+                for stat in pool.stats
+            ],
+            makespan_us=makespan,
+            wall_seconds=wall_seconds,
+            predictions=predictions,
+            crosscheck=check,
+        )

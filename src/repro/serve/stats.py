@@ -1,0 +1,186 @@
+"""Serving statistics: latency decomposition, percentiles, report JSON.
+
+Every simulated request's end-to-end latency splits into three causes:
+
+* **batching** — time spent waiting while an array sat idle (the policy
+  deliberately coalescing; bounded by the batcher's ``max_wait_us``);
+* **queueing** — time spent waiting while every array was busy (capacity
+  pressure; unbounded under overload);
+* **compute** — time the request's batch occupied an array.
+
+The simulator attributes waiting to batching vs queueing by integrating
+the "any array idle" indicator over each request's waiting interval, so
+the two components always sum exactly to the total wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Percentiles reported for every latency component.
+PERCENTILES = (50, 95, 99)
+
+
+def percentile_summary(values_us: np.ndarray) -> dict[str, float]:
+    """Mean and p50/p95/p99 of a latency sample, in microseconds."""
+    values = np.asarray(values_us, dtype=np.float64)
+    if values.size == 0:
+        return {"mean_us": 0.0, **{f"p{p}_us": 0.0 for p in PERCENTILES}}
+    summary = {"mean_us": float(values.mean())}
+    for p in PERCENTILES:
+        summary[f"p{p}_us"] = float(np.percentile(values, p))
+    return summary
+
+
+@dataclass
+class RequestRecord:
+    """Timestamps and latency decomposition of one served request."""
+
+    index: int
+    arrival_us: float
+    dispatch_us: float = 0.0
+    done_us: float = 0.0
+    batch_index: int = -1
+    #: Wait attributable to deliberate coalescing (an array was idle).
+    batching_us: float = 0.0
+    #: Wait attributable to capacity (every array was busy).
+    queueing_us: float = 0.0
+
+    @property
+    def compute_us(self) -> float:
+        """Time the request's batch occupied an array."""
+        return self.done_us - self.dispatch_us
+
+    @property
+    def latency_us(self) -> float:
+        """End-to-end latency from arrival to completion."""
+        return self.done_us - self.arrival_us
+
+
+@dataclass
+class BatchRecord:
+    """One dispatched batch: membership, placement, and exact cycles."""
+
+    index: int
+    size: int
+    array: int
+    dispatch_us: float
+    done_us: float
+    cycles: int
+    request_indices: list[int] = field(default_factory=list)
+
+
+@dataclass
+class ServingReport:
+    """Everything a serving simulation produced, JSON-serializable."""
+
+    network: str
+    trace_name: str
+    offered_rps: float
+    policy: dict
+    arrays: int
+    clock_mhz: float
+    accounting: str
+    requests: list[RequestRecord]
+    batches: list[BatchRecord]
+    array_stats: list[dict]
+    makespan_us: float
+    wall_seconds: float
+    predictions: np.ndarray | None = None
+    crosscheck: dict | None = None
+
+    @property
+    def completed(self) -> int:
+        """Number of requests served."""
+        return len(self.requests)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Achieved throughput in simulated requests per second."""
+        if self.makespan_us <= 0:
+            return 0.0
+        return self.completed / self.makespan_us * 1e6
+
+    @property
+    def wall_rps(self) -> float:
+        """Host-side simulation throughput (requests per wall second)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average formed batch size."""
+        if not self.batches:
+            return 0.0
+        return self.completed / len(self.batches)
+
+    def batch_size_histogram(self) -> dict[int, int]:
+        """How many batches formed at each size."""
+        histogram: dict[int, int] = {}
+        for batch in self.batches:
+            histogram[batch.size] = histogram.get(batch.size, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def latency_summary(self) -> dict[str, dict[str, float]]:
+        """Mean/p50/p95/p99 per component and for the total latency."""
+        components = {
+            "total": np.array([r.latency_us for r in self.requests]),
+            "queueing": np.array([r.queueing_us for r in self.requests]),
+            "batching": np.array([r.batching_us for r in self.requests]),
+            "compute": np.array([r.compute_us for r in self.requests]),
+        }
+        return {name: percentile_summary(values) for name, values in components.items()}
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (per-request records elided)."""
+        return {
+            "network": self.network,
+            "trace": self.trace_name,
+            "offered_rps": self.offered_rps,
+            "policy": self.policy,
+            "arrays": self.arrays,
+            "clock_mhz": self.clock_mhz,
+            "accounting": self.accounting,
+            "requests": self.completed,
+            "batches": len(self.batches),
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_histogram": {
+                str(size): count for size, count in self.batch_size_histogram().items()
+            },
+            "makespan_us": self.makespan_us,
+            "throughput_rps": self.throughput_rps,
+            "wall_seconds": self.wall_seconds,
+            "wall_rps": self.wall_rps,
+            "array_utilization": [stat["utilization"] for stat in self.array_stats],
+            "latency_us": self.latency_summary(),
+            "crosscheck": self.crosscheck,
+        }
+
+    def format_table(self) -> str:
+        """Human-readable report for the CLI."""
+        lines = [
+            f"Serving simulation — {self.network} network, {self.trace_name} trace,"
+            f" {self.policy['describe']}, {self.arrays} array(s)",
+            f"  offered {self.offered_rps:,.1f} req/s ->"
+            f" served {self.completed} requests in {self.makespan_us / 1e3:,.2f} ms"
+            f" = {self.throughput_rps:,.1f} req/s"
+            f" ({self.accounting} accounting at {self.clock_mhz:.0f} MHz)",
+            f"  batches: {len(self.batches)} (mean size {self.mean_batch_size:.2f},"
+            f" histogram {self.batch_size_histogram()})",
+            "  array utilization: "
+            + ", ".join(
+                f"#{stat['array']} {stat['utilization']:.1%}" for stat in self.array_stats
+            ),
+            f"  simulator wall clock: {self.wall_seconds:.3f} s"
+            f" = {self.wall_rps:,.1f} req/s host",
+            f"  {'latency':10s} {'mean':>10s} {'p50':>10s} {'p95':>10s} {'p99':>10s}",
+        ]
+        for name, summary in self.latency_summary().items():
+            lines.append(
+                f"  {name:10s} {summary['mean_us']:9.0f}us {summary['p50_us']:9.0f}us"
+                f" {summary['p95_us']:9.0f}us {summary['p99_us']:9.0f}us"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Request arrival traces for the serving simulator.
+
+A trace is a sorted array of arrival times in simulated microseconds.
+Generators cover the regimes a CapsuleNet inference service sees:
+
+* :func:`poisson_trace` — memoryless arrivals (independent users);
+* :func:`bursty_trace` — Poisson bursts of near-simultaneous requests
+  (shared upstream batching, page loads fanning out);
+* :func:`uniform_trace` — deterministic evenly-spaced arrivals (a load
+  generator in closed-loop pacing);
+* :func:`replay_trace` — explicit timestamps (replaying a recorded log).
+
+All randomness flows through the caller's single
+:class:`numpy.random.Generator`, so one seed reproduces a whole serving
+simulation (trace *and* request images) run to run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """A named, sorted sequence of request arrival times (microseconds)."""
+
+    name: str
+    times_us: np.ndarray
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times_us, dtype=np.float64)
+        if times.ndim != 1 or times.size < 1:
+            raise ConfigError("a trace needs at least one arrival time")
+        if not np.all(np.isfinite(times)):
+            raise ConfigError("arrival times must be finite")
+        if times[0] < 0 or np.any(np.diff(times) < 0):
+            raise ConfigError("arrival times must be non-negative and sorted")
+        object.__setattr__(self, "times_us", times)
+
+    @property
+    def count(self) -> int:
+        """Number of requests in the trace."""
+        return int(self.times_us.size)
+
+    @property
+    def duration_us(self) -> float:
+        """Time of the last arrival."""
+        return float(self.times_us[-1])
+
+    @property
+    def offered_rps(self) -> float:
+        """Mean offered load in requests per second over ``[0, last]``."""
+        if self.duration_us <= 0.0:
+            return float("inf")
+        return self.count / self.duration_us * 1e6
+
+
+def _check_rate_count(rate_rps: float, count: int) -> None:
+    # The inverted comparison also rejects NaN rates.
+    if not (math.isfinite(rate_rps) and rate_rps > 0):
+        raise ConfigError("arrival rate must be finite and positive")
+    if count < 1:
+        raise ConfigError("trace needs at least one request")
+
+
+def poisson_trace(rate_rps: float, count: int, rng: np.random.Generator) -> ArrivalTrace:
+    """Poisson arrivals: i.i.d. exponential inter-arrival gaps."""
+    _check_rate_count(rate_rps, count)
+    gaps = rng.exponential(scale=1e6 / rate_rps, size=count)
+    return ArrivalTrace("poisson", np.cumsum(gaps))
+
+
+def uniform_trace(rate_rps: float, count: int) -> ArrivalTrace:
+    """Deterministic evenly-spaced arrivals at the given rate."""
+    _check_rate_count(rate_rps, count)
+    gap = 1e6 / rate_rps
+    return ArrivalTrace("uniform", gap * np.arange(1, count + 1, dtype=np.float64))
+
+
+def bursty_trace(
+    rate_rps: float,
+    count: int,
+    rng: np.random.Generator,
+    burst_size: int = 8,
+    spread_us: float = 50.0,
+) -> ArrivalTrace:
+    """Poisson bursts of ``burst_size`` near-simultaneous requests.
+
+    Burst epochs arrive as a Poisson process at ``rate_rps / burst_size``
+    (so the mean request rate matches ``rate_rps``); requests inside a
+    burst are jittered uniformly over ``spread_us`` microseconds.
+    """
+    _check_rate_count(rate_rps, count)
+    if burst_size < 1:
+        raise ConfigError("burst size must be positive")
+    if spread_us < 0:
+        raise ConfigError("burst spread must be non-negative")
+    bursts = -(-count // burst_size)  # ceil
+    epochs = np.cumsum(rng.exponential(scale=1e6 * burst_size / rate_rps, size=bursts))
+    offsets = rng.uniform(0.0, spread_us, size=bursts * burst_size)
+    times = np.sort((np.repeat(epochs, burst_size) + offsets)[:count])
+    return ArrivalTrace("bursty", times)
+
+
+def replay_trace(times_us: np.ndarray) -> ArrivalTrace:
+    """Replay explicit arrival timestamps (sorted on ingest)."""
+    times = np.sort(np.asarray(times_us, dtype=np.float64))
+    return ArrivalTrace("replay", times)
+
+
+#: Trace kinds constructible from (rate, count, rng) — the CLI surface.
+TRACE_KINDS = ("poisson", "bursty", "uniform")
+
+
+def make_trace(
+    kind: str,
+    rate_rps: float,
+    count: int,
+    rng: np.random.Generator,
+    **kwargs,
+) -> ArrivalTrace:
+    """Build a named trace kind from the CLI parameters."""
+    if kind == "poisson":
+        return poisson_trace(rate_rps, count, rng)
+    if kind == "bursty":
+        return bursty_trace(rate_rps, count, rng, **kwargs)
+    if kind == "uniform":
+        return uniform_trace(rate_rps, count)
+    raise ConfigError(f"unknown trace kind {kind!r} (choose from {TRACE_KINDS})")

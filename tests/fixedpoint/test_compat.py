@@ -1,0 +1,27 @@
+"""The deduplicated fixedpoint modules stay importable under old names.
+
+``qformat``/``formats`` and ``lut``/``luts`` used to be parallel modules;
+each pair now has one canonical module and one re-export shim.  These
+tests pin the shims to the canonical objects so old import paths keep
+returning the *same* classes (isinstance checks across the two paths must
+never split).
+"""
+
+from repro.fixedpoint import formats, lut, luts, qformat
+
+
+def test_qformat_shim_is_canonical():
+    assert qformat.QFormat is formats.QFormat
+
+
+def test_lut_shim_is_canonical():
+    assert lut.LookupTable is luts.LookupTable
+    assert lut.LookupTable2D is luts.LookupTable2D
+
+
+def test_package_exports_canonical():
+    import repro.fixedpoint as fx
+
+    assert fx.QFormat is formats.QFormat
+    assert fx.LookupTable is luts.LookupTable
+    assert fx.DATA8 is formats.DATA8

@@ -208,6 +208,74 @@ class TestBatchedGemm:
             batched_gemm_cycles(small_accel_config, 0, 2, 2, 2)
 
 
+class TestFifoDepth:
+    """A bounded accumulator FIFO forces M-tiling on long streams."""
+
+    def test_plan_splits_m_passes(self, small_accel_config):
+        from dataclasses import replace
+
+        bounded = replace(small_accel_config, acc_fifo_depth=5)
+        plan = plan_tiling(bounded, 12, 9, 6)
+        assert plan.m_passes == (5, 5, 2)
+        assert plan.total_tile_loads == 3 * plan.tiles
+        ideal = plan_tiling(small_accel_config, 12, 9, 6)
+        assert ideal.m_passes == (12,)
+        assert ideal.total_tile_loads == ideal.tiles
+
+    def test_deep_fifo_matches_idealized_cycles(self, small_accel_config):
+        from dataclasses import replace
+
+        deep = replace(small_accel_config, acc_fifo_depth=12)
+        for overlap in (False, True):
+            assert gemm_cycles(deep, 12, 9, 6, overlap=overlap) == gemm_cycles(
+                small_accel_config, 12, 9, 6, overlap=overlap
+            )
+
+    def test_bounded_fifo_costs_more(self, small_accel_config):
+        from dataclasses import replace
+
+        bounded = replace(small_accel_config, acc_fifo_depth=5)
+        for overlap in (False, True):
+            assert (
+                gemm_cycles(bounded, 12, 9, 6, overlap=overlap)["total"]
+                > gemm_cycles(small_accel_config, 12, 9, 6, overlap=overlap)["total"]
+            )
+        # Compute cycles are work, not overhead: they never change.
+        assert (
+            gemm_cycles(bounded, 12, 9, 6, overlap=False)["compute"]
+            == gemm_cycles(small_accel_config, 12, 9, 6, overlap=False)["compute"]
+        )
+
+    def test_engines_bit_identical_with_bounded_fifo(self, rng, small_accel_config):
+        from dataclasses import replace
+
+        bounded = replace(small_accel_config, acc_fifo_depth=5)
+        accel = CapsAccAccelerator(bounded)
+        job = make_batched_job(rng, 3, 4, 9, 6)  # B*M = 12 > depth 5
+        fast = accel.run_batched_gemm(job, engine="fast")
+        stepped = accel.run_batched_gemm(job, engine="stepped")
+        assert np.array_equal(fast.acc, stepped.acc)
+        assert fast.stats.total_cycles == stepped.stats.total_cycles
+        ideal = CapsAccAccelerator(small_accel_config).run_batched_gemm(job)
+        assert np.array_equal(fast.acc, ideal.acc)
+
+    def test_weight_traffic_scales_with_passes(self, rng, small_accel_config):
+        from dataclasses import replace
+
+        bounded = replace(small_accel_config, acc_fifo_depth=5)
+        accel = CapsAccAccelerator(bounded)
+        accel.reset_counters()
+        accel.run_batched_gemm(make_batched_job(rng, 3, 4, 9, 6))
+        assert accel.weight_buffer.reads == 3 * 9 * 6  # three M-passes
+
+    def test_invalid_depth_rejected(self):
+        from repro.errors import ConfigError
+        from repro.hw.config import AcceleratorConfig
+
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(acc_fifo_depth=0)
+
+
 class TestGroupedGemm:
     def test_matches_independent_runs_and_sums_stats(self, rng, small_accel_config):
         accel = CapsAccAccelerator(small_accel_config)

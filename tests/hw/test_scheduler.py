@@ -144,3 +144,59 @@ class TestAccounting:
         assert batch_result.total_stats.mac_count == sum(
             r.stats.mac_count for r in batch_result.layers.values()
         )
+
+
+class TestEdgeCases:
+    def test_batch_of_one(self, qnet, tiny_images):
+        """The degenerate batch still schedules and matches the lowering."""
+        result = BatchScheduler(qnet).run_batch(tiny_images[:1])
+        assert result.batch == 1
+        single = MappedInference(qnet).run(tiny_images[0])
+        assert np.array_equal(result.class_caps_raw[0], single.class_caps_raw)
+        assert result.cycles_per_image() == result.overlapped_cycles
+
+    def test_empty_batch_rejected(self, qnet, tiny_config):
+        size = tiny_config.image_size
+        empty = np.zeros((0, size, size))
+        with pytest.raises(ShapeError):
+            BatchScheduler(qnet).run_batch(empty)
+
+    def test_empty_layer_list_statistics(self):
+        """A result with no scheduled layers reports zeros, not crashes."""
+        from repro.hw.scheduler import BatchResult, LayerReport
+
+        result = BatchResult(
+            batch=1,
+            predictions=np.zeros(1, dtype=np.int64),
+            conv1_raw=np.zeros(0),
+            primary_raw=np.zeros(0),
+            u_hat_raw=np.zeros(0),
+            class_caps_raw=np.zeros(0),
+            coupling_raw=np.zeros(0),
+            length_sumsq_raw=np.zeros(0),
+            layers={},
+        )
+        assert result.total_cycles == 0
+        assert result.overlapped_cycles == 0
+        assert result.utilization(256) == 0.0
+        assert LayerReport(name="empty").utilization(256) == 0.0
+
+    def test_batch_larger_than_fifo_depth(self, qnet, tiny_images):
+        """A bounded accumulator FIFO forces M-tiling: identical results,
+        strictly more cycles and weight traffic than the idealized bank."""
+        ideal_accel = CapsAccAccelerator(formats=qnet.formats)
+        ideal = BatchScheduler(qnet, accelerator=ideal_accel).run_batch(tiny_images)
+        bounded_accel = CapsAccAccelerator(
+            AcceleratorConfig(acc_fifo_depth=8), formats=qnet.formats
+        )
+        bounded = BatchScheduler(qnet, accelerator=bounded_accel).run_batch(tiny_images)
+        assert np.array_equal(bounded.class_caps_raw, ideal.class_caps_raw)
+        assert np.array_equal(bounded.predictions, ideal.predictions)
+        assert bounded.total_cycles > ideal.total_cycles
+        assert bounded.overlapped_cycles > ideal.overlapped_cycles
+        # Every M-pass re-loads the weight tiles, so traffic grows too;
+        # conv1 stacks B*M rows far beyond depth 8, so its jobs M-tile.
+        assert bounded_accel.weight_buffer.reads > ideal_accel.weight_buffer.reads
+        assert bounded.layers["conv1"].stats.total_cycles > (
+            ideal.layers["conv1"].stats.total_cycles
+        )

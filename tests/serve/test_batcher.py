@@ -1,0 +1,89 @@
+"""Dynamic batcher policy behavior: fill, timeout, FIFO order."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.batcher import BatchPolicy, DynamicBatcher, QueuedRequest
+
+
+def fill(batcher: DynamicBatcher, arrivals: list[float], start_index: int = 0) -> None:
+    for offset, arrival in enumerate(arrivals):
+        batcher.add(QueuedRequest(index=start_index + offset, arrival_us=arrival))
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ConfigError):
+            BatchPolicy(max_wait_us=-1.0)
+
+    def test_non_finite_wait_rejected(self):
+        """NaN/inf deadlines would never become ready and hang the loop."""
+        with pytest.raises(ConfigError):
+            BatchPolicy(max_wait_us=float("nan"))
+        with pytest.raises(ConfigError):
+            BatchPolicy(max_wait_us=float("inf"))
+
+    def test_describe(self):
+        assert BatchPolicy(max_batch=1).describe() == "batch-1"
+        assert "8" in BatchPolicy(max_batch=8, max_wait_us=100.0).describe()
+
+
+class TestTimeoutBeforeFill:
+    """Light load: the coalescing wait expires before the batch fills."""
+
+    def test_not_ready_before_deadline(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8, max_wait_us=100.0))
+        fill(batcher, [10.0, 50.0])
+        assert not batcher.ready(10.0)
+        assert not batcher.ready(109.9)
+
+    def test_partial_batch_at_deadline(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8, max_wait_us=100.0))
+        fill(batcher, [10.0, 50.0])
+        assert batcher.oldest_deadline_us == 110.0
+        assert batcher.ready(110.0)
+        batch = batcher.take()
+        assert [request.index for request in batch] == [0, 1]
+        assert len(batcher) == 0
+
+    def test_zero_wait_dispatches_immediately(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8, max_wait_us=0.0))
+        fill(batcher, [10.0])
+        assert batcher.ready(10.0)
+
+
+class TestBurstFillsInstantly:
+    """A burst of max_batch simultaneous arrivals is ready with no wait."""
+
+    def test_full_batch_ready_at_arrival_instant(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8, max_wait_us=1e6))
+        fill(batcher, [42.0] * 8)
+        assert batcher.ready(42.0)
+        batch = batcher.take()
+        assert len(batch) == 8
+        assert len(batcher) == 0
+
+    def test_overfull_queue_leaves_remainder_in_fifo_order(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=4, max_wait_us=1e6))
+        fill(batcher, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        batch = batcher.take()
+        assert [request.index for request in batch] == [0, 1, 2, 3]
+        assert len(batcher) == 2
+        assert batcher.oldest_deadline_us == pytest.approx(5.0 + 1e6)
+
+    def test_batch_one_policy_always_ready(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=1, max_wait_us=1e6))
+        fill(batcher, [7.0])
+        assert batcher.ready(7.0)
+        assert len(batcher.take()) == 1
+
+
+class TestEmpty:
+    def test_empty_not_ready_and_take_raises(self):
+        batcher = DynamicBatcher(BatchPolicy())
+        assert not batcher.ready(1e9)
+        assert batcher.oldest_deadline_us is None
+        with pytest.raises(ConfigError):
+            batcher.take()

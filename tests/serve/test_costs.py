@@ -1,0 +1,77 @@
+"""Cost models: bit-exactness vs the batched engine, memoization, crosscheck."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.config import AcceleratorConfig
+from repro.hw.scheduler import BatchScheduler
+from repro.serve.costs import AnalyticBatchCost, ScheduledBatchCost, crosscheck
+
+
+@pytest.fixture(scope="module")
+def scheduled_cost(tiny_qnet):
+    return ScheduledBatchCost(qnet=tiny_qnet)
+
+
+class TestScheduledBatchCost:
+    def test_bit_identical_to_standalone_scheduler(
+        self, scheduled_cost, tiny_qnet, tiny_images
+    ):
+        """The acceptance guarantee: serving charges exactly the cycles the
+        batched engine reports when run standalone on the same batch."""
+        for batch in (1, 2, len(tiny_images)):
+            standalone = BatchScheduler(tiny_qnet).run_batch(tiny_images[:batch])
+            assert scheduled_cost.batch_cycles(batch) == standalone.overlapped_cycles
+
+    def test_memoized_probe_matches_real_batch_execution(
+        self, scheduled_cost, tiny_images
+    ):
+        """Tiling is shape-driven: the zero-image probe's cycles equal any
+        real batch's cycles at the same size."""
+        cycles, result = scheduled_cost.execute(tiny_images[:3])
+        assert cycles == scheduled_cost.batch_cycles(3)
+        assert result.batch == 3
+        assert result.predictions.shape == (3,)
+
+    def test_sequential_accounting(self, tiny_qnet, tiny_images):
+        cost = ScheduledBatchCost(qnet=tiny_qnet, accounting="sequential")
+        standalone = BatchScheduler(tiny_qnet).run_batch(tiny_images[:2])
+        assert cost.batch_cycles(2) == standalone.total_cycles
+        assert cost.batch_cycles(2) >= scheduled_cost_cycles(tiny_qnet, 2)
+
+    def test_bad_inputs_rejected(self, scheduled_cost, tiny_qnet):
+        with pytest.raises(ConfigError):
+            scheduled_cost.batch_cycles(0)
+        with pytest.raises(ConfigError):
+            ScheduledBatchCost(qnet=tiny_qnet, accounting="imaginary")
+
+    def test_respects_accelerator_config(self, tiny_qnet):
+        bounded = ScheduledBatchCost(
+            qnet=tiny_qnet, accel_config=AcceleratorConfig(acc_fifo_depth=8)
+        )
+        ideal = ScheduledBatchCost(qnet=tiny_qnet)
+        assert bounded.batch_cycles(4) > ideal.batch_cycles(4)
+        assert bounded.config.acc_fifo_depth == 8
+
+
+def scheduled_cost_cycles(qnet, batch: int) -> int:
+    return ScheduledBatchCost(qnet=qnet).batch_cycles(batch)
+
+
+class TestAnalyticAndCrosscheck:
+    def test_analytic_monotone_and_memoized(self, tiny_config):
+        cost = AnalyticBatchCost(network=tiny_config)
+        assert cost.batch_cycles(8) > cost.batch_cycles(1)
+        assert cost.batch_cycles(8) == cost.batch_cycles(8)
+
+    def test_crosscheck_within_tolerance(self, scheduled_cost, tiny_config):
+        analytic = AnalyticBatchCost(network=tiny_config)
+        report = crosscheck(scheduled_cost, analytic, batch_sizes=(1, 3, 8))
+        for entry in report.values():
+            assert entry["rel_error"] <= 0.02
+
+    def test_crosscheck_raises_beyond_tolerance(self, scheduled_cost, tiny_config):
+        analytic = AnalyticBatchCost(network=tiny_config)
+        with pytest.raises(ConfigError):
+            crosscheck(scheduled_cost, analytic, batch_sizes=(1,), rel_tol=1e-9)

@@ -1,0 +1,46 @@
+"""Array pool: deterministic placement and utilization accounting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.dispatcher import ArrayPool
+
+
+def test_lowest_id_first_and_release():
+    pool = ArrayPool(3)
+    assert pool.idle_count == 3
+    assert pool.acquire(1, 10.0) == 0
+    assert pool.acquire(1, 10.0) == 1
+    pool.release(0)
+    assert pool.acquire(1, 10.0) == 0  # freed array is reused first
+    assert pool.idle_count == 1
+
+
+def test_stats_accumulate():
+    pool = ArrayPool(2)
+    pool.acquire(4, 100.0)
+    pool.release(0)
+    pool.acquire(2, 50.0)
+    stat = pool.stats[0]
+    assert stat.busy_us == pytest.approx(150.0)
+    assert stat.batches == 2
+    assert stat.requests == 6
+    assert stat.utilization(300.0) == pytest.approx(0.5)
+    assert pool.stats[1].utilization(300.0) == 0.0
+
+
+def test_exhausted_pool_raises():
+    pool = ArrayPool(1)
+    pool.acquire(1, 1.0)
+    assert not pool.has_idle()
+    with pytest.raises(ConfigError):
+        pool.acquire(1, 1.0)
+
+
+def test_zero_arrays_rejected():
+    with pytest.raises(ConfigError):
+        ArrayPool(0)
+
+
+def test_zero_makespan_utilization():
+    assert ArrayPool(1).stats[0].utilization(0.0) == 0.0

@@ -1,0 +1,194 @@
+"""End-to-end serving simulations: determinism, decomposition, sharding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.hw.scheduler import BatchScheduler
+from repro.serve import (
+    AnalyticBatchCost,
+    BatchPolicy,
+    ScheduledBatchCost,
+    ServingSimulator,
+    poisson_trace,
+    replay_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def cost(tiny_qnet):
+    return ScheduledBatchCost(qnet=tiny_qnet)
+
+
+def overload_trace(cost, count: int = 64, multiplier: float = 3.0, seed: int = 11):
+    rate = multiplier * cost.config.clock_mhz * 1e6 / cost.batch_cycles(1)
+    return poisson_trace(rate, count, np.random.default_rng(seed))
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self, cost):
+        trace = overload_trace(cost)
+        policy = BatchPolicy(max_batch=8, max_wait_us=30.0)
+        first = ServingSimulator(trace, policy, cost).run()
+        second = ServingSimulator(trace, policy, cost).run()
+        a, b = first.to_dict(), second.to_dict()
+        a.pop("wall_seconds"), a.pop("wall_rps")
+        b.pop("wall_seconds"), b.pop("wall_rps")
+        assert a == b
+
+
+class TestExactCycles:
+    def test_batch_cycles_bit_identical_to_scheduler(self, cost, tiny_qnet):
+        """Every dispatched batch occupies an array for exactly the cycles
+        BatchScheduler reports standalone for that batch size."""
+        report = ServingSimulator(
+            overload_trace(cost), BatchPolicy(max_batch=8, max_wait_us=30.0), cost
+        ).run()
+        scheduler = BatchScheduler(tiny_qnet)
+        size = tiny_qnet.config.image_size
+        standalone = {}
+        for batch in report.batches:
+            if batch.size not in standalone:
+                probe = np.zeros((batch.size, size, size))
+                standalone[batch.size] = scheduler.run_batch(probe).overlapped_cycles
+            assert batch.cycles == standalone[batch.size]
+
+    def test_compute_latency_matches_cycles(self, cost):
+        report = ServingSimulator(
+            overload_trace(cost, count=16), BatchPolicy(max_batch=4), cost
+        ).run()
+        config = cost.config
+        for record in report.requests:
+            batch = report.batches[record.batch_index]
+            assert record.compute_us == pytest.approx(config.cycles_to_us(batch.cycles))
+
+
+class TestLatencyDecomposition:
+    def test_components_sum_to_wait(self, cost):
+        report = ServingSimulator(
+            overload_trace(cost), BatchPolicy(max_batch=8, max_wait_us=50.0), cost
+        ).run()
+        for record in report.requests:
+            wait = record.dispatch_us - record.arrival_us
+            assert record.batching_us + record.queueing_us == pytest.approx(wait)
+            assert record.batching_us >= -1e-9
+            assert record.queueing_us >= -1e-9
+
+    def test_simultaneous_burst_dispatches_with_zero_wait(self, cost):
+        """Eight requests at the same instant fill the batch immediately:
+        no batching wait, no queueing, one full batch."""
+        trace = replay_trace([100.0] * 8)
+        report = ServingSimulator(
+            trace, BatchPolicy(max_batch=8, max_wait_us=1e6), cost
+        ).run()
+        assert len(report.batches) == 1
+        assert report.batches[0].size == 8
+        assert report.batches[0].dispatch_us == pytest.approx(100.0)
+        for record in report.requests:
+            assert record.batching_us == pytest.approx(0.0)
+            assert record.queueing_us == pytest.approx(0.0)
+
+    def test_timeout_dispatches_partial_batch(self, cost):
+        """Two lonely requests wait out max_wait, then go as one batch;
+        the wait is pure batching (an array sat idle throughout)."""
+        trace = replay_trace([100.0, 150.0])
+        report = ServingSimulator(
+            trace, BatchPolicy(max_batch=8, max_wait_us=200.0), cost
+        ).run()
+        assert len(report.batches) == 1
+        assert report.batches[0].size == 2
+        assert report.batches[0].dispatch_us == pytest.approx(300.0)
+        first, second = report.requests
+        assert first.batching_us == pytest.approx(200.0)
+        assert second.batching_us == pytest.approx(150.0)
+        assert first.queueing_us == pytest.approx(0.0)
+
+    def test_batch_one_baseline_has_no_batching_wait(self, cost):
+        report = ServingSimulator(
+            overload_trace(cost, count=32), BatchPolicy(max_batch=1), cost
+        ).run()
+        assert all(batch.size == 1 for batch in report.batches)
+        for record in report.requests:
+            assert record.batching_us == pytest.approx(0.0)
+
+
+class TestShardingAndThroughput:
+    def test_multi_array_shards_and_speeds_up(self, cost):
+        trace = overload_trace(cost, count=64)
+        policy = BatchPolicy(max_batch=8, max_wait_us=30.0)
+        one = ServingSimulator(trace, policy, cost, arrays=1).run()
+        two = ServingSimulator(trace, policy, cost, arrays=2).run()
+        assert two.makespan_us < one.makespan_us
+        assert two.throughput_rps > one.throughput_rps
+        busy = [stat["busy_us"] for stat in two.array_stats]
+        assert all(value > 0 for value in busy)
+        assert sum(stat["requests"] for stat in two.array_stats) == 64
+
+    def test_dynamic_batching_beats_batch1_under_overload(self, cost):
+        trace = overload_trace(cost, count=64)
+        batch1 = ServingSimulator(trace, BatchPolicy(max_batch=1), cost).run()
+        dynamic = ServingSimulator(
+            trace, BatchPolicy(max_batch=8, max_wait_us=30.0), cost
+        ).run()
+        assert dynamic.throughput_rps > batch1.throughput_rps
+        assert dynamic.mean_batch_size > 4.0
+
+    def test_utilization_near_one_under_overload(self, cost):
+        report = ServingSimulator(
+            overload_trace(cost, count=64), BatchPolicy(max_batch=8), cost
+        ).run()
+        assert 0.9 < report.array_stats[0]["utilization"] <= 1.0
+
+
+class TestExecuteModeAndValidation:
+    def test_execute_predictions_match_golden(self, cost, tiny_qnet, tiny_images):
+        trace = replay_trace(np.linspace(0.0, 100.0, len(tiny_images)))
+        report = ServingSimulator(
+            trace,
+            BatchPolicy(max_batch=2, max_wait_us=10.0),
+            cost,
+            images=tiny_images,
+            execute=True,
+        ).run()
+        assert np.array_equal(report.predictions, tiny_qnet.predict_batch(tiny_images))
+
+    def test_crosscheck_attached(self, cost):
+        report = ServingSimulator(
+            overload_trace(cost, count=16), BatchPolicy(max_batch=4), cost
+        ).run(with_crosscheck=True)
+        assert report.crosscheck
+        assert all(entry["rel_error"] <= 0.02 for entry in report.crosscheck.values())
+
+    def test_analytic_cost_runs(self, tiny_config):
+        cost = AnalyticBatchCost(network=tiny_config)
+        report = ServingSimulator(
+            poisson_trace(1000.0, 8, np.random.default_rng(0)),
+            BatchPolicy(max_batch=4),
+            cost,
+        ).run()
+        assert report.completed == 8
+
+    def test_execute_needs_scheduled_cost_and_images(self, cost, tiny_config):
+        trace = replay_trace([1.0, 2.0])
+        with pytest.raises(ConfigError):
+            ServingSimulator(
+                trace,
+                BatchPolicy(),
+                AnalyticBatchCost(network=tiny_config),
+                execute=True,
+            )
+        with pytest.raises(ConfigError):
+            ServingSimulator(trace, BatchPolicy(), cost, execute=True)
+
+    def test_image_count_mismatch_rejected(self, cost, tiny_images):
+        with pytest.raises(ShapeError):
+            ServingSimulator(
+                replay_trace([1.0]), BatchPolicy(), cost, images=tiny_images
+            )
+
+    def test_report_table_renders(self, cost):
+        report = ServingSimulator(
+            overload_trace(cost, count=8), BatchPolicy(max_batch=4), cost
+        ).run()
+        table = report.format_table()
+        assert "queueing" in table and "batching" in table and "compute" in table

@@ -1,0 +1,95 @@
+"""Arrival-trace generators: shapes, determinism, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.trace import (
+    ArrivalTrace,
+    bursty_trace,
+    make_trace,
+    poisson_trace,
+    replay_trace,
+    uniform_trace,
+)
+
+
+class TestPoisson:
+    def test_count_sorted_nonnegative(self, rng):
+        trace = poisson_trace(1000.0, 50, rng)
+        assert trace.count == 50
+        assert trace.times_us[0] >= 0
+        assert np.all(np.diff(trace.times_us) >= 0)
+
+    def test_mean_rate_approximately_matches(self):
+        rng = np.random.default_rng(0)
+        trace = poisson_trace(1000.0, 5000, rng)
+        assert trace.offered_rps == pytest.approx(1000.0, rel=0.1)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = poisson_trace(500.0, 20, np.random.default_rng(42))
+        b = poisson_trace(500.0, 20, np.random.default_rng(42))
+        assert np.array_equal(a.times_us, b.times_us)
+
+
+class TestUniform:
+    def test_evenly_spaced(self):
+        trace = uniform_trace(1e6, 4)
+        assert np.allclose(np.diff(trace.times_us), 1.0)
+        assert trace.offered_rps == pytest.approx(1e6)
+
+
+class TestBursty:
+    def test_burst_structure(self, rng):
+        trace = bursty_trace(1000.0, 24, rng, burst_size=8, spread_us=10.0)
+        assert trace.count == 24
+        # Requests cluster: within a burst, gaps are tiny vs between bursts.
+        gaps = np.diff(trace.times_us)
+        assert np.sum(gaps > 100.0) <= 3  # at most the inter-burst gaps
+
+    def test_partial_final_burst(self, rng):
+        assert bursty_trace(1000.0, 10, rng, burst_size=8).count == 10
+
+    def test_invalid_burst_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            bursty_trace(1000.0, 8, rng, burst_size=0)
+
+
+class TestReplayAndValidation:
+    def test_replay_sorts(self):
+        trace = replay_trace([30.0, 10.0, 20.0])
+        assert np.array_equal(trace.times_us, [10.0, 20.0, 30.0])
+        assert trace.name == "replay"
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ConfigError):
+            ArrivalTrace("bad", np.array([-1.0, 2.0]))
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(ConfigError):
+            ArrivalTrace("bad", np.array([3.0, 1.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            ArrivalTrace("bad", np.array([]))
+
+    def test_bad_rate_or_count_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            poisson_trace(0.0, 5, rng)
+        with pytest.raises(ConfigError):
+            poisson_trace(100.0, 0, rng)
+        with pytest.raises(ConfigError):
+            poisson_trace(float("nan"), 5, rng)
+
+    def test_non_finite_times_rejected(self):
+        with pytest.raises(ConfigError):
+            ArrivalTrace("bad", np.array([1.0, np.nan]))
+        with pytest.raises(ConfigError):
+            replay_trace([np.inf])
+
+    def test_make_trace_dispatch(self, rng):
+        assert make_trace("poisson", 100.0, 5, rng).name == "poisson"
+        assert make_trace("bursty", 100.0, 5, rng, burst_size=2).name == "bursty"
+        assert make_trace("uniform", 100.0, 5, rng).name == "uniform"
+        with pytest.raises(ConfigError):
+            make_trace("nope", 100.0, 5, rng)
