@@ -1,0 +1,104 @@
+"""Perf-regression guard: compare a benchmark JSON against its baseline.
+
+CI runs the benchmark smokes, then this checker::
+
+    python benchmarks/check_perf_regression.py ARTIFACT.json BASELINE.json
+
+The baseline (checked in under ``benchmarks/baselines/``) lists guarded
+metrics by dotted path into the artifact::
+
+    {
+      "tolerance": 0.10,
+      "metrics": {
+        "headline.wall_speedup_vs_batch1": {"value": 1.6, "higher_is_better": true},
+        "headline.steady_vs_double_buffered": {"value": 0.75, "higher_is_better": false}
+      }
+    }
+
+A metric fails when it regresses more than ``tolerance`` (default 10 %)
+past the baseline value — below ``value * (1 - tol)`` when higher is
+better, above ``value * (1 + tol)`` when lower is better.  Wall-clock
+baselines are deliberately conservative floors (see
+``benchmarks/baselines/README.md``), so the guard catches real
+regressions (an accidentally quadratic event loop, a lost amortization)
+without flaking on runner-to-runner variance.  Exit code 1 on any
+regression; missing metrics fail too (a renamed key silently dropping a
+guard would defeat the point).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def lookup(artifact: dict, path: str):
+    """Resolve a dotted path (list indices allowed) into the artifact."""
+    node = artifact
+    for part in path.split("."):
+        if isinstance(node, list):
+            node = node[int(part)]
+        elif isinstance(node, dict):
+            if part not in node:
+                raise KeyError(path)
+            node = node[part]
+        else:
+            raise KeyError(path)
+    return node
+
+
+def check(artifact: dict, baseline: dict) -> list[str]:
+    """Return a list of human-readable failures (empty = pass)."""
+    tolerance = float(baseline.get("tolerance", 0.10))
+    failures = []
+    for path, spec in baseline.get("metrics", {}).items():
+        reference = float(spec["value"])
+        higher_is_better = bool(spec.get("higher_is_better", True))
+        tol = float(spec.get("tolerance", tolerance))
+        try:
+            value = float(lookup(artifact, path))
+        except (KeyError, IndexError, TypeError, ValueError):
+            failures.append(f"{path}: missing from artifact")
+            continue
+        if higher_is_better:
+            floor = reference * (1.0 - tol)
+            if value < floor:
+                failures.append(
+                    f"{path}: {value:.4g} < {floor:.4g}"
+                    f" (baseline {reference:.4g}, tolerance {tol:.0%})"
+                )
+        else:
+            ceiling = reference * (1.0 + tol)
+            if value > ceiling:
+                failures.append(
+                    f"{path}: {value:.4g} > {ceiling:.4g}"
+                    f" (baseline {reference:.4g}, tolerance {tol:.0%})"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact", help="benchmark JSON produced by this run")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    args = parser.parse_args(argv)
+
+    with open(args.artifact) as handle:
+        artifact = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    failures = check(artifact, baseline)
+    guarded = len(baseline.get("metrics", {}))
+    if failures:
+        print(f"PERF REGRESSION against {args.baseline}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"perf guard OK: {guarded} metric(s) within tolerance of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,9 @@ Usage::
     python -m repro.cli sweep --array 8 32   # quick design-space sweep
     python -m repro.cli info                 # network + accelerator summary
     python -m repro.cli simulate --batch-size 8   # batched engine simulation
+    python -m repro.cli simulate --batch-size 8 --images 32 --pipeline
     python -m repro.cli serve-sim --rate 400 --arrays 2   # serving simulator
+    python -m repro.cli serve-sim --pipeline --trace-file arrivals.jsonl
 
 The CLI is a thin shell over :mod:`repro.experiments`; everything it prints
 is available programmatically.
@@ -109,7 +111,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.capsnet.config import tiny_capsnet_config
     from repro.capsnet.quantized import QuantizedCapsuleNet
     from repro.data.synthetic import SyntheticDigits
-    from repro.hw.scheduler import BatchScheduler, LayerReport
+    from repro.hw.scheduler import BatchScheduler, LayerReport, PipelinedStreamScheduler
 
     if args.batch_size < 1 or args.images is not None and args.images < 1:
         print("batch size and image count must be positive", file=sys.stderr)
@@ -120,6 +122,56 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     count = args.images if args.images is not None else args.batch_size
     dataset = SyntheticDigits(size=network.image_size, seed=args.seed).generate(count)
     qnet = QuantizedCapsuleNet(network)
+
+    if args.pipeline:
+        pipelined = PipelinedStreamScheduler(qnet, engine=args.engine)
+        config = pipelined.accelerator.config
+        batches = [
+            dataset.images[lo : lo + args.batch_size]
+            for lo in range(0, count, args.batch_size)
+        ]
+        start = time.perf_counter()
+        stream = pipelined.run_stream(batches)
+        wall = time.perf_counter() - start
+        timing = stream.timing
+        print(
+            f"Pipelined stream simulation: {count} images,"
+            f" batch size {args.batch_size}, {len(batches)} batches,"
+            f" {args.network} network, {args.engine} engine"
+            f" (window {pipelined.window}, prestage {pipelined.prestage_depth} tiles)"
+        )
+        print(f"{'batch':>6s} {'start':>12s} {'finish':>12s} {'marginal':>12s}")
+        for bt in timing.batches:
+            print(
+                f"{bt.index:6d} {bt.start_cycle:12d} {bt.finish_cycle:12d}"
+                f" {bt.marginal_cycles:12d}"
+            )
+        cold = timing.cold_cycles / timing.batches[0].images
+        warm = timing.cycles_per_image(steady=True)
+        steady_label = (
+            "steady-state"
+            if timing.converged
+            else "steady-state (approximate: stream shorter than 6 batches)"
+        )
+        print(
+            f"Cold: {cold:,.0f} cycles/image; {steady_label}:"
+            f" {warm:,.0f} cycles/image"
+            f" = {config.clock_mhz * 1e6 / warm:,.0f} images/s at"
+            f" {config.clock_mhz:.0f} MHz"
+        )
+        print(
+            f"Stream speedup over per-batch double-buffered scheduling:"
+            f" {stream.pipelined_speedup():.2f}x"
+            f" ({timing.finish_cycles:,d} vs {stream.overlapped_cycles:,d} cycles)"
+        )
+        print(f"Simulator wall clock: {wall:.3f} s = {count / wall:,.1f} images/s")
+        predictions = stream.predictions
+        accuracy = float(np.mean(predictions == dataset.labels))
+        shown = predictions[:16].tolist()
+        suffix = f" ... ({count} total)" if count > 16 else ""
+        print(f"Predictions: {shown}{suffix} (synthetic-label accuracy {accuracy:.0%})")
+        return 0
+
     scheduler = BatchScheduler(qnet, engine=args.engine)
     config = scheduler.accelerator.config
 
@@ -174,6 +226,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         BatchPolicy,
         ScheduledBatchCost,
         ServingSimulator,
+        load_trace_file,
         make_trace,
     )
 
@@ -190,21 +243,33 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                     "--accounting only applies to --cost scheduled (the"
                     " analytic model always costs the overlapped schedule)"
                 )
-            cost = AnalyticBatchCost(network=network, accel_config=accel_config)
+            cost = AnalyticBatchCost(
+                network=network, accel_config=accel_config, pipeline=args.pipeline
+            )
         else:
             cost = ScheduledBatchCost(
-                network=network, accel_config=accel_config, accounting=args.accounting
+                network=network,
+                accel_config=accel_config,
+                accounting=args.accounting,
+                pipeline=args.pipeline,
             )
 
         # One Generator seeds everything — the arrival trace and (in execute
         # mode) the request images — so a run is reproducible end to end.
         rng = np.random.default_rng(args.seed)
-        trace_kwargs = {"burst_size": args.burst_size} if args.trace == "bursty" else {}
-        trace = make_trace(args.trace, args.rate, args.requests, rng, **trace_kwargs)
+        if args.trace_file is not None:
+            trace = load_trace_file(args.trace_file)
+            requests = trace.count
+        else:
+            trace_kwargs = (
+                {"burst_size": args.burst_size} if args.trace == "bursty" else {}
+            )
+            trace = make_trace(args.trace, args.rate, args.requests, rng, **trace_kwargs)
+            requests = args.requests
         images = None
         if args.execute:
             images = SyntheticDigits(size=network.image_size, rng=rng).generate(
-                args.requests
+                requests
             ).images
         policy = BatchPolicy(max_batch=args.max_batch, max_wait_us=args.max_wait_us)
         simulator = ServingSimulator(
@@ -214,6 +279,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             arrays=args.arrays,
             images=images,
             execute=args.execute,
+            pipeline=args.pipeline,
             network_name=args.network,
         )
         report = simulator.run(with_crosscheck=args.cost == "scheduled")
@@ -281,6 +347,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="fast",
         help="execution engine (stepped is clock-edge accurate but slow)",
     )
+    sim_parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="stream-pipeline across batches (cross-batch weight prestaging)",
+    )
     sim_parser.add_argument("--seed", type=int, default=7, help="synthetic data seed")
     sim_parser.set_defaults(func=_cmd_simulate)
 
@@ -299,6 +370,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("poisson", "bursty", "uniform"),
         default="poisson",
         help="arrival process",
+    )
+    serve_parser.add_argument(
+        "--trace-file",
+        type=str,
+        default=None,
+        help="replay recorded arrival times from a .jsonl/.csv file"
+        " (overrides --trace/--rate/--requests)",
     )
     serve_parser.add_argument(
         "--burst-size", type=int, default=8, help="requests per burst (bursty trace)"
@@ -334,6 +412,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--execute",
         action="store_true",
         help="run every batch through the engine on real images (predictions)",
+    )
+    serve_parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="charge back-to-back batches the stream-pipelined warm cost",
     )
     serve_parser.add_argument(
         "--fifo-depth",

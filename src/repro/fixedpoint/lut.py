@@ -1,14 +1,23 @@
-"""Backward-compatibility shim for :mod:`repro.fixedpoint.luts`.
+"""Deprecated backward-compatibility shim for :mod:`repro.fixedpoint.luts`.
 
 The generic ROM builders historically lived here, parallel to the concrete
 CapsAcc tables in ``luts.py``.  The two modules were merged; import from
 :mod:`repro.fixedpoint.luts` (or the :mod:`repro.fixedpoint` package)
-instead.
+instead.  Importing this module emits a :class:`DeprecationWarning`.
 """
+
+import warnings
 
 from repro.fixedpoint.luts import (
     LookupTable as LookupTable,
     LookupTable2D as LookupTable2D,
+)
+
+warnings.warn(
+    "repro.fixedpoint.lut is deprecated; import the ROM builders from"
+    " repro.fixedpoint.luts (or the repro.fixedpoint package) instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = ["LookupTable", "LookupTable2D"]

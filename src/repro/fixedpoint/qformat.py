@@ -1,11 +1,20 @@
-"""Backward-compatibility shim for :mod:`repro.fixedpoint.formats`.
+"""Deprecated backward-compatibility shim for :mod:`repro.fixedpoint.formats`.
 
 :class:`QFormat` historically lived here, parallel to the concrete format
 constants in ``formats.py``.  The two modules were merged; import from
 :mod:`repro.fixedpoint.formats` (or the :mod:`repro.fixedpoint` package)
-instead.
+instead.  Importing this module emits a :class:`DeprecationWarning`.
 """
 
+import warnings
+
 from repro.fixedpoint.formats import QFormat as QFormat
+
+warnings.warn(
+    "repro.fixedpoint.qformat is deprecated; import QFormat from"
+    " repro.fixedpoint.formats (or the repro.fixedpoint package) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["QFormat"]

@@ -108,6 +108,8 @@ class GemmResult:
     acc: np.ndarray
     stats: CycleStats
     overlapped_cycles: int = 0
+    #: The tiling the accounting was computed for (stream-pipeline input).
+    plan: "TilingPlan | None" = None
 
 
 @dataclass
@@ -118,6 +120,10 @@ class BatchedGemmResult:
     stats: CycleStats
     overlapped_cycles: int = 0
     batch: int = 1
+    #: The tiling of one constituent GEMM (stream-pipeline input).
+    plan: "TilingPlan | None" = None
+    #: Sequential same-plan repetitions (1 for batched, ``G`` for grouped).
+    groups: int = 1
 
 
 @dataclass
@@ -297,7 +303,7 @@ class CapsAccAccelerator:
             raise MappingError(f"unknown engine {engine!r}")
         stats = self._account(plan, job.data_source, job.weight_source)
         overlapped = gemm_cycles(self.config, m, k, n, overlap=True)["total"]
-        return GemmResult(acc=acc, stats=stats, overlapped_cycles=overlapped)
+        return GemmResult(acc=acc, stats=stats, overlapped_cycles=overlapped, plan=plan)
 
     def run_batched_gemm(
         self, job: BatchedGemmJob, engine: str = "fast"
@@ -345,6 +351,7 @@ class CapsAccAccelerator:
             stats=stats,
             overlapped_cycles=overlapped,
             batch=batch,
+            plan=plan,
         )
 
     def run_grouped_gemm(
@@ -392,7 +399,12 @@ class CapsAccAccelerator:
         stats = self._account(plan, job.data_source, job.weight_source, count=groups)
         overlapped = groups * gemm_cycles(self.config, m, k, n, overlap=True)["total"]
         return BatchedGemmResult(
-            acc=acc, stats=stats, overlapped_cycles=overlapped, batch=groups
+            acc=acc,
+            stats=stats,
+            overlapped_cycles=overlapped,
+            batch=groups,
+            plan=plan,
+            groups=groups,
         )
 
     def _stepped_gemm(

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.capsnet.ops import im2col
 from repro.capsnet.quantized import QuantizedCapsuleNet
@@ -38,9 +39,37 @@ from repro.hw.accelerator import (
     BatchedGemmResult,
     CapsAccAccelerator,
     GroupedGemmJob,
+    TilingPlan,
 )
 from repro.hw.activation import ActivationMode, ActivationUnit, batched_activation_latency
+from repro.hw.pipeline import (
+    DEFAULT_PRESTAGE_DEPTH,
+    DEFAULT_WINDOW,
+    PipelineOp,
+    StreamTiming,
+    activation_op,
+    job_ops,
+    simulate_stream,
+)
 from repro.hw.stats import CycleStats
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduled unit of work, in execution order.
+
+    ``kind`` is ``"gemm"`` (with the job's tiling ``plan``, sequential
+    ``groups`` and ``weight_source``) or ``"activation"`` (with its
+    ``cycles``).  The trace is shape-driven — data never changes it — so
+    one probe per batch size describes every batch of that size.
+    """
+
+    kind: str
+    name: str
+    plan: TilingPlan | None = None
+    groups: int = 1
+    weight_source: str = "weight_buffer"
+    cycles: int = 0
 
 
 @dataclass
@@ -140,6 +169,9 @@ class BatchScheduler:
         # Share the quantized model's ROMs so both paths are the same bits.
         self.activation = ActivationUnit(qnet.formats, qnet.luts)
         self.engine = engine
+        #: When set (a list), every job/activation is appended in execution
+        #: order — the stream pipeline's input.  ``None`` disables tracing.
+        self.trace: list[TraceEvent] | None = None
 
     # ---- bookkeeping ---------------------------------------------------------
 
@@ -149,16 +181,31 @@ class BatchScheduler:
         name: str,
         result: BatchedGemmResult | None = None,
         activation_cycles: int = 0,
+        weight_source: str = "weight_buffer",
     ) -> None:
         report = layers.setdefault(name, LayerReport(name=name))
         if result is not None:
             report.stats = report.stats + result.stats
             report.overlapped_cycles += result.overlapped_cycles
             report.jobs += 1
+            if self.trace is not None:
+                self.trace.append(
+                    TraceEvent(
+                        kind="gemm",
+                        name=name,
+                        plan=result.plan,
+                        groups=result.groups,
+                        weight_source=weight_source,
+                    )
+                )
         if activation_cycles:
             report.stats.activation_cycles += activation_cycles
             report.stats.total_cycles += activation_cycles
             report.overlapped_cycles += activation_cycles
+            if self.trace is not None:
+                self.trace.append(
+                    TraceEvent(kind="activation", name=name, cycles=activation_cycles)
+                )
 
     def _activation_cycles(self, mode: ActivationMode, n: int, groups: int) -> int:
         units = self.accelerator.config.cols if mode is ActivationMode.RELU else 1
@@ -379,7 +426,7 @@ class BatchScheduler:
                 weight_source="routing_buffer",
             )
             result = self.accelerator.run_grouped_gemm(job, engine=self.engine)
-            self._record(layers, f"sum{iteration}", result)
+            self._record(layers, f"sum{iteration}", result, weight_source="routing_buffer")
             s_raw = requantize(
                 result.acc[..., 0], sum_acc_fmt, fmts.primary_preact
             ).reshape(batch, num_out, out_dim)
@@ -405,8 +452,176 @@ class BatchScheduler:
                     weight_source="routing_buffer",
                 )
                 result = self.accelerator.run_grouped_gemm(job, engine=self.engine)
-                self._record(layers, f"update{iteration}", result)
+                self._record(
+                    layers, f"update{iteration}", result, weight_source="routing_buffer"
+                )
                 delta = requantize(result.acc[..., 0], upd_acc_fmt, fmts.logits)
                 delta = delta.reshape(batch, num_out, num_in).transpose(0, 2, 1)
                 b_raw = saturate_raw(b_raw + delta, fmts.logits)
         return v_raw, c_raw
+
+
+# ---- stream-level cross-batch pipelining -------------------------------------
+
+
+def trace_ops(config, events: Sequence[TraceEvent]) -> list[PipelineOp]:
+    """Expand one batch's trace into pipeline ops, tile for tile."""
+    ops: list[PipelineOp] = []
+    for event in events:
+        if event.kind == "gemm":
+            ops.extend(
+                job_ops(
+                    config,
+                    event.plan,
+                    groups=event.groups,
+                    weight_source=event.weight_source,
+                    layer=event.name,
+                )
+            )
+        else:
+            ops.append(activation_op(event.cycles, layer=event.name))
+    return ops
+
+
+@dataclass
+class StreamResult:
+    """Outputs and pipelined timing of one scheduled batch stream.
+
+    ``results`` are the per-batch :class:`BatchResult` objects — produced
+    by the same engine as :class:`BatchScheduler`, so outputs are
+    bit-identical to scheduling each batch standalone.  ``timing`` is the
+    stream-pipelined schedule; the non-pipelined reference (the sum of
+    each batch's double-buffered accounting) is kept for comparison.
+    """
+
+    results: list[BatchResult]
+    timing: StreamTiming
+
+    @property
+    def predictions(self) -> np.ndarray:
+        """Concatenated predictions across the stream."""
+        return np.concatenate([result.predictions for result in self.results])
+
+    @property
+    def total_images(self) -> int:
+        """Images across every batch."""
+        return sum(result.batch for result in self.results)
+
+    @property
+    def overlapped_cycles(self) -> int:
+        """Non-pipelined reference: per-batch double-buffered accounting."""
+        return sum(result.overlapped_cycles for result in self.results)
+
+    def pipelined_speedup(self) -> float:
+        """Whole-stream speedup over per-batch double-buffered scheduling."""
+        finish = self.timing.finish_cycles
+        if finish == 0:
+            return 0.0
+        return self.overlapped_cycles / finish
+
+
+class PipelinedStreamScheduler:
+    """Schedules a *stream* of batches with cross-batch pipelining.
+
+    Wraps a :class:`BatchScheduler`: every batch executes through the
+    same engine (outputs bit-identical, image for image), while timing
+    comes from the stream schedule of :mod:`repro.hw.pipeline` — weight
+    tiles prestage across job/layer/batch boundaries and up to ``window``
+    batches keep the array hot through each other's activation passes.
+    """
+
+    def __init__(
+        self,
+        qnet: QuantizedCapsuleNet,
+        accelerator: CapsAccAccelerator | None = None,
+        engine: str = "fast",
+        window: int = DEFAULT_WINDOW,
+        prestage_depth: int = DEFAULT_PRESTAGE_DEPTH,
+    ) -> None:
+        self.scheduler = BatchScheduler(qnet, accelerator=accelerator, engine=engine)
+        self.window = window
+        self.prestage_depth = prestage_depth
+        self._ops_memo: dict[int, list[PipelineOp]] = {}
+
+    @property
+    def qnet(self) -> QuantizedCapsuleNet:
+        return self.scheduler.qnet
+
+    @property
+    def accelerator(self) -> CapsAccAccelerator:
+        return self.scheduler.accelerator
+
+    def batch_ops(self, batch_size: int) -> list[PipelineOp]:
+        """Pipeline ops of one batch (shape-driven; probed and memoized)."""
+        if batch_size < 1:
+            raise ShapeError("batch must contain at least one image")
+        if batch_size not in self._ops_memo:
+            self.probe_batch(batch_size)
+        return self._ops_memo[batch_size]
+
+    def probe_batch(self, batch_size: int) -> BatchResult:
+        """Run a zero-image probe batch, memoizing its pipeline ops.
+
+        Returns the full :class:`BatchResult`, so one engine run serves
+        both the non-pipelined accounting (``overlapped_cycles``) and the
+        stream-pipeline ops — the serving cost model's cold/warm probes
+        share it.
+        """
+        if batch_size < 1:
+            raise ShapeError("batch must contain at least one image")
+        size = self.qnet.config.image_size
+        channels = self.qnet.config.in_channels
+        probe = np.zeros((batch_size, channels, size, size), dtype=np.float64)
+        return self._run_traced(probe)
+
+    def probe_timing(self, batch_sizes: Sequence[int]) -> StreamTiming:
+        """Stream timing for a sequence of batch sizes, without execution."""
+        ops = [self.batch_ops(size) for size in batch_sizes]
+        return simulate_stream(
+            ops,
+            list(batch_sizes),
+            window=self.window,
+            prestage_depth=self.prestage_depth,
+        )
+
+    def steady_state_cycles(self, batch_size: int, stream_length: int = 7) -> int:
+        """Steady-state marginal cycles of one batch in a homogeneous stream.
+
+        Seven batches are enough for the settled window to cover a whole
+        period of the marginal (the cold fill takes three batches to wash
+        out, and settled marginals can oscillate with period two; tests
+        assert stability across stream lengths).
+        """
+        timing = self.probe_timing([batch_size] * max(6, stream_length))
+        return timing.steady_marginal_cycles
+
+    def run_stream(self, batches: Iterable[np.ndarray]) -> StreamResult:
+        """Execute a stream of batches; outputs bit-identical, timing pipelined."""
+        results: list[BatchResult] = []
+        ops: list[list[PipelineOp]] = []
+        for images in batches:
+            results.append(self._run_traced(np.asarray(images)))
+            ops.append(self._ops_memo[results[-1].batch])
+        if not results:
+            raise ShapeError("a stream needs at least one batch")
+        timing = simulate_stream(
+            ops,
+            [result.batch for result in results],
+            window=self.window,
+            prestage_depth=self.prestage_depth,
+        )
+        return StreamResult(results=results, timing=timing)
+
+    def _run_traced(self, images: np.ndarray) -> BatchResult:
+        """Run one batch with tracing, memoizing its (shape-driven) ops."""
+        scheduler = self.scheduler
+        scheduler.trace = []
+        try:
+            result = scheduler.run_batch(images)
+        finally:
+            events, scheduler.trace = scheduler.trace, None
+        if result.batch not in self._ops_memo:
+            self._ops_memo[result.batch] = trace_ops(
+                self.accelerator.config, events
+            )
+        return result

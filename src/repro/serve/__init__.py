@@ -42,8 +42,10 @@ from repro.serve.stats import (
 )
 from repro.serve.trace import (
     TRACE_KINDS,
+    TRACE_TIME_KEYS,
     ArrivalTrace,
     bursty_trace,
+    load_trace_file,
     make_trace,
     poisson_trace,
     replay_trace,
@@ -53,6 +55,7 @@ from repro.serve.trace import (
 __all__ = [
     "ACCOUNTINGS",
     "TRACE_KINDS",
+    "TRACE_TIME_KEYS",
     "AnalyticBatchCost",
     "ArrayPool",
     "ArrayStats",
@@ -67,6 +70,7 @@ __all__ = [
     "ServingSimulator",
     "bursty_trace",
     "crosscheck",
+    "load_trace_file",
     "make_trace",
     "percentile_summary",
     "poisson_trace",

@@ -11,6 +11,16 @@ executing when the caller wants predictions.
 :class:`AnalyticBatchCost` is the closed-form :mod:`repro.perf` model of
 the same schedule; :func:`crosscheck` asserts the two agree to a small
 relative tolerance, keeping the fast analytic path honest.
+
+With ``pipeline=True`` both models additionally price the *warm* cost of
+stream pipelining (:mod:`repro.hw.pipeline`): an array that receives a
+batch back to back — dispatched the instant the previous batch finished —
+keeps its pipeline full, prestages the next batch's conv1 tiles under the
+previous batch's routing tail, and pays only the steady-state marginal
+cycles instead of the cold figure.  The warm cost is probed from a
+homogeneous stream of the batch size (the previous batch's tail covers
+the prestage whenever it is non-trivial, so the preceding size barely
+matters) and never exceeds the cold cost.
 """
 
 from __future__ import annotations
@@ -22,8 +32,10 @@ from repro.capsnet.quantized import QuantizedCapsuleNet
 from repro.errors import ConfigError
 from repro.hw.accelerator import CapsAccAccelerator
 from repro.hw.config import AcceleratorConfig
-from repro.hw.scheduler import BatchResult, BatchScheduler
+from repro.hw.pipeline import DEFAULT_PRESTAGE_DEPTH, DEFAULT_WINDOW
+from repro.hw.scheduler import BatchResult, BatchScheduler, PipelinedStreamScheduler
 from repro.perf.model import CapsAccPerformanceModel
+from repro.perf.stream import PROBE_STREAM_LENGTH, AnalyticStreamCost
 
 #: Supported cycle accountings: double-buffered Weight2 overlap (what the
 #: paper's architecture achieves and :mod:`repro.perf` models) or the
@@ -54,6 +66,11 @@ class ScheduledBatchCost:
         ``"overlapped"`` (default) or ``"sequential"`` cycle accounting.
     engine:
         Execution engine for the scheduler (``fast``/``stepped``).
+    pipeline:
+        Enable the stream-pipelined *warm* cost (requires the overlapped
+        accounting — pipelining is meaningless without double-buffering).
+    window / prestage_depth:
+        Stream-pipeline parameters (see :mod:`repro.hw.pipeline`).
     """
 
     def __init__(
@@ -63,10 +80,18 @@ class ScheduledBatchCost:
         accel_config: AcceleratorConfig | None = None,
         accounting: str = "overlapped",
         engine: str = "fast",
+        pipeline: bool = False,
+        window: int = DEFAULT_WINDOW,
+        prestage_depth: int = DEFAULT_PRESTAGE_DEPTH,
     ) -> None:
         if accounting not in ACCOUNTINGS:
             raise ConfigError(
                 f"unknown accounting {accounting!r} (choose from {ACCOUNTINGS})"
+            )
+        if pipeline and accounting != "overlapped":
+            raise ConfigError(
+                "the pipelined warm cost requires the overlapped accounting"
+                " (stream pipelining builds on the Weight2 double-buffer)"
             )
         if qnet is None:
             qnet = QuantizedCapsuleNet(network if network is not None else mnist_capsnet_config())
@@ -78,7 +103,18 @@ class ScheduledBatchCost:
         )
         self.scheduler = BatchScheduler(qnet, accelerator=accelerator, engine=engine)
         self.accounting = accounting
+        self.pipeline = pipeline
         self._memo: dict[int, int] = {}
+        self._warm_memo: dict[int, int] = {}
+        self._stream: PipelinedStreamScheduler | None = None
+        if pipeline:
+            self._stream = PipelinedStreamScheduler(
+                qnet,
+                accelerator=self.scheduler.accelerator,
+                engine=engine,
+                window=window,
+                prestage_depth=prestage_depth,
+            )
 
     @property
     def config(self) -> AcceleratorConfig:
@@ -90,23 +126,55 @@ class ScheduledBatchCost:
 
         Probes the scheduler with a zero-image batch; tiling — and
         therefore the accounting — is shape-driven, so the memoized value
-        is bit-identical to any real batch of the same size.
+        is bit-identical to any real batch of the same size.  With
+        pipelining enabled the probe runs traced through the stream
+        scheduler, so the same engine run also feeds the warm cost.
         """
         if batch_size < 1:
             raise ConfigError("batch size must be positive")
         if batch_size not in self._memo:
-            size = self.qnet.config.image_size
-            probe = np.zeros((batch_size, size, size), dtype=np.float64)
-            self._memo[batch_size] = _batch_cycles(
-                self.scheduler.run_batch(probe), self.accounting
-            )
+            if self._stream is not None:
+                result = self._stream.probe_batch(batch_size)
+            else:
+                size = self.qnet.config.image_size
+                probe = np.zeros((batch_size, size, size), dtype=np.float64)
+                result = self.scheduler.run_batch(probe)
+            self._memo[batch_size] = _batch_cycles(result, self.accounting)
         return self._memo[batch_size]
 
-    def execute(self, images: np.ndarray) -> tuple[int, BatchResult]:
-        """Run a real batch; returns its cycles and the full result."""
+    def warm_batch_cycles(self, batch_size: int) -> int:
+        """Steady-state (pipelined) cycles of a back-to-back batch.
+
+        Probed from a homogeneous stream of ``batch_size`` batches through
+        the stream pipeline (timing only — ops are shape-driven), and
+        clamped to never exceed the cold cost: an array is never worse off
+        for having stayed warm.
+        """
+        if self._stream is None:
+            raise ConfigError("warm costs need a cost model built with pipeline=True")
+        if batch_size not in self._warm_memo:
+            cold = self.batch_cycles(batch_size)
+            steady = self._stream.probe_timing(
+                [batch_size] * PROBE_STREAM_LENGTH
+            ).steady_marginal_cycles
+            self._warm_memo[batch_size] = min(steady, cold)
+        return self._warm_memo[batch_size]
+
+    def drain_saved_cycles(self, batch_size: int) -> int:
+        """Cycles a warm dispatch saves over a cold one (>= 0)."""
+        return self.batch_cycles(batch_size) - self.warm_batch_cycles(batch_size)
+
+    def execute(self, images: np.ndarray, warm: bool = False) -> tuple[int, BatchResult]:
+        """Run a real batch; returns its (cold or warm) cycles and result.
+
+        The outputs are always the engine's — bit-identical either way;
+        ``warm`` only selects which cycle figure the batch is charged.
+        """
         result = self.scheduler.run_batch(images)
         cycles = _batch_cycles(result, self.accounting)
         self._memo.setdefault(result.batch, cycles)
+        if warm:
+            return self.warm_batch_cycles(result.batch), result
         return cycles, result
 
 
@@ -125,6 +193,9 @@ class AnalyticBatchCost:
         network: CapsNetConfig | None = None,
         accel_config: AcceleratorConfig | None = None,
         optimized_routing: bool = True,
+        pipeline: bool = False,
+        window: int = DEFAULT_WINDOW,
+        prestage_depth: int = DEFAULT_PRESTAGE_DEPTH,
     ) -> None:
         self.network = network if network is not None else mnist_capsnet_config()
         self._config = accel_config if accel_config is not None else AcceleratorConfig()
@@ -133,7 +204,18 @@ class AnalyticBatchCost:
             network=self.network,
             optimized_routing=optimized_routing,
         )
+        self.pipeline = pipeline
         self._memo: dict[int, int] = {}
+        self._warm_memo: dict[int, int] = {}
+        self._stream: AnalyticStreamCost | None = None
+        if pipeline:
+            self._stream = AnalyticStreamCost(
+                network=self.network,
+                accel_config=self._config,
+                optimized_routing=optimized_routing,
+                window=window,
+                prestage_depth=prestage_depth,
+            )
 
     @property
     def config(self) -> AcceleratorConfig:
@@ -147,6 +229,21 @@ class AnalyticBatchCost:
         if batch_size not in self._memo:
             self._memo[batch_size] = self.model.run(batch=batch_size).total_cycles
         return self._memo[batch_size]
+
+    def warm_batch_cycles(self, batch_size: int) -> int:
+        """Closed-form steady-state cycles of a back-to-back batch."""
+        if self._stream is None:
+            raise ConfigError("warm costs need a cost model built with pipeline=True")
+        if batch_size not in self._warm_memo:
+            cold = self.batch_cycles(batch_size)
+            self._warm_memo[batch_size] = min(
+                self._stream.steady_cycles(batch_size), cold
+            )
+        return self._warm_memo[batch_size]
+
+    def drain_saved_cycles(self, batch_size: int) -> int:
+        """Cycles a warm dispatch saves over a cold one (>= 0)."""
+        return self.batch_cycles(batch_size) - self.warm_batch_cycles(batch_size)
 
 
 def crosscheck(

@@ -5,6 +5,14 @@ multi-array scaling axis of the ROADMAP).  The pool hands an idle array to
 each formed batch — lowest array id first, which makes runs deterministic
 — and keeps per-array busy-time / batch / request counters for the
 utilization report.
+
+For stream pipelining the pool also tracks per-array warm/cold state:
+an array released at exactly the instant a new batch dispatches never
+drained (the next batch's conv1 tiles were prestaging under the previous
+batch's routing tail), so the dispatcher can both *detect* a warm
+hand-off and *prefer* the just-freed array over other idle arrays when
+asked to (keeping one array hot beats spreading back-to-back batches
+across cold arrays).
 """
 
 from __future__ import annotations
@@ -23,6 +31,8 @@ class ArrayStats:
     busy_us: float = 0.0
     batches: int = 0
     requests: int = 0
+    #: Batches that arrived back to back (charged the pipelined warm cost).
+    warm_batches: int = 0
 
     def utilization(self, makespan_us: float) -> float:
         """Fraction of the simulated span this array spent computing."""
@@ -38,6 +48,7 @@ class ArrayPool:
     count: int
     stats: list[ArrayStats] = field(init=False)
     _idle: list[int] = field(init=False)
+    _last_release_us: list[float | None] = field(init=False)
 
     def __post_init__(self) -> None:
         if self.count < 1:
@@ -45,6 +56,7 @@ class ArrayPool:
         self.stats = [ArrayStats(array=i) for i in range(self.count)]
         self._idle = list(range(self.count))
         heapq.heapify(self._idle)
+        self._last_release_us = [None] * self.count
 
     @property
     def idle_count(self) -> int:
@@ -55,17 +67,41 @@ class ArrayPool:
         """Whether any array can accept a batch."""
         return bool(self._idle)
 
-    def acquire(self, batch_size: int, duration_us: float) -> int:
-        """Claim the lowest-id idle array for a batch; returns the array id."""
+    def is_warm(self, array: int, now_us: float) -> bool:
+        """Whether dispatching to ``array`` at ``now_us`` is back to back."""
+        return self._last_release_us[array] == now_us
+
+    def select(self, now_us: float, prefer_warm: bool = False) -> tuple[int, bool]:
+        """Claim an idle array for a batch dispatched at ``now_us``.
+
+        Returns ``(array, warm)``.  ``warm`` is true when the array was
+        released at exactly ``now_us`` — the batch follows the previous
+        one with no drain.  With ``prefer_warm`` the lowest-id *warm*
+        idle array wins over colder lower-id arrays.
+        """
         if not self._idle:
-            raise ConfigError("acquire() with no idle array")
-        array = heapq.heappop(self._idle)
+            raise ConfigError("select() with no idle array")
+        array = None
+        if prefer_warm:
+            warm_ids = [i for i in self._idle if self.is_warm(i, now_us)]
+            if warm_ids:
+                array = min(warm_ids)
+                self._idle.remove(array)
+                heapq.heapify(self._idle)
+        if array is None:
+            array = heapq.heappop(self._idle)
+        return array, self.is_warm(array, now_us)
+
+    def charge(self, array: int, batch_size: int, duration_us: float, warm: bool = False) -> None:
+        """Account one dispatched batch against a claimed array."""
         stat = self.stats[array]
         stat.busy_us += duration_us
         stat.batches += 1
         stat.requests += batch_size
-        return array
+        if warm:
+            stat.warm_batches += 1
 
-    def release(self, array: int) -> None:
+    def release(self, array: int, now_us: float | None = None) -> None:
         """Return an array to the idle pool when its batch completes."""
         heapq.heappush(self._idle, array)
+        self._last_release_us[array] = now_us

@@ -21,6 +21,17 @@ engine on the request's actual images, producing bit-exact predictions
 and making the host wall-clock throughput a real "simulated serving"
 measurement (the per-job dispatch cost batching amortizes is genuine
 simulation work, exactly as in ``benchmarks/bench_batched.py``).
+
+With ``pipeline=True`` (and a cost model built with ``pipeline=True``)
+the simulator models stream pipelining across batches: a batch dispatched
+to an array at the exact instant the previous batch finished is *warm* —
+its conv1 tiles prestaged under the predecessor's routing tail — and is
+charged the steady-state marginal cycles instead of the cold figure.
+The dispatcher prefers the just-freed array so back-to-back load keeps
+one array hot, and every warm batch records the drain it saved; the
+latency report gains a ``drain_saved`` component (informational — the
+compute component is already the warm figure, so the three-way
+queueing/batching/compute decomposition still sums to the latency).
 """
 
 from __future__ import annotations
@@ -63,6 +74,10 @@ class ServingSimulator:
         Run every dispatched batch through the batched engine on its real
         images (bit-exact predictions; slower).  Without it, batch costs
         come from the memoized cost model and no outputs are produced.
+    pipeline:
+        Charge back-to-back batches the stream-pipelined warm cost and
+        prefer dispatching to the just-freed (still hot) array.  Requires
+        a cost model constructed with ``pipeline=True``.
     network_name:
         Label for reports.
     """
@@ -75,6 +90,7 @@ class ServingSimulator:
         arrays: int = 1,
         images: np.ndarray | None = None,
         execute: bool = False,
+        pipeline: bool = False,
         network_name: str = "capsnet",
     ) -> None:
         self.trace = trace
@@ -83,11 +99,16 @@ class ServingSimulator:
         self.arrays = arrays
         self.images = None if images is None else np.asarray(images)
         self.execute = execute
+        self.pipeline = pipeline
         self.network_name = network_name
         if execute and not isinstance(cost, ScheduledBatchCost):
             raise ConfigError("execute mode needs the scheduled (exact) cost model")
         if execute and self.images is None:
             raise ConfigError("execute mode needs per-request images")
+        if pipeline and not getattr(cost, "pipeline", False):
+            raise ConfigError(
+                "pipeline mode needs a cost model built with pipeline=True"
+            )
         if self.images is not None and len(self.images) != trace.count:
             raise ShapeError(
                 f"{len(self.images)} images for {trace.count} requests"
@@ -138,21 +159,30 @@ class ServingSimulator:
                 batch.done_us = now
                 for index in batch.request_indices:
                     requests[index].done_us = now
-                pool.release(payload)
+                pool.release(payload, now)
                 makespan = max(makespan, now)
             # _TIMEOUT carries no state: readiness is re-evaluated below.
 
             while pool.has_idle() and batcher.ready(now):
                 members = batcher.take()
                 size = len(members)
+                array, back_to_back = pool.select(now, prefer_warm=self.pipeline)
+                warm = self.pipeline and back_to_back
                 if self.execute:
                     indices = [member.index for member in members]
-                    cycles, result = self.cost.execute(self.images[indices])
+                    cycles, result = self.cost.execute(self.images[indices], warm=warm)
                     predictions[indices] = result.predictions
+                elif warm:
+                    cycles = self.cost.warm_batch_cycles(size)
                 else:
                     cycles = self.cost.batch_cycles(size)
                 duration = config.cycles_to_us(cycles)
-                array = pool.acquire(size, duration)
+                pool.charge(array, size, duration, warm=warm)
+                drain_saved = (
+                    config.cycles_to_us(self.cost.drain_saved_cycles(size))
+                    if warm
+                    else 0.0
+                )
                 batch = BatchRecord(
                     index=len(batches),
                     size=size,
@@ -161,6 +191,8 @@ class ServingSimulator:
                     done_us=now + duration,
                     cycles=cycles,
                     request_indices=[member.index for member in members],
+                    warm=warm,
+                    drain_saved_us=drain_saved,
                 )
                 batches.append(batch)
                 running[array] = batch
@@ -168,6 +200,7 @@ class ServingSimulator:
                     record = requests[member.index]
                     record.dispatch_us = now
                     record.batch_index = batch.index
+                    record.drain_saved_us = drain_saved
                     # Clamp float-epsilon residue of the idle-time integral
                     # so components stay non-negative and sum to the wait.
                     wait = now - record.arrival_us
@@ -212,6 +245,7 @@ class ServingSimulator:
             arrays=self.arrays,
             clock_mhz=config.clock_mhz,
             accounting=getattr(self.cost, "accounting", "overlapped"),
+            pipeline=self.pipeline,
             requests=requests,
             batches=batches,
             array_stats=[
@@ -220,6 +254,7 @@ class ServingSimulator:
                     "busy_us": stat.busy_us,
                     "batches": stat.batches,
                     "requests": stat.requests,
+                    "warm_batches": stat.warm_batches,
                     "utilization": stat.utilization(makespan),
                 }
                 for stat in pool.stats

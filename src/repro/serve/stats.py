@@ -11,6 +11,11 @@ Every simulated request's end-to-end latency splits into three causes:
 The simulator attributes waiting to batching vs queueing by integrating
 the "any array idle" indicator over each request's waiting interval, so
 the two components always sum exactly to the total wait.
+
+With stream pipelining a fourth, informational component appears:
+**drain saved** — the time a request's batch did *not* pay because it ran
+back to back on a warm array (the compute component is already the warm
+figure, so queueing + batching + compute still sums to the latency).
 """
 
 from __future__ import annotations
@@ -47,6 +52,9 @@ class RequestRecord:
     batching_us: float = 0.0
     #: Wait attributable to capacity (every array was busy).
     queueing_us: float = 0.0
+    #: Time saved because the batch ran warm (informational; not part of
+    #: the queueing/batching/compute sum — compute is already warm).
+    drain_saved_us: float = 0.0
 
     @property
     def compute_us(self) -> float:
@@ -70,6 +78,10 @@ class BatchRecord:
     done_us: float
     cycles: int
     request_indices: list[int] = field(default_factory=list)
+    #: Whether the batch ran back to back on a warm (pipelined) array.
+    warm: bool = False
+    #: Time the warm hand-off saved over a cold dispatch.
+    drain_saved_us: float = 0.0
 
 
 @dataclass
@@ -90,6 +102,7 @@ class ServingReport:
     wall_seconds: float
     predictions: np.ndarray | None = None
     crosscheck: dict | None = None
+    pipeline: bool = False
 
     @property
     def completed(self) -> int:
@@ -117,6 +130,16 @@ class ServingReport:
             return 0.0
         return self.completed / len(self.batches)
 
+    @property
+    def warm_batches(self) -> int:
+        """Batches that ran back to back on a warm (pipelined) array."""
+        return sum(1 for batch in self.batches if batch.warm)
+
+    @property
+    def drain_saved_total_us(self) -> float:
+        """Total time warm hand-offs saved across all batches."""
+        return sum(batch.drain_saved_us for batch in self.batches)
+
     def batch_size_histogram(self) -> dict[int, int]:
         """How many batches formed at each size."""
         histogram: dict[int, int] = {}
@@ -132,6 +155,10 @@ class ServingReport:
             "batching": np.array([r.batching_us for r in self.requests]),
             "compute": np.array([r.compute_us for r in self.requests]),
         }
+        if self.pipeline:
+            components["drain_saved"] = np.array(
+                [r.drain_saved_us for r in self.requests]
+            )
         return {name: percentile_summary(values) for name, values in components.items()}
 
     def to_dict(self) -> dict:
@@ -144,8 +171,11 @@ class ServingReport:
             "arrays": self.arrays,
             "clock_mhz": self.clock_mhz,
             "accounting": self.accounting,
+            "pipeline": self.pipeline,
             "requests": self.completed,
             "batches": len(self.batches),
+            "warm_batches": self.warm_batches,
+            "drain_saved_us": self.drain_saved_total_us,
             "mean_batch_size": self.mean_batch_size,
             "batch_size_histogram": {
                 str(size): count for size, count in self.batch_size_histogram().items()
@@ -170,6 +200,14 @@ class ServingReport:
             f" ({self.accounting} accounting at {self.clock_mhz:.0f} MHz)",
             f"  batches: {len(self.batches)} (mean size {self.mean_batch_size:.2f},"
             f" histogram {self.batch_size_histogram()})",
+            *(
+                [
+                    f"  pipeline: {self.warm_batches}/{len(self.batches)} warm batches,"
+                    f" {self.drain_saved_total_us:,.0f}us drain saved"
+                ]
+                if self.pipeline
+                else []
+            ),
             "  array utilization: "
             + ", ".join(
                 f"#{stat['array']} {stat['utilization']:.1%}" for stat in self.array_stats

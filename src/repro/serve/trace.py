@@ -8,7 +8,9 @@ Generators cover the regimes a CapsuleNet inference service sees:
   (shared upstream batching, page loads fanning out);
 * :func:`uniform_trace` — deterministic evenly-spaced arrivals (a load
   generator in closed-loop pacing);
-* :func:`replay_trace` — explicit timestamps (replaying a recorded log).
+* :func:`replay_trace` — explicit timestamps (replaying a recorded log);
+* :func:`load_trace_file` — replay timestamps recorded in a JSONL or CSV
+  file (the ``repro serve-sim --trace-file`` front-end).
 
 All randomness flows through the caller's single
 :class:`numpy.random.Generator`, so one seed reproduces a whole serving
@@ -17,8 +19,11 @@ simulation (trace *and* request images) run to run.
 
 from __future__ import annotations
 
+import csv
+import json
 import math
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -107,10 +112,118 @@ def bursty_trace(
     return ArrivalTrace("bursty", times)
 
 
-def replay_trace(times_us: np.ndarray) -> ArrivalTrace:
+def replay_trace(times_us: np.ndarray, name: str = "replay") -> ArrivalTrace:
     """Replay explicit arrival timestamps (sorted on ingest)."""
     times = np.sort(np.asarray(times_us, dtype=np.float64))
-    return ArrivalTrace("replay", times)
+    return ArrivalTrace(name, times)
+
+
+#: Keys accepted for the arrival time in JSONL objects / CSV headers.
+TRACE_TIME_KEYS = ("arrival_us", "time_us", "timestamp_us")
+
+
+def _entry_time(value, where: str) -> float:
+    """One arrival entry: a bare number or an object with a time key."""
+    if isinstance(value, dict):
+        for key in TRACE_TIME_KEYS:
+            if key in value:
+                value = value[key]
+                break
+        else:
+            raise ConfigError(
+                f"{where}: no arrival key (expected one of {TRACE_TIME_KEYS})"
+            )
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"{where}: arrival time must be a number")
+    return float(value)
+
+
+def _jsonl_times(path: Path) -> list[float]:
+    times: list[float] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            value = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"{path}:{lineno}: invalid JSON ({error})") from error
+        times.append(_entry_time(value, f"{path}:{lineno}"))
+    return times
+
+
+def _json_times(path: Path) -> list[float]:
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"{path}: invalid JSON ({error})") from error
+    if not isinstance(document, list):
+        raise ConfigError(
+            f"{path}: a .json trace must be an array of arrivals"
+            " (use .jsonl for line-delimited records)"
+        )
+    return [
+        _entry_time(value, f"{path}[{index}]")
+        for index, value in enumerate(document)
+    ]
+
+
+def _csv_times(path: Path) -> list[float]:
+    with path.open(newline="") as handle:
+        rows = [row for row in csv.reader(handle) if row and any(cell.strip() for cell in row)]
+    if not rows:
+        return []
+    column = 0
+    try:
+        float(rows[0][column])
+        body = rows
+    except ValueError:
+        # Header row: find a recognized arrival column (default: first).
+        header = [cell.strip().lower() for cell in rows[0]]
+        for key in TRACE_TIME_KEYS:
+            if key in header:
+                column = header.index(key)
+                break
+        body = rows[1:]
+    times: list[float] = []
+    for lineno, row in enumerate(body, start=1 + (body is not rows)):
+        try:
+            times.append(float(row[column]))
+        except (ValueError, IndexError) as error:
+            raise ConfigError(
+                f"{path}:{lineno}: arrival time must be a number ({error})"
+            ) from error
+    return times
+
+
+def load_trace_file(path: str | Path) -> ArrivalTrace:
+    """Replay arrival times recorded in a ``.jsonl``, ``.json`` or ``.csv`` file.
+
+    JSONL (``.jsonl``/``.ndjson``): one arrival per line, either a bare
+    number (microseconds) or an object carrying one of the
+    :data:`TRACE_TIME_KEYS` keys.  ``.json``: one array of the same
+    entries.  CSV: one arrival per row, with an optional header naming
+    the column (the first column is used otherwise).  Timestamps are
+    sorted on ingest, matching :func:`replay_trace`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"trace file {path} does not exist")
+    suffix = path.suffix.lower()
+    if suffix in (".jsonl", ".ndjson"):
+        times = _jsonl_times(path)
+    elif suffix == ".json":
+        times = _json_times(path)
+    elif suffix == ".csv":
+        times = _csv_times(path)
+    else:
+        raise ConfigError(
+            f"unsupported trace file type {suffix!r}"
+            " (expected .jsonl, .ndjson, .json or .csv)"
+        )
+    if not times:
+        raise ConfigError(f"trace file {path} contains no arrivals")
+    return replay_trace(np.asarray(times), name=f"replay:{path.name}")
 
 
 #: Trace kinds constructible from (rate, count, rng) — the CLI surface.

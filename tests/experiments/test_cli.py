@@ -87,6 +87,24 @@ class TestSimulateCommand:
         ) == 0
         assert "stepped engine" in capsys.readouterr().out
 
+    def test_pipelined_stream_simulation(self, capsys):
+        assert cli.main(
+            [
+                "simulate",
+                "--network",
+                "tiny",
+                "--batch-size",
+                "2",
+                "--images",
+                "8",
+                "--pipeline",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Pipelined stream simulation" in out
+        assert "steady-state" in out
+        assert "Stream speedup" in out
+
 
 class TestInfoCommand:
     def test_info_summarizes(self, capsys):

@@ -14,7 +14,7 @@ from repro.fixedpoint.arith import (
     requantize,
     saturate_raw,
 )
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import QFormat
 from repro.fixedpoint.quantize import Rounding
 
 DATA = QFormat(8, 4)

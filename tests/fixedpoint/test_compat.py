@@ -4,10 +4,18 @@
 each pair now has one canonical module and one re-export shim.  These
 tests pin the shims to the canonical objects so old import paths keep
 returning the *same* classes (isinstance checks across the two paths must
-never split).
+never split), and assert that importing a shim warns about the
+deprecation.
 """
 
-from repro.fixedpoint import formats, lut, luts, qformat
+import importlib
+import warnings
+
+import pytest
+
+with warnings.catch_warnings():
+    warnings.simplefilter("ignore", DeprecationWarning)
+    from repro.fixedpoint import formats, lut, luts, qformat
 
 
 def test_qformat_shim_is_canonical():
@@ -25,3 +33,10 @@ def test_package_exports_canonical():
     assert fx.QFormat is formats.QFormat
     assert fx.LookupTable is luts.LookupTable
     assert fx.DATA8 is formats.DATA8
+
+
+@pytest.mark.parametrize("shim", [qformat, lut])
+def test_shims_emit_deprecation_warning(shim):
+    # Module-level warnings only fire on (re)import; reload to observe one.
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        importlib.reload(shim)

@@ -2,8 +2,8 @@
 
 import numpy as np
 
-from repro.fixedpoint.lut import LookupTable, LookupTable2D
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.luts import LookupTable, LookupTable2D
+from repro.fixedpoint.formats import QFormat
 from repro.fixedpoint.quantize import from_raw, quantize, to_raw
 
 IN_FMT = QFormat(6, 3)

@@ -13,7 +13,7 @@ from repro.fixedpoint.luts import (
     lut_inventory,
     squash_gain,
 )
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import QFormat
 from repro.fixedpoint.quantize import from_raw, to_raw
 
 

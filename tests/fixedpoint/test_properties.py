@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.fixedpoint.arith import fx_mac, requantize, saturate_raw
 from repro.fixedpoint.luts import fixed_sqrt
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import QFormat
 from repro.fixedpoint.quantize import Rounding, from_raw, quantize, to_raw
 
 DATA = QFormat(8, 4)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import QFormatError
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import QFormat
 
 
 class TestRanges:

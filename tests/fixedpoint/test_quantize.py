@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SaturationError
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import QFormat
 from repro.fixedpoint.quantize import (
     Rounding,
     from_raw,

@@ -18,7 +18,7 @@ import pytest
 
 from repro.capsnet.hwops import QuantizedFormats, chunked_saturating_matmul
 from repro.errors import ShapeError
-from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.formats import QFormat
 from repro.hw.accelerator import (
     BatchedGemmJob,
     CapsAccAccelerator,

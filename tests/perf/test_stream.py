@@ -1,0 +1,70 @@
+"""AnalyticStreamCost: closed form vs scheduler-traced stream timing."""
+
+import pytest
+
+from repro.capsnet.quantized import QuantizedCapsuleNet
+from repro.errors import ConfigError
+from repro.hw.config import AcceleratorConfig
+from repro.hw.scheduler import PipelinedStreamScheduler
+from repro.perf.stream import (
+    PROBE_STREAM_LENGTH,
+    AnalyticStreamCost,
+    stream_crosscheck,
+)
+
+
+@pytest.fixture(scope="module")
+def qnet(tiny_config, tiny_weights):
+    return QuantizedCapsuleNet(tiny_config, weights=tiny_weights)
+
+
+class TestAnalyticStreamCost:
+    def test_crosschecks_within_two_percent(self, qnet, tiny_config):
+        scheduled = PipelinedStreamScheduler(qnet)
+        analytic = AnalyticStreamCost(network=tiny_config)
+        report = stream_crosscheck(scheduled, analytic, batch_sizes=(1, 2, 4, 8))
+        for values in report.values():
+            assert values["rel_error"] <= 0.02
+
+    def test_crosschecks_with_bounded_fifo(self, qnet, tiny_config):
+        config = AcceleratorConfig(acc_fifo_depth=4)
+        from repro.hw.accelerator import CapsAccAccelerator
+
+        scheduled = PipelinedStreamScheduler(
+            qnet, accelerator=CapsAccAccelerator(config, formats=qnet.formats)
+        )
+        analytic = AnalyticStreamCost(network=tiny_config, accel_config=config)
+        report = stream_crosscheck(scheduled, analytic, batch_sizes=(1, 4))
+        for values in report.values():
+            assert values["rel_error"] <= 0.02
+
+    def test_steady_at_most_cold(self, tiny_config):
+        analytic = AnalyticStreamCost(network=tiny_config)
+        for batch in (1, 2, 8):
+            assert analytic.steady_cycles(batch) <= analytic.cold_cycles(batch)
+
+    def test_cycles_per_image_improves_with_batch(self, tiny_config):
+        analytic = AnalyticStreamCost(network=tiny_config)
+        assert analytic.cycles_per_image(8) < analytic.cycles_per_image(1)
+
+    def test_memoized(self, tiny_config):
+        analytic = AnalyticStreamCost(network=tiny_config)
+        first = analytic.steady_cycles(2)
+        assert analytic.steady_cycles(2) == first
+        assert 2 in analytic._steady_memo
+
+    def test_probe_stream_long_enough_to_converge(self, tiny_config):
+        analytic = AnalyticStreamCost(network=tiny_config)
+        for batch in (2, 8):
+            longer = analytic.stream_timing([batch] * (PROBE_STREAM_LENGTH + 4))
+            assert analytic.steady_cycles(batch) == longer.steady_marginal_cycles
+
+    def test_rejects_bad_batch(self, tiny_config):
+        with pytest.raises(ConfigError):
+            AnalyticStreamCost(network=tiny_config).batch_ops(0)
+
+    def test_crosscheck_raises_beyond_tolerance(self, qnet, tiny_config):
+        scheduled = PipelinedStreamScheduler(qnet)
+        analytic = AnalyticStreamCost(network=tiny_config)
+        with pytest.raises(ConfigError):
+            stream_crosscheck(scheduled, analytic, batch_sizes=(1,), rel_tol=1e-9)

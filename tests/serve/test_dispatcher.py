@@ -6,21 +6,27 @@ from repro.errors import ConfigError
 from repro.serve.dispatcher import ArrayPool
 
 
+def claim(pool, batch_size, duration_us, now_us=0.0):
+    array, warm = pool.select(now_us)
+    pool.charge(array, batch_size, duration_us, warm=warm)
+    return array
+
+
 def test_lowest_id_first_and_release():
     pool = ArrayPool(3)
     assert pool.idle_count == 3
-    assert pool.acquire(1, 10.0) == 0
-    assert pool.acquire(1, 10.0) == 1
+    assert claim(pool, 1, 10.0) == 0
+    assert claim(pool, 1, 10.0) == 1
     pool.release(0)
-    assert pool.acquire(1, 10.0) == 0  # freed array is reused first
+    assert claim(pool, 1, 10.0) == 0  # freed array is reused first
     assert pool.idle_count == 1
 
 
 def test_stats_accumulate():
     pool = ArrayPool(2)
-    pool.acquire(4, 100.0)
+    claim(pool, 4, 100.0)
     pool.release(0)
-    pool.acquire(2, 50.0)
+    claim(pool, 2, 50.0)
     stat = pool.stats[0]
     assert stat.busy_us == pytest.approx(150.0)
     assert stat.batches == 2
@@ -31,10 +37,10 @@ def test_stats_accumulate():
 
 def test_exhausted_pool_raises():
     pool = ArrayPool(1)
-    pool.acquire(1, 1.0)
+    claim(pool, 1, 1.0)
     assert not pool.has_idle()
     with pytest.raises(ConfigError):
-        pool.acquire(1, 1.0)
+        pool.select(1.0)
 
 
 def test_zero_arrays_rejected():

@@ -1,0 +1,196 @@
+"""Pipelined serving: warm/cold charging, drain-saved accounting, dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import (
+    AnalyticBatchCost,
+    BatchPolicy,
+    ScheduledBatchCost,
+    ServingSimulator,
+    poisson_trace,
+    replay_trace,
+    uniform_trace,
+)
+from repro.serve.dispatcher import ArrayPool
+
+
+@pytest.fixture(scope="module")
+def cost(tiny_qnet):
+    return ScheduledBatchCost(qnet=tiny_qnet, pipeline=True)
+
+
+def saturating_trace(cost, count=40, multiplier=3.0, seed=11):
+    rate = multiplier * cost.config.clock_mhz * 1e6 / cost.batch_cycles(1)
+    return poisson_trace(rate, count, np.random.default_rng(seed))
+
+
+class TestWarmCosts:
+    def test_warm_at_most_cold(self, cost):
+        for batch in (1, 2, 8):
+            assert cost.warm_batch_cycles(batch) <= cost.batch_cycles(batch)
+            assert cost.drain_saved_cycles(batch) == (
+                cost.batch_cycles(batch) - cost.warm_batch_cycles(batch)
+            )
+
+    def test_warm_needs_pipeline_flag(self, tiny_qnet):
+        plain = ScheduledBatchCost(qnet=tiny_qnet)
+        with pytest.raises(ConfigError):
+            plain.warm_batch_cycles(1)
+
+    def test_sequential_accounting_rejected(self, tiny_qnet):
+        with pytest.raises(ConfigError):
+            ScheduledBatchCost(qnet=tiny_qnet, accounting="sequential", pipeline=True)
+
+    def test_analytic_warm_at_most_cold(self, tiny_config):
+        analytic = AnalyticBatchCost(network=tiny_config, pipeline=True)
+        for batch in (1, 4):
+            assert analytic.warm_batch_cycles(batch) <= analytic.batch_cycles(batch)
+
+    def test_analytic_warm_needs_pipeline_flag(self, tiny_config):
+        with pytest.raises(ConfigError):
+            AnalyticBatchCost(network=tiny_config).warm_batch_cycles(1)
+
+    def test_execute_returns_warm_cycles_and_identical_outputs(self, cost, tiny_images):
+        cold_cycles, cold_result = cost.execute(tiny_images[:2], warm=False)
+        warm_cycles, warm_result = cost.execute(tiny_images[:2], warm=True)
+        assert cold_cycles == cost.batch_cycles(2)
+        assert warm_cycles == cost.warm_batch_cycles(2)
+        np.testing.assert_array_equal(cold_result.predictions, warm_result.predictions)
+
+
+class TestWarmDispatch:
+    def test_back_to_back_batches_run_warm(self, cost):
+        report = ServingSimulator(
+            saturating_trace(cost),
+            BatchPolicy(max_batch=4, max_wait_us=20.0),
+            cost,
+            pipeline=True,
+        ).run()
+        # Under saturation every batch after the first finds the queue
+        # non-empty and dispatches the instant the array frees.
+        assert report.warm_batches == len(report.batches) - 1
+        for batch in report.batches[1:]:
+            assert batch.warm
+            assert batch.cycles == cost.warm_batch_cycles(batch.size)
+            assert batch.drain_saved_us == pytest.approx(
+                cost.config.cycles_to_us(cost.drain_saved_cycles(batch.size))
+            )
+        assert not report.batches[0].warm
+        assert report.batches[0].cycles == cost.batch_cycles(report.batches[0].size)
+
+    def test_idle_gaps_dispatch_cold(self, cost):
+        # Arrivals far apart: the array always drains before the next
+        # request shows up, so nothing runs warm.
+        gap = 10 * cost.config.cycles_to_us(cost.batch_cycles(1))
+        trace = replay_trace(np.arange(1, 9) * gap)
+        report = ServingSimulator(
+            trace, BatchPolicy(max_batch=1, max_wait_us=0.0), cost, pipeline=True
+        ).run()
+        assert report.warm_batches == 0
+        assert report.drain_saved_total_us == 0.0
+
+    def test_pipeline_improves_saturated_throughput(self, cost, tiny_qnet):
+        trace = saturating_trace(cost)
+        policy = BatchPolicy(max_batch=4, max_wait_us=20.0)
+        cold = ServingSimulator(trace, policy, ScheduledBatchCost(qnet=tiny_qnet)).run()
+        warm = ServingSimulator(trace, policy, cost, pipeline=True).run()
+        assert warm.throughput_rps > cold.throughput_rps
+        assert warm.drain_saved_total_us > 0.0
+
+    def test_pipeline_off_unchanged_by_pipeline_capable_cost(self, cost, tiny_qnet):
+        trace = saturating_trace(cost)
+        policy = BatchPolicy(max_batch=4, max_wait_us=20.0)
+        plain = ServingSimulator(
+            trace, policy, ScheduledBatchCost(qnet=tiny_qnet)
+        ).run()
+        off = ServingSimulator(trace, policy, cost, pipeline=False).run()
+        a, b = plain.to_dict(), off.to_dict()
+        for key in ("wall_seconds", "wall_rps"):
+            a.pop(key), b.pop(key)
+        assert a == b
+
+    def test_pipeline_needs_pipeline_cost(self, tiny_qnet):
+        plain = ScheduledBatchCost(qnet=tiny_qnet)
+        trace = uniform_trace(100.0, 4)
+        with pytest.raises(ConfigError):
+            ServingSimulator(trace, BatchPolicy(), plain, pipeline=True)
+
+    def test_execute_mode_predictions_bit_exact(self, cost, tiny_qnet, tiny_images):
+        from repro.hw.scheduler import BatchScheduler
+
+        trace = saturating_trace(cost, count=4)
+        report = ServingSimulator(
+            trace,
+            BatchPolicy(max_batch=4, max_wait_us=20.0),
+            cost,
+            images=tiny_images,
+            execute=True,
+            pipeline=True,
+        ).run()
+        assert report.warm_batches >= 0  # ran to completion
+        scheduler = BatchScheduler(tiny_qnet)
+        for batch in report.batches:
+            expected = scheduler.run_batch(tiny_images[batch.request_indices])
+            np.testing.assert_array_equal(
+                report.predictions[batch.request_indices], expected.predictions
+            )
+
+    def test_report_fields(self, cost):
+        report = ServingSimulator(
+            saturating_trace(cost),
+            BatchPolicy(max_batch=4, max_wait_us=20.0),
+            cost,
+            pipeline=True,
+        ).run()
+        payload = report.to_dict()
+        assert payload["pipeline"] is True
+        assert payload["warm_batches"] == report.warm_batches
+        assert payload["drain_saved_us"] == pytest.approx(report.drain_saved_total_us)
+        assert "drain_saved" in report.latency_summary()
+        assert "warm batches" in report.format_table()
+        # The three-way decomposition still sums to the latency.
+        for record in report.requests:
+            assert record.queueing_us + record.batching_us + record.compute_us == (
+                pytest.approx(record.latency_us)
+            )
+
+
+class TestWarmArrayPreference:
+    def test_prefers_just_freed_array(self):
+        pool = ArrayPool(2)
+        a, warm = pool.select(0.0)
+        assert (a, warm) == (0, False)
+        pool.charge(a, 1, 10.0)
+        pool.release(a, 10.0)
+        # Array 0 was just released at t=10; prefer it over cold array 1.
+        array, warm = pool.select(10.0, prefer_warm=True)
+        assert (array, warm) == (0, True)
+
+    def test_without_preference_lowest_id_wins(self):
+        pool = ArrayPool(2)
+        first, _ = pool.select(0.0)
+        pool.release(first, 5.0)
+        pool.select(5.0)  # takes array 0 again (lowest id, happens warm)
+        array, warm = pool.select(5.0)
+        assert (array, warm) == (1, False)
+
+    def test_warm_counter_tracked(self):
+        pool = ArrayPool(1)
+        array, _ = pool.select(0.0)
+        pool.charge(array, 2, 7.0, warm=False)
+        pool.release(array, 7.0)
+        array, warm = pool.select(7.0, prefer_warm=True)
+        assert warm
+        pool.charge(array, 2, 5.0, warm=True)
+        assert pool.stats[0].warm_batches == 1
+        assert pool.stats[0].batches == 2
+
+    def test_charge_accumulates_requests(self):
+        pool = ArrayPool(2)
+        array, _ = pool.select(0.0)
+        pool.charge(array, 3, 12.0)
+        assert array == 0
+        assert pool.stats[0].busy_us == 12.0
+        assert pool.stats[0].requests == 3

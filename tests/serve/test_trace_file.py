@@ -1,0 +1,163 @@
+"""Trace-file replay: JSONL/CSV parsing, sorting, validation, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.trace import load_trace_file
+
+
+class TestJsonl:
+    def test_bare_numbers(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("100\n50.5\n\n200\n")
+        trace = load_trace_file(path)
+        assert trace.name == "replay:trace.jsonl"
+        np.testing.assert_allclose(trace.times_us, [50.5, 100.0, 200.0])
+
+    def test_objects_with_arrival_key(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"arrival_us": 300, "user": "a"}\n'
+            '{"time_us": 100}\n'
+            '{"timestamp_us": 200}\n'
+        )
+        np.testing.assert_allclose(
+            load_trace_file(path).times_us, [100.0, 200.0, 300.0]
+        )
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("100\nnot json\n")
+        with pytest.raises(ConfigError, match="trace.jsonl:2"):
+            load_trace_file(path)
+
+    def test_object_without_key_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"foo": 1}\n')
+        with pytest.raises(ConfigError, match="no arrival key"):
+            load_trace_file(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('"hello"\n')
+        with pytest.raises(ConfigError, match="must be a number"):
+            load_trace_file(path)
+
+
+class TestJsonArray:
+    def test_array_of_numbers_and_objects(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text('[300, {"arrival_us": 100}, 200]')
+        np.testing.assert_allclose(
+            load_trace_file(path).times_us, [100.0, 200.0, 300.0]
+        )
+
+    def test_non_array_document_rejected(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text('{"arrival_us": 100}')
+        with pytest.raises(ConfigError, match="must be an array"):
+            load_trace_file(path)
+
+
+class TestCsv:
+    def test_headerless_single_column(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("200\n100\n300\n")
+        np.testing.assert_allclose(
+            load_trace_file(path).times_us, [100.0, 200.0, 300.0]
+        )
+
+    def test_header_names_column(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("user,arrival_us\na,200\nb,100\n")
+        np.testing.assert_allclose(load_trace_file(path).times_us, [100.0, 200.0])
+
+    def test_unknown_header_uses_first_column(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("when\n75\n25\n")
+        np.testing.assert_allclose(load_trace_file(path).times_us, [25.0, 75.0])
+
+    def test_bad_cell_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("arrival_us\n100\noops\n")
+        with pytest.raises(ConfigError, match="must be a number"):
+            load_trace_file(path)
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="does not exist"):
+            load_trace_file(tmp_path / "nope.jsonl")
+
+    def test_unsupported_suffix(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("100\n")
+        with pytest.raises(ConfigError, match="unsupported trace file type"):
+            load_trace_file(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n\n")
+        with pytest.raises(ConfigError, match="no arrivals"):
+            load_trace_file(path)
+
+    def test_negative_times_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("-5\n10\n")
+        with pytest.raises(ConfigError):
+            load_trace_file(path)
+
+
+class TestCli:
+    def test_serve_sim_replays_file(self, tmp_path, capsys):
+        from repro import cli
+
+        path = tmp_path / "arrivals.jsonl"
+        path.write_text("\n".join(str(100.0 * i) for i in range(1, 9)))
+        code = cli.main(
+            [
+                "serve-sim",
+                "--network",
+                "tiny",
+                "--trace-file",
+                str(path),
+                "--max-batch",
+                "4",
+                "--max-wait-us",
+                "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replay:arrivals.jsonl" in out
+        assert "served 8 requests" in out
+
+    def test_serve_sim_pipeline_with_file(self, tmp_path, capsys):
+        from repro import cli
+
+        path = tmp_path / "arrivals.csv"
+        path.write_text("arrival_us\n" + "\n".join(str(10.0 * i) for i in range(1, 13)))
+        code = cli.main(
+            [
+                "serve-sim",
+                "--network",
+                "tiny",
+                "--pipeline",
+                "--trace-file",
+                str(path),
+                "--max-batch",
+                "4",
+                "--max-wait-us",
+                "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm batches" in out
+
+    def test_missing_trace_file_is_config_error(self, capsys):
+        from repro import cli
+
+        assert cli.main(["serve-sim", "--trace-file", "/nonexistent.jsonl"]) == 2
+        assert "does not exist" in capsys.readouterr().err
