@@ -213,6 +213,36 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant_spec(text: str) -> dict:
+    """Parse one ``--tenant`` value: comma-separated ``key=value`` pairs."""
+    from repro.errors import ConfigError
+
+    known = {
+        "name",
+        "rate",
+        "requests",
+        "trace",
+        "network",
+        "deadline-ms",
+        "weight",
+    }
+    spec: dict = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        if not sep or key not in known:
+            raise ConfigError(
+                f"bad tenant field {item!r} (known keys: {sorted(known)})"
+            )
+        spec[key] = value.strip()
+    if "name" not in spec:
+        raise ConfigError(f"tenant spec {text!r} needs a name=... field")
+    return spec
+
+
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     import json
 
@@ -223,18 +253,51 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     from repro.errors import ConfigError
     from repro.serve import (
         AnalyticBatchCost,
-        BatchPolicy,
         ScheduledBatchCost,
+        ServerConfig,
         ServingSimulator,
+        TenantSpec,
         load_trace_file,
         make_trace,
     )
 
-    network = (
-        tiny_capsnet_config() if args.network == "tiny" else mnist_capsnet_config()
-    )
+    def network_config(name: str):
+        return tiny_capsnet_config() if name == "tiny" else mnist_capsnet_config()
+
+    def spec_value(spec: dict, key: str, default, convert):
+        raw = spec.get(key)
+        if raw is None:
+            return default
+        try:
+            return convert(raw)
+        except ValueError as error:
+            raise ConfigError(
+                f"tenant {spec['name']}: bad {key}={raw!r} ({error})"
+            ) from error
+
     try:
         accel_config = AcceleratorConfig(acc_fifo_depth=args.fifo_depth)
+        cost_by_network: dict[str, object] = {}
+
+        def build_cost(network_name: str):
+            # One cost model (and per-batch-size memo) per distinct network.
+            if network_name not in cost_by_network:
+                network = network_config(network_name)
+                if args.cost == "analytic":
+                    cost_by_network[network_name] = AnalyticBatchCost(
+                        network=network,
+                        accel_config=accel_config,
+                        pipeline=args.pipeline,
+                    )
+                else:
+                    cost_by_network[network_name] = ScheduledBatchCost(
+                        network=network,
+                        accel_config=accel_config,
+                        accounting=args.accounting,
+                        pipeline=args.pipeline,
+                    )
+            return cost_by_network[network_name]
+
         if args.cost == "analytic":
             if args.execute:
                 raise ConfigError("--execute needs the scheduled cost model")
@@ -243,46 +306,93 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                     "--accounting only applies to --cost scheduled (the"
                     " analytic model always costs the overlapped schedule)"
                 )
-            cost = AnalyticBatchCost(
-                network=network, accel_config=accel_config, pipeline=args.pipeline
-            )
-        else:
-            cost = ScheduledBatchCost(
-                network=network,
-                accel_config=accel_config,
-                accounting=args.accounting,
-                pipeline=args.pipeline,
-            )
+        cost = build_cost(args.network)
 
-        # One Generator seeds everything — the arrival trace and (in execute
-        # mode) the request images — so a run is reproducible end to end.
-        rng = np.random.default_rng(args.seed)
-        if args.trace_file is not None:
-            trace = load_trace_file(args.trace_file)
-            requests = trace.count
-        else:
-            trace_kwargs = (
-                {"burst_size": args.burst_size} if args.trace == "bursty" else {}
+        if args.deadline_ms is not None and args.deadline_ms <= 0:
+            raise ConfigError("--deadline-ms must be positive")
+        array_configs = None
+        if args.array_sizes:
+            array_configs = tuple(
+                accel_config.with_array(size, size) for size in args.array_sizes
             )
-            trace = make_trace(args.trace, args.rate, args.requests, rng, **trace_kwargs)
-            requests = args.requests
-        images = None
-        if args.execute:
-            images = SyntheticDigits(size=network.image_size, rng=rng).generate(
-                requests
-            ).images
-        policy = BatchPolicy(max_batch=args.max_batch, max_wait_us=args.max_wait_us)
-        simulator = ServingSimulator(
-            trace,
-            policy,
+        server = ServerConfig.from_policy(
+            args.policy,
             cost,
-            arrays=args.arrays,
-            images=images,
-            execute=args.execute,
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            queue_limit=args.queue_limit,
+            dispatch=args.dispatch,
+            arrays=len(array_configs) if array_configs else args.arrays,
+            array_configs=array_configs,
             pipeline=args.pipeline,
+            deadline_us=(
+                args.deadline_ms * 1000.0 if args.deadline_ms is not None else None
+            ),
             network_name=args.network,
         )
-        report = simulator.run(with_crosscheck=args.cost == "scheduled")
+
+        # One Generator seeds everything — the arrival traces and (in
+        # execute mode) the request images — so a run is reproducible end
+        # to end.
+        rng = np.random.default_rng(args.seed)
+        if args.tenant:
+            if args.execute:
+                raise ConfigError("--execute is single-tenant only")
+            if args.trace_file is not None:
+                raise ConfigError("--trace-file is single-tenant only")
+            tenants = []
+            for text in args.tenant:
+                spec = _parse_tenant_spec(text)
+                kind = spec.get("trace", args.trace)
+                rate = spec_value(spec, "rate", args.rate, float)
+                count = spec_value(spec, "requests", args.requests, int)
+                trace_kwargs = (
+                    {"burst_size": args.burst_size} if kind == "bursty" else {}
+                )
+                tenant_network = spec.get("network", args.network)
+                deadline_ms = spec_value(spec, "deadline-ms", None, float)
+                tenants.append(
+                    TenantSpec(
+                        name=spec["name"],
+                        trace=make_trace(kind, rate, count, rng, **trace_kwargs),
+                        cost=(
+                            build_cost(tenant_network)
+                            if tenant_network != args.network
+                            else None
+                        ),
+                        deadline_us=(
+                            deadline_ms * 1000.0 if deadline_ms is not None else None
+                        ),
+                        weight=spec_value(spec, "weight", 1.0, float),
+                    )
+                )
+            simulator = ServingSimulator(server=server, tenants=tenants)
+            report = simulator.run(with_crosscheck=False)
+        else:
+            if args.trace_file is not None:
+                trace = load_trace_file(args.trace_file)
+                requests = trace.count
+            else:
+                trace_kwargs = (
+                    {"burst_size": args.burst_size} if args.trace == "bursty" else {}
+                )
+                trace = make_trace(
+                    args.trace, args.rate, args.requests, rng, **trace_kwargs
+                )
+                requests = args.requests
+            images = None
+            if args.execute:
+                network = network_config(args.network)
+                images = SyntheticDigits(size=network.image_size, rng=rng).generate(
+                    requests
+                ).images
+            simulator = ServingSimulator(
+                trace,
+                server=server,
+                images=images,
+                execute=args.execute,
+            )
+            report = simulator.run(with_crosscheck=args.cost == "scheduled")
     except ConfigError as error:
         print(f"serve-sim: {error}", file=sys.stderr)
         return 2
@@ -391,7 +501,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="max coalescing wait past the oldest queued request (us)",
     )
     serve_parser.add_argument(
+        "--policy",
+        choices=("fifo", "deadline", "greedy"),
+        default="fifo",
+        help="serving-policy preset: admission + batching + dispatch"
+        " (fifo = the classic max-batch/max-wait behavior)",
+    )
+    serve_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request SLA in milliseconds (drives the deadline policy's"
+        " early launches and shed-infeasible admission)",
+    )
+    serve_parser.add_argument(
+        "--dispatch",
+        choices=("least-recent", "round-robin", "prefer-warm", "greedy"),
+        default=None,
+        help="override the preset's array-dispatch policy",
+    )
+    serve_parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        help="shed arrivals once this many requests are queued",
+    )
+    serve_parser.add_argument(
+        "--tenant",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="add a tenant (repeatable): comma-separated key=value pairs,"
+        " e.g. name=a,rate=400,requests=64,network=tiny,deadline-ms=10,"
+        "weight=2 (unset keys inherit the top-level flags)",
+    )
+    serve_parser.add_argument(
         "--arrays", type=int, default=1, help="accelerator arrays to shard across"
+    )
+    serve_parser.add_argument(
+        "--array-sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="heterogeneous pool: one NxN array per size (overrides --arrays)",
     )
     serve_parser.add_argument(
         "--network", choices=("mnist", "tiny"), default="mnist"

@@ -1,17 +1,26 @@
-"""Batching extension: where does the GPU win back on throughput?
+"""Batching extensions: GPU crossover and serving-policy comparison.
 
 The paper's comparison is batch-1 inference — the embedded / latency-
 critical case CapsAcc targets.  A GPU amortizes its per-op dispatch
 overhead over larger batches, so there is a crossover batch size beyond
 which GPU *throughput* (not latency) overtakes the batch-1 accelerator.
-This experiment sweeps the batch size, reporting images/s for both targets
+:func:`run` sweeps the batch size, reporting images/s for both targets
 and the crossover — quantifying the domain where the paper's conclusion
 holds.
+
+:func:`policy_comparison` studies the *serving* side of batching: the
+same saturating arrival trace served under each named serving-policy
+preset (``fifo`` / ``deadline`` / ``greedy``; see
+:mod:`repro.serve.policies`), reporting throughput, p50/p99 latency,
+shed rate and SLA misses — the policy-level design space the pluggable
+protocols open (closed-form costs, so the sweep is cheap).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
 from repro.experiments.common import format_table
@@ -66,6 +75,123 @@ def run(
         gpu_images_per_s=gpu_throughput,
         capsacc_images_per_s=1e3 / latency_ms,
         capsacc_latency_ms=latency_ms,
+    )
+
+
+@dataclass
+class PolicyComparisonResult:
+    """One row per serving-policy preset on a shared saturating trace."""
+
+    rows: list[dict]
+    rate_multiplier: float
+    deadline_ms: float
+    offered_rps: float
+
+    def row(self, policy: str) -> dict:
+        """The comparison row of one named policy."""
+        for entry in self.rows:
+            if entry["policy"] == policy:
+                return entry
+        raise KeyError(policy)
+
+
+def policy_comparison(
+    config: CapsNetConfig | None = None,
+    accelerator: AcceleratorConfig | None = None,
+    policies: tuple[str, ...] = ("fifo", "deadline", "greedy"),
+    rate_multiplier: float = 2.5,
+    requests: int = 96,
+    deadline_ms: float = 10.0,
+    max_batch: int = 8,
+    max_wait_us: float = 5000.0,
+    arrays: int = 1,
+    seed: int = 7,
+) -> PolicyComparisonResult:
+    """Serve one saturating trace under each serving-policy preset.
+
+    The arrival rate is ``rate_multiplier`` times the batch-1 service
+    capacity (the ``bench_serving.py`` saturation scenario); every policy
+    sees the same trace and the same per-request SLA of ``deadline_ms``.
+    Costs come from the closed-form model, so the comparison is cheap
+    enough for design-space sweeps.
+    """
+    from repro.serve import (
+        AnalyticBatchCost,
+        ServerConfig,
+        ServingSimulator,
+        poisson_trace,
+    )
+
+    config = config if config is not None else mnist_capsnet_config()
+    accelerator = accelerator if accelerator is not None else AcceleratorConfig()
+    cost = AnalyticBatchCost(network=config, accel_config=accelerator)
+    capacity_rps = arrays * accelerator.clock_mhz * 1e6 / cost.batch_cycles(1)
+    trace = poisson_trace(
+        rate_multiplier * capacity_rps, requests, np.random.default_rng(seed)
+    )
+    rows = []
+    for name in policies:
+        server = ServerConfig.from_policy(
+            name,
+            cost,
+            max_batch=max_batch,
+            max_wait_us=max_wait_us,
+            arrays=arrays,
+            deadline_us=deadline_ms * 1000.0,
+        )
+        report = ServingSimulator(trace, server=server).run()
+        latency = report.latency_summary()["total"]
+        rows.append(
+            {
+                "policy": name,
+                "describe": server.describe(),
+                "throughput_rps": report.throughput_rps,
+                "mean_batch_size": report.mean_batch_size,
+                "p50_us": latency["p50_us"],
+                "p99_us": latency["p99_us"],
+                "shed_rate": report.shed_rate,
+                "deadline_miss_rate": report.deadline_miss_rate,
+            }
+        )
+    return PolicyComparisonResult(
+        rows=rows,
+        rate_multiplier=rate_multiplier,
+        deadline_ms=deadline_ms,
+        offered_rps=trace.offered_rps,
+    )
+
+
+def format_policy_report(result: PolicyComparisonResult) -> str:
+    """Printable serving-policy comparison."""
+    rows = [
+        (
+            entry["policy"],
+            f"{entry['throughput_rps']:.1f}",
+            f"{entry['mean_batch_size']:.2f}",
+            f"{entry['p50_us'] / 1e3:.2f}",
+            f"{entry['p99_us'] / 1e3:.2f}",
+            f"{entry['shed_rate']:.1%}",
+            f"{entry['deadline_miss_rate']:.1%}",
+        )
+        for entry in result.rows
+    ]
+    return format_table(
+        [
+            "policy",
+            "served req/s",
+            "batch",
+            "p50 ms",
+            "p99 ms",
+            "shed",
+            "SLA miss",
+        ],
+        rows,
+        title=(
+            "Serving-policy comparison:"
+            f" {result.rate_multiplier:g}x saturation"
+            f" ({result.offered_rps:,.0f} req/s offered),"
+            f" {result.deadline_ms:g} ms SLA"
+        ),
     )
 
 

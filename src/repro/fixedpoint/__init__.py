@@ -14,8 +14,9 @@ This package provides the Q-format machinery and concrete datapath formats
 (:mod:`repro.fixedpoint.formats`), vectorized quantizers
 (:mod:`repro.fixedpoint.quantize`), saturating raw integer arithmetic
 (:mod:`repro.fixedpoint.arith`) and the lookup-table builders plus concrete
-CapsAcc tables (:mod:`repro.fixedpoint.luts`).  ``qformat`` and ``lut``
-remain as import shims for backward compatibility.
+CapsAcc tables (:mod:`repro.fixedpoint.luts`).  The former ``qformat`` and
+``lut`` modules merged into ``formats`` and ``luts``; their deprecated
+re-export shims have been removed.
 """
 
 from repro.fixedpoint.formats import (

@@ -1,12 +1,20 @@
 """Async inference-serving simulator for CapsAcc.
 
-The serving subsystem models the system *around* the accelerator: requests
-arrive on a configurable trace (:mod:`repro.serve.trace`), a dynamic
-batcher coalesces them under a max-batch / max-wait policy
-(:mod:`repro.serve.batcher`), and a dispatcher shards formed batches
-across N simulated arrays (:mod:`repro.serve.dispatcher`), each advancing
+The serving subsystem models the system *around* the accelerator, and is
+organized around three pluggable policy protocols
+(:mod:`repro.serve.policies`): requests arrive on configurable traces
+(:mod:`repro.serve.trace`), an **admission policy** accepts or sheds
+each arrival, a **batching policy** decides when a tenant's queue is
+ready and what a batch takes (:mod:`repro.serve.batcher` — the classic
+max-batch + max-wait rule, or the SLA-aware deadline batcher), and a
+**dispatch policy** places formed batches onto a pool of simulated
+arrays (:mod:`repro.serve.dispatcher` — least-recent, round-robin,
+prefer-warm, or greedy over heterogeneous array sizes), each advancing
 on the cycle-exact costs of the batched execution engine
-(:mod:`repro.serve.costs`).  The discrete-event loop and the latency
+(:mod:`repro.serve.costs`).  A :class:`ServerConfig` composes one of
+each with the cost model; :class:`TenantSpec` lists describe
+multi-tenant runs (different networks/SLAs sharing one pool under
+weighted-fair service).  The discrete-event loop and the latency
 decomposition (queueing / batching / compute) live in
 :mod:`repro.serve.simulator`; reports in :mod:`repro.serve.stats`.
 
@@ -14,25 +22,55 @@ Quick start::
 
     import numpy as np
     from repro.serve import (
-        BatchPolicy, ScheduledBatchCost, ServingSimulator, poisson_trace,
+        ScheduledBatchCost, ServerConfig, ServingSimulator, poisson_trace,
     )
 
     rng = np.random.default_rng(7)
     trace = poisson_trace(rate_rps=400.0, count=64, rng=rng)
     cost = ScheduledBatchCost()                   # paper MNIST network
-    sim = ServingSimulator(trace, BatchPolicy(max_batch=8), cost, arrays=2)
-    report = sim.run(with_crosscheck=True)
+    server = ServerConfig.from_policy(
+        "deadline", cost, arrays=2, deadline_us=10_000.0
+    )
+    report = ServingSimulator(trace, server=server).run()
     print(report.format_table())
 """
 
-from repro.serve.batcher import BatchPolicy, DynamicBatcher, QueuedRequest
+from repro.serve.batcher import (
+    BatchPolicy,
+    DeadlineBatcher,
+    DynamicBatcher,
+    QueuedRequest,
+    RequestQueue,
+)
 from repro.serve.costs import (
     ACCOUNTINGS,
     AnalyticBatchCost,
     ScheduledBatchCost,
     crosscheck,
 )
-from repro.serve.dispatcher import ArrayPool, ArrayStats
+from repro.serve.dispatcher import (
+    ArrayPool,
+    ArrayStats,
+    DispatchContext,
+    GreedyWhenIdleDispatch,
+    LeastRecentDispatch,
+    PreferWarmDispatch,
+    RoundRobinDispatch,
+)
+from repro.serve.policies import (
+    ADMISSION_POLICIES,
+    BATCHING_POLICIES,
+    DISPATCH_POLICIES,
+    SERVING_POLICIES,
+    AdmitAll,
+    ChainedAdmission,
+    CostBank,
+    DeadlineAdmission,
+    QueueLimitAdmission,
+    ServerConfig,
+    TenantSpec,
+    make_serving_policy,
+)
 from repro.serve.simulator import ServingSimulator
 from repro.serve.stats import (
     BatchRecord,
@@ -41,6 +79,7 @@ from repro.serve.stats import (
     percentile_summary,
 )
 from repro.serve.trace import (
+    TRACE_DEADLINE_KEY,
     TRACE_KINDS,
     TRACE_TIME_KEYS,
     ArrivalTrace,
@@ -54,23 +93,43 @@ from repro.serve.trace import (
 
 __all__ = [
     "ACCOUNTINGS",
+    "ADMISSION_POLICIES",
+    "BATCHING_POLICIES",
+    "DISPATCH_POLICIES",
+    "SERVING_POLICIES",
+    "TRACE_DEADLINE_KEY",
     "TRACE_KINDS",
     "TRACE_TIME_KEYS",
+    "AdmitAll",
     "AnalyticBatchCost",
     "ArrayPool",
     "ArrayStats",
     "ArrivalTrace",
     "BatchPolicy",
     "BatchRecord",
+    "ChainedAdmission",
+    "CostBank",
+    "DeadlineAdmission",
+    "DeadlineBatcher",
+    "DispatchContext",
     "DynamicBatcher",
+    "GreedyWhenIdleDispatch",
+    "LeastRecentDispatch",
+    "PreferWarmDispatch",
+    "QueueLimitAdmission",
     "QueuedRequest",
+    "RequestQueue",
     "RequestRecord",
+    "RoundRobinDispatch",
     "ScheduledBatchCost",
+    "ServerConfig",
     "ServingReport",
     "ServingSimulator",
+    "TenantSpec",
     "bursty_trace",
     "crosscheck",
     "load_trace_file",
+    "make_serving_policy",
     "make_trace",
     "percentile_summary",
     "poisson_trace",

@@ -17,10 +17,13 @@ stream pipelining (:mod:`repro.hw.pipeline`): an array that receives a
 batch back to back — dispatched the instant the previous batch finished —
 keeps its pipeline full, prestages the next batch's conv1 tiles under the
 previous batch's routing tail, and pays only the steady-state marginal
-cycles instead of the cold figure.  The warm cost is probed from a
-homogeneous stream of the batch size (the previous batch's tail covers
-the prestage whenever it is non-trivial, so the preceding size barely
-matters) and never exceeds the cold cost.
+cycles instead of the cold figure.  The warm cost is keyed by the
+``(prev_batch_size, batch_size)`` pair: a homogeneous probe stream of
+the batch size prices the ``prev == size`` case, and mixed-size
+back-to-back dispatches are probed from a two-size stream whose settled
+transition batch carries the pair's marginal (the predecessor's tail
+covers a different amount of the successor's prestage when the sizes
+differ).  Warm costs never exceed the cold cost.
 """
 
 from __future__ import annotations
@@ -41,6 +44,43 @@ from repro.perf.stream import PROBE_STREAM_LENGTH, AnalyticStreamCost
 #: paper's architecture achieves and :mod:`repro.perf` models) or the
 #: fully sequential schedule (weight loads stall compute).
 ACCOUNTINGS = ("overlapped", "sequential")
+
+#: Probe stream for the mixed-size ``(prev, size)`` warm cost: enough
+#: predecessor batches for the pipeline to settle into the predecessor's
+#: rhythm, then enough successors that the transition batch has work
+#: behind it (a stream-final batch's marginal is tail-flattered — it
+#: keeps the whole array once its predecessor retires).
+PAIR_PROBE_PREFIX = 3
+PAIR_PROBE_SUFFIX = 3
+
+
+def _pair_marginal(timing) -> int:
+    """Marginal cycles of the transition batch in a pair probe stream."""
+    return timing.batches[PAIR_PROBE_PREFIX].marginal_cycles
+
+
+def _pair_warm_cycles(
+    memo: dict[tuple[int, int], int],
+    probe,
+    prev_size: int,
+    batch_size: int,
+    cold: int,
+) -> int:
+    """Memoized mixed-size warm cost from a two-size probe stream.
+
+    Shared by both cost models; ``probe`` maps a batch-size stream to its
+    :class:`~repro.hw.pipeline.StreamTiming`.  Clamped to the cold cost:
+    an array is never worse off for having stayed warm.
+    """
+    if prev_size < 1:
+        raise ConfigError("previous batch size must be positive")
+    key = (prev_size, batch_size)
+    if key not in memo:
+        timing = probe(
+            [prev_size] * PAIR_PROBE_PREFIX + [batch_size] * PAIR_PROBE_SUFFIX
+        )
+        memo[key] = min(_pair_marginal(timing), cold)
+    return memo[key]
 
 
 def _batch_cycles(result: BatchResult, accounting: str) -> int:
@@ -103,9 +143,13 @@ class ScheduledBatchCost:
         )
         self.scheduler = BatchScheduler(qnet, accelerator=accelerator, engine=engine)
         self.accounting = accounting
+        self.engine = engine
         self.pipeline = pipeline
+        self.window = window
+        self.prestage_depth = prestage_depth
         self._memo: dict[int, int] = {}
         self._warm_memo: dict[int, int] = {}
+        self._pair_memo: dict[tuple[int, int], int] = {}
         self._stream: PipelinedStreamScheduler | None = None
         if pipeline:
             self._stream = PipelinedStreamScheduler(
@@ -142,16 +186,27 @@ class ScheduledBatchCost:
             self._memo[batch_size] = _batch_cycles(result, self.accounting)
         return self._memo[batch_size]
 
-    def warm_batch_cycles(self, batch_size: int) -> int:
+    def warm_batch_cycles(self, batch_size: int, prev_size: int | None = None) -> int:
         """Steady-state (pipelined) cycles of a back-to-back batch.
 
-        Probed from a homogeneous stream of ``batch_size`` batches through
-        the stream pipeline (timing only — ops are shape-driven), and
-        clamped to never exceed the cold cost: an array is never worse off
-        for having stayed warm.
+        With ``prev_size`` omitted (or equal to ``batch_size``) the cost
+        is probed from a homogeneous stream of ``batch_size`` batches;
+        a differing ``prev_size`` prices the mixed-size hand-off from the
+        settled transition batch of a two-size probe stream (timing only
+        — ops are shape-driven).  Either way the figure is clamped to
+        never exceed the cold cost: an array is never worse off for
+        having stayed warm.
         """
         if self._stream is None:
             raise ConfigError("warm costs need a cost model built with pipeline=True")
+        if prev_size is not None and prev_size != batch_size:
+            return _pair_warm_cycles(
+                self._pair_memo,
+                self._stream.probe_timing,
+                prev_size,
+                batch_size,
+                self.batch_cycles(batch_size),
+            )
         if batch_size not in self._warm_memo:
             cold = self.batch_cycles(batch_size)
             steady = self._stream.probe_timing(
@@ -160,21 +215,29 @@ class ScheduledBatchCost:
             self._warm_memo[batch_size] = min(steady, cold)
         return self._warm_memo[batch_size]
 
-    def drain_saved_cycles(self, batch_size: int) -> int:
+    def drain_saved_cycles(self, batch_size: int, prev_size: int | None = None) -> int:
         """Cycles a warm dispatch saves over a cold one (>= 0)."""
-        return self.batch_cycles(batch_size) - self.warm_batch_cycles(batch_size)
+        return self.batch_cycles(batch_size) - self.warm_batch_cycles(
+            batch_size, prev_size
+        )
 
-    def execute(self, images: np.ndarray, warm: bool = False) -> tuple[int, BatchResult]:
+    def execute(
+        self,
+        images: np.ndarray,
+        warm: bool = False,
+        prev_size: int | None = None,
+    ) -> tuple[int, BatchResult]:
         """Run a real batch; returns its (cold or warm) cycles and result.
 
         The outputs are always the engine's — bit-identical either way;
-        ``warm`` only selects which cycle figure the batch is charged.
+        ``warm`` (and the warm-cost key ``prev_size``) only selects which
+        cycle figure the batch is charged.
         """
         result = self.scheduler.run_batch(images)
         cycles = _batch_cycles(result, self.accounting)
         self._memo.setdefault(result.batch, cycles)
         if warm:
-            return self.warm_batch_cycles(result.batch), result
+            return self.warm_batch_cycles(result.batch, prev_size), result
         return cycles, result
 
 
@@ -204,9 +267,13 @@ class AnalyticBatchCost:
             network=self.network,
             optimized_routing=optimized_routing,
         )
+        self.optimized_routing = optimized_routing
         self.pipeline = pipeline
+        self.window = window
+        self.prestage_depth = prestage_depth
         self._memo: dict[int, int] = {}
         self._warm_memo: dict[int, int] = {}
+        self._pair_memo: dict[tuple[int, int], int] = {}
         self._stream: AnalyticStreamCost | None = None
         if pipeline:
             self._stream = AnalyticStreamCost(
@@ -230,10 +297,23 @@ class AnalyticBatchCost:
             self._memo[batch_size] = self.model.run(batch=batch_size).total_cycles
         return self._memo[batch_size]
 
-    def warm_batch_cycles(self, batch_size: int) -> int:
-        """Closed-form steady-state cycles of a back-to-back batch."""
+    def warm_batch_cycles(self, batch_size: int, prev_size: int | None = None) -> int:
+        """Closed-form steady-state cycles of a back-to-back batch.
+
+        Keyed by the ``(prev_size, batch_size)`` pair like the scheduled
+        model: mixed-size hand-offs are priced from the settled
+        transition batch of a two-size probe stream.
+        """
         if self._stream is None:
             raise ConfigError("warm costs need a cost model built with pipeline=True")
+        if prev_size is not None and prev_size != batch_size:
+            return _pair_warm_cycles(
+                self._pair_memo,
+                self._stream.stream_timing,
+                prev_size,
+                batch_size,
+                self.batch_cycles(batch_size),
+            )
         if batch_size not in self._warm_memo:
             cold = self.batch_cycles(batch_size)
             self._warm_memo[batch_size] = min(
@@ -241,9 +321,11 @@ class AnalyticBatchCost:
             )
         return self._warm_memo[batch_size]
 
-    def drain_saved_cycles(self, batch_size: int) -> int:
+    def drain_saved_cycles(self, batch_size: int, prev_size: int | None = None) -> int:
         """Cycles a warm dispatch saves over a cold one (>= 0)."""
-        return self.batch_cycles(batch_size) - self.warm_batch_cycles(batch_size)
+        return self.batch_cycles(batch_size) - self.warm_batch_cycles(
+            batch_size, prev_size
+        )
 
 
 def crosscheck(

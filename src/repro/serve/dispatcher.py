@@ -1,26 +1,38 @@
-"""Multi-array dispatcher: shards formed batches across accelerator arrays.
+"""Array pool + dispatch policies: placing formed batches onto arrays.
 
-The serving simulator models ``N`` identical CapsAcc arrays (the
-multi-array scaling axis of the ROADMAP).  The pool hands an idle array to
-each formed batch — lowest array id first, which makes runs deterministic
-— and keeps per-array busy-time / batch / request counters for the
-utilization report.
+The pool models ``N`` CapsAcc arrays — identical by default, or
+*heterogeneous* when constructed with per-array
+:class:`~repro.hw.config.AcceleratorConfig` objects (different array
+sizes serve the same queue; the simulator prices each batch with a cost
+model memoized per distinct configuration).  The pool keeps idle/busy
+bookkeeping, per-array warm/cold state for stream pipelining (an array
+released at exactly the dispatch instant never drained), the size of the
+last batch each array ran (the ``(prev_size, size)`` warm-cost key), and
+utilization counters.
 
-For stream pipelining the pool also tracks per-array warm/cold state:
-an array released at exactly the instant a new batch dispatches never
-drained (the next batch's conv1 tiles were prestaging under the previous
-batch's routing tail), so the dispatcher can both *detect* a warm
-hand-off and *prefer* the just-freed array over other idle arrays when
-asked to (keeping one array hot beats spreading back-to-back batches
-across cold arrays).
+**Which** idle array a batch claims is a :class:`DispatchPolicy`
+decision, made through a :class:`DispatchContext` view:
+
+* :class:`LeastRecentDispatch` — the default: the longest-idle array
+  wins (ties by id), preferring a warm array in pipelined mode.  Idle
+  ties used to go to the lowest id unconditionally, starving high-id
+  arrays of work at light load; least-recently-released rotates them.
+* :class:`RoundRobinDispatch` — strict rotation over array ids.
+* :class:`PreferWarmDispatch` — warm array first even outside pipelined
+  mode, else least-recently-released.
+* :class:`GreedyWhenIdleDispatch` — the idle array with the smallest
+  predicted batch duration wins (on a heterogeneous pool: the fastest
+  idle array, warm figures included), so work never waits for a busy
+  large array while a small idle one could finish sooner.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from repro.errors import ConfigError
+from repro.hw.config import AcceleratorConfig
 
 
 @dataclass
@@ -43,20 +55,34 @@ class ArrayStats:
 
 @dataclass
 class ArrayPool:
-    """Idle/busy bookkeeping for ``count`` identical accelerator arrays."""
+    """Idle/busy bookkeeping for ``count`` accelerator arrays.
+
+    ``configs`` makes the pool heterogeneous: ``configs[i]`` is array
+    ``i``'s accelerator configuration (``None`` keeps the classic
+    homogeneous pool, priced by the simulator's shared cost model).
+    """
 
     count: int
+    configs: tuple[AcceleratorConfig, ...] | None = None
     stats: list[ArrayStats] = field(init=False)
-    _idle: list[int] = field(init=False)
+    _idle: set[int] = field(init=False)
     _last_release_us: list[float | None] = field(init=False)
+    _last_batch_size: list[int | None] = field(init=False)
 
     def __post_init__(self) -> None:
         if self.count < 1:
             raise ConfigError("array count must be positive")
+        if self.configs is not None:
+            self.configs = tuple(self.configs)
+            if len(self.configs) != self.count:
+                raise ConfigError(
+                    f"{len(self.configs)} array configs for {self.count} arrays"
+                )
         self.stats = [ArrayStats(array=i) for i in range(self.count)]
-        self._idle = list(range(self.count))
-        heapq.heapify(self._idle)
+        self._idle = set(range(self.count))
         self._last_release_us = [None] * self.count
+        self._last_batch_size = [None] * self.count
+        self._busy_until_us = [0.0] * self.count
 
     @property
     def idle_count(self) -> int:
@@ -67,41 +93,204 @@ class ArrayPool:
         """Whether any array can accept a batch."""
         return bool(self._idle)
 
+    def idle_ids(self) -> list[int]:
+        """Currently idle array ids, ascending."""
+        return sorted(self._idle)
+
+    def config_for(self, array: int) -> AcceleratorConfig | None:
+        """Array ``array``'s configuration (None on a homogeneous pool)."""
+        return None if self.configs is None else self.configs[array]
+
     def is_warm(self, array: int, now_us: float) -> bool:
         """Whether dispatching to ``array`` at ``now_us`` is back to back."""
         return self._last_release_us[array] == now_us
+
+    def last_batch_size(self, array: int) -> int | None:
+        """Size of the last batch this array ran (the warm-cost key)."""
+        return self._last_batch_size[array]
+
+    def lru_key(self, array: int):
+        """Sort key ordering arrays least-recently-released first.
+
+        Never-released arrays (idle since the start) sort before any
+        released one; equal release instants tie-break by array id, so
+        placement stays deterministic.
+        """
+        last = self._last_release_us[array]
+        return (last if last is not None else float("-inf"), array)
+
+    def claim(self, array: int) -> None:
+        """Mark an idle array busy (a dispatch policy chose it)."""
+        if array not in self._idle:
+            raise ConfigError(f"array {array} is not idle")
+        self._idle.remove(array)
 
     def select(self, now_us: float, prefer_warm: bool = False) -> tuple[int, bool]:
         """Claim an idle array for a batch dispatched at ``now_us``.
 
         Returns ``(array, warm)``.  ``warm`` is true when the array was
         released at exactly ``now_us`` — the batch follows the previous
-        one with no drain.  With ``prefer_warm`` the lowest-id *warm*
-        idle array wins over colder lower-id arrays.
+        one with no drain.  With ``prefer_warm`` a warm idle array wins
+        over colder ones; otherwise the least-recently-released idle
+        array wins (ties by id).
         """
         if not self._idle:
             raise ConfigError("select() with no idle array")
-        array = None
+        candidates = self._idle
         if prefer_warm:
             warm_ids = [i for i in self._idle if self.is_warm(i, now_us)]
             if warm_ids:
-                array = min(warm_ids)
-                self._idle.remove(array)
-                heapq.heapify(self._idle)
-        if array is None:
-            array = heapq.heappop(self._idle)
+                candidates = warm_ids
+        array = min(candidates, key=self.lru_key)
+        self.claim(array)
         return array, self.is_warm(array, now_us)
 
-    def charge(self, array: int, batch_size: int, duration_us: float, warm: bool = False) -> None:
-        """Account one dispatched batch against a claimed array."""
+    def charge(
+        self,
+        array: int,
+        batch_size: int,
+        duration_us: float,
+        warm: bool = False,
+        now_us: float | None = None,
+    ) -> None:
+        """Account one dispatched batch against a claimed array.
+
+        ``now_us`` (the dispatch instant) lets the pool track when the
+        array will free, for admission-time backlog estimates.
+        """
         stat = self.stats[array]
         stat.busy_us += duration_us
         stat.batches += 1
         stat.requests += batch_size
         if warm:
             stat.warm_batches += 1
+        self._last_batch_size[array] = batch_size
+        if now_us is not None:
+            self._busy_until_us[array] = now_us + duration_us
+
+    def earliest_idle_us(self, now_us: float) -> float:
+        """Earliest instant any array can accept a batch.
+
+        ``now_us`` when an array is already idle; otherwise the soonest
+        in-flight completion (as recorded by :meth:`charge`).
+        """
+        if self._idle:
+            return now_us
+        return max(now_us, min(self._busy_until_us))
 
     def release(self, array: int, now_us: float | None = None) -> None:
         """Return an array to the idle pool when its batch completes."""
-        heapq.heappush(self._idle, array)
+        self._idle.add(array)
         self._last_release_us[array] = now_us
+
+    def utilization_spread(self, makespan_us: float) -> float:
+        """Max minus min per-array utilization (placement-fairness gauge)."""
+        values = [stat.utilization(makespan_us) for stat in self.stats]
+        return max(values) - min(values)
+
+
+@dataclass(frozen=True)
+class DispatchContext:
+    """Everything a dispatch policy may consult for one placement.
+
+    ``duration_us(array)`` is the predicted occupancy of the batch on
+    that array — warm-aware and, on heterogeneous pools, priced with the
+    array's own cost model — supplied by the simulator.
+    """
+
+    pool: ArrayPool
+    now_us: float
+    batch_size: int
+    pipeline: bool
+    duration_us: Callable[[int], float]
+
+    def idle_ids(self) -> Sequence[int]:
+        """Idle array ids, ascending."""
+        return self.pool.idle_ids()
+
+    def warm_ids(self) -> list[int]:
+        """Idle arrays that would run this batch back to back."""
+        return [i for i in self.idle_ids() if self.pool.is_warm(i, self.now_us)]
+
+
+def _require_idle(ctx: DispatchContext) -> list[int]:
+    idle = list(ctx.idle_ids())
+    if not idle:
+        raise ConfigError("dispatch with no idle array")
+    return idle
+
+
+@dataclass(frozen=True)
+class LeastRecentDispatch:
+    """Longest-idle array first; warm array first in pipelined mode."""
+
+    def select(self, ctx: DispatchContext) -> int:
+        """Pick an idle array id for the batch."""
+        idle = _require_idle(ctx)
+        if ctx.pipeline:
+            warm = ctx.warm_ids()
+            if warm:
+                return min(warm, key=ctx.pool.lru_key)
+        return min(idle, key=ctx.pool.lru_key)
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        return "least-recent"
+
+
+@dataclass(frozen=True)
+class PreferWarmDispatch:
+    """Warm array first regardless of mode, else longest-idle."""
+
+    def select(self, ctx: DispatchContext) -> int:
+        """Pick an idle array id for the batch."""
+        idle = _require_idle(ctx)
+        warm = ctx.warm_ids()
+        if warm:
+            return min(warm, key=ctx.pool.lru_key)
+        return min(idle, key=ctx.pool.lru_key)
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        return "prefer-warm"
+
+
+@dataclass
+class RoundRobinDispatch:
+    """Strict rotation over array ids, skipping busy arrays."""
+
+    _next: int = field(default=0, repr=False, compare=False)
+
+    def select(self, ctx: DispatchContext) -> int:
+        """Pick the next idle array at or after the rotation pointer."""
+        idle = set(_require_idle(ctx))
+        for offset in range(ctx.pool.count):
+            array = (self._next + offset) % ctx.pool.count
+            if array in idle:
+                self._next = (array + 1) % ctx.pool.count
+                return array
+        raise ConfigError("dispatch with no idle array")  # unreachable
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        return "round-robin"
+
+
+@dataclass(frozen=True)
+class GreedyWhenIdleDispatch:
+    """The idle array with the smallest predicted duration wins.
+
+    On a homogeneous pool every idle array prices the batch the same
+    (modulo warmth) and this reduces to warm-first least-recent; on a
+    heterogeneous pool it sends work to the fastest *idle* array —
+    a small idle array beats waiting for the busy large one.
+    """
+
+    def select(self, ctx: DispatchContext) -> int:
+        """Pick an idle array id for the batch."""
+        idle = _require_idle(ctx)
+        return min(idle, key=lambda i: (ctx.duration_us(i), ctx.pool.lru_key(i)))
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        return "greedy"

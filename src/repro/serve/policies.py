@@ -1,0 +1,497 @@
+"""Pluggable serving policies: admission / batching / dispatch protocols.
+
+The serving simulator is policy-agnostic: it drives three small
+protocols, each with a string registry mapping names to constructors, and
+a :class:`ServerConfig` composing one implementation of each with the
+batch cost model.
+
+* :class:`AdmissionPolicy` — decides, at arrival time, whether a request
+  enters its queue or is **shed** (rejected; recorded, never served).
+  Implementations: :class:`AdmitAll` (the classic behavior),
+  :class:`QueueLimitAdmission` (bounded queue; ``max_queue=0`` sheds
+  everything — a drained tenant), :class:`DeadlineAdmission` (shed a
+  request whose deadline is unmeetable even by an immediate solo
+  dispatch — serving it would burn array time on a guaranteed SLA miss),
+  and :class:`ChainedAdmission` (all must admit).
+* :class:`BatchingPolicy` — when is a queue ready and what does a batch
+  take (:mod:`repro.serve.batcher`: the classic
+  :class:`~repro.serve.batcher.BatchPolicy` max-batch + max-wait rule
+  and the SLA-aware :class:`~repro.serve.batcher.DeadlineBatcher`).
+* :class:`DispatchPolicy` — which idle array a formed batch claims
+  (:mod:`repro.serve.dispatcher`: least-recent, round-robin,
+  prefer-warm, greedy-when-idle over heterogeneous pools).
+
+:data:`SERVING_POLICIES` additionally names whole presets (``fifo`` /
+``deadline`` / ``greedy``) so the CLI and benchmarks can select a
+coherent triple with one flag.  :class:`TenantSpec` describes one tenant
+of a multi-tenant simulation (own trace, network/cost, SLA, weight); the
+simulator serves ready tenants in weighted-fair order so no tenant
+starves under saturation.  :class:`CostBank` memoizes per-configuration
+cost models for heterogeneous pools (two arrays of the same size share
+one model).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.errors import ConfigError
+from repro.hw.config import AcceleratorConfig
+from repro.serve.batcher import BatchPolicy, DeadlineBatcher, QueuedRequest, RequestQueue
+from repro.serve.costs import AnalyticBatchCost, ScheduledBatchCost
+from repro.serve.dispatcher import (
+    ArrayPool,
+    DispatchContext,
+    GreedyWhenIdleDispatch,
+    LeastRecentDispatch,
+    PreferWarmDispatch,
+    RoundRobinDispatch,
+)
+from repro.serve.trace import ArrivalTrace
+
+
+@runtime_checkable
+class AdmissionPolicy(Protocol):
+    """Accept or shed a request at arrival time."""
+
+    def admit(
+        self,
+        request: QueuedRequest,
+        now_us: float,
+        queue: RequestQueue,
+        pool: ArrayPool,
+    ) -> bool:
+        """Whether the request enters the queue (False = shed)."""
+        ...
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        ...
+
+
+@runtime_checkable
+class BatchingPolicy(Protocol):
+    """When is a queue ready, and what does a batch take."""
+
+    max_batch: int
+
+    def ready(self, queue: RequestQueue, now_us: float) -> bool:
+        """Whether a batch should dispatch to an idle array now."""
+        ...
+
+    def take(self, queue: RequestQueue, now_us: float = 0.0) -> list[QueuedRequest]:
+        """Pop the members of the next batch."""
+        ...
+
+    def next_deadline_us(self, queue: RequestQueue, now_us: float = 0.0) -> float | None:
+        """When readiness must be re-evaluated if nothing arrives."""
+        ...
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        ...
+
+
+@runtime_checkable
+class DispatchPolicy(Protocol):
+    """Choose which idle array a formed batch claims."""
+
+    def select(self, ctx: DispatchContext) -> int:
+        """Pick an idle array id for the batch."""
+        ...
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        ...
+
+
+@dataclass(frozen=True)
+class AdmitAll:
+    """Admit every arriving request (the classic behavior)."""
+
+    def admit(self, request, now_us, queue, pool) -> bool:
+        """Always true."""
+        return True
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        return "admit-all"
+
+
+@dataclass(frozen=True)
+class QueueLimitAdmission:
+    """Shed arrivals once the queue holds ``max_queue`` requests.
+
+    ``max_queue=0`` models zero admission capacity: everything sheds.
+    """
+
+    max_queue: int
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 0:
+            raise ConfigError("max_queue must be non-negative")
+
+    def admit(self, request, now_us, queue, pool) -> bool:
+        """Admit while the queue is below the cap."""
+        return len(queue) < self.max_queue
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        return f"queue<={self.max_queue}"
+
+
+@dataclass
+class DeadlineAdmission:
+    """Shed requests whose deadline is already unmeetable at arrival.
+
+    The earliest a request can plausibly complete is estimated as the
+    earliest instant an array frees (every array busy pushes the start
+    to the soonest in-flight completion), plus the backlog ahead of it
+    (queued requests served at the batcher's steady-state per-request
+    rate, ``predicted_compute(max_batch) / max_batch``, across the
+    pool's arrays), plus its own batch's compute time.  A request whose
+    deadline precedes that estimate — including one whose deadline has
+    already passed — cannot make its SLA no matter what the batcher
+    does; admitting it would spend array cycles on a guaranteed miss and
+    push feasible requests later.  Requests without deadlines always
+    admit.  The compute predictor binds to the tenant's cost model like
+    the :class:`~repro.serve.batcher.DeadlineBatcher`'s; the batch cap
+    binds from the tenant's batching policy.
+    """
+
+    slack_us: float = 0.0
+    _predict_us: Callable[[int], float] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _max_batch: int = field(default=1, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.slack_us) and self.slack_us >= 0):
+            raise ConfigError("slack_us must be finite and non-negative")
+
+    def bind(self, cost) -> None:
+        """Predict batch compute time from a serving cost model."""
+        config = cost.config
+        self._predict_us = lambda size: config.cycles_to_us(cost.batch_cycles(size))
+
+    def bind_batching(self, batching) -> None:
+        """Learn the batch cap the queue will actually be served with."""
+        self._max_batch = max(1, getattr(batching, "max_batch", 1))
+
+    def earliest_done_us(self, now_us: float, queue, pool) -> float:
+        """Estimated earliest completion of a request arriving now."""
+        if self._predict_us is None:
+            return now_us
+        start = pool.earliest_idle_us(now_us)
+        per_request = self._predict_us(self._max_batch) / self._max_batch
+        backlog = len(queue) * per_request / pool.count
+        own_batch = self._predict_us(min(len(queue) + 1, self._max_batch))
+        return start + backlog + own_batch
+
+    def admit(self, request, now_us, queue, pool) -> bool:
+        """Admit unless the estimated earliest completion misses the SLA."""
+        if not math.isfinite(request.deadline_us):
+            return True
+        done = self.earliest_done_us(now_us, queue, pool)
+        return done + self.slack_us <= request.deadline_us
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        return "shed-infeasible"
+
+
+@dataclass(frozen=True)
+class ChainedAdmission:
+    """Admit only when every chained policy admits."""
+
+    policies: tuple
+
+    def __post_init__(self) -> None:
+        if not self.policies:
+            raise ConfigError("a chained admission needs at least one policy")
+
+    def bind(self, cost) -> None:
+        """Propagate the cost predictor to chained policies."""
+        for policy in self.policies:
+            if hasattr(policy, "bind"):
+                policy.bind(cost)
+
+    def bind_batching(self, batching) -> None:
+        """Propagate the batching policy to chained policies."""
+        for policy in self.policies:
+            if hasattr(policy, "bind_batching"):
+                policy.bind_batching(batching)
+
+    def admit(self, request, now_us, queue, pool) -> bool:
+        """All chained policies must admit."""
+        return all(
+            policy.admit(request, now_us, queue, pool) for policy in self.policies
+        )
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        return "+".join(policy.describe() for policy in self.policies)
+
+
+#: name -> admission-policy constructor.
+ADMISSION_POLICIES: dict[str, Callable] = {
+    "admit-all": AdmitAll,
+    "queue-limit": QueueLimitAdmission,
+    "deadline": DeadlineAdmission,
+}
+
+#: name -> batching-policy constructor.
+BATCHING_POLICIES: dict[str, Callable] = {
+    "max-wait": BatchPolicy,
+    "deadline": DeadlineBatcher,
+}
+
+#: name -> dispatch-policy constructor.
+DISPATCH_POLICIES: dict[str, Callable] = {
+    "least-recent": LeastRecentDispatch,
+    "round-robin": RoundRobinDispatch,
+    "prefer-warm": PreferWarmDispatch,
+    "greedy": GreedyWhenIdleDispatch,
+}
+
+
+def make_serving_policy(
+    name: str,
+    max_batch: int = 8,
+    max_wait_us: float = 2000.0,
+    slack_us: float = 0.0,
+    queue_limit: int | None = None,
+):
+    """Build the (admission, batching, dispatch) triple of a named preset.
+
+    * ``fifo`` — admit-all, max-batch + max-wait batching, least-recent
+      dispatch: the classic PR 2/3 serving behavior.
+    * ``deadline`` — shed-infeasible admission plus the SLA-aware
+      :class:`~repro.serve.batcher.DeadlineBatcher` (early launch before
+      the oldest deadline becomes unmeetable).
+    * ``greedy`` — admit-all, dispatch whatever is queued the moment an
+      array idles (zero coalescing wait), placed on the fastest idle
+      array (:class:`~repro.serve.dispatcher.GreedyWhenIdleDispatch`).
+
+    ``queue_limit`` chains a :class:`QueueLimitAdmission` onto any preset.
+    """
+    if name == "fifo":
+        triple = (
+            AdmitAll(),
+            BatchPolicy(max_batch=max_batch, max_wait_us=max_wait_us),
+            LeastRecentDispatch(),
+        )
+    elif name == "deadline":
+        triple = (
+            DeadlineAdmission(slack_us=slack_us),
+            DeadlineBatcher(
+                max_batch=max_batch, max_wait_us=max_wait_us, slack_us=slack_us
+            ),
+            LeastRecentDispatch(),
+        )
+    elif name == "greedy":
+        triple = (
+            AdmitAll(),
+            BatchPolicy(max_batch=max_batch, max_wait_us=0.0),
+            GreedyWhenIdleDispatch(),
+        )
+    else:
+        raise ConfigError(
+            f"unknown serving policy {name!r} (choose from {tuple(SERVING_POLICIES)})"
+        )
+    if queue_limit is not None:
+        admission, batching, dispatch = triple
+        limit = QueueLimitAdmission(queue_limit)
+        if isinstance(admission, AdmitAll):
+            admission = limit
+        else:
+            admission = ChainedAdmission((admission, limit))
+        triple = (admission, batching, dispatch)
+    return triple
+
+
+#: Named presets resolvable by :func:`make_serving_policy`.
+SERVING_POLICIES = ("fifo", "deadline", "greedy")
+
+
+@dataclass
+class ServerConfig:
+    """One serving configuration: policies + cost model + array pool.
+
+    ``array_configs`` makes the pool heterogeneous (one
+    :class:`~repro.hw.config.AcceleratorConfig` per array; ``arrays`` is
+    derived from its length); ``deadline_us`` is the relative SLA stamped
+    on every arriving request that does not carry its own deadline.
+    """
+
+    cost: ScheduledBatchCost | AnalyticBatchCost
+    admission: AdmissionPolicy | None = None
+    batching: BatchingPolicy | None = None
+    dispatch: DispatchPolicy | None = None
+    arrays: int = 1
+    array_configs: Sequence[AcceleratorConfig] | None = None
+    pipeline: bool = False
+    deadline_us: float | None = None
+    network_name: str = "capsnet"
+
+    def __post_init__(self) -> None:
+        if self.admission is None:
+            self.admission = AdmitAll()
+        if self.batching is None:
+            self.batching = BatchPolicy()
+        if self.dispatch is None:
+            self.dispatch = LeastRecentDispatch()
+        if self.array_configs is not None:
+            self.array_configs = tuple(self.array_configs)
+            if self.arrays == 1 and len(self.array_configs) > 1:
+                self.arrays = len(self.array_configs)
+            elif len(self.array_configs) != self.arrays:
+                raise ConfigError(
+                    f"{len(self.array_configs)} array configs for"
+                    f" {self.arrays} arrays"
+                )
+        if self.arrays < 1:
+            raise ConfigError("array count must be positive")
+        if self.deadline_us is not None and not (
+            math.isfinite(self.deadline_us) and self.deadline_us > 0
+        ):
+            raise ConfigError("deadline_us must be finite and positive")
+
+    @classmethod
+    def from_policy(
+        cls,
+        policy: str,
+        cost: ScheduledBatchCost | AnalyticBatchCost,
+        max_batch: int = 8,
+        max_wait_us: float = 2000.0,
+        slack_us: float = 0.0,
+        queue_limit: int | None = None,
+        dispatch: str | None = None,
+        **kwargs,
+    ) -> "ServerConfig":
+        """Build a config from a named preset (plus optional overrides)."""
+        admission, batching, preset_dispatch = make_serving_policy(
+            policy,
+            max_batch=max_batch,
+            max_wait_us=max_wait_us,
+            slack_us=slack_us,
+            queue_limit=queue_limit,
+        )
+        if dispatch is not None:
+            if dispatch not in DISPATCH_POLICIES:
+                raise ConfigError(
+                    f"unknown dispatch policy {dispatch!r}"
+                    f" (choose from {tuple(DISPATCH_POLICIES)})"
+                )
+            preset_dispatch = DISPATCH_POLICIES[dispatch]()
+        return cls(
+            cost=cost,
+            admission=admission,
+            batching=batching,
+            dispatch=preset_dispatch,
+            **kwargs,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable configuration name."""
+        label = self.batching.describe()
+        if not isinstance(self.admission, AdmitAll):
+            label += f"/adm:{self.admission.describe()}"
+        if not isinstance(self.dispatch, LeastRecentDispatch):
+            label += f"/disp:{self.dispatch.describe()}"
+        return label
+
+    def policy_json(self) -> dict:
+        """JSON-serializable policy description for reports."""
+        payload = {
+            "max_batch": self.batching.max_batch,
+            "max_wait_us": getattr(self.batching, "max_wait_us", None),
+            "describe": self.describe(),
+            "admission": self.admission.describe(),
+            "batching": self.batching.describe(),
+            "dispatch": self.dispatch.describe(),
+        }
+        if self.deadline_us is not None:
+            payload["deadline_us"] = self.deadline_us
+        return payload
+
+
+@dataclass
+class TenantSpec:
+    """One tenant of a multi-tenant serving simulation.
+
+    A tenant brings its own arrival trace and optionally its own cost
+    model (a different network on the shared pool), SLA, weight, and
+    admission/batching overrides.  Weights drive the simulator's
+    weighted-fair service order: among ready tenants the one with the
+    smallest ``served_requests / weight`` dispatches next, so a
+    weight-2 tenant receives twice the weight-1 tenant's share under
+    saturation and neither starves.
+    """
+
+    name: str
+    trace: ArrivalTrace
+    cost: ScheduledBatchCost | AnalyticBatchCost | None = None
+    deadline_us: float | None = None
+    weight: float = 1.0
+    admission: AdmissionPolicy | None = None
+    batching: BatchingPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.weight) and self.weight > 0):
+            raise ConfigError("tenant weight must be finite and positive")
+        if self.deadline_us is not None and not (
+            math.isfinite(self.deadline_us) and self.deadline_us > 0
+        ):
+            raise ConfigError("deadline_us must be finite and positive")
+
+
+class CostBank:
+    """Per-configuration memoized cost models for heterogeneous pools.
+
+    ``resolve(cost, config)`` returns ``cost`` itself when ``config`` is
+    ``None`` or already the model's own configuration, and otherwise a
+    same-kind model rebuilt for ``config`` — memoized by the (tenant
+    cost, config) pair, so two arrays with equal configurations share
+    one model and its per-batch-size memo.
+    """
+
+    def __init__(self) -> None:
+        self._memo: dict[tuple[int, AcceleratorConfig], object] = {}
+
+    def resolve(self, cost, config: AcceleratorConfig | None):
+        """The cost model pricing ``cost``'s network on ``config``."""
+        if config is None or config == cost.config:
+            return cost
+        key = (id(cost), config)
+        if key not in self._memo:
+            self._memo[key] = _rebuild_cost(cost, config)
+        return self._memo[key]
+
+
+def _rebuild_cost(cost, config: AcceleratorConfig):
+    """Clone a cost model onto a different accelerator configuration."""
+    if isinstance(cost, ScheduledBatchCost):
+        return ScheduledBatchCost(
+            qnet=cost.qnet,
+            accel_config=config,
+            accounting=cost.accounting,
+            engine=cost.engine,
+            pipeline=cost.pipeline,
+            window=cost.window,
+            prestage_depth=cost.prestage_depth,
+        )
+    if isinstance(cost, AnalyticBatchCost):
+        return AnalyticBatchCost(
+            network=cost.network,
+            accel_config=config,
+            optimized_routing=cost.optimized_routing,
+            pipeline=cost.pipeline,
+            window=cost.window,
+            prestage_depth=cost.prestage_depth,
+        )
+    raise ConfigError(
+        "heterogeneous pools need a scheduled or analytic cost model"
+    )

@@ -1,51 +1,66 @@
-"""Discrete-event serving simulator: trace -> batcher -> arrays -> report.
+"""Discrete-event serving simulator: traces -> policies -> arrays -> report.
 
 :class:`ServingSimulator` advances a virtual clock (microseconds) over
 three event kinds — request arrival, batch-completion, coalescing-timeout
-— and drives the dynamic batcher and the multi-array dispatcher:
+— and drives only the three policy protocols of
+:mod:`repro.serve.policies`:
 
-1. arriving requests queue in the :class:`~repro.serve.batcher.DynamicBatcher`;
-2. whenever an array is idle and the batcher is *ready* (full batch, or
-   the oldest request's ``max_wait_us`` expired), a batch dispatches to
-   the lowest-id idle array;
-3. the batch occupies the array for exactly the cycles the cost model
+1. arriving requests pass the tenant's **admission policy** (shed or
+   queue) and enter that tenant's FIFO :class:`~repro.serve.batcher.RequestQueue`;
+2. whenever an array is idle and a tenant's **batching policy** reports
+   its queue *ready*, a batch is taken; among simultaneously-ready
+   tenants the one with the smallest ``served/weight`` goes first
+   (weighted-fair, so no tenant starves under saturation);
+3. the **dispatch policy** picks which idle array the batch claims —
+   least-recently-released by default, round-robin, warm-preferring, or
+   greedy-fastest over heterogeneous pools where each array carries its
+   own :class:`~repro.hw.config.AcceleratorConfig` and per-configuration
+   memoized cost model;
+4. the batch occupies the array for exactly the cycles the cost model
    charges — bit-identical to ``BatchScheduler`` when the scheduled cost
-   model is used — and its completion frees the array for the next batch.
+   model is used — and its completion frees the array.
+
+The classic constructor signature (``trace, policy, cost``) builds the
+equivalent :class:`~repro.serve.policies.ServerConfig` internally — the
+PR 2/3 behavior is the ``fifo`` policy triple, reproduced exactly.  New
+callers pass ``server=ServerConfig(...)`` and optionally
+``tenants=[TenantSpec(...), ...]`` for multi-tenant simulation (several
+networks' request streams sharing one pool through per-tenant queues).
 
 Waiting time is attributed to *batching* (an array was idle; the policy
 chose to coalesce) vs *queueing* (all arrays busy) by integrating the
 any-array-idle indicator, so the decomposition sums exactly to the wait.
 
 In ``execute`` mode each dispatched batch also runs through the batched
-engine on the request's actual images, producing bit-exact predictions
-and making the host wall-clock throughput a real "simulated serving"
-measurement (the per-job dispatch cost batching amortizes is genuine
-simulation work, exactly as in ``benchmarks/bench_batched.py``).
+engine on the request's actual images, producing bit-exact predictions.
 
 With ``pipeline=True`` (and a cost model built with ``pipeline=True``)
-the simulator models stream pipelining across batches: a batch dispatched
-to an array at the exact instant the previous batch finished is *warm* —
-its conv1 tiles prestaged under the predecessor's routing tail — and is
-charged the steady-state marginal cycles instead of the cold figure.
-The dispatcher prefers the just-freed array so back-to-back load keeps
-one array hot, and every warm batch records the drain it saved; the
-latency report gains a ``drain_saved`` component (informational — the
-compute component is already the warm figure, so the three-way
-queueing/batching/compute decomposition still sums to the latency).
+a batch dispatched to an array at the exact instant the previous batch
+finished is *warm* — charged the steady-state marginal cycles keyed by
+the ``(previous batch size, batch size)`` pair instead of the cold
+figure — and every warm batch records the drain it saved.
 """
 
 from __future__ import annotations
 
+import copy
 import heapq
+import math
 import time
 
 import numpy as np
 
 from repro.errors import ConfigError, ShapeError
-from repro.serve.batcher import BatchPolicy, DynamicBatcher, QueuedRequest
+from repro.serve.batcher import BatchPolicy, QueuedRequest, RequestQueue
 from repro.serve.costs import AnalyticBatchCost, ScheduledBatchCost, crosscheck
-from repro.serve.dispatcher import ArrayPool
-from repro.serve.stats import BatchRecord, RequestRecord, ServingReport
+from repro.serve.dispatcher import ArrayPool, DispatchContext
+from repro.serve.policies import CostBank, ServerConfig, TenantSpec
+from repro.serve.stats import (
+    BatchRecord,
+    RequestRecord,
+    ServingReport,
+    percentile_summary,
+)
 from repro.serve.trace import ArrivalTrace
 
 # Event kinds, in tie-break order: completions free arrays before arrivals
@@ -53,15 +68,52 @@ from repro.serve.trace import ArrivalTrace
 _DONE, _ARRIVE, _TIMEOUT = 0, 1, 2
 
 
+class _Tenant:
+    """Resolved per-tenant serving state (queue, policies, cost)."""
+
+    def __init__(self, spec: TenantSpec, order: int, server: ServerConfig) -> None:
+        self.spec = spec
+        self.order = order
+        self.name = spec.name
+        self.trace = spec.trace
+        self.weight = spec.weight
+        self.cost = spec.cost if spec.cost is not None else server.cost
+        self.deadline_us = (
+            spec.deadline_us if spec.deadline_us is not None else server.deadline_us
+        )
+        # Policy instances may be shared — across tenants reusing one
+        # spec object, or via the server-level defaults — so deep-copy
+        # them before binding: each tenant gets its own compute predictor
+        # and mutable state (a shallow copy of ChainedAdmission would
+        # still share the chained policy objects).
+        self.admission = copy.deepcopy(
+            spec.admission if spec.admission is not None else server.admission
+        )
+        self.batching = copy.deepcopy(
+            spec.batching if spec.batching is not None else server.batching
+        )
+        for policy in (self.admission, self.batching):
+            if hasattr(policy, "bind"):
+                policy.bind(self.cost)
+        if hasattr(self.admission, "bind_batching"):
+            self.admission.bind_batching(self.batching)
+        self.queue = RequestQueue()
+        self.served = 0
+        self.global_indices: list[int] = []
+
+
 class ServingSimulator:
-    """Simulates serving one request trace on ``arrays`` CapsAcc arrays.
+    """Simulates serving request traces on a pool of CapsAcc arrays.
 
     Parameters
     ----------
     trace:
-        Arrival times of every request.
+        Arrival times of every request (single-tenant form; pass
+        ``tenants`` instead for multi-tenant runs).
     policy:
-        Dynamic batching policy (``max_batch=1`` for the serving baseline).
+        Batching policy (``BatchPolicy(max_batch=1)`` for the serving
+        baseline).  Classic positional argument; equivalent to setting
+        ``ServerConfig.batching``.
     cost:
         Per-batch cost model (:class:`~repro.serve.costs.ScheduledBatchCost`
         or :class:`~repro.serve.costs.AnalyticBatchCost`).
@@ -69,80 +121,171 @@ class ServingSimulator:
         Number of identical accelerator arrays to shard batches across.
     images:
         Optional ``(count, H, W)`` request images, aligned with the trace.
-        Required by ``execute`` mode.
+        Required by ``execute`` mode (single-tenant only).
     execute:
         Run every dispatched batch through the batched engine on its real
-        images (bit-exact predictions; slower).  Without it, batch costs
-        come from the memoized cost model and no outputs are produced.
+        images (bit-exact predictions; slower).
     pipeline:
         Charge back-to-back batches the stream-pipelined warm cost and
         prefer dispatching to the just-freed (still hot) array.  Requires
         a cost model constructed with ``pipeline=True``.
     network_name:
         Label for reports.
+    server:
+        Full :class:`~repro.serve.policies.ServerConfig` (admission /
+        batching / dispatch policies, heterogeneous array configs, SLA).
+        Mutually exclusive with ``policy``/``cost``/``arrays``/
+        ``pipeline``/``network_name``.
+    tenants:
+        :class:`~repro.serve.policies.TenantSpec` list for multi-tenant
+        simulation.  Mutually exclusive with ``trace``.
     """
 
     def __init__(
         self,
-        trace: ArrivalTrace,
-        policy: BatchPolicy,
-        cost: ScheduledBatchCost | AnalyticBatchCost,
-        arrays: int = 1,
+        trace: ArrivalTrace | None = None,
+        policy=None,
+        cost: ScheduledBatchCost | AnalyticBatchCost | None = None,
+        arrays: int | None = None,
         images: np.ndarray | None = None,
         execute: bool = False,
-        pipeline: bool = False,
-        network_name: str = "capsnet",
+        pipeline: bool | None = None,
+        network_name: str | None = None,
+        server: ServerConfig | None = None,
+        tenants: list[TenantSpec] | None = None,
     ) -> None:
-        self.trace = trace
-        self.policy = policy
-        self.cost = cost
-        self.arrays = arrays
+        if server is not None:
+            # Restating a legacy default (arrays=1, pipeline=False, the
+            # default network name) alongside server= is harmless; any
+            # other classic argument conflicts with the ServerConfig.
+            conflicting = [
+                name
+                for name, value, defaults in (
+                    ("policy", policy, (None,)),
+                    ("cost", cost, (None,)),
+                    ("arrays", arrays, (None, 1)),
+                    ("pipeline", pipeline, (None, False)),
+                    ("network_name", network_name, (None, "capsnet")),
+                )
+                if value not in defaults
+            ]
+            if conflicting:
+                raise ConfigError(
+                    "pass either a ServerConfig or the classic arguments,"
+                    f" not both (got server= plus {', '.join(conflicting)})"
+                )
+        else:
+            if cost is None:
+                raise ConfigError("a cost model is required")
+            server = ServerConfig(
+                cost=cost,
+                batching=policy if policy is not None else BatchPolicy(),
+                arrays=arrays if arrays is not None else 1,
+                pipeline=bool(pipeline),
+                network_name=network_name if network_name is not None else "capsnet",
+            )
+        self.server = server
+        if tenants is None:
+            if trace is None:
+                raise ConfigError("a trace (or a tenants list) is required")
+            tenants = [TenantSpec(name=server.network_name, trace=trace)]
+        elif trace is not None:
+            raise ConfigError("pass either a trace or a tenants list, not both")
+        elif not tenants:
+            raise ConfigError("the tenants list needs at least one tenant")
+        self.tenant_specs = list(tenants)
+        self.multi_tenant = len(self.tenant_specs) > 1
+
+        # Legacy attribute surface.
+        self.trace = self.tenant_specs[0].trace
+        self.policy = server.batching
+        self.cost = server.cost
+        self.arrays = server.arrays
         self.images = None if images is None else np.asarray(images)
         self.execute = execute
-        self.pipeline = pipeline
-        self.network_name = network_name
-        if execute and not isinstance(cost, ScheduledBatchCost):
-            raise ConfigError("execute mode needs the scheduled (exact) cost model")
-        if execute and self.images is None:
-            raise ConfigError("execute mode needs per-request images")
-        if pipeline and not getattr(cost, "pipeline", False):
-            raise ConfigError(
-                "pipeline mode needs a cost model built with pipeline=True"
-            )
-        if self.images is not None and len(self.images) != trace.count:
+        self.pipeline = server.pipeline
+        self.network_name = server.network_name
+
+        all_costs = [server.cost] + [
+            spec.cost for spec in self.tenant_specs if spec.cost is not None
+        ]
+        if execute:
+            if self.multi_tenant:
+                raise ConfigError("execute mode is single-tenant only")
+            if server.array_configs is not None:
+                raise ConfigError("execute mode needs a homogeneous array pool")
+            if not isinstance(self.cost, ScheduledBatchCost):
+                raise ConfigError("execute mode needs the scheduled (exact) cost model")
+            if self.images is None:
+                raise ConfigError("execute mode needs per-request images")
+        if self.pipeline:
+            for model in all_costs:
+                if not getattr(model, "pipeline", False):
+                    raise ConfigError(
+                        "pipeline mode needs a cost model built with pipeline=True"
+                    )
+        if self.images is not None and len(self.images) != self.trace.count:
             raise ShapeError(
-                f"{len(self.images)} images for {trace.count} requests"
+                f"{len(self.images)} images for {self.trace.count} requests"
             )
 
     def run(self, with_crosscheck: bool = False) -> ServingReport:
-        """Run the trace to completion and return the full report."""
+        """Run every tenant's trace to completion and return the report."""
         wall_start = time.perf_counter()
-        config = self.cost.config
-        batcher = DynamicBatcher(self.policy)
-        pool = ArrayPool(self.arrays)
-        requests = [
-            RequestRecord(index=i, arrival_us=float(t))
-            for i, t in enumerate(self.trace.times_us)
+        server = self.server
+        pool = ArrayPool(server.arrays, configs=server.array_configs)
+        # Fresh dispatch state per run (e.g. the round-robin pointer), so
+        # repeated run() calls of one simulator stay reproducible.
+        dispatch = copy.deepcopy(server.dispatch)
+        bank = CostBank()
+        tenants = [
+            _Tenant(spec, order, server)
+            for order, spec in enumerate(self.tenant_specs)
         ]
+
+        # Global request table: one record per request across all tenants.
+        requests: list[RequestRecord] = []
+        req_tenant: list[int] = []
+        events: list[tuple[float, int, int, int]] = []
+        seq = 0
+        for tenant in tenants:
+            deadlines = tenant.trace.deadlines_us
+            for local, arrival in enumerate(tenant.trace.times_us):
+                index = len(requests)
+                # A finite recorded deadline wins; requests without their
+                # own get the configured relative SLA (if any).
+                if deadlines is not None and math.isfinite(deadlines[local]):
+                    deadline = float(deadlines[local])
+                elif tenant.deadline_us is not None:
+                    deadline = float(arrival) + tenant.deadline_us
+                else:
+                    deadline = math.inf
+                requests.append(
+                    RequestRecord(
+                        index=index,
+                        arrival_us=float(arrival),
+                        tenant=tenant.name,
+                        deadline_us=deadline,
+                    )
+                )
+                req_tenant.append(tenant.order)
+                tenant.global_indices.append(index)
+                events.append((float(arrival), _ARRIVE, seq, index))
+                seq += 1
+        heapq.heapify(events)
+        scheduled_timeouts: set[float] = set()
+
         batches: list[BatchRecord] = []
         running: dict[int, BatchRecord] = {}  # array id -> in-flight batch
         predictions = (
-            np.full(self.trace.count, -1, dtype=np.int64) if self.execute else None
+            np.full(len(requests), -1, dtype=np.int64) if self.execute else None
         )
-
-        events: list[tuple[float, int, int, int]] = []
-        seq = 0
-        for i, record in enumerate(requests):
-            events.append((record.arrival_us, _ARRIVE, seq, i))
-            seq += 1
-        heapq.heapify(events)
-        scheduled_timeouts: set[float] = set()
 
         # Integral of the any-array-idle indicator, for the batching vs
         # queueing attribution; sampled per request at arrival.
         idle_accum = 0.0
         last_time = 0.0
-        idle_at_arrival = np.zeros(self.trace.count, dtype=np.float64)
+        idle_at_arrival = np.zeros(len(requests), dtype=np.float64)
         makespan = 0.0
 
         while events:
@@ -153,7 +296,17 @@ class ServingSimulator:
 
             if kind == _ARRIVE:
                 idle_at_arrival[payload] = idle_accum
-                batcher.add(QueuedRequest(index=payload, arrival_us=now))
+                record = requests[payload]
+                tenant = tenants[req_tenant[payload]]
+                request = QueuedRequest(
+                    index=payload,
+                    arrival_us=now,
+                    deadline_us=record.deadline_us,
+                )
+                if tenant.admission.admit(request, now, tenant.queue, pool):
+                    tenant.queue.append(request)
+                else:
+                    record.shed = True
             elif kind == _DONE:
                 batch = running.pop(payload)
                 batch.done_us = now
@@ -163,23 +316,59 @@ class ServingSimulator:
                 makespan = max(makespan, now)
             # _TIMEOUT carries no state: readiness is re-evaluated below.
 
-            while pool.has_idle() and batcher.ready(now):
-                members = batcher.take()
+            while pool.has_idle():
+                ready = [
+                    tenant
+                    for tenant in tenants
+                    if tenant.batching.ready(tenant.queue, now)
+                ]
+                if not ready:
+                    break
+                tenant = min(
+                    ready, key=lambda t: (t.served / t.weight, t.order)
+                )
+                members = tenant.batching.take(tenant.queue, now)
                 size = len(members)
-                array, back_to_back = pool.select(now, prefer_warm=self.pipeline)
-                warm = self.pipeline and back_to_back
+
+                def duration_on(array, _tenant=tenant, _size=size, _now=now):
+                    model = bank.resolve(_tenant.cost, pool.config_for(array))
+                    if self.pipeline and pool.is_warm(array, _now):
+                        cycles = model.warm_batch_cycles(
+                            _size, pool.last_batch_size(array)
+                        )
+                    else:
+                        cycles = model.batch_cycles(_size)
+                    return model.config.cycles_to_us(cycles)
+
+                array = dispatch.select(
+                    DispatchContext(
+                        pool=pool,
+                        now_us=now,
+                        batch_size=size,
+                        pipeline=self.pipeline,
+                        duration_us=duration_on,
+                    )
+                )
+                pool.claim(array)
+                warm = self.pipeline and pool.is_warm(array, now)
+                prev_size = pool.last_batch_size(array)
+                model = bank.resolve(tenant.cost, pool.config_for(array))
                 if self.execute:
                     indices = [member.index for member in members]
-                    cycles, result = self.cost.execute(self.images[indices], warm=warm)
+                    cycles, result = model.execute(
+                        self.images[indices], warm=warm, prev_size=prev_size
+                    )
                     predictions[indices] = result.predictions
                 elif warm:
-                    cycles = self.cost.warm_batch_cycles(size)
+                    cycles = model.warm_batch_cycles(size, prev_size)
                 else:
-                    cycles = self.cost.batch_cycles(size)
-                duration = config.cycles_to_us(cycles)
-                pool.charge(array, size, duration, warm=warm)
+                    cycles = model.batch_cycles(size)
+                duration = model.config.cycles_to_us(cycles)
+                pool.charge(array, size, duration, warm=warm, now_us=now)
                 drain_saved = (
-                    config.cycles_to_us(self.cost.drain_saved_cycles(size))
+                    model.config.cycles_to_us(
+                        model.drain_saved_cycles(size, prev_size)
+                    )
                     if warm
                     else 0.0
                 )
@@ -193,9 +382,11 @@ class ServingSimulator:
                     request_indices=[member.index for member in members],
                     warm=warm,
                     drain_saved_us=drain_saved,
+                    tenant=tenant.name,
                 )
                 batches.append(batch)
                 running[array] = batch
+                tenant.served += size
                 for member in members:
                     record = requests[member.index]
                     record.dispatch_us = now
@@ -211,22 +402,32 @@ class ServingSimulator:
                 seq += 1
                 heapq.heappush(events, events_entry)
 
-            if pool.has_idle() and len(batcher) and not batcher.ready(now):
-                deadline = batcher.oldest_deadline_us
-                if deadline not in scheduled_timeouts:
-                    scheduled_timeouts.add(deadline)
-                    heapq.heappush(events, (deadline, _TIMEOUT, seq, 0))
-                    seq += 1
+            if pool.has_idle():
+                for tenant in tenants:
+                    if len(tenant.queue) and not tenant.batching.ready(
+                        tenant.queue, now
+                    ):
+                        deadline = tenant.batching.next_deadline_us(
+                            tenant.queue, now
+                        )
+                        if deadline is not None and deadline not in scheduled_timeouts:
+                            scheduled_timeouts.add(deadline)
+                            heapq.heappush(
+                                events, (max(deadline, now), _TIMEOUT, seq, 0)
+                            )
+                            seq += 1
 
         wall_seconds = time.perf_counter() - wall_start
         check = None
         if (
             with_crosscheck
+            and not self.multi_tenant
+            and server.array_configs is None
             and isinstance(self.cost, ScheduledBatchCost)
             and self.cost.accounting == "overlapped"  # the schedule perf models
         ):
             analytic = AnalyticBatchCost(
-                network=self.cost.qnet.config, accel_config=config
+                network=self.cost.qnet.config, accel_config=self.cost.config
             )
             sizes = tuple(sorted({batch.size for batch in batches}))
             check = {
@@ -235,15 +436,19 @@ class ServingSimulator:
             }
         return ServingReport(
             network=self.network_name,
-            trace_name=self.trace.name,
-            offered_rps=self.trace.offered_rps,
-            policy={
-                "max_batch": self.policy.max_batch,
-                "max_wait_us": self.policy.max_wait_us,
-                "describe": self.policy.describe(),
-            },
-            arrays=self.arrays,
-            clock_mhz=config.clock_mhz,
+            trace_name=(
+                self.trace.name
+                if not self.multi_tenant
+                else "+".join(f"{t.name}:{t.trace.name}" for t in tenants)
+            ),
+            offered_rps=(
+                self.trace.offered_rps
+                if not self.multi_tenant
+                else sum(t.trace.offered_rps for t in tenants)
+            ),
+            policy=server.policy_json(),
+            arrays=server.arrays,
+            clock_mhz=self.cost.config.clock_mhz,
             accounting=getattr(self.cost, "accounting", "overlapped"),
             pipeline=self.pipeline,
             requests=requests,
@@ -263,4 +468,39 @@ class ServingSimulator:
             wall_seconds=wall_seconds,
             predictions=predictions,
             crosscheck=check,
+            tenants=(
+                _tenant_summaries(tenants, requests) if self.multi_tenant else None
+            ),
         )
+
+
+def _tenant_summaries(
+    tenants: list[_Tenant], requests: list[RequestRecord]
+) -> list[dict]:
+    """Per-tenant request/shed/latency breakdown for the report."""
+    total_served = sum(
+        1 for record in requests if not record.shed
+    )
+    summaries = []
+    for tenant in tenants:
+        records = [requests[index] for index in tenant.global_indices]
+        served = [record for record in records if not record.shed]
+        summaries.append(
+            {
+                "tenant": tenant.name,
+                "weight": tenant.weight,
+                "offered": len(records),
+                "served": len(served),
+                "shed": len(records) - len(served),
+                "served_share": (
+                    len(served) / total_served if total_served else 0.0
+                ),
+                "deadline_misses": sum(
+                    1 for record in records if record.missed_deadline
+                ),
+                "latency_us": percentile_summary(
+                    np.array([record.latency_us for record in served])
+                ),
+            }
+        )
+    return summaries

@@ -16,10 +16,18 @@ With stream pipelining a fourth, informational component appears:
 **drain saved** — the time a request's batch did *not* pay because it ran
 back to back on a warm array (the compute component is already the warm
 figure, so queueing + batching + compute still sums to the latency).
+
+Admission control adds **shed** requests: rejected at arrival, recorded
+with their timestamps but never dispatched.  Latency statistics cover
+served requests only; the report carries the shed count/rate and, for
+requests with deadlines, the SLA miss rate among the served.
+Multi-tenant runs additionally break requests, sheds, and latency down
+per tenant.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -55,6 +63,12 @@ class RequestRecord:
     #: Time saved because the batch ran warm (informational; not part of
     #: the queueing/batching/compute sum — compute is already warm).
     drain_saved_us: float = 0.0
+    #: Which tenant the request belongs to ("" in single-tenant runs).
+    tenant: str = ""
+    #: Absolute completion deadline (SLA); ``inf`` = none.
+    deadline_us: float = math.inf
+    #: Rejected by the admission policy at arrival (never dispatched).
+    shed: bool = False
 
     @property
     def compute_us(self) -> float:
@@ -65,6 +79,15 @@ class RequestRecord:
     def latency_us(self) -> float:
         """End-to-end latency from arrival to completion."""
         return self.done_us - self.arrival_us
+
+    @property
+    def missed_deadline(self) -> bool:
+        """Served past a finite deadline (shed requests excluded)."""
+        return (
+            not self.shed
+            and math.isfinite(self.deadline_us)
+            and self.done_us > self.deadline_us
+        )
 
 
 @dataclass
@@ -82,6 +105,8 @@ class BatchRecord:
     warm: bool = False
     #: Time the warm hand-off saved over a cold dispatch.
     drain_saved_us: float = 0.0
+    #: Which tenant's queue formed the batch ("" in single-tenant runs).
+    tenant: str = ""
 
 
 @dataclass
@@ -103,11 +128,52 @@ class ServingReport:
     predictions: np.ndarray | None = None
     crosscheck: dict | None = None
     pipeline: bool = False
+    #: Per-tenant breakdowns (None in single-tenant runs).
+    tenants: list[dict] | None = None
+
+    @property
+    def served(self) -> list[RequestRecord]:
+        """Requests that were admitted and completed."""
+        return [record for record in self.requests if not record.shed]
 
     @property
     def completed(self) -> int:
-        """Number of requests served."""
+        """Number of requests served (shed requests excluded)."""
+        return len(self.requests) - self.shed_count
+
+    @property
+    def offered(self) -> int:
+        """Number of requests that arrived (served + shed)."""
         return len(self.requests)
+
+    @property
+    def shed_count(self) -> int:
+        """Requests rejected by the admission policy."""
+        return sum(1 for record in self.requests if record.shed)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of arrivals shed."""
+        if not self.requests:
+            return 0.0
+        return self.shed_count / len(self.requests)
+
+    @property
+    def deadline_miss_count(self) -> int:
+        """Served requests that finished past a finite deadline."""
+        return sum(1 for record in self.requests if record.missed_deadline)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """SLA miss fraction among served requests with deadlines."""
+        with_deadline = sum(
+            1
+            for record in self.requests
+            if not record.shed and math.isfinite(record.deadline_us)
+        )
+        if with_deadline == 0:
+            return 0.0
+        return self.deadline_miss_count / with_deadline
 
     @property
     def throughput_rps(self) -> float:
@@ -148,17 +214,16 @@ class ServingReport:
         return dict(sorted(histogram.items()))
 
     def latency_summary(self) -> dict[str, dict[str, float]]:
-        """Mean/p50/p95/p99 per component and for the total latency."""
+        """Mean/p50/p95/p99 per component over served requests."""
+        served = self.served
         components = {
-            "total": np.array([r.latency_us for r in self.requests]),
-            "queueing": np.array([r.queueing_us for r in self.requests]),
-            "batching": np.array([r.batching_us for r in self.requests]),
-            "compute": np.array([r.compute_us for r in self.requests]),
+            "total": np.array([r.latency_us for r in served]),
+            "queueing": np.array([r.queueing_us for r in served]),
+            "batching": np.array([r.batching_us for r in served]),
+            "compute": np.array([r.compute_us for r in served]),
         }
         if self.pipeline:
-            components["drain_saved"] = np.array(
-                [r.drain_saved_us for r in self.requests]
-            )
+            components["drain_saved"] = np.array([r.drain_saved_us for r in served])
         return {name: percentile_summary(values) for name, values in components.items()}
 
     def to_dict(self) -> dict:
@@ -173,6 +238,11 @@ class ServingReport:
             "accounting": self.accounting,
             "pipeline": self.pipeline,
             "requests": self.completed,
+            "offered_requests": self.offered,
+            "shed": self.shed_count,
+            "shed_rate": self.shed_rate,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "tenants": self.tenants,
             "batches": len(self.batches),
             "warm_batches": self.warm_batches,
             "drain_saved_us": self.drain_saved_total_us,
@@ -200,6 +270,25 @@ class ServingReport:
             f" ({self.accounting} accounting at {self.clock_mhz:.0f} MHz)",
             f"  batches: {len(self.batches)} (mean size {self.mean_batch_size:.2f},"
             f" histogram {self.batch_size_histogram()})",
+            *(
+                [
+                    f"  admission: shed {self.shed_count}/{self.offered}"
+                    f" ({self.shed_rate:.1%}); deadline misses among served:"
+                    f" {self.deadline_miss_count} ({self.deadline_miss_rate:.1%})"
+                ]
+                if self.shed_count or self.deadline_miss_count
+                else []
+            ),
+            *(
+                [
+                    f"  tenant {entry['tenant']}: {entry['served']} served"
+                    f" / {entry['shed']} shed, p99"
+                    f" {entry['latency_us']['p99_us']:,.0f}us"
+                    for entry in self.tenants
+                ]
+                if self.tenants
+                else []
+            ),
             *(
                 [
                     f"  pipeline: {self.warm_batches}/{len(self.batches)} warm batches,"

@@ -32,10 +32,18 @@ from repro.errors import ConfigError
 
 @dataclass(frozen=True)
 class ArrivalTrace:
-    """A named, sorted sequence of request arrival times (microseconds)."""
+    """A named, sorted sequence of request arrival times (microseconds).
+
+    ``deadlines_us`` optionally carries one *absolute* completion
+    deadline per request (``inf`` = none), aligned with ``times_us`` —
+    replayed logs can record per-request SLAs; generated traces leave it
+    ``None`` and the simulator stamps the serving configuration's
+    relative SLA instead.
+    """
 
     name: str
     times_us: np.ndarray
+    deadlines_us: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         times = np.asarray(self.times_us, dtype=np.float64)
@@ -46,6 +54,15 @@ class ArrivalTrace:
         if times[0] < 0 or np.any(np.diff(times) < 0):
             raise ConfigError("arrival times must be non-negative and sorted")
         object.__setattr__(self, "times_us", times)
+        if self.deadlines_us is not None:
+            deadlines = np.asarray(self.deadlines_us, dtype=np.float64)
+            if deadlines.shape != times.shape:
+                raise ConfigError(
+                    f"{deadlines.size} deadlines for {times.size} arrivals"
+                )
+            if np.any(np.isnan(deadlines)):
+                raise ConfigError("deadlines must not be NaN (use inf for none)")
+            object.__setattr__(self, "deadlines_us", deadlines)
 
     @property
     def count(self) -> int:
@@ -112,14 +129,32 @@ def bursty_trace(
     return ArrivalTrace("bursty", times)
 
 
-def replay_trace(times_us: np.ndarray, name: str = "replay") -> ArrivalTrace:
-    """Replay explicit arrival timestamps (sorted on ingest)."""
-    times = np.sort(np.asarray(times_us, dtype=np.float64))
-    return ArrivalTrace(name, times)
+def replay_trace(
+    times_us: np.ndarray,
+    name: str = "replay",
+    deadlines_us: np.ndarray | None = None,
+) -> ArrivalTrace:
+    """Replay explicit arrival timestamps (sorted on ingest).
+
+    ``deadlines_us`` (absolute, aligned with ``times_us``) is carried
+    through the sort so each request keeps its own deadline.
+    """
+    times = np.asarray(times_us, dtype=np.float64)
+    order = np.argsort(times, kind="stable")
+    deadlines = (
+        None
+        if deadlines_us is None
+        else np.asarray(deadlines_us, dtype=np.float64)[order]
+    )
+    return ArrivalTrace(name, times[order], deadlines)
 
 
 #: Keys accepted for the arrival time in JSONL objects / CSV headers.
 TRACE_TIME_KEYS = ("arrival_us", "time_us", "timestamp_us")
+
+#: Key carrying an absolute per-request deadline in JSONL objects / CSV
+#: headers (optional; requests without it have no SLA).
+TRACE_DEADLINE_KEY = "deadline_us"
 
 
 def _entry_time(value, where: str) -> float:
@@ -138,8 +173,19 @@ def _entry_time(value, where: str) -> float:
     return float(value)
 
 
-def _jsonl_times(path: Path) -> list[float]:
+def _entry_deadline(value, where: str) -> float:
+    """The optional absolute deadline of one arrival entry (inf = none)."""
+    if not isinstance(value, dict) or TRACE_DEADLINE_KEY not in value:
+        return math.inf
+    deadline = value[TRACE_DEADLINE_KEY]
+    if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+        raise ConfigError(f"{where}: deadline must be a number")
+    return float(deadline)
+
+
+def _jsonl_times(path: Path) -> tuple[list[float], list[float]]:
     times: list[float] = []
+    deadlines: list[float] = []
     for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         line = line.strip()
         if not line:
@@ -149,10 +195,11 @@ def _jsonl_times(path: Path) -> list[float]:
         except json.JSONDecodeError as error:
             raise ConfigError(f"{path}:{lineno}: invalid JSON ({error})") from error
         times.append(_entry_time(value, f"{path}:{lineno}"))
-    return times
+        deadlines.append(_entry_deadline(value, f"{path}:{lineno}"))
+    return times, deadlines
 
 
-def _json_times(path: Path) -> list[float]:
+def _json_times(path: Path) -> tuple[list[float], list[float]]:
     try:
         document = json.loads(path.read_text())
     except json.JSONDecodeError as error:
@@ -162,18 +209,24 @@ def _json_times(path: Path) -> list[float]:
             f"{path}: a .json trace must be an array of arrivals"
             " (use .jsonl for line-delimited records)"
         )
-    return [
+    times = [
         _entry_time(value, f"{path}[{index}]")
         for index, value in enumerate(document)
     ]
+    deadlines = [
+        _entry_deadline(value, f"{path}[{index}]")
+        for index, value in enumerate(document)
+    ]
+    return times, deadlines
 
 
-def _csv_times(path: Path) -> list[float]:
+def _csv_times(path: Path) -> tuple[list[float], list[float]]:
     with path.open(newline="") as handle:
         rows = [row for row in csv.reader(handle) if row and any(cell.strip() for cell in row)]
     if not rows:
-        return []
+        return [], []
     column = 0
+    deadline_column = None
     try:
         float(rows[0][column])
         body = rows
@@ -184,8 +237,11 @@ def _csv_times(path: Path) -> list[float]:
             if key in header:
                 column = header.index(key)
                 break
+        if TRACE_DEADLINE_KEY in header:
+            deadline_column = header.index(TRACE_DEADLINE_KEY)
         body = rows[1:]
     times: list[float] = []
+    deadlines: list[float] = []
     for lineno, row in enumerate(body, start=1 + (body is not rows)):
         try:
             times.append(float(row[column]))
@@ -193,7 +249,22 @@ def _csv_times(path: Path) -> list[float]:
             raise ConfigError(
                 f"{path}:{lineno}: arrival time must be a number ({error})"
             ) from error
-    return times
+        if deadline_column is None or deadline_column >= len(row):
+            # No deadline column, or this row simply omits the trailing
+            # cell: the request carries no SLA.
+            deadlines.append(math.inf)
+        else:
+            cell = row[deadline_column].strip()
+            if not cell:
+                deadlines.append(math.inf)
+                continue
+            try:
+                deadlines.append(float(cell))
+            except ValueError as error:
+                raise ConfigError(
+                    f"{path}:{lineno}: deadline must be a number ({error})"
+                ) from error
+    return times, deadlines
 
 
 def load_trace_file(path: str | Path) -> ArrivalTrace:
@@ -201,21 +272,23 @@ def load_trace_file(path: str | Path) -> ArrivalTrace:
 
     JSONL (``.jsonl``/``.ndjson``): one arrival per line, either a bare
     number (microseconds) or an object carrying one of the
-    :data:`TRACE_TIME_KEYS` keys.  ``.json``: one array of the same
-    entries.  CSV: one arrival per row, with an optional header naming
-    the column (the first column is used otherwise).  Timestamps are
-    sorted on ingest, matching :func:`replay_trace`.
+    :data:`TRACE_TIME_KEYS` keys plus an optional absolute
+    :data:`TRACE_DEADLINE_KEY` (per-request SLA).  ``.json``: one array
+    of the same entries.  CSV: one arrival per row, with an optional
+    header naming the arrival (and optionally the ``deadline_us``)
+    column; the first column is used otherwise.  Timestamps are sorted
+    on ingest, matching :func:`replay_trace`, deadlines riding along.
     """
     path = Path(path)
     if not path.exists():
         raise ConfigError(f"trace file {path} does not exist")
     suffix = path.suffix.lower()
     if suffix in (".jsonl", ".ndjson"):
-        times = _jsonl_times(path)
+        times, deadlines = _jsonl_times(path)
     elif suffix == ".json":
-        times = _json_times(path)
+        times, deadlines = _json_times(path)
     elif suffix == ".csv":
-        times = _csv_times(path)
+        times, deadlines = _csv_times(path)
     else:
         raise ConfigError(
             f"unsupported trace file type {suffix!r}"
@@ -223,7 +296,12 @@ def load_trace_file(path: str | Path) -> ArrivalTrace:
         )
     if not times:
         raise ConfigError(f"trace file {path} contains no arrivals")
-    return replay_trace(np.asarray(times), name=f"replay:{path.name}")
+    carried = (
+        np.asarray(deadlines) if any(math.isfinite(d) for d in deadlines) else None
+    )
+    return replay_trace(
+        np.asarray(times), name=f"replay:{path.name}", deadlines_us=carried
+    )
 
 
 #: Trace kinds constructible from (rate, count, rng) — the CLI surface.

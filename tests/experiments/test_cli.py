@@ -106,6 +106,89 @@ class TestSimulateCommand:
         assert "Stream speedup" in out
 
 
+class TestServeSimPolicies:
+    BASE = ["serve-sim", "--network", "tiny", "--cost", "analytic"]
+
+    def test_deadline_policy_reports_shedding(self, capsys):
+        assert cli.main(
+            self.BASE
+            + [
+                "--policy",
+                "deadline",
+                "--deadline-ms",
+                "0.05",
+                "--rate",
+                "40000",
+                "--requests",
+                "48",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "deadline" in out
+        assert "shed" in out
+
+    def test_greedy_policy_runs(self, capsys):
+        assert cli.main(
+            self.BASE + ["--policy", "greedy", "--requests", "16"]
+        ) == 0
+        assert "greedy" in capsys.readouterr().out
+
+    def test_heterogeneous_array_sizes(self, capsys):
+        assert cli.main(
+            self.BASE
+            + ["--array-sizes", "16", "8", "--requests", "16", "--rate", "20000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 array(s)" in out
+
+    def test_multi_tenant(self, capsys):
+        assert cli.main(
+            self.BASE
+            + [
+                "--rate",
+                "9000",
+                "--requests",
+                "24",
+                "--tenant",
+                "name=a",
+                "--tenant",
+                "name=b,weight=2,deadline-ms=5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tenant a" in out
+        assert "tenant b" in out
+
+    def test_bad_tenant_spec_fails(self, capsys):
+        assert cli.main(self.BASE + ["--tenant", "rate=100"]) == 2
+        assert "name=" in capsys.readouterr().err
+
+    def test_zero_deadline_fails(self, capsys):
+        assert cli.main(self.BASE + ["--deadline-ms", "0"]) == 2
+        assert "deadline-ms" in capsys.readouterr().err
+
+    def test_bad_tenant_number_fails(self, capsys):
+        assert cli.main(self.BASE + ["--tenant", "name=a,rate=abc"]) == 2
+        assert "rate" in capsys.readouterr().err
+
+    def test_tenant_with_execute_fails(self, capsys):
+        assert (
+            cli.main(
+                ["serve-sim", "--network", "tiny", "--tenant", "name=a", "--execute"]
+            )
+            == 2
+        )
+        assert "single-tenant" in capsys.readouterr().err
+
+    def test_queue_limit_sheds(self, capsys):
+        assert cli.main(
+            self.BASE
+            + ["--queue-limit", "0", "--requests", "8", "--rate", "1000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shed 8/8" in out
+
+
 class TestInfoCommand:
     def test_info_summarizes(self, capsys):
         assert cli.main(["info"]) == 0

@@ -71,3 +71,34 @@ class TestBatching:
 
     def test_report_renders(self, result):
         assert "crossover" in batching.format_report(result).lower()
+
+
+class TestPolicyComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.capsnet.config import tiny_capsnet_config
+
+        return batching.policy_comparison(
+            config=tiny_capsnet_config(),
+            requests=64,
+            deadline_ms=0.05,
+            max_wait_us=50.0,
+        )
+
+    def test_one_row_per_policy(self, result):
+        assert [row["policy"] for row in result.rows] == [
+            "fifo",
+            "deadline",
+            "greedy",
+        ]
+
+    def test_deadline_policy_bounds_p99_at_saturation(self, result):
+        """The acceptance shape on closed-form costs: the SLA-aware policy
+        sheds or early-launches instead of blowing p99."""
+        fifo, deadline = result.row("fifo"), result.row("deadline")
+        assert deadline["p99_us"] < fifo["p99_us"]
+        assert deadline["deadline_miss_rate"] <= fifo["deadline_miss_rate"]
+
+    def test_report_renders(self, result):
+        text = batching.format_policy_report(result)
+        assert "policy" in text and "p99" in text and "shed" in text

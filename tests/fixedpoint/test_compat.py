@@ -1,30 +1,18 @@
-"""The deduplicated fixedpoint modules stay importable under old names.
+"""The deduplicated fixedpoint modules: one canonical home per object.
 
-``qformat``/``formats`` and ``lut``/``luts`` used to be parallel modules;
-each pair now has one canonical module and one re-export shim.  These
-tests pin the shims to the canonical objects so old import paths keep
-returning the *same* classes (isinstance checks across the two paths must
-never split), and assert that importing a shim warns about the
-deprecation.
+``qformat``/``lut`` were re-export shims left behind when the parallel
+modules merged into ``formats``/``luts``; they shipped a
+``DeprecationWarning`` for one release cycle and are now removed.  These
+tests pin the canonical package surface and assert the old import paths
+really are gone (a resurrected shim would silently re-split the
+isinstance identity of ``QFormat``/``LookupTable`` across two paths).
 """
 
 import importlib
-import warnings
 
 import pytest
 
-with warnings.catch_warnings():
-    warnings.simplefilter("ignore", DeprecationWarning)
-    from repro.fixedpoint import formats, lut, luts, qformat
-
-
-def test_qformat_shim_is_canonical():
-    assert qformat.QFormat is formats.QFormat
-
-
-def test_lut_shim_is_canonical():
-    assert lut.LookupTable is luts.LookupTable
-    assert lut.LookupTable2D is luts.LookupTable2D
+from repro.fixedpoint import formats, luts
 
 
 def test_package_exports_canonical():
@@ -32,11 +20,11 @@ def test_package_exports_canonical():
 
     assert fx.QFormat is formats.QFormat
     assert fx.LookupTable is luts.LookupTable
+    assert fx.LookupTable2D is luts.LookupTable2D
     assert fx.DATA8 is formats.DATA8
 
 
-@pytest.mark.parametrize("shim", [qformat, lut])
-def test_shims_emit_deprecation_warning(shim):
-    # Module-level warnings only fire on (re)import; reload to observe one.
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        importlib.reload(shim)
+@pytest.mark.parametrize("name", ["repro.fixedpoint.qformat", "repro.fixedpoint.lut"])
+def test_removed_shims_do_not_import(name):
+    with pytest.raises(ModuleNotFoundError):
+        importlib.import_module(name)

@@ -50,3 +50,22 @@ def test_zero_arrays_rejected():
 
 def test_zero_makespan_utilization():
     assert ArrayPool(1).stats[0].utilization(0.0) == 0.0
+
+
+def test_utilization_spread_gauges_placement_fairness():
+    pool = ArrayPool(2)
+    claim(pool, 1, 100.0)
+    assert pool.utilization_spread(200.0) == pytest.approx(0.5)
+    pool.release(0, 100.0)
+    claim(pool, 1, 100.0, now_us=150.0)  # LRU sends the second batch to #1
+    assert pool.utilization_spread(200.0) == pytest.approx(0.0)
+
+
+def test_earliest_idle_us_tracks_in_flight_work():
+    pool = ArrayPool(1)
+    assert pool.earliest_idle_us(5.0) == 5.0  # an array is idle
+    array, _ = pool.select(10.0)
+    pool.charge(array, 1, 40.0, now_us=10.0)
+    assert pool.earliest_idle_us(20.0) == 50.0
+    pool.release(array, 50.0)
+    assert pool.earliest_idle_us(60.0) == 60.0

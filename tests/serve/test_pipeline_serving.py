@@ -157,6 +157,86 @@ class TestWarmDispatch:
             )
 
 
+class TestPairKeyedWarmCosts:
+    """The warm cost is keyed by the (prev_batch_size, batch_size) pair."""
+
+    def test_pair_reduces_to_homogeneous_when_sizes_match(self, cost, tiny_config):
+        analytic = AnalyticBatchCost(network=tiny_config, pipeline=True)
+        for model in (cost, analytic):
+            assert model.warm_batch_cycles(4, 4) == model.warm_batch_cycles(4)
+            assert model.warm_batch_cycles(2, None) == model.warm_batch_cycles(2)
+
+    def test_mixed_pairs_differ_from_homogeneous_probe(self, cost):
+        """A batch following a different-size predecessor genuinely costs
+        differently than the homogeneous-stream assumption (the ROADMAP
+        open item this closes): a small batch after a large one hides
+        more prestage under the longer routing tail, and vice versa."""
+        assert cost.warm_batch_cycles(1, 4) != cost.warm_batch_cycles(1)
+        assert cost.warm_batch_cycles(4, 1) != cost.warm_batch_cycles(4)
+
+    def test_pair_never_exceeds_cold(self, cost):
+        for prev, current in [(1, 4), (4, 1), (8, 2), (2, 8)]:
+            warm = cost.warm_batch_cycles(current, prev)
+            assert warm <= cost.batch_cycles(current)
+            assert cost.drain_saved_cycles(current, prev) == (
+                cost.batch_cycles(current) - warm
+            )
+
+    def test_pair_crosschecks_against_stream_scheduler(self, cost, tiny_qnet):
+        """The scheduled pair cost is exactly the settled transition-batch
+        marginal of a mixed-size stream through PipelinedStreamScheduler."""
+        from repro.hw.scheduler import PipelinedStreamScheduler
+        from repro.serve.costs import PAIR_PROBE_PREFIX, PAIR_PROBE_SUFFIX
+
+        pipelined = PipelinedStreamScheduler(tiny_qnet)
+        for prev, current in [(4, 1), (1, 4)]:
+            timing = pipelined.probe_timing(
+                [prev] * PAIR_PROBE_PREFIX + [current] * PAIR_PROBE_SUFFIX
+            )
+            expected = min(
+                timing.batches[PAIR_PROBE_PREFIX].marginal_cycles,
+                cost.batch_cycles(current),
+            )
+            assert cost.warm_batch_cycles(current, prev) == expected
+
+    def test_analytic_pair_crosschecks_scheduled(self, cost, tiny_config):
+        analytic = AnalyticBatchCost(network=tiny_config, pipeline=True)
+        for prev, current in [(4, 1), (1, 4), (8, 2)]:
+            exact = cost.warm_batch_cycles(current, prev)
+            model = analytic.warm_batch_cycles(current, prev)
+            assert abs(model - exact) / exact < 0.05
+
+    def test_invalid_prev_size_rejected(self, cost, tiny_config):
+        analytic = AnalyticBatchCost(network=tiny_config, pipeline=True)
+        for model in (cost, analytic):
+            with pytest.raises(ConfigError):
+                model.warm_batch_cycles(4, 0)
+
+    def test_simulator_charges_pair_cost_on_mixed_handoff(self, cost):
+        """A solo batch, then four requests queued while it runs: the
+        4-batch dispatches warm the instant the 1-batch finishes and is
+        charged the (1, 4) pair cost, not the homogeneous 4-stream figure."""
+        # Requests 1-4 arrive while request 0's batch occupies the array.
+        trace = replay_trace([0.0, 1.0, 2.0, 3.0, 4.0])
+        report = ServingSimulator(
+            trace, BatchPolicy(max_batch=4, max_wait_us=0.0), cost, pipeline=True
+        ).run()
+        assert [batch.size for batch in report.batches] == [1, 4]
+        tail = report.batches[1]
+        assert tail.warm
+        assert tail.cycles == cost.warm_batch_cycles(4, prev_size=1)
+        assert tail.cycles != cost.warm_batch_cycles(4)
+        assert tail.drain_saved_us == pytest.approx(
+            cost.config.cycles_to_us(cost.drain_saved_cycles(4, prev_size=1))
+        )
+
+    def test_execute_charges_pair_cost(self, cost, tiny_images):
+        cycles, result = cost.execute(tiny_images[:2], warm=True, prev_size=4)
+        assert cycles == cost.warm_batch_cycles(2, prev_size=4)
+        cold_cycles, cold_result = cost.execute(tiny_images[:2])
+        np.testing.assert_array_equal(result.predictions, cold_result.predictions)
+
+
 class TestWarmArrayPreference:
     def test_prefers_just_freed_array(self):
         pool = ArrayPool(2)
@@ -168,13 +248,17 @@ class TestWarmArrayPreference:
         array, warm = pool.select(10.0, prefer_warm=True)
         assert (array, warm) == (0, True)
 
-    def test_without_preference_lowest_id_wins(self):
+    def test_without_preference_least_recently_released_wins(self):
         pool = ArrayPool(2)
         first, _ = pool.select(0.0)
         pool.release(first, 5.0)
-        pool.select(5.0)  # takes array 0 again (lowest id, happens warm)
+        # Array 1 has been idle since the start — longer than array 0,
+        # which was just released — so it wins the cold selection even
+        # though array 0 happens to be warm.
         array, warm = pool.select(5.0)
         assert (array, warm) == (1, False)
+        array, warm = pool.select(5.0)
+        assert (array, warm) == (0, True)
 
     def test_warm_counter_tracked(self):
         pool = ArrayPool(1)

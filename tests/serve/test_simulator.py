@@ -139,6 +139,22 @@ class TestShardingAndThroughput:
         ).run()
         assert 0.9 < report.array_stats[0]["utilization"] <= 1.0
 
+    def test_light_load_placement_rotates_arrays(self, cost):
+        """Every batch dispatches while both arrays are idle; the
+        least-recently-released tie-break alternates them, where the old
+        index-order scan sent every batch to array 0 and its utilization
+        spread was maximal."""
+        gap = 2.0 * cost.config.cycles_to_us(cost.batch_cycles(1))
+        trace = replay_trace(np.arange(1, 17) * gap)
+        report = ServingSimulator(
+            trace, BatchPolicy(max_batch=1), cost, arrays=2
+        ).run()
+        assert [batch.array for batch in report.batches] == [0, 1] * 8
+        utilization = [stat["utilization"] for stat in report.array_stats]
+        assert max(utilization) - min(utilization) < 0.01
+        requests = [stat["requests"] for stat in report.array_stats]
+        assert requests == [8, 8]
+
 
 class TestExecuteModeAndValidation:
     def test_execute_predictions_match_golden(self, cost, tiny_qnet, tiny_images):

@@ -45,6 +45,42 @@ class TestJsonl:
             load_trace_file(path)
 
 
+class TestDeadlines:
+    def test_jsonl_deadlines_ride_the_sort(self, tmp_path):
+        """Per-request deadline_us loads alongside the arrival and stays
+        aligned when timestamps sort."""
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"arrival_us": 300, "deadline_us": 900}\n'
+            '{"arrival_us": 100, "deadline_us": 500}\n'
+            "200\n"
+        )
+        trace = load_trace_file(path)
+        np.testing.assert_allclose(trace.times_us, [100.0, 200.0, 300.0])
+        np.testing.assert_allclose(trace.deadlines_us, [500.0, np.inf, 900.0])
+
+    def test_no_deadlines_leaves_none(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("100\n200\n")
+        assert load_trace_file(path).deadlines_us is None
+
+    def test_csv_deadline_column(self, tmp_path):
+        """Empty or omitted trailing deadline cells both mean 'no SLA'."""
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "arrival_us,deadline_us\n200,700\n100,\n300\n"
+        )
+        trace = load_trace_file(path)
+        np.testing.assert_allclose(trace.times_us, [100.0, 200.0, 300.0])
+        np.testing.assert_allclose(trace.deadlines_us, [np.inf, 700.0, np.inf])
+
+    def test_non_numeric_deadline_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"arrival_us": 100, "deadline_us": "soon"}\n')
+        with pytest.raises(ConfigError, match="deadline must be a number"):
+            load_trace_file(path)
+
+
 class TestJsonArray:
     def test_array_of_numbers_and_objects(self, tmp_path):
         path = tmp_path / "trace.json"
