@@ -22,11 +22,22 @@ Batch costs are the bit-exact scheduled model; everything is seeded, so
 the modeled figures are deterministic and guarded by
 ``benchmarks/check_perf_regression.py``.
 
+Replayed traces close the loop to production-style logs: pass
+``--trace-file`` (JSONL/CSV, see ``repro.serve.trace``) to serve a
+recorded arrival log instead of the synthetic Poisson trace — each
+request keeps its own absolute ``deadline_us`` SLA from the log (the
+``--deadline-ms`` flag then only stamps requests without one), and
+``--fast`` switches the simulator to its ``record_requests=False``
+streaming path so million-request logs replay in seconds.  A small
+checked-in sample lives at ``benchmarks/traces/sample-trace.jsonl``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_policies.py            # MNIST shapes
     PYTHONPATH=src python benchmarks/bench_policies.py --smoke    # tiny, CI
     PYTHONPATH=src python benchmarks/bench_policies.py --json out.json
+    PYTHONPATH=src python benchmarks/bench_policies.py \
+        --trace-file benchmarks/traces/sample-trace.jsonl --fast
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ from repro.serve import (
     ScheduledBatchCost,
     ServerConfig,
     ServingSimulator,
+    load_trace_file,
     poisson_trace,
 )
 
@@ -53,8 +65,13 @@ def run_benchmark(args: argparse.Namespace) -> dict:
     capacity_rps = (
         args.arrays * cost.config.clock_mhz * 1e6 / cost.batch_cycles(1)
     )
-    rate = args.rate_multiplier * capacity_rps
-    trace = poisson_trace(rate, args.requests, np.random.default_rng(args.seed))
+    if args.trace_file is not None:
+        trace = load_trace_file(args.trace_file)
+        args.requests = trace.count
+        args.rate_multiplier = trace.offered_rps / capacity_rps
+    else:
+        rate = args.rate_multiplier * capacity_rps
+        trace = poisson_trace(rate, args.requests, np.random.default_rng(args.seed))
 
     rows = []
     for name in SERVING_POLICIES:
@@ -67,7 +84,9 @@ def run_benchmark(args: argparse.Namespace) -> dict:
             deadline_us=args.deadline_ms * 1000.0,
             network_name=args.network,
         )
-        report = ServingSimulator(trace, server=server).run()
+        report = ServingSimulator(trace, server=server).run(
+            record_requests=not args.fast
+        )
         latency = report.latency_summary()["total"]
         rows.append(
             {
@@ -91,6 +110,8 @@ def run_benchmark(args: argparse.Namespace) -> dict:
     return {
         "benchmark": "bench_policies",
         "network": args.network,
+        "trace": trace.name,
+        "trace_file": args.trace_file,
         "requests": args.requests,
         "arrays": args.arrays,
         "seed": args.seed,
@@ -155,6 +176,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--network", choices=("mnist", "tiny"), default=None)
     parser.add_argument(
         "--requests", type=int, default=None, help="requests in the trace"
+    )
+    parser.add_argument(
+        "--trace-file",
+        type=str,
+        default=None,
+        help="replay a recorded .jsonl/.csv arrival log (per-request"
+        " deadline_us honored) instead of the synthetic Poisson trace",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="streaming simulator path (record_requests=False) for long traces",
     )
     parser.add_argument(
         "--rate-multiplier",

@@ -5,12 +5,16 @@ Usage::
     python -m repro.cli list                 # available artifacts
     python -m repro.cli run table1 fig16     # regenerate specific artifacts
     python -m repro.cli run all              # everything (incl. training)
-    python -m repro.cli sweep --array 8 32   # quick design-space sweep
+    python -m repro.cli sweep --array 8 32   # design-space sweep (analytic tier)
+    python -m repro.cli sweep --array 8 16 --window 1 2 --prestage 1 4 \
+        --processes 4 --json sweep.json      # window/prestage/array DSE
+    python -m repro.cli sweep --tier serving --policy fifo deadline  # fast-sim tier
     python -m repro.cli info                 # network + accelerator summary
     python -m repro.cli simulate --batch-size 8   # batched engine simulation
     python -m repro.cli simulate --batch-size 8 --images 32 --pipeline
     python -m repro.cli serve-sim --rate 400 --arrays 2   # serving simulator
     python -m repro.cli serve-sim --pipeline --trace-file arrivals.jsonl
+    python -m repro.cli serve-sim --fast --requests 1000000   # streaming stats
 
 The CLI is a thin shell over :mod:`repro.experiments`; everything it prints
 is available programmatically.
@@ -25,7 +29,6 @@ from repro.capsnet.config import mnist_capsnet_config
 from repro.experiments import ablations, accuracy, runner
 from repro.hw.config import AcceleratorConfig
 from repro.perf.model import CapsAccPerformanceModel
-from repro.synthesis.report import SynthesisReport
 from repro.version import __version__
 
 
@@ -67,16 +70,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    network = mnist_capsnet_config()
-    print(f"{'array':>8s} {'latency ms':>11s} {'area mm2':>9s} {'power mW':>9s}")
-    for size in args.array:
-        config = AcceleratorConfig().with_array(size, size)
-        latency = CapsAccPerformanceModel(accelerator=config, network=network).run()
-        synth = SynthesisReport(config=config).table2()
-        print(
-            f"{size:>4d}x{size:<3d} {latency.total_time_ms:11.3f}"
-            f" {synth['area_mm2']:9.2f} {synth['power_mw']:9.1f}"
+    from repro.errors import ConfigError
+    from repro.hw.pipeline import DEFAULT_PRESTAGE_DEPTH, DEFAULT_WINDOW
+    from repro.sweep import SweepSpec, run_sweep
+
+    if args.smoke:
+        network = args.network or "tiny"
+        arrays_axis = args.array or [4, 8]
+        windows = args.window or [1, 2]
+        prestages = args.prestage or [1, 4]
+        requests = args.requests or 512
+    else:
+        network = args.network or "mnist"
+        arrays_axis = args.array or [8, 16, 32]
+        windows = args.window or [DEFAULT_WINDOW]
+        prestages = args.prestage or [DEFAULT_PRESTAGE_DEPTH]
+        requests = args.requests or 2000
+    axes: dict = {"array": tuple(arrays_axis)}
+    if args.tier == "analytic":
+        if args.policy or args.rate_multiplier:
+            print(
+                "sweep: --policy/--rate-multiplier are serving-tier axes"
+                " (pass --tier serving)",
+                file=sys.stderr,
+            )
+            return 2
+        axes["window"] = tuple(windows)
+        axes["prestage_depth"] = tuple(prestages)
+        axes["batch"] = tuple(args.batch or [1])
+    else:
+        if args.batch:
+            print(
+                "sweep: --batch is an analytic-tier axis (the serving tier"
+                " forms batches dynamically)",
+                file=sys.stderr,
+            )
+            return 2
+        # Window/prestage only matter with warm (pipelined) costs; sweep
+        # them only when asked, so the default grid stays meaningful.
+        if args.window or (args.pipeline and args.smoke):
+            axes["window"] = tuple(windows)
+        if args.prestage or (args.pipeline and args.smoke):
+            axes["prestage_depth"] = tuple(prestages)
+        if args.policy:
+            axes["policy"] = tuple(args.policy)
+        if args.rate_multiplier:
+            axes["rate_multiplier"] = tuple(args.rate_multiplier)
+    try:
+        spec = SweepSpec(
+            tier=args.tier,
+            network=network,
+            axes=axes,
+            requests=requests,
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            deadline_ms=args.deadline_ms,
+            arrays=args.arrays,
+            pipeline=args.pipeline,
+            seed=args.seed,
         )
+        result = run_sweep(spec, processes=args.processes)
+    except ConfigError as error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+    print(result.format_table())
+    if args.json:
+        result.write_json(args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        result.write_csv(args.csv)
+        print(f"wrote {args.csv}")
     return 0
 
 
@@ -367,7 +430,11 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                     )
                 )
             simulator = ServingSimulator(server=server, tenants=tenants)
-            report = simulator.run(with_crosscheck=False)
+            report = simulator.run(
+                with_crosscheck=False,
+                record_requests=not args.fast,
+                latency_bin_us=args.latency_bin_us,
+            )
         else:
             if args.trace_file is not None:
                 trace = load_trace_file(args.trace_file)
@@ -392,7 +459,11 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                 images=images,
                 execute=args.execute,
             )
-            report = simulator.run(with_crosscheck=args.cost == "scheduled")
+            report = simulator.run(
+                with_crosscheck=args.cost == "scheduled",
+                record_requests=not args.fast,
+                latency_bin_us=args.latency_bin_us,
+            )
     except ConfigError as error:
         print(f"serve-sim: {error}", file=sys.stderr)
         return 2
@@ -430,10 +501,75 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("artifacts", nargs="+", help="artifact ids or 'all'")
     run_parser.set_defaults(func=_cmd_run)
 
-    sweep_parser = sub.add_parser("sweep", help="array-size design sweep")
-    sweep_parser.add_argument(
-        "--array", type=int, nargs="+", default=[8, 16, 32], help="array sizes"
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="design-space sweep: array / window / prestage grids through the"
+        " analytic stream model or the fast serving simulator",
     )
+    sweep_parser.add_argument(
+        "--tier",
+        choices=("analytic", "serving"),
+        default="analytic",
+        help="cheap closed-form tier, or the accurate fast-simulator tier",
+    )
+    sweep_parser.add_argument(
+        "--array", type=int, nargs="+", default=None, help="array sizes (NxN)"
+    )
+    sweep_parser.add_argument(
+        "--window", type=int, nargs="+", default=None, help="pipeline windows"
+    )
+    sweep_parser.add_argument(
+        "--prestage", type=int, nargs="+", default=None, help="prestage FIFO depths"
+    )
+    sweep_parser.add_argument(
+        "--batch", type=int, nargs="+", default=None, help="batch sizes (analytic tier)"
+    )
+    sweep_parser.add_argument(
+        "--policy",
+        nargs="+",
+        choices=("fifo", "deadline", "greedy"),
+        default=None,
+        help="serving-policy axis (serving tier)",
+    )
+    sweep_parser.add_argument(
+        "--rate-multiplier",
+        type=float,
+        nargs="+",
+        default=None,
+        help="offered-rate axis, as multiples of batch-1 capacity (serving tier)",
+    )
+    sweep_parser.add_argument(
+        "--network", choices=("mnist", "tiny"), default=None,
+        help="network shapes (default mnist; tiny with --smoke)",
+    )
+    sweep_parser.add_argument(
+        "--requests", type=int, default=None, help="trace length per serving point"
+    )
+    sweep_parser.add_argument("--max-batch", type=int, default=8)
+    sweep_parser.add_argument("--max-wait-us", type=float, default=2000.0)
+    sweep_parser.add_argument("--deadline-ms", type=float, default=None)
+    sweep_parser.add_argument(
+        "--arrays", type=int, default=1, help="arrays per serving point"
+    )
+    sweep_parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="serving tier: charge warm (stream-pipelined) batch costs",
+    )
+    sweep_parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="fan sweep points out across this many worker processes",
+    )
+    sweep_parser.add_argument("--seed", type=int, default=7)
+    sweep_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny network and a small grid (CI gate)",
+    )
+    sweep_parser.add_argument("--json", type=str, default=None, help="write artifact JSON")
+    sweep_parser.add_argument("--csv", type=str, default=None, help="write rows CSV")
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     sim_parser = sub.add_parser(
@@ -570,6 +706,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--pipeline",
         action="store_true",
         help="charge back-to-back batches the stream-pipelined warm cost",
+    )
+    serve_parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="streaming fast path (record_requests=False): identical counts,"
+        " O(1) memory, percentiles at histogram resolution — for long traces",
+    )
+    serve_parser.add_argument(
+        "--latency-bin-us",
+        type=float,
+        default=50.0,
+        help="latency histogram bin width for --fast (microseconds)",
     )
     serve_parser.add_argument(
         "--fifo-depth",

@@ -39,6 +39,16 @@ Dynamically produced weights — routing coefficients and squashed outputs
 on the weight port — cannot be prestaged before their producer finishes;
 those loads are *constrained* to the producing stage's completion.
 
+Timing is memoized at two levels, because design-space sweeps and long
+serving runs replay the same shapes thousands of times: expanded op
+timelines are cached per ``(config, tiling plan, groups, weight source,
+layer)`` (:func:`job_ops` is pure in those arguments), and whole stream
+schedules are cached per ``(op-timeline sequence, images, window,
+prestage depth)`` through :func:`cached_stream_timing`.  Cached results
+are the *same* objects the first computation produced, so memoized
+timelines are bit-identical to cold ones by construction (asserted in
+tests); :func:`clear_timeline_caches` resets both caches.
+
 Timing is computed by a deterministic list scheduler.  Activation passes
 advance each batch's own serial chain (the per-column activation units
 are far from saturated — tens of thousands of cycles per ~900k-cycle
@@ -102,6 +112,44 @@ class PipelineOp:
             raise ConfigError("pipeline op cycles must be non-negative")
 
 
+#: Expanded op timelines per (config, plan, groups, weight source, layer).
+#: ``job_ops`` is pure in those arguments, so the cache is exact; entries
+#: are shared lists — callers read (``extend``) but never mutate them.
+_JOB_OPS_CACHE: dict[tuple, list[PipelineOp]] = {}
+
+#: Stream schedules per (op-timeline tokens, images, window, prestage).
+_STREAM_TIMING_CACHE: dict[tuple, StreamTiming] = {}
+
+#: Identity tokens for op-timeline lists: ``id(ops) -> (token, ops)``.
+#: The strong reference pins the list so its id cannot be recycled.
+_OPS_TOKENS: dict[int, tuple[int, list]] = {}
+
+
+def clear_timeline_caches() -> None:
+    """Drop every memoized op timeline and stream schedule."""
+    _JOB_OPS_CACHE.clear()
+    _STREAM_TIMING_CACHE.clear()
+    _OPS_TOKENS.clear()
+
+
+def timeline_cache_stats() -> dict[str, int]:
+    """Sizes of the module-level timeline caches (for tests/telemetry)."""
+    return {
+        "job_ops": len(_JOB_OPS_CACHE),
+        "stream_timings": len(_STREAM_TIMING_CACHE),
+        "ops_tokens": len(_OPS_TOKENS),
+    }
+
+
+def _ops_token(ops: list[PipelineOp]) -> int:
+    """Small identity token for one op-timeline list (registry-pinned)."""
+    entry = _OPS_TOKENS.get(id(ops))
+    if entry is None or entry[1] is not ops:
+        entry = (len(_OPS_TOKENS), ops)
+        _OPS_TOKENS[id(ops)] = entry
+    return entry[0]
+
+
 def job_ops(
     config: AcceleratorConfig,
     plan,
@@ -119,11 +167,42 @@ def job_ops(
     weights are dynamically produced (``weight_source`` other than the
     weight buffer): once the producer has finished, every later tile of
     the job is known and prestages normally.
-    """
-    from repro.hw.accelerator import chunk_sizes  # local: avoid cycle
 
+    The expansion is pure in its arguments and repeated for every batch
+    of a stream, so results are memoized module-wide; the returned list
+    is shared and must not be mutated.
+    """
     if groups < 1:
         raise ConfigError("groups must be positive")
+    key = (
+        config,
+        plan.m,
+        plan.k,
+        plan.n,
+        plan.k_chunks,
+        plan.n_tiles,
+        tuple(plan.m_passes),
+        groups,
+        weight_source,
+        layer,
+    )
+    cached = _JOB_OPS_CACHE.get(key)
+    if cached is None:
+        cached = _JOB_OPS_CACHE[key] = _expand_job_ops(
+            config, plan, groups, weight_source, layer
+        )
+    return cached
+
+
+def _expand_job_ops(
+    config: AcceleratorConfig,
+    plan,
+    groups: int,
+    weight_source: str,
+    layer: str,
+) -> list[PipelineOp]:
+    from repro.hw.accelerator import chunk_sizes  # local: avoid cycle
+
     loads = [size + 1 for size in chunk_sizes(plan.k, config.rows)]
     drain = config.rows + config.cols - 1
     dynamic = weight_source != "weight_buffer"
@@ -410,3 +489,38 @@ def simulate_stream(
         previous_finish = finish
     timings.sort(key=lambda timing: timing.index)
     return StreamTiming(batches=timings, window=window)
+
+
+def cached_stream_timing(
+    per_batch_ops: list[list[PipelineOp]],
+    images_per_batch: list[int] | None = None,
+    window: int = DEFAULT_WINDOW,
+    prestage_depth: int = DEFAULT_PRESTAGE_DEPTH,
+) -> StreamTiming:
+    """Memoized :func:`simulate_stream` for repeated identical streams.
+
+    Probe streams (cold / steady-state / pair hand-off) replay the same
+    op timelines over and over — across cost-model instances, serving
+    runs, and sweep points — so schedules are cached per (op-timeline
+    token sequence, image counts, window, prestage depth).  A cache hit
+    returns the *same* :class:`StreamTiming` the first simulation
+    produced, so memoized timelines are bit-identical by construction;
+    callers treat the result as read-only.
+    """
+    if images_per_batch is None:
+        images_per_batch = [1] * len(per_batch_ops)
+    key = (
+        tuple(_ops_token(ops) for ops in per_batch_ops),
+        tuple(images_per_batch),
+        window,
+        prestage_depth,
+    )
+    timing = _STREAM_TIMING_CACHE.get(key)
+    if timing is None:
+        timing = _STREAM_TIMING_CACHE[key] = simulate_stream(
+            per_batch_ops,
+            images_per_batch,
+            window=window,
+            prestage_depth=prestage_depth,
+        )
+    return timing

@@ -48,8 +48,8 @@ from repro.hw.pipeline import (
     PipelineOp,
     StreamTiming,
     activation_op,
+    cached_stream_timing,
     job_ops,
-    simulate_stream,
 )
 from repro.hw.stats import CycleStats
 
@@ -520,6 +520,20 @@ class StreamResult:
         return self.overlapped_cycles / finish
 
 
+#: Traced per-batch op timelines, shared across scheduler instances:
+#: ``(network config, optimized_routing, accel config, engine, batch)``
+#: fully determines the trace (scheduling is shape-driven), so a stream
+#: scheduler rebuilt for the same shapes — a serving cost model rebuilt
+#: per run, a sweep point repeating an array size — reuses the settled
+#: timeline instead of re-running the engine probe.
+_TRACED_OPS_CACHE: dict[tuple, list[PipelineOp]] = {}
+
+
+def clear_traced_ops_cache() -> None:
+    """Drop every memoized engine-traced op timeline."""
+    _TRACED_OPS_CACHE.clear()
+
+
 class PipelinedStreamScheduler:
     """Schedules a *stream* of batches with cross-batch pipelining.
 
@@ -543,6 +557,16 @@ class PipelinedStreamScheduler:
         self.prestage_depth = prestage_depth
         self._ops_memo: dict[int, list[PipelineOp]] = {}
 
+    def _ops_key(self, batch: int) -> tuple:
+        qnet = self.qnet
+        return (
+            qnet.config,
+            qnet.optimized_routing,
+            self.accelerator.config,
+            self.scheduler.engine,
+            batch,
+        )
+
     @property
     def qnet(self) -> QuantizedCapsuleNet:
         return self.scheduler.qnet
@@ -552,11 +576,21 @@ class PipelinedStreamScheduler:
         return self.scheduler.accelerator
 
     def batch_ops(self, batch_size: int) -> list[PipelineOp]:
-        """Pipeline ops of one batch (shape-driven; probed and memoized)."""
+        """Pipeline ops of one batch (shape-driven; probed and memoized).
+
+        The memo is two-level: per instance, then module-wide keyed by
+        (network, accelerator config, engine, batch) — a scheduler
+        rebuilt for shapes another instance already traced skips the
+        engine probe entirely.
+        """
         if batch_size < 1:
             raise ShapeError("batch must contain at least one image")
         if batch_size not in self._ops_memo:
-            self.probe_batch(batch_size)
+            cached = _TRACED_OPS_CACHE.get(self._ops_key(batch_size))
+            if cached is not None:
+                self._ops_memo[batch_size] = cached
+            else:
+                self.probe_batch(batch_size)
         return self._ops_memo[batch_size]
 
     def probe_batch(self, batch_size: int) -> BatchResult:
@@ -575,9 +609,15 @@ class PipelinedStreamScheduler:
         return self._run_traced(probe)
 
     def probe_timing(self, batch_sizes: Sequence[int]) -> StreamTiming:
-        """Stream timing for a sequence of batch sizes, without execution."""
+        """Stream timing for a sequence of batch sizes, without execution.
+
+        Memoized through :func:`repro.hw.pipeline.cached_stream_timing`:
+        repeated identical probe streams return the settled schedule
+        instead of re-walking every tile (bit-identical — the cache
+        stores the first computation's result).
+        """
         ops = [self.batch_ops(size) for size in batch_sizes]
-        return simulate_stream(
+        return cached_stream_timing(
             ops,
             list(batch_sizes),
             window=self.window,
@@ -604,7 +644,7 @@ class PipelinedStreamScheduler:
             ops.append(self._ops_memo[results[-1].batch])
         if not results:
             raise ShapeError("a stream needs at least one batch")
-        timing = simulate_stream(
+        timing = cached_stream_timing(
             ops,
             [result.batch for result in results],
             window=self.window,
@@ -621,7 +661,11 @@ class PipelinedStreamScheduler:
         finally:
             events, scheduler.trace = scheduler.trace, None
         if result.batch not in self._ops_memo:
-            self._ops_memo[result.batch] = trace_ops(
-                self.accelerator.config, events
-            )
+            key = self._ops_key(result.batch)
+            ops = _TRACED_OPS_CACHE.get(key)
+            if ops is None:
+                ops = _TRACED_OPS_CACHE[key] = trace_ops(
+                    self.accelerator.config, events
+                )
+            self._ops_memo[result.batch] = ops
         return result

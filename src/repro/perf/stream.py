@@ -33,10 +33,22 @@ from repro.hw.pipeline import (
     PipelineOp,
     StreamTiming,
     activation_op,
+    cached_stream_timing,
     job_ops,
-    simulate_stream,
 )
 from repro.mapping.shapes import batch_stage, full_inference_stages, transfer_cycles
+
+#: Analytic per-batch op timelines, shared across instances: the
+#: expansion is pure in (network, optimized_routing, conv_policy, accel
+#: config, batch), so sweep points revisiting the same shapes — every
+#: window/prestage setting of one array size, every serving run of one
+#: configuration — skip the rebuild.
+_ANALYTIC_OPS_CACHE: dict[tuple, list[PipelineOp]] = {}
+
+
+def clear_analytic_ops_cache() -> None:
+    """Drop every memoized analytic op timeline."""
+    _ANALYTIC_OPS_CACHE.clear()
 
 #: Stream length used to probe the steady state: long enough for the
 #: settled window (see ``StreamTiming.steady_marginal_cycles``) to cover
@@ -88,10 +100,25 @@ class AnalyticStreamCost:
         return self._config
 
     def batch_ops(self, batch: int) -> list[PipelineOp]:
-        """Pipeline ops of one batch, derived from the mapped stage shapes."""
+        """Pipeline ops of one batch, derived from the mapped stage shapes.
+
+        Memoized per instance and module-wide (the expansion is pure in
+        the network / mapping policy / accelerator config / batch size).
+        """
         if batch < 1:
             raise ConfigError("batch size must be positive")
         if batch not in self._ops_memo:
+            key = (
+                self.network,
+                self.optimized_routing,
+                self.conv_policy,
+                self._config,
+                batch,
+            )
+            cached = _ANALYTIC_OPS_CACHE.get(key)
+            if cached is not None:
+                self._ops_memo[batch] = cached
+                return cached
             config = self._config
             ops: list[PipelineOp] = []
             stages = full_inference_stages(
@@ -131,13 +158,17 @@ class AnalyticStreamCost:
                             layer=staged.name,
                         )
                     )
-            self._ops_memo[batch] = ops
+            self._ops_memo[batch] = _ANALYTIC_OPS_CACHE[key] = ops
         return self._ops_memo[batch]
 
     def stream_timing(self, batch_sizes: Sequence[int]) -> StreamTiming:
-        """Pipelined timing of an arbitrary stream of batch sizes."""
+        """Pipelined timing of an arbitrary stream of batch sizes.
+
+        Memoized through :func:`repro.hw.pipeline.cached_stream_timing`
+        (repeated identical probe streams are bit-identical cache hits).
+        """
         ops = [self.batch_ops(size) for size in batch_sizes]
-        return simulate_stream(
+        return cached_stream_timing(
             ops,
             list(batch_sizes),
             window=self.window,

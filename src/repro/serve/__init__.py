@@ -46,7 +46,9 @@ from repro.serve.costs import (
     ACCOUNTINGS,
     AnalyticBatchCost,
     ScheduledBatchCost,
+    clear_probe_cache,
     crosscheck,
+    probe_cache_size,
 )
 from repro.serve.dispatcher import (
     ArrayPool,
@@ -73,9 +75,12 @@ from repro.serve.policies import (
 )
 from repro.serve.simulator import ServingSimulator
 from repro.serve.stats import (
+    DEFAULT_LATENCY_BIN_US,
     BatchRecord,
+    LatencyHistogram,
     RequestRecord,
     ServingReport,
+    StreamingStats,
     percentile_summary,
 )
 from repro.serve.trace import (
@@ -95,6 +100,7 @@ __all__ = [
     "ACCOUNTINGS",
     "ADMISSION_POLICIES",
     "BATCHING_POLICIES",
+    "DEFAULT_LATENCY_BIN_US",
     "DISPATCH_POLICIES",
     "SERVING_POLICIES",
     "TRACE_DEADLINE_KEY",
@@ -114,6 +120,7 @@ __all__ = [
     "DispatchContext",
     "DynamicBatcher",
     "GreedyWhenIdleDispatch",
+    "LatencyHistogram",
     "LeastRecentDispatch",
     "PreferWarmDispatch",
     "QueueLimitAdmission",
@@ -125,10 +132,13 @@ __all__ = [
     "ServerConfig",
     "ServingReport",
     "ServingSimulator",
+    "StreamingStats",
     "TenantSpec",
     "bursty_trace",
+    "clear_probe_cache",
     "crosscheck",
     "load_trace_file",
+    "probe_cache_size",
     "make_serving_policy",
     "make_trace",
     "percentile_summary",

@@ -24,6 +24,22 @@ back-to-back dispatches are probed from a two-size stream whose settled
 transition batch carries the pair's marginal (the predecessor's tail
 covers a different amount of the successor's prestage when the sizes
 differ).  Warm costs never exceed the cold cost.
+
+On a shared multi-tenant pool the predecessor batch may belong to a
+*different network*: the pipeline op model is network-agnostic, so the
+hand-off is priced from a probe stream whose prefix runs the previous
+model's ops and whose suffix runs the receiver's — pass ``prev_cost``
+to :meth:`~ScheduledBatchCost.warm_batch_cycles` (the simulator wires
+the array's last cost model through automatically).
+
+Probes are expensive (the scheduled model runs the execution engine),
+so results additionally persist in a **process-wide probe cache** keyed
+by (model kind, network shape, accelerator configuration, accounting /
+pipeline parameters, probe kind, batch size or hand-off pair).  A cost
+model rebuilt for the same shapes — a fresh serving run, a
+:class:`~repro.serve.policies.CostBank` resolving a heterogeneous pool,
+a sweep point — reuses every previously probed figure instead of
+re-running the engine; :func:`clear_probe_cache` resets it.
 """
 
 from __future__ import annotations
@@ -53,6 +69,21 @@ ACCOUNTINGS = ("overlapped", "sequential")
 PAIR_PROBE_PREFIX = 3
 PAIR_PROBE_SUFFIX = 3
 
+#: Process-wide probe-result cache: cycles keyed by (model signature,
+#: probe kind, probe arguments).  Survives across cost-model instances
+#: and serving runs; cleared by :func:`clear_probe_cache`.
+_PROBE_CACHE: dict[tuple, int] = {}
+
+
+def clear_probe_cache() -> None:
+    """Drop every cached probe result (cold / warm / pair / cross)."""
+    _PROBE_CACHE.clear()
+
+
+def probe_cache_size() -> int:
+    """Number of cached probe results (for tests/telemetry)."""
+    return len(_PROBE_CACHE)
+
 
 def _pair_marginal(timing) -> int:
     """Marginal cycles of the transition batch in a pair probe stream."""
@@ -65,6 +96,7 @@ def _pair_warm_cycles(
     prev_size: int,
     batch_size: int,
     cold: int,
+    cache_key: tuple | None = None,
 ) -> int:
     """Memoized mixed-size warm cost from a two-size probe stream.
 
@@ -76,11 +108,67 @@ def _pair_warm_cycles(
         raise ConfigError("previous batch size must be positive")
     key = (prev_size, batch_size)
     if key not in memo:
-        timing = probe(
-            [prev_size] * PAIR_PROBE_PREFIX + [batch_size] * PAIR_PROBE_SUFFIX
-        )
-        memo[key] = min(_pair_marginal(timing), cold)
+        global_key = None if cache_key is None else cache_key + key
+        cached = None if global_key is None else _PROBE_CACHE.get(global_key)
+        if cached is None:
+            timing = probe(
+                [prev_size] * PAIR_PROBE_PREFIX + [batch_size] * PAIR_PROBE_SUFFIX
+            )
+            cached = min(_pair_marginal(timing), cold)
+            if global_key is not None:
+                _PROBE_CACHE[global_key] = cached
+        memo[key] = cached
     return memo[key]
+
+
+def _cross_pair_cycles(
+    receiver,
+    prev_cost,
+    prev_size: int,
+    batch_size: int,
+    cold: int,
+) -> int:
+    """Warm cost of a cross-network hand-off, from a two-model probe stream.
+
+    The probe stream's prefix runs the *previous* model's op timeline at
+    ``prev_size`` and its suffix the receiver's at ``batch_size``; the
+    settled transition batch carries the hand-off marginal (the pipeline
+    op model is network-agnostic, so mixing models is exactly mixing
+    shapes).  Scheduled through the receiver's window/prestage
+    parameters and clamped to the receiver's cold cost.
+    """
+    from repro.hw.pipeline import cached_stream_timing
+
+    if prev_size < 1:
+        raise ConfigError("previous batch size must be positive")
+    prev_ops = prev_cost.pipeline_ops(prev_size)
+    own_ops = receiver.pipeline_ops(batch_size)
+    timing = cached_stream_timing(
+        [prev_ops] * PAIR_PROBE_PREFIX + [own_ops] * PAIR_PROBE_SUFFIX,
+        [prev_size] * PAIR_PROBE_PREFIX + [batch_size] * PAIR_PROBE_SUFFIX,
+        window=receiver.window,
+        prestage_depth=receiver.prestage_depth,
+    )
+    return min(_pair_marginal(timing), cold)
+
+
+def _resolve_cross_prev(receiver, prev_cost):
+    """The previous cost model, iff the hand-off truly crosses networks.
+
+    ``None`` (no predecessor recorded), the receiver itself, or a model
+    pricing the *same* network shapes all fall back to the receiver's own
+    pair cost — the PR 4 behavior, bit-identical for single-tenant runs.
+    A previous model without pipeline ops (built with ``pipeline=False``)
+    cannot be probed and also falls back.
+    """
+    if prev_cost is None or prev_cost is receiver:
+        return None
+    prev_key = getattr(prev_cost, "network_key", None)
+    if prev_key is None or prev_key == receiver.network_key:
+        return None
+    if not getattr(prev_cost, "pipeline", False):
+        return None
+    return prev_cost
 
 
 def _batch_cycles(result: BatchResult, accounting: str) -> int:
@@ -165,6 +253,30 @@ class ScheduledBatchCost:
         """The accelerator configuration costs are computed for."""
         return self.scheduler.accelerator.config
 
+    @property
+    def network_key(self) -> tuple:
+        """Hashable identity of the network shapes this model prices."""
+        return (self.qnet.config, self.qnet.optimized_routing)
+
+    def signature(self) -> tuple:
+        """Hashable identity of every parameter that shapes a probe."""
+        return (
+            "scheduled",
+            self.network_key,
+            self.config,
+            self.accounting,
+            self.engine,
+            self.pipeline,
+            self.window,
+            self.prestage_depth,
+        )
+
+    def pipeline_ops(self, batch_size: int):
+        """This model's pipeline op timeline for one batch (pipelined only)."""
+        if self._stream is None:
+            raise ConfigError("pipeline ops need a cost model built with pipeline=True")
+        return self._stream.batch_ops(batch_size)
+
     def batch_cycles(self, batch_size: int) -> int:
         """Cycles one ``batch_size`` batch occupies an array (memoized).
 
@@ -173,32 +285,49 @@ class ScheduledBatchCost:
         is bit-identical to any real batch of the same size.  With
         pipelining enabled the probe runs traced through the stream
         scheduler, so the same engine run also feeds the warm cost.
+        Results persist in the process-wide probe cache, so a model
+        rebuilt for the same shapes skips the engine probe.
         """
         if batch_size < 1:
             raise ConfigError("batch size must be positive")
         if batch_size not in self._memo:
-            if self._stream is not None:
-                result = self._stream.probe_batch(batch_size)
-            else:
-                size = self.qnet.config.image_size
-                probe = np.zeros((batch_size, size, size), dtype=np.float64)
-                result = self.scheduler.run_batch(probe)
-            self._memo[batch_size] = _batch_cycles(result, self.accounting)
+            key = self.signature() + ("cold", batch_size)
+            cached = _PROBE_CACHE.get(key)
+            if cached is None:
+                if self._stream is not None:
+                    result = self._stream.probe_batch(batch_size)
+                else:
+                    size = self.qnet.config.image_size
+                    probe = np.zeros((batch_size, size, size), dtype=np.float64)
+                    result = self.scheduler.run_batch(probe)
+                cached = _PROBE_CACHE[key] = _batch_cycles(result, self.accounting)
+            self._memo[batch_size] = cached
         return self._memo[batch_size]
 
-    def warm_batch_cycles(self, batch_size: int, prev_size: int | None = None) -> int:
+    def warm_batch_cycles(
+        self,
+        batch_size: int,
+        prev_size: int | None = None,
+        prev_cost: "ScheduledBatchCost | AnalyticBatchCost | None" = None,
+    ) -> int:
         """Steady-state (pipelined) cycles of a back-to-back batch.
 
         With ``prev_size`` omitted (or equal to ``batch_size``) the cost
         is probed from a homogeneous stream of ``batch_size`` batches;
         a differing ``prev_size`` prices the mixed-size hand-off from the
         settled transition batch of a two-size probe stream (timing only
-        — ops are shape-driven).  Either way the figure is clamped to
+        — ops are shape-driven).  A ``prev_cost`` pricing a *different
+        network* prices the cross-network hand-off instead: the probe
+        stream's prefix runs that model's op timeline (see
+        :func:`_cross_pair_cycles`).  Either way the figure is clamped to
         never exceed the cold cost: an array is never worse off for
         having stayed warm.
         """
         if self._stream is None:
             raise ConfigError("warm costs need a cost model built with pipeline=True")
+        cross = _resolve_cross_prev(self, prev_cost)
+        if cross is not None:
+            return self._cross_warm_cycles(cross, prev_size, batch_size)
         if prev_size is not None and prev_size != batch_size:
             return _pair_warm_cycles(
                 self._pair_memo,
@@ -206,19 +335,40 @@ class ScheduledBatchCost:
                 prev_size,
                 batch_size,
                 self.batch_cycles(batch_size),
+                cache_key=self.signature() + ("pair",),
             )
         if batch_size not in self._warm_memo:
-            cold = self.batch_cycles(batch_size)
-            steady = self._stream.probe_timing(
-                [batch_size] * PROBE_STREAM_LENGTH
-            ).steady_marginal_cycles
-            self._warm_memo[batch_size] = min(steady, cold)
+            key = self.signature() + ("warm", batch_size)
+            cached = _PROBE_CACHE.get(key)
+            if cached is None:
+                cold = self.batch_cycles(batch_size)
+                steady = self._stream.probe_timing(
+                    [batch_size] * PROBE_STREAM_LENGTH
+                ).steady_marginal_cycles
+                cached = _PROBE_CACHE[key] = min(steady, cold)
+            self._warm_memo[batch_size] = cached
         return self._warm_memo[batch_size]
 
-    def drain_saved_cycles(self, batch_size: int, prev_size: int | None = None) -> int:
+    def _cross_warm_cycles(self, prev_cost, prev_size: int | None, batch_size: int) -> int:
+        if prev_size is None:
+            prev_size = batch_size
+        key = (self.signature(), "cross", prev_cost.signature(), prev_size, batch_size)
+        cached = _PROBE_CACHE.get(key)
+        if cached is None:
+            cached = _PROBE_CACHE[key] = _cross_pair_cycles(
+                self, prev_cost, prev_size, batch_size, self.batch_cycles(batch_size)
+            )
+        return cached
+
+    def drain_saved_cycles(
+        self,
+        batch_size: int,
+        prev_size: int | None = None,
+        prev_cost: "ScheduledBatchCost | AnalyticBatchCost | None" = None,
+    ) -> int:
         """Cycles a warm dispatch saves over a cold one (>= 0)."""
         return self.batch_cycles(batch_size) - self.warm_batch_cycles(
-            batch_size, prev_size
+            batch_size, prev_size, prev_cost
         )
 
     def execute(
@@ -289,23 +439,61 @@ class AnalyticBatchCost:
         """The accelerator configuration costs are computed for."""
         return self._config
 
+    @property
+    def network_key(self) -> tuple:
+        """Hashable identity of the network shapes this model prices."""
+        return (self.network, self.optimized_routing)
+
+    def signature(self) -> tuple:
+        """Hashable identity of every parameter that shapes a probe."""
+        return (
+            "analytic",
+            self.network_key,
+            self._config,
+            self.pipeline,
+            self.window,
+            self.prestage_depth,
+        )
+
+    def pipeline_ops(self, batch_size: int):
+        """This model's pipeline op timeline for one batch (pipelined only)."""
+        if self._stream is None:
+            raise ConfigError("pipeline ops need a cost model built with pipeline=True")
+        return self._stream.batch_ops(batch_size)
+
     def batch_cycles(self, batch_size: int) -> int:
-        """Closed-form cycles for one batch (memoized)."""
+        """Closed-form cycles for one batch (memoized, probe-cache backed)."""
         if batch_size < 1:
             raise ConfigError("batch size must be positive")
         if batch_size not in self._memo:
-            self._memo[batch_size] = self.model.run(batch=batch_size).total_cycles
+            key = self.signature() + ("cold", batch_size)
+            cached = _PROBE_CACHE.get(key)
+            if cached is None:
+                cached = _PROBE_CACHE[key] = self.model.run(
+                    batch=batch_size
+                ).total_cycles
+            self._memo[batch_size] = cached
         return self._memo[batch_size]
 
-    def warm_batch_cycles(self, batch_size: int, prev_size: int | None = None) -> int:
+    def warm_batch_cycles(
+        self,
+        batch_size: int,
+        prev_size: int | None = None,
+        prev_cost: "ScheduledBatchCost | AnalyticBatchCost | None" = None,
+    ) -> int:
         """Closed-form steady-state cycles of a back-to-back batch.
 
         Keyed by the ``(prev_size, batch_size)`` pair like the scheduled
         model: mixed-size hand-offs are priced from the settled
-        transition batch of a two-size probe stream.
+        transition batch of a two-size probe stream, and a ``prev_cost``
+        pricing a different network routes through the cross-network
+        probe (:func:`_cross_pair_cycles`).
         """
         if self._stream is None:
             raise ConfigError("warm costs need a cost model built with pipeline=True")
+        cross = _resolve_cross_prev(self, prev_cost)
+        if cross is not None:
+            return self._cross_warm_cycles(cross, prev_size, batch_size)
         if prev_size is not None and prev_size != batch_size:
             return _pair_warm_cycles(
                 self._pair_memo,
@@ -313,18 +501,39 @@ class AnalyticBatchCost:
                 prev_size,
                 batch_size,
                 self.batch_cycles(batch_size),
+                cache_key=self.signature() + ("pair",),
             )
         if batch_size not in self._warm_memo:
-            cold = self.batch_cycles(batch_size)
-            self._warm_memo[batch_size] = min(
-                self._stream.steady_cycles(batch_size), cold
-            )
+            key = self.signature() + ("warm", batch_size)
+            cached = _PROBE_CACHE.get(key)
+            if cached is None:
+                cold = self.batch_cycles(batch_size)
+                cached = _PROBE_CACHE[key] = min(
+                    self._stream.steady_cycles(batch_size), cold
+                )
+            self._warm_memo[batch_size] = cached
         return self._warm_memo[batch_size]
 
-    def drain_saved_cycles(self, batch_size: int, prev_size: int | None = None) -> int:
+    def _cross_warm_cycles(self, prev_cost, prev_size: int | None, batch_size: int) -> int:
+        if prev_size is None:
+            prev_size = batch_size
+        key = (self.signature(), "cross", prev_cost.signature(), prev_size, batch_size)
+        cached = _PROBE_CACHE.get(key)
+        if cached is None:
+            cached = _PROBE_CACHE[key] = _cross_pair_cycles(
+                self, prev_cost, prev_size, batch_size, self.batch_cycles(batch_size)
+            )
+        return cached
+
+    def drain_saved_cycles(
+        self,
+        batch_size: int,
+        prev_size: int | None = None,
+        prev_cost: "ScheduledBatchCost | AnalyticBatchCost | None" = None,
+    ) -> int:
         """Cycles a warm dispatch saves over a cold one (>= 0)."""
         return self.batch_cycles(batch_size) - self.warm_batch_cycles(
-            batch_size, prev_size
+            batch_size, prev_size, prev_cost
         )
 
 

@@ -82,6 +82,7 @@ class ArrayPool:
         self._idle = set(range(self.count))
         self._last_release_us = [None] * self.count
         self._last_batch_size = [None] * self.count
+        self._last_cost = [None] * self.count
         self._busy_until_us = [0.0] * self.count
 
     @property
@@ -108,6 +109,16 @@ class ArrayPool:
     def last_batch_size(self, array: int) -> int | None:
         """Size of the last batch this array ran (the warm-cost key)."""
         return self._last_batch_size[array]
+
+    def last_cost(self, array: int):
+        """Cost model that priced this array's last batch (or ``None``).
+
+        On a shared multi-tenant pool the predecessor batch may belong
+        to a different network; the serving simulator passes this model
+        to ``warm_batch_cycles(..., prev_cost=...)`` so cross-network
+        hand-offs are priced from the actual predecessor's op timeline.
+        """
+        return self._last_cost[array]
 
     def lru_key(self, array: int):
         """Sort key ordering arrays least-recently-released first.
@@ -152,11 +163,14 @@ class ArrayPool:
         duration_us: float,
         warm: bool = False,
         now_us: float | None = None,
+        cost=None,
     ) -> None:
         """Account one dispatched batch against a claimed array.
 
         ``now_us`` (the dispatch instant) lets the pool track when the
-        array will free, for admission-time backlog estimates.
+        array will free, for admission-time backlog estimates; ``cost``
+        records which cost model priced the batch (the cross-network
+        warm-cost key).
         """
         stat = self.stats[array]
         stat.busy_us += duration_us
@@ -164,7 +178,11 @@ class ArrayPool:
         stat.requests += batch_size
         if warm:
             stat.warm_batches += 1
+        # Unconditional: a charge without a cost model must not leave a
+        # stale predecessor model paired with the new batch size (the
+        # None falls back to the receiver's own pair cost downstream).
         self._last_batch_size[array] = batch_size
+        self._last_cost[array] = cost
         if now_us is not None:
             self._busy_until_us[array] = now_us + duration_us
 

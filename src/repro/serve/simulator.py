@@ -38,11 +38,31 @@ With ``pipeline=True`` (and a cost model built with ``pipeline=True``)
 a batch dispatched to an array at the exact instant the previous batch
 finished is *warm* — charged the steady-state marginal cycles keyed by
 the ``(previous batch size, batch size)`` pair instead of the cold
-figure — and every warm batch records the drain it saved.
+figure — and every warm batch records the drain it saved.  On a shared
+multi-tenant pool the predecessor batch may belong to a different
+network; the pool remembers which cost model priced it, and the warm
+cost is probed from the actual *(previous network, network)* hand-off
+instead of assuming the receiving tenant's own pair cost.
+
+Two execution paths produce the report:
+
+* ``record_requests=True`` (default) — the full per-request /
+  per-batch tables, exactly the PR 4 behavior (bit-identical reports).
+* ``record_requests=False`` — the **streaming fast path**: the same
+  policy decisions (identical offered/completed/shed counts and batch
+  formation), but every served request folds into O(1)-memory
+  :class:`~repro.serve.stats.StreamingStats` histograms instead of a
+  record table.  Arrivals are consumed from the sorted trace arrays
+  instead of being heaped, runs of arrivals while every array is busy
+  are drained in bulk (single-tenant admit-all), and the classic
+  :class:`~repro.serve.batcher.BatchPolicy` is inlined — an order of
+  magnitude faster on long traces, which is what makes trace-at-scale
+  replay and serving design-space sweeps tractable.
 """
 
 from __future__ import annotations
 
+import bisect
 import copy
 import heapq
 import math
@@ -53,19 +73,58 @@ import numpy as np
 from repro.errors import ConfigError, ShapeError
 from repro.serve.batcher import BatchPolicy, QueuedRequest, RequestQueue
 from repro.serve.costs import AnalyticBatchCost, ScheduledBatchCost, crosscheck
-from repro.serve.dispatcher import ArrayPool, DispatchContext
-from repro.serve.policies import CostBank, ServerConfig, TenantSpec
+from repro.serve.dispatcher import ArrayPool, DispatchContext, LeastRecentDispatch
+from repro.serve.policies import AdmitAll, CostBank, ServerConfig, TenantSpec
 from repro.serve.stats import (
+    DEFAULT_LATENCY_BIN_US,
     BatchRecord,
     RequestRecord,
     ServingReport,
+    StreamingStats,
     percentile_summary,
+    tenant_summary_from_streaming,
 )
 from repro.serve.trace import ArrivalTrace
 
 # Event kinds, in tie-break order: completions free arrays before arrivals
 # at the same instant see the pool; timeouts run last.
 _DONE, _ARRIVE, _TIMEOUT = 0, 1, 2
+
+
+class _DurationProbe:
+    """Reusable warm-aware duration predictor for dispatch policies.
+
+    One instance per run, re-pointed per batch — the dispatch context's
+    ``duration_us`` callable without a per-batch closure allocation.
+    """
+
+    __slots__ = ("bank", "pool", "pipeline", "cost", "size", "now_us")
+
+    def __init__(self, bank: CostBank, pool: ArrayPool, pipeline: bool) -> None:
+        self.bank = bank
+        self.pool = pool
+        self.pipeline = pipeline
+        self.cost = None
+        self.size = 0
+        self.now_us = 0.0
+
+    def rebind(self, cost, size: int, now_us: float) -> None:
+        self.cost = cost
+        self.size = size
+        self.now_us = now_us
+
+    def __call__(self, array: int) -> float:
+        pool = self.pool
+        model = self.bank.resolve(self.cost, pool.config_for(array))
+        if self.pipeline and pool.is_warm(array, self.now_us):
+            cycles = model.warm_batch_cycles(
+                self.size,
+                pool.last_batch_size(array),
+                prev_cost=pool.last_cost(array),
+            )
+        else:
+            cycles = model.batch_cycles(self.size)
+        return model.config.cycles_to_us(cycles)
 
 
 class _Tenant:
@@ -228,16 +287,42 @@ class ServingSimulator:
             raise ShapeError(
                 f"{len(self.images)} images for {self.trace.count} requests"
             )
+        # Per-configuration cost models persist across run() calls (pure
+        # memoization; probe results additionally persist process-wide in
+        # the costs module's probe cache).
+        self._bank = CostBank()
 
-    def run(self, with_crosscheck: bool = False) -> ServingReport:
-        """Run every tenant's trace to completion and return the report."""
+    def run(
+        self,
+        with_crosscheck: bool = False,
+        record_requests: bool = True,
+        latency_bin_us: float = DEFAULT_LATENCY_BIN_US,
+    ) -> ServingReport:
+        """Run every tenant's trace to completion and return the report.
+
+        ``record_requests=False`` selects the streaming fast path: the
+        same policy decisions and exact counts, but per-request latency
+        folds into fixed-resolution histograms (``latency_bin_us`` wide)
+        instead of a record table — O(1) memory and roughly an order of
+        magnitude faster on long traces.  Percentiles are then reported
+        at histogram resolution; ``execute`` mode (which must return
+        per-request predictions) requires the recording path.
+        """
+        if record_requests:
+            return self._run_recorded(with_crosscheck)
+        if self.execute:
+            raise ConfigError("execute mode needs record_requests=True")
+        return self._run_streaming(with_crosscheck, latency_bin_us)
+
+    def _run_recorded(self, with_crosscheck: bool) -> ServingReport:
+        """The full-record event loop (the PR 4 behavior, bit-identical)."""
         wall_start = time.perf_counter()
         server = self.server
         pool = ArrayPool(server.arrays, configs=server.array_configs)
         # Fresh dispatch state per run (e.g. the round-robin pointer), so
         # repeated run() calls of one simulator stay reproducible.
         dispatch = copy.deepcopy(server.dispatch)
-        bank = CostBank()
+        bank = self._bank
         tenants = [
             _Tenant(spec, order, server)
             for order, spec in enumerate(self.tenant_specs)
@@ -287,6 +372,7 @@ class ServingSimulator:
         last_time = 0.0
         idle_at_arrival = np.zeros(len(requests), dtype=np.float64)
         makespan = 0.0
+        probe = _DurationProbe(bank, pool, self.pipeline)
 
         while events:
             now, kind, _, payload = heapq.heappop(events)
@@ -329,29 +415,20 @@ class ServingSimulator:
                 )
                 members = tenant.batching.take(tenant.queue, now)
                 size = len(members)
-
-                def duration_on(array, _tenant=tenant, _size=size, _now=now):
-                    model = bank.resolve(_tenant.cost, pool.config_for(array))
-                    if self.pipeline and pool.is_warm(array, _now):
-                        cycles = model.warm_batch_cycles(
-                            _size, pool.last_batch_size(array)
-                        )
-                    else:
-                        cycles = model.batch_cycles(_size)
-                    return model.config.cycles_to_us(cycles)
-
+                probe.rebind(tenant.cost, size, now)
                 array = dispatch.select(
                     DispatchContext(
                         pool=pool,
                         now_us=now,
                         batch_size=size,
                         pipeline=self.pipeline,
-                        duration_us=duration_on,
+                        duration_us=probe,
                     )
                 )
                 pool.claim(array)
                 warm = self.pipeline and pool.is_warm(array, now)
                 prev_size = pool.last_batch_size(array)
+                prev_cost = pool.last_cost(array)
                 model = bank.resolve(tenant.cost, pool.config_for(array))
                 if self.execute:
                     indices = [member.index for member in members]
@@ -360,14 +437,14 @@ class ServingSimulator:
                     )
                     predictions[indices] = result.predictions
                 elif warm:
-                    cycles = model.warm_batch_cycles(size, prev_size)
+                    cycles = model.warm_batch_cycles(size, prev_size, prev_cost=prev_cost)
                 else:
                     cycles = model.batch_cycles(size)
                 duration = model.config.cycles_to_us(cycles)
-                pool.charge(array, size, duration, warm=warm, now_us=now)
+                pool.charge(array, size, duration, warm=warm, now_us=now, cost=model)
                 drain_saved = (
                     model.config.cycles_to_us(
-                        model.drain_saved_cycles(size, prev_size)
+                        model.drain_saved_cycles(size, prev_size, prev_cost=prev_cost)
                     )
                     if warm
                     else 0.0
@@ -417,7 +494,38 @@ class ServingSimulator:
                             )
                             seq += 1
 
-        wall_seconds = time.perf_counter() - wall_start
+        return self._finish_report(
+            tenants=tenants,
+            pool=pool,
+            makespan=makespan,
+            wall_seconds=time.perf_counter() - wall_start,
+            with_crosscheck=with_crosscheck,
+            batch_sizes={batch.size for batch in batches},
+            requests=requests,
+            batches=batches,
+            predictions=predictions,
+            tenant_entries=(
+                _tenant_summaries(tenants, requests) if self.multi_tenant else None
+            ),
+        )
+
+    def _finish_report(
+        self,
+        *,
+        tenants: list[_Tenant],
+        pool: ArrayPool,
+        makespan: float,
+        wall_seconds: float,
+        with_crosscheck: bool,
+        batch_sizes,
+        requests: list[RequestRecord] | None = None,
+        batches: list[BatchRecord] | None = None,
+        predictions: np.ndarray | None = None,
+        tenant_entries: list[dict] | None = None,
+        streaming: StreamingStats | None = None,
+    ) -> ServingReport:
+        """Crosscheck gating + report assembly, shared by both paths."""
+        server = self.server
         check = None
         if (
             with_crosscheck
@@ -429,7 +537,7 @@ class ServingSimulator:
             analytic = AnalyticBatchCost(
                 network=self.cost.qnet.config, accel_config=self.cost.config
             )
-            sizes = tuple(sorted({batch.size for batch in batches}))
+            sizes = tuple(sorted(batch_sizes))
             check = {
                 str(size): values
                 for size, values in crosscheck(self.cost, analytic, sizes).items()
@@ -451,8 +559,8 @@ class ServingSimulator:
             clock_mhz=self.cost.config.clock_mhz,
             accounting=getattr(self.cost, "accounting", "overlapped"),
             pipeline=self.pipeline,
-            requests=requests,
-            batches=batches,
+            requests=requests if requests is not None else [],
+            batches=batches if batches is not None else [],
             array_stats=[
                 {
                     "array": stat.array,
@@ -468,9 +576,482 @@ class ServingSimulator:
             wall_seconds=wall_seconds,
             predictions=predictions,
             crosscheck=check,
-            tenants=(
-                _tenant_summaries(tenants, requests) if self.multi_tenant else None
-            ),
+            tenants=tenant_entries,
+            streaming=streaming,
+        )
+
+    def _run_streaming(
+        self, with_crosscheck: bool, latency_bin_us: float
+    ) -> ServingReport:
+        """The O(1)-memory fast path (``record_requests=False``).
+
+        Drives the same policy protocols as :meth:`_run_recorded` — the
+        event order, admission/batching/dispatch decisions, and counts
+        are identical — but folds every served request into streaming
+        histograms.  Three structural optimizations carry the speedup:
+        arrivals are consumed from the sorted trace arrays instead of
+        being heaped (the heap holds only completions and timeouts),
+        runs of arrivals while every array is busy are drained in bulk
+        (single-tenant admit-all — no per-arrival work exists then), and
+        the classic :class:`~repro.serve.batcher.BatchPolicy` readiness
+        / take rule is inlined, so the hot loop allocates no per-request
+        policy objects.
+        """
+        wall_start = time.perf_counter()
+        server = self.server
+        pool = ArrayPool(server.arrays, configs=server.array_configs)
+        dispatch = copy.deepcopy(server.dispatch)
+        bank = self._bank
+        tenants = [
+            _Tenant(spec, order, server)
+            for order, spec in enumerate(self.tenant_specs)
+        ]
+        multi = self.multi_tenant
+        only = tenants[0]
+        pipeline_mode = self.pipeline
+
+        # Merged arrival stream, ordered like the recorded path's heap:
+        # by time, ties in tenant-then-local order (stable sort over the
+        # tenant-ordered concatenation).
+        times_parts, tenant_parts, deadline_parts = [], [], []
+        for tenant in tenants:
+            times = tenant.trace.times_us
+            recorded = tenant.trace.deadlines_us
+            own = (
+                np.where(np.isfinite(recorded), recorded, np.inf)
+                if recorded is not None
+                else np.full(times.shape, np.inf)
+            )
+            if tenant.deadline_us is not None:
+                own = np.where(np.isfinite(own), own, times + tenant.deadline_us)
+            times_parts.append(times)
+            tenant_parts.append(np.full(times.shape, tenant.order, dtype=np.int64))
+            deadline_parts.append(own)
+        merged_times = np.concatenate(times_parts)
+        order = np.argsort(merged_times, kind="stable")
+        merged_deadlines = np.concatenate(deadline_parts)[order]
+        has_deadlines = bool(np.isfinite(merged_deadlines).any())
+        times_list = merged_times[order].tolist()
+        deadlines_list = merged_deadlines.tolist()
+        tenant_list = np.concatenate(tenant_parts)[order].tolist() if multi else None
+        total = len(times_list)
+
+        stats = StreamingStats(bin_us=latency_bin_us, pipeline=pipeline_mode)
+        tenant_streams = (
+            [
+                StreamingStats(bin_us=latency_bin_us, pipeline=pipeline_mode)
+                for _ in tenants
+            ]
+            if multi
+            else None
+        )
+        # Single-tenant hot path: per-member inputs (arrival time, idle
+        # snapshot) buffer into flat lists alongside one per-batch meta
+        # tuple, and the whole latency decomposition — wait, batching vs
+        # queueing split, compute — is computed *vectorized* at flush
+        # time with the exact arithmetic of the recorded path.
+        hist_total = stats.components["total"]
+        hist_queueing = stats.components["queueing"]
+        hist_batching = stats.components["batching"]
+        hist_compute = stats.components["compute"]
+        hist_drain = stats.components.get("drain_saved")
+        arr_buf: list[float] = []
+        snap_buf: list[float] = []
+        meta_buf: list[tuple[float, float, float, float, int]] = []
+
+        def flush_buffers() -> None:
+            if not meta_buf:
+                return
+            arrivals = np.asarray(arr_buf)
+            snaps = np.asarray(snap_buf)
+            meta = np.asarray(meta_buf)
+            counts = meta[:, 4].astype(np.int64)
+            nows = np.repeat(meta[:, 0], counts)
+            dones = np.repeat(meta[:, 1], counts)
+            idles = np.repeat(meta[:, 2], counts)
+            wait = nows - arrivals
+            batching = idles - snaps
+            np.clip(batching, 0.0, wait, out=batching)
+            # copy=False: every array below is a temporary this flush owns.
+            hist_total.add_array(dones - arrivals, copy=False)
+            hist_queueing.add_array(wait - batching, copy=False)
+            hist_batching.add_array(batching, copy=False)
+            hist_compute.add_array(dones - nows, copy=False)
+            if hist_drain is not None:
+                hist_drain.add_array(np.repeat(meta[:, 3], counts), copy=False)
+            arr_buf.clear()
+            snap_buf.clear()
+            meta_buf.clear()
+
+        # Inline fast path: the exact classic triple components the loop
+        # can replicate without protocol calls.  ``type is`` (not
+        # isinstance) so subclasses keep the generic protocol path.  The
+        # inline queue is three parallel lists behind a head cursor, so
+        # bulk arrival drains and batch takes are C-speed list slices.
+        inline = (
+            not multi
+            and type(only.admission) is AdmitAll
+            and type(only.batching) is BatchPolicy
+        )
+        q_arr: list[float] = []
+        q_dl: list[float] = []
+        q_snap: list[float] = []
+        q_head = 0
+        if inline:
+            max_batch = only.batching.max_batch
+            max_wait = only.batching.max_wait_us
+        fast_dispatch = type(dispatch) is LeastRecentDispatch
+        snapshots: dict[int, float] = {}
+        probe = _DurationProbe(bank, pool, pipeline_mode)
+        # Hot-loop aliases: the pool's bookkeeping is inlined per batch
+        # (claim/charge/release are three attribute updates each), and on
+        # a homogeneous non-pipelined pool the per-size duration is a
+        # one-entry dict hit instead of two cost-model calls.
+        pool_stats = pool.stats
+        last_release = pool._last_release_us
+        last_batch_size = pool._last_batch_size
+        last_cost = pool._last_cost
+        busy_until = pool._busy_until_us
+        homogeneous = pool.configs is None
+        duration_cache: dict = {}  # size (single-tenant) or (order, size)
+        batch_sizes_hist = stats.batch_sizes
+
+        events: list[tuple[float, int, int, int]] = []  # completions + timeouts
+        seq = 0
+        scheduled_timeouts: set[float] = set()
+        idle_set = pool._idle  # stable set object, mutated in place
+        idle_accum = 0.0
+        last_time = 0.0
+        makespan = 0.0
+        inf = math.inf
+        ai = 0
+        next_arrival = times_list[0] if total else inf
+        # Hot-loop locals: scalar counters fold back into the stats
+        # objects after the loop; per-array accumulators replace the
+        # ArrayStats attribute updates; bound builtins skip the global
+        # lookups the loop would otherwise repeat ~10^5 times.
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        bisect_left = bisect.bisect_left
+        bisect_right = bisect.bisect_right
+        offered = 0
+        n_batches = 0
+        n_warm = 0
+        drain_total = 0.0
+        with_deadline = 0
+        misses = 0
+        busy_acc = [0.0] * pool.count
+        batches_acc = [0] * pool.count
+        requests_acc = [0] * pool.count
+        warm_acc = [0] * pool.count
+
+        while ai < total or events:
+            # ---- next event: merged completion/timeout heap vs arrivals --
+            if events:
+                top = events[0]
+                top_time = top[0]
+                take_arrival = (
+                    next_arrival < top_time
+                    or (next_arrival == top_time and top[1] == _TIMEOUT)
+                )
+            else:
+                top_time = inf
+                take_arrival = True
+            if take_arrival:
+                if inline and not idle_set:
+                    # Bulk drain: while every array is busy, an admitted
+                    # arrival only appends to the queue — no integral
+                    # movement, no dispatch, no timeout scheduling — so
+                    # the whole run up to the next completion/timeout
+                    # collapses into one extend.
+                    if events and top[1] == _TIMEOUT:
+                        cut = bisect_right(times_list, top_time, ai)
+                    else:
+                        cut = bisect_left(times_list, top_time, ai)
+                    if cut > ai:
+                        count = cut - ai
+                        q_arr.extend(times_list[ai:cut])
+                        if has_deadlines:
+                            q_dl.extend(deadlines_list[ai:cut])
+                        q_snap.extend([idle_accum] * count)
+                        offered += count
+                        last_time = times_list[cut - 1]
+                        ai = cut
+                        next_arrival = times_list[ai] if ai < total else inf
+                        continue
+                now = next_arrival
+                kind = _ARRIVE
+                index = ai
+                ai += 1
+                next_arrival = times_list[ai] if ai < total else inf
+            else:
+                now, kind, _, payload = heappop(events)
+
+            if idle_set:
+                idle_accum += now - last_time
+            last_time = now
+
+            if kind == _ARRIVE:
+                if inline:
+                    q_arr.append(now)
+                    if has_deadlines:
+                        q_dl.append(deadlines_list[index])
+                    q_snap.append(idle_accum)
+                    offered += 1
+                else:
+                    tenant = tenants[tenant_list[index]] if multi else only
+                    tstats = tenant_streams[tenant.order] if multi else None
+                    offered += 1
+                    if tstats is not None:
+                        tstats.offered += 1
+                    deadline = deadlines_list[index]
+                    request = QueuedRequest(
+                        index=index, arrival_us=now, deadline_us=deadline
+                    )
+                    if type(tenant.admission) is AdmitAll or tenant.admission.admit(
+                        request, now, tenant.queue, pool
+                    ):
+                        tenant.queue.append(request)
+                        snapshots[index] = idle_accum
+                    else:
+                        stats.shed += 1
+                        if tstats is not None:
+                            tstats.shed += 1
+            elif kind == _DONE:
+                idle_set.add(payload)
+                last_release[payload] = now
+                if now > makespan:
+                    makespan = now
+            else:  # _TIMEOUT: readiness re-evaluated below; prune the set
+                if len(scheduled_timeouts) > 4096:
+                    scheduled_timeouts = {
+                        d for d in scheduled_timeouts if d > now
+                    }
+
+            # ---- dispatch loop -----------------------------------------
+            while idle_set:
+                if inline:
+                    qlen = len(q_arr) - q_head
+                    if not qlen or (
+                        qlen < max_batch and now < q_arr[q_head] + max_wait
+                    ):
+                        break
+                    size = qlen if qlen < max_batch else max_batch
+                    q_next = q_head + size
+                    member_arrivals = q_arr[q_head:q_next]
+                    member_deadlines = (
+                        q_dl[q_head:q_next] if has_deadlines else None
+                    )
+                    member_snaps = q_snap[q_head:q_next]
+                    q_head = q_next
+                    # Amortized-O(1) compaction: only drop the consumed
+                    # prefix once it is at least half the list, so a deep
+                    # backlog never pays repeated long-tail copies.
+                    if q_head >= 16384 and 2 * q_head >= len(q_arr):
+                        del q_arr[:q_head]
+                        del q_snap[:q_head]
+                        if has_deadlines:
+                            del q_dl[:q_head]
+                        q_head = 0
+                    tenant = only
+                    tstats = None
+                else:
+                    ready = [
+                        tenant
+                        for tenant in tenants
+                        if len(tenant.queue)
+                        and tenant.batching.ready(tenant.queue, now)
+                    ]
+                    if not ready:
+                        break
+                    tenant = (
+                        min(ready, key=lambda t: (t.served / t.weight, t.order))
+                        if multi
+                        else ready[0]
+                    )
+                    tstats = tenant_streams[tenant.order] if multi else None
+                    taken = tenant.batching.take(tenant.queue, now)
+                    size = len(taken)
+                    member_arrivals = [m.arrival_us for m in taken]
+                    member_deadlines = [m.deadline_us for m in taken]
+                    member_snaps = [snapshots.pop(m.index) for m in taken]
+                if fast_dispatch:
+                    if pipeline_mode:
+                        warm_ids = [
+                            i for i in idle_set if last_release[i] == now
+                        ]
+                        array = min(warm_ids or idle_set, key=pool.lru_key)
+                    elif len(idle_set) == 1:
+                        array = next(iter(idle_set))
+                    else:
+                        array = min(idle_set, key=pool.lru_key)
+                    idle_set.remove(array)
+                else:
+                    probe.rebind(tenant.cost, size, now)
+                    array = dispatch.select(
+                        DispatchContext(
+                            pool=pool,
+                            now_us=now,
+                            batch_size=size,
+                            pipeline=pipeline_mode,
+                            duration_us=probe,
+                        )
+                    )
+                    idle_set.remove(array)
+                drain_saved = 0.0
+                if not pipeline_mode and homogeneous:
+                    model = tenant.cost
+                    warm = False
+                    key = size if not multi else (tenant.order, size)
+                    cached = duration_cache.get(key)
+                    if cached is None:
+                        cached = model.config.cycles_to_us(model.batch_cycles(size))
+                        duration_cache[key] = cached
+                    duration = cached
+                else:
+                    warm = pipeline_mode and last_release[array] == now
+                    prev_size = last_batch_size[array]
+                    prev_cost = last_cost[array]
+                    model = bank.resolve(tenant.cost, pool.config_for(array))
+                    if warm:
+                        cycles = model.warm_batch_cycles(
+                            size, prev_size, prev_cost=prev_cost
+                        )
+                        drain_saved = model.config.cycles_to_us(
+                            model.drain_saved_cycles(
+                                size, prev_size, prev_cost=prev_cost
+                            )
+                        )
+                    else:
+                        cycles = model.batch_cycles(size)
+                    duration = model.config.cycles_to_us(cycles)
+                done = now + duration
+                # Inlined pool.charge (folded into pool.stats after the loop)
+                busy_acc[array] += duration
+                batches_acc[array] += 1
+                requests_acc[array] += size
+                if warm:
+                    warm_acc[array] += 1
+                last_batch_size[array] = size
+                last_cost[array] = model
+                busy_until[array] = done
+                if tstats is None:
+                    # Inlined stats.add_batch (folded back after the loop)
+                    n_batches += 1
+                    batch_sizes_hist[size] = batch_sizes_hist.get(size, 0) + 1
+                    if warm:
+                        n_warm += 1
+                        drain_total += drain_saved
+                    arr_buf.extend(member_arrivals)
+                    snap_buf.extend(member_snaps)
+                    meta_buf.append((now, done, idle_accum, drain_saved, size))
+                    if member_deadlines is not None:
+                        for deadline in member_deadlines:
+                            if deadline != inf:
+                                with_deadline += 1
+                                if done > deadline:
+                                    misses += 1
+                    if len(arr_buf) >= 32768:
+                        flush_buffers()
+                else:
+                    compute = done - now  # the recorded done-dispatch float
+                    stats.add_batch(size, warm, drain_saved)
+                    tstats.add_batch(size, warm, drain_saved)
+                    for arrival, deadline, snapshot in zip(
+                        member_arrivals, member_deadlines, member_snaps
+                    ):
+                        wait = now - arrival
+                        batching = idle_accum - snapshot
+                        if batching < 0.0:
+                            batching = 0.0
+                        elif batching > wait:
+                            batching = wait
+                        latency = done - arrival
+                        stats.add_request(
+                            latency, wait - batching, batching, compute, drain_saved
+                        )
+                        tstats.add_request(
+                            latency, wait - batching, batching, compute, drain_saved
+                        )
+                        if deadline != inf:
+                            stats.served_with_deadline += 1
+                            missed = done > deadline
+                            if missed:
+                                stats.deadline_misses += 1
+                            tstats.served_with_deadline += 1
+                            if missed:
+                                tstats.deadline_misses += 1
+                tenant.served += size
+                heappush(events, (done, _DONE, seq, array))
+                seq += 1
+
+            # ---- coalescing timeouts -----------------------------------
+            if idle_set:
+                if inline:
+                    if len(q_arr) > q_head:  # non-empty and not ready
+                        deadline = q_arr[q_head] + max_wait
+                        if deadline not in scheduled_timeouts:
+                            scheduled_timeouts.add(deadline)
+                            heappush(
+                                events,
+                                (
+                                    deadline if deadline > now else now,
+                                    _TIMEOUT,
+                                    seq,
+                                    0,
+                                ),
+                            )
+                            seq += 1
+                else:
+                    for tenant in tenants:
+                        if len(tenant.queue) and not tenant.batching.ready(
+                            tenant.queue, now
+                        ):
+                            deadline = tenant.batching.next_deadline_us(
+                                tenant.queue, now
+                            )
+                            if (
+                                deadline is not None
+                                and deadline not in scheduled_timeouts
+                            ):
+                                scheduled_timeouts.add(deadline)
+                                heappush(
+                                    events,
+                                    (max(deadline, now), _TIMEOUT, seq, 0),
+                                )
+                                seq += 1
+
+        # Fold the hot-loop locals back into the aggregates.
+        stats.offered += offered
+        stats.batches += n_batches
+        stats.warm_batches += n_warm
+        stats.drain_saved_us += drain_total
+        stats.served_with_deadline += with_deadline
+        stats.deadline_misses += misses
+        for array, stat in enumerate(pool_stats):
+            stat.busy_us += busy_acc[array]
+            stat.batches += batches_acc[array]
+            stat.requests += requests_acc[array]
+            stat.warm_batches += warm_acc[array]
+        flush_buffers()
+        tenant_entries = None
+        if multi:
+            total_served = stats.completed
+            tenant_entries = [
+                tenant_summary_from_streaming(
+                    tenant.name, tenant.weight, tstream, total_served
+                )
+                for tenant, tstream in zip(tenants, tenant_streams)
+            ]
+        return self._finish_report(
+            tenants=tenants,
+            pool=pool,
+            makespan=makespan,
+            wall_seconds=time.perf_counter() - wall_start,
+            with_crosscheck=with_crosscheck,
+            batch_sizes=set(stats.batch_sizes),
+            tenant_entries=tenant_entries,
+            streaming=stats,
         )
 
 

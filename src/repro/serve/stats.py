@@ -23,6 +23,15 @@ served requests only; the report carries the shed count/rate and, for
 requests with deadlines, the SLA miss rate among the served.
 Multi-tenant runs additionally break requests, sheds, and latency down
 per tenant.
+
+Long traces do not need the per-request tables at all: the simulator's
+``record_requests=False`` mode folds every served request into
+:class:`StreamingStats` — fixed-resolution :class:`LatencyHistogram`
+accumulators per latency component (O(1) memory in the trace length)
+plus exact streaming counters — and the :class:`ServingReport` reads
+from either representation through the same properties.  Counts, rates,
+means and the makespan are exact; percentiles are reported at histogram
+resolution (within half a bin of the nearest-rank sample percentile).
 """
 
 from __future__ import annotations
@@ -35,6 +44,12 @@ import numpy as np
 #: Percentiles reported for every latency component.
 PERCENTILES = (50, 95, 99)
 
+#: Default width of one streaming-latency histogram bin, in microseconds.
+#: Percentiles from the streaming path land within half a bin of the
+#: nearest-rank sample percentile, so 50 us resolves millisecond-scale
+#: serving latencies to well under a percent.
+DEFAULT_LATENCY_BIN_US = 50.0
+
 
 def percentile_summary(values_us: np.ndarray) -> dict[str, float]:
     """Mean and p50/p95/p99 of a latency sample, in microseconds."""
@@ -45,6 +60,271 @@ def percentile_summary(values_us: np.ndarray) -> dict[str, float]:
     for p in PERCENTILES:
         summary[f"p{p}_us"] = float(np.percentile(values, p))
     return summary
+
+
+class LatencyHistogram:
+    """Fixed-resolution streaming latency accumulator.
+
+    Values are bucketed into ``bin_us``-wide bins (bin ``i`` covers
+    ``[i * bin_us, (i + 1) * bin_us)``); the count array grows by
+    doubling, so memory is bounded by the largest observed latency, not
+    the number of samples.  The mean and the count are exact; a
+    percentile is the midpoint of the bin holding the nearest-rank
+    sample, so it sits within half a bin of the exact order statistic.
+
+    Adds are buffered and flushed through :func:`numpy.bincount` in
+    chunks, keeping the per-sample cost of the simulator's fast path at
+    a list append.
+    """
+
+    _FLUSH_AT = 4096
+
+    def __init__(self, bin_us: float = DEFAULT_LATENCY_BIN_US) -> None:
+        if not (math.isfinite(bin_us) and bin_us > 0):
+            from repro.errors import ConfigError
+
+            raise ConfigError("histogram bin width must be finite and positive")
+        self.bin_us = float(bin_us)
+        self._count = 0
+        self._total_us = 0.0
+        self._max_us = 0.0
+        # int32 counts: per-bin counts are bounded by the sample count,
+        # and the narrower dtype halves the cost of growing into the
+        # million-bin tails an overloaded run produces.
+        self._counts = np.zeros(64, dtype=np.int32)
+        self._buffer: list[float] = []
+
+    @property
+    def count(self) -> int:
+        """Samples folded in so far (buffered adds included)."""
+        return self._count + len(self._buffer)
+
+    @property
+    def total_us(self) -> float:
+        """Exact sum of every added sample (buffer flushed first)."""
+        self._flush()
+        return self._total_us
+
+    @property
+    def max_us(self) -> float:
+        """Largest added sample (buffer flushed first)."""
+        self._flush()
+        return self._max_us
+
+    def add(self, value_us: float) -> None:
+        """Fold one latency sample in (negative epsilon clamps to zero)."""
+        self._buffer.append(value_us)
+        if len(self._buffer) >= self._FLUSH_AT:
+            self._flush()
+
+    def add_array(self, values_us, copy: bool = True) -> None:
+        """Fold a whole array of samples in one vectorized pass.
+
+        ``copy=False`` skips the defensive copy for callers handing over
+        a temporary they will not reuse — the ingest clamps negative
+        epsilon to zero *in place*.
+        """
+        self._flush()
+        if copy:
+            values = np.array(values_us, dtype=np.float64)
+        else:
+            values = np.asarray(values_us, dtype=np.float64)
+        if values.size:
+            self._ingest(values)
+
+    def add_weighted(self, value_us: float, count: int) -> None:
+        """Fold ``count`` identical samples in (one bin update)."""
+        if count <= 0:
+            return
+        value = max(value_us, 0.0)
+        index = int(value / self.bin_us)
+        if index >= self._counts.size:
+            self._grow(index)
+        self._counts[index] += count
+        self._count += count
+        self._total_us += value * count
+        if value > self._max_us:
+            self._max_us = value
+
+    def _grow(self, top: int) -> None:
+        # Factor-four growth keeps total copy work well under 2x the
+        # final size even for histograms that end millions of bins wide.
+        grown = max(top + 1, 4 * self._counts.size)
+        counts = np.zeros(grown, dtype=np.int32)
+        counts[: self._counts.size] = self._counts
+        self._counts = counts
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        values = np.asarray(self._buffer, dtype=np.float64)
+        self._buffer.clear()
+        self._ingest(values)
+
+    def _ingest(self, values: np.ndarray) -> None:
+        np.maximum(values, 0.0, out=values)
+        self._count += values.size
+        self._total_us += float(values.sum())
+        self._max_us = max(self._max_us, float(values.max()))
+        bins = (values / self.bin_us).astype(np.int64)
+        top = int(bins.max())
+        if top >= self._counts.size:
+            self._grow(top)
+        # Chunk values cluster (latencies drift slowly), so a bincount
+        # over the chunk's own bin range is usually cheapest; fall back
+        # to a scatter-add when the chunk is sparse across a wide range,
+        # so the work never scales with the histogram's total bin count
+        # (overload tails reach millions of bins).
+        bottom = int(bins.min())
+        width = top - bottom + 1
+        if width <= 32 * bins.size:
+            self._counts[bottom : top + 1] += np.bincount(
+                bins - bottom, minlength=width
+            ).astype(np.int32, copy=False)
+        else:
+            np.add.at(self._counts, bins, 1)
+
+    @property
+    def mean_us(self) -> float:
+        """Exact mean of every added sample."""
+        self._flush()
+        if self.count == 0:
+            return 0.0
+        return self._total_us / self.count
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated ``p``-percentile at histogram resolution.
+
+        Mirrors :func:`numpy.percentile`'s default (linear) method on the
+        binned data: the fractional rank interpolates between the two
+        bracketing order statistics, each located to its bin and
+        represented by the bin midpoint.  Because the estimate is a
+        convex combination of two midpoints that each sit within half a
+        bin of their exact order statistic, the result is guaranteed
+        within half a bin of the exact :func:`numpy.percentile` value.
+        """
+        self._flush()
+        if self.count == 0:
+            return 0.0
+        cumulative = np.cumsum(self._counts)
+        position = p / 100.0 * (self.count - 1)
+        lower = int(position)
+        fraction = position - lower
+        # Order statistic i (0-based) is the (i + 1)-th smallest sample.
+        low_bin = int(np.searchsorted(cumulative, lower + 1))
+        value = (low_bin + 0.5) * self.bin_us
+        if fraction > 0.0:
+            high_bin = int(np.searchsorted(cumulative, lower + 2))
+            value += fraction * ((high_bin - low_bin) * self.bin_us)
+        return value
+
+    def summary(self) -> dict[str, float]:
+        """:func:`percentile_summary`-compatible mean/p50/p95/p99 dict."""
+        summary = {"mean_us": self.mean_us}
+        for p in PERCENTILES:
+            summary[f"p{p}_us"] = self.percentile(p)
+        return summary
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram (same bin width) into this one."""
+        if other.bin_us != self.bin_us:
+            from repro.errors import ConfigError
+
+            raise ConfigError("cannot merge histograms with different bin widths")
+        other._flush()
+        self._flush()
+        if other._counts.size > self._counts.size:
+            self._counts = np.concatenate(
+                [
+                    self._counts,
+                    np.zeros(other._counts.size - self._counts.size, dtype=np.int32),
+                ]
+            )
+        self._counts[: other._counts.size] += other._counts
+        self._count += other._count
+        self._total_us += other._total_us
+        self._max_us = max(self._max_us, other._max_us)
+
+
+class StreamingStats:
+    """O(1)-memory aggregate of a serving run (``record_requests=False``).
+
+    Everything the report needs without the per-request/per-batch tables:
+    exact offered/served/shed counts, per-component latency histograms,
+    batch-size histogram, warm/drain accounting, and per-tenant
+    breakdowns.  ``components`` always carries ``total`` / ``queueing`` /
+    ``batching`` / ``compute`` histograms (plus ``drain_saved`` when the
+    run is pipelined).
+    """
+
+    def __init__(self, bin_us: float = DEFAULT_LATENCY_BIN_US, pipeline: bool = False) -> None:
+        self.bin_us = float(bin_us)
+        names = ["total", "queueing", "batching", "compute"]
+        if pipeline:
+            names.append("drain_saved")
+        self.components = {name: LatencyHistogram(bin_us) for name in names}
+        self.offered = 0
+        self.shed = 0
+        self.batches = 0
+        self.warm_batches = 0
+        self.drain_saved_us = 0.0
+        self.deadline_misses = 0
+        self.served_with_deadline = 0
+        self.batch_sizes: dict[int, int] = {}
+
+    @property
+    def completed(self) -> int:
+        """Requests admitted and served."""
+        return self.offered - self.shed
+
+    def add_batch(self, size: int, warm: bool, drain_saved_us: float) -> None:
+        """Account one dispatched batch."""
+        self.batches += 1
+        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+        if warm:
+            self.warm_batches += 1
+            self.drain_saved_us += drain_saved_us
+
+    def add_request(
+        self,
+        latency_us: float,
+        queueing_us: float,
+        batching_us: float,
+        compute_us: float,
+        drain_saved_us: float = 0.0,
+    ) -> None:
+        """Fold one served request's latency decomposition in."""
+        components = self.components
+        components["total"].add(latency_us)
+        components["queueing"].add(queueing_us)
+        components["batching"].add(batching_us)
+        components["compute"].add(compute_us)
+        drain = components.get("drain_saved")
+        if drain is not None:
+            drain.add(drain_saved_us)
+
+    def latency_summary(self) -> dict[str, dict[str, float]]:
+        """Mean/p50/p95/p99 per component, from the histograms."""
+        return {name: hist.summary() for name, hist in self.components.items()}
+
+
+def tenant_summary_from_streaming(
+    name: str,
+    weight: float,
+    stats: StreamingStats,
+    total_served: int,
+) -> dict:
+    """One tenant's report entry from its streaming accumulator."""
+    return {
+        "tenant": name,
+        "weight": weight,
+        "offered": stats.offered,
+        "served": stats.completed,
+        "shed": stats.shed,
+        "served_share": (stats.completed / total_served if total_served else 0.0),
+        "deadline_misses": stats.deadline_misses,
+        "latency_us": stats.components["total"].summary(),
+    }
 
 
 @dataclass
@@ -111,7 +391,13 @@ class BatchRecord:
 
 @dataclass
 class ServingReport:
-    """Everything a serving simulation produced, JSON-serializable."""
+    """Everything a serving simulation produced, JSON-serializable.
+
+    Two interchangeable representations back the summary properties: the
+    full per-request/per-batch tables (``requests`` / ``batches``), or —
+    in the simulator's ``record_requests=False`` mode — a
+    :class:`StreamingStats` aggregate with the tables left empty.
+    """
 
     network: str
     trace_name: str
@@ -130,47 +416,61 @@ class ServingReport:
     pipeline: bool = False
     #: Per-tenant breakdowns (None in single-tenant runs).
     tenants: list[dict] | None = None
+    #: Streaming aggregate of a ``record_requests=False`` run (the
+    #: per-request/per-batch tables are empty when this is set).
+    streaming: StreamingStats | None = None
 
     @property
     def served(self) -> list[RequestRecord]:
-        """Requests that were admitted and completed."""
+        """Requests that were admitted and completed (empty in streaming mode)."""
         return [record for record in self.requests if not record.shed]
 
     @property
     def completed(self) -> int:
         """Number of requests served (shed requests excluded)."""
+        if self.streaming is not None:
+            return self.streaming.completed
         return len(self.requests) - self.shed_count
 
     @property
     def offered(self) -> int:
         """Number of requests that arrived (served + shed)."""
+        if self.streaming is not None:
+            return self.streaming.offered
         return len(self.requests)
 
     @property
     def shed_count(self) -> int:
         """Requests rejected by the admission policy."""
+        if self.streaming is not None:
+            return self.streaming.shed
         return sum(1 for record in self.requests if record.shed)
 
     @property
     def shed_rate(self) -> float:
         """Fraction of arrivals shed."""
-        if not self.requests:
+        if self.offered == 0:
             return 0.0
-        return self.shed_count / len(self.requests)
+        return self.shed_count / self.offered
 
     @property
     def deadline_miss_count(self) -> int:
         """Served requests that finished past a finite deadline."""
+        if self.streaming is not None:
+            return self.streaming.deadline_misses
         return sum(1 for record in self.requests if record.missed_deadline)
 
     @property
     def deadline_miss_rate(self) -> float:
         """SLA miss fraction among served requests with deadlines."""
-        with_deadline = sum(
-            1
-            for record in self.requests
-            if not record.shed and math.isfinite(record.deadline_us)
-        )
+        if self.streaming is not None:
+            with_deadline = self.streaming.served_with_deadline
+        else:
+            with_deadline = sum(
+                1
+                for record in self.requests
+                if not record.shed and math.isfinite(record.deadline_us)
+            )
         if with_deadline == 0:
             return 0.0
         return self.deadline_miss_count / with_deadline
@@ -190,24 +490,37 @@ class ServingReport:
         return self.completed / self.wall_seconds
 
     @property
+    def batch_count(self) -> int:
+        """Number of dispatched batches."""
+        if self.streaming is not None:
+            return self.streaming.batches
+        return len(self.batches)
+
+    @property
     def mean_batch_size(self) -> float:
         """Average formed batch size."""
-        if not self.batches:
+        if self.batch_count == 0:
             return 0.0
-        return self.completed / len(self.batches)
+        return self.completed / self.batch_count
 
     @property
     def warm_batches(self) -> int:
         """Batches that ran back to back on a warm (pipelined) array."""
+        if self.streaming is not None:
+            return self.streaming.warm_batches
         return sum(1 for batch in self.batches if batch.warm)
 
     @property
     def drain_saved_total_us(self) -> float:
-        """Total time warm hand-offs saved across all batches."""
+        """Total time warm hand-offs saved across all warm batches."""
+        if self.streaming is not None:
+            return self.streaming.drain_saved_us
         return sum(batch.drain_saved_us for batch in self.batches)
 
     def batch_size_histogram(self) -> dict[int, int]:
         """How many batches formed at each size."""
+        if self.streaming is not None:
+            return dict(sorted(self.streaming.batch_sizes.items()))
         histogram: dict[int, int] = {}
         for batch in self.batches:
             histogram[batch.size] = histogram.get(batch.size, 0) + 1
@@ -215,6 +528,8 @@ class ServingReport:
 
     def latency_summary(self) -> dict[str, dict[str, float]]:
         """Mean/p50/p95/p99 per component over served requests."""
+        if self.streaming is not None:
+            return self.streaming.latency_summary()
         served = self.served
         components = {
             "total": np.array([r.latency_us for r in served]),
@@ -237,13 +552,17 @@ class ServingReport:
             "clock_mhz": self.clock_mhz,
             "accounting": self.accounting,
             "pipeline": self.pipeline,
+            "record_requests": self.streaming is None,
+            "latency_bin_us": (
+                self.streaming.bin_us if self.streaming is not None else None
+            ),
             "requests": self.completed,
             "offered_requests": self.offered,
             "shed": self.shed_count,
             "shed_rate": self.shed_rate,
             "deadline_miss_rate": self.deadline_miss_rate,
             "tenants": self.tenants,
-            "batches": len(self.batches),
+            "batches": self.batch_count,
             "warm_batches": self.warm_batches,
             "drain_saved_us": self.drain_saved_total_us,
             "mean_batch_size": self.mean_batch_size,
@@ -268,7 +587,7 @@ class ServingReport:
             f" served {self.completed} requests in {self.makespan_us / 1e3:,.2f} ms"
             f" = {self.throughput_rps:,.1f} req/s"
             f" ({self.accounting} accounting at {self.clock_mhz:.0f} MHz)",
-            f"  batches: {len(self.batches)} (mean size {self.mean_batch_size:.2f},"
+            f"  batches: {self.batch_count} (mean size {self.mean_batch_size:.2f},"
             f" histogram {self.batch_size_histogram()})",
             *(
                 [
@@ -291,7 +610,7 @@ class ServingReport:
             ),
             *(
                 [
-                    f"  pipeline: {self.warm_batches}/{len(self.batches)} warm batches,"
+                    f"  pipeline: {self.warm_batches}/{self.batch_count} warm batches,"
                     f" {self.drain_saved_total_us:,.0f}us drain saved"
                 ]
                 if self.pipeline

@@ -1,0 +1,38 @@
+"""Declarative parameter grids for design-space sweeps.
+
+A grid is a mapping of axis name to the values that axis sweeps; its
+expansion is the cartesian product, ordered like nested loops with the
+*first* declared axis outermost.  Axis values stay whatever the caller
+put in (ints for array sizes, strings for policy names), so one grid
+describes hardware and policy axes alike.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigError
+
+
+def expand_grid(axes: Mapping[str, Sequence]) -> list[dict]:
+    """Expand an axis mapping into the full list of sweep points.
+
+    ``{"array": (8, 16), "window": (1, 2)}`` yields four points,
+    ``{"array": 8, "window": 1}`` first (first axis outermost).  An
+    empty mapping yields the single empty point — a sweep of one
+    configuration.  Every axis needs at least one value.
+    """
+    names = list(axes)
+    for name in names:
+        if not isinstance(axes[name], (list, tuple)):
+            raise ConfigError(
+                f"axis {name!r} needs a list/tuple of values"
+                f" (got {type(axes[name]).__name__})"
+            )
+        if len(axes[name]) == 0:
+            raise ConfigError(f"axis {name!r} has no values")
+    return [
+        dict(zip(names, combo))
+        for combo in product(*(tuple(axes[name]) for name in names))
+    ]

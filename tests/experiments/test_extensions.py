@@ -102,3 +102,56 @@ class TestPolicyComparison:
     def test_report_renders(self, result):
         text = batching.format_policy_report(result)
         assert "policy" in text and "p99" in text and "shed" in text
+
+
+class TestOracleAdmissionStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.capsnet.config import tiny_capsnet_config
+
+        return batching.oracle_admission_study(
+            config=tiny_capsnet_config(),
+            requests=64,
+            deadline_ms=0.1,
+            max_wait_us=50.0,
+            slacks_us=(0.0, 20.0, 50.0),
+        )
+
+    def test_one_row_per_slack_plus_oracle(self, result):
+        assert [row["label"] for row in result.rows] == [
+            "slack=0us",
+            "slack=20us",
+            "slack=50us",
+            "oracle",
+        ]
+
+    def test_every_row_served_the_same_trace(self, result):
+        offered = {row["offered"] for row in result.rows}
+        assert offered == {64}
+
+    def test_oracle_reaches_a_missless_fixed_point(self, result):
+        oracle = result.row("oracle")
+        assert result.oracle_converged
+        assert oracle["deadline_miss_rate"] == 0.0
+        assert 1 <= result.oracle_iterations <= 8
+
+    def test_zero_iteration_budget_rejected(self):
+        from repro.capsnet.config import tiny_capsnet_config
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            batching.oracle_admission_study(
+                config=tiny_capsnet_config(), max_iterations=0
+            )
+
+    def test_goodput_accounts_shed_and_missed(self, result):
+        for row in result.rows:
+            assert row["goodput_rps"] >= 0.0
+            assert 0.0 <= row["shed_rate"] <= 1.0
+            # Goodput is normalized by the offered window, so it can
+            # never exceed the offered rate.
+            assert row["goodput_rps"] <= result.offered_rps + 1e-9
+
+    def test_report_renders(self, result):
+        text = batching.format_admission_report(result)
+        assert "oracle" in text and "goodput" in text and "slack=0us" in text

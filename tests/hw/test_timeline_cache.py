@@ -1,0 +1,123 @@
+"""Memoized op timelines and stream schedules stay bit-identical."""
+
+import pytest
+
+from repro.hw.pipeline import (
+    cached_stream_timing,
+    clear_timeline_caches,
+    job_ops,
+    simulate_stream,
+    timeline_cache_stats,
+)
+from repro.hw.scheduler import (
+    PipelinedStreamScheduler,
+    clear_traced_ops_cache,
+)
+from repro.perf.stream import AnalyticStreamCost, clear_analytic_ops_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_timeline_caches()
+    clear_traced_ops_cache()
+    clear_analytic_ops_cache()
+    yield
+    clear_timeline_caches()
+    clear_traced_ops_cache()
+    clear_analytic_ops_cache()
+
+
+def timings_equal(a, b):
+    assert len(a.batches) == len(b.batches)
+    for batch_a, batch_b in zip(a.batches, b.batches):
+        assert batch_a == batch_b
+    return True
+
+
+class TestJobOpsCache:
+    def test_repeated_calls_share_the_expansion(self, tiny_qnet):
+        from repro.hw.accelerator import CapsAccAccelerator, plan_tiling
+
+        accelerator = CapsAccAccelerator(formats=tiny_qnet.formats)
+        config = accelerator.config
+        plan = plan_tiling(config, 8, 12, 10)
+        first = job_ops(config, plan, groups=2, layer="conv1")
+        second = job_ops(config, plan, groups=2, layer="conv1")
+        assert second is first  # one shared expansion
+        assert job_ops(config, plan, groups=3, layer="conv1") is not first
+        assert timeline_cache_stats()["job_ops"] == 2
+
+    def test_clear_resets(self, tiny_qnet):
+        from repro.hw.accelerator import CapsAccAccelerator, plan_tiling
+
+        accelerator = CapsAccAccelerator(formats=tiny_qnet.formats)
+        plan = plan_tiling(accelerator.config, 4, 4, 4)
+        job_ops(accelerator.config, plan)
+        clear_timeline_caches()
+        assert timeline_cache_stats()["job_ops"] == 0
+
+
+class TestStreamTimingCache:
+    def test_cached_timing_is_bit_identical_to_direct_simulation(self, tiny_qnet):
+        scheduler = PipelinedStreamScheduler(tiny_qnet)
+        ops = [scheduler.batch_ops(size) for size in (2, 2, 1)]
+        direct = simulate_stream(ops, [2, 2, 1])
+        cached = cached_stream_timing(ops, [2, 2, 1])
+        assert timings_equal(direct, cached)
+        # A repeat is the same object — bit-identity by construction.
+        assert cached_stream_timing(ops, [2, 2, 1]) is cached
+
+    def test_probe_timing_matches_pr3_scheduler_output(self, tiny_qnet):
+        """Memoized timelines reproduce the PR 3 stream scheduler exactly."""
+        sizes = [2] * 7
+        warm = PipelinedStreamScheduler(tiny_qnet)
+        memoized = warm.probe_timing(sizes)
+        clear_timeline_caches()
+        clear_traced_ops_cache()
+        cold_scheduler = PipelinedStreamScheduler(tiny_qnet)
+        cold = simulate_stream(
+            [cold_scheduler.batch_ops(size) for size in sizes],
+            sizes,
+            window=cold_scheduler.window,
+            prestage_depth=cold_scheduler.prestage_depth,
+        )
+        assert timings_equal(cold, memoized)
+        assert cold.steady_marginal_cycles == memoized.steady_marginal_cycles
+
+    def test_schedulers_share_traced_ops(self, tiny_qnet):
+        first = PipelinedStreamScheduler(tiny_qnet)
+        ops = first.batch_ops(2)
+        second = PipelinedStreamScheduler(tiny_qnet)
+        assert second.batch_ops(2) is ops  # no second engine probe
+
+    def test_run_stream_outputs_unchanged_by_caching(self, tiny_qnet, tiny_images):
+        from repro.hw.scheduler import BatchScheduler
+
+        pipelined = PipelinedStreamScheduler(tiny_qnet)
+        stream = pipelined.run_stream([tiny_images[:2], tiny_images[2:4]])
+        reference = BatchScheduler(tiny_qnet)
+        for result, images in zip(
+            stream.results, [tiny_images[:2], tiny_images[2:4]]
+        ):
+            expected = reference.run_batch(images)
+            assert (result.predictions == expected.predictions).all()
+            assert result.overlapped_cycles == expected.overlapped_cycles
+        # The same stream again returns identical (cached) timing.
+        again = pipelined.run_stream([tiny_images[:2], tiny_images[2:4]])
+        assert timings_equal(stream.timing, again.timing)
+
+
+class TestAnalyticOpsCache:
+    def test_instances_share_batch_ops(self, tiny_config):
+        first = AnalyticStreamCost(network=tiny_config)
+        ops = first.batch_ops(4)
+        # A different window shares the ops (ops are window-independent).
+        second = AnalyticStreamCost(network=tiny_config, window=3)
+        assert second.batch_ops(4) is ops
+
+    def test_steady_cycles_survive_cache_clears(self, tiny_config):
+        cost = AnalyticStreamCost(network=tiny_config)
+        steady = cost.steady_cycles(2)
+        clear_timeline_caches()
+        clear_analytic_ops_cache()
+        assert AnalyticStreamCost(network=tiny_config).steady_cycles(2) == steady

@@ -1,0 +1,174 @@
+"""Design-space sweep engine: grids, tiers, fan-out, artifacts, CLI."""
+
+import csv
+import json
+
+import pytest
+
+from repro import cli
+from repro.errors import ConfigError
+from repro.sweep import SweepSpec, expand_grid, run_sweep
+
+
+class TestExpandGrid:
+    def test_cartesian_product_first_axis_outermost(self):
+        points = expand_grid({"a": (1, 2), "b": ("x", "y")})
+        assert points == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_empty_grid_is_one_point(self):
+        assert expand_grid({}) == [{}]
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ConfigError):
+            expand_grid({"a": ()})
+        with pytest.raises(ConfigError):
+            expand_grid({"a": 5})
+
+
+class TestSweepSpec:
+    def test_rejects_unknown_tier(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(tier="quantum")
+
+    def test_rejects_axis_outside_tier(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(tier="analytic", axes={"policy": ("fifo",)})
+        # ...but the serving tier accepts policy axes.
+        SweepSpec(tier="serving", axes={"policy": ("fifo",)})
+
+    def test_rejects_bad_network(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(network="imagenet")
+
+
+class TestAnalyticTier:
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = SweepSpec(
+            tier="analytic",
+            network="tiny",
+            axes={"array": (4, 8), "window": (1, 2), "batch": (1,)},
+        )
+        return run_sweep(spec)
+
+    def test_row_per_point(self, result):
+        assert len(result.rows) == 4
+        assert [(r["array"], r["window"]) for r in result.rows] == [
+            (4, 1),
+            (4, 2),
+            (8, 1),
+            (8, 2),
+        ]
+
+    def test_metrics_are_sane(self, result):
+        for row in result.rows:
+            assert row["steady_cycles_per_image"] > 0
+            assert row["images_per_s"] > 0
+            assert row["cold_cycles"] >= row["steady_cycles_per_image"]
+            assert row["pipeline_speedup"] > 0.9
+            assert row["area_mm2"] > 0
+            assert row["power_mw"] > 0
+
+    def test_wider_window_never_slower(self, result):
+        # The ROADMAP sweep's qualitative expectation: window 2 overlaps
+        # batches that window 1 serializes.
+        for array in (4, 8):
+            one = next(
+                r for r in result.rows if r["array"] == array and r["window"] == 1
+            )
+            two = next(
+                r for r in result.rows if r["array"] == array and r["window"] == 2
+            )
+            assert two["steady_cycles_per_image"] <= one["steady_cycles_per_image"]
+
+    def test_best_and_artifacts(self, result, tmp_path):
+        best = result.best("images_per_s")
+        assert best["images_per_s"] == max(r["images_per_s"] for r in result.rows)
+        json_path = tmp_path / "sweep.json"
+        result.write_json(json_path)
+        document = json.loads(json_path.read_text())
+        assert document["points"] == 4
+        assert document["rows"][0]["array"] == 4
+        csv_path = tmp_path / "sweep.csv"
+        result.write_csv(csv_path)
+        with csv_path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert rows[0]["array"] == "4"
+
+    def test_table_labels_arrays(self, result):
+        table = result.format_table()
+        assert "4x4" in table and "8x8" in table
+
+
+class TestServingTier:
+    def test_policy_axis_runs_fast_simulator(self):
+        spec = SweepSpec(
+            tier="serving",
+            network="tiny",
+            axes={"policy": ("fifo", "deadline")},
+            requests=300,
+            deadline_ms=0.1,
+            max_wait_us=50.0,
+        )
+        result = run_sweep(spec)
+        assert len(result.rows) == 2
+        by_policy = {row["policy"]: row for row in result.rows}
+        assert by_policy["fifo"]["throughput_rps"] > 0
+        assert by_policy["deadline"]["shed_rate"] >= 0.0
+        assert by_policy["fifo"]["p99_us"] >= by_policy["fifo"]["p50_us"]
+
+
+class TestProcessFanOut:
+    def test_parallel_rows_match_serial(self):
+        spec = SweepSpec(
+            tier="analytic",
+            network="tiny",
+            axes={"array": (4, 8), "prestage_depth": (1, 4)},
+            synthesis=False,
+        )
+        serial = run_sweep(spec, processes=1)
+        parallel = run_sweep(spec, processes=2)
+        assert parallel.rows == serial.rows
+
+
+class TestSweepCli:
+    def test_smoke_writes_artifact(self, tmp_path, capsys):
+        path = tmp_path / "sweep-smoke.json"
+        assert cli.main(["sweep", "--smoke", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "4x4" in out and "8x8" in out
+        document = json.loads(path.read_text())
+        assert document["points"] == len(document["rows"]) > 0
+
+    def test_serving_tier_cli(self, capsys):
+        assert (
+            cli.main(
+                [
+                    "sweep",
+                    "--tier",
+                    "serving",
+                    "--smoke",
+                    "--array",
+                    "4",
+                    "--policy",
+                    "fifo",
+                    "--requests",
+                    "200",
+                ]
+            )
+            == 0
+        )
+        assert "req/s" in capsys.readouterr().out
+
+    def test_bad_axis_is_a_config_error(self, capsys):
+        # batch is analytic-only; the serving tier must reject it.
+        assert (
+            cli.main(["sweep", "--tier", "serving", "--batch", "2", "--smoke"]) == 2
+        )
+        assert "sweep:" in capsys.readouterr().err
