@@ -1,0 +1,233 @@
+"""Live serving runtime benchmark: real req/s and the sim-vs-live gate.
+
+Exercises :mod:`repro.serve.runtime` three ways on the tiny network:
+
+* **Peak throughput** — a saturating burst of real requests served
+  in-process through the batched quantized engine (dynamic batching,
+  one array).  The headline is sustained live requests per second, from
+  first arrival to last completion on the wall clock.
+* **Sim-vs-live crosscheck** — the recorded live arrivals are re-run
+  through the discrete-event simulator with *in-situ* batch costs
+  (median observed duration per batch size), and the live p50/p99
+  latencies must land within 20% of the simulated ones: the simulator's
+  queueing model predicts the live system.
+* **Virtual-replay decisions gate** — the same trace replayed through
+  the runtime engine in virtual time must make exactly the decisions
+  the simulator makes (same sheds, batches, placements, timings).
+  This is deterministic; any diff is a scheduling-path divergence.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py            # full
+    PYTHONPATH=src python benchmarks/bench_runtime.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_runtime.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.capsnet.config import tiny_capsnet_config
+from repro.data.synthetic import SyntheticDigits
+from repro.hw.config import AcceleratorConfig
+from repro.serve import ScheduledBatchCost, ServerConfig, ServingSimulator, make_trace
+from repro.serve.compare import compare_reports, decision_diffs
+from repro.serve.runtime import MeasuredBatchCost, ServingRuntime, replay_virtual
+from repro.serve.trace import ArrivalTrace
+from repro.serve.workers import InlineEngineExecutor
+
+
+def live_server(cost, max_batch: int) -> ServerConfig:
+    return ServerConfig.from_policy(
+        "fifo",
+        cost,
+        max_batch=max_batch,
+        max_wait_us=2000.0,
+        arrays=1,
+        network_name="tiny",
+    )
+
+
+async def drive(runtime: ServingRuntime, trace: ArrivalTrace):
+    wall_start = time.perf_counter()
+    await runtime.run_load(trace)
+    await runtime.drain()
+    wall = time.perf_counter() - wall_start
+    report = runtime.report(
+        trace_name=trace.name, offered_rps=trace.offered_rps, wall_seconds=wall
+    )
+    await runtime.stop()
+    return report
+
+
+def live_rps_of(report) -> float:
+    served = report.served
+    if not served:
+        return 0.0
+    span_us = max(r.done_us for r in served) - min(r.arrival_us for r in served)
+    return len(served) / span_us * 1e6 if span_us > 0 else 0.0
+
+
+def run_live_once(cost, executor, trace: ArrivalTrace, max_batch: int, accel):
+    """One saturating live run; returns (report, rps, crosscheck dict)."""
+    server = live_server(cost, max_batch)
+    runtime = ServingRuntime(server, executor=executor, max_pending=8192)
+    report = asyncio.run(drive(runtime, trace))
+    rps = live_rps_of(report)
+    insitu = MeasuredBatchCost.from_report(report, config=accel)
+    arrivals = np.array(sorted(r.arrival_us for r in report.requests))
+    arrivals -= arrivals[0]
+    sim = ServingSimulator(
+        ArrivalTrace(times_us=arrivals, name="live-arrivals"),
+        server=live_server(insitu, max_batch),
+    ).run()
+    crosscheck = compare_reports(sim, report, rel_tol=0.2)
+    return report, rps, crosscheck
+
+
+def run_benchmark(args: argparse.Namespace) -> dict:
+    network = tiny_capsnet_config()
+    accel = AcceleratorConfig()
+    rng = np.random.default_rng(args.seed)
+    executor = InlineEngineExecutor(network)
+    images = SyntheticDigits(size=network.image_size, rng=rng).generate(256).images
+    sizes = [s for s in (1, 8, 32, 64, 128, 256) if s <= args.max_batch]
+    calibrated = MeasuredBatchCost.calibrate(
+        executor, images, sizes=sizes, config=accel
+    )
+
+    # Saturating burst: the whole trace arrives in a few tens of
+    # milliseconds, so the run measures drain throughput and the latency
+    # distribution is queue-shaped (robust for the 20% crosscheck — host
+    # noise averages out across the backlog instead of dominating an
+    # idle-system percentile).
+    trace = make_trace("uniform", args.burst_rps, args.requests, rng)
+    attempts = []
+    report = rps = crosscheck = None
+    for _ in range(2):
+        report, rps, crosscheck = run_live_once(
+            calibrated, executor, trace, args.max_batch, accel
+        )
+        attempts.append({"live_rps": rps, "within_tol": crosscheck["within_tol"]})
+        if crosscheck["within_tol"]:
+            break
+    latency = report.latency_summary()["total"]
+
+    # Decisions gate: virtual replay vs the simulator, exact-cost model.
+    exact = ScheduledBatchCost(network=network, accel_config=accel)
+    replay_server = ServerConfig.from_policy(
+        "fifo",
+        exact,
+        max_batch=8,
+        max_wait_us=2000.0,
+        dispatch="greedy-backlog",
+        arrays=2,
+        network_name="tiny",
+    )
+    replay_trace_arrivals = make_trace(
+        "poisson", args.replay_rps, args.replay_requests, rng
+    )
+    sim_report = ServingSimulator(replay_trace_arrivals, server=replay_server).run()
+    live_replay = replay_virtual(replay_server, replay_trace_arrivals)
+    diffs = decision_diffs(sim_report, live_replay)
+
+    executor.close()
+    return {
+        "benchmark": "bench_runtime",
+        "network": "tiny",
+        "requests": args.requests,
+        "max_batch": args.max_batch,
+        "seed": args.seed,
+        "calibration_points": calibrated.points,
+        "attempts": attempts,
+        "headline": {
+            "live_rps": rps,
+            "served": report.completed,
+            "mean_batch_size": report.mean_batch_size,
+            "p50_live_us": latency["p50_us"],
+            "p99_live_us": latency["p99_us"],
+            "crosscheck_within_tol": 1.0 if crosscheck["within_tol"] else 0.0,
+            "replay_decisions_identical": 1.0 if not diffs else 0.0,
+        },
+        "sim_vs_live": crosscheck,
+        "replay": {
+            "requests": args.replay_requests,
+            "batches": live_replay.batch_count,
+            "diffs": diffs,
+        },
+    }
+
+
+def format_report(report: dict) -> str:
+    headline = report["headline"]
+    xcheck = report["sim_vs_live"]
+    lines = [
+        f"Live serving runtime — tiny network, {report['requests']} requests,"
+        f" batch<={report['max_batch']}, in-process engine",
+        f"  live throughput: {headline['live_rps']:,.0f} req/s"
+        f" ({headline['served']} served, mean batch"
+        f" {headline['mean_batch_size']:.1f})",
+        f"  live latency: p50 {headline['p50_live_us']:,.0f}us,"
+        f" p99 {headline['p99_live_us']:,.0f}us",
+        f"  sim-vs-live: p50 ratio {xcheck['p50_us']['ratio']:.2f},"
+        f" p99 ratio {xcheck['p99_us']['ratio']:.2f} ->"
+        f" {'within' if headline['crosscheck_within_tol'] else 'OUTSIDE'}"
+        f" 20% tolerance",
+        f"  virtual replay: {report['replay']['requests']} requests,"
+        f" {report['replay']['batches']} batches ->"
+        f" {'decision-identical' if headline['replay_decisions_identical'] else 'DIVERGED'}",
+    ]
+    for diff in report["replay"]["diffs"][:5]:
+        lines.append(f"    {diff}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short burst (CI benchmark-smoke gate)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None, help="requests in the live burst"
+    )
+    parser.add_argument("--max-batch", type=int, default=256)
+    parser.add_argument(
+        "--burst-rps",
+        type=float,
+        default=100000.0,
+        help="offered rate of the saturating burst",
+    )
+    parser.add_argument(
+        "--replay-requests", type=int, default=None, help="virtual-replay trace length"
+    )
+    parser.add_argument("--replay-rps", type=float, default=4000.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", type=str, default=None, help="write report JSON here")
+    args = parser.parse_args(argv)
+
+    if args.max_batch < 8:
+        parser.error("--max-batch must be at least 8 (the gate batches >= 8)")
+    if args.requests is None:
+        args.requests = 4000 if args.smoke else 20000
+    if args.replay_requests is None:
+        args.replay_requests = 400 if args.smoke else 2000
+
+    report = run_benchmark(args)
+    print(format_report(report))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,9 @@ Usage::
     python -m repro.cli serve-sim --rate 400 --arrays 2   # serving simulator
     python -m repro.cli serve-sim --pipeline --trace-file arrivals.jsonl
     python -m repro.cli serve-sim --fast --requests 1000000   # streaming stats
+    python -m repro.cli serve --rate 8000 --requests 2000 --max-batch 128
+    python -m repro.cli serve --replay-virtual --requests 500  # decisions gate
+    python -m repro.cli serve --listen 127.0.0.1:8707   # JSONL request socket
 
 The CLI is a thin shell over :mod:`repro.experiments`; everything it prints
 is available programmatically.
@@ -371,28 +374,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                 )
         cost = build_cost(args.network)
 
-        if args.deadline_ms is not None and args.deadline_ms <= 0:
-            raise ConfigError("--deadline-ms must be positive")
-        array_configs = None
-        if args.array_sizes:
-            array_configs = tuple(
-                accel_config.with_array(size, size) for size in args.array_sizes
-            )
-        server = ServerConfig.from_policy(
-            args.policy,
-            cost,
-            max_batch=args.max_batch,
-            max_wait_us=args.max_wait_us,
-            queue_limit=args.queue_limit,
-            dispatch=args.dispatch,
-            arrays=len(array_configs) if array_configs else args.arrays,
-            array_configs=array_configs,
-            pipeline=args.pipeline,
-            deadline_us=(
-                args.deadline_ms * 1000.0 if args.deadline_ms is not None else None
-            ),
-            network_name=args.network,
-        )
+        server = ServerConfig.from_cli_args(args, cost, accel_config=accel_config)
 
         # One Generator seeds everything — the arrival traces and (in
         # execute mode) the request images — so a run is reproducible end
@@ -487,8 +469,201 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import time
+
+    import numpy as np
+
+    from repro.capsnet.config import tiny_capsnet_config
+    from repro.data.synthetic import SyntheticDigits
+    from repro.errors import ConfigError
+    from repro.serve import (
+        ScheduledBatchCost,
+        ServerConfig,
+        ServingSimulator,
+        load_trace_file,
+        make_trace,
+    )
+    from repro.serve.compare import compare_reports, decision_diffs
+    from repro.serve.runtime import MeasuredBatchCost, ServingRuntime, replay_virtual
+    from repro.serve.trace import ArrivalTrace
+    from repro.serve.workers import InlineEngineExecutor, ProcessWorkerPool
+
+    try:
+        network = (
+            tiny_capsnet_config() if args.network == "tiny" else mnist_capsnet_config()
+        )
+        accel_config = AcceleratorConfig(acc_fifo_depth=args.fifo_depth)
+        rng = np.random.default_rng(args.seed)
+        if args.trace_file is not None:
+            trace = load_trace_file(args.trace_file)
+        else:
+            trace_kwargs = (
+                {"burst_size": args.burst_size} if args.trace == "bursty" else {}
+            )
+            trace = make_trace(args.trace, args.rate, args.requests, rng, **trace_kwargs)
+
+        if args.replay_virtual:
+            # Deterministic mode: the runtime engine in virtual time, priced
+            # by the exact scheduled cost, checked decision-for-decision
+            # against the discrete-event simulator.
+            cost = ScheduledBatchCost(
+                network=network, accel_config=accel_config, pipeline=args.pipeline
+            )
+            server = ServerConfig.from_cli_args(args, cost, accel_config=accel_config)
+            live = replay_virtual(server, trace)
+            sim = ServingSimulator(trace, server=server).run()
+            diffs = decision_diffs(sim, live)
+            print(live.format_table())
+            if diffs:
+                print(f"  VIRTUAL REPLAY DIVERGED from the simulator ({len(diffs)} diffs):")
+                for diff in diffs[:10]:
+                    print(f"    {diff}")
+                return 1
+            print(
+                f"  virtual replay matches the simulator decision-for-decision"
+                f" ({live.completed} served, {live.batch_count} batches)"
+            )
+            if args.json:
+                with open(args.json, "w") as handle:
+                    json.dump(live.to_dict(), handle, indent=2)
+                print(f"wrote {args.json}")
+            return 0
+
+        if args.pipeline:
+            raise ConfigError(
+                "--pipeline is simulation-only (a live host has no warm-cost"
+                " model); use --replay-virtual or serve-sim"
+            )
+        if args.array_sizes:
+            raise ConfigError(
+                "--array-sizes is simulation-only (live arrays are homogeneous"
+                " execution slots)"
+            )
+
+        if args.workers == "process":
+            executor = ProcessWorkerPool(
+                network, arrays=args.arrays, max_batch=args.max_batch
+            )
+        else:
+            executor = InlineEngineExecutor(network)
+        try:
+            calibration = SyntheticDigits(size=network.image_size, rng=rng).generate(
+                min(512, max(args.max_batch, 64))
+            ).images
+            sizes = [s for s in (1, 2, 4, 8, 16, 32, 64, 128, 256) if s <= args.max_batch]
+            cost = MeasuredBatchCost.calibrate(
+                executor, calibration, sizes=sizes, config=accel_config
+            )
+            server = ServerConfig.from_cli_args(args, cost, accel_config=accel_config)
+
+            if args.listen is not None:
+                host, _, port_text = args.listen.rpartition(":")
+                try:
+                    port = int(port_text)
+                except ValueError as error:
+                    raise ConfigError(
+                        f"--listen expects HOST:PORT, got {args.listen!r}"
+                    ) from error
+
+                async def serve_forever() -> None:
+                    runtime = ServingRuntime(
+                        server, executor=executor, max_pending=args.max_pending
+                    )
+                    socket_server = await runtime.serve_socket(
+                        host or "127.0.0.1", port
+                    )
+                    bound = socket_server.sockets[0].getsockname()
+                    print(
+                        f"serving {args.network} on {bound[0]}:{bound[1]}"
+                        f" ({server.describe()}; ctrl-c to stop)"
+                    )
+                    async with socket_server:
+                        await socket_server.serve_forever()
+
+                try:
+                    asyncio.run(serve_forever())
+                except KeyboardInterrupt:
+                    print("stopped")
+                return 0
+
+            async def run_load():
+                runtime = ServingRuntime(
+                    server, executor=executor, max_pending=args.max_pending
+                )
+                wall_start = time.perf_counter()
+                await runtime.run_load(trace)
+                await runtime.drain()
+                wall = time.perf_counter() - wall_start
+                report = runtime.report(
+                    trace_name=trace.name,
+                    offered_rps=trace.offered_rps,
+                    wall_seconds=wall,
+                )
+                await runtime.stop()
+                return report
+
+            live = asyncio.run(run_load())
+            print(live.format_table())
+            served = live.served
+            live_rps = 0.0
+            if served:
+                span_us = max(r.done_us for r in served) - min(
+                    r.arrival_us for r in served
+                )
+                if span_us > 0:
+                    live_rps = len(served) / span_us * 1e6
+                print(
+                    f"  live throughput: {live_rps:,.0f} req/s"
+                    f" over {span_us / 1e6:.2f} s of wall clock"
+                )
+            crosscheck = None
+            if args.crosscheck:
+                # Re-simulate the recorded arrivals with in-situ batch
+                # costs: the simulator should predict the live latency
+                # distribution.
+                insitu = MeasuredBatchCost.from_report(live, config=accel_config)
+                sim_server = ServerConfig.from_cli_args(
+                    args, insitu, accel_config=accel_config
+                )
+                arrivals = np.array(sorted(r.arrival_us for r in live.requests))
+                arrivals -= arrivals[0]
+                sim = ServingSimulator(
+                    ArrivalTrace(times_us=arrivals, name="live-arrivals"),
+                    server=sim_server,
+                ).run()
+                crosscheck = compare_reports(sim, live, rel_tol=0.2)
+                for metric in ("p50_us", "p99_us"):
+                    entry = crosscheck[metric]
+                    print(
+                        f"  sim-vs-live {metric}: sim={entry['sim']:,.0f}"
+                        f" live={entry['live']:,.0f} ratio={entry['ratio']:.2f}"
+                    )
+                verdict = "within" if crosscheck["within_tol"] else "OUTSIDE"
+                print(f"  sim-vs-live crosscheck: {verdict} 20% tolerance")
+            if args.json:
+                payload = live.to_dict()
+                payload["live_rps"] = live_rps
+                payload["sim_vs_live"] = crosscheck
+                with open(args.json, "w") as handle:
+                    json.dump(payload, handle, indent=2)
+                print(f"wrote {args.json}")
+            if crosscheck is not None and not crosscheck["within_tol"]:
+                return 1
+        finally:
+            executor.close()
+    except ConfigError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
+    from repro.serve.policies import add_server_arguments
+
     parser = argparse.ArgumentParser(
         prog="repro", description="CapsAcc (DATE 2019) reproduction toolkit"
     )
@@ -605,6 +780,9 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-sim",
         help="discrete-event serving simulation (dynamic batching, N arrays)",
     )
+    # The policy/pool surface is shared with `repro serve` so the two
+    # front-ends cannot drift apart flag by flag.
+    add_server_arguments(serve_parser, network_default="mnist")
     serve_parser.add_argument(
         "--rate", type=float, default=400.0, help="mean arrival rate (requests/s)"
     )
@@ -628,41 +806,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--burst-size", type=int, default=8, help="requests per burst (bursty trace)"
     )
     serve_parser.add_argument(
-        "--max-batch", type=int, default=8, help="dynamic batcher batch-size cap"
-    )
-    serve_parser.add_argument(
-        "--max-wait-us",
-        type=float,
-        default=2000.0,
-        help="max coalescing wait past the oldest queued request (us)",
-    )
-    serve_parser.add_argument(
-        "--policy",
-        choices=("fifo", "deadline", "greedy"),
-        default="fifo",
-        help="serving-policy preset: admission + batching + dispatch"
-        " (fifo = the classic max-batch/max-wait behavior)",
-    )
-    serve_parser.add_argument(
-        "--deadline-ms",
-        type=float,
-        default=None,
-        help="per-request SLA in milliseconds (drives the deadline policy's"
-        " early launches and shed-infeasible admission)",
-    )
-    serve_parser.add_argument(
-        "--dispatch",
-        choices=("least-recent", "round-robin", "prefer-warm", "greedy"),
-        default=None,
-        help="override the preset's array-dispatch policy",
-    )
-    serve_parser.add_argument(
-        "--queue-limit",
-        type=int,
-        default=None,
-        help="shed arrivals once this many requests are queued",
-    )
-    serve_parser.add_argument(
         "--tenant",
         action="append",
         default=None,
@@ -670,20 +813,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="add a tenant (repeatable): comma-separated key=value pairs,"
         " e.g. name=a,rate=400,requests=64,network=tiny,deadline-ms=10,"
         "weight=2 (unset keys inherit the top-level flags)",
-    )
-    serve_parser.add_argument(
-        "--arrays", type=int, default=1, help="accelerator arrays to shard across"
-    )
-    serve_parser.add_argument(
-        "--array-sizes",
-        type=int,
-        nargs="+",
-        default=None,
-        metavar="N",
-        help="heterogeneous pool: one NxN array per size (overrides --arrays)",
-    )
-    serve_parser.add_argument(
-        "--network", choices=("mnist", "tiny"), default="mnist"
     )
     serve_parser.add_argument(
         "--cost",
@@ -703,11 +832,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every batch through the engine on real images (predictions)",
     )
     serve_parser.add_argument(
-        "--pipeline",
-        action="store_true",
-        help="charge back-to-back batches the stream-pipelined warm cost",
-    )
-    serve_parser.add_argument(
         "--fast",
         action="store_true",
         help="streaming fast path (record_requests=False): identical counts,"
@@ -720,16 +844,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="latency histogram bin width for --fast (microseconds)",
     )
     serve_parser.add_argument(
-        "--fifo-depth",
-        type=int,
-        default=None,
-        help="accumulator FIFO depth (default: sized to the job)",
-    )
-    serve_parser.add_argument(
         "--seed", type=int, default=7, help="seed for the trace and image generator"
     )
     serve_parser.add_argument("--json", type=str, default=None, help="write report JSON")
     serve_parser.set_defaults(func=_cmd_serve_sim)
+
+    live_parser = sub.add_parser(
+        "serve",
+        help="live serving runtime: real requests through the quantized engine"
+        " under the same policies as serve-sim",
+    )
+    add_server_arguments(live_parser, network_default="tiny")
+    live_parser.add_argument(
+        "--rate", type=float, default=8000.0, help="offered load (requests/s)"
+    )
+    live_parser.add_argument(
+        "--requests", type=int, default=2000, help="requests in the generated trace"
+    )
+    live_parser.add_argument(
+        "--trace",
+        choices=("poisson", "bursty", "uniform"),
+        default="uniform",
+        help="arrival process for the offered load",
+    )
+    live_parser.add_argument(
+        "--trace-file",
+        type=str,
+        default=None,
+        help="replay recorded arrival times from a .jsonl/.csv file"
+        " (overrides --trace/--rate/--requests)",
+    )
+    live_parser.add_argument(
+        "--burst-size", type=int, default=8, help="requests per burst (bursty trace)"
+    )
+    live_parser.add_argument(
+        "--workers",
+        choices=("inline", "process"),
+        default="inline",
+        help="execution back-end: the engine in-process, or one worker"
+        " process per array over shared memory",
+    )
+    live_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=2048,
+        help="backpressure bound on queued + in-flight requests",
+    )
+    live_parser.add_argument(
+        "--listen",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="serve a JSONL request socket instead of generating load",
+    )
+    live_parser.add_argument(
+        "--replay-virtual",
+        action="store_true",
+        help="replay the trace through the runtime engine in virtual time and"
+        " crosscheck every policy decision against the simulator",
+    )
+    live_parser.add_argument(
+        "--crosscheck",
+        action="store_true",
+        help="after the live run, simulate the recorded arrivals with in-situ"
+        " measured batch costs and compare latency percentiles",
+    )
+    live_parser.add_argument(
+        "--seed", type=int, default=7, help="seed for the trace and image generator"
+    )
+    live_parser.add_argument("--json", type=str, default=None, help="write report JSON")
+    live_parser.set_defaults(func=_cmd_serve)
 
     sub.add_parser("info", help="network and accelerator summary").set_defaults(
         func=_cmd_info

@@ -18,6 +18,16 @@ weighted-fair service).  The discrete-event loop and the latency
 decomposition (queueing / batching / compute) live in
 :mod:`repro.serve.simulator`; reports in :mod:`repro.serve.stats`.
 
+The same policy engine also serves *live*: the time-source-agnostic
+core (:mod:`repro.serve.core`) runs under either a virtual clock (the
+simulator, or :func:`replay_virtual`) or the wall clock
+(:class:`ServingRuntime` in :mod:`repro.serve.runtime` — real requests,
+real batches through the quantized engine via
+:mod:`repro.serve.workers`).  Both paths emit the same
+:class:`ServingReport` through a pluggable :class:`CompletionSink`
+(:mod:`repro.serve.sinks`), so sim-vs-live comparison is one function
+call (:mod:`repro.serve.compare`).
+
 Quick start::
 
     import numpy as np
@@ -42,6 +52,13 @@ from repro.serve.batcher import (
     QueuedRequest,
     RequestQueue,
 )
+from repro.serve.clock import Clock, MonotonicClock, VirtualClock
+from repro.serve.compare import (
+    compare_reports,
+    decision_diffs,
+    decisions_identical,
+)
+from repro.serve.core import PlacedBatch, ServingCore
 from repro.serve.costs import (
     ACCOUNTINGS,
     AnalyticBatchCost,
@@ -53,6 +70,7 @@ from repro.serve.costs import (
 from repro.serve.dispatcher import (
     ArrayPool,
     ArrayStats,
+    BacklogGreedyDispatch,
     DispatchContext,
     GreedyWhenIdleDispatch,
     LeastRecentDispatch,
@@ -71,9 +89,18 @@ from repro.serve.policies import (
     QueueLimitAdmission,
     ServerConfig,
     TenantSpec,
+    add_server_arguments,
     make_serving_policy,
 )
+from repro.serve.runtime import (
+    MeasuredBatchCost,
+    RequestShedError,
+    RuntimeEngine,
+    ServingRuntime,
+    replay_virtual,
+)
 from repro.serve.simulator import ServingSimulator
+from repro.serve.sinks import CompletionSink, RecordingSink, StreamingSink
 from repro.serve.stats import (
     DEFAULT_LATENCY_BIN_US,
     BatchRecord,
@@ -95,6 +122,12 @@ from repro.serve.trace import (
     replay_trace,
     uniform_trace,
 )
+from repro.serve.workers import (
+    InlineEngineExecutor,
+    PredictedExecutor,
+    ProcessWorkerPool,
+    WorkerCrashError,
+)
 
 __all__ = [
     "ACCOUNTINGS",
@@ -111,38 +144,60 @@ __all__ = [
     "ArrayPool",
     "ArrayStats",
     "ArrivalTrace",
+    "BacklogGreedyDispatch",
     "BatchPolicy",
     "BatchRecord",
     "ChainedAdmission",
+    "Clock",
+    "CompletionSink",
     "CostBank",
     "DeadlineAdmission",
     "DeadlineBatcher",
     "DispatchContext",
     "DynamicBatcher",
     "GreedyWhenIdleDispatch",
+    "InlineEngineExecutor",
     "LatencyHistogram",
     "LeastRecentDispatch",
+    "MeasuredBatchCost",
+    "MonotonicClock",
+    "PlacedBatch",
+    "PredictedExecutor",
     "PreferWarmDispatch",
+    "ProcessWorkerPool",
     "QueueLimitAdmission",
     "QueuedRequest",
+    "RecordingSink",
     "RequestQueue",
     "RequestRecord",
+    "RequestShedError",
     "RoundRobinDispatch",
+    "RuntimeEngine",
     "ScheduledBatchCost",
     "ServerConfig",
+    "ServingCore",
     "ServingReport",
+    "ServingRuntime",
     "ServingSimulator",
+    "StreamingSink",
     "StreamingStats",
     "TenantSpec",
+    "VirtualClock",
+    "WorkerCrashError",
+    "add_server_arguments",
     "bursty_trace",
     "clear_probe_cache",
+    "compare_reports",
     "crosscheck",
+    "decision_diffs",
+    "decisions_identical",
     "load_trace_file",
-    "probe_cache_size",
     "make_serving_policy",
     "make_trace",
     "percentile_summary",
     "poisson_trace",
+    "probe_cache_size",
     "replay_trace",
+    "replay_virtual",
     "uniform_trace",
 ]

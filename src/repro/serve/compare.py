@@ -1,0 +1,136 @@
+"""Sim-vs-live crosschecks over :class:`~repro.serve.stats.ServingReport`.
+
+Both the discrete-event simulator and the live runtime emit the same
+report type, so checking that the simulator predicts the live system
+(and that the runtime engine reproduces the simulator exactly in virtual
+time) reduces to comparing two reports:
+
+* :func:`decision_diffs` / :func:`decisions_identical` — exact policy
+  equivalence for deterministic replays: same sheds, same per-request
+  timings, same batch formation and placement.  This is the CI gate that
+  keeps the runtime's scheduling path from drifting off the simulator's.
+* :func:`compare_reports` — statistical agreement for wall-clock runs:
+  live latency percentiles within a relative tolerance of the simulated
+  ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.serve.stats import ServingReport
+
+#: Cap on reported differences; past this the lists are truncated.
+MAX_DIFFS = 20
+
+
+def _request_rows(report: ServingReport) -> list[tuple]:
+    """Per-request decisions, order-normalized.
+
+    Global request indices can differ between drivers (the simulator
+    numbers arrivals trace-by-trace in a pre-pass, the replay driver in
+    event order), so rows are keyed by observable timings instead.
+    """
+    return sorted(
+        (
+            record.arrival_us,
+            record.tenant,
+            record.shed,
+            record.dispatch_us,
+            record.done_us,
+        )
+        for record in report.requests
+    )
+
+
+def _batch_rows(report: ServingReport) -> list[tuple]:
+    """Per-batch decisions, order-normalized (completion order differs)."""
+    return sorted(
+        (
+            batch.dispatch_us,
+            batch.array,
+            batch.size,
+            batch.warm,
+            batch.cycles,
+            batch.tenant,
+        )
+        for batch in report.batches
+    )
+
+
+def decision_diffs(sim: ServingReport, live: ServingReport) -> list[str]:
+    """Every way two recorded reports' policy decisions disagree.
+
+    Empty means the two runs admitted, shed, batched, placed, and timed
+    every request identically.  Both reports must carry full per-request
+    tables (recorded mode, not streaming).
+    """
+    diffs: list[str] = []
+    for label, a, b in (
+        ("offered", sim.offered, live.offered),
+        ("shed", sim.shed_count, live.shed_count),
+        ("batches", sim.batch_count, live.batch_count),
+    ):
+        if a != b:
+            diffs.append(f"{label}: sim={a} live={b}")
+    sim_requests = _request_rows(sim)
+    live_requests = _request_rows(live)
+    for row_a, row_b in zip(sim_requests, live_requests):
+        if row_a != row_b:
+            diffs.append(f"request: sim={row_a} live={row_b}")
+            if len(diffs) >= MAX_DIFFS:
+                return diffs
+    sim_batches = _batch_rows(sim)
+    live_batches = _batch_rows(live)
+    for row_a, row_b in zip(sim_batches, live_batches):
+        if row_a != row_b:
+            diffs.append(f"batch: sim={row_a} live={row_b}")
+            if len(diffs) >= MAX_DIFFS:
+                return diffs
+    return diffs
+
+
+def decisions_identical(sim: ServingReport, live: ServingReport) -> bool:
+    """Whether two recorded reports made exactly the same decisions."""
+    return not decision_diffs(sim, live)
+
+
+def compare_reports(
+    sim: ServingReport, live: ServingReport, rel_tol: float = 0.2
+) -> dict:
+    """Statistical sim-vs-live agreement: counts plus latency ratios.
+
+    Returns a JSON-friendly dict; ``within_tol`` is True when the live
+    p50 and p99 total latencies both sit within ``rel_tol`` (relative)
+    of the simulated ones.  Ratios are live/sim (``inf`` if the
+    simulated value is zero but the live one is not).
+    """
+    sim_latency = sim.latency_summary()["total"]
+    live_latency = live.latency_summary()["total"]
+    result: dict = {
+        "rel_tol": rel_tol,
+        "counts": {
+            "sim": {"offered": sim.offered, "completed": sim.completed,
+                    "shed": sim.shed_count, "batches": sim.batch_count},
+            "live": {"offered": live.offered, "completed": live.completed,
+                     "shed": live.shed_count, "batches": live.batch_count},
+        },
+    }
+    within = True
+    for metric in ("p50_us", "p99_us"):
+        sim_value = sim_latency[metric]
+        live_value = live_latency[metric]
+        if sim_value > 0.0:
+            ratio = live_value / sim_value
+        else:
+            ratio = math.inf if live_value > 0.0 else 1.0
+        ok = abs(live_value - sim_value) <= rel_tol * max(sim_value, 1e-9)
+        within = within and ok
+        result[metric] = {
+            "sim": sim_value,
+            "live": live_value,
+            "ratio": ratio,
+            "within_tol": ok,
+        }
+    result["within_tol"] = within
+    return result

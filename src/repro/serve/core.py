@@ -1,0 +1,348 @@
+"""Time-source-agnostic serving core: queues, policies, placement.
+
+:class:`ServingCore` is the policy engine both serving front-ends drive:
+
+* the discrete-event :class:`~repro.serve.simulator.ServingSimulator`
+  advances a virtual clock over an event heap and asks the core to form
+  and place batches at each event instant;
+* the live :mod:`~repro.serve.runtime` asks the same questions at
+  wall-clock instants, with real request payloads behind the queues.
+
+The core never reads a clock — every entry point takes an explicit
+``now_us`` — and never records results: outcomes flow through a
+:class:`~repro.serve.sinks.CompletionSink` owned by the driver.  That
+split is what makes "simulator vs runtime" two drivers of one engine
+rather than two engines, and it is why a replayed trace produces
+*identical policy decisions* in both (the crosscheck the tests and the
+runtime benchmark gate on).
+
+The placement step (:meth:`ServingCore.form_and_place`) reproduces the
+historical recorded-path arithmetic operation for operation, so the
+extraction is a pure refactor of the simulated path: weighted-fair
+tenant selection, the dispatch-policy protocol, warm/pipelined cost
+probing, and the drain-saved accounting are unchanged.
+
+Dispatch policies that declare ``considers_busy = True`` (the
+backlog-aware greedy) may place a batch on a *busy* array: the batch
+**stacks** behind the array's in-flight work, starting at the array's
+current ``busy_until`` instant.  The core tracks per-array in-flight
+counts so an array only returns to the idle set when its last stacked
+batch completes.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.serve.batcher import QueuedRequest, RequestQueue
+from repro.serve.dispatcher import ArrayPool, DispatchContext
+from repro.serve.policies import CostBank, ServerConfig, TenantSpec
+
+# Event kinds shared by the discrete-event drivers (simulator and the
+# virtual-time replay), in tie-break order: completions free arrays
+# before arrivals at the same instant see the pool; timeouts run last.
+EVENT_DONE, EVENT_ARRIVE, EVENT_TIMEOUT = 0, 1, 2
+
+
+class DurationProbe:
+    """Reusable warm-aware duration predictor for dispatch policies.
+
+    One instance per run, re-pointed per batch — the dispatch context's
+    ``duration_us`` callable without a per-batch closure allocation.
+    When the core tracks in-flight counts (backlog-aware dispatch), a
+    busy array in pipelined mode prices the batch warm: a stacked batch
+    starts the instant the predecessor finishes, so it never drains.
+    """
+
+    __slots__ = ("bank", "pool", "pipeline", "cost", "size", "now_us", "inflight")
+
+    def __init__(
+        self,
+        bank: CostBank,
+        pool: ArrayPool,
+        pipeline: bool,
+        inflight: list[int] | None = None,
+    ) -> None:
+        self.bank = bank
+        self.pool = pool
+        self.pipeline = pipeline
+        self.inflight = inflight
+        self.cost = None
+        self.size = 0
+        self.now_us = 0.0
+
+    def rebind(self, cost, size: int, now_us: float) -> None:
+        """Point the probe at the batch about to be placed."""
+        self.cost = cost
+        self.size = size
+        self.now_us = now_us
+
+    def __call__(self, array: int) -> float:
+        """Predicted occupancy of the bound batch on ``array`` (us)."""
+        pool = self.pool
+        model = self.bank.resolve(self.cost, pool.config_for(array))
+        warm = False
+        if self.pipeline:
+            if pool.is_warm(array, self.now_us):
+                warm = True
+            elif self.inflight is not None and self.inflight[array]:
+                warm = True
+        if warm:
+            cycles = model.warm_batch_cycles(
+                self.size,
+                pool.last_batch_size(array),
+                prev_cost=pool.last_cost(array),
+            )
+        else:
+            cycles = model.batch_cycles(self.size)
+        return model.config.cycles_to_us(cycles)
+
+    def queue_delay(self, array: int) -> float:
+        """How long a batch placed on ``array`` now would wait to start."""
+        delay = self.pool._busy_until_us[array] - self.now_us
+        return delay if delay > 0.0 else 0.0
+
+
+class TenantState:
+    """Resolved per-tenant serving state (queue, policies, cost)."""
+
+    def __init__(self, spec: TenantSpec, order: int, server: ServerConfig) -> None:
+        self.spec = spec
+        self.order = order
+        self.name = spec.name
+        self.trace = spec.trace
+        self.weight = spec.weight
+        self.cost = spec.cost if spec.cost is not None else server.cost
+        self.deadline_us = (
+            spec.deadline_us if spec.deadline_us is not None else server.deadline_us
+        )
+        # Policy instances may be shared — across tenants reusing one
+        # spec object, or via the server-level defaults — so deep-copy
+        # them before binding: each tenant gets its own compute predictor
+        # and mutable state (a shallow copy of ChainedAdmission would
+        # still share the chained policy objects).
+        self.admission = copy.deepcopy(
+            spec.admission if spec.admission is not None else server.admission
+        )
+        self.batching = copy.deepcopy(
+            spec.batching if spec.batching is not None else server.batching
+        )
+        for policy in (self.admission, self.batching):
+            if hasattr(policy, "bind"):
+                policy.bind(self.cost)
+        if hasattr(self.admission, "bind_batching"):
+            self.admission.bind_batching(self.batching)
+        self.queue = RequestQueue()
+        self.served = 0
+        self.global_indices: list[int] = []
+
+
+class PlacedBatch:
+    """One batch the core formed and placed on an array.
+
+    ``dispatch_us`` is when the batch starts *executing* — the placement
+    instant for an idle array, the predecessor's completion for a batch
+    stacked on a busy one — and ``done_us`` is the predicted completion
+    (``dispatch_us`` plus the charged duration).  A live driver replaces
+    the prediction with the measured completion when it reports the
+    batch to its sink.
+    """
+
+    __slots__ = (
+        "tenant",
+        "members",
+        "size",
+        "array",
+        "dispatch_us",
+        "done_us",
+        "cycles",
+        "duration_us",
+        "warm",
+        "drain_saved_us",
+        "stacked",
+        "idle_accum_us",
+    )
+
+    def __init__(
+        self,
+        *,
+        tenant: TenantState,
+        members: list[QueuedRequest],
+        size: int,
+        array: int,
+        dispatch_us: float,
+        done_us: float,
+        cycles: int,
+        duration_us: float,
+        warm: bool,
+        drain_saved_us: float,
+        stacked: bool,
+    ) -> None:
+        self.tenant = tenant
+        self.members = members
+        self.size = size
+        self.array = array
+        self.dispatch_us = dispatch_us
+        self.done_us = done_us
+        self.cycles = cycles
+        self.duration_us = duration_us
+        self.warm = warm
+        self.drain_saved_us = drain_saved_us
+        self.stacked = stacked
+        #: Idle-time integral at the placement instant; stamped by
+        #: drivers that defer sink reporting to completion time.
+        self.idle_accum_us = 0.0
+
+
+class ServingCore:
+    """The policy engine: tenants, pool, dispatch, cost accounting."""
+
+    def __init__(
+        self,
+        server: ServerConfig,
+        tenant_specs: list[TenantSpec],
+        bank: CostBank | None = None,
+    ) -> None:
+        self.server = server
+        self.pipeline = server.pipeline
+        self.pool = ArrayPool(server.arrays, configs=server.array_configs)
+        # Fresh dispatch state per core (e.g. the round-robin pointer),
+        # so repeated runs of one configuration stay reproducible.
+        self.dispatch = copy.deepcopy(server.dispatch)
+        self.bank = bank if bank is not None else CostBank()
+        self.tenants = [
+            TenantState(spec, order, server)
+            for order, spec in enumerate(tenant_specs)
+        ]
+        self.considers_busy = bool(getattr(self.dispatch, "considers_busy", False))
+        self.inflight = [0] * self.pool.count
+        self.probe = DurationProbe(
+            self.bank,
+            self.pool,
+            self.pipeline,
+            inflight=self.inflight if self.considers_busy else None,
+        )
+
+    def offer(self, tenant: TenantState, request: QueuedRequest, now_us: float) -> bool:
+        """Run admission for one arrival; queue it if admitted."""
+        if tenant.admission.admit(request, now_us, tenant.queue, self.pool):
+            tenant.queue.append(request)
+            return True
+        return False
+
+    def form_and_place(
+        self, now_us: float, pricer=None, force: bool = False
+    ) -> PlacedBatch | None:
+        """Form the next ready batch and place it on an array.
+
+        Returns ``None`` when no tenant is ready.  Among ready tenants
+        the weighted-fair winner (smallest ``served/weight``) forms a
+        batch, the dispatch policy picks the array, and the batch is
+        charged its warm-aware cost.  ``pricer(model, members, warm,
+        prev_size)`` overrides the cycle count (the simulator's execute
+        mode runs the real engine there).  ``force`` treats any
+        non-empty queue as ready — the live runtime's shutdown drain,
+        which must flush coalescing remainders without waiting out
+        their timeout.
+        """
+        tenants = self.tenants
+        if force:
+            ready = [tenant for tenant in tenants if len(tenant.queue)]
+        else:
+            ready = [
+                tenant
+                for tenant in tenants
+                if tenant.batching.ready(tenant.queue, now_us)
+            ]
+        if not ready:
+            return None
+        tenant = min(ready, key=lambda t: (t.served / t.weight, t.order))
+        members = tenant.batching.take(tenant.queue, now_us)
+        size = len(members)
+        pool = self.pool
+        probe = self.probe
+        probe.rebind(tenant.cost, size, now_us)
+        array = self.dispatch.select(
+            DispatchContext(
+                pool=pool,
+                now_us=now_us,
+                batch_size=size,
+                pipeline=self.pipeline,
+                duration_us=probe,
+                queue_delay_us=probe.queue_delay if self.considers_busy else None,
+            )
+        )
+        stacked = self.considers_busy and array not in pool._idle
+        if stacked:
+            # The batch queues behind the array's in-flight work and
+            # starts the instant the predecessor completes — in
+            # pipelined mode that hand-off is warm by construction.
+            start = pool._busy_until_us[array]
+            warm = self.pipeline
+        else:
+            pool.claim(array)
+            start = now_us
+            warm = self.pipeline and pool.is_warm(array, now_us)
+        self.inflight[array] += 1
+        prev_size = pool.last_batch_size(array)
+        prev_cost = pool.last_cost(array)
+        model = self.bank.resolve(tenant.cost, pool.config_for(array))
+        if pricer is not None:
+            cycles = pricer(model, members, warm, prev_size)
+        elif warm:
+            cycles = model.warm_batch_cycles(size, prev_size, prev_cost=prev_cost)
+        else:
+            cycles = model.batch_cycles(size)
+        duration = model.config.cycles_to_us(cycles)
+        pool.charge(array, size, duration, warm=warm, now_us=start, cost=model)
+        drain_saved = (
+            model.config.cycles_to_us(
+                model.drain_saved_cycles(size, prev_size, prev_cost=prev_cost)
+            )
+            if warm
+            else 0.0
+        )
+        tenant.served += size
+        return PlacedBatch(
+            tenant=tenant,
+            members=members,
+            size=size,
+            array=array,
+            dispatch_us=start,
+            done_us=start + duration,
+            cycles=cycles,
+            duration_us=duration,
+            warm=warm,
+            drain_saved_us=drain_saved,
+            stacked=stacked,
+        )
+
+    def release(self, array: int, now_us: float) -> bool:
+        """One batch on ``array`` completed; returns whether it idled.
+
+        With stacked batches the array only rejoins the idle set when
+        its last in-flight batch finishes.
+        """
+        count = self.inflight[array]
+        if count > 1:
+            self.inflight[array] = count - 1
+            return False
+        self.inflight[array] = 0
+        self.pool.release(array, now_us)
+        return True
+
+    def pending_timeouts(self, now_us: float) -> list[float]:
+        """Coalescing deadlines of queues that are waiting, not ready."""
+        deadlines = []
+        for tenant in self.tenants:
+            if len(tenant.queue) and not tenant.batching.ready(
+                tenant.queue, now_us
+            ):
+                deadline = tenant.batching.next_deadline_us(tenant.queue, now_us)
+                if deadline is not None:
+                    deadlines.append(deadline)
+        return deadlines
+
+    def queue_depth(self) -> int:
+        """Requests currently queued across all tenants."""
+        return sum(len(tenant.queue) for tenant in self.tenants)

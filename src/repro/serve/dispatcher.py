@@ -24,6 +24,11 @@ decision, made through a :class:`DispatchContext` view:
   predicted batch duration wins (on a heterogeneous pool: the fastest
   idle array, warm figures included), so work never waits for a busy
   large array while a small idle one could finish sooner.
+* :class:`BacklogGreedyDispatch` — greedy over *completion time*
+  (``queue_delay + duration``) across **all** arrays, busy ones
+  included: a fast array with a short backlog can beat a slow idle one.
+  Declares ``considers_busy``, so the serving core stacks the batch
+  behind the chosen array's in-flight work instead of claiming it.
 """
 
 from __future__ import annotations
@@ -221,6 +226,10 @@ class DispatchContext:
     batch_size: int
     pipeline: bool
     duration_us: Callable[[int], float]
+    #: Predicted wait before a batch placed on that array could *start*
+    #: (0 for an idle array).  Only supplied to policies that declare
+    #: ``considers_busy``; ``None`` otherwise.
+    queue_delay_us: Callable[[int], float] | None = None
 
     def idle_ids(self) -> Sequence[int]:
         """Idle array ids, ascending."""
@@ -312,3 +321,37 @@ class GreedyWhenIdleDispatch:
     def describe(self) -> str:
         """Short human-readable policy name."""
         return "greedy"
+
+
+@dataclass(frozen=True)
+class BacklogGreedyDispatch:
+    """Earliest predicted *completion* wins, counting per-array backlog.
+
+    :class:`GreedyWhenIdleDispatch` only ever sees idle arrays, so on a
+    heterogeneous pool a batch can land on a slow-but-idle array even
+    when the fast array frees up almost immediately.  This policy ranks
+    **every** array by ``queue_delay_us + duration_us`` — the predicted
+    instant the batch would finish if placed there — and lets the
+    serving core stack the batch behind a busy winner.
+    """
+
+    #: The serving core reads this to allow placement on busy arrays
+    #: (stacking) and to supply ``ctx.queue_delay_us``.
+    considers_busy = True
+
+    def select(self, ctx: DispatchContext) -> int:
+        """Pick the array (idle or busy) with the earliest completion."""
+        delay = ctx.queue_delay_us
+        if delay is None:
+            # A driver that cannot stack (no backlog view) degrades to
+            # the idle-only greedy choice.
+            idle = _require_idle(ctx)
+            return min(idle, key=lambda i: (ctx.duration_us(i), ctx.pool.lru_key(i)))
+        return min(
+            range(ctx.pool.count),
+            key=lambda i: (delay(i) + ctx.duration_us(i), ctx.pool.lru_key(i)),
+        )
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        return "greedy-backlog"

@@ -33,6 +33,7 @@ one model).
 
 from __future__ import annotations
 
+import argparse
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, Sequence, runtime_checkable
@@ -43,6 +44,7 @@ from repro.serve.batcher import BatchPolicy, DeadlineBatcher, QueuedRequest, Req
 from repro.serve.costs import AnalyticBatchCost, ScheduledBatchCost
 from repro.serve.dispatcher import (
     ArrayPool,
+    BacklogGreedyDispatch,
     DispatchContext,
     GreedyWhenIdleDispatch,
     LeastRecentDispatch,
@@ -254,6 +256,7 @@ DISPATCH_POLICIES: dict[str, Callable] = {
     "round-robin": RoundRobinDispatch,
     "prefer-warm": PreferWarmDispatch,
     "greedy": GreedyWhenIdleDispatch,
+    "greedy-backlog": BacklogGreedyDispatch,
 }
 
 
@@ -314,6 +317,79 @@ def make_serving_policy(
 
 #: Named presets resolvable by :func:`make_serving_policy`.
 SERVING_POLICIES = ("fifo", "deadline", "greedy")
+
+
+def add_server_arguments(
+    parser: argparse.ArgumentParser, *, network_default: str = "mnist"
+) -> None:
+    """Register the server-shape flags shared by ``serve-sim`` and ``serve``.
+
+    Both front-ends — the discrete-event simulator and the live runtime —
+    resolve these flags through :meth:`ServerConfig.from_cli_args`, so the
+    policy/batching/pool surface is one definition, not two drifting
+    copies.  Choices come from the policy registries, so a newly
+    registered policy is immediately selectable from either command.
+    """
+    parser.add_argument(
+        "--max-batch", type=int, default=8, help="dynamic batcher batch-size cap"
+    )
+    parser.add_argument(
+        "--max-wait-us",
+        type=float,
+        default=2000.0,
+        help="max coalescing wait past the oldest queued request (us)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=tuple(SERVING_POLICIES),
+        default="fifo",
+        help="serving-policy preset: admission + batching + dispatch"
+        " (fifo = the classic max-batch/max-wait behavior)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request SLA in milliseconds (drives the deadline policy's"
+        " early launches and shed-infeasible admission)",
+    )
+    parser.add_argument(
+        "--dispatch",
+        choices=tuple(DISPATCH_POLICIES),
+        default=None,
+        help="override the preset's array-dispatch policy",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        help="shed arrivals once this many requests are queued",
+    )
+    parser.add_argument(
+        "--arrays", type=int, default=1, help="accelerator arrays to shard across"
+    )
+    parser.add_argument(
+        "--array-sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="heterogeneous pool: one NxN array per size (overrides --arrays)",
+    )
+    parser.add_argument(
+        "--network", choices=("mnist", "tiny"), default=network_default
+    )
+    parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="charge back-to-back batches the stream-pipelined warm cost",
+    )
+    parser.add_argument(
+        "--fifo-depth",
+        type=int,
+        default=None,
+        help="accumulator FIFO depth (default: sized to the job)",
+    )
 
 
 @dataclass
@@ -392,6 +468,45 @@ class ServerConfig:
             batching=batching,
             dispatch=preset_dispatch,
             **kwargs,
+        )
+
+    @classmethod
+    def from_cli_args(
+        cls,
+        args: argparse.Namespace,
+        cost: ScheduledBatchCost | AnalyticBatchCost,
+        accel_config: AcceleratorConfig | None = None,
+    ) -> "ServerConfig":
+        """Build a config from the shared CLI flags.
+
+        The counterpart of :func:`add_server_arguments`: any command
+        that registered the shared server flags resolves them here, so
+        ``repro serve-sim`` and ``repro serve`` cannot drift apart.
+        ``accel_config`` sizes the heterogeneous pool's per-array
+        configurations (defaults to the cost model's own).
+        """
+        accel = accel_config if accel_config is not None else cost.config
+        if args.deadline_ms is not None and args.deadline_ms <= 0:
+            raise ConfigError("--deadline-ms must be positive")
+        array_configs = None
+        if args.array_sizes:
+            array_configs = tuple(
+                accel.with_array(size, size) for size in args.array_sizes
+            )
+        return cls.from_policy(
+            args.policy,
+            cost,
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            queue_limit=args.queue_limit,
+            dispatch=args.dispatch,
+            arrays=len(array_configs) if array_configs else args.arrays,
+            array_configs=array_configs,
+            pipeline=args.pipeline,
+            deadline_us=(
+                args.deadline_ms * 1000.0 if args.deadline_ms is not None else None
+            ),
+            network_name=args.network,
         )
 
     def describe(self) -> str:

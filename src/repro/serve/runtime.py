@@ -1,0 +1,844 @@
+"""Live serving runtime: real requests on the simulated accelerator.
+
+The discrete-event :class:`~repro.serve.simulator.ServingSimulator` and
+this runtime drive the SAME policy engine
+(:class:`~repro.serve.core.ServingCore`) behind the SAME
+:class:`~repro.serve.policies.ServerConfig`; the only differences are
+who supplies the time (a :class:`~repro.serve.clock.Clock` — virtual vs
+monotonic) and what a batch *is* (a priced duration vs a real numpy
+batch executed on a :mod:`~repro.serve.workers` executor).  Both paths
+end in the same :class:`~repro.serve.stats.ServingReport`, so comparing
+a simulated run against a live one is a one-function crosscheck
+(:mod:`repro.serve.compare`).
+
+Three layers, each usable on its own:
+
+* :class:`MeasuredBatchCost` — a serving cost model calibrated from the
+  real executor (measured microseconds per batch size), so admission
+  and dispatch policies predict with live numbers and a simulator run
+  over recorded live arrivals predicts live latency.
+* :class:`RuntimeEngine` — the time-source-agnostic serving state
+  machine: offer / dispatch-ready / complete at caller-supplied
+  instants, idle-integral bookkeeping, sink reporting, report assembly.
+  :func:`replay_virtual` drives it from a virtual clock over a trace,
+  reproducing the simulator's policy decisions *exactly* (the
+  decisions-identical CI gate).
+* :class:`ServingRuntime` — the asyncio front-end: in-process
+  ``await submit(image)``, paced open-loop load
+  (:meth:`ServingRuntime.run_load`), and a JSONL socket server
+  (:meth:`ServingRuntime.serve_socket`).  Requests buffer into a
+  power-of-two image ring so FIFO batches assemble as zero-copy
+  contiguous views; formed batches execute on a thread pool sized like
+  the simulated array pool, and completions re-enter the event loop via
+  ``call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import json
+import math
+import time
+from bisect import bisect_right
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.hw.config import AcceleratorConfig
+from repro.serve.batcher import QueuedRequest
+from repro.serve.clock import Clock, MonotonicClock
+from repro.serve.core import (
+    EVENT_ARRIVE,
+    EVENT_DONE,
+    EVENT_TIMEOUT,
+    PlacedBatch,
+    ServingCore,
+)
+from repro.serve.policies import ServerConfig, TenantSpec
+from repro.serve.sinks import CompletionSink, RecordingSink, StreamingSink
+from repro.serve.stats import ServingReport
+from repro.serve.trace import ArrivalTrace
+from repro.serve.workers import InlineEngineExecutor, WorkerCrashError
+
+
+class RequestShedError(RuntimeError):
+    """The admission policy rejected a submitted request."""
+
+
+class MeasuredBatchCost:
+    """Serving cost model calibrated from measured batch latencies.
+
+    The simulator's cost models price batches from the cycle-accurate
+    schedule; a live host's batch latency also carries Python/numpy
+    overheads the schedule cannot see.  This model interpolates
+    *measured* microseconds over a set of ``(batch size, us)``
+    calibration points (linear between points, extrapolated from the
+    nearest segment), quantized to cycles at the accelerator clock so
+    every policy that predicts compute — deadline admission, greedy
+    dispatch — reasons with live numbers.
+
+    Warm costs equal cold costs (a live host has no modelled drain
+    overlap), so it composes with the non-pipelined policy surface.
+    """
+
+    pipeline = False
+    accounting = "measured"
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        points: list[tuple[int, float]],
+    ) -> None:
+        if not points:
+            raise ConfigError("a measured cost needs at least one point")
+        self.config = config
+        self.points = sorted((int(size), float(us)) for size, us in points)
+        sizes = [size for size, _ in self.points]
+        if len(set(sizes)) != len(sizes):
+            raise ConfigError("duplicate batch size in calibration points")
+        for _, us in self.points:
+            if not (math.isfinite(us) and us > 0):
+                raise ConfigError("measured latencies must be finite and positive")
+        self._sizes = sizes
+        self._memo: dict[int, int] = {}
+
+    @classmethod
+    def calibrate(
+        cls,
+        executor,
+        images: np.ndarray,
+        sizes=(1, 2, 4, 8, 16, 32, 64, 128),
+        repeats: int = 3,
+        config: AcceleratorConfig | None = None,
+    ) -> "MeasuredBatchCost":
+        """Time the executor at each batch size (best of ``repeats``)."""
+        if config is None:
+            config = AcceleratorConfig()
+        points = []
+        for size in sizes:
+            if size > len(images):
+                break
+            batch = np.ascontiguousarray(images[:size])
+            executor.execute(0, batch)  # warm caches / lazy allocations
+            best = math.inf
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                executor.execute(0, batch)
+                best = min(best, (time.perf_counter() - start) * 1e6)
+            points.append((size, best))
+        return cls(config, points)
+
+    @classmethod
+    def from_report(
+        cls,
+        report: ServingReport,
+        config: AcceleratorConfig | None = None,
+    ) -> "MeasuredBatchCost":
+        """Fit in-situ batch costs from a live run's recorded batches.
+
+        Isolated calibration underestimates a loaded host (the engine
+        shares the CPU with the event loop), so the sim-vs-live latency
+        crosscheck prices batches at the median *observed* duration per
+        batch size — the simulator then predicts the live queueing
+        dynamics, which is the thing under test.
+        """
+        if config is None:
+            config = AcceleratorConfig()
+        by_size: dict[int, list[float]] = {}
+        for batch in report.batches:
+            by_size.setdefault(batch.size, []).append(batch.done_us - batch.dispatch_us)
+        if not by_size:
+            raise ConfigError("the report has no recorded batches to fit")
+        points = [
+            (size, float(np.median(durations)))
+            for size, durations in sorted(by_size.items())
+        ]
+        return cls(config, points)
+
+    def predict_us(self, size: int) -> float:
+        """Interpolated batch latency in microseconds."""
+        points = self.points
+        if len(points) == 1:
+            anchor, us = points[0]
+            return us * (size / anchor)
+        if size <= points[0][0]:
+            low, high = points[0], points[1]
+        elif size >= points[-1][0]:
+            low, high = points[-2], points[-1]
+        else:
+            at = bisect_right(self._sizes, size)
+            low, high = points[at - 1], points[at]
+        (s0, u0), (s1, u1) = low, high
+        return u0 + (size - s0) / (s1 - s0) * (u1 - u0)
+
+    def batch_cycles(self, size: int) -> int:
+        """Predicted cycles for a cold batch of ``size``."""
+        cycles = self._memo.get(size)
+        if cycles is None:
+            cycles = max(1, int(round(self.predict_us(size) * self.config.clock_mhz)))
+            self._memo[size] = cycles
+        return cycles
+
+    def warm_batch_cycles(self, size: int, prev_size, prev_cost=None) -> int:
+        """Warm equals cold: live batches have no modelled drain overlap."""
+        return self.batch_cycles(size)
+
+    def drain_saved_cycles(self, size: int, prev_size, prev_cost=None) -> int:
+        """No drain model, so nothing is ever saved."""
+        return 0
+
+
+class RuntimeEngine:
+    """Time-source-agnostic serving engine around a :class:`ServingCore`.
+
+    Every method takes an explicit ``now_us``; the caller owns the clock
+    — :func:`replay_virtual` advances a virtual one over an event heap
+    (bit-matching the simulator), :class:`ServingRuntime` passes
+    monotonic wall time.  The engine owns what both need: the idle-time
+    integral for the batching/queueing attribution, the per-request
+    arrival snapshots, sink reporting, and report assembly.
+    """
+
+    def __init__(
+        self,
+        server: ServerConfig,
+        tenants: list[TenantSpec] | None = None,
+        sink: CompletionSink | None = None,
+    ) -> None:
+        specs = (
+            list(tenants)
+            if tenants is not None
+            else [TenantSpec(name=server.network_name, trace=None)]
+        )
+        if not specs:
+            raise ConfigError("the tenants list needs at least one tenant")
+        self.server = server
+        self.sink = sink if sink is not None else RecordingSink()
+        self.core = ServingCore(server, specs)
+        self.offered = 0
+        self.makespan_us = 0.0
+        self._idle_accum = 0.0
+        self._last_time = 0.0
+        self._snapshots: dict[int, float] = {}
+
+    def tick(self, now_us: float) -> None:
+        """Advance the any-array-idle integral to ``now_us``."""
+        if now_us <= self._last_time:
+            return
+        if self.core.pool.has_idle():
+            self._idle_accum += now_us - self._last_time
+        self._last_time = now_us
+
+    def offer(
+        self,
+        now_us: float,
+        *,
+        arrival_us: float | None = None,
+        deadline_us: float | None = None,
+        tenant: int = 0,
+    ) -> tuple[int, bool]:
+        """One request arrives: admission, snapshot, sink registration.
+
+        Returns ``(global index, admitted)``.  ``deadline_us`` is an
+        absolute instant; when omitted the tenant's relative SLA (if
+        any) is stamped on, exactly like the simulator's pre-pass.
+        """
+        self.tick(now_us)
+        state = self.core.tenants[tenant]
+        arrival = now_us if arrival_us is None else arrival_us
+        if deadline_us is None:
+            deadline = (
+                arrival + state.deadline_us
+                if state.deadline_us is not None
+                else math.inf
+            )
+        else:
+            deadline = deadline_us
+        index = self.sink.on_arrival(arrival, deadline_us=deadline, tenant=state.name)
+        self.offered += 1
+        state.global_indices.append(index)
+        request = QueuedRequest(index=index, arrival_us=arrival, deadline_us=deadline)
+        if self.core.offer(state, request, now_us):
+            self._snapshots[index] = self._idle_accum
+            return index, True
+        self.sink.on_shed(index)
+        return index, False
+
+    def shed_arrival(
+        self,
+        now_us: float,
+        *,
+        deadline_us: float | None = None,
+        tenant: int = 0,
+    ) -> int:
+        """Count an arrival shed before admission (runtime backpressure)."""
+        self.tick(now_us)
+        state = self.core.tenants[tenant]
+        deadline = deadline_us if deadline_us is not None else math.inf
+        index = self.sink.on_arrival(now_us, deadline_us=deadline, tenant=state.name)
+        self.offered += 1
+        state.global_indices.append(index)
+        self.sink.on_shed(index)
+        return index
+
+    def dispatch_ready(
+        self, now_us: float, pricer=None, force: bool = False
+    ) -> list[PlacedBatch]:
+        """Form and place every batch that can start at ``now_us``.
+
+        Mirrors the simulator's dispatch loop: while an array is idle
+        and a tenant is ready, place a batch.  ``force`` flushes
+        non-ready remainders (shutdown drain).  Each placed batch is
+        stamped with the idle integral for the sink's wait attribution.
+        """
+        self.tick(now_us)
+        placed_batches: list[PlacedBatch] = []
+        pool = self.core.pool
+        while pool.has_idle():
+            placed = self.core.form_and_place(now_us, pricer=pricer, force=force)
+            if placed is None:
+                break
+            placed.idle_accum_us = self._idle_accum
+            placed_batches.append(placed)
+        return placed_batches
+
+    def complete(
+        self, now_us: float, placed: PlacedBatch, done_us: float | None = None
+    ) -> None:
+        """A placed batch finished: free the array, report to the sink.
+
+        ``done_us`` is the measured completion (wall clock); the replay
+        driver passes the predicted ``placed.done_us`` to stay
+        bit-identical with the simulator.
+        """
+        self.tick(now_us)
+        done = placed.done_us if done_us is None else done_us
+        self.core.release(placed.array, now_us)
+        members = placed.members
+        snapshots = self._snapshots
+        self.sink.on_batch(
+            tenant=placed.tenant.name,
+            array=placed.array,
+            size=placed.size,
+            dispatch_us=placed.dispatch_us,
+            done_us=done,
+            cycles=placed.cycles,
+            warm=placed.warm,
+            drain_saved_us=placed.drain_saved_us,
+            member_indices=[m.index for m in members],
+            member_arrivals=[m.arrival_us for m in members],
+            member_deadlines=[m.deadline_us for m in members],
+            member_idle_snaps=[snapshots.pop(m.index) for m in members],
+            idle_accum_us=placed.idle_accum_us,
+        )
+        if done > self.makespan_us:
+            self.makespan_us = done
+
+    def pending_timeouts(self, now_us: float) -> list[float]:
+        """Coalescing deadlines of queues that are waiting, not ready."""
+        return self.core.pending_timeouts(now_us)
+
+    def next_timeout(self, now_us: float) -> float | None:
+        """Earliest coalescing deadline, or ``None``."""
+        deadlines = self.core.pending_timeouts(now_us)
+        return min(deadlines) if deadlines else None
+
+    def queue_depth(self) -> int:
+        """Requests queued across all tenants."""
+        return self.core.queue_depth()
+
+    def build_report(
+        self,
+        trace_name: str = "live",
+        offered_rps: float = 0.0,
+        wall_seconds: float = 0.0,
+    ) -> ServingReport:
+        """Assemble the same :class:`ServingReport` the simulator emits."""
+        server = self.server
+        pool = self.core.pool
+        sink = self.sink
+        makespan = self.makespan_us
+        return ServingReport(
+            network=server.network_name,
+            trace_name=trace_name,
+            offered_rps=offered_rps,
+            policy=server.policy_json(),
+            arrays=server.arrays,
+            clock_mhz=server.cost.config.clock_mhz,
+            accounting=getattr(server.cost, "accounting", "overlapped"),
+            pipeline=server.pipeline,
+            requests=sink.requests,
+            batches=sink.batches,
+            array_stats=[
+                {
+                    "array": stat.array,
+                    "busy_us": stat.busy_us,
+                    "batches": stat.batches,
+                    "requests": stat.requests,
+                    "warm_batches": stat.warm_batches,
+                    "utilization": stat.utilization(makespan),
+                }
+                for stat in pool.stats
+            ],
+            makespan_us=makespan,
+            wall_seconds=wall_seconds,
+            streaming=sink.stats if isinstance(sink, StreamingSink) else None,
+        )
+
+
+def replay_virtual(
+    server: ServerConfig,
+    trace: ArrivalTrace | None = None,
+    tenants: list[TenantSpec] | None = None,
+    sink: CompletionSink | None = None,
+) -> ServingReport:
+    """Replay a trace through the runtime engine in virtual time.
+
+    The deterministic half of the sim-vs-live crosscheck: the same
+    event order as :meth:`ServingSimulator._run_recorded` (completions,
+    arrivals, timeouts on one heap; predicted completions), but driven
+    through :class:`RuntimeEngine` — the exact code path the live
+    runtime uses.  With the same :class:`ServerConfig` and trace, the
+    resulting report's policy decisions (sheds, batch formation,
+    placement, per-request timings) are identical to the simulator's.
+    """
+    if tenants is None:
+        if trace is None:
+            raise ConfigError("a trace (or a tenants list) is required")
+        tenants = [TenantSpec(name=server.network_name, trace=trace)]
+    elif trace is not None:
+        raise ConfigError("pass either a trace or a tenants list, not both")
+    wall_start = time.perf_counter()
+    engine = RuntimeEngine(server, tenants, sink=sink)
+
+    events: list[tuple[float, int, int, tuple]] = []
+    seq = 0
+    for state in engine.core.tenants:
+        if state.trace is None:
+            raise ConfigError(f"tenant {state.name!r} has no trace to replay")
+        deadlines = state.trace.deadlines_us
+        for local, arrival in enumerate(state.trace.times_us):
+            # Same deadline resolution as the simulator's pre-pass: a
+            # finite recorded deadline wins over the relative SLA.
+            if deadlines is not None and math.isfinite(deadlines[local]):
+                deadline = float(deadlines[local])
+            elif state.deadline_us is not None:
+                deadline = float(arrival) + state.deadline_us
+            else:
+                deadline = math.inf
+            events.append(
+                (float(arrival), EVENT_ARRIVE, seq, (state.order, deadline))
+            )
+            seq += 1
+    heapq.heapify(events)
+    scheduled_timeouts: set[float] = set()
+    running: dict[int, PlacedBatch] = {}
+    next_batch = 0
+
+    while events:
+        now, kind, _, payload = heapq.heappop(events)
+        engine.tick(now)
+        if kind == EVENT_ARRIVE:
+            order, deadline = payload
+            engine.offer(now, arrival_us=now, deadline_us=deadline, tenant=order)
+        elif kind == EVENT_DONE:
+            placed = running.pop(payload)
+            engine.complete(now, placed, done_us=now)
+        # EVENT_TIMEOUT carries no state: readiness re-evaluates below.
+
+        for placed in engine.dispatch_ready(now):
+            running[next_batch] = placed
+            heapq.heappush(events, (placed.done_us, EVENT_DONE, seq, next_batch))
+            seq += 1
+            next_batch += 1
+
+        if engine.core.pool.has_idle():
+            for deadline in engine.pending_timeouts(now):
+                if deadline not in scheduled_timeouts:
+                    scheduled_timeouts.add(deadline)
+                    heapq.heappush(
+                        events, (max(deadline, now), EVENT_TIMEOUT, seq, ())
+                    )
+                    seq += 1
+
+    only = engine.core.tenants[0]
+    multi = len(engine.core.tenants) > 1
+    return engine.build_report(
+        trace_name=(
+            only.trace.name
+            if not multi
+            else "+".join(f"{t.name}:{t.trace.name}" for t in engine.core.tenants)
+        ),
+        offered_rps=(
+            only.trace.offered_rps
+            if not multi
+            else sum(t.trace.offered_rps for t in engine.core.tenants)
+        ),
+        wall_seconds=time.perf_counter() - wall_start,
+    )
+
+
+class ServingRuntime:
+    """Asyncio wall-clock serving front-end over the runtime engine.
+
+    One event-loop thread runs admission/batching/dispatch (cheap, pure
+    Python); formed batches execute on a thread pool with one slot per
+    simulated array.  Completions land back in the loop via
+    ``call_soon_threadsafe``, trigger the next dispatch round, and — for
+    requests submitted through :meth:`submit` — resolve their futures.
+
+    ``max_pending`` bounds queued + in-flight requests: :meth:`submit`
+    applies backpressure (awaits capacity), the open-loop
+    :meth:`run_load` counts overflow arrivals as shed.  Request images
+    live in a power-of-two ring indexed by request id, so a FIFO batch
+    is a zero-copy contiguous view whenever its members are consecutive
+    slots.
+    """
+
+    def __init__(
+        self,
+        server: ServerConfig,
+        executor=None,
+        sink: CompletionSink | None = None,
+        clock: Clock | None = None,
+        max_pending: int = 2048,
+        tenants: list[TenantSpec] | None = None,
+    ) -> None:
+        if executor is None:
+            from repro.capsnet.config import mnist_capsnet_config, tiny_capsnet_config
+
+            network = (
+                tiny_capsnet_config()
+                if server.network_name == "tiny"
+                else mnist_capsnet_config()
+            )
+            executor = InlineEngineExecutor(network)
+        if max_pending < 1:
+            raise ConfigError("max_pending must be positive")
+        self.server = server
+        self.executor = executor
+        self.engine = RuntimeEngine(server, tenants, sink=sink)
+        self.clock: Clock = clock if clock is not None else MonotonicClock()
+        self.max_pending = max_pending
+        size = executor.image_size
+        capacity = 1
+        floor = 2 * (max_pending + server.arrays * server.batching.max_batch)
+        while capacity < floor:
+            capacity *= 2
+        self._ring = np.zeros((capacity, size, size), dtype=np.float64)
+        self._mask = capacity - 1
+        self._threads = ThreadPoolExecutor(
+            max_workers=server.arrays, thread_name_prefix="serve-array"
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._futures: dict[int, asyncio.Future] = {}
+        self._pending = 0
+        self._inflight_batches = 0
+        self._failure: BaseException | None = None
+        self._timer: asyncio.TimerHandle | None = None
+        self._timer_deadline = math.inf
+        self._drain_event: asyncio.Event | None = None
+        self._closed = False
+
+    # ---- lifecycle ---------------------------------------------------------
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        elif self._loop is not loop:
+            raise ConfigError("ServingRuntime is bound to one event loop")
+        return loop
+
+    async def stop(self) -> None:
+        """Flush queued remainders, wait for in-flight work, shut down.
+
+        The shutdown drain dispatches non-ready remainders with
+        ``force=True`` — a coalescing batch waiting out its timer is
+        flushed immediately instead of being dropped.
+        """
+        if self._closed:
+            return
+        self._ensure_loop()
+        while self._failure is None and (
+            self.engine.queue_depth() or self._inflight_batches
+        ):
+            now = self.clock.now_us()
+            for placed in self.engine.dispatch_ready(now, force=True):
+                self._launch(placed)
+            if self.engine.queue_depth() == 0 and self._inflight_batches == 0:
+                break
+            await self._wait_for_completion()
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._threads.shutdown(wait=True)
+        self.executor.close()
+
+    async def _wait_for_completion(self, timeout: float = 0.05) -> None:
+        event = asyncio.Event()
+        self._drain_event = event
+        try:
+            await asyncio.wait_for(event.wait(), timeout=timeout)
+        except asyncio.TimeoutError:
+            pass
+        finally:
+            self._drain_event = None
+
+    async def drain(self) -> None:
+        """Wait until every queued/in-flight request has completed.
+
+        Coalescing remainders are allowed to wait out their timers (use
+        :meth:`stop` to force-flush).  Raises the stored failure if an
+        executor crashed.
+        """
+        self._ensure_loop()
+        while True:
+            if self._failure is not None:
+                raise self._failure
+            self._kick(self.clock.now_us())
+            if self.engine.queue_depth() == 0 and self._inflight_batches == 0:
+                return
+            await self._wait_for_completion()
+
+    # ---- request entry points ----------------------------------------------
+
+    async def submit(
+        self,
+        image: np.ndarray,
+        deadline_us: float | None = None,
+        tenant: int = 0,
+    ) -> int:
+        """Serve one request; returns its prediction.
+
+        Applies backpressure at ``max_pending`` (awaits capacity), and
+        raises :class:`RequestShedError` if the admission policy sheds
+        the request, or :class:`~repro.serve.workers.WorkerCrashError`
+        if its batch's executor died.
+        """
+        loop = self._ensure_loop()
+        while self._pending >= self.max_pending:
+            if self._failure is not None:
+                raise self._failure
+            await self._wait_for_completion(timeout=0.01)
+        if self._failure is not None:
+            raise self._failure
+        if self._closed:
+            raise ConfigError("runtime is stopped")
+        now = self.clock.now_us()
+        index, admitted = self.engine.offer(
+            now, deadline_us=deadline_us, tenant=tenant
+        )
+        if not admitted:
+            raise RequestShedError(f"request {index} shed by admission")
+        self._pending += 1
+        self._ring[index & self._mask] = image
+        future: asyncio.Future = loop.create_future()
+        self._futures[index] = future
+        self._kick(now)
+        return await future
+
+    async def run_load(
+        self,
+        trace: ArrivalTrace,
+        images: np.ndarray | None = None,
+        tenant: int = 0,
+    ) -> float:
+        """Offer a trace's arrivals open-loop at real pace.
+
+        Arrival ``i`` is submitted once ``trace.times_us[i]`` elapses
+        (relative to the call instant); its admission timestamp is the
+        actual wall instant, so the recorded report reflects genuinely
+        offered load.  Overflow past ``max_pending`` counts as shed
+        rather than pausing the trace (open-loop semantics).  Returns
+        the trace origin in clock microseconds.
+        """
+        self._ensure_loop()
+        times = trace.times_us
+        deadlines = trace.deadlines_us
+        total = len(times)
+        t0 = self.clock.now_us()
+        at = 0
+        while at < total:
+            if self._failure is not None:
+                raise self._failure
+            now = self.clock.now_us()
+            rel = now - t0
+            submitted = False
+            while at < total and times[at] <= rel:
+                deadline = None
+                if deadlines is not None and math.isfinite(deadlines[at]):
+                    deadline = t0 + float(deadlines[at])
+                if self._pending >= self.max_pending:
+                    self.engine.shed_arrival(now, deadline_us=deadline, tenant=tenant)
+                else:
+                    index, admitted = self.engine.offer(
+                        now, deadline_us=deadline, tenant=tenant
+                    )
+                    if admitted:
+                        self._pending += 1
+                        if images is not None:
+                            self._ring[index & self._mask] = images[at]
+                at += 1
+                submitted = True
+            if submitted:
+                self._kick(now)
+            if at < total:
+                gap_us = times[at] - (self.clock.now_us() - t0)
+                if gap_us > 1500.0:
+                    await asyncio.sleep((gap_us - 500.0) / 1e6)
+                else:
+                    # Sub-millisecond gaps: yield, don't oversleep.
+                    await asyncio.sleep(0)
+        return t0
+
+    async def serve_socket(self, host: str = "127.0.0.1", port: int = 0):
+        """JSONL socket server: one request object per line.
+
+        ``{"id": ..., "image": [[...]]}`` replies
+        ``{"id": ..., "prediction": N}``; a shed request replies
+        ``{"id": ..., "error": "shed"}``.  Returns the
+        :class:`asyncio.Server` (the caller owns its lifetime; the bound
+        port is ``server.sockets[0].getsockname()[1]``).
+        """
+        self._ensure_loop()
+
+        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+            try:
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    try:
+                        payload = json.loads(line)
+                        image = np.asarray(payload["image"], dtype=np.float64)
+                        prediction = await self.submit(
+                            image, deadline_us=payload.get("deadline_us")
+                        )
+                        reply = {"id": payload.get("id"), "prediction": prediction}
+                    except RequestShedError:
+                        reply = {"id": payload.get("id"), "error": "shed"}
+                    except (KeyError, ValueError, TypeError) as error:
+                        reply = {"error": f"bad request: {error}"}
+                    writer.write((json.dumps(reply) + "\n").encode())
+                    await writer.drain()
+            finally:
+                writer.close()
+
+        return await asyncio.start_server(handle, host, port)
+
+    # ---- dispatch machinery ------------------------------------------------
+
+    def _kick(self, now_us: float) -> None:
+        """Dispatch every ready batch and re-arm the coalescing timer."""
+        if self._failure is not None or self._closed:
+            return
+        for placed in self.engine.dispatch_ready(now_us):
+            self._launch(placed)
+        self._arm_timer(now_us)
+
+    def _launch(self, placed: PlacedBatch) -> None:
+        self._inflight_batches += 1
+        images = self._gather(placed)
+        self._threads.submit(self._run_batch, placed, images)
+
+    def _gather(self, placed: PlacedBatch) -> np.ndarray:
+        """The batch's images: a zero-copy ring view when contiguous."""
+        indices = [member.index for member in placed.members]
+        mask = self._mask
+        base = indices[0] & mask
+        size = len(indices)
+        if base + size <= self._ring.shape[0] and all(
+            (index & mask) == base + offset
+            for offset, index in enumerate(indices)
+        ):
+            return self._ring[base : base + size]
+        return self._ring[[index & mask for index in indices]]
+
+    def _run_batch(self, placed: PlacedBatch, images: np.ndarray) -> None:
+        # Worker thread: the only things touched are the executor and the
+        # loop hand-off; all serving state mutates on the event loop.
+        try:
+            predictions = self.executor.execute(placed.array, images)
+        except BaseException as error:  # noqa: BLE001 - must never hang the loop
+            self._loop.call_soon_threadsafe(self._batch_failed, placed, error)
+            return
+        done_us = self.clock.now_us()
+        self._loop.call_soon_threadsafe(
+            self._batch_done, placed, predictions, done_us
+        )
+
+    def _batch_done(
+        self, placed: PlacedBatch, predictions: np.ndarray, done_us: float
+    ) -> None:
+        self._inflight_batches -= 1
+        now = self.clock.now_us()
+        self.engine.complete(now, placed, done_us=done_us)
+        for member, prediction in zip(placed.members, predictions):
+            self._pending -= 1
+            future = self._futures.pop(member.index, None)
+            if future is not None and not future.done():
+                future.set_result(int(prediction))
+        if not self._closed:
+            self._kick(now)
+        if self._drain_event is not None:
+            self._drain_event.set()
+
+    def _batch_failed(self, placed: PlacedBatch, error: BaseException) -> None:
+        self._inflight_batches -= 1
+        if isinstance(error, WorkerCrashError):
+            failure = error
+        else:
+            failure = WorkerCrashError(
+                f"batch execution failed on array {placed.array}: {error!r}"
+            )
+            failure.__cause__ = error
+        self._failure = failure
+        for member in placed.members:
+            self._pending -= 1
+        # Every waiter gets the failure — including requests still queued,
+        # which will never dispatch now.
+        for future in self._futures.values():
+            if not future.done():
+                future.set_exception(failure)
+        self._futures.clear()
+        if self._drain_event is not None:
+            self._drain_event.set()
+
+    def _arm_timer(self, now_us: float) -> None:
+        """Schedule a wake-up at the earliest coalescing deadline."""
+        if not self.engine.core.pool.has_idle():
+            return
+        earliest = self.engine.next_timeout(now_us)
+        if earliest is None:
+            return
+        if self._timer is not None:
+            if self._timer_deadline <= earliest:
+                return
+            self._timer.cancel()
+        self._timer_deadline = earliest
+        delay_s = max(earliest - now_us, 0.0) / 1e6
+        self._timer = self._loop.call_later(delay_s, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self._timer_deadline = math.inf
+        self._kick(self.clock.now_us())
+
+    # ---- reporting ---------------------------------------------------------
+
+    def report(
+        self,
+        trace_name: str = "live",
+        offered_rps: float = 0.0,
+        wall_seconds: float = 0.0,
+    ) -> ServingReport:
+        """The run so far as a simulator-compatible report."""
+        return self.engine.build_report(
+            trace_name=trace_name,
+            offered_rps=offered_rps,
+            wall_seconds=wall_seconds,
+        )

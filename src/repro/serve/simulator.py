@@ -71,10 +71,20 @@ import time
 import numpy as np
 
 from repro.errors import ConfigError, ShapeError
-from repro.serve.batcher import BatchPolicy, QueuedRequest, RequestQueue
+from repro.serve.batcher import BatchPolicy, QueuedRequest
+from repro.serve.core import (
+    EVENT_ARRIVE,
+    EVENT_DONE,
+    EVENT_TIMEOUT,
+    DurationProbe,
+    PlacedBatch,
+    ServingCore,
+    TenantState,
+)
 from repro.serve.costs import AnalyticBatchCost, ScheduledBatchCost, crosscheck
 from repro.serve.dispatcher import ArrayPool, DispatchContext, LeastRecentDispatch
 from repro.serve.policies import AdmitAll, CostBank, ServerConfig, TenantSpec
+from repro.serve.sinks import RecordingSink, StreamingSink
 from repro.serve.stats import (
     DEFAULT_LATENCY_BIN_US,
     BatchRecord,
@@ -87,78 +97,15 @@ from repro.serve.stats import (
 from repro.serve.trace import ArrivalTrace
 
 # Event kinds, in tie-break order: completions free arrays before arrivals
-# at the same instant see the pool; timeouts run last.
-_DONE, _ARRIVE, _TIMEOUT = 0, 1, 2
+# at the same instant see the pool; timeouts run last.  (Shared with the
+# live runtime's virtual-time replay via repro.serve.core.)
+_DONE, _ARRIVE, _TIMEOUT = EVENT_DONE, EVENT_ARRIVE, EVENT_TIMEOUT
 
-
-class _DurationProbe:
-    """Reusable warm-aware duration predictor for dispatch policies.
-
-    One instance per run, re-pointed per batch — the dispatch context's
-    ``duration_us`` callable without a per-batch closure allocation.
-    """
-
-    __slots__ = ("bank", "pool", "pipeline", "cost", "size", "now_us")
-
-    def __init__(self, bank: CostBank, pool: ArrayPool, pipeline: bool) -> None:
-        self.bank = bank
-        self.pool = pool
-        self.pipeline = pipeline
-        self.cost = None
-        self.size = 0
-        self.now_us = 0.0
-
-    def rebind(self, cost, size: int, now_us: float) -> None:
-        self.cost = cost
-        self.size = size
-        self.now_us = now_us
-
-    def __call__(self, array: int) -> float:
-        pool = self.pool
-        model = self.bank.resolve(self.cost, pool.config_for(array))
-        if self.pipeline and pool.is_warm(array, self.now_us):
-            cycles = model.warm_batch_cycles(
-                self.size,
-                pool.last_batch_size(array),
-                prev_cost=pool.last_cost(array),
-            )
-        else:
-            cycles = model.batch_cycles(self.size)
-        return model.config.cycles_to_us(cycles)
-
-
-class _Tenant:
-    """Resolved per-tenant serving state (queue, policies, cost)."""
-
-    def __init__(self, spec: TenantSpec, order: int, server: ServerConfig) -> None:
-        self.spec = spec
-        self.order = order
-        self.name = spec.name
-        self.trace = spec.trace
-        self.weight = spec.weight
-        self.cost = spec.cost if spec.cost is not None else server.cost
-        self.deadline_us = (
-            spec.deadline_us if spec.deadline_us is not None else server.deadline_us
-        )
-        # Policy instances may be shared — across tenants reusing one
-        # spec object, or via the server-level defaults — so deep-copy
-        # them before binding: each tenant gets its own compute predictor
-        # and mutable state (a shallow copy of ChainedAdmission would
-        # still share the chained policy objects).
-        self.admission = copy.deepcopy(
-            spec.admission if spec.admission is not None else server.admission
-        )
-        self.batching = copy.deepcopy(
-            spec.batching if spec.batching is not None else server.batching
-        )
-        for policy in (self.admission, self.batching):
-            if hasattr(policy, "bind"):
-                policy.bind(self.cost)
-        if hasattr(self.admission, "bind_batching"):
-            self.admission.bind_batching(self.batching)
-        self.queue = RequestQueue()
-        self.served = 0
-        self.global_indices: list[int] = []
+# The per-tenant state and the warm-aware duration probe moved to
+# repro.serve.core (the simulator and the live runtime share them);
+# legacy aliases keep the old private names importable.
+_Tenant = TenantState
+_DurationProbe = DurationProbe
 
 
 class ServingSimulator:
@@ -297,6 +244,7 @@ class ServingSimulator:
         with_crosscheck: bool = False,
         record_requests: bool = True,
         latency_bin_us: float = DEFAULT_LATENCY_BIN_US,
+        sink=None,
     ) -> ServingReport:
         """Run every tenant's trace to completion and return the report.
 
@@ -307,36 +255,59 @@ class ServingSimulator:
         magnitude faster on long traces.  Percentiles are then reported
         at histogram resolution; ``execute`` mode (which must return
         per-request predictions) requires the recording path.
+
+        ``sink`` selects the result path explicitly — a
+        :class:`~repro.serve.sinks.RecordingSink` runs the recorded loop,
+        a :class:`~repro.serve.sinks.StreamingSink` the streaming one
+        (with the sink's own histogram configuration); the classic
+        ``record_requests``/``latency_bin_us`` flags are ignored then and
+        remain as the shim over the two standard sinks.
         """
+        if sink is not None:
+            if isinstance(sink, RecordingSink):
+                return self._run_recorded(with_crosscheck, sink=sink)
+            if isinstance(sink, StreamingSink):
+                if self.execute:
+                    raise ConfigError("execute mode needs a RecordingSink")
+                return self._run_streaming(
+                    with_crosscheck, sink.stats.bin_us, sink=sink
+                )
+            raise ConfigError(
+                "sink must be a RecordingSink or a StreamingSink"
+            )
         if record_requests:
             return self._run_recorded(with_crosscheck)
         if self.execute:
             raise ConfigError("execute mode needs record_requests=True")
         return self._run_streaming(with_crosscheck, latency_bin_us)
 
-    def _run_recorded(self, with_crosscheck: bool) -> ServingReport:
-        """The full-record event loop (the PR 4 behavior, bit-identical)."""
-        wall_start = time.perf_counter()
-        server = self.server
-        pool = ArrayPool(server.arrays, configs=server.array_configs)
-        # Fresh dispatch state per run (e.g. the round-robin pointer), so
-        # repeated run() calls of one simulator stay reproducible.
-        dispatch = copy.deepcopy(server.dispatch)
-        bank = self._bank
-        tenants = [
-            _Tenant(spec, order, server)
-            for order, spec in enumerate(self.tenant_specs)
-        ]
+    def _run_recorded(
+        self, with_crosscheck: bool, sink: RecordingSink | None = None
+    ) -> ServingReport:
+        """The full-record event loop (the PR 4 behavior, bit-identical).
 
-        # Global request table: one record per request across all tenants.
-        requests: list[RequestRecord] = []
+        The policy work — admission, batch formation, weighted-fair
+        tenant selection, dispatch, warm-aware costing — lives in the
+        shared :class:`~repro.serve.core.ServingCore`; this loop owns
+        only what is inherently discrete-event: the heap, the virtual
+        clock, the idle-time integral, and the sink reporting.
+        """
+        wall_start = time.perf_counter()
+        if sink is None:
+            sink = RecordingSink()
+        core = ServingCore(self.server, self.tenant_specs, bank=self._bank)
+        tenants = core.tenants
+        pool = core.pool
+
+        # Global arrival pre-pass: one sink record per request across all
+        # tenants, plus the arrival events.
         req_tenant: list[int] = []
+        req_deadline: list[float] = []
         events: list[tuple[float, int, int, int]] = []
         seq = 0
         for tenant in tenants:
             deadlines = tenant.trace.deadlines_us
             for local, arrival in enumerate(tenant.trace.times_us):
-                index = len(requests)
                 # A finite recorded deadline wins; requests without their
                 # own get the configured relative SLA (if any).
                 if deadlines is not None and math.isfinite(deadlines[local]):
@@ -345,34 +316,39 @@ class ServingSimulator:
                     deadline = float(arrival) + tenant.deadline_us
                 else:
                     deadline = math.inf
-                requests.append(
-                    RequestRecord(
-                        index=index,
-                        arrival_us=float(arrival),
-                        tenant=tenant.name,
-                        deadline_us=deadline,
-                    )
+                index = sink.on_arrival(
+                    float(arrival), deadline_us=deadline, tenant=tenant.name
                 )
                 req_tenant.append(tenant.order)
+                req_deadline.append(deadline)
                 tenant.global_indices.append(index)
                 events.append((float(arrival), _ARRIVE, seq, index))
                 seq += 1
         heapq.heapify(events)
         scheduled_timeouts: set[float] = set()
+        total = len(req_tenant)
 
-        batches: list[BatchRecord] = []
-        running: dict[int, BatchRecord] = {}  # array id -> in-flight batch
-        predictions = (
-            np.full(len(requests), -1, dtype=np.int64) if self.execute else None
-        )
+        running: dict[int, PlacedBatch] = {}  # batch index -> in flight
+        predictions = np.full(total, -1, dtype=np.int64) if self.execute else None
+
+        pricer = None
+        if self.execute:
+            images = self.images
+
+            def pricer(model, members, warm, prev_size):
+                indices = [member.index for member in members]
+                cycles, result = model.execute(
+                    images[indices], warm=warm, prev_size=prev_size
+                )
+                predictions[indices] = result.predictions
+                return cycles
 
         # Integral of the any-array-idle indicator, for the batching vs
         # queueing attribution; sampled per request at arrival.
         idle_accum = 0.0
         last_time = 0.0
-        idle_at_arrival = np.zeros(len(requests), dtype=np.float64)
+        idle_at_arrival = np.zeros(total, dtype=np.float64)
         makespan = 0.0
-        probe = _DurationProbe(bank, pool, self.pipeline)
 
         while events:
             now, kind, _, payload = heapq.heappop(events)
@@ -382,117 +358,52 @@ class ServingSimulator:
 
             if kind == _ARRIVE:
                 idle_at_arrival[payload] = idle_accum
-                record = requests[payload]
                 tenant = tenants[req_tenant[payload]]
                 request = QueuedRequest(
                     index=payload,
                     arrival_us=now,
-                    deadline_us=record.deadline_us,
+                    deadline_us=req_deadline[payload],
                 )
-                if tenant.admission.admit(request, now, tenant.queue, pool):
-                    tenant.queue.append(request)
-                else:
-                    record.shed = True
+                if not core.offer(tenant, request, now):
+                    sink.on_shed(payload)
             elif kind == _DONE:
-                batch = running.pop(payload)
-                batch.done_us = now
-                for index in batch.request_indices:
-                    requests[index].done_us = now
-                pool.release(payload, now)
+                placed = running.pop(payload)
+                core.release(placed.array, now)
                 makespan = max(makespan, now)
             # _TIMEOUT carries no state: readiness is re-evaluated below.
 
             while pool.has_idle():
-                ready = [
-                    tenant
-                    for tenant in tenants
-                    if tenant.batching.ready(tenant.queue, now)
-                ]
-                if not ready:
+                placed = core.form_and_place(now, pricer=pricer)
+                if placed is None:
                     break
-                tenant = min(
-                    ready, key=lambda t: (t.served / t.weight, t.order)
+                members = placed.members
+                batch_index = sink.on_batch(
+                    tenant=placed.tenant.name,
+                    array=placed.array,
+                    size=placed.size,
+                    dispatch_us=placed.dispatch_us,
+                    done_us=placed.done_us,
+                    cycles=placed.cycles,
+                    warm=placed.warm,
+                    drain_saved_us=placed.drain_saved_us,
+                    member_indices=[m.index for m in members],
+                    member_arrivals=[m.arrival_us for m in members],
+                    member_deadlines=[m.deadline_us for m in members],
+                    member_idle_snaps=[idle_at_arrival[m.index] for m in members],
+                    idle_accum_us=idle_accum,
                 )
-                members = tenant.batching.take(tenant.queue, now)
-                size = len(members)
-                probe.rebind(tenant.cost, size, now)
-                array = dispatch.select(
-                    DispatchContext(
-                        pool=pool,
-                        now_us=now,
-                        batch_size=size,
-                        pipeline=self.pipeline,
-                        duration_us=probe,
-                    )
-                )
-                pool.claim(array)
-                warm = self.pipeline and pool.is_warm(array, now)
-                prev_size = pool.last_batch_size(array)
-                prev_cost = pool.last_cost(array)
-                model = bank.resolve(tenant.cost, pool.config_for(array))
-                if self.execute:
-                    indices = [member.index for member in members]
-                    cycles, result = model.execute(
-                        self.images[indices], warm=warm, prev_size=prev_size
-                    )
-                    predictions[indices] = result.predictions
-                elif warm:
-                    cycles = model.warm_batch_cycles(size, prev_size, prev_cost=prev_cost)
-                else:
-                    cycles = model.batch_cycles(size)
-                duration = model.config.cycles_to_us(cycles)
-                pool.charge(array, size, duration, warm=warm, now_us=now, cost=model)
-                drain_saved = (
-                    model.config.cycles_to_us(
-                        model.drain_saved_cycles(size, prev_size, prev_cost=prev_cost)
-                    )
-                    if warm
-                    else 0.0
-                )
-                batch = BatchRecord(
-                    index=len(batches),
-                    size=size,
-                    array=array,
-                    dispatch_us=now,
-                    done_us=now + duration,
-                    cycles=cycles,
-                    request_indices=[member.index for member in members],
-                    warm=warm,
-                    drain_saved_us=drain_saved,
-                    tenant=tenant.name,
-                )
-                batches.append(batch)
-                running[array] = batch
-                tenant.served += size
-                for member in members:
-                    record = requests[member.index]
-                    record.dispatch_us = now
-                    record.batch_index = batch.index
-                    record.drain_saved_us = drain_saved
-                    # Clamp float-epsilon residue of the idle-time integral
-                    # so components stay non-negative and sum to the wait.
-                    wait = now - record.arrival_us
-                    batching = idle_accum - idle_at_arrival[member.index]
-                    record.batching_us = min(max(batching, 0.0), wait)
-                    record.queueing_us = wait - record.batching_us
-                events_entry = (now + duration, _DONE, seq, array)
+                running[batch_index] = placed
+                heapq.heappush(events, (placed.done_us, _DONE, seq, batch_index))
                 seq += 1
-                heapq.heappush(events, events_entry)
 
             if pool.has_idle():
-                for tenant in tenants:
-                    if len(tenant.queue) and not tenant.batching.ready(
-                        tenant.queue, now
-                    ):
-                        deadline = tenant.batching.next_deadline_us(
-                            tenant.queue, now
+                for deadline in core.pending_timeouts(now):
+                    if deadline not in scheduled_timeouts:
+                        scheduled_timeouts.add(deadline)
+                        heapq.heappush(
+                            events, (max(deadline, now), _TIMEOUT, seq, 0)
                         )
-                        if deadline is not None and deadline not in scheduled_timeouts:
-                            scheduled_timeouts.add(deadline)
-                            heapq.heappush(
-                                events, (max(deadline, now), _TIMEOUT, seq, 0)
-                            )
-                            seq += 1
+                        seq += 1
 
         return self._finish_report(
             tenants=tenants,
@@ -500,12 +411,14 @@ class ServingSimulator:
             makespan=makespan,
             wall_seconds=time.perf_counter() - wall_start,
             with_crosscheck=with_crosscheck,
-            batch_sizes={batch.size for batch in batches},
-            requests=requests,
-            batches=batches,
+            batch_sizes={batch.size for batch in sink.batches},
+            requests=sink.requests,
+            batches=sink.batches,
             predictions=predictions,
             tenant_entries=(
-                _tenant_summaries(tenants, requests) if self.multi_tenant else None
+                _tenant_summaries(tenants, sink.requests)
+                if self.multi_tenant
+                else None
             ),
         )
 
@@ -581,7 +494,10 @@ class ServingSimulator:
         )
 
     def _run_streaming(
-        self, with_crosscheck: bool, latency_bin_us: float
+        self,
+        with_crosscheck: bool,
+        latency_bin_us: float,
+        sink: StreamingSink | None = None,
     ) -> ServingReport:
         """The O(1)-memory fast path (``record_requests=False``).
 
@@ -636,10 +552,17 @@ class ServingSimulator:
         tenant_list = np.concatenate(tenant_parts)[order].tolist() if multi else None
         total = len(times_list)
 
-        stats = StreamingStats(bin_us=latency_bin_us, pipeline=pipeline_mode)
+        if sink is None:
+            sink = StreamingSink(bin_us=latency_bin_us, pipeline=pipeline_mode)
+        stats = sink.stats
         tenant_streams = (
             [
-                StreamingStats(bin_us=latency_bin_us, pipeline=pipeline_mode)
+                StreamingStats(
+                    bin_us=stats.bin_us,
+                    pipeline=pipeline_mode,
+                    kind=stats.kind,
+                    subbins=stats.subbins,
+                )
                 for _ in tenants
             ]
             if multi
@@ -701,8 +624,13 @@ class ServingSimulator:
             max_batch = only.batching.max_batch
             max_wait = only.batching.max_wait_us
         fast_dispatch = type(dispatch) is LeastRecentDispatch
+        # Backlog-aware dispatch (considers_busy) may place a batch on a
+        # busy array; the batch *stacks* behind the in-flight work and the
+        # array only rejoins the idle set when its last batch completes.
+        considers_busy = bool(getattr(dispatch, "considers_busy", False))
+        inflight = [0] * pool.count if considers_busy else None
         snapshots: dict[int, float] = {}
-        probe = _DurationProbe(bank, pool, pipeline_mode)
+        probe = _DurationProbe(bank, pool, pipeline_mode, inflight=inflight)
         # Hot-loop aliases: the pool's bookkeeping is inlined per batch
         # (claim/charge/release are three attribute updates each), and on
         # a homogeneous non-pipelined pool the per-size duration is a
@@ -818,8 +746,13 @@ class ServingSimulator:
                         if tstats is not None:
                             tstats.shed += 1
             elif kind == _DONE:
-                idle_set.add(payload)
-                last_release[payload] = now
+                if considers_busy and inflight[payload] > 1:
+                    inflight[payload] -= 1
+                else:
+                    if considers_busy:
+                        inflight[payload] = 0
+                    idle_set.add(payload)
+                    last_release[payload] = now
                 if now > makespan:
                     makespan = now
             else:  # _TIMEOUT: readiness re-evaluated below; prune the set
@@ -875,6 +808,8 @@ class ServingSimulator:
                     member_arrivals = [m.arrival_us for m in taken]
                     member_deadlines = [m.deadline_us for m in taken]
                     member_snaps = [snapshots.pop(m.index) for m in taken]
+                stacked = False
+                start = now
                 if fast_dispatch:
                     if pipeline_mode:
                         warm_ids = [
@@ -895,9 +830,22 @@ class ServingSimulator:
                             batch_size=size,
                             pipeline=pipeline_mode,
                             duration_us=probe,
+                            queue_delay_us=(
+                                probe.queue_delay if considers_busy else None
+                            ),
                         )
                     )
-                    idle_set.remove(array)
+                    if considers_busy:
+                        if array in idle_set:
+                            idle_set.remove(array)
+                        else:
+                            # Stacked behind the array's in-flight batch:
+                            # starts at its predecessor's completion.
+                            stacked = True
+                            start = busy_until[array]
+                        inflight[array] += 1
+                    else:
+                        idle_set.remove(array)
                 drain_saved = 0.0
                 if not pipeline_mode and homogeneous:
                     model = tenant.cost
@@ -909,7 +857,7 @@ class ServingSimulator:
                         duration_cache[key] = cached
                     duration = cached
                 else:
-                    warm = pipeline_mode and last_release[array] == now
+                    warm = pipeline_mode and (stacked or last_release[array] == now)
                     prev_size = last_batch_size[array]
                     prev_cost = last_cost[array]
                     model = bank.resolve(tenant.cost, pool.config_for(array))
@@ -925,7 +873,7 @@ class ServingSimulator:
                     else:
                         cycles = model.batch_cycles(size)
                     duration = model.config.cycles_to_us(cycles)
-                done = now + duration
+                done = start + duration
                 # Inlined pool.charge (folded into pool.stats after the loop)
                 busy_acc[array] += duration
                 batches_acc[array] += 1
@@ -944,7 +892,7 @@ class ServingSimulator:
                         drain_total += drain_saved
                     arr_buf.extend(member_arrivals)
                     snap_buf.extend(member_snaps)
-                    meta_buf.append((now, done, idle_accum, drain_saved, size))
+                    meta_buf.append((start, done, idle_accum, drain_saved, size))
                     if member_deadlines is not None:
                         for deadline in member_deadlines:
                             if deadline != inf:
@@ -954,13 +902,13 @@ class ServingSimulator:
                     if len(arr_buf) >= 32768:
                         flush_buffers()
                 else:
-                    compute = done - now  # the recorded done-dispatch float
+                    compute = done - start  # the recorded done-dispatch float
                     stats.add_batch(size, warm, drain_saved)
                     tstats.add_batch(size, warm, drain_saved)
                     for arrival, deadline, snapshot in zip(
                         member_arrivals, member_deadlines, member_snaps
                     ):
-                        wait = now - arrival
+                        wait = start - arrival
                         batching = idle_accum - snapshot
                         if batching < 0.0:
                             batching = 0.0

@@ -63,14 +63,24 @@ def percentile_summary(values_us: np.ndarray) -> dict[str, float]:
 
 
 class LatencyHistogram:
-    """Fixed-resolution streaming latency accumulator.
+    """Fixed- or log-resolution streaming latency accumulator.
 
-    Values are bucketed into ``bin_us``-wide bins (bin ``i`` covers
-    ``[i * bin_us, (i + 1) * bin_us)``); the count array grows by
-    doubling, so memory is bounded by the largest observed latency, not
-    the number of samples.  The mean and the count are exact; a
-    percentile is the midpoint of the bin holding the nearest-rank
-    sample, so it sits within half a bin of the exact order statistic.
+    ``kind="linear"`` (default) buckets values into ``bin_us``-wide bins
+    (bin ``i`` covers ``[i * bin_us, (i + 1) * bin_us)``); the count
+    array grows by doubling, so memory is bounded by the largest observed
+    latency, not the number of samples.  The mean and the count are
+    exact; a percentile is the midpoint of the bin holding the
+    nearest-rank sample, so it sits within half a bin of the exact order
+    statistic.
+
+    ``kind="log"`` buckets HDR-histogram style: values below ``bin_us``
+    share bucket 0, and each factor-of-two octave above ``bin_us`` splits
+    into ``subbins`` equal-width buckets, so every bucket's width is at
+    most ``1/subbins`` of its lower bound.  Memory becomes *logarithmic*
+    in the largest latency (a handful of KB out to hours) instead of
+    linear — a deeply overloaded run cannot blow the count array up —
+    and percentile error is bounded *relatively* (within one bucket, i.e.
+    ``1/subbins`` of the value) rather than absolutely.
 
     Adds are buffered and flushed through :func:`numpy.bincount` in
     chunks, keeping the per-sample cost of the simulator's fast path at
@@ -79,12 +89,27 @@ class LatencyHistogram:
 
     _FLUSH_AT = 4096
 
-    def __init__(self, bin_us: float = DEFAULT_LATENCY_BIN_US) -> None:
+    def __init__(
+        self,
+        bin_us: float = DEFAULT_LATENCY_BIN_US,
+        kind: str = "linear",
+        subbins: int = 32,
+    ) -> None:
         if not (math.isfinite(bin_us) and bin_us > 0):
             from repro.errors import ConfigError
 
             raise ConfigError("histogram bin width must be finite and positive")
+        if kind not in ("linear", "log"):
+            from repro.errors import ConfigError
+
+            raise ConfigError(f"unknown histogram kind {kind!r} (linear or log)")
+        if subbins < 1:
+            from repro.errors import ConfigError
+
+            raise ConfigError("subbins must be positive")
         self.bin_us = float(bin_us)
+        self.kind = kind
+        self.subbins = int(subbins)
         self._count = 0
         self._total_us = 0.0
         self._max_us = 0.0
@@ -137,7 +162,7 @@ class LatencyHistogram:
         if count <= 0:
             return
         value = max(value_us, 0.0)
-        index = int(value / self.bin_us)
+        index = self._index_of(value)
         if index >= self._counts.size:
             self._grow(index)
         self._counts[index] += count
@@ -161,12 +186,47 @@ class LatencyHistogram:
         self._buffer.clear()
         self._ingest(values)
 
+    def _index_of(self, value: float) -> int:
+        """Bucket index of one (non-negative) value."""
+        if self.kind == "linear":
+            return int(value / self.bin_us)
+        scaled = value / self.bin_us
+        if scaled < 1.0:
+            return 0
+        # frexp: scaled = m * 2**e with m in [0.5, 1), so the octave
+        # above bin_us is e - 1 and 2m - 1 in [0, 1) locates the value
+        # inside it; truncation lands in [0, subbins).
+        m, e = math.frexp(scaled)
+        return 1 + (e - 1) * self.subbins + int((2.0 * m - 1.0) * self.subbins)
+
+    def _bucket_midpoint_us(self, index: int) -> float:
+        """Midpoint of a bucket (the percentile representative)."""
+        if self.kind == "linear":
+            return (index + 0.5) * self.bin_us
+        if index == 0:
+            return 0.5 * self.bin_us
+        octave, pos = divmod(index - 1, self.subbins)
+        base = self.bin_us * float(2**octave)
+        lo = base * (1.0 + pos / self.subbins)
+        hi = base * (1.0 + (pos + 1) / self.subbins)
+        return 0.5 * (lo + hi)
+
     def _ingest(self, values: np.ndarray) -> None:
         np.maximum(values, 0.0, out=values)
         self._count += values.size
         self._total_us += float(values.sum())
         self._max_us = max(self._max_us, float(values.max()))
-        bins = (values / self.bin_us).astype(np.int64)
+        if self.kind == "linear":
+            bins = (values / self.bin_us).astype(np.int64)
+        else:
+            scaled = values / self.bin_us
+            m, e = np.frexp(scaled)
+            raw = (
+                1
+                + (e.astype(np.int64) - 1) * self.subbins
+                + ((2.0 * m - 1.0) * self.subbins).astype(np.int64)
+            )
+            bins = np.where(scaled < 1.0, 0, raw)
         top = int(bins.max())
         if top >= self._counts.size:
             self._grow(top)
@@ -200,8 +260,10 @@ class LatencyHistogram:
         bracketing order statistics, each located to its bin and
         represented by the bin midpoint.  Because the estimate is a
         convex combination of two midpoints that each sit within half a
-        bin of their exact order statistic, the result is guaranteed
-        within half a bin of the exact :func:`numpy.percentile` value.
+        bucket of their exact order statistic, the result is guaranteed
+        within the wider bracketing bucket's half-width of the exact
+        :func:`numpy.percentile` value (half a bin for ``linear``; a
+        ``1/subbins`` relative error for ``log``).
         """
         self._flush()
         if self.count == 0:
@@ -212,10 +274,16 @@ class LatencyHistogram:
         fraction = position - lower
         # Order statistic i (0-based) is the (i + 1)-th smallest sample.
         low_bin = int(np.searchsorted(cumulative, lower + 1))
-        value = (low_bin + 0.5) * self.bin_us
+        if self.kind == "linear":
+            value = (low_bin + 0.5) * self.bin_us
+            if fraction > 0.0:
+                high_bin = int(np.searchsorted(cumulative, lower + 2))
+                value += fraction * ((high_bin - low_bin) * self.bin_us)
+            return value
+        value = self._bucket_midpoint_us(low_bin)
         if fraction > 0.0:
             high_bin = int(np.searchsorted(cumulative, lower + 2))
-            value += fraction * ((high_bin - low_bin) * self.bin_us)
+            value += fraction * (self._bucket_midpoint_us(high_bin) - value)
         return value
 
     def summary(self) -> dict[str, float]:
@@ -226,11 +294,15 @@ class LatencyHistogram:
         return summary
 
     def merge(self, other: "LatencyHistogram") -> None:
-        """Fold another histogram (same bin width) into this one."""
-        if other.bin_us != self.bin_us:
+        """Fold another histogram (same bucketing) into this one."""
+        if (
+            other.bin_us != self.bin_us
+            or other.kind != self.kind
+            or other.subbins != self.subbins
+        ):
             from repro.errors import ConfigError
 
-            raise ConfigError("cannot merge histograms with different bin widths")
+            raise ConfigError("cannot merge histograms with different bucketing")
         other._flush()
         self._flush()
         if other._counts.size > self._counts.size:
@@ -257,12 +329,23 @@ class StreamingStats:
     run is pipelined).
     """
 
-    def __init__(self, bin_us: float = DEFAULT_LATENCY_BIN_US, pipeline: bool = False) -> None:
+    def __init__(
+        self,
+        bin_us: float = DEFAULT_LATENCY_BIN_US,
+        pipeline: bool = False,
+        kind: str = "linear",
+        subbins: int = 32,
+    ) -> None:
         self.bin_us = float(bin_us)
+        self.kind = kind
+        self.subbins = int(subbins)
         names = ["total", "queueing", "batching", "compute"]
         if pipeline:
             names.append("drain_saved")
-        self.components = {name: LatencyHistogram(bin_us) for name in names}
+        self.components = {
+            name: LatencyHistogram(bin_us, kind=kind, subbins=subbins)
+            for name in names
+        }
         self.offered = 0
         self.shed = 0
         self.batches = 0

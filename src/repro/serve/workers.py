@@ -1,0 +1,236 @@
+"""Execution back-ends for the live serving runtime.
+
+The runtime (:mod:`repro.serve.runtime`) separates *scheduling* (the
+shared serving core) from *executing* (running a formed batch through the
+quantized engine).  An executor models the physical accelerator arrays:
+``execute(array, images)`` classifies one contiguous image batch on one
+array and returns the predictions, bit-identical to
+:meth:`repro.capsnet.quantized.QuantizedCapsuleNet.predict_batch`.
+
+Three implementations:
+
+* :class:`InlineEngineExecutor` — the batched engine in-process.  With
+  the GIL released inside numpy's GEMMs, a thread pool over this executor
+  is the fastest option on small hosts and the default.
+* :class:`ProcessWorkerPool` — one OS process per array with zero-copy
+  shared-memory image/prediction buffers, mirroring the simulated
+  :class:`~repro.serve.dispatcher.ArrayPool` sizing.  Survives a worker
+  death by raising :class:`WorkerCrashError` with the array and exit
+  detail instead of hanging.
+* :class:`PredictedExecutor` — no compute at all (predictions are -1):
+  for exercising the scheduling/backpressure machinery at offered loads
+  far above what one host can classify.
+
+All executors share the duck-typed surface the runtime drives:
+``image_size``, ``execute(array, images)``, ``close()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.capsnet.batched import BatchedQuantizedForward
+from repro.capsnet.config import CapsNetConfig
+from repro.capsnet.quantized import QuantizedCapsuleNet
+from repro.errors import ConfigError
+
+
+class WorkerCrashError(RuntimeError):
+    """An execution worker died mid-service (crash, kill, or lost pipe)."""
+
+
+class InlineEngineExecutor:
+    """Run batches through the batched quantized engine in-process.
+
+    One engine instance serves every array: the computation is pure
+    (shared read-only weights/LUTs), so concurrent calls from the
+    runtime's worker threads are safe and overlap inside numpy's
+    GIL-releasing kernels.
+    """
+
+    def __init__(self, network: CapsNetConfig) -> None:
+        self.network = network
+        self.image_size = network.image_size
+        self.engine = BatchedQuantizedForward(QuantizedCapsuleNet(network))
+
+    def execute(self, array: int, images: np.ndarray) -> np.ndarray:
+        """Classify ``(N, H, W)`` images; returns ``(N,)`` predictions."""
+        return self.engine.predict(images)
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class PredictedExecutor:
+    """Scheduling-only executor: returns -1 predictions instantly."""
+
+    def __init__(self, image_size: int) -> None:
+        self.image_size = image_size
+
+    def execute(self, array: int, images: np.ndarray) -> np.ndarray:
+        """Return placeholder predictions without computing."""
+        return np.full(len(images), -1, dtype=np.int64)
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+def _worker_main(conn, shm_in_name, shm_out_name, max_batch, size, network):
+    """Worker-process loop: recv batch size, classify shared images, ack."""
+    engine = BatchedQuantizedForward(QuantizedCapsuleNet(network))
+    shm_in = shared_memory.SharedMemory(name=shm_in_name)
+    shm_out = shared_memory.SharedMemory(name=shm_out_name)
+    images = np.ndarray((max_batch, size, size), dtype=np.float64, buffer=shm_in.buf)
+    out = np.ndarray((max_batch,), dtype=np.int64, buffer=shm_out.buf)
+    try:
+        while True:
+            count = conn.recv()
+            if count is None:
+                break
+            out[:count] = engine.predict(images[:count])
+            conn.send(count)
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        shm_in.close()
+        shm_out.close()
+        conn.close()
+
+
+class ProcessWorkerPool:
+    """One worker process per array, fed through shared-memory buffers.
+
+    Each array owns a pinned ``(max_batch, H, W)`` float64 image buffer
+    and a ``(max_batch,)`` int64 prediction buffer in POSIX shared
+    memory, plus a control pipe carrying only the batch size — the
+    images themselves never cross the pipe.  A per-array lock serializes
+    the runtime's worker threads onto each array's buffers (distinct
+    arrays execute concurrently in their own processes).
+
+    A worker that dies mid-request surfaces as :class:`WorkerCrashError`
+    naming the array and the process exit code, never a hang.
+    """
+
+    def __init__(
+        self, network: CapsNetConfig, arrays: int, max_batch: int
+    ) -> None:
+        if arrays < 1:
+            raise ConfigError("worker pool needs at least one array")
+        if max_batch < 1:
+            raise ConfigError("max_batch must be positive")
+        self.network = network
+        self.image_size = network.image_size
+        self.max_batch = max_batch
+        size = network.image_size
+        ctx = multiprocessing.get_context("spawn")
+        self._locks = [threading.Lock() for _ in range(arrays)]
+        self._shm_in: list[shared_memory.SharedMemory] = []
+        self._shm_out: list[shared_memory.SharedMemory] = []
+        self._images: list[np.ndarray] = []
+        self._out: list[np.ndarray] = []
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        try:
+            for array in range(arrays):
+                shm_in = shared_memory.SharedMemory(
+                    create=True, size=max_batch * size * size * 8
+                )
+                shm_out = shared_memory.SharedMemory(create=True, size=max_batch * 8)
+                self._shm_in.append(shm_in)
+                self._shm_out.append(shm_out)
+                self._images.append(
+                    np.ndarray(
+                        (max_batch, size, size), dtype=np.float64, buffer=shm_in.buf
+                    )
+                )
+                self._out.append(
+                    np.ndarray((max_batch,), dtype=np.int64, buffer=shm_out.buf)
+                )
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        child,
+                        shm_in.name,
+                        shm_out.name,
+                        max_batch,
+                        size,
+                        network,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+        except BaseException:
+            self.close()
+            raise
+
+    def execute(self, array: int, images: np.ndarray) -> np.ndarray:
+        """Classify a batch on ``array``'s worker process."""
+        count = len(images)
+        if count > self.max_batch:
+            raise ConfigError(
+                f"batch of {count} exceeds the pool's max_batch={self.max_batch}"
+            )
+        with self._locks[array]:
+            try:
+                self._images[array][:count] = images
+                self._conns[array].send(count)
+                acked = self._conns[array].recv()
+            except (EOFError, BrokenPipeError, OSError) as error:
+                proc = self._procs[array]
+                proc.join(timeout=1.0)
+                raise WorkerCrashError(
+                    f"worker for array {array} died mid-batch"
+                    f" (exitcode {proc.exitcode})"
+                ) from error
+            if acked != count:
+                raise WorkerCrashError(
+                    f"worker for array {array} acked {acked} != {count}"
+                )
+            return self._out[array][:count].copy()
+
+    def crash(self, array: int) -> None:
+        """Kill one worker process (test hook for crash handling)."""
+        self._procs[array].kill()
+        self._procs[array].join(timeout=5.0)
+
+    def close(self) -> None:
+        """Stop workers and release the shared-memory segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        # Views into the shared buffers must drop before unlinking.
+        self._images.clear()
+        self._out.clear()
+        for shm in self._shm_in + self._shm_out:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,95 @@
+"""Bit-identity of the batch-vectorized quantized forward pass.
+
+`BatchedQuantizedForward` promises *exact* raw-tensor equality with the
+per-image golden model `QuantizedCapsuleNet.forward` — not approximate
+agreement.  These tests hold it to that, layer by layer, in both routing
+variants, plus shape validation and determinism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capsnet.batched import BatchedQuantizedForward
+from repro.capsnet.quantized import QuantizedCapsuleNet
+from repro.data.synthetic import SyntheticDigits
+from repro.errors import ShapeError
+
+# forward_raw key -> QuantizedOutput attribute carrying the same tensor.
+STAGES = [
+    ("conv1_out", "conv1_out_raw"),
+    ("primary", "primary_raw"),
+    ("u_hat", "u_hat_raw"),
+    ("class_caps", "class_caps_raw"),
+    ("length_sumsq", "length_sumsq_raw"),
+]
+
+
+@pytest.fixture(scope="module")
+def batch_images(tiny_config):
+    generator = SyntheticDigits(size=tiny_config.image_size, seed=11)
+    return generator.generate(6).images
+
+
+class TestLayerwiseEquality:
+    def test_every_stage_matches_per_image_forward(self, tiny_qnet, batch_images):
+        batched = BatchedQuantizedForward(tiny_qnet)
+        out = batched.forward_raw(batch_images)
+        for i, image in enumerate(batch_images):
+            golden = tiny_qnet.forward(image)
+            for batch_key, golden_attr in STAGES:
+                np.testing.assert_array_equal(
+                    out[batch_key][i],
+                    getattr(golden, golden_attr),
+                    err_msg=f"stage {batch_key!r} diverged at image {i}",
+                )
+            assert int(out["predictions"][i]) == golden.prediction
+
+    def test_textbook_routing_matches_too(self, tiny_config, tiny_weights, batch_images):
+        qnet = QuantizedCapsuleNet(
+            tiny_config, weights=tiny_weights, optimized_routing=False
+        )
+        out = BatchedQuantizedForward(qnet).forward_raw(batch_images)
+        for i, image in enumerate(batch_images):
+            golden = qnet.forward(image)
+            np.testing.assert_array_equal(
+                out["class_caps"][i], golden.class_caps_raw
+            )
+            assert int(out["predictions"][i]) == golden.prediction
+
+    def test_predict_matches_predict_batch(self, tiny_qnet, batch_images):
+        batched = BatchedQuantizedForward(tiny_qnet)
+        np.testing.assert_array_equal(
+            batched.predict(batch_images), tiny_qnet.predict_batch(batch_images)
+        )
+
+    def test_channel_axis_optional(self, tiny_qnet, batch_images):
+        batched = BatchedQuantizedForward(tiny_qnet)
+        with_channel = batch_images[:, np.newaxis, :, :]
+        np.testing.assert_array_equal(
+            batched.predict(with_channel), batched.predict(batch_images)
+        )
+
+
+class TestValidationAndDeterminism:
+    def test_wrong_image_shape_rejected(self, tiny_qnet, batch_images):
+        batched = BatchedQuantizedForward(tiny_qnet)
+        with pytest.raises(ShapeError):
+            batched.forward_raw(batch_images[:, :-1, :])
+        with pytest.raises(ShapeError):
+            batched.forward_raw(batch_images[:, np.newaxis, :-2, :-2])
+
+    def test_batch_of_one_matches_larger_batch(self, tiny_qnet, batch_images):
+        batched = BatchedQuantizedForward(tiny_qnet)
+        whole = batched.forward_raw(batch_images)
+        solo = batched.forward_raw(batch_images[:1])
+        for key, _ in STAGES:
+            np.testing.assert_array_equal(solo[key][0], whole[key][0])
+
+    def test_repeated_runs_are_deterministic(self, tiny_qnet, batch_images):
+        batched = BatchedQuantizedForward(tiny_qnet)
+        first = batched.forward_raw(batch_images)
+        second = batched.forward_raw(batch_images)
+        for key, _ in STAGES:
+            np.testing.assert_array_equal(first[key], second[key])

@@ -195,3 +195,92 @@ class TestInfoCommand:
         out = capsys.readouterr().out
         assert "CapsuleNet" in out
         assert "16x16" in out
+
+
+class TestServeCommand:
+    """The live `serve` front-end and its shared flag surface."""
+
+    def subparser(self, name):
+        parser = cli.build_parser()
+        actions = {
+            action.dest: action
+            for sub in parser._subparsers._group_actions
+            for action in [sub.choices[name]]
+            for action in action._actions
+        }
+        return actions
+
+    def test_serve_and_serve_sim_share_the_server_flags(self):
+        """One flag definition, two commands — no drift, ever.
+
+        Every server-shape flag registered by ``add_server_arguments``
+        must exist on BOTH subcommands with identical defaults and
+        choices (``--network`` defaults intentionally differ: the live
+        command serves the tiny network by default).
+        """
+        shared_dests = [
+            "max_batch",
+            "max_wait_us",
+            "policy",
+            "deadline_ms",
+            "dispatch",
+            "queue_limit",
+            "arrays",
+            "array_sizes",
+            "network",
+            "pipeline",
+            "fifo_depth",
+        ]
+        sim_actions = self.subparser("serve-sim")
+        live_actions = self.subparser("serve")
+        for dest in shared_dests:
+            assert dest in sim_actions, f"serve-sim lost --{dest}"
+            assert dest in live_actions, f"serve lost --{dest}"
+            sim_action, live_action = sim_actions[dest], live_actions[dest]
+            assert sim_action.option_strings == live_action.option_strings
+            assert sim_action.choices == live_action.choices
+            if dest != "network":
+                assert sim_action.default == live_action.default, dest
+        assert sim_actions["network"].default == "mnist"
+        assert live_actions["network"].default == "tiny"
+
+    def test_replay_virtual_matches_simulator(self, capsys):
+        assert (
+            cli.main(
+                [
+                    "serve",
+                    "--replay-virtual",
+                    "--requests",
+                    "64",
+                    "--rate",
+                    "4000",
+                    "--max-batch",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        assert "decision-for-decision" in capsys.readouterr().out
+
+    def test_live_serve_smoke(self, capsys):
+        assert (
+            cli.main(
+                [
+                    "serve",
+                    "--requests",
+                    "64",
+                    "--rate",
+                    "20000",
+                    "--max-batch",
+                    "16",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "live" in out
+        assert "req/s" in out
+
+    def test_live_serve_rejects_pipeline(self, capsys):
+        assert cli.main(["serve", "--pipeline", "--requests", "8"]) == 2
+        assert "pipeline" in capsys.readouterr().err

@@ -68,6 +68,7 @@ class TestRegistries:
             "round-robin",
             "prefer-warm",
             "greedy",
+            "greedy-backlog",
         }
         assert BATCHING_POLICIES["max-wait"] is BatchPolicy
         assert BATCHING_POLICIES["deadline"] is DeadlineBatcher

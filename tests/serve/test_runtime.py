@@ -1,0 +1,383 @@
+"""Live serving runtime: decision identity, the asyncio path, failure modes.
+
+Three layers under test, mirroring :mod:`repro.serve.runtime`:
+
+* :class:`MeasuredBatchCost` — the calibrated live cost model's
+  interpolation, validation, and cost-protocol conformance.
+* :func:`replay_virtual` — the deterministic CI gate: driving the
+  runtime engine over a trace in virtual time must reproduce the
+  simulator's decisions *exactly*, policy by policy.
+* :class:`ServingRuntime` — real asyncio runs on the in-process engine:
+  correct predictions, shutdown drain, backpressure sheds, worker
+  crashes, the JSONL socket, and the process worker pool.
+"""
+
+import asyncio
+import json
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.capsnet.batched import BatchedQuantizedForward
+from repro.capsnet.quantized import QuantizedCapsuleNet
+from repro.data.synthetic import SyntheticDigits
+from repro.errors import ConfigError
+from repro.hw.config import AcceleratorConfig
+from repro.serve import (
+    AnalyticBatchCost,
+    MeasuredBatchCost,
+    RequestShedError,
+    ServerConfig,
+    ServingRuntime,
+    ServingSimulator,
+    TenantSpec,
+    WorkerCrashError,
+    decision_diffs,
+    decisions_identical,
+    poisson_trace,
+    replay_virtual,
+)
+from repro.serve.workers import (
+    InlineEngineExecutor,
+    PredictedExecutor,
+    ProcessWorkerPool,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+@pytest.fixture(scope="module")
+def tiny_cost(tiny_config):
+    return AnalyticBatchCost(network=tiny_config)
+
+
+@pytest.fixture(scope="module")
+def live_images(tiny_config):
+    generator = SyntheticDigits(size=tiny_config.image_size, seed=23)
+    return generator.generate(64).images
+
+
+@pytest.fixture(scope="module")
+def offline_predictions(tiny_config, tiny_weights, live_images):
+    qnet = QuantizedCapsuleNet(tiny_config, weights=tiny_weights)
+    return BatchedQuantizedForward(qnet).predict(live_images)
+
+
+def live_server(cost, **overrides):
+    settings = dict(
+        max_batch=8, max_wait_us=2000.0, arrays=1, network_name="tiny"
+    )
+    settings.update(overrides)
+    return ServerConfig.from_policy("fifo", cost, **settings)
+
+
+class TestMeasuredBatchCost:
+    def test_interpolates_between_points(self):
+        cost = MeasuredBatchCost(
+            AcceleratorConfig(), [(1, 100.0), (8, 400.0), (16, 600.0)]
+        )
+        assert cost.predict_us(1) == 100.0
+        assert cost.predict_us(8) == 400.0
+        # Midway along the 8..16 segment.
+        assert cost.predict_us(12) == pytest.approx(500.0)
+
+    def test_extrapolates_from_nearest_segment(self):
+        cost = MeasuredBatchCost(AcceleratorConfig(), [(8, 400.0), (16, 600.0)])
+        assert cost.predict_us(32) == pytest.approx(600.0 + 16 * 25.0)
+        assert cost.predict_us(4) == pytest.approx(400.0 - 4 * 25.0)
+
+    def test_single_point_scales_proportionally(self):
+        cost = MeasuredBatchCost(AcceleratorConfig(), [(8, 400.0)])
+        assert cost.predict_us(16) == pytest.approx(800.0)
+        assert cost.predict_us(2) == pytest.approx(100.0)
+
+    def test_cycles_quantization_and_warm_equals_cold(self):
+        config = AcceleratorConfig()
+        cost = MeasuredBatchCost(config, [(1, 0.0001), (8, 250.0)])
+        assert cost.batch_cycles(1) == 1  # floor: never zero cycles
+        expected = int(round(cost.predict_us(8) * config.clock_mhz))
+        assert cost.batch_cycles(8) == expected
+        assert cost.warm_batch_cycles(8, prev_size=8) == cost.batch_cycles(8)
+        assert cost.drain_saved_cycles(8, prev_size=8) == 0
+        assert cost.pipeline is False
+        assert cost.accounting == "measured"
+
+    def test_rejects_bad_calibration_points(self):
+        with pytest.raises(ConfigError):
+            MeasuredBatchCost(AcceleratorConfig(), [])
+        with pytest.raises(ConfigError):
+            MeasuredBatchCost(AcceleratorConfig(), [(8, 100.0), (8, 200.0)])
+        with pytest.raises(ConfigError):
+            MeasuredBatchCost(AcceleratorConfig(), [(8, -5.0)])
+        with pytest.raises(ConfigError):
+            MeasuredBatchCost(AcceleratorConfig(), [(8, math.inf)])
+
+    def test_calibrate_skips_sizes_beyond_the_image_set(self, tiny_config):
+        executor = PredictedExecutor(tiny_config.image_size)
+        images = np.zeros((4, tiny_config.image_size, tiny_config.image_size))
+        cost = MeasuredBatchCost.calibrate(executor, images, sizes=(1, 2, 4, 8))
+        assert [size for size, _ in cost.points] == [1, 2, 4]
+
+    def test_from_report_requires_batches(self, tiny_cost):
+        from repro.serve.runtime import RuntimeEngine
+
+        empty = RuntimeEngine(live_server(tiny_cost)).build_report()
+        assert empty.batch_count == 0
+        with pytest.raises(ConfigError):
+            MeasuredBatchCost.from_report(empty)
+
+
+SERVER_SHAPES = [
+    dict(policy="fifo", arrays=1),
+    dict(policy="fifo", arrays=2, dispatch="round-robin"),
+    dict(policy="deadline", arrays=2, deadline_us=9000.0),
+    dict(policy="greedy", arrays=3, dispatch="greedy"),
+    dict(policy="fifo", arrays=2, dispatch="greedy-backlog", queue_limit=64),
+]
+
+
+class TestReplayVirtual:
+    @pytest.mark.parametrize(
+        "shape", SERVER_SHAPES, ids=lambda s: f"{s['policy']}-{s.get('dispatch')}"
+    )
+    def test_decisions_match_the_simulator(self, tiny_cost, shape):
+        shape = dict(shape)
+        policy = shape.pop("policy")
+        server = ServerConfig.from_policy(
+            policy, tiny_cost, max_batch=8, network_name="tiny", **shape
+        )
+        trace = poisson_trace(
+            rate_rps=5000.0, count=400, rng=np.random.default_rng(97)
+        )
+        sim = ServingSimulator(trace, server=server).run()
+        live = replay_virtual(server, trace)
+        assert decisions_identical(sim, live), decision_diffs(sim, live)
+        # Identity extends past decisions into the latency decomposition.
+        for sim_req, live_req in zip(sim.requests, live.requests):
+            assert live_req.dispatch_us == sim_req.dispatch_us
+            assert live_req.done_us == sim_req.done_us
+            assert live_req.batching_us == sim_req.batching_us
+            assert live_req.queueing_us == sim_req.queueing_us
+
+    def test_multi_tenant_replay_matches(self, tiny_cost):
+        rng = np.random.default_rng(13)
+        tenants = [
+            TenantSpec(
+                name="a", trace=poisson_trace(rate_rps=2000.0, count=150, rng=rng)
+            ),
+            TenantSpec(
+                name="b",
+                trace=poisson_trace(rate_rps=1000.0, count=100, rng=rng),
+                deadline_us=15000.0,
+            ),
+        ]
+        server = live_server(tiny_cost, arrays=2)
+        sim = ServingSimulator(tenants=tenants, server=server).run()
+        live = replay_virtual(server, tenants=tenants)
+        assert decisions_identical(sim, live), decision_diffs(sim, live)
+
+    def test_trace_and_tenants_are_exclusive(self, tiny_cost):
+        trace = poisson_trace(
+            rate_rps=100.0, count=5, rng=np.random.default_rng(1)
+        )
+        with pytest.raises(ConfigError):
+            replay_virtual(live_server(tiny_cost))
+        with pytest.raises(ConfigError):
+            replay_virtual(
+                live_server(tiny_cost),
+                trace,
+                tenants=[TenantSpec(name="x", trace=trace)],
+            )
+
+
+class FailingExecutor:
+    """Executor that dies on its first batch (crash-path fixture)."""
+
+    def __init__(self, image_size: int) -> None:
+        self.image_size = image_size
+
+    def execute(self, array, images):
+        raise RuntimeError("engine exploded")
+
+    def close(self):
+        pass
+
+
+class SlowExecutor(PredictedExecutor):
+    """Instant predictions after a real delay (queue-buildup fixture)."""
+
+    def __init__(self, image_size: int, delay_s: float) -> None:
+        super().__init__(image_size)
+        self.delay_s = delay_s
+
+    def execute(self, array, images):
+        time.sleep(self.delay_s)
+        return super().execute(array, images)
+
+
+class TestServingRuntimeLive:
+    def test_submissions_return_engine_predictions(
+        self, tiny_config, tiny_cost, live_images, offline_predictions
+    ):
+        async def scenario():
+            runtime = ServingRuntime(
+                live_server(tiny_cost),
+                executor=InlineEngineExecutor(tiny_config),
+            )
+            try:
+                results = await asyncio.gather(
+                    *(runtime.submit(image) for image in live_images)
+                )
+            finally:
+                await runtime.stop()
+            return results, runtime.report()
+
+        results, report = asyncio.run(scenario())
+        np.testing.assert_array_equal(results, offline_predictions)
+        assert report.offered == len(live_images)
+        assert report.completed == len(live_images)
+        assert report.shed_count == 0
+        assert sum(batch.size for batch in report.batches) == len(live_images)
+        for request in report.served:
+            assert request.done_us >= request.dispatch_us >= request.arrival_us
+
+    def test_stop_flushes_a_waiting_remainder(self, tiny_config, tiny_cost):
+        # Three requests, batch cap 8, a coalescing window far longer
+        # than the test: only the shutdown drain's force-flush can
+        # dispatch them.
+        server = live_server(tiny_cost, max_batch=8, max_wait_us=30_000_000.0)
+
+        async def scenario():
+            runtime = ServingRuntime(
+                server, executor=PredictedExecutor(tiny_config.image_size)
+            )
+            image = np.zeros((tiny_config.image_size, tiny_config.image_size))
+            tasks = [
+                asyncio.ensure_future(runtime.submit(image)) for _ in range(3)
+            ]
+            await asyncio.sleep(0.01)
+            assert runtime.engine.queue_depth() == 3
+            await runtime.stop()
+            return await asyncio.gather(*tasks), runtime.report()
+
+        results, report = asyncio.run(scenario())
+        assert results == [-1, -1, -1]
+        assert report.batch_count == 1
+        assert report.batches[0].size == 3
+
+    def test_queue_limit_sheds_under_load(self, tiny_config, tiny_cost):
+        server = live_server(
+            tiny_cost, max_batch=1, max_wait_us=0.0, queue_limit=2
+        )
+
+        async def scenario():
+            runtime = ServingRuntime(
+                server,
+                executor=SlowExecutor(tiny_config.image_size, delay_s=0.05),
+            )
+            image = np.zeros((tiny_config.image_size, tiny_config.image_size))
+            outcomes = await asyncio.gather(
+                *(runtime.submit(image) for _ in range(8)),
+                return_exceptions=True,
+            )
+            await runtime.stop()
+            return outcomes, runtime.report()
+
+        outcomes, report = asyncio.run(scenario())
+        sheds = [o for o in outcomes if isinstance(o, RequestShedError)]
+        served = [o for o in outcomes if o == -1]
+        assert sheds and served
+        assert len(sheds) + len(served) == 8
+        assert report.shed_count == len(sheds)
+        assert report.completed == len(served)
+
+    def test_worker_crash_fails_every_waiter(self, tiny_config, tiny_cost):
+        server = live_server(tiny_cost, max_batch=4, max_wait_us=0.0)
+
+        async def scenario():
+            runtime = ServingRuntime(
+                server, executor=FailingExecutor(tiny_config.image_size)
+            )
+            image = np.zeros((tiny_config.image_size, tiny_config.image_size))
+            outcomes = await asyncio.gather(
+                *(runtime.submit(image) for _ in range(4)),
+                return_exceptions=True,
+            )
+            # The failure is sticky: later submissions refuse immediately.
+            with pytest.raises(WorkerCrashError):
+                await runtime.submit(image)
+            with pytest.raises(WorkerCrashError):
+                await runtime.drain()
+            await runtime.stop()
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        assert outcomes
+        assert all(isinstance(o, WorkerCrashError) for o in outcomes)
+        cause = outcomes[0].__cause__
+        assert isinstance(cause, RuntimeError)
+
+    def test_socket_roundtrip(self, tiny_config, tiny_cost, live_images):
+        qnet = QuantizedCapsuleNet(tiny_config)
+        expected = BatchedQuantizedForward(qnet).predict(live_images[:3])
+
+        async def scenario():
+            runtime = ServingRuntime(
+                live_server(tiny_cost, max_wait_us=500.0),
+                executor=InlineEngineExecutor(tiny_config),
+            )
+            server = await runtime.serve_socket()
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            replies = []
+            for i, image in enumerate(live_images[:3]):
+                writer.write(
+                    (json.dumps({"id": i, "image": image.tolist()}) + "\n").encode()
+                )
+                await writer.drain()
+                replies.append(json.loads(await reader.readline()))
+            writer.write(b'{"id": 99}\n')  # no image: malformed
+            await writer.drain()
+            bad = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            server.close()
+            await server.wait_closed()
+            await runtime.stop()
+            return replies, bad
+
+        replies, bad = asyncio.run(scenario())
+        for i, reply in enumerate(replies):
+            assert reply["id"] == i
+            assert reply["prediction"] == int(expected[i])
+        assert "bad request" in bad["error"]
+
+    def test_runtime_rejects_reuse_after_stop(self, tiny_config, tiny_cost):
+        async def scenario():
+            runtime = ServingRuntime(
+                live_server(tiny_cost),
+                executor=PredictedExecutor(tiny_config.image_size),
+            )
+            await runtime.stop()
+            image = np.zeros((tiny_config.image_size, tiny_config.image_size))
+            with pytest.raises(ConfigError):
+                await runtime.submit(image)
+
+        asyncio.run(scenario())
+
+
+class TestProcessWorkerPool:
+    def test_matches_inline_and_survives_a_crash(
+        self, tiny_config, live_images, offline_predictions
+    ):
+        pool = ProcessWorkerPool(tiny_config, arrays=1, max_batch=8)
+        try:
+            predictions = pool.execute(0, live_images[:8])
+            np.testing.assert_array_equal(predictions, offline_predictions[:8])
+            pool.crash(0)
+            with pytest.raises(WorkerCrashError):
+                pool.execute(0, live_images[:8])
+        finally:
+            pool.close()
