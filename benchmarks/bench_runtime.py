@@ -1,16 +1,23 @@
-"""Live serving runtime benchmark: real req/s and the sim-vs-live gate.
+"""Live serving runtime benchmark: real req/s and the sim-vs-live gates.
 
-Exercises :mod:`repro.serve.runtime` three ways on the tiny network:
+Exercises :mod:`repro.serve.runtime` four ways on the tiny network:
 
 * **Peak throughput** — a saturating burst of real requests served
   in-process through the batched quantized engine (dynamic batching,
   one array).  The headline is sustained live requests per second, from
-  first arrival to last completion on the wall clock.
-* **Sim-vs-live crosscheck** — the recorded live arrivals are re-run
-  through the discrete-event simulator with *in-situ* batch costs
-  (median observed duration per batch size), and the live p50/p99
-  latencies must land within 20% of the simulated ones: the simulator's
-  queueing model predicts the live system.
+  first arrival to last completion on the wall clock (median of the
+  trials).
+* **Saturated crosscheck** — every trial's recorded live arrivals are
+  re-run through the discrete-event simulator with *in-situ* batch
+  costs (median observed duration per batch size); the gate compares
+  the *median* live p50/p99 against the median simulated ones with a
+  spread-widened tolerance (:func:`repro.serve.compare
+  .compare_reports_median`), so one noisy trial cannot flake it.
+* **Paced crosscheck** — the same median gate on a paced regime
+  (offered load at roughly half the measured capacity), where the
+  latency distribution is batching-shaped rather than queue-shaped and
+  host noise used to dominate single runs.  The variance-aware gate is
+  what makes this regime gateable at all.
 * **Virtual-replay decisions gate** — the same trace replayed through
   the runtime engine in virtual time must make exactly the decisions
   the simulator makes (same sheds, batches, placements, timings).
@@ -28,6 +35,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import statistics
 import sys
 import time
 
@@ -37,7 +45,7 @@ from repro.capsnet.config import tiny_capsnet_config
 from repro.data.synthetic import SyntheticDigits
 from repro.hw.config import AcceleratorConfig
 from repro.serve import ScheduledBatchCost, ServerConfig, ServingSimulator, make_trace
-from repro.serve.compare import compare_reports, decision_diffs
+from repro.serve.compare import compare_reports_median, decision_diffs
 from repro.serve.runtime import MeasuredBatchCost, ServingRuntime, replay_virtual
 from repro.serve.trace import ArrivalTrace
 from repro.serve.workers import InlineEngineExecutor
@@ -75,7 +83,7 @@ def live_rps_of(report) -> float:
 
 
 def run_live_once(cost, executor, trace: ArrivalTrace, max_batch: int, accel):
-    """One saturating live run; returns (report, rps, crosscheck dict)."""
+    """One live run; returns (sim report, live report, live rps)."""
     server = live_server(cost, max_batch)
     runtime = ServingRuntime(server, executor=executor, max_pending=8192)
     report = asyncio.run(drive(runtime, trace))
@@ -87,8 +95,30 @@ def run_live_once(cost, executor, trace: ArrivalTrace, max_batch: int, accel):
         ArrivalTrace(times_us=arrivals, name="live-arrivals"),
         server=live_server(insitu, max_batch),
     ).run()
-    crosscheck = compare_reports(sim, report, rel_tol=0.2)
-    return report, rps, crosscheck
+    return sim, report, rps
+
+
+def run_regime(cost, executor, trace: ArrivalTrace, args, accel) -> dict:
+    """N live trials of one regime, gated on medians with spread-aware tol."""
+    pairs = []
+    rps_values = []
+    for _ in range(args.trials):
+        sim, report, rps = run_live_once(
+            cost, executor, trace, args.max_batch, accel
+        )
+        pairs.append((sim, report))
+        rps_values.append(rps)
+    gate = compare_reports_median(pairs, rel_tol=0.2)
+    latency = pairs[-1][1].latency_summary()["total"]
+    return {
+        "gate": gate,
+        "rps_values": rps_values,
+        "rps_median": statistics.median(rps_values),
+        "last_report": pairs[-1][1],
+        "p50_live_us": gate["p50_us"]["live"],
+        "p99_live_us": gate["p99_us"]["live"],
+        "last_latency": latency,
+    }
 
 
 def run_benchmark(args: argparse.Namespace) -> dict:
@@ -104,20 +134,25 @@ def run_benchmark(args: argparse.Namespace) -> dict:
 
     # Saturating burst: the whole trace arrives in a few tens of
     # milliseconds, so the run measures drain throughput and the latency
-    # distribution is queue-shaped (robust for the 20% crosscheck — host
-    # noise averages out across the backlog instead of dominating an
-    # idle-system percentile).
-    trace = make_trace("uniform", args.burst_rps, args.requests, rng)
-    attempts = []
-    report = rps = crosscheck = None
-    for _ in range(2):
-        report, rps, crosscheck = run_live_once(
-            calibrated, executor, trace, args.max_batch, accel
-        )
-        attempts.append({"live_rps": rps, "within_tol": crosscheck["within_tol"]})
-        if crosscheck["within_tol"]:
-            break
-    latency = report.latency_summary()["total"]
+    # distribution is queue-shaped (host noise averages out across the
+    # backlog instead of dominating an idle-system percentile).
+    burst_trace = make_trace("uniform", args.burst_rps, args.requests, rng)
+    saturated = run_regime(calibrated, executor, burst_trace, args, accel)
+
+    # Paced regime: offered load well under the measured capacity, so
+    # batches form on the coalescing timer and the percentiles ride on
+    # host scheduling noise — exactly what the spread-widened median
+    # tolerance exists for.
+    paced_rps = args.paced_rps
+    if paced_rps is None:
+        paced_rps = max(1000.0, 0.5 * saturated["rps_median"])
+    paced_trace = make_trace(
+        "uniform", paced_rps, max(args.requests // 4, 100), rng
+    )
+    paced = run_regime(calibrated, executor, paced_trace, args, accel)
+
+    report = saturated["last_report"]
+    latency = saturated["last_latency"]
 
     # Decisions gate: virtual replay vs the simulator, exact-cost model.
     exact = ScheduledBatchCost(network=network, accel_config=accel)
@@ -144,18 +179,22 @@ def run_benchmark(args: argparse.Namespace) -> dict:
         "requests": args.requests,
         "max_batch": args.max_batch,
         "seed": args.seed,
+        "trials": args.trials,
         "calibration_points": calibrated.points,
-        "attempts": attempts,
+        "paced_rps": paced_rps,
         "headline": {
-            "live_rps": rps,
+            "live_rps": saturated["rps_median"],
             "served": report.completed,
             "mean_batch_size": report.mean_batch_size,
             "p50_live_us": latency["p50_us"],
             "p99_live_us": latency["p99_us"],
-            "crosscheck_within_tol": 1.0 if crosscheck["within_tol"] else 0.0,
+            "crosscheck_within_tol": 1.0 if saturated["gate"]["within_tol"] else 0.0,
+            "paced_within_tol": 1.0 if paced["gate"]["within_tol"] else 0.0,
             "replay_decisions_identical": 1.0 if not diffs else 0.0,
         },
-        "sim_vs_live": crosscheck,
+        "sim_vs_live": saturated["gate"],
+        "sim_vs_live_paced": paced["gate"],
+        "live_rps_trials": saturated["rps_values"],
         "replay": {
             "requests": args.replay_requests,
             "batches": live_replay.batch_count,
@@ -166,23 +205,33 @@ def run_benchmark(args: argparse.Namespace) -> dict:
 
 def format_report(report: dict) -> str:
     headline = report["headline"]
-    xcheck = report["sim_vs_live"]
     lines = [
-        f"Live serving runtime — tiny network, {report['requests']} requests,"
-        f" batch<={report['max_batch']}, in-process engine",
-        f"  live throughput: {headline['live_rps']:,.0f} req/s"
-        f" ({headline['served']} served, mean batch"
+        f"Live serving runtime — tiny network, {report['requests']} requests"
+        f" x {report['trials']} trials, batch<={report['max_batch']},"
+        f" in-process engine",
+        f"  live throughput: {headline['live_rps']:,.0f} req/s median"
+        f" ({headline['served']} served/trial, mean batch"
         f" {headline['mean_batch_size']:.1f})",
         f"  live latency: p50 {headline['p50_live_us']:,.0f}us,"
-        f" p99 {headline['p99_live_us']:,.0f}us",
-        f"  sim-vs-live: p50 ratio {xcheck['p50_us']['ratio']:.2f},"
-        f" p99 ratio {xcheck['p99_us']['ratio']:.2f} ->"
-        f" {'within' if headline['crosscheck_within_tol'] else 'OUTSIDE'}"
-        f" 20% tolerance",
+        f" p99 {headline['p99_live_us']:,.0f}us (medians)",
+    ]
+    for label, key, flag in (
+        ("saturated", "sim_vs_live", "crosscheck_within_tol"),
+        ("paced", "sim_vs_live_paced", "paced_within_tol"),
+    ):
+        gate = report[key]
+        lines.append(
+            f"  sim-vs-live [{label}]: p50 ratio {gate['p50_us']['ratio']:.2f}"
+            f" (tol {gate['p50_us']['tolerance']:.0%}),"
+            f" p99 ratio {gate['p99_us']['ratio']:.2f}"
+            f" (tol {gate['p99_us']['tolerance']:.0%}) ->"
+            f" {'within' if headline[flag] else 'OUTSIDE'} median gate"
+        )
+    lines.append(
         f"  virtual replay: {report['replay']['requests']} requests,"
         f" {report['replay']['batches']} batches ->"
-        f" {'decision-identical' if headline['replay_decisions_identical'] else 'DIVERGED'}",
-    ]
+        f" {'decision-identical' if headline['replay_decisions_identical'] else 'DIVERGED'}"
+    )
     for diff in report["replay"]["diffs"][:5]:
         lines.append(f"    {diff}")
     return "\n".join(lines)
@@ -209,6 +258,19 @@ def main(argv: list[str] | None = None) -> int:
         "--replay-requests", type=int, default=None, help="virtual-replay trace length"
     )
     parser.add_argument("--replay-rps", type=float, default=4000.0)
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="live trials per regime for the median gates (3 smoke, 5 full)",
+    )
+    parser.add_argument(
+        "--paced-rps",
+        type=float,
+        default=None,
+        help="offered rate of the paced regime (default: half the measured"
+        " saturated throughput)",
+    )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--json", type=str, default=None, help="write report JSON here")
     args = parser.parse_args(argv)
@@ -219,6 +281,10 @@ def main(argv: list[str] | None = None) -> int:
         args.requests = 4000 if args.smoke else 20000
     if args.replay_requests is None:
         args.replay_requests = 400 if args.smoke else 2000
+    if args.trials is None:
+        args.trials = 3 if args.smoke else 5
+    if args.trials < 1:
+        parser.error("--trials must be at least 1")
 
     report = run_benchmark(args)
     print(format_report(report))

@@ -317,6 +317,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     from repro.capsnet.config import tiny_capsnet_config
     from repro.data.synthetic import SyntheticDigits
     from repro.errors import ConfigError
+    from repro.obs import RecordingTracer, export_trace, pipeline_op_lane
     from repro.serve import (
         AnalyticBatchCost,
         ScheduledBatchCost,
@@ -375,6 +376,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         cost = build_cost(args.network)
 
         server = ServerConfig.from_cli_args(args, cost, accel_config=accel_config)
+        tracer = RecordingTracer() if args.trace_out else None
 
         # One Generator seeds everything — the arrival traces and (in
         # execute mode) the request images — so a run is reproducible end
@@ -411,7 +413,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                         weight=spec_value(spec, "weight", 1.0, float),
                     )
                 )
-            simulator = ServingSimulator(server=server, tenants=tenants)
+            simulator = ServingSimulator(server=server, tenants=tenants, tracer=tracer)
             report = simulator.run(
                 with_crosscheck=False,
                 record_requests=not args.fast,
@@ -440,6 +442,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                 server=server,
                 images=images,
                 execute=args.execute,
+                tracer=tracer,
             )
             report = simulator.run(
                 with_crosscheck=args.cost == "scheduled",
@@ -462,6 +465,16 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         shown = report.predictions[:16].tolist()
         suffix = f" ... ({report.completed} total)" if report.completed > 16 else ""
         print(f"  predictions: {shown}{suffix}")
+    if tracer is not None:
+        # The op drill-down lane (paper Fig. 11) needs the memoized
+        # pipelined schedule, which only the pipeline=True scheduled
+        # cost carries; the default export stays schema-identical to
+        # `repro serve --trace-out`.
+        op_lane = None
+        if args.pipeline and hasattr(cost, "pipeline_ops"):
+            op_lane = pipeline_op_lane(cost, args.max_batch)
+        export_trace(tracer, args.trace_out, op_lane=op_lane)
+        print(f"wrote {args.trace_out} ({len(tracer.events)} events)")
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report.to_dict(), handle, indent=2)
@@ -479,6 +492,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.capsnet.config import tiny_capsnet_config
     from repro.data.synthetic import SyntheticDigits
     from repro.errors import ConfigError
+    from repro.obs import RecordingTracer, ServingMetrics, export_trace, serve_metrics
     from repro.serve import (
         ScheduledBatchCost,
         ServerConfig,
@@ -490,6 +504,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.runtime import MeasuredBatchCost, ServingRuntime, replay_virtual
     from repro.serve.trace import ArrivalTrace
     from repro.serve.workers import InlineEngineExecutor, ProcessWorkerPool
+
+    def parse_hostport(text: str, flag: str) -> tuple[str, int]:
+        host, _, port_text = text.rpartition(":")
+        try:
+            return host or "127.0.0.1", int(port_text)
+        except ValueError as error:
+            raise ConfigError(f"{flag} expects HOST:PORT, got {text!r}") from error
 
     try:
         network = (
@@ -504,16 +525,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 {"burst_size": args.burst_size} if args.trace == "bursty" else {}
             )
             trace = make_trace(args.trace, args.rate, args.requests, rng, **trace_kwargs)
+        tracer = RecordingTracer() if args.trace_out else None
 
         if args.replay_virtual:
             # Deterministic mode: the runtime engine in virtual time, priced
             # by the exact scheduled cost, checked decision-for-decision
             # against the discrete-event simulator.
+            if args.metrics_listen:
+                raise ConfigError(
+                    "--metrics-listen needs the wall-clock runtime (virtual"
+                    " replay has no scrape interval)"
+                )
             cost = ScheduledBatchCost(
                 network=network, accel_config=accel_config, pipeline=args.pipeline
             )
             server = ServerConfig.from_cli_args(args, cost, accel_config=accel_config)
-            live = replay_virtual(server, trace)
+            live = replay_virtual(server, trace, tracer=tracer)
             sim = ServingSimulator(trace, server=server).run()
             diffs = decision_diffs(sim, live)
             print(live.format_table())
@@ -526,6 +553,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"  virtual replay matches the simulator decision-for-decision"
                 f" ({live.completed} served, {live.batch_count} batches)"
             )
+            if tracer is not None:
+                export_trace(tracer, args.trace_out)
+                print(f"wrote {args.trace_out} ({len(tracer.events)} events)")
             if args.json:
                 with open(args.json, "w") as handle:
                     json.dump(live.to_dict(), handle, indent=2)
@@ -542,6 +572,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "--array-sizes is simulation-only (live arrays are homogeneous"
                 " execution slots)"
             )
+        if args.trace_out and args.listen is not None:
+            raise ConfigError(
+                "--trace-out needs a bounded run (the socket server never"
+                " finishes a trace); use the load-generation mode"
+            )
+        metrics = ServingMetrics() if args.metrics_listen else None
 
         if args.workers == "process":
             executor = ProcessWorkerPool(
@@ -560,21 +596,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             server = ServerConfig.from_cli_args(args, cost, accel_config=accel_config)
 
             if args.listen is not None:
-                host, _, port_text = args.listen.rpartition(":")
-                try:
-                    port = int(port_text)
-                except ValueError as error:
-                    raise ConfigError(
-                        f"--listen expects HOST:PORT, got {args.listen!r}"
-                    ) from error
+                host, port = parse_hostport(args.listen, "--listen")
 
                 async def serve_forever() -> None:
                     runtime = ServingRuntime(
-                        server, executor=executor, max_pending=args.max_pending
+                        server,
+                        executor=executor,
+                        max_pending=args.max_pending,
+                        metrics=metrics,
                     )
-                    socket_server = await runtime.serve_socket(
-                        host or "127.0.0.1", port
-                    )
+                    if args.metrics_listen:
+                        m_host, m_port = parse_hostport(
+                            args.metrics_listen, "--metrics-listen"
+                        )
+                        await serve_metrics(metrics, m_host, m_port)
+                        print(f"metrics on http://{m_host}:{m_port}/metrics")
+                    socket_server = await runtime.serve_socket(host, port)
                     bound = socket_server.sockets[0].getsockname()
                     print(
                         f"serving {args.network} on {bound[0]}:{bound[1]}"
@@ -591,8 +628,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
             async def run_load():
                 runtime = ServingRuntime(
-                    server, executor=executor, max_pending=args.max_pending
+                    server,
+                    executor=executor,
+                    max_pending=args.max_pending,
+                    tracer=tracer,
+                    metrics=metrics,
                 )
+                metrics_server = None
+                if args.metrics_listen:
+                    m_host, m_port = parse_hostport(
+                        args.metrics_listen, "--metrics-listen"
+                    )
+                    metrics_server = await serve_metrics(metrics, m_host, m_port)
+                    print(f"metrics on http://{m_host}:{m_port}/metrics")
                 wall_start = time.perf_counter()
                 await runtime.run_load(trace)
                 await runtime.drain()
@@ -603,10 +651,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     wall_seconds=wall,
                 )
                 await runtime.stop()
+                if metrics_server is not None:
+                    metrics_server.close()
+                    await metrics_server.wait_closed()
                 return report
 
             live = asyncio.run(run_load())
             print(live.format_table())
+            if tracer is not None:
+                export_trace(tracer, args.trace_out)
+                print(f"wrote {args.trace_out} ({len(tracer.events)} events)")
             served = live.served
             live_rps = 0.0
             if served:
@@ -896,6 +950,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="HOST:PORT",
         help="serve a JSONL request socket instead of generating load",
+    )
+    live_parser.add_argument(
+        "--metrics-listen",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="expose live Prometheus metrics (counters, gauges, windowed"
+        " p50/p99) over HTTP while the run is in flight",
     )
     live_parser.add_argument(
         "--replay-virtual",

@@ -343,6 +343,27 @@ class StreamTiming:
         return clock_mhz * 1e6 / cycles
 
 
+@dataclass(frozen=True)
+class OpSpan:
+    """One scheduled op instance on the stream timeline (for tracing).
+
+    ``start_cycle``/``end_cycle`` are the op's span on its executing
+    resource — the PE array for tiles, the activation pipeline for act
+    passes.  Tiles additionally carry their weight-port load span
+    (``load_start_cycle``/``load_end_cycle``); the gap between load end
+    and stream start is prestage slack (the Weight2 FIFO at work).
+    """
+
+    batch: int
+    op: int
+    kind: str
+    layer: str
+    start_cycle: int
+    end_cycle: int
+    load_start_cycle: int = 0
+    load_end_cycle: int = 0
+
+
 @dataclass
 class _BatchState:
     """Progress cursor of one in-flight batch."""
@@ -368,6 +389,7 @@ def simulate_stream(
     images_per_batch: list[int] | None = None,
     window: int = DEFAULT_WINDOW,
     prestage_depth: int = DEFAULT_PRESTAGE_DEPTH,
+    op_trace: list[OpSpan] | None = None,
 ) -> StreamTiming:
     """Run the stream schedule and return per-batch start/finish cycles.
 
@@ -375,7 +397,9 @@ def simulate_stream(
     ``window`` batches are in flight; within a batch ops execute in their
     serial dependency order; across batches, tiles are granted by array
     efficiency and at most ``prestage_depth`` tiles may be loaded ahead
-    of the array.
+    of the array.  When ``op_trace`` is a list, one :class:`OpSpan` per
+    scheduled op is appended to it in grant order (timing is unchanged;
+    the memoized :func:`cached_stream_timing` never records).
     """
     if window < 1:
         raise ConfigError("pipeline window must be at least one batch")
@@ -416,6 +440,17 @@ def simulate_stream(
             if op.kind == "act":
                 if state.start is None:
                     state.start = state.ready
+                if op_trace is not None:
+                    op_trace.append(
+                        OpSpan(
+                            batch=state.index,
+                            op=state.cursor,
+                            kind="act",
+                            layer=op.layer,
+                            start_cycle=state.ready,
+                            end_cycle=state.ready + op.cycles,
+                        )
+                    )
                 state.ready += op.cycles
                 state.act += op.cycles
                 state.cursor += 1
@@ -452,6 +487,19 @@ def simulate_stream(
                 best_idle, best_cycles = idle, op.cycles
         assert best is not None
         op = best.ops[best.cursor]
+        if op_trace is not None:
+            op_trace.append(
+                OpSpan(
+                    batch=best.index,
+                    op=best.cursor,
+                    kind="tile",
+                    layer=op.layer,
+                    start_cycle=best_start,
+                    end_cycle=best_start + op.cycles,
+                    load_start_cycle=best_load_start,
+                    load_end_cycle=best_load_start + op.load,
+                )
+            )
         port_free = best_load_start + op.load
         recent_stream_starts.append(best_start)
         if len(recent_stream_starts) > prestage_depth:
@@ -524,3 +572,28 @@ def cached_stream_timing(
             prestage_depth=prestage_depth,
         )
     return timing
+
+
+def stream_op_spans(
+    per_batch_ops: list[list[PipelineOp]],
+    images_per_batch: list[int] | None = None,
+    window: int = DEFAULT_WINDOW,
+    prestage_depth: int = DEFAULT_PRESTAGE_DEPTH,
+) -> tuple[StreamTiming, list[OpSpan]]:
+    """Uncached :func:`simulate_stream` run that records per-op spans.
+
+    Used by the observability exporters to render the op-level
+    drill-down lane (tile streams, weight-port loads, activation
+    passes — the paper's Fig. 11 pipeline).  Deliberately bypasses
+    :func:`cached_stream_timing`: recording is rare and the cache must
+    keep returning the exact shared objects it memoized.
+    """
+    spans: list[OpSpan] = []
+    timing = simulate_stream(
+        per_batch_ops,
+        images_per_batch,
+        window=window,
+        prestage_depth=prestage_depth,
+        op_trace=spans,
+    )
+    return timing, spans

@@ -1,0 +1,84 @@
+"""Unified observability for the serving stack: tracing, export, metrics.
+
+Both serving drivers — the discrete-event simulator and the live asyncio
+runtime — drive one :class:`~repro.serve.core.ServingCore`, so this
+package instruments that single choke point and gets an identical
+structured event stream from both (virtual vs wall-clock timestamps
+being the only difference):
+
+* :mod:`repro.obs.tracer` — the tracer protocol: a zero-cost null
+  default (:data:`NULL_TRACER`), a :class:`RecordingTracer` capturing
+  the full request lifecycle and per-array busy spans, and
+  :func:`combine_tracers` to fan one stream out to several consumers.
+* :mod:`repro.obs.export` — Chrome trace-event / Perfetto JSON (array
+  lanes, per-request flow arrows, an op-level pipeline drill-down lane)
+  and a JSONL span log; ``repro serve[-sim] --trace-out t.json``.
+* :mod:`repro.obs.metrics` — counters, sampled gauges, windowed
+  latency rollups, Prometheus text exposition;
+  ``repro serve --metrics-listen HOST:PORT``.
+
+Quick start::
+
+    from repro.obs import RecordingTracer, export_chrome_trace
+    from repro.serve import ServingSimulator
+
+    tracer = RecordingTracer()
+    report = ServingSimulator(trace, server=server, tracer=tracer).run()
+    export_chrome_trace(tracer, "serve.trace.json")   # open in Perfetto
+"""
+
+from repro.obs.export import (
+    build_chrome_trace,
+    chrome_trace_events,
+    export_chrome_trace,
+    export_trace,
+    op_lane_events,
+    pipeline_op_lane,
+    trace_schema,
+    write_span_log,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    ServingMetrics,
+    WindowedLatency,
+    serve_metrics,
+)
+from repro.obs.tracer import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    BatchTrace,
+    MultiTracer,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+    combine_tracers,
+    well_formed_errors,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "NULL_TRACER",
+    "BatchTrace",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "MultiTracer",
+    "RecordingTracer",
+    "ServingMetrics",
+    "TraceEvent",
+    "Tracer",
+    "WindowedLatency",
+    "build_chrome_trace",
+    "chrome_trace_events",
+    "combine_tracers",
+    "export_chrome_trace",
+    "export_trace",
+    "op_lane_events",
+    "pipeline_op_lane",
+    "serve_metrics",
+    "trace_schema",
+    "well_formed_errors",
+    "write_span_log",
+]

@@ -1,0 +1,311 @@
+"""Trace exporters: Chrome trace-event / Perfetto JSON and JSONL spans.
+
+The Chrome trace-event format (the JSON Perfetto and ``chrome://tracing``
+both load) renders the serving timeline the way the paper draws its
+pipeline figures: one lane per PE array carrying batch compute spans,
+a requests lane carrying per-request wait spans, flow arrows binding
+each request's wait to the batch that served it, and — when the cost
+model is pipelined — an op-level drill-down lane showing tile streams,
+weight-port loads, and activation passes from the
+:mod:`repro.hw.pipeline` schedule (Fig. 11 made visible).
+
+Both serving drivers feed one :class:`~repro.obs.tracer.RecordingTracer`
+through the shared core, so a simulated run and a live run of the same
+trace export *schema-identical* files — same phases, same categories,
+same argument keys — differing only in timestamps.  That identity is a
+tested acceptance criterion; :func:`trace_schema` is the comparator.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracer import SHED, TIMEOUT, RecordingTracer
+
+#: pid of the serving lanes; the op drill-down uses its own process.
+SERVING_PID = 0
+PIPELINE_PID = 1
+
+#: tid layout inside the serving process: requests first, arrays after.
+REQUESTS_TID = 0
+ARRAY_TID_BASE = 1
+
+#: tid layout inside the pipeline drill-down process.
+OP_ARRAY_TID = 0
+OP_PORT_TID = 1
+OP_ACT_TID = 2
+
+
+def _metadata(pid: int, name: str, tid: int | None = None) -> dict:
+    event = {
+        "ph": "M",
+        "pid": pid,
+        "name": "process_name" if tid is None else "thread_name",
+        "args": {"name": name},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    event["ts"] = 0
+    return event
+
+
+def chrome_trace_events(tracer: RecordingTracer) -> list[dict]:
+    """Serving-lane trace events (metadata + spans + flows + instants)."""
+    events: list[dict] = [_metadata(SERVING_PID, "serving")]
+    events.append(_metadata(SERVING_PID, "requests", REQUESTS_TID))
+    arrays = sorted({b.array for b in tracer.batches})
+    for array in arrays:
+        events.append(
+            _metadata(SERVING_PID, f"array {array}", ARRAY_TID_BASE + array)
+        )
+
+    for batch in tracer.batches:
+        if batch.done_us is None:
+            continue
+        tid = ARRAY_TID_BASE + batch.array
+        events.append(
+            {
+                "ph": "X",
+                "pid": SERVING_PID,
+                "tid": tid,
+                "ts": batch.dispatch_us,
+                "dur": batch.done_us - batch.dispatch_us,
+                "name": f"batch {batch.batch} x{batch.size}",
+                "cat": "batch",
+                "args": {
+                    "batch": batch.batch,
+                    "tenant": batch.tenant,
+                    "size": batch.size,
+                    "warm": batch.warm,
+                    "stacked": batch.stacked,
+                },
+            }
+        )
+        for index, arrival in zip(batch.members, batch.member_arrivals):
+            wait = batch.dispatch_us - arrival
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": SERVING_PID,
+                    "tid": REQUESTS_TID,
+                    "ts": arrival,
+                    "dur": wait if wait > 0.0 else 0.0,
+                    "name": f"req {index}",
+                    "cat": "request",
+                    "args": {"request": index, "tenant": batch.tenant},
+                }
+            )
+            # Flow arrow: the wait span hands off to the batch span.  The
+            # start binds to the enclosing request slice, the finish
+            # (bp="e") to the batch slice at the dispatch instant.
+            events.append(
+                {
+                    "ph": "s",
+                    "pid": SERVING_PID,
+                    "tid": REQUESTS_TID,
+                    "ts": arrival,
+                    "id": index,
+                    "name": "serve",
+                    "cat": "flow",
+                    "args": {"request": index},
+                }
+            )
+            events.append(
+                {
+                    "ph": "f",
+                    "bp": "e",
+                    "pid": SERVING_PID,
+                    "tid": tid,
+                    "ts": batch.dispatch_us,
+                    "id": index,
+                    "name": "serve",
+                    "cat": "flow",
+                    "args": {"request": index},
+                }
+            )
+
+    for event in tracer.events:
+        if event.kind == SHED:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": SERVING_PID,
+                    "tid": REQUESTS_TID,
+                    "ts": event.ts_us,
+                    "name": f"shed {event.request}",
+                    "cat": "shed",
+                    "args": {"request": event.request, "tenant": event.tenant},
+                }
+            )
+        elif event.kind == TIMEOUT:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": SERVING_PID,
+                    "tid": REQUESTS_TID,
+                    "ts": event.ts_us,
+                    "name": "coalescing timeout",
+                    "cat": "timeout",
+                    "args": {},
+                }
+            )
+    return events
+
+
+def op_lane_events(
+    op_spans,
+    clock_mhz: float,
+    offset_us: float = 0.0,
+) -> list[dict]:
+    """Op drill-down lane from :class:`~repro.hw.pipeline.OpSpan` records.
+
+    Renders one pipelined batch stream — tile streams on the PE-array
+    thread, weight-port loads (with prestage slack visible) on the port
+    thread, activation passes on the activation thread — converting
+    cycles to microseconds at ``clock_mhz``.
+    """
+    scale = 1.0 / clock_mhz  # cycles -> us
+    events: list[dict] = [
+        _metadata(PIPELINE_PID, "pipeline drill-down"),
+        _metadata(PIPELINE_PID, "pe array", OP_ARRAY_TID),
+        _metadata(PIPELINE_PID, "weight port", OP_PORT_TID),
+        _metadata(PIPELINE_PID, "activation", OP_ACT_TID),
+    ]
+    for span in op_spans:
+        name = span.layer or span.kind
+        args = {"batch": span.batch, "op": span.op, "layer": span.layer}
+        if span.kind == "act":
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": PIPELINE_PID,
+                    "tid": OP_ACT_TID,
+                    "ts": offset_us + span.start_cycle * scale,
+                    "dur": (span.end_cycle - span.start_cycle) * scale,
+                    "name": name,
+                    "cat": "op",
+                    "args": args,
+                }
+            )
+            continue
+        events.append(
+            {
+                "ph": "X",
+                "pid": PIPELINE_PID,
+                "tid": OP_ARRAY_TID,
+                "ts": offset_us + span.start_cycle * scale,
+                "dur": (span.end_cycle - span.start_cycle) * scale,
+                "name": name,
+                "cat": "op",
+                "args": args,
+            }
+        )
+        if span.load_end_cycle > span.load_start_cycle:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": PIPELINE_PID,
+                    "tid": OP_PORT_TID,
+                    "ts": offset_us + span.load_start_cycle * scale,
+                    "dur": (span.load_end_cycle - span.load_start_cycle) * scale,
+                    "name": f"load {name}",
+                    "cat": "load",
+                    "args": args,
+                }
+            )
+    return events
+
+
+def pipeline_op_lane(cost, batch_size: int, batches: int = 4) -> list[dict]:
+    """Drill-down lane for ``batches`` identical pipelined batches.
+
+    Uses the cost model's memoized op timeline
+    (``cost.pipeline_ops(batch_size)``) through the recording stream
+    scheduler; raises :class:`~repro.errors.ConfigError` when the model
+    was not built with ``pipeline=True`` (e.g. the live runtime's
+    measured costs) — callers treat the lane as optional.
+    """
+    from repro.hw.pipeline import stream_op_spans
+
+    ops = cost.pipeline_ops(batch_size)
+    _, spans = stream_op_spans([ops] * batches, [batch_size] * batches)
+    return op_lane_events(spans, cost.config.clock_mhz)
+
+
+def build_chrome_trace(
+    tracer: RecordingTracer,
+    *,
+    op_lane: list[dict] | None = None,
+    metadata: dict | None = None,
+) -> dict:
+    """Assemble the full Chrome trace-event JSON payload (sorted by ts)."""
+    events = chrome_trace_events(tracer)
+    if op_lane:
+        events.extend(op_lane)
+    # Perfetto tolerates any order, but sorted output makes the export
+    # timestamp-monotonic (the well-formedness the tests assert) and
+    # diffs stable.  Metadata events sort first (ts 0, ph "M").
+    events.sort(key=lambda e: (e.get("ts", 0.0), e["ph"] != "M"))
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs"},
+    }
+    if metadata:
+        payload["otherData"].update(metadata)
+    return payload
+
+
+def export_chrome_trace(
+    tracer: RecordingTracer,
+    path: str,
+    *,
+    op_lane: list[dict] | None = None,
+    metadata: dict | None = None,
+) -> dict:
+    """Write the Perfetto-loadable trace JSON to ``path``; returns it."""
+    payload = build_chrome_trace(tracer, op_lane=op_lane, metadata=metadata)
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return payload
+
+
+def write_span_log(tracer: RecordingTracer, path: str) -> int:
+    """Write the raw event stream as JSONL (one event per line).
+
+    The structured-log alternative to the Perfetto export: greppable,
+    streamable, and loadable row-by-row.  Returns the line count.
+    """
+    events = sorted(tracer.events, key=lambda e: e.ts_us)
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_dict()) + "\n")
+    return len(events)
+
+
+def export_trace(tracer: RecordingTracer, path: str, **kwargs):
+    """Format-sniffing export: ``.jsonl`` span log, else Chrome JSON."""
+    if path.endswith(".jsonl"):
+        return write_span_log(tracer, path)
+    return export_chrome_trace(tracer, path, **kwargs)
+
+
+def trace_schema(payload: dict) -> set[tuple]:
+    """Schema fingerprint of a Chrome trace payload.
+
+    The set of ``(ph, cat, sorted arg keys)`` triples over non-metadata
+    events plus the normalized lane names — everything about the export's
+    *shape* that should be identical between a simulated and a live run
+    of the same trace, and nothing (timestamps, counts, ids) that
+    legitimately differs.
+    """
+    schema: set[tuple] = set()
+    for event in payload["traceEvents"]:
+        ph = event["ph"]
+        if ph == "M":
+            schema.add(("M", event["name"], event["args"]["name"]))
+            continue
+        schema.add((ph, event.get("cat", ""), tuple(sorted(event.get("args", {})))))
+    return schema

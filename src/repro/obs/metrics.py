@@ -1,0 +1,341 @@
+"""Live serving metrics: registry, windowed rollups, Prometheus text.
+
+The metrics layer rides the same tracer hooks the recorders use:
+:class:`ServingMetrics` *is* a :class:`~repro.obs.tracer.Tracer`, so one
+``combine_tracers(recording, metrics)`` feeds both from the single
+instrumentation point in the serving core.  Counters and windowed
+latency rollups update on events; gauges (queue depth, in-flight
+batches, per-array utilization) are sampled by the driver — the live
+runtime's periodic snapshot task, or an explicit ``sample()`` call.
+
+Latency rolls up per fixed window through the HDR log-bucketed
+:class:`~repro.serve.stats.LatencyHistogram` (``kind="log"``): each
+closed window yields count / p50 / p99, kept in a bounded deque and
+mirrored into gauges, so a scraper sees fresh percentiles without the
+server ever holding per-request state.
+
+Exposition is Prometheus text format, served by
+:func:`serve_metrics` (a dependency-free ``asyncio`` HTTP responder)
+behind ``repro serve --metrics-listen HOST:PORT``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.errors import ConfigError
+from repro.obs.tracer import Tracer
+from repro.serve.stats import LatencyHistogram
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Family:
+    """One metric family: a name, a help line, and labeled samples."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+        self.samples: dict[tuple, float] = {}
+
+    @staticmethod
+    def _key(labels: dict) -> tuple:
+        return tuple(sorted(labels.items()))
+
+    def value(self, **labels) -> float:
+        return self.samples.get(self._key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key in sorted(self.samples):
+            label = (
+                "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}" if key else ""
+            )
+            lines.append(f"{self.name}{label} {_format_value(self.samples[key])}")
+        return lines
+
+
+class Counter(_Family):
+    """Monotonically increasing labeled counter."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = self._key(labels)
+        self.samples[key] = self.samples.get(key, 0.0) + amount
+
+
+class Gauge(_Family):
+    """Last-value labeled gauge."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self.samples[self._key(labels)] = float(value)
+
+
+class MetricsRegistry:
+    """Ordered collection of metric families with text exposition."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    def _register(self, cls, name: str, help_text: str):
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = cls(name, help_text)
+        elif not isinstance(family, cls):
+            raise ConfigError(f"metric {name!r} already registered as another type")
+        return family
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._register(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._register(Gauge, name, help_text)
+
+    def render(self) -> str:
+        """Prometheus text exposition of every family."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            lines.extend(self._families[name].render())
+        return "\n".join(lines) + "\n"
+
+
+class WindowedLatency:
+    """Fixed-window latency rollups over log-bucketed histograms.
+
+    ``observe(ts_us, value_us)`` folds a sample into the window holding
+    ``ts_us``; crossing a window boundary closes the previous window
+    into a ``{start_us, end_us, count, p50_us, p99_us, mean_us}``
+    summary.  Windows are closed lazily by observation timestamps (the
+    caller's clock — virtual or wall), so the class itself never reads
+    time.
+    """
+
+    def __init__(
+        self,
+        window_us: float = 1_000_000.0,
+        bin_us: float = 50.0,
+        subbins: int = 32,
+        keep: int = 64,
+    ) -> None:
+        if not (math.isfinite(window_us) and window_us > 0):
+            raise ConfigError("metrics window must be finite and positive")
+        self.window_us = float(window_us)
+        self._bin_us = bin_us
+        self._subbins = subbins
+        self._hist = LatencyHistogram(bin_us, kind="log", subbins=subbins)
+        self._window_start: float | None = None
+        self.windows: deque[dict] = deque(maxlen=keep)
+
+    def _summary(self, end_us: float) -> dict:
+        hist = self._hist
+        return {
+            "start_us": self._window_start,
+            "end_us": end_us,
+            "count": hist.count,
+            "mean_us": hist.mean_us,
+            "p50_us": hist.percentile(50),
+            "p99_us": hist.percentile(99),
+        }
+
+    def _roll_to(self, ts_us: float) -> None:
+        while ts_us >= self._window_start + self.window_us:
+            end = self._window_start + self.window_us
+            self.windows.append(self._summary(end))
+            self._hist = LatencyHistogram(
+                self._bin_us, kind="log", subbins=self._subbins
+            )
+            self._window_start = end
+
+    def observe(self, ts_us: float, value_us: float) -> None:
+        if self._window_start is None:
+            self._window_start = math.floor(ts_us / self.window_us) * self.window_us
+        else:
+            self._roll_to(ts_us)
+        self._hist.add(value_us)
+
+    def latest(self) -> dict | None:
+        """Most recent rollup: the last closed window, else the current
+        partial one (so early scrapes still see percentiles)."""
+        if self.windows:
+            return self.windows[-1]
+        if self._window_start is None or self._hist.count == 0:
+            return None
+        return self._summary(self._window_start + self.window_us)
+
+
+class ServingMetrics(Tracer):
+    """Tracer adapter that folds serving events into a metrics registry.
+
+    Counter families (labeled by tenant where meaningful):
+
+    * ``serve_requests_offered_total`` / ``_admitted_total`` /
+      ``_shed_total`` / ``_completed_total`` / ``_deadline_missed_total``
+    * ``serve_batches_total`` (labeled ``warm``), ``serve_batch_size_total``
+      (labeled ``size`` — the batch-size distribution),
+      ``serve_coalescing_timeouts_total``
+
+    Gauges set by :meth:`sample` (the runtime's snapshot task):
+    ``serve_queue_depth``, ``serve_inflight_batches``,
+    ``serve_array_utilization`` (labeled ``array``), ``serve_shed_ratio``,
+    and the windowed-latency mirrors ``serve_latency_p50_us`` /
+    ``serve_latency_p99_us`` / ``serve_latency_window_count``.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        window_us: float = 1_000_000.0,
+        bin_us: float = 50.0,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self.offered = reg.counter(
+            "serve_requests_offered_total", "Arrivals reaching admission"
+        )
+        self.admitted = reg.counter(
+            "serve_requests_admitted_total", "Arrivals admitted to a queue"
+        )
+        self.shed = reg.counter(
+            "serve_requests_shed_total", "Arrivals rejected (admission/backpressure)"
+        )
+        self.completed = reg.counter(
+            "serve_requests_completed_total", "Requests whose batch finished"
+        )
+        self.deadline_missed = reg.counter(
+            "serve_deadline_missed_total", "Completions past their deadline"
+        )
+        self.batches = reg.counter(
+            "serve_batches_total", "Batches placed on arrays"
+        )
+        self.batch_size = reg.counter(
+            "serve_batch_size_total", "Batch-size distribution of placed batches"
+        )
+        self.timeouts = reg.counter(
+            "serve_coalescing_timeouts_total", "Coalescing windows that expired"
+        )
+        self.queue_depth = reg.gauge(
+            "serve_queue_depth", "Requests queued across tenants"
+        )
+        self.inflight = reg.gauge(
+            "serve_inflight_batches", "Batches currently executing"
+        )
+        self.utilization = reg.gauge(
+            "serve_array_utilization", "Busy fraction per array since start"
+        )
+        self.shed_ratio = reg.gauge(
+            "serve_shed_ratio", "Shed arrivals over offered arrivals"
+        )
+        self.latency_p50 = reg.gauge(
+            "serve_latency_p50_us", "p50 total latency of the latest window"
+        )
+        self.latency_p99 = reg.gauge(
+            "serve_latency_p99_us", "p99 total latency of the latest window"
+        )
+        self.latency_count = reg.gauge(
+            "serve_latency_window_count", "Completions in the latest window"
+        )
+        self.latency = WindowedLatency(window_us=window_us, bin_us=bin_us)
+
+    # -- tracer hooks ---------------------------------------------------
+
+    def request_arrived(self, ts_us, index, tenant, deadline_us) -> None:
+        self.offered.inc(tenant=tenant)
+
+    def request_admitted(self, ts_us, index, tenant) -> None:
+        self.admitted.inc(tenant=tenant)
+
+    def request_shed(self, ts_us, index, tenant) -> None:
+        self.shed.inc(tenant=tenant)
+
+    def batch_placed(self, ts_us, placed) -> None:
+        self.batches.inc(warm=str(bool(placed.warm)).lower())
+        self.batch_size.inc(size=str(placed.size))
+
+    def batch_completed(self, ts_us, placed) -> None:
+        tenant = placed.tenant.name
+        observe = self.latency.observe
+        for member in placed.members:
+            self.completed.inc(tenant=tenant)
+            observe(ts_us, ts_us - member.arrival_us)
+            if ts_us > member.deadline_us:
+                self.deadline_missed.inc(tenant=tenant)
+
+    def coalescing_timeout(self, ts_us) -> None:
+        self.timeouts.inc()
+
+    # -- driver-sampled gauges ------------------------------------------
+
+    def sample(
+        self,
+        *,
+        queue_depth: int | None = None,
+        inflight: int | None = None,
+        busy_us: dict[int, float] | None = None,
+        elapsed_us: float | None = None,
+    ) -> None:
+        """Refresh the sampled gauges (and the latency-window mirrors)."""
+        if queue_depth is not None:
+            self.queue_depth.set(queue_depth)
+        if inflight is not None:
+            self.inflight.set(inflight)
+        if busy_us is not None and elapsed_us is not None and elapsed_us > 0.0:
+            for array, busy in busy_us.items():
+                self.utilization.set(busy / elapsed_us, array=str(array))
+        offered = sum(self.offered.samples.values())
+        if offered > 0.0:
+            self.shed_ratio.set(sum(self.shed.samples.values()) / offered)
+        window = self.latency.latest()
+        if window is not None:
+            self.latency_p50.set(window["p50_us"])
+            self.latency_p99.set(window["p99_us"])
+            self.latency_count.set(window["count"])
+
+    def render(self) -> str:
+        """Prometheus text for the underlying registry."""
+        return self.registry.render()
+
+
+async def serve_metrics(metrics, host: str = "127.0.0.1", port: int = 9095):
+    """Start a minimal HTTP/1.0 exposition server; returns the server.
+
+    ``metrics`` is anything with a ``render() -> str`` (a
+    :class:`ServingMetrics` or a bare :class:`MetricsRegistry`).  Every
+    request — regardless of path — answers 200 with the current text
+    exposition, which is all a Prometheus scrape needs.  Close with
+    ``server.close(); await server.wait_closed()``.
+    """
+    import asyncio
+
+    async def handle(reader, writer):
+        try:
+            await reader.readline()  # request line; headers are ignored
+            body = metrics.render().encode()
+            writer.write(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+            )
+            await writer.drain()
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handle, host, port)

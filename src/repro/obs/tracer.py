@@ -1,0 +1,449 @@
+"""Request-lifecycle tracers for the serving core.
+
+:class:`~repro.serve.core.ServingCore` is the single choke point both
+serving drivers share, so instrumenting it once gives the discrete-event
+simulator and the live asyncio runtime the *same* structured event
+stream — only the timestamps differ (virtual vs wall clock).
+
+The tracer contract is deliberately tiny and purely observational:
+
+* :class:`Tracer` — the null default.  Every hook is a no-op and
+  ``enabled`` is ``False``; hot call sites guard with
+  ``if tracer.enabled:`` so the untraced path costs one attribute load
+  and a falsy branch per event site.
+* :class:`RecordingTracer` — captures the full per-request lifecycle
+  (arrive → admit/shed → batch-form → dispatch → compute start/end →
+  complete) plus per-array busy spans, and derives analysis views
+  (busy time, utilization, request lifecycles) for exporters and tests.
+* :class:`MultiTracer` — fans one event stream out to several tracers
+  (e.g. a recording tracer plus a live metrics adapter).
+
+Tracers never mutate policy state and are never consulted for
+decisions, which is what makes the decision-identity invariant (traced
+run == untraced run, bit for bit) hold by construction — and testable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Event kinds, in per-request lifecycle order.
+ARRIVE = "arrive"
+ADMIT = "admit"
+SHED = "shed"
+BATCH_FORM = "batch_form"
+DISPATCH = "dispatch"
+COMPUTE_START = "compute_start"
+COMPUTE_END = "compute_end"
+COMPLETE = "complete"
+TIMEOUT = "timeout"
+
+EVENT_KINDS = (
+    ARRIVE,
+    ADMIT,
+    SHED,
+    BATCH_FORM,
+    DISPATCH,
+    COMPUTE_START,
+    COMPUTE_END,
+    COMPLETE,
+    TIMEOUT,
+)
+
+#: Lifecycle order for a single request's events (well-formedness).
+_REQUEST_ORDER = {ARRIVE: 0, ADMIT: 1, SHED: 1, COMPLETE: 2}
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One structured serving event.
+
+    ``ts_us`` is the driver's clock — virtual microseconds in the
+    simulator, wall-clock microseconds in the live runtime.  Fields not
+    meaningful for a kind keep their defaults (``-1`` / ``""``).
+    """
+
+    ts_us: float
+    kind: str
+    request: int = -1
+    batch: int = -1
+    array: int = -1
+    tenant: str = ""
+    size: int = 0
+    deadline_us: float = math.inf
+    warm: bool = False
+    stacked: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view; omits defaulted fields."""
+        row: dict = {"ts_us": self.ts_us, "kind": self.kind}
+        if self.request >= 0:
+            row["request"] = self.request
+        if self.batch >= 0:
+            row["batch"] = self.batch
+        if self.array >= 0:
+            row["array"] = self.array
+        if self.tenant:
+            row["tenant"] = self.tenant
+        if self.size:
+            row["size"] = self.size
+        if math.isfinite(self.deadline_us):
+            row["deadline_us"] = self.deadline_us
+        if self.warm:
+            row["warm"] = True
+        if self.stacked:
+            row["stacked"] = True
+        return row
+
+
+@dataclass(slots=True)
+class BatchTrace:
+    """Span-level view of one placed batch (one busy span on its array)."""
+
+    batch: int
+    tenant: str
+    array: int
+    size: int
+    warm: bool
+    stacked: bool
+    formed_us: float
+    dispatch_us: float
+    done_us: float | None = None
+    members: tuple[int, ...] = ()
+    member_arrivals: tuple[float, ...] = ()
+    member_deadlines: tuple[float, ...] = ()
+
+
+class Tracer:
+    """Null tracer: the zero-cost default every driver starts with.
+
+    Subclasses that record must set ``enabled = True`` — instrumented
+    call sites skip the hook entirely when it is ``False``, so a null
+    tracer adds no per-event work beyond one branch.
+    """
+
+    enabled = False
+
+    def request_arrived(
+        self, ts_us: float, index: int, tenant: str, deadline_us: float
+    ) -> None:
+        """An arrival reached admission (before the admit/shed verdict)."""
+
+    def request_admitted(self, ts_us: float, index: int, tenant: str) -> None:
+        """Admission accepted the request into its tenant queue."""
+
+    def request_shed(self, ts_us: float, index: int, tenant: str) -> None:
+        """Admission (or backpressure) rejected the request — terminal."""
+
+    def batch_placed(self, ts_us: float, placed) -> None:
+        """The core formed ``placed`` and placed it on its array.
+
+        ``ts_us`` is the formation instant; ``placed.dispatch_us`` may
+        be later (a batch stacked behind a busy array starts when the
+        predecessor finishes).  Implementations that assign batch ids
+        stamp ``placed.trace_id``.
+        """
+
+    def batch_completed(self, ts_us: float, placed) -> None:
+        """``placed`` finished computing at ``ts_us`` (predicted done in
+        virtual time, measured done on the wall clock)."""
+
+    def coalescing_timeout(self, ts_us: float) -> None:
+        """A batching coalescing window expired (queue forced ready)."""
+
+
+#: Shared null tracer — drivers default to this instance.
+NULL_TRACER = Tracer()
+
+
+class RecordingTracer(Tracer):
+    """Records the full event stream plus batch/busy-span tables."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self.batches: list[BatchTrace] = []
+        #: request index -> arrival timestamp (for exporter wait spans).
+        self.arrivals: dict[int, float] = {}
+        #: request index -> absolute deadline (inf when none).
+        self.deadlines: dict[int, float] = {}
+        self.timeouts = 0
+
+    # -- hook implementations -------------------------------------------
+
+    def request_arrived(
+        self, ts_us: float, index: int, tenant: str, deadline_us: float
+    ) -> None:
+        self.arrivals[index] = ts_us
+        if math.isfinite(deadline_us):
+            self.deadlines[index] = deadline_us
+        self.events.append(
+            TraceEvent(
+                ts_us=ts_us,
+                kind=ARRIVE,
+                request=index,
+                tenant=tenant,
+                deadline_us=deadline_us,
+            )
+        )
+
+    def request_admitted(self, ts_us: float, index: int, tenant: str) -> None:
+        self.events.append(
+            TraceEvent(ts_us=ts_us, kind=ADMIT, request=index, tenant=tenant)
+        )
+
+    def request_shed(self, ts_us: float, index: int, tenant: str) -> None:
+        self.events.append(
+            TraceEvent(ts_us=ts_us, kind=SHED, request=index, tenant=tenant)
+        )
+
+    def batch_placed(self, ts_us: float, placed) -> None:
+        batch_id = len(self.batches)
+        placed.trace_id = batch_id
+        tenant = placed.tenant.name
+        self.batches.append(
+            BatchTrace(
+                batch=batch_id,
+                tenant=tenant,
+                array=placed.array,
+                size=placed.size,
+                warm=placed.warm,
+                stacked=placed.stacked,
+                formed_us=ts_us,
+                dispatch_us=placed.dispatch_us,
+                members=tuple(m.index for m in placed.members),
+                member_arrivals=tuple(m.arrival_us for m in placed.members),
+                member_deadlines=tuple(m.deadline_us for m in placed.members),
+            )
+        )
+        events = self.events
+        events.append(
+            TraceEvent(
+                ts_us=ts_us,
+                kind=BATCH_FORM,
+                batch=batch_id,
+                tenant=tenant,
+                size=placed.size,
+            )
+        )
+        events.append(
+            TraceEvent(
+                ts_us=ts_us,
+                kind=DISPATCH,
+                batch=batch_id,
+                array=placed.array,
+                tenant=tenant,
+                size=placed.size,
+                stacked=placed.stacked,
+            )
+        )
+        events.append(
+            TraceEvent(
+                ts_us=placed.dispatch_us,
+                kind=COMPUTE_START,
+                batch=batch_id,
+                array=placed.array,
+                tenant=tenant,
+                size=placed.size,
+                warm=placed.warm,
+                stacked=placed.stacked,
+            )
+        )
+
+    def batch_completed(self, ts_us: float, placed) -> None:
+        batch_id = placed.trace_id
+        if 0 <= batch_id < len(self.batches):
+            self.batches[batch_id].done_us = ts_us
+        events = self.events
+        events.append(
+            TraceEvent(
+                ts_us=ts_us,
+                kind=COMPUTE_END,
+                batch=batch_id,
+                array=placed.array,
+                size=placed.size,
+            )
+        )
+        tenant = placed.tenant.name
+        for member in placed.members:
+            events.append(
+                TraceEvent(
+                    ts_us=ts_us,
+                    kind=COMPLETE,
+                    request=member.index,
+                    batch=batch_id,
+                    array=placed.array,
+                    tenant=tenant,
+                    deadline_us=member.deadline_us,
+                )
+            )
+
+    def coalescing_timeout(self, ts_us: float) -> None:
+        self.timeouts += 1
+        self.events.append(TraceEvent(ts_us=ts_us, kind=TIMEOUT))
+
+    # -- analysis views -------------------------------------------------
+
+    def completed_batches(self) -> list[BatchTrace]:
+        """Batches whose compute span closed (done timestamp known)."""
+        return [b for b in self.batches if b.done_us is not None]
+
+    def busy_spans(self, array: int | None = None) -> list[tuple[int, float, float]]:
+        """Per-array ``(array, start_us, end_us)`` compute spans."""
+        return [
+            (b.array, b.dispatch_us, b.done_us)
+            for b in self.completed_batches()
+            if array is None or b.array == array
+        ]
+
+    def array_busy_us(self) -> dict[int, float]:
+        """Total charged busy time per array, from the busy spans."""
+        busy: dict[int, float] = {}
+        for array, start, end in self.busy_spans():
+            busy[array] = busy.get(array, 0.0) + (end - start)
+        return busy
+
+    def array_utilization(
+        self, makespan_us: float, arrays: int | None = None
+    ) -> dict[int, float]:
+        """Busy-us / span-us per array, derived purely from the spans.
+
+        ``arrays`` pads the result with zero-utilization entries for
+        arrays that never ran a batch (to match a report's full table).
+        """
+        busy = self.array_busy_us()
+        if arrays is not None:
+            for index in range(arrays):
+                busy.setdefault(index, 0.0)
+        if makespan_us <= 0.0:
+            return {array: 0.0 for array in sorted(busy)}
+        return {array: busy[array] / makespan_us for array in sorted(busy)}
+
+    def request_lifecycles(self) -> dict[int, list[TraceEvent]]:
+        """Events grouped per request index, in emission order."""
+        lifecycles: dict[int, list[TraceEvent]] = {}
+        for event in self.events:
+            if event.request >= 0:
+                lifecycles.setdefault(event.request, []).append(event)
+        return lifecycles
+
+
+class MultiTracer(Tracer):
+    """Fans every hook out to several child tracers, in order."""
+
+    enabled = True
+
+    def __init__(self, tracers) -> None:
+        self.tracers = list(tracers)
+
+    def request_arrived(self, ts_us, index, tenant, deadline_us) -> None:
+        for tracer in self.tracers:
+            tracer.request_arrived(ts_us, index, tenant, deadline_us)
+
+    def request_admitted(self, ts_us, index, tenant) -> None:
+        for tracer in self.tracers:
+            tracer.request_admitted(ts_us, index, tenant)
+
+    def request_shed(self, ts_us, index, tenant) -> None:
+        for tracer in self.tracers:
+            tracer.request_shed(ts_us, index, tenant)
+
+    def batch_placed(self, ts_us, placed) -> None:
+        for tracer in self.tracers:
+            tracer.batch_placed(ts_us, placed)
+
+    def batch_completed(self, ts_us, placed) -> None:
+        for tracer in self.tracers:
+            tracer.batch_completed(ts_us, placed)
+
+    def coalescing_timeout(self, ts_us) -> None:
+        for tracer in self.tracers:
+            tracer.coalescing_timeout(ts_us)
+
+
+def combine_tracers(*tracers) -> Tracer:
+    """Collapse several optional tracers into one hook target.
+
+    ``None`` and disabled tracers drop out; zero active tracers return
+    the shared :data:`NULL_TRACER` (so call sites keep their zero-cost
+    guard), one returns itself, more wrap in a :class:`MultiTracer`.
+    """
+    active = [t for t in tracers if t is not None and t.enabled]
+    if not active:
+        return NULL_TRACER
+    if len(active) == 1:
+        return active[0]
+    return MultiTracer(active)
+
+
+def well_formed_errors(tracer: RecordingTracer) -> list[str]:
+    """Event-stream invariant violations (empty = well formed).
+
+    Checks, per the observability contract:
+
+    * per-request lifecycle order: arrive ≤ admit/shed ≤ complete, with
+      exactly one arrive and exactly one terminal outcome (shed or
+      complete) per admitted/offered request;
+    * balanced compute spans: every ``compute_start`` has a matching
+      ``compute_end`` on the same batch/array with ``end >= start``;
+    * batch-table consistency: dispatch never precedes formation, and
+      completion never precedes dispatch.
+
+    Timestamps are *not* required to be globally monotonic in emission
+    order: a batch stacked behind a busy array legally records a
+    ``compute_start`` in the future.  Exporters sort by timestamp.
+    """
+    errors: list[str] = []
+    starts: dict[int, TraceEvent] = {}
+    ends: dict[int, TraceEvent] = {}
+    for event in tracer.events:
+        if event.kind == COMPUTE_START:
+            if event.batch in starts:
+                errors.append(f"batch {event.batch}: duplicate compute_start")
+            starts[event.batch] = event
+        elif event.kind == COMPUTE_END:
+            if event.batch in ends:
+                errors.append(f"batch {event.batch}: duplicate compute_end")
+            ends[event.batch] = event
+    for batch, start in starts.items():
+        end = ends.get(batch)
+        if end is None:
+            errors.append(f"batch {batch}: compute_start without compute_end")
+        elif end.ts_us < start.ts_us or end.array != start.array:
+            errors.append(
+                f"batch {batch}: span end ({end.ts_us}, array {end.array})"
+                f" inconsistent with start ({start.ts_us}, array {start.array})"
+            )
+    for batch in ends:
+        if batch not in starts:
+            errors.append(f"batch {batch}: compute_end without compute_start")
+    for trace in tracer.batches:
+        if trace.dispatch_us < trace.formed_us:
+            errors.append(f"batch {trace.batch}: dispatched before formation")
+        if trace.done_us is not None and trace.done_us < trace.dispatch_us:
+            errors.append(f"batch {trace.batch}: completed before dispatch")
+    for index, events in tracer.request_lifecycles().items():
+        kinds = [e.kind for e in events]
+        if kinds.count(ARRIVE) != 1:
+            errors.append(f"request {index}: expected exactly one arrive")
+            continue
+        terminal = kinds.count(SHED) + kinds.count(COMPLETE)
+        if terminal != 1:
+            errors.append(
+                f"request {index}: expected one terminal event, saw {terminal}"
+            )
+        last_phase = -1
+        last_ts = -math.inf
+        for event in events:
+            phase = _REQUEST_ORDER.get(event.kind)
+            if phase is None:
+                continue
+            if phase < last_phase or event.ts_us < last_ts:
+                errors.append(
+                    f"request {index}: out-of-order {event.kind} at {event.ts_us}"
+                )
+                break
+            last_phase, last_ts = phase, event.ts_us
+    return errors

@@ -26,7 +26,10 @@ real batches through the quantized engine via
 :mod:`repro.serve.workers`).  Both paths emit the same
 :class:`ServingReport` through a pluggable :class:`CompletionSink`
 (:mod:`repro.serve.sinks`), so sim-vs-live comparison is one function
-call (:mod:`repro.serve.compare`).
+call (:mod:`repro.serve.compare`).  Both drivers also accept a
+``tracer`` (:mod:`repro.obs`): one observability hook surface in the
+core yields the same structured event stream — and the same Perfetto
+timeline export and live metrics — from simulated and real runs.
 
 Quick start::
 
@@ -55,6 +58,7 @@ from repro.serve.batcher import (
 from repro.serve.clock import Clock, MonotonicClock, VirtualClock
 from repro.serve.compare import (
     compare_reports,
+    compare_reports_median,
     decision_diffs,
     decisions_identical,
 )
@@ -188,6 +192,7 @@ __all__ = [
     "bursty_trace",
     "clear_probe_cache",
     "compare_reports",
+    "compare_reports_median",
     "crosscheck",
     "decision_diffs",
     "decisions_identical",

@@ -12,6 +12,10 @@ time) reduces to comparing two reports:
 * :func:`compare_reports` — statistical agreement for wall-clock runs:
   live latency percentiles within a relative tolerance of the simulated
   ones.
+* :func:`compare_reports_median` — the variance-aware form over
+  repeated trials: medians with a spread-widened tolerance, robust
+  enough to gate regimes where host noise dominates single runs (paced
+  load on a shared runner, not just saturated drain).
 """
 
 from __future__ import annotations
@@ -130,6 +134,81 @@ def compare_reports(
             "sim": sim_value,
             "live": live_value,
             "ratio": ratio,
+            "within_tol": ok,
+        }
+    result["within_tol"] = within
+    return result
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def compare_reports_median(
+    pairs: list[tuple[ServingReport, ServingReport]],
+    rel_tol: float = 0.2,
+    spread_factor: float = 2.0,
+) -> dict:
+    """Variance-aware sim-vs-live agreement over repeated trials.
+
+    ``pairs`` is one ``(sim, live)`` report pair per trial of the same
+    workload.  For each latency metric the gate compares the *median*
+    live value against the *median* simulated value, with a tolerance
+    widened by the observed trial-to-trial spread::
+
+        tol = max(rel_tol, spread_factor * spread)
+
+    where ``spread`` is the median absolute deviation of the per-trial
+    live/sim ratios, relative to the median ratio.  A regime where host
+    noise scatters single runs (an idle-system percentile on a shared
+    1-CPU runner) widens its own tolerance instead of flaking; a quiet
+    regime keeps the strict ``rel_tol``.  Returns a JSON-friendly dict
+    shaped like :func:`compare_reports` plus per-metric ``spread`` /
+    ``tolerance`` and the raw per-trial ratios.
+    """
+    if not pairs:
+        raise ValueError("compare_reports_median needs at least one trial")
+    per_trial = [compare_reports(sim, live, rel_tol=rel_tol) for sim, live in pairs]
+    result: dict = {
+        "rel_tol": rel_tol,
+        "spread_factor": spread_factor,
+        "trials": len(pairs),
+    }
+    within = True
+    for metric in ("p50_us", "p99_us"):
+        sims = [trial[metric]["sim"] for trial in per_trial]
+        lives = [trial[metric]["live"] for trial in per_trial]
+        ratios = [trial[metric]["ratio"] for trial in per_trial]
+        sim_med = _median(sims)
+        live_med = _median(lives)
+        finite = [r for r in ratios if math.isfinite(r)]
+        if finite:
+            ratio_med = _median(finite)
+            deviations = [abs(r - ratio_med) for r in finite]
+            spread = (
+                _median(deviations) / ratio_med if ratio_med > 0.0 else math.inf
+            )
+        else:
+            ratio_med = math.inf
+            spread = math.inf
+        # An unmeasurable spread (degenerate sims) falls back to the
+        # strict tolerance rather than an infinitely forgiving one.
+        widened = spread_factor * spread if math.isfinite(spread) else 0.0
+        tolerance = max(rel_tol, widened)
+        ok = abs(live_med - sim_med) <= tolerance * max(sim_med, 1e-9)
+        within = within and ok
+        result[metric] = {
+            "sim": sim_med,
+            "live": live_med,
+            "ratio": ratio_med,
+            "ratios": ratios,
+            "spread": spread,
+            "tolerance": tolerance,
             "within_tol": ok,
         }
     result["within_tol"] = within

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import copy
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.serve.batcher import QueuedRequest, RequestQueue
 from repro.serve.dispatcher import ArrayPool, DispatchContext
 from repro.serve.policies import CostBank, ServerConfig, TenantSpec
@@ -161,6 +162,7 @@ class PlacedBatch:
         "drain_saved_us",
         "stacked",
         "idle_accum_us",
+        "trace_id",
     )
 
     def __init__(
@@ -192,6 +194,8 @@ class PlacedBatch:
         #: Idle-time integral at the placement instant; stamped by
         #: drivers that defer sink reporting to completion time.
         self.idle_accum_us = 0.0
+        #: Batch id assigned by a recording tracer (-1 when untraced).
+        self.trace_id = -1
 
 
 class ServingCore:
@@ -202,8 +206,14 @@ class ServingCore:
         server: ServerConfig,
         tenant_specs: list[TenantSpec],
         bank: CostBank | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.server = server
+        # Purely observational: the tracer sees every lifecycle event at
+        # this choke point but is never consulted for a decision, so a
+        # traced run makes bit-identical policy decisions to an untraced
+        # one (the decision-identity invariant the obs tests gate on).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.pipeline = server.pipeline
         self.pool = ArrayPool(server.arrays, configs=server.array_configs)
         # Fresh dispatch state per core (e.g. the round-robin pointer),
@@ -225,9 +235,18 @@ class ServingCore:
 
     def offer(self, tenant: TenantState, request: QueuedRequest, now_us: float) -> bool:
         """Run admission for one arrival; queue it if admitted."""
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.request_arrived(
+                now_us, request.index, tenant.name, request.deadline_us
+            )
         if tenant.admission.admit(request, now_us, tenant.queue, self.pool):
             tenant.queue.append(request)
+            if tracer.enabled:
+                tracer.request_admitted(now_us, request.index, tenant.name)
             return True
+        if tracer.enabled:
+            tracer.request_shed(now_us, request.index, tenant.name)
         return False
 
     def form_and_place(
@@ -303,7 +322,7 @@ class ServingCore:
             else 0.0
         )
         tenant.served += size
-        return PlacedBatch(
+        placed = PlacedBatch(
             tenant=tenant,
             members=members,
             size=size,
@@ -316,6 +335,9 @@ class ServingCore:
             drain_saved_us=drain_saved,
             stacked=stacked,
         )
+        if self.tracer.enabled:
+            self.tracer.batch_placed(now_us, placed)
+        return placed
 
     def release(self, array: int, now_us: float) -> bool:
         """One batch on ``array`` completed; returns whether it idled.

@@ -390,6 +390,15 @@ def add_server_arguments(
         default=None,
         help="accumulator FIFO depth (default: sized to the job)",
     )
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="record the run's event stream and write a timeline:"
+        " .json = Chrome trace-event / Perfetto, .jsonl = span log"
+        " (same schema from serve-sim and serve)",
+    )
 
 
 @dataclass

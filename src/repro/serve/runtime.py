@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.hw.config import AcceleratorConfig
+from repro.obs.tracer import combine_tracers
 from repro.serve.batcher import QueuedRequest
 from repro.serve.clock import Clock, MonotonicClock
 from repro.serve.core import (
@@ -206,6 +207,7 @@ class RuntimeEngine:
         server: ServerConfig,
         tenants: list[TenantSpec] | None = None,
         sink: CompletionSink | None = None,
+        tracer=None,
     ) -> None:
         specs = (
             list(tenants)
@@ -216,7 +218,7 @@ class RuntimeEngine:
             raise ConfigError("the tenants list needs at least one tenant")
         self.server = server
         self.sink = sink if sink is not None else RecordingSink()
-        self.core = ServingCore(server, specs)
+        self.core = ServingCore(server, specs, tracer=tracer)
         self.offered = 0
         self.makespan_us = 0.0
         self._idle_accum = 0.0
@@ -281,6 +283,13 @@ class RuntimeEngine:
         self.offered += 1
         state.global_indices.append(index)
         self.sink.on_shed(index)
+        tracer = self.core.tracer
+        if tracer.enabled:
+            # Backpressure sheds never reach the core's admission hook,
+            # so the arrive + shed pair is emitted here to keep every
+            # offered request's lifecycle in the event stream.
+            tracer.request_arrived(now_us, index, state.name, deadline)
+            tracer.request_shed(now_us, index, state.name)
         return index
 
     def dispatch_ready(
@@ -316,6 +325,9 @@ class RuntimeEngine:
         self.tick(now_us)
         done = placed.done_us if done_us is None else done_us
         self.core.release(placed.array, now_us)
+        tracer = self.core.tracer
+        if tracer.enabled:
+            tracer.batch_completed(done, placed)
         members = placed.members
         snapshots = self._snapshots
         self.sink.on_batch(
@@ -393,6 +405,7 @@ def replay_virtual(
     trace: ArrivalTrace | None = None,
     tenants: list[TenantSpec] | None = None,
     sink: CompletionSink | None = None,
+    tracer=None,
 ) -> ServingReport:
     """Replay a trace through the runtime engine in virtual time.
 
@@ -411,7 +424,7 @@ def replay_virtual(
     elif trace is not None:
         raise ConfigError("pass either a trace or a tenants list, not both")
     wall_start = time.perf_counter()
-    engine = RuntimeEngine(server, tenants, sink=sink)
+    engine = RuntimeEngine(server, tenants, sink=sink, tracer=tracer)
 
     events: list[tuple[float, int, int, tuple]] = []
     seq = 0
@@ -446,7 +459,10 @@ def replay_virtual(
         elif kind == EVENT_DONE:
             placed = running.pop(payload)
             engine.complete(now, placed, done_us=now)
-        # EVENT_TIMEOUT carries no state: readiness re-evaluates below.
+        elif engine.core.tracer.enabled:
+            # EVENT_TIMEOUT carries no state (readiness re-evaluates
+            # below); it only surfaces as an observability event.
+            engine.core.tracer.coalescing_timeout(now)
 
         for placed in engine.dispatch_ready(now):
             running[next_batch] = placed
@@ -505,6 +521,9 @@ class ServingRuntime:
         clock: Clock | None = None,
         max_pending: int = 2048,
         tenants: list[TenantSpec] | None = None,
+        tracer=None,
+        metrics=None,
+        metrics_interval_s: float = 1.0,
     ) -> None:
         if executor is None:
             from repro.capsnet.config import mnist_capsnet_config, tiny_capsnet_config
@@ -517,10 +536,21 @@ class ServingRuntime:
             executor = InlineEngineExecutor(network)
         if max_pending < 1:
             raise ConfigError("max_pending must be positive")
+        if metrics_interval_s <= 0.0:
+            raise ConfigError("metrics_interval_s must be positive")
         self.server = server
         self.executor = executor
-        self.engine = RuntimeEngine(server, tenants, sink=sink)
+        # The metrics adapter is itself a tracer, so one combined hook
+        # target feeds both the recorder and the live counters from the
+        # core's single instrumentation point.
+        self.metrics = metrics
+        self.engine = RuntimeEngine(
+            server, tenants, sink=sink, tracer=combine_tracers(tracer, metrics)
+        )
         self.clock: Clock = clock if clock is not None else MonotonicClock()
+        self._metrics_interval_s = metrics_interval_s
+        self._metrics_timer: asyncio.TimerHandle | None = None
+        self._metrics_epoch_us: float | None = None
         self.max_pending = max_pending
         size = executor.image_size
         capacity = 1
@@ -548,9 +578,27 @@ class ServingRuntime:
         loop = asyncio.get_running_loop()
         if self._loop is None:
             self._loop = loop
+            if self.metrics is not None:
+                # Periodic snapshot task: sampled gauges (queue depth,
+                # in-flight batches, per-array utilization) refresh every
+                # metrics_interval_s for scrapers; counters and latency
+                # windows update on events regardless.
+                self._metrics_epoch_us = self.clock.now_us()
+                self._metrics_timer = loop.call_later(
+                    self._metrics_interval_s, self._sample_metrics
+                )
         elif self._loop is not loop:
             raise ConfigError("ServingRuntime is bound to one event loop")
         return loop
+
+    def _sample_metrics(self) -> None:
+        self._metrics_timer = None
+        if self._closed or self.metrics is None:
+            return
+        self._sample_metrics_now()
+        self._metrics_timer = self._loop.call_later(
+            self._metrics_interval_s, self._sample_metrics
+        )
 
     async def stop(self) -> None:
         """Flush queued remainders, wait for in-flight work, shut down.
@@ -575,8 +623,23 @@ class ServingRuntime:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        if self._metrics_timer is not None:
+            self._metrics_timer.cancel()
+            self._metrics_timer = None
+        if self.metrics is not None and self._metrics_epoch_us is not None:
+            # One last gauge refresh so a post-run scrape sees final state.
+            self._sample_metrics_now()
         self._threads.shutdown(wait=True)
         self.executor.close()
+
+    def _sample_metrics_now(self) -> None:
+        engine = self.engine
+        self.metrics.sample(
+            queue_depth=engine.queue_depth(),
+            inflight=self._inflight_batches,
+            busy_us={stat.array: stat.busy_us for stat in engine.core.pool.stats},
+            elapsed_us=self.clock.now_us() - self._metrics_epoch_us,
+        )
 
     async def _wait_for_completion(self, timeout: float = 0.05) -> None:
         event = asyncio.Event()
@@ -826,7 +889,11 @@ class ServingRuntime:
     def _on_timer(self) -> None:
         self._timer = None
         self._timer_deadline = math.inf
-        self._kick(self.clock.now_us())
+        now = self.clock.now_us()
+        tracer = self.engine.core.tracer
+        if tracer.enabled:
+            tracer.coalescing_timeout(now)
+        self._kick(now)
 
     # ---- reporting ---------------------------------------------------------
 

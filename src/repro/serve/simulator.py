@@ -71,6 +71,7 @@ import time
 import numpy as np
 
 from repro.errors import ConfigError, ShapeError
+from repro.obs.tracer import NULL_TRACER
 from repro.serve.batcher import BatchPolicy, QueuedRequest
 from repro.serve.core import (
     EVENT_ARRIVE,
@@ -159,6 +160,7 @@ class ServingSimulator:
         network_name: str | None = None,
         server: ServerConfig | None = None,
         tenants: list[TenantSpec] | None = None,
+        tracer=None,
     ) -> None:
         if server is not None:
             # Restating a legacy default (arrays=1, pipeline=False, the
@@ -238,6 +240,9 @@ class ServingSimulator:
         # memoization; probe results additionally persist process-wide in
         # the costs module's probe cache).
         self._bank = CostBank()
+        #: Observability tracer threaded into the core on recorded runs
+        #: (:mod:`repro.obs`); the null default costs nothing.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(
         self,
@@ -262,6 +267,13 @@ class ServingSimulator:
         (with the sink's own histogram configuration); the classic
         ``record_requests``/``latency_bin_us`` flags are ignored then and
         remain as the shim over the two standard sinks.
+
+        Tracing (:mod:`repro.obs`) requires the recording path: the
+        streaming loop inlines the policies and bypasses the
+        instrumented core entirely — that bypass is what makes it fast —
+        so an active tracer on a streaming run raises
+        :class:`~repro.errors.ConfigError` rather than silently
+        recording nothing.
         """
         if sink is not None:
             if isinstance(sink, RecordingSink):
@@ -269,6 +281,7 @@ class ServingSimulator:
             if isinstance(sink, StreamingSink):
                 if self.execute:
                     raise ConfigError("execute mode needs a RecordingSink")
+                self._check_tracer_path()
                 return self._run_streaming(
                     with_crosscheck, sink.stats.bin_us, sink=sink
                 )
@@ -279,7 +292,17 @@ class ServingSimulator:
             return self._run_recorded(with_crosscheck)
         if self.execute:
             raise ConfigError("execute mode needs record_requests=True")
+        self._check_tracer_path()
         return self._run_streaming(with_crosscheck, latency_bin_us)
+
+    def _check_tracer_path(self) -> None:
+        """Reject the tracer + streaming-fast-path combination."""
+        if self.tracer.enabled:
+            raise ConfigError(
+                "tracing requires the recording path: drop --fast /"
+                " record_requests=False (or the StreamingSink) when a"
+                " tracer is attached"
+            )
 
     def _run_recorded(
         self, with_crosscheck: bool, sink: RecordingSink | None = None
@@ -295,7 +318,10 @@ class ServingSimulator:
         wall_start = time.perf_counter()
         if sink is None:
             sink = RecordingSink()
-        core = ServingCore(self.server, self.tenant_specs, bank=self._bank)
+        core = ServingCore(
+            self.server, self.tenant_specs, bank=self._bank, tracer=self.tracer
+        )
+        tracer = core.tracer
         tenants = core.tenants
         pool = core.pool
 
@@ -369,8 +395,13 @@ class ServingSimulator:
             elif kind == _DONE:
                 placed = running.pop(payload)
                 core.release(placed.array, now)
+                if tracer.enabled:
+                    tracer.batch_completed(now, placed)
                 makespan = max(makespan, now)
-            # _TIMEOUT carries no state: readiness is re-evaluated below.
+            elif tracer.enabled:
+                # _TIMEOUT carries no state (readiness is re-evaluated
+                # below); it only surfaces as an observability event.
+                tracer.coalescing_timeout(now)
 
             while pool.has_idle():
                 placed = core.form_and_place(now, pricer=pricer)

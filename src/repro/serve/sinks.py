@@ -25,6 +25,15 @@ idle integral at dispatch; the sink derives each member's wait and its
 batching-vs-queueing split.  ``dispatch_us``/``done_us`` are virtual
 times in the simulator and wall-clock times in the live runtime — the
 sink cannot tell the difference, which is the point.
+
+Sinks aggregate *outcomes* into reports; the observability layer
+(:mod:`repro.obs`) is the complementary surface for *events*: a tracer
+on the serving core sees the full per-request lifecycle (including
+intermediate instants sinks never learn, like batch formation and
+stacked dispatch) and feeds timeline exports and live metrics.  Note
+the streaming fast path supports sinks but not tracers — it bypasses
+the instrumented core (see :meth:`ServingSimulator.run
+<repro.serve.simulator.ServingSimulator.run>`).
 """
 
 from __future__ import annotations

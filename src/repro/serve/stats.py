@@ -600,6 +600,20 @@ class ServingReport:
             return self.streaming.drain_saved_us
         return sum(batch.drain_saved_us for batch in self.batches)
 
+    def array_utilization(self) -> dict[int, float]:
+        """Busy fraction per array (busy-us / makespan-us).
+
+        The same figure a :class:`~repro.obs.tracer.RecordingTracer`
+        derives independently from its busy-span events
+        (``array_utilization(makespan_us)``) — the obs tests assert the
+        two agree exactly, which pins the tracer's span accounting to
+        the pool's charge accounting.
+        """
+        return {
+            int(stat["array"]): float(stat["utilization"])
+            for stat in self.array_stats
+        }
+
     def batch_size_histogram(self) -> dict[int, int]:
         """How many batches formed at each size."""
         if self.streaming is not None:

@@ -23,6 +23,7 @@ from repro.hw.pipeline import (
     activation_op,
     job_ops,
     simulate_stream,
+    stream_op_spans,
 )
 from repro.hw.scheduler import BatchScheduler, PipelinedStreamScheduler
 
@@ -265,3 +266,47 @@ class TestStreamScheduler:
         b = stepped.run_stream([tiny_images[:1]])
         np.testing.assert_array_equal(a.predictions, b.predictions)
         assert a.timing.finish_cycles == b.timing.finish_cycles
+
+
+class TestStreamOpSpans:
+    """The op-span recorder behind the observability drill-down lane."""
+
+    def test_spans_match_untraced_timing(self, qnet):
+        scheduler = PipelinedStreamScheduler(qnet)
+        per_batch = [scheduler.batch_ops(2) for _ in range(3)]
+        baseline = simulate_stream(
+            [list(ops) for ops in per_batch], [2, 2, 2]
+        )
+        timing, spans = stream_op_spans(
+            [list(ops) for ops in per_batch], [2, 2, 2]
+        )
+        # Recording is observational: identical timing either way.
+        assert timing.finish_cycles == baseline.finish_cycles
+        assert [b.start_cycle for b in timing.batches] == [
+            b.start_cycle for b in baseline.batches
+        ]
+        assert len(spans) == sum(len(ops) for ops in per_batch)
+
+    def test_span_shapes(self, qnet):
+        scheduler = PipelinedStreamScheduler(qnet)
+        ops = scheduler.batch_ops(1)
+        timing, spans = stream_op_spans([list(ops)], [1])
+        assert {span.kind for span in spans} <= {"tile", "act"}
+        for span in spans:
+            assert span.end_cycle > span.start_cycle >= 0
+            assert span.batch == 0
+            if span.kind == "tile":
+                assert span.load_end_cycle >= span.load_start_cycle >= 0
+                # The load feeds the stream: it never ends after the
+                # stream it stages for begins.
+                assert span.load_end_cycle <= span.start_cycle
+        assert max(span.end_cycle for span in spans) == timing.finish_cycles
+
+    def test_load_bound_spans_paced_by_port(self):
+        ops = [PipelineOp(kind="tile", cycles=2, load=10) for _ in range(4)]
+        _, spans = stream_op_spans([ops])
+        load_spans = sorted(
+            (s.load_start_cycle, s.load_end_cycle) for s in spans
+        )
+        for (_, prev_end), (start, _) in zip(load_spans, load_spans[1:]):
+            assert start >= prev_end  # one weight port, no overlap

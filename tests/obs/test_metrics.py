@@ -1,0 +1,210 @@
+"""Metrics layer: registry, windowed rollups, serving adapter, HTTP.
+
+:class:`~repro.obs.ServingMetrics` is itself a tracer, so the counters
+here are driven by real simulated runs through the same hook surface as
+the recorders — and the totals must agree with the run's own report.
+The exposition is Prometheus text format; the scrape endpoint is a
+bare asyncio server the live runtime can host next to its load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    MetricsRegistry,
+    RecordingTracer,
+    ServingMetrics,
+    WindowedLatency,
+    combine_tracers,
+    serve_metrics,
+)
+from repro.serve import ServerConfig, ServingSimulator
+
+
+def test_registry_renders_prometheus_text():
+    registry = MetricsRegistry()
+    requests = registry.counter("demo_requests_total", "Requests seen")
+    depth = registry.gauge("demo_depth", "Queue depth")
+    requests.inc(tenant="a")
+    requests.inc(2, tenant="b")
+    depth.set(3)
+    text = registry.render()
+    assert "# HELP demo_requests_total Requests seen" in text
+    assert "# TYPE demo_requests_total counter" in text
+    assert 'demo_requests_total{tenant="a"} 1' in text
+    assert 'demo_requests_total{tenant="b"} 2' in text
+    assert "# TYPE demo_depth gauge" in text
+    assert "demo_depth 3" in text
+
+
+def test_registry_rejects_type_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("demo_total")
+    with pytest.raises(ConfigError):
+        registry.gauge("demo_total")
+    # Re-registering at the same type returns the same family.
+    assert registry.counter("demo_total") is registry.counter("demo_total")
+
+
+def test_windowed_latency_rolls_windows():
+    window = WindowedLatency(window_us=1000.0, bin_us=10.0)
+    for ts in range(0, 900, 100):
+        window.observe(float(ts), 200.0)
+    partial = window.latest()
+    assert partial["count"] == 9
+    assert partial["p50_us"] == pytest.approx(200.0, rel=0.1)
+    # Crossing the boundary closes the full first window and the empty
+    # gap window behind it — an idle second is a real (empty) rollup.
+    window.observe(2500.0, 400.0)
+    assert [w["count"] for w in window.windows] == [9, 0]
+    assert window.windows[0]["end_us"] == 1000.0
+    window.observe(3500.0, 400.0)
+    assert window.latest()["count"] == 1
+    assert window.latest()["p50_us"] == pytest.approx(400.0, rel=0.1)
+
+
+def test_windowed_latency_rejects_bad_window():
+    with pytest.raises(ConfigError):
+        WindowedLatency(window_us=0.0)
+    with pytest.raises(ConfigError):
+        WindowedLatency(window_us=math.inf)
+
+
+def test_serving_metrics_counts_match_report(server, busy_trace):
+    metrics = ServingMetrics()
+    report = ServingSimulator(busy_trace, server=server, tracer=metrics).run()
+    offered = sum(metrics.offered.samples.values())
+    completed = sum(metrics.completed.samples.values())
+    batches = sum(metrics.batches.samples.values())
+    assert offered == report.offered
+    assert completed == report.completed
+    assert batches == report.batch_count
+    sizes = {
+        int(key[0][1]): int(value)
+        for key, value in metrics.batch_size.samples.items()
+    }
+    assert sizes == report.batch_size_histogram()
+
+
+def test_serving_metrics_sample_sets_gauges(server, busy_trace):
+    metrics = ServingMetrics()
+    report = ServingSimulator(busy_trace, server=server, tracer=metrics).run()
+    busy = {
+        array: value * report.makespan_us
+        for array, value in report.array_utilization().items()
+    }
+    metrics.sample(
+        queue_depth=0, inflight=0, busy_us=busy, elapsed_us=report.makespan_us
+    )
+    text = metrics.render()
+    assert 'serve_array_utilization{array="0"}' in text
+    assert "serve_latency_p50_us" in text
+    assert "serve_queue_depth 0" in text
+    window = metrics.latency.latest()
+    assert window is not None and window["count"] > 0
+
+
+def test_serving_metrics_combines_with_recorder(server, busy_trace):
+    recorder = RecordingTracer()
+    metrics = ServingMetrics()
+    tracer = combine_tracers(recorder, metrics)
+    report = ServingSimulator(busy_trace, server=server, tracer=tracer).run()
+    assert len(recorder.events) > 0
+    assert sum(metrics.completed.samples.values()) == report.completed
+
+
+def test_serving_metrics_tracks_deadline_misses(tiny_cost, burst_trace):
+    server = ServerConfig.from_policy(
+        "fifo",
+        tiny_cost,
+        max_batch=8,
+        max_wait_us=2000.0,
+        deadline_us=100.0,  # hopeless SLA: every completion misses
+        network_name="tiny",
+    )
+    metrics = ServingMetrics()
+    report = ServingSimulator(burst_trace, server=server, tracer=metrics).run()
+    missed = sum(metrics.deadline_missed.samples.values())
+    assert missed > 0
+    assert missed <= report.completed
+
+
+def test_live_runtime_snapshots_metrics(tiny_config, tiny_cost, busy_trace):
+    """The runtime's periodic snapshot task + final flush populate the
+    sampled gauges without the test calling sample() itself."""
+    from repro.serve import ServingRuntime
+    from repro.serve.workers import PredictedExecutor
+
+    server = ServerConfig.from_policy(
+        "fifo",
+        tiny_cost,
+        max_batch=8,
+        max_wait_us=2000.0,
+        arrays=2,
+        network_name="tiny",
+    )
+    recorder = RecordingTracer()
+    metrics = ServingMetrics()
+
+    async def scenario():
+        runtime = ServingRuntime(
+            server,
+            executor=PredictedExecutor(tiny_config.image_size),
+            tracer=recorder,
+            metrics=metrics,
+            metrics_interval_s=0.01,
+        )
+        await runtime.run_load(busy_trace)
+        await runtime.drain()
+        report = runtime.report()
+        await runtime.stop()
+        return report
+
+    report = asyncio.run(scenario())
+    text = metrics.render()
+    assert sum(metrics.completed.samples.values()) == report.completed
+    assert len(recorder.events) > 0
+    assert 'serve_array_utilization{array="0"}' in text
+    assert "serve_queue_depth 0" in text  # final flush after the drain
+
+
+def test_runtime_rejects_bad_metrics_interval(tiny_config, tiny_cost):
+    from repro.serve import ServingRuntime
+    from repro.serve.workers import PredictedExecutor
+
+    server = ServerConfig.from_policy("fifo", tiny_cost, network_name="tiny")
+    with pytest.raises(ConfigError):
+        ServingRuntime(
+            server,
+            executor=PredictedExecutor(tiny_config.image_size),
+            metrics=ServingMetrics(),
+            metrics_interval_s=0.0,
+        )
+
+
+def test_metrics_http_endpoint(server, busy_trace):
+    metrics = ServingMetrics()
+    ServingSimulator(busy_trace, server=server, tracer=metrics).run()
+    metrics.sample(queue_depth=0, inflight=0)
+
+    async def scrape() -> bytes:
+        http = await serve_metrics(metrics, "127.0.0.1", 0)
+        port = http.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+        await writer.drain()
+        response = await reader.read()
+        writer.close()
+        http.close()
+        await http.wait_closed()
+        return response
+
+    response = asyncio.run(scrape())
+    assert response.startswith(b"HTTP/1.0 200 OK")
+    assert b"text/plain" in response
+    assert b"serve_requests_offered_total" in response
