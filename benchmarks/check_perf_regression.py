@@ -24,6 +24,15 @@ regressions (an accidentally quadratic event loop, a lost amortization)
 without flaking on runner-to-runner variance.  Exit code 1 on any
 regression; missing metrics fail too (a renamed key silently dropping a
 guard would defeat the point).
+
+A metric may instead (or additionally) pin **absolute** bounds with
+``min_value`` / ``max_value`` — the right shape for correctness-style
+gates where relative tolerance around a baseline is meaningless
+(goodput must be exactly 1.0, a recovery time must stay under a fixed
+budget)::
+
+    "headline.goodput_under_faults": {"min_value": 1.0},
+    "headline.recovery_max_us": {"max_value": 6000.0}
 """
 
 from __future__ import annotations
@@ -53,7 +62,6 @@ def check(artifact: dict, baseline: dict) -> list[str]:
     tolerance = float(baseline.get("tolerance", 0.10))
     failures = []
     for path, spec in baseline.get("metrics", {}).items():
-        reference = float(spec["value"])
         higher_is_better = bool(spec.get("higher_is_better", True))
         tol = float(spec.get("tolerance", tolerance))
         try:
@@ -61,6 +69,17 @@ def check(artifact: dict, baseline: dict) -> list[str]:
         except (KeyError, IndexError, TypeError, ValueError):
             failures.append(f"{path}: missing from artifact")
             continue
+        if "min_value" in spec and value < float(spec["min_value"]):
+            failures.append(
+                f"{path}: {value:.4g} < absolute floor {float(spec['min_value']):.4g}"
+            )
+        if "max_value" in spec and value > float(spec["max_value"]):
+            failures.append(
+                f"{path}: {value:.4g} > absolute ceiling {float(spec['max_value']):.4g}"
+            )
+        if "value" not in spec:
+            continue
+        reference = float(spec["value"])
         if higher_is_better:
             floor = reference * (1.0 - tol)
             if value < floor:

@@ -91,10 +91,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         requests = args.requests or 2000
     axes: dict = {"array": tuple(arrays_axis)}
     if args.tier == "analytic":
-        if args.policy or args.rate_multiplier:
+        if args.policy or args.rate_multiplier or args.crash_rate or args.max_attempts:
             print(
-                "sweep: --policy/--rate-multiplier are serving-tier axes"
-                " (pass --tier serving)",
+                "sweep: --policy/--rate-multiplier/--crash-rate/--max-attempts"
+                " are serving-tier axes (pass --tier serving)",
                 file=sys.stderr,
             )
             return 2
@@ -119,6 +119,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             axes["policy"] = tuple(args.policy)
         if args.rate_multiplier:
             axes["rate_multiplier"] = tuple(args.rate_multiplier)
+        if args.crash_rate:
+            axes["crash_rate"] = tuple(args.crash_rate)
+        if args.max_attempts:
+            axes["max_attempts"] = tuple(args.max_attempts)
     try:
         spec = SweepSpec(
             tier=args.tier,
@@ -766,6 +770,20 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         help="offered-rate axis, as multiples of batch-1 capacity (serving tier)",
+    )
+    sweep_parser.add_argument(
+        "--crash-rate",
+        type=float,
+        nargs="+",
+        default=None,
+        help="fault-injection crash-probability axis (serving tier)",
+    )
+    sweep_parser.add_argument(
+        "--max-attempts",
+        type=int,
+        nargs="+",
+        default=None,
+        help="retry-budget axis: attempts per request under faults (serving tier)",
     )
     sweep_parser.add_argument(
         "--network", choices=("mnist", "tiny"), default=None,

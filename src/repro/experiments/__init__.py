@@ -23,6 +23,7 @@ accuracy   float-vs-quantized classification parity
 motivation Section III analysis (compute vs memory intensity, 8 MB fit)
 energy     energy per inference (top-down vs bottom-up, extension)
 batching   GPU batch-throughput crossover (extension)
+faults     serving fault tolerance: crash rate x retry budget (extension)
 =========  ==========================================================
 """
 
@@ -31,6 +32,7 @@ from repro.experiments import (
     accuracy,
     batching,
     energy,
+    faults,
     fig3,
     fig5,
     fig8,
@@ -61,5 +63,6 @@ __all__ = [
     "motivation",
     "energy",
     "batching",
+    "faults",
     "runner",
 ]

@@ -15,6 +15,7 @@ from repro.experiments import (
     accuracy,
     batching,
     energy,
+    faults,
     fig3,
     fig5,
     fig8,
@@ -43,6 +44,7 @@ STANDARD_DRIVERS = {
     "motivation": motivation,
     "energy": energy,
     "batching": batching,
+    "faults": faults,
 }
 
 

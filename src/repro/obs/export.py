@@ -20,7 +20,16 @@ from __future__ import annotations
 
 import json
 
-from repro.obs.tracer import SHED, TIMEOUT, RecordingTracer
+from repro.obs.tracer import (
+    CRASH,
+    FAILED,
+    QUARANTINE,
+    RECOVER,
+    RETRY,
+    SHED,
+    TIMEOUT,
+    RecordingTracer,
+)
 
 #: pid of the serving lanes; the op drill-down uses its own process.
 SERVING_PID = 0
@@ -149,6 +158,52 @@ def chrome_trace_events(tracer: RecordingTracer) -> list[dict]:
                     "name": "coalescing timeout",
                     "cat": "timeout",
                     "args": {},
+                }
+            )
+        elif event.kind == CRASH:
+            # Fault markers land on the array lane the crash happened on;
+            # the batch's (crash-truncated) compute span is already there.
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": SERVING_PID,
+                    "tid": ARRAY_TID_BASE + event.array,
+                    "ts": event.ts_us,
+                    "name": f"crash batch {event.batch}",
+                    "cat": "crash",
+                    "args": {
+                        "batch": event.batch,
+                        "array": event.array,
+                        "tenant": event.tenant,
+                        "size": event.size,
+                    },
+                }
+            )
+        elif event.kind in (RETRY, FAILED):
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": SERVING_PID,
+                    "tid": REQUESTS_TID,
+                    "ts": event.ts_us,
+                    "name": f"{event.kind} {event.request}",
+                    "cat": event.kind,
+                    "args": {"request": event.request, "tenant": event.tenant},
+                }
+            )
+        elif event.kind in (QUARANTINE, RECOVER):
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": SERVING_PID,
+                    "tid": ARRAY_TID_BASE + event.array,
+                    "ts": event.ts_us,
+                    "name": f"{event.kind} array {event.array}",
+                    "cat": event.kind,
+                    "args": {"array": event.array},
                 }
             )
     return events

@@ -190,6 +190,10 @@ class ServingMetrics(Tracer):
     * ``serve_batches_total`` (labeled ``warm``), ``serve_batch_size_total``
       (labeled ``size`` — the batch-size distribution),
       ``serve_coalescing_timeouts_total``
+    * fault families: ``serve_crashes_total`` / ``serve_quarantines_total``
+      / ``serve_recoveries_total`` (labeled ``array``),
+      ``serve_retries_total`` / ``serve_requests_failed_total``
+      (labeled ``tenant``)
 
     Gauges set by :meth:`sample` (the runtime's snapshot task):
     ``serve_queue_depth``, ``serve_inflight_batches``,
@@ -231,6 +235,21 @@ class ServingMetrics(Tracer):
         )
         self.timeouts = reg.counter(
             "serve_coalescing_timeouts_total", "Coalescing windows that expired"
+        )
+        self.crashes = reg.counter(
+            "serve_crashes_total", "Batches that crashed mid-execution"
+        )
+        self.retries = reg.counter(
+            "serve_retries_total", "Requests requeued after a crash"
+        )
+        self.failed = reg.counter(
+            "serve_requests_failed_total", "Requests failed (retry budget spent)"
+        )
+        self.quarantines = reg.counter(
+            "serve_quarantines_total", "Arrays quarantined after a crash"
+        )
+        self.recoveries = reg.counter(
+            "serve_recoveries_total", "Quarantined arrays readmitted to service"
         )
         self.queue_depth = reg.gauge(
             "serve_queue_depth", "Requests queued across tenants"
@@ -281,6 +300,21 @@ class ServingMetrics(Tracer):
 
     def coalescing_timeout(self, ts_us) -> None:
         self.timeouts.inc()
+
+    def batch_crashed(self, ts_us, placed) -> None:
+        self.crashes.inc(array=str(placed.array))
+
+    def request_retried(self, ts_us, index, tenant) -> None:
+        self.retries.inc(tenant=tenant)
+
+    def request_failed(self, ts_us, index, tenant) -> None:
+        self.failed.inc(tenant=tenant)
+
+    def array_quarantined(self, ts_us, array) -> None:
+        self.quarantines.inc(array=str(array))
+
+    def array_recovered(self, ts_us, array) -> None:
+        self.recoveries.inc(array=str(array))
 
     # -- driver-sampled gauges ------------------------------------------
 

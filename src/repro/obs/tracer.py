@@ -38,6 +38,14 @@ COMPUTE_START = "compute_start"
 COMPUTE_END = "compute_end"
 COMPLETE = "complete"
 TIMEOUT = "timeout"
+# Fault-path kinds: a batch crashing (its members either RETRY back into
+# their queue or terminally FAILED once the attempt budget is spent) and
+# the array-level quarantine/readmission pair around a crashed array.
+CRASH = "crash"
+RETRY = "retry"
+FAILED = "failed"
+QUARANTINE = "quarantine"
+RECOVER = "recover"
 
 EVENT_KINDS = (
     ARRIVE,
@@ -49,10 +57,17 @@ EVENT_KINDS = (
     COMPUTE_END,
     COMPLETE,
     TIMEOUT,
+    CRASH,
+    RETRY,
+    FAILED,
+    QUARANTINE,
+    RECOVER,
 )
 
 #: Lifecycle order for a single request's events (well-formedness).
-_REQUEST_ORDER = {ARRIVE: 0, ADMIT: 1, SHED: 1, COMPLETE: 2}
+#: RETRY may repeat between admission and the terminal outcome; FAILED
+#: is a terminal alongside SHED/COMPLETE.
+_REQUEST_ORDER = {ARRIVE: 0, ADMIT: 1, SHED: 1, RETRY: 2, COMPLETE: 3, FAILED: 3}
 
 
 @dataclass(slots=True)
@@ -113,6 +128,9 @@ class BatchTrace:
     members: tuple[int, ...] = ()
     member_arrivals: tuple[float, ...] = ()
     member_deadlines: tuple[float, ...] = ()
+    #: True when the batch's span closed by crashing instead of completing
+    #: (``done_us`` is then the crash-detection instant).
+    crashed: bool = False
 
 
 class Tracer:
@@ -151,6 +169,25 @@ class Tracer:
 
     def coalescing_timeout(self, ts_us: float) -> None:
         """A batching coalescing window expired (queue forced ready)."""
+
+    def batch_crashed(self, ts_us: float, placed) -> None:
+        """``placed`` died at ``ts_us`` (injected or a real worker death).
+
+        Closes the batch's compute span; member outcomes follow as
+        :meth:`request_retried` / :meth:`request_failed` events.
+        """
+
+    def request_retried(self, ts_us: float, index: int, tenant: str) -> None:
+        """A crashed request re-entered its tenant queue for another try."""
+
+    def request_failed(self, ts_us: float, index: int, tenant: str) -> None:
+        """A crashed request exhausted its attempt budget — terminal."""
+
+    def array_quarantined(self, ts_us: float, array: int) -> None:
+        """``array`` left service after a crash (dispatch skips it)."""
+
+    def array_recovered(self, ts_us: float, array: int) -> None:
+        """``array`` passed its health probe and rejoined the pool."""
 
 
 #: Shared null tracer — drivers default to this instance.
@@ -284,6 +321,51 @@ class RecordingTracer(Tracer):
         self.timeouts += 1
         self.events.append(TraceEvent(ts_us=ts_us, kind=TIMEOUT))
 
+    def batch_crashed(self, ts_us: float, placed) -> None:
+        batch_id = placed.trace_id
+        if 0 <= batch_id < len(self.batches):
+            trace = self.batches[batch_id]
+            trace.done_us = ts_us
+            trace.crashed = True
+        events = self.events
+        # The crash closes the compute span: the array was occupied from
+        # dispatch until detection, so busy/utilization views stay exact.
+        events.append(
+            TraceEvent(
+                ts_us=ts_us,
+                kind=COMPUTE_END,
+                batch=batch_id,
+                array=placed.array,
+                size=placed.size,
+            )
+        )
+        events.append(
+            TraceEvent(
+                ts_us=ts_us,
+                kind=CRASH,
+                batch=batch_id,
+                array=placed.array,
+                tenant=placed.tenant.name,
+                size=placed.size,
+            )
+        )
+
+    def request_retried(self, ts_us: float, index: int, tenant: str) -> None:
+        self.events.append(
+            TraceEvent(ts_us=ts_us, kind=RETRY, request=index, tenant=tenant)
+        )
+
+    def request_failed(self, ts_us: float, index: int, tenant: str) -> None:
+        self.events.append(
+            TraceEvent(ts_us=ts_us, kind=FAILED, request=index, tenant=tenant)
+        )
+
+    def array_quarantined(self, ts_us: float, array: int) -> None:
+        self.events.append(TraceEvent(ts_us=ts_us, kind=QUARANTINE, array=array))
+
+    def array_recovered(self, ts_us: float, array: int) -> None:
+        self.events.append(TraceEvent(ts_us=ts_us, kind=RECOVER, array=array))
+
     # -- analysis views -------------------------------------------------
 
     def completed_batches(self) -> list[BatchTrace]:
@@ -362,6 +444,26 @@ class MultiTracer(Tracer):
         for tracer in self.tracers:
             tracer.coalescing_timeout(ts_us)
 
+    def batch_crashed(self, ts_us, placed) -> None:
+        for tracer in self.tracers:
+            tracer.batch_crashed(ts_us, placed)
+
+    def request_retried(self, ts_us, index, tenant) -> None:
+        for tracer in self.tracers:
+            tracer.request_retried(ts_us, index, tenant)
+
+    def request_failed(self, ts_us, index, tenant) -> None:
+        for tracer in self.tracers:
+            tracer.request_failed(ts_us, index, tenant)
+
+    def array_quarantined(self, ts_us, array) -> None:
+        for tracer in self.tracers:
+            tracer.array_quarantined(ts_us, array)
+
+    def array_recovered(self, ts_us, array) -> None:
+        for tracer in self.tracers:
+            tracer.array_recovered(ts_us, array)
+
 
 def combine_tracers(*tracers) -> Tracer:
     """Collapse several optional tracers into one hook target.
@@ -383,11 +485,13 @@ def well_formed_errors(tracer: RecordingTracer) -> list[str]:
 
     Checks, per the observability contract:
 
-    * per-request lifecycle order: arrive ≤ admit/shed ≤ complete, with
-      exactly one arrive and exactly one terminal outcome (shed or
-      complete) per admitted/offered request;
+    * per-request lifecycle order: arrive ≤ admit/shed ≤ retry* ≤
+      complete/failed, with exactly one arrive and exactly one terminal
+      outcome (shed, complete, or failed) per request — a retried
+      request still terminates exactly once;
     * balanced compute spans: every ``compute_start`` has a matching
-      ``compute_end`` on the same batch/array with ``end >= start``;
+      ``compute_end`` on the same batch/array with ``end >= start``
+      (a crashed batch's span closes at crash detection);
     * batch-table consistency: dispatch never precedes formation, and
       completion never precedes dispatch.
 
@@ -429,7 +533,7 @@ def well_formed_errors(tracer: RecordingTracer) -> list[str]:
         if kinds.count(ARRIVE) != 1:
             errors.append(f"request {index}: expected exactly one arrive")
             continue
-        terminal = kinds.count(SHED) + kinds.count(COMPLETE)
+        terminal = kinds.count(SHED) + kinds.count(COMPLETE) + kinds.count(FAILED)
         if terminal != 1:
             errors.append(
                 f"request {index}: expected one terminal event, saw {terminal}"

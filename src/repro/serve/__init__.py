@@ -71,6 +71,15 @@ from repro.serve.costs import (
     crosscheck,
     probe_cache_size,
 )
+from repro.serve.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    FaultyExecutor,
+    InjectedCrashError,
+    RetryPolicy,
+    load_fault_plan,
+)
 from repro.serve.dispatcher import (
     ArrayPool,
     ArrayStats,
@@ -159,7 +168,12 @@ __all__ = [
     "DeadlineBatcher",
     "DispatchContext",
     "DynamicBatcher",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyExecutor",
     "GreedyWhenIdleDispatch",
+    "InjectedCrashError",
     "InlineEngineExecutor",
     "LatencyHistogram",
     "LeastRecentDispatch",
@@ -175,6 +189,7 @@ __all__ = [
     "RequestQueue",
     "RequestRecord",
     "RequestShedError",
+    "RetryPolicy",
     "RoundRobinDispatch",
     "RuntimeEngine",
     "ScheduledBatchCost",
@@ -196,6 +211,7 @@ __all__ = [
     "crosscheck",
     "decision_diffs",
     "decisions_identical",
+    "load_fault_plan",
     "load_trace_file",
     "make_serving_policy",
     "make_trace",

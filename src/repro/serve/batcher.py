@@ -40,12 +40,16 @@ class QueuedRequest:
     """One request waiting in a queue.
 
     ``deadline_us`` is the absolute completion deadline (SLA); ``inf``
-    means the request carries none.
+    means the request carries none.  ``attempts`` counts *failed*
+    executions so far (0 for a fresh arrival) — the fault layer bumps it
+    when a crashed batch requeues its members, and retry budgets compare
+    it against :attr:`~repro.serve.faults.RetryPolicy.max_attempts`.
     """
 
     index: int
     arrival_us: float
     deadline_us: float = math.inf
+    attempts: int = 0
 
 
 class RequestQueue:
@@ -63,6 +67,15 @@ class RequestQueue:
     def append(self, request: QueuedRequest) -> None:
         """Enqueue an arriving (admitted) request."""
         self._pending.append(request)
+
+    def push_front(self, request: QueuedRequest) -> None:
+        """Requeue a retried request at the *front* of the queue.
+
+        Retried requests carry the oldest arrival timestamps, so front
+        insertion keeps the queue arrival-sorted — batching readiness
+        (which peeks the oldest) and deadline scans stay correct.
+        """
+        self._pending.appendleft(request)
 
     def popleft(self) -> QueuedRequest:
         """Dequeue the oldest request."""

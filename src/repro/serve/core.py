@@ -34,15 +34,45 @@ from __future__ import annotations
 
 import copy
 
+from dataclasses import replace
+
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.serve.batcher import QueuedRequest, RequestQueue
 from repro.serve.dispatcher import ArrayPool, DispatchContext
+from repro.serve.faults import FaultInjector, FaultStats, RetryPolicy
 from repro.serve.policies import CostBank, ServerConfig, TenantSpec
 
 # Event kinds shared by the discrete-event drivers (simulator and the
 # virtual-time replay), in tie-break order: completions free arrays
 # before arrivals at the same instant see the pool; timeouts run last.
+# The fault kinds sort after the classic three, so a fault-free run's
+# event ordering is bit-identical to the pre-fault engine.
 EVENT_DONE, EVENT_ARRIVE, EVENT_TIMEOUT = 0, 1, 2
+EVENT_CRASH, EVENT_REQUEUE, EVENT_RECOVER = 3, 4, 5
+
+
+def group_requeues(
+    retries: list[tuple["QueuedRequest", float]],
+) -> list[tuple[float, tuple["QueuedRequest", ...]]]:
+    """Coalesce ``(request, requeue_at_us)`` pairs into per-instant groups.
+
+    :meth:`ServingCore.fail_batch` returns the pairs in member order;
+    members sharing a requeue instant go back together (one heap event
+    in the discrete drivers, one timer in the live runtime).  Only
+    *consecutive* equal instants merge, so member order is preserved.
+    """
+    groups: list[tuple[float, tuple[QueuedRequest, ...]]] = []
+    group: list[QueuedRequest] = []
+    group_at = 0.0
+    for request, at_us in retries:
+        if group and at_us != group_at:
+            groups.append((group_at, tuple(group)))
+            group = []
+        group_at = at_us
+        group.append(request)
+    if group:
+        groups.append((group_at, tuple(group)))
+    return groups
 
 
 class DurationProbe:
@@ -163,6 +193,7 @@ class PlacedBatch:
         "stacked",
         "idle_accum_us",
         "trace_id",
+        "fault",
     )
 
     def __init__(
@@ -196,6 +227,10 @@ class PlacedBatch:
         self.idle_accum_us = 0.0
         #: Batch id assigned by a recording tracer (-1 when untraced).
         self.trace_id = -1
+        #: True when the fault injector doomed this batch at placement
+        #: time; the driver surfaces the crash (event-heap entry in the
+        #: simulator, a raised error in the live executor path).
+        self.fault = False
 
 
 class ServingCore:
@@ -232,6 +267,17 @@ class ServingCore:
             self.pipeline,
             inflight=self.inflight if self.considers_busy else None,
         )
+        # Fault layer: a fresh injector per core (seeded from the plan)
+        # keeps repeated runs of one configuration reproducible, and the
+        # ``None`` injector keeps the no-fault hot path to one branch.
+        plan = server.fault_plan
+        self.fault_plan = plan
+        self.injector = (
+            FaultInjector(plan) if plan is not None and not plan.empty else None
+        )
+        self.retry = server.retry if server.retry is not None else RetryPolicy()
+        self.fault_stats = FaultStats()
+        self._quarantine_started: dict[int, float] = {}
 
     def offer(self, tenant: TenantState, request: QueuedRequest, now_us: float) -> bool:
         """Run admission for one arrival; queue it if admitted."""
@@ -335,6 +381,8 @@ class ServingCore:
             drain_saved_us=drain_saved,
             stacked=stacked,
         )
+        if self.injector is not None:
+            placed.fault = self.injector.should_crash(array, start, members)
         if self.tracer.enabled:
             self.tracer.batch_placed(now_us, placed)
         return placed
@@ -352,6 +400,93 @@ class ServingCore:
         self.inflight[array] = 0
         self.pool.release(array, now_us)
         return True
+
+    def fail_batch(
+        self, placed: PlacedBatch, now_us: float
+    ) -> tuple[list[tuple[QueuedRequest, float]], list[QueuedRequest], bool]:
+        """A placed batch crashed at ``now_us``; contain the damage.
+
+        Returns ``(retries, failed, quarantined)``:
+
+        * ``retries`` — ``(request, requeue_at_us)`` pairs, in member
+          order, for requests with attempt budget left (the request
+          carries the bumped attempt count; the driver schedules
+          :meth:`requeue` at each instant);
+        * ``failed`` — requests whose budget is spent; the driver
+          reports them terminally failed to its sink;
+        * ``quarantined`` — whether the array left service (the driver
+          schedules :meth:`recover`).  An array with other batches
+          still stacked behind the crash is *not* quarantined — its
+          surviving work drains first.
+
+        The failure domain is exactly this batch: no other array, queue,
+        or in-flight batch is touched.
+        """
+        tenant = placed.tenant
+        array = placed.array
+        count = self.inflight[array]
+        quarantined = count <= 1
+        self.inflight[array] = 0 if quarantined else count - 1
+        if quarantined:
+            self.pool.quarantine(array)
+            self._quarantine_started[array] = now_us
+            self.fault_stats.quarantines += 1
+        # The members were counted served at placement; hand the credit
+        # back so weighted-fair selection is not skewed by crashes (a
+        # retried member re-earns it when its retry batch places).
+        tenant.served -= placed.size
+        retry = self.retry
+        retries: list[tuple[QueuedRequest, float]] = []
+        failed: list[QueuedRequest] = []
+        for member in placed.members:
+            attempt = replace(member, attempts=member.attempts + 1)
+            if attempt.attempts < retry.max_attempts:
+                retries.append((attempt, retry.requeue_at_us(now_us, member)))
+            else:
+                failed.append(attempt)
+        stats = self.fault_stats
+        stats.crashes += 1
+        if placed.fault:
+            stats.injected += 1
+        stats.failed += len(failed)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.batch_crashed(now_us, placed)
+            if quarantined:
+                tracer.array_quarantined(now_us, array)
+            for request in failed:
+                tracer.request_failed(now_us, request.index, tenant.name)
+        return retries, failed, quarantined
+
+    def requeue(
+        self, tenant: TenantState, requests: list[QueuedRequest], now_us: float
+    ) -> None:
+        """Return retried requests to the *front* of their tenant queue.
+
+        ``requests`` arrive in original member order; reversed front
+        insertion keeps the queue arrival-sorted (retries are the oldest
+        work the tenant has).
+        """
+        for request in reversed(requests):
+            tenant.queue.push_front(request)
+        self.fault_stats.retries += len(requests)
+        tracer = self.tracer
+        if tracer.enabled:
+            for request in requests:
+                tracer.request_retried(now_us, request.index, tenant.name)
+
+    def recover(self, array: int, now_us: float) -> None:
+        """Readmit a quarantined array (the driver health-probed it)."""
+        self.pool.readmit(array)
+        started = self._quarantine_started.pop(array, now_us)
+        elapsed = now_us - started
+        stats = self.fault_stats
+        stats.recoveries += 1
+        stats.recovery_total_us += elapsed
+        if elapsed > stats.recovery_max_us:
+            stats.recovery_max_us = elapsed
+        if self.tracer.enabled:
+            self.tracer.array_recovered(now_us, array)
 
     def pending_timeouts(self, now_us: float) -> list[float]:
         """Coalescing deadlines of queues that are waiting, not ready."""

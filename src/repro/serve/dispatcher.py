@@ -89,11 +89,17 @@ class ArrayPool:
         self._last_batch_size = [None] * self.count
         self._last_cost = [None] * self.count
         self._busy_until_us = [0.0] * self.count
+        self._quarantined: set[int] = set()
 
     @property
     def idle_count(self) -> int:
         """Number of currently idle arrays."""
         return len(self._idle)
+
+    @property
+    def active_count(self) -> int:
+        """Arrays currently in service (not quarantined)."""
+        return self.count - len(self._quarantined)
 
     def has_idle(self) -> bool:
         """Whether any array can accept a batch."""
@@ -102,6 +108,37 @@ class ArrayPool:
     def idle_ids(self) -> list[int]:
         """Currently idle array ids, ascending."""
         return sorted(self._idle)
+
+    def active_ids(self) -> list[int]:
+        """Array ids currently in service (idle or busy), ascending."""
+        if not self._quarantined:
+            return list(range(self.count))
+        return [i for i in range(self.count) if i not in self._quarantined]
+
+    def quarantined_ids(self) -> list[int]:
+        """Array ids currently quarantined, ascending."""
+        return sorted(self._quarantined)
+
+    def is_quarantined(self, array: int) -> bool:
+        """Whether ``array`` is out of service after a crash."""
+        return array in self._quarantined
+
+    def quarantine(self, array: int) -> None:
+        """Take a (crashed) array out of service: it never idles until
+        :meth:`readmit` returns it to the pool."""
+        self._idle.discard(array)
+        self._quarantined.add(array)
+
+    def readmit(self, array: int) -> None:
+        """Return a quarantined array to the idle pool, cold (its warm
+        state and release recency are reset)."""
+        if array not in self._quarantined:
+            raise ConfigError(f"array {array} is not quarantined")
+        self._quarantined.remove(array)
+        self._idle.add(array)
+        self._last_release_us[array] = None
+        self._last_batch_size[array] = None
+        self._last_cost[array] = None
 
     def config_for(self, array: int) -> AcceleratorConfig | None:
         """Array ``array``'s configuration (None on a homogeneous pool)."""
@@ -195,14 +232,34 @@ class ArrayPool:
         """Earliest instant any array can accept a batch.
 
         ``now_us`` when an array is already idle; otherwise the soonest
-        in-flight completion (as recorded by :meth:`charge`).
+        in-flight completion (as recorded by :meth:`charge`) among
+        in-service arrays — ``inf`` when every array is quarantined, so
+        capacity-aware admission degrades to shedding instead of
+        promising service that cannot happen.
         """
         if self._idle:
             return now_us
-        return max(now_us, min(self._busy_until_us))
+        if not self._quarantined:
+            return max(now_us, min(self._busy_until_us))
+        horizons = [
+            until
+            for array, until in enumerate(self._busy_until_us)
+            if array not in self._quarantined
+        ]
+        if not horizons:
+            return float("inf")
+        return max(now_us, min(horizons))
 
     def release(self, array: int, now_us: float | None = None) -> None:
-        """Return an array to the idle pool when its batch completes."""
+        """Return an array to the idle pool when its batch completes.
+
+        A quarantined array stays out of the idle set — work stacked
+        behind a crash drains, but nothing new lands until
+        :meth:`readmit`.
+        """
+        if array in self._quarantined:
+            self._last_release_us[array] = now_us
+            return
         self._idle.add(array)
         self._last_release_us[array] = now_us
 
@@ -347,8 +404,11 @@ class BacklogGreedyDispatch:
             # the idle-only greedy choice.
             idle = _require_idle(ctx)
             return min(idle, key=lambda i: (ctx.duration_us(i), ctx.pool.lru_key(i)))
+        candidates = ctx.pool.active_ids()
+        if not candidates:
+            raise ConfigError("dispatch with every array quarantined")
         return min(
-            range(ctx.pool.count),
+            candidates,
             key=lambda i: (delay(i) + ctx.duration_us(i), ctx.pool.lru_key(i)),
         )
 

@@ -1,0 +1,395 @@
+"""Fault tolerance for the serving stack: injection, retry, quarantine.
+
+Three pieces, shared by every driver of the
+:class:`~repro.serve.core.ServingCore` (the discrete-event simulator,
+the virtual-time replay, and the live asyncio runtime):
+
+* :class:`FaultPlan` — a **seedable, declarative fault schedule**:
+  crash the Nth placed batch, crash the batch carrying request K's
+  first attempt, a Bernoulli per-batch crash rate, hang-before-detect
+  durations, and array-down windows.  Plans are pure data (JSON or a
+  ``key=value`` inline spec via :func:`load_fault_plan`), so a fault
+  experiment is exactly as reproducible as the arrival trace driving
+  it.
+* :class:`FaultInjector` — the runtime decision engine for a plan.
+  It is consulted once per *placement*, in placement order, which is
+  identical across the simulator and the live runtime (both drive the
+  same core); a seeded plan therefore crashes the *same* batches in
+  both, making sim-vs-live fault studies directly comparable.
+* :class:`RetryPolicy` — how failures are handled regardless of where
+  they came from (injected or a real worker death): per-request attempt
+  budgets, exponential deadline-aware backoff for requeued work, and
+  the quarantine duration before a crashed array is readmitted.
+
+The injector only *marks* a placed batch as doomed
+(``PlacedBatch.fault``); detection timing, requeue scheduling, and
+recovery are driven by the clock owner — event-heap entries in the
+simulator, ``call_later`` timers in the live runtime — so the core
+itself stays time-source-agnostic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import random
+
+from repro.errors import ConfigError
+from repro.serve.workers import WorkerCrashError
+
+
+class InjectedCrashError(WorkerCrashError):
+    """A deliberate, plan-scheduled crash (not a real worker death)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """Declarative, seedable schedule of injected faults.
+
+    ``crash_batches`` are 0-based *placement ordinals* — the Nth batch
+    the core places crashes, whatever it contains.  ``crash_requests``
+    crash the batch carrying that request index's **first** attempt
+    (retries of the same request run clean, so the fault is transient
+    by construction).  ``crash_rate`` is a per-placement Bernoulli
+    draw from a ``seed``-ed generator, optionally bounded by
+    ``max_crashes`` (a bounded plan is *transient*: with attempt
+    budget left, every request still completes).  ``array_down``
+    windows ``(array, start_us, end_us)`` crash any batch dispatched
+    on that array inside the window.  ``hang_us`` delays detection:
+    a crashing batch occupies its array for ``hang_us`` before the
+    watchdog notices (0 means the crash surfaces when the batch's
+    results were due).
+    """
+
+    crash_batches: tuple[int, ...] = ()
+    crash_requests: tuple[int, ...] = ()
+    crash_rate: float = 0.0
+    max_crashes: int | None = None
+    hang_us: float = 0.0
+    array_down: tuple[tuple[int, float, float], ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.crash_rate <= 1.0):
+            raise ConfigError("crash_rate must be within [0, 1]")
+        if self.max_crashes is not None and self.max_crashes < 0:
+            raise ConfigError("max_crashes must be non-negative")
+        if not (math.isfinite(self.hang_us) and self.hang_us >= 0):
+            raise ConfigError("hang_us must be finite and non-negative")
+        object.__setattr__(
+            self, "crash_batches", tuple(int(b) for b in self.crash_batches)
+        )
+        object.__setattr__(
+            self, "crash_requests", tuple(int(r) for r in self.crash_requests)
+        )
+        windows = []
+        for window in self.array_down:
+            array, start, end = window
+            if end <= start:
+                raise ConfigError(
+                    f"array_down window {window} must have end > start"
+                )
+            windows.append((int(array), float(start), float(end)))
+        object.__setattr__(self, "array_down", tuple(windows))
+
+    @property
+    def empty(self) -> bool:
+        """Whether this plan can never inject anything."""
+        return (
+            not self.crash_batches
+            and not self.crash_requests
+            and self.crash_rate == 0.0
+            and not self.array_down
+        )
+
+    def detect_delay_us(self, duration_us: float) -> float:
+        """How long a doomed batch occupies its array before detection."""
+        return self.hang_us if self.hang_us > 0.0 else duration_us
+
+    def to_dict(self) -> dict:
+        """JSON-ready plan description (drops unset fields)."""
+        out: dict = {"seed": self.seed}
+        if self.crash_batches:
+            out["crash_batches"] = list(self.crash_batches)
+        if self.crash_requests:
+            out["crash_requests"] = list(self.crash_requests)
+        if self.crash_rate:
+            out["crash_rate"] = self.crash_rate
+        if self.max_crashes is not None:
+            out["max_crashes"] = self.max_crashes
+        if self.hang_us:
+            out["hang_us"] = self.hang_us
+        if self.array_down:
+            out["array_down"] = [list(w) for w in self.array_down]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> FaultPlan:
+        """Build a plan from a JSON object (unknown keys rejected)."""
+        if not isinstance(data, dict):
+            raise ConfigError("fault plan JSON must be an object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown fault-plan keys: {sorted(unknown)} (known: {sorted(known)})"
+            )
+        kwargs = dict(data)
+        if "array_down" in kwargs:
+            kwargs["array_down"] = tuple(tuple(w) for w in kwargs["array_down"])
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """Short human-readable plan summary."""
+        parts = []
+        if self.crash_batches:
+            parts.append(f"batches={','.join(map(str, self.crash_batches))}")
+        if self.crash_requests:
+            parts.append(f"requests={','.join(map(str, self.crash_requests))}")
+        if self.crash_rate:
+            parts.append(f"rate={self.crash_rate:g}")
+        if self.max_crashes is not None:
+            parts.append(f"max={self.max_crashes}")
+        if self.hang_us:
+            parts.append(f"hang={self.hang_us:g}us")
+        if self.array_down:
+            parts.append(f"down={len(self.array_down)}win")
+        if not parts:
+            return "faults:none"
+        return "faults[" + " ".join(parts) + f" seed={self.seed}]"
+
+
+_LIST_KEYS = {"crash_batches", "crash_requests"}
+_INT_KEYS = {"seed", "max_crashes"}
+_FLOAT_KEYS = {"crash_rate", "hang_us"}
+
+
+def _parse_inline(spec: str) -> FaultPlan:
+    """Parse ``key=value,key=value`` (lists colon-separated,
+    ``array_down`` windows as ``array@start:end``)."""
+    kwargs: dict = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ConfigError(f"fault-plan entry {part!r} is not key=value")
+        key, _, value = part.partition("=")
+        key = key.strip()
+        value = value.strip()
+        try:
+            if key in _LIST_KEYS:
+                kwargs[key] = tuple(int(v) for v in value.split(":") if v)
+            elif key in _INT_KEYS:
+                kwargs[key] = int(value)
+            elif key in _FLOAT_KEYS:
+                kwargs[key] = float(value)
+            elif key == "array_down":
+                windows = []
+                for token in value.split("+"):
+                    array, _, span = token.partition("@")
+                    start, _, end = span.partition(":")
+                    if not (array and start and end):
+                        raise ConfigError(
+                            f"array_down window {token!r} must be array@start:end"
+                        )
+                    windows.append((int(array), float(start), float(end)))
+                kwargs[key] = tuple(windows)
+            else:
+                raise ConfigError(f"unknown fault-plan key {key!r}")
+        except ValueError as error:
+            raise ConfigError(
+                f"bad fault-plan value {part!r} ({error})"
+            ) from error
+    return FaultPlan(**kwargs)
+
+
+def load_fault_plan(spec: str) -> FaultPlan:
+    """Resolve a ``--fault-plan`` value: JSON file, inline JSON, or
+    ``key=value`` shorthand (``crash_batches=1:4,seed=3``)."""
+    spec = spec.strip()
+    if spec.startswith("{"):
+        try:
+            return FaultPlan.from_dict(json.loads(spec))
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"invalid fault-plan JSON: {error}") from error
+    if spec.endswith(".json") or os.path.exists(spec):
+        try:
+            with open(spec) as handle:
+                return FaultPlan.from_dict(json.load(handle))
+        except FileNotFoundError as error:
+            raise ConfigError(f"fault-plan file not found: {spec}") from error
+        except json.JSONDecodeError as error:
+            raise ConfigError(
+                f"invalid fault-plan JSON in {spec}: {error}"
+            ) from error
+    return _parse_inline(spec)
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How failed batches turn back into queued work.
+
+    ``max_attempts`` is the *total* per-request attempt budget (1 means
+    a crashed request fails outright).  Requeue backoff grows
+    exponentially with the attempt count and is deadline-aware: a
+    request is never parked past the instant its deadline would make
+    the retry pointless.  ``recovery_us`` is the quarantine duration
+    before a crashed array is health-probed and readmitted to the
+    pool.
+    """
+
+    max_attempts: int = 3
+    backoff_us: float = 200.0
+    backoff_multiplier: float = 2.0
+    recovery_us: float = 5000.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be at least 1")
+        if not (math.isfinite(self.backoff_us) and self.backoff_us >= 0):
+            raise ConfigError("backoff_us must be finite and non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError("backoff_multiplier must be >= 1")
+        if not (math.isfinite(self.recovery_us) and self.recovery_us >= 0):
+            raise ConfigError("recovery_us must be finite and non-negative")
+
+    def requeue_at_us(self, now_us: float, request) -> float:
+        """When a just-crashed request should re-enter its queue."""
+        delay = self.backoff_us * self.backoff_multiplier**request.attempts
+        at = now_us + delay
+        if math.isfinite(request.deadline_us):
+            # Waiting past the deadline makes the retry pointless;
+            # a request already past it retries immediately (the
+            # completion still counts as a miss, not an error).
+            at = min(at, max(now_us, request.deadline_us))
+        return at
+
+    def describe(self) -> str:
+        """Short human-readable policy summary."""
+        return (
+            f"retry<={self.max_attempts}"
+            f"/backoff{self.backoff_us:g}us"
+            f"/recover{self.recovery_us:g}us"
+        )
+
+
+class FaultInjector:
+    """Deterministic per-placement crash decisions for one run.
+
+    One injector per core: :meth:`should_crash` is called exactly once
+    per placed batch, in placement order, so the ordinal counter and the
+    seeded Bernoulli stream advance identically in every driver of the
+    same configuration.  The decision the injector makes is stamped on
+    the batch; *when* the crash surfaces is the driver's business.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._crash_batches = frozenset(plan.crash_batches)
+        self._crash_requests = frozenset(plan.crash_requests)
+        self.ordinal = 0
+        self.crashes = 0
+
+    def should_crash(self, array: int, dispatch_us: float, members) -> bool:
+        """Decide the fate of the batch just placed (advances state)."""
+        plan = self.plan
+        ordinal = self.ordinal
+        self.ordinal += 1
+        # The Bernoulli draw happens unconditionally whenever a rate is
+        # set, so the random stream depends only on the placement count,
+        # never on which earlier batches happened to crash.
+        draw = self._rng.random() if plan.crash_rate > 0.0 else 1.0
+        if plan.max_crashes is not None and self.crashes >= plan.max_crashes:
+            return False
+        crash = (
+            ordinal in self._crash_batches
+            or any(
+                member.index in self._crash_requests and member.attempts == 0
+                for member in members
+            )
+            or any(
+                array == down and start <= dispatch_us < end
+                for down, start, end in plan.array_down
+            )
+            or draw < plan.crash_rate
+        )
+        if crash:
+            self.crashes += 1
+        return crash
+
+
+@dataclasses.dataclass
+class FaultStats:
+    """Run-level fault accounting, maintained by the serving core."""
+
+    crashes: int = 0
+    injected: int = 0
+    retries: int = 0
+    failed: int = 0
+    quarantines: int = 0
+    recoveries: int = 0
+    recovery_total_us: float = 0.0
+    recovery_max_us: float = 0.0
+
+    @property
+    def any(self) -> bool:
+        """Whether any fault activity happened at all."""
+        return bool(self.crashes or self.retries or self.failed)
+
+    def to_dict(self) -> dict:
+        """JSON-ready counters."""
+        return {
+            "crashes": self.crashes,
+            "injected": self.injected,
+            "retries": self.retries,
+            "failed": self.failed,
+            "quarantines": self.quarantines,
+            "recoveries": self.recoveries,
+            "recovery_total_us": self.recovery_total_us,
+            "recovery_max_us": self.recovery_max_us,
+        }
+
+
+class FaultyExecutor:
+    """Executor wrapper that injects plan-driven crashes at the call site.
+
+    For driving a *live* executor (inline engine or process pool)
+    through a :class:`FaultPlan` without the serving core in the loop —
+    unit tests and standalone harnesses.  The serving runtime itself
+    injects via the core's placement-ordinal decisions (so sim and live
+    agree batch for batch); this wrapper makes its own per-call
+    decisions with the same plan semantics, ordinal = call number.
+    """
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.image_size = inner.image_size
+        self._rng = random.Random(plan.seed)
+        self._crash_batches = frozenset(plan.crash_batches)
+        self.calls = 0
+        self.crashes = 0
+
+    def execute(self, array: int, images):
+        """Run the batch on the wrapped executor, or crash per the plan."""
+        plan = self.plan
+        ordinal = self.calls
+        self.calls += 1
+        draw = self._rng.random() if plan.crash_rate > 0.0 else 1.0
+        bounded = plan.max_crashes is not None and self.crashes >= plan.max_crashes
+        if not bounded and (
+            ordinal in self._crash_batches or draw < plan.crash_rate
+        ):
+            self.crashes += 1
+            raise InjectedCrashError(
+                f"injected crash on array {array} (call {ordinal})"
+            )
+        return self.inner.execute(array, images)
+
+    def close(self) -> None:
+        """Close the wrapped executor."""
+        self.inner.close()

@@ -51,6 +51,7 @@ from repro.serve.dispatcher import (
     PreferWarmDispatch,
     RoundRobinDispatch,
 )
+from repro.serve.faults import FaultPlan, RetryPolicy, load_fault_plan
 from repro.serve.trace import ArrivalTrace
 
 
@@ -399,6 +400,37 @@ def add_server_arguments(
         " .json = Chrome trace-event / Perfetto, .jsonl = span log"
         " (same schema from serve-sim and serve)",
     )
+    parser.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        metavar="PLAN",
+        help="inject deterministic faults: a JSON file, inline JSON, or"
+        " key=value shorthand (e.g. 'crash_rate=0.02,seed=3' or"
+        " 'crash_batches=1:4'); same plan semantics in serve-sim and"
+        " serve",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="total per-request attempt budget for crashed batches"
+        " (default 3; 1 disables retries)",
+    )
+    parser.add_argument(
+        "--retry-backoff-us",
+        type=float,
+        default=None,
+        help="requeue backoff after a crash (exponential per attempt,"
+        " deadline-aware; default 200us)",
+    )
+    parser.add_argument(
+        "--recovery-us",
+        type=float,
+        default=None,
+        help="quarantine duration before a crashed array is health-probed"
+        " and readmitted (default 5000us)",
+    )
 
 
 @dataclass
@@ -420,6 +452,13 @@ class ServerConfig:
     pipeline: bool = False
     deadline_us: float | None = None
     network_name: str = "capsnet"
+    #: Deterministic fault-injection schedule (None = no injection; the
+    #: retry/quarantine machinery still handles *real* crashes live).
+    fault_plan: FaultPlan | None = None
+    #: Crash-handling knobs (attempt budget, backoff, quarantine
+    #: duration); None uses :class:`~repro.serve.faults.RetryPolicy`
+    #: defaults.
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.admission is None:
@@ -502,6 +541,18 @@ class ServerConfig:
             array_configs = tuple(
                 accel.with_array(size, size) for size in args.array_sizes
             )
+        plan_spec = getattr(args, "fault_plan", None)
+        fault_plan = load_fault_plan(plan_spec) if plan_spec else None
+        retry = None
+        retry_overrides = {
+            "max_attempts": getattr(args, "max_attempts", None),
+            "backoff_us": getattr(args, "retry_backoff_us", None),
+            "recovery_us": getattr(args, "recovery_us", None),
+        }
+        if any(value is not None for value in retry_overrides.values()):
+            retry = RetryPolicy(
+                **{k: v for k, v in retry_overrides.items() if v is not None}
+            )
         return cls.from_policy(
             args.policy,
             cost,
@@ -516,6 +567,8 @@ class ServerConfig:
                 args.deadline_ms * 1000.0 if args.deadline_ms is not None else None
             ),
             network_name=args.network,
+            fault_plan=fault_plan,
+            retry=retry,
         )
 
     def describe(self) -> str:
@@ -525,6 +578,8 @@ class ServerConfig:
             label += f"/adm:{self.admission.describe()}"
         if not isinstance(self.dispatch, LeastRecentDispatch):
             label += f"/disp:{self.dispatch.describe()}"
+        if self.fault_plan is not None and not self.fault_plan.empty:
+            label += f"/{self.fault_plan.describe()}"
         return label
 
     def policy_json(self) -> dict:
@@ -539,6 +594,10 @@ class ServerConfig:
         }
         if self.deadline_us is not None:
             payload["deadline_us"] = self.deadline_us
+        if self.fault_plan is not None:
+            payload["fault_plan"] = self.fault_plan.to_dict()
+            retry = self.retry if self.retry is not None else RetryPolicy()
+            payload["retry"] = retry.describe()
         return payload
 
 

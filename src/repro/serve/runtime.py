@@ -52,11 +52,16 @@ from repro.serve.batcher import QueuedRequest
 from repro.serve.clock import Clock, MonotonicClock
 from repro.serve.core import (
     EVENT_ARRIVE,
+    EVENT_CRASH,
     EVENT_DONE,
+    EVENT_RECOVER,
+    EVENT_REQUEUE,
     EVENT_TIMEOUT,
     PlacedBatch,
     ServingCore,
+    group_requeues,
 )
+from repro.serve.faults import InjectedCrashError
 from repro.serve.policies import ServerConfig, TenantSpec
 from repro.serve.sinks import CompletionSink, RecordingSink, StreamingSink
 from repro.serve.stats import ServingReport
@@ -348,6 +353,59 @@ class RuntimeEngine:
         if done > self.makespan_us:
             self.makespan_us = done
 
+    def fail_batch(self, now_us: float, placed: PlacedBatch):
+        """A placed batch crashed: contain it, report terminal failures.
+
+        Delegates the failure-domain work (quarantine, retry split,
+        fairness credit) to :meth:`ServingCore.fail_batch`, reports
+        budget-exhausted members to the sink, and drops their idle
+        snapshots — retried members keep theirs, so the batch that
+        eventually completes them attributes their wait from the
+        original arrival.  Returns ``(retries, failed, quarantined)``
+        for the driver to schedule.
+        """
+        self.tick(now_us)
+        retries, failed, quarantined = self.core.fail_batch(placed, now_us)
+        members = placed.members
+        snapshots = self._snapshots
+        # Record the crashed batch itself (the simulator records batches
+        # at placement, so decision identity requires the crashed ones in
+        # the table too).  ``done_us`` is the completion it was predicted
+        # to reach; retried members keep their snapshots so the batch
+        # that eventually completes them attributes the full wait.
+        self.sink.on_batch(
+            tenant=placed.tenant.name,
+            array=placed.array,
+            size=placed.size,
+            dispatch_us=placed.dispatch_us,
+            done_us=placed.done_us,
+            cycles=placed.cycles,
+            warm=placed.warm,
+            drain_saved_us=placed.drain_saved_us,
+            member_indices=[m.index for m in members],
+            member_arrivals=[m.arrival_us for m in members],
+            member_deadlines=[m.deadline_us for m in members],
+            member_idle_snaps=[snapshots[m.index] for m in members],
+            idle_accum_us=placed.idle_accum_us,
+            crashed=True,
+        )
+        for request in failed:
+            snapshots.pop(request.index, None)
+            self.sink.on_failed(request.index)
+        if now_us > self.makespan_us:
+            self.makespan_us = now_us
+        return retries, failed, quarantined
+
+    def requeue(self, now_us: float, tenant: int, requests) -> None:
+        """Return retried requests to the front of their tenant queue."""
+        self.tick(now_us)
+        self.core.requeue(self.core.tenants[tenant], list(requests), now_us)
+
+    def recover(self, now_us: float, array: int) -> None:
+        """Readmit a quarantined array (the caller health-probed it)."""
+        self.tick(now_us)
+        self.core.recover(array, now_us)
+
     def pending_timeouts(self, now_us: float) -> list[float]:
         """Coalescing deadlines of queues that are waiting, not ready."""
         return self.core.pending_timeouts(now_us)
@@ -397,6 +455,11 @@ class RuntimeEngine:
             makespan_us=makespan,
             wall_seconds=wall_seconds,
             streaming=sink.stats if isinstance(sink, StreamingSink) else None,
+            faults=(
+                self.core.fault_stats.to_dict()
+                if self.core.injector is not None or self.core.fault_stats.any
+                else None
+            ),
         )
 
 
@@ -459,6 +522,33 @@ def replay_virtual(
         elif kind == EVENT_DONE:
             placed = running.pop(payload)
             engine.complete(now, placed, done_us=now)
+        elif kind == EVENT_CRASH:
+            # Same fault handling as the simulator's recorded loop, so a
+            # faulted replay makes identical retry/quarantine decisions.
+            placed = running.pop(payload)
+            retries, failed, quarantined = engine.fail_batch(now, placed)
+            for at_us, group in group_requeues(retries):
+                heapq.heappush(
+                    events,
+                    (at_us, EVENT_REQUEUE, seq, (placed.tenant.order, group)),
+                )
+                seq += 1
+            if quarantined:
+                heapq.heappush(
+                    events,
+                    (
+                        now + engine.core.retry.recovery_us,
+                        EVENT_RECOVER,
+                        seq,
+                        placed.array,
+                    ),
+                )
+                seq += 1
+        elif kind == EVENT_REQUEUE:
+            order, requests = payload
+            engine.requeue(now, order, requests)
+        elif kind == EVENT_RECOVER:
+            engine.recover(now, payload)
         elif engine.core.tracer.enabled:
             # EVENT_TIMEOUT carries no state (readiness re-evaluates
             # below); it only surfaces as an observability event.
@@ -466,7 +556,15 @@ def replay_virtual(
 
         for placed in engine.dispatch_ready(now):
             running[next_batch] = placed
-            heapq.heappush(events, (placed.done_us, EVENT_DONE, seq, next_batch))
+            if placed.fault:
+                detect = placed.dispatch_us + engine.core.fault_plan.detect_delay_us(
+                    placed.duration_us
+                )
+                heapq.heappush(events, (detect, EVENT_CRASH, seq, next_batch))
+            else:
+                heapq.heappush(
+                    events, (placed.done_us, EVENT_DONE, seq, next_batch)
+                )
             seq += 1
             next_batch += 1
 
@@ -566,6 +664,14 @@ class ServingRuntime:
         self._futures: dict[int, asyncio.Future] = {}
         self._pending = 0
         self._inflight_batches = 0
+        #: Requests from crashed batches waiting out their retry backoff
+        #: (not queued, not in flight) — the drain conditions count them
+        #: so shutdown never strands a pending retry.
+        self._pending_retries = 0
+        #: Fatal, runtime-wide failure — set only when recovery is
+        #: impossible (an array's worker could not be respawned).
+        #: Per-batch crashes never poison the runtime; they fail or
+        #: retry only their own batch's requests.
         self._failure: BaseException | None = None
         self._timer: asyncio.TimerHandle | None = None
         self._timer_deadline = math.inf
@@ -611,12 +717,18 @@ class ServingRuntime:
             return
         self._ensure_loop()
         while self._failure is None and (
-            self.engine.queue_depth() or self._inflight_batches
+            self.engine.queue_depth()
+            or self._inflight_batches
+            or self._pending_retries
         ):
             now = self.clock.now_us()
             for placed in self.engine.dispatch_ready(now, force=True):
                 self._launch(placed)
-            if self.engine.queue_depth() == 0 and self._inflight_batches == 0:
+            if (
+                self.engine.queue_depth() == 0
+                and self._inflight_batches == 0
+                and self._pending_retries == 0
+            ):
                 break
             await self._wait_for_completion()
         self._closed = True
@@ -663,7 +775,11 @@ class ServingRuntime:
             if self._failure is not None:
                 raise self._failure
             self._kick(self.clock.now_us())
-            if self.engine.queue_depth() == 0 and self._inflight_batches == 0:
+            if (
+                self.engine.queue_depth() == 0
+                and self._inflight_batches == 0
+                and self._pending_retries == 0
+            ):
                 return
             await self._wait_for_completion()
 
@@ -825,6 +941,16 @@ class ServingRuntime:
         # Worker thread: the only things touched are the executor and the
         # loop hand-off; all serving state mutates on the event loop.
         try:
+            if placed.fault:
+                # The injector doomed this batch at placement (the same
+                # decision the simulator makes); a hang plan sleeps out
+                # the watchdog window before the crash surfaces.
+                hang_us = self.engine.core.fault_plan.hang_us
+                if hang_us > 0.0:
+                    time.sleep(hang_us / 1e6)
+                raise InjectedCrashError(
+                    f"injected crash on array {placed.array}"
+                )
             predictions = self.executor.execute(placed.array, images)
         except BaseException as error:  # noqa: BLE001 - must never hang the loop
             self._loop.call_soon_threadsafe(self._batch_failed, placed, error)
@@ -851,6 +977,15 @@ class ServingRuntime:
             self._drain_event.set()
 
     def _batch_failed(self, placed: PlacedBatch, error: BaseException) -> None:
+        """One batch crashed: fail or retry *its* requests, nothing else.
+
+        The failure domain is the crashed batch — waiters on other
+        arrays, queued requests, and future submissions are untouched.
+        The crashed batch's array quarantines (recovery timer respawns
+        and health-probes its worker before readmission), members with
+        attempt budget left requeue after their backoff, and only
+        budget-exhausted members see the error.
+        """
         self._inflight_batches -= 1
         if isinstance(error, WorkerCrashError):
             failure = error
@@ -859,11 +994,71 @@ class ServingRuntime:
                 f"batch execution failed on array {placed.array}: {error!r}"
             )
             failure.__cause__ = error
-        self._failure = failure
-        for member in placed.members:
+        now = self.clock.now_us()
+        retries, failed, quarantined = self.engine.fail_batch(now, placed)
+        for request in failed:
             self._pending -= 1
-        # Every waiter gets the failure — including requests still queued,
-        # which will never dispatch now.
+            future = self._futures.pop(request.index, None)
+            if future is not None and not future.done():
+                future.set_exception(failure)
+        # Retried members stay pending (they still hold ring slots and
+        # futures); each group rejoins its queue when its backoff ends.
+        for at_us, group in group_requeues(retries):
+            self._pending_retries += len(group)
+            self._loop.call_later(
+                max(at_us - now, 0.0) / 1e6,
+                self._requeue,
+                placed.tenant.order,
+                group,
+            )
+        if quarantined:
+            self._loop.call_later(
+                self.engine.core.retry.recovery_us / 1e6,
+                self._recover,
+                placed.array,
+            )
+        if not self._closed:
+            self._kick(now)
+        if self._drain_event is not None:
+            self._drain_event.set()
+
+    def _requeue(self, tenant_order: int, requests) -> None:
+        """Backoff expired: return a crashed batch's retries to the queue."""
+        self._pending_retries -= len(requests)
+        if self._failure is not None:
+            return
+        now = self.clock.now_us()
+        self.engine.requeue(now, tenant_order, requests)
+        if not self._closed:
+            self._kick(now)
+        if self._drain_event is not None:
+            self._drain_event.set()
+
+    def _recover(self, array: int) -> None:
+        """Recovery timer: respawn/health-probe the worker, readmit."""
+        if self._closed or self._failure is not None:
+            return
+        respawn = getattr(self.executor, "respawn", None)
+        if respawn is not None:
+            try:
+                respawn(array)
+            except BaseException as error:  # noqa: BLE001 - surface as fatal
+                failure = WorkerCrashError(
+                    f"array {array} failed to respawn: {error!r}"
+                )
+                failure.__cause__ = error
+                self._fail_all(failure)
+                return
+        now = self.clock.now_us()
+        self.engine.recover(now, array)
+        if not self._closed:
+            self._kick(now)
+        if self._drain_event is not None:
+            self._drain_event.set()
+
+    def _fail_all(self, failure: BaseException) -> None:
+        """Unrecoverable: poison the runtime and fail every waiter."""
+        self._failure = failure
         for future in self._futures.values():
             if not future.done():
                 future.set_exception(failure)

@@ -75,12 +75,16 @@ from repro.obs.tracer import NULL_TRACER
 from repro.serve.batcher import BatchPolicy, QueuedRequest
 from repro.serve.core import (
     EVENT_ARRIVE,
+    EVENT_CRASH,
     EVENT_DONE,
+    EVENT_RECOVER,
+    EVENT_REQUEUE,
     EVENT_TIMEOUT,
     DurationProbe,
     PlacedBatch,
     ServingCore,
     TenantState,
+    group_requeues,
 )
 from repro.serve.costs import AnalyticBatchCost, ScheduledBatchCost, crosscheck
 from repro.serve.dispatcher import ArrayPool, DispatchContext, LeastRecentDispatch
@@ -99,8 +103,11 @@ from repro.serve.trace import ArrivalTrace
 
 # Event kinds, in tie-break order: completions free arrays before arrivals
 # at the same instant see the pool; timeouts run last.  (Shared with the
-# live runtime's virtual-time replay via repro.serve.core.)
+# live runtime's virtual-time replay via repro.serve.core.)  The fault
+# kinds sort after the classic three, so fault-free runs order events
+# bit-identically to the pre-fault engine.
 _DONE, _ARRIVE, _TIMEOUT = EVENT_DONE, EVENT_ARRIVE, EVENT_TIMEOUT
+_CRASH, _REQUEUE, _RECOVER = EVENT_CRASH, EVENT_REQUEUE, EVENT_RECOVER
 
 # The per-tenant state and the warm-aware duration probe moved to
 # repro.serve.core (the simulator and the live runtime share them);
@@ -282,6 +289,7 @@ class ServingSimulator:
                 if self.execute:
                     raise ConfigError("execute mode needs a RecordingSink")
                 self._check_tracer_path()
+                self._check_fault_path()
                 return self._run_streaming(
                     with_crosscheck, sink.stats.bin_us, sink=sink
                 )
@@ -293,6 +301,7 @@ class ServingSimulator:
         if self.execute:
             raise ConfigError("execute mode needs record_requests=True")
         self._check_tracer_path()
+        self._check_fault_path()
         return self._run_streaming(with_crosscheck, latency_bin_us)
 
     def _check_tracer_path(self) -> None:
@@ -302,6 +311,23 @@ class ServingSimulator:
                 "tracing requires the recording path: drop --fast /"
                 " record_requests=False (or the StreamingSink) when a"
                 " tracer is attached"
+            )
+
+    def _check_fault_path(self) -> None:
+        """Reject the fault-plan + streaming-fast-path combination.
+
+        The streaming loop inlines the policies and bypasses the
+        instrumented core entirely — the fault injector, retry requeues,
+        and quarantine bookkeeping all live in that core — so a fault
+        plan on a streaming run raises rather than silently not
+        injecting anything.
+        """
+        plan = self.server.fault_plan
+        if plan is not None and not plan.empty:
+            raise ConfigError(
+                "fault injection requires the recording path: drop"
+                " --fast / record_requests=False (or the StreamingSink)"
+                " when a fault plan is set"
             )
 
     def _run_recorded(
@@ -398,6 +424,31 @@ class ServingSimulator:
                 if tracer.enabled:
                     tracer.batch_completed(now, placed)
                 makespan = max(makespan, now)
+            elif kind == _CRASH:
+                # The doomed batch surfaces as a crash at its detection
+                # instant; the core contains the damage to this batch.
+                placed = running.pop(payload)
+                retries, failed, quarantined = core.fail_batch(placed, now)
+                for request in failed:
+                    sink.on_failed(request.index)
+                tenant_order = placed.tenant.order
+                for at_us, group in group_requeues(retries):
+                    heapq.heappush(
+                        events, (at_us, _REQUEUE, seq, (tenant_order, group))
+                    )
+                    seq += 1
+                if quarantined:
+                    heapq.heappush(
+                        events,
+                        (now + core.retry.recovery_us, _RECOVER, seq, placed.array),
+                    )
+                    seq += 1
+                makespan = max(makespan, now)
+            elif kind == _REQUEUE:
+                tenant_order, requests = payload
+                core.requeue(tenants[tenant_order], list(requests), now)
+            elif kind == _RECOVER:
+                core.recover(payload, now)
             elif tracer.enabled:
                 # _TIMEOUT carries no state (readiness is re-evaluated
                 # below); it only surfaces as an observability event.
@@ -422,9 +473,18 @@ class ServingSimulator:
                     member_deadlines=[m.deadline_us for m in members],
                     member_idle_snaps=[idle_at_arrival[m.index] for m in members],
                     idle_accum_us=idle_accum,
+                    crashed=placed.fault,
                 )
                 running[batch_index] = placed
-                heapq.heappush(events, (placed.done_us, _DONE, seq, batch_index))
+                if placed.fault:
+                    detect = placed.dispatch_us + core.fault_plan.detect_delay_us(
+                        placed.duration_us
+                    )
+                    heapq.heappush(events, (detect, _CRASH, seq, batch_index))
+                else:
+                    heapq.heappush(
+                        events, (placed.done_us, _DONE, seq, batch_index)
+                    )
                 seq += 1
 
             if pool.has_idle():
@@ -451,6 +511,9 @@ class ServingSimulator:
                 if self.multi_tenant
                 else None
             ),
+            faults=(
+                core.fault_stats.to_dict() if core.injector is not None else None
+            ),
         )
 
     def _finish_report(
@@ -467,6 +530,7 @@ class ServingSimulator:
         predictions: np.ndarray | None = None,
         tenant_entries: list[dict] | None = None,
         streaming: StreamingStats | None = None,
+        faults: dict | None = None,
     ) -> ServingReport:
         """Crosscheck gating + report assembly, shared by both paths."""
         server = self.server
@@ -522,6 +586,7 @@ class ServingSimulator:
             crosscheck=check,
             tenants=tenant_entries,
             streaming=streaming,
+            faults=faults,
         )
 
     def _run_streaming(

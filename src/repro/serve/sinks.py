@@ -63,6 +63,10 @@ class CompletionSink(Protocol):
         """Request ``index`` was rejected by admission (never served)."""
         ...
 
+    def on_failed(self, index: int) -> None:
+        """Request ``index`` terminally failed (crash budget exhausted)."""
+        ...
+
     def on_batch(
         self,
         *,
@@ -79,8 +83,14 @@ class CompletionSink(Protocol):
         member_deadlines: Sequence[float],
         member_idle_snaps: Sequence[float],
         idle_accum_us: float,
+        crashed: bool = False,
     ) -> int:
-        """Fold one finished batch in; returns the batch index."""
+        """Fold one finished batch in; returns the batch index.
+
+        ``crashed=True`` records a batch the fault layer killed — its
+        members either retried (a later ``on_batch`` overwrites them) or
+        terminally failed (``on_failed`` marks them).
+        """
         ...
 
 
@@ -110,6 +120,10 @@ class RecordingSink:
         """Mark a request shed."""
         self.requests[index].shed = True
 
+    def on_failed(self, index: int) -> None:
+        """Mark a request terminally failed by the fault layer."""
+        self.requests[index].failed = True
+
     def on_batch(
         self,
         *,
@@ -126,6 +140,7 @@ class RecordingSink:
         member_deadlines: Sequence[float],
         member_idle_snaps: Sequence[float],
         idle_accum_us: float,
+        crashed: bool = False,
     ) -> int:
         """Record the batch and fill every member's decomposition."""
         batch = BatchRecord(
@@ -139,6 +154,7 @@ class RecordingSink:
             warm=warm,
             drain_saved_us=drain_saved_us,
             tenant=tenant,
+            crashed=crashed,
         )
         self.batches.append(batch)
         requests = self.requests
@@ -195,6 +211,10 @@ class StreamingSink:
         """Count one shed request."""
         self.stats.shed += 1
 
+    def on_failed(self, index: int) -> None:
+        """Count one terminally failed request."""
+        self.stats.failed += 1
+
     def on_batch(
         self,
         *,
@@ -211,8 +231,16 @@ class StreamingSink:
         member_deadlines: Sequence[float],
         member_idle_snaps: Sequence[float],
         idle_accum_us: float,
+        crashed: bool = False,
     ) -> int:
         """Fold the batch and each member's decomposition into histograms."""
+        if crashed:
+            # A crashed batch served nobody: its members either retry
+            # (folded by their eventual completing batch) or terminally
+            # fail (counted by ``on_failed``).
+            index = self._next_batch
+            self._next_batch += 1
+            return index
         stats = self.stats
         compute = done_us - dispatch_us
         stats.add_batch(size, warm, drain_saved_us)

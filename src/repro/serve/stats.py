@@ -348,6 +348,9 @@ class StreamingStats:
         }
         self.offered = 0
         self.shed = 0
+        #: Requests terminally failed by the fault layer (attempt budget
+        #: exhausted after crashes) — neither shed nor served.
+        self.failed = 0
         self.batches = 0
         self.warm_batches = 0
         self.drain_saved_us = 0.0
@@ -358,7 +361,7 @@ class StreamingStats:
     @property
     def completed(self) -> int:
         """Requests admitted and served."""
-        return self.offered - self.shed
+        return self.offered - self.shed - self.failed
 
     def add_batch(self, size: int, warm: bool, drain_saved_us: float) -> None:
         """Account one dispatched batch."""
@@ -432,6 +435,9 @@ class RequestRecord:
     deadline_us: float = math.inf
     #: Rejected by the admission policy at arrival (never dispatched).
     shed: bool = False
+    #: Terminally failed by the fault layer (crashes exhausted the
+    #: per-request attempt budget) — admitted but never completed.
+    failed: bool = False
 
     @property
     def compute_us(self) -> float:
@@ -445,9 +451,10 @@ class RequestRecord:
 
     @property
     def missed_deadline(self) -> bool:
-        """Served past a finite deadline (shed requests excluded)."""
+        """Served past a finite deadline (shed/failed requests excluded)."""
         return (
             not self.shed
+            and not self.failed
             and math.isfinite(self.deadline_us)
             and self.done_us > self.deadline_us
         )
@@ -470,6 +477,10 @@ class BatchRecord:
     drain_saved_us: float = 0.0
     #: Which tenant's queue formed the batch ("" in single-tenant runs).
     tenant: str = ""
+    #: True when the batch crashed instead of completing; ``done_us`` is
+    #: then the completion it was *predicted* to reach (its compute span
+    #: actually closed at crash detection).
+    crashed: bool = False
 
 
 @dataclass
@@ -502,22 +513,29 @@ class ServingReport:
     #: Streaming aggregate of a ``record_requests=False`` run (the
     #: per-request/per-batch tables are empty when this is set).
     streaming: StreamingStats | None = None
+    #: Fault-layer accounting (crashes, retries, failures, quarantines,
+    #: recovery times) — None when the run saw no fault machinery.
+    faults: dict | None = None
 
     @property
     def served(self) -> list[RequestRecord]:
         """Requests that were admitted and completed (empty in streaming mode)."""
-        return [record for record in self.requests if not record.shed]
+        return [
+            record
+            for record in self.requests
+            if not record.shed and not record.failed
+        ]
 
     @property
     def completed(self) -> int:
-        """Number of requests served (shed requests excluded)."""
+        """Number of requests served (shed/failed requests excluded)."""
         if self.streaming is not None:
             return self.streaming.completed
-        return len(self.requests) - self.shed_count
+        return len(self.requests) - self.shed_count - self.failed_count
 
     @property
     def offered(self) -> int:
-        """Number of requests that arrived (served + shed)."""
+        """Number of requests that arrived (served + shed + failed)."""
         if self.streaming is not None:
             return self.streaming.offered
         return len(self.requests)
@@ -528,6 +546,20 @@ class ServingReport:
         if self.streaming is not None:
             return self.streaming.shed
         return sum(1 for record in self.requests if record.shed)
+
+    @property
+    def failed_count(self) -> int:
+        """Requests terminally failed by the fault layer."""
+        if self.streaming is not None:
+            return self.streaming.failed
+        return sum(1 for record in self.requests if record.failed)
+
+    @property
+    def goodput(self) -> float:
+        """Completed fraction of offered requests (1.0 = nothing lost)."""
+        if self.offered == 0:
+            return 1.0
+        return self.completed / self.offered
 
     @property
     def shed_rate(self) -> float:
@@ -657,6 +689,9 @@ class ServingReport:
             "offered_requests": self.offered,
             "shed": self.shed_count,
             "shed_rate": self.shed_rate,
+            "failed": self.failed_count,
+            "goodput": self.goodput,
+            "faults": self.faults,
             "deadline_miss_rate": self.deadline_miss_rate,
             "tenants": self.tenants,
             "batches": self.batch_count,
@@ -703,6 +738,20 @@ class ServingReport:
                     for entry in self.tenants
                 ]
                 if self.tenants
+                else []
+            ),
+            *(
+                [
+                    f"  faults: {self.faults['crashes']} crashes"
+                    f" ({self.faults['injected']} injected),"
+                    f" {self.faults['retries']} retries,"
+                    f" {self.faults['failed']} failed,"
+                    f" {self.faults['quarantines']} quarantines"
+                    f" (max recovery"
+                    f" {self.faults['recovery_max_us']:,.0f}us);"
+                    f" goodput {self.goodput:.2%}"
+                ]
+                if self.faults
                 else []
             ),
             *(

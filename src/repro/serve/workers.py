@@ -126,7 +126,7 @@ class ProcessWorkerPool:
         self.image_size = network.image_size
         self.max_batch = max_batch
         size = network.image_size
-        ctx = multiprocessing.get_context("spawn")
+        self._ctx = multiprocessing.get_context("spawn")
         self._locks = [threading.Lock() for _ in range(arrays)]
         self._shm_in: list[shared_memory.SharedMemory] = []
         self._shm_out: list[shared_memory.SharedMemory] = []
@@ -151,26 +151,31 @@ class ProcessWorkerPool:
                 self._out.append(
                     np.ndarray((max_batch,), dtype=np.int64, buffer=shm_out.buf)
                 )
-                parent, child = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        child,
-                        shm_in.name,
-                        shm_out.name,
-                        max_batch,
-                        size,
-                        network,
-                    ),
-                    daemon=True,
-                )
-                proc.start()
-                child.close()
+                parent, proc = self._spawn(array)
                 self._conns.append(parent)
                 self._procs.append(proc)
         except BaseException:
             self.close()
             raise
+
+    def _spawn(self, array: int):
+        """Start one worker process over ``array``'s existing buffers."""
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child,
+                self._shm_in[array].name,
+                self._shm_out[array].name,
+                self.max_batch,
+                self.image_size,
+                self.network,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        return parent, proc
 
     def execute(self, array: int, images: np.ndarray) -> np.ndarray:
         """Classify a batch on ``array``'s worker process."""
@@ -201,6 +206,45 @@ class ProcessWorkerPool:
         """Kill one worker process (test hook for crash handling)."""
         self._procs[array].kill()
         self._procs[array].join(timeout=5.0)
+
+    def respawn(self, array: int, probe_timeout_s: float = 60.0) -> None:
+        """Replace ``array``'s worker and health-probe it before reuse.
+
+        The shared-memory buffers are reused (only the process and its
+        control pipe are replaced); a one-image round trip through the
+        fresh worker's real engine proves it serves before the caller
+        readmits the array.  Raises :class:`WorkerCrashError` if the
+        probe fails or times out.
+        """
+        if self._closed:
+            raise ConfigError("worker pool is closed")
+        with self._locks[array]:
+            proc = self._procs[array]
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5.0)
+            self._conns[array].close()
+            parent, proc = self._spawn(array)
+            self._conns[array] = parent
+            self._procs[array] = proc
+            self._images[array][:1] = 0.0
+            try:
+                parent.send(1)
+                if not parent.poll(probe_timeout_s):
+                    raise WorkerCrashError(
+                        f"respawned worker for array {array} failed its"
+                        f" health probe ({probe_timeout_s:g}s timeout)"
+                    )
+                acked = parent.recv()
+            except (EOFError, BrokenPipeError, OSError) as error:
+                raise WorkerCrashError(
+                    f"respawned worker for array {array} died during its"
+                    f" health probe (exitcode {proc.exitcode})"
+                ) from error
+            if acked != 1:
+                raise WorkerCrashError(
+                    f"respawned worker for array {array} acked {acked} != 1"
+                )
 
     def close(self) -> None:
         """Stop workers and release the shared-memory segments."""

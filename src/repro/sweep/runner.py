@@ -42,6 +42,8 @@ SERVING_AXES = ANALYTIC_AXES + (
     "rate_multiplier",
     "arrays",
     "dispatch",
+    "crash_rate",
+    "max_attempts",
 )
 
 #: Tier name -> allowed axes.
@@ -73,6 +75,12 @@ class SweepSpec:
     rate_multiplier: float = 2.5
     arrays: int = 1
     dispatch: str | None = None
+    #: Fault axes (``crash_rate`` > 0 enables injection; points with
+    #: faults run the recording path — the streaming fast path refuses
+    #: fault plans — so keep fault grids modest).
+    crash_rate: float = 0.0
+    max_attempts: int = 3
+    fault_seed: int = 1
     requests: int = 2000
     deadline_ms: float | None = None
     pipeline: bool = False
@@ -169,6 +177,8 @@ def evaluate_serving_point(spec: SweepSpec, point: dict) -> dict:
     """Fast-simulator metrics of one serving-configuration point."""
     from repro.serve import (
         AnalyticBatchCost,
+        FaultPlan,
+        RetryPolicy,
         ServerConfig,
         ServingSimulator,
         poisson_trace,
@@ -183,6 +193,8 @@ def evaluate_serving_point(spec: SweepSpec, point: dict) -> dict:
     rate_multiplier = float(_setting(spec, point, "rate_multiplier"))
     arrays = int(_setting(spec, point, "arrays"))
     dispatch = _setting(spec, point, "dispatch")
+    crash_rate = float(_setting(spec, point, "crash_rate"))
+    max_attempts = int(_setting(spec, point, "max_attempts"))
     network = _network_config(spec.network)
     config = _accel_config(array)
     cost = AnalyticBatchCost(
@@ -210,21 +222,36 @@ def evaluate_serving_point(spec: SweepSpec, point: dict) -> dict:
             spec.deadline_ms * 1000.0 if spec.deadline_ms is not None else None
         ),
         network_name=spec.network,
+        fault_plan=(
+            FaultPlan(crash_rate=crash_rate, seed=spec.fault_seed)
+            if crash_rate > 0.0
+            else None
+        ),
+        retry=RetryPolicy(max_attempts=max_attempts),
     )
+    # Fault points need the recording path (the streaming fast path
+    # refuses fault plans); fault-free points keep the fast tier.
     report = ServingSimulator(trace, server=server).run(
-        record_requests=False, latency_bin_us=spec.latency_bin_us
+        record_requests=crash_rate > 0.0, latency_bin_us=spec.latency_bin_us
     )
     latency = report.latency_summary()["total"]
     utilization = [stat["utilization"] for stat in report.array_stats]
+    faults = report.faults or {}
     return {
         **point,
         "array": array,
         "policy": policy,
         "arrays": arrays,
         "rate_multiplier": rate_multiplier,
+        "crash_rate": crash_rate,
+        "max_attempts": max_attempts,
         "offered_rps": report.offered_rps,
         "throughput_rps": report.throughput_rps,
         "served": report.completed,
+        "goodput": report.goodput,
+        "failed": report.failed_count,
+        "retries": int(faults.get("retries", 0)),
+        "crashes": int(faults.get("crashes", 0)),
         "shed_rate": report.shed_rate,
         "deadline_miss_rate": report.deadline_miss_rate,
         "mean_batch_size": report.mean_batch_size,
@@ -323,6 +350,13 @@ class SweepResult:
                 ("shed", lambda r: f"{r['shed_rate']:.1%}"),
                 ("util", lambda r: f"{r['mean_utilization']:.1%}"),
             ]
+            if any(row.get("crash_rate") for row in self.rows):
+                columns += [
+                    ("crash", lambda r: f"{r['crash_rate']:g}"),
+                    ("tries", lambda r: str(r["max_attempts"])),
+                    ("goodput", lambda r: f"{r['goodput']:.1%}"),
+                    ("failed", lambda r: str(r["failed"])),
+                ]
         header = " ".join(f"{name:>10s}" for name, _ in columns)
         lines = [
             f"Sweep — {self.spec.tier} tier, {self.spec.network} network,"

@@ -136,6 +136,32 @@ def test_sheds_traced_under_queue_limit(tiny_cost, burst_trace):
     assert well_formed_errors(tracer) == []
 
 
+def test_fault_events_keep_the_stream_well_formed(server, busy_trace):
+    """Crashes, retries and quarantine windows stay within the grammar:
+    a retried request re-dispatches but still ends in exactly one
+    terminal event."""
+    from dataclasses import replace
+
+    from repro.obs.tracer import FAILED, RETRY
+    from repro.serve import FaultPlan
+
+    faulted = replace(
+        server, fault_plan=FaultPlan(crash_batches=(1, 3), seed=3)
+    )
+    tracer = RecordingTracer()
+    report = ServingSimulator(busy_trace, server=faulted, tracer=tracer).run()
+    assert report.faults["crashes"] >= 2
+    assert well_formed_errors(tracer) == []
+    retried = {e.request for e in tracer.events if e.kind == RETRY}
+    assert retried
+    terminal_kinds = (COMPLETE, SHED, FAILED)
+    for index in retried:
+        events = [e for e in tracer.events if e.request == index]
+        terminals = [e for e in events if e.kind in terminal_kinds]
+        assert len(terminals) == 1
+        assert events[-1].kind in terminal_kinds
+
+
 def test_replay_virtual_emits_identical_stream(server, busy_trace):
     """The live engine in virtual time sees the same events as the sim."""
     sim_tracer = RecordingTracer()

@@ -293,7 +293,13 @@ class TestServingRuntimeLive:
         assert report.shed_count == len(sheds)
         assert report.completed == len(served)
 
-    def test_worker_crash_fails_every_waiter(self, tiny_config, tiny_cost):
+    def test_worker_crash_fails_only_after_retry_budget(
+        self, tiny_config, tiny_cost
+    ):
+        # A permanently-failing executor exhausts every request's retry
+        # budget; the waiters then see WorkerCrashError — but the
+        # runtime itself stays healthy (no sticky failure), so drain and
+        # stop complete normally.
         server = live_server(tiny_cost, max_batch=4, max_wait_us=0.0)
 
         async def scenario():
@@ -305,19 +311,112 @@ class TestServingRuntimeLive:
                 *(runtime.submit(image) for _ in range(4)),
                 return_exceptions=True,
             )
-            # The failure is sticky: later submissions refuse immediately.
-            with pytest.raises(WorkerCrashError):
-                await runtime.submit(image)
-            with pytest.raises(WorkerCrashError):
-                await runtime.drain()
+            await runtime.drain()  # crashes are contained, not sticky
+            report = runtime.report()
             await runtime.stop()
-            return outcomes
+            return outcomes, report
 
-        outcomes = asyncio.run(scenario())
+        outcomes, report = asyncio.run(scenario())
         assert outcomes
         assert all(isinstance(o, WorkerCrashError) for o in outcomes)
         cause = outcomes[0].__cause__
         assert isinstance(cause, RuntimeError)
+        assert report.failed_count == 4
+        faults = report.faults
+        # Default budget is 3 attempts: two retry rounds per request
+        # before the terminal failure.
+        assert faults["failed"] == 4
+        assert faults["retries"] == 8
+        assert faults["crashes"] >= 3
+
+    def test_crash_fails_only_its_own_batch(self, tiny_config, tiny_cost):
+        # Two arrays, one crash: the crashed batch's members retry and
+        # complete; waiters on the other array never see an error.
+        server = live_server(
+            tiny_cost, max_batch=4, max_wait_us=0.0, arrays=2
+        )
+
+        class CrashOnceExecutor(PredictedExecutor):
+            def __init__(self, image_size: int) -> None:
+                super().__init__(image_size)
+                self.crashed = False
+
+            def execute(self, array, images):
+                if array == 0 and not self.crashed:
+                    self.crashed = True
+                    raise RuntimeError("array 0 died once")
+                return super().execute(array, images)
+
+        async def scenario():
+            runtime = ServingRuntime(
+                server, executor=CrashOnceExecutor(tiny_config.image_size)
+            )
+            image = np.zeros((tiny_config.image_size, tiny_config.image_size))
+            outcomes = await asyncio.gather(
+                *(runtime.submit(image) for _ in range(8)),
+                return_exceptions=True,
+            )
+            # Let the quarantine's timed readmission (recovery_us) fire.
+            await asyncio.sleep(0.05)
+            report = runtime.report()
+            await runtime.stop()
+            return outcomes, report
+
+        outcomes, report = asyncio.run(scenario())
+        assert outcomes == [-1] * 8
+        assert report.completed == 8
+        assert report.failed_count == 0
+        faults = report.faults
+        assert faults["crashes"] == 1
+        # Exactly the crashed batch's members retried — nobody else.
+        assert 1 <= faults["retries"] <= 4
+        assert faults["failed"] == 0
+        # The crashed array was quarantined and readmitted.
+        assert faults["quarantines"] == 1
+        assert faults["recoveries"] == 1
+        crashed = [b for b in report.batches if b.crashed]
+        assert len(crashed) == 1
+        assert crashed[0].array == 0
+
+    def test_injected_plan_completes_all_requests_live(
+        self, tiny_config, tiny_cost
+    ):
+        # The seeded plan drives crashes through the real asyncio path:
+        # every request still completes, and the fault counters match
+        # the plan's two ordinals.
+        from repro.serve import FaultPlan
+
+        server = live_server(
+            tiny_cost,
+            max_batch=4,
+            max_wait_us=0.0,
+            arrays=2,
+            fault_plan=FaultPlan(crash_batches=(0, 2), seed=3),
+        )
+
+        async def scenario():
+            runtime = ServingRuntime(
+                server, executor=PredictedExecutor(tiny_config.image_size)
+            )
+            image = np.zeros((tiny_config.image_size, tiny_config.image_size))
+            outcomes = await asyncio.gather(
+                *(runtime.submit(image) for _ in range(12)),
+                return_exceptions=True,
+            )
+            report = runtime.report()
+            await runtime.stop()
+            return outcomes, report
+
+        outcomes, report = asyncio.run(scenario())
+        assert outcomes == [-1] * 12
+        assert report.completed == 12
+        assert report.shed_count == 0
+        assert report.failed_count == 0
+        assert report.goodput == 1.0
+        faults = report.faults
+        assert faults["crashes"] == 2
+        assert faults["injected"] == 2
+        assert faults["recoveries"] == faults["quarantines"]
 
     def test_socket_roundtrip(self, tiny_config, tiny_cost, live_images):
         qnet = QuantizedCapsuleNet(tiny_config)
@@ -379,5 +478,19 @@ class TestProcessWorkerPool:
             pool.crash(0)
             with pytest.raises(WorkerCrashError):
                 pool.execute(0, live_images[:8])
+            # A respawned, health-probed worker serves again.
+            pool.respawn(0)
+            predictions = pool.execute(0, live_images[:8])
+            np.testing.assert_array_equal(predictions, offline_predictions[:8])
         finally:
             pool.close()
+
+    def test_crash_then_close_shuts_down_cleanly(self, tiny_config):
+        # Closing a pool whose worker already died must not hang or
+        # leak the shared-memory segments.
+        pool = ProcessWorkerPool(tiny_config, arrays=1, max_batch=4)
+        pool.crash(0)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(ConfigError):
+            pool.respawn(0)
