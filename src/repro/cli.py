@@ -10,7 +10,10 @@ Usage::
         --processes 4 --json sweep.json      # window/prestage/array DSE
     python -m repro.cli sweep --tier serving --policy fifo deadline  # fast-sim tier
     python -m repro.cli info                 # network + accelerator summary
+    python -m repro.cli compile mnist --check     # graph -> ISA, golden-checked
+    python -m repro.cli compile mlp --json mlp.json   # dump a compiled program
     python -m repro.cli simulate --batch-size 8   # batched engine simulation
+    python -m repro.cli simulate --network cnn --batch-size 8  # zoo baseline
     python -m repro.cli simulate --batch-size 8 --images 32 --pipeline
     python -m repro.cli serve-sim --rate 400 --arrays 2   # serving simulator
     python -m repro.cli serve-sim --pipeline --trace-file arrivals.jsonl
@@ -78,18 +81,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import SweepSpec, run_sweep
 
     if args.smoke:
-        network = args.network or "tiny"
+        networks = args.network or ["tiny"]
         arrays_axis = args.array or [4, 8]
         windows = args.window or [1, 2]
         prestages = args.prestage or [1, 4]
         requests = args.requests or 512
     else:
-        network = args.network or "mnist"
+        networks = args.network or ["mnist"]
         arrays_axis = args.array or [8, 16, 32]
         windows = args.window or [DEFAULT_WINDOW]
         prestages = args.prestage or [DEFAULT_PRESTAGE_DEPTH]
         requests = args.requests or 2000
-    axes: dict = {"array": tuple(arrays_axis)}
+    network = networks[0]
+    axes: dict = {}
+    if len(networks) > 1:
+        # Several networks sweep the model-zoo axis (outermost).
+        axes["network"] = tuple(networks)
+    axes["array"] = tuple(arrays_axis)
     if args.tier == "analytic":
         if args.policy or args.rate_multiplier or args.crash_rate or args.max_attempts:
             print(
@@ -178,26 +186,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     import numpy as np
 
-    from repro.capsnet.config import tiny_capsnet_config
-    from repro.capsnet.quantized import QuantizedCapsuleNet
+    from repro.compiler.zoo import get_network
     from repro.data.synthetic import SyntheticDigits
     from repro.hw.scheduler import BatchScheduler, LayerReport, PipelinedStreamScheduler
 
     if args.batch_size < 1 or args.images is not None and args.images < 1:
         print("batch size and image count must be positive", file=sys.stderr)
         return 2
-    network = (
-        tiny_capsnet_config() if args.network == "tiny" else mnist_capsnet_config()
-    )
+    compiled = get_network(args.network)
     count = args.images if args.images is not None else args.batch_size
-    dataset = SyntheticDigits(size=network.image_size, seed=args.seed).generate(count)
-    qnet = QuantizedCapsuleNet(network)
+    dataset = SyntheticDigits(
+        size=compiled.input_shape[-1], seed=args.seed
+    ).generate(count)
+    images = dataset.images
+    if compiled.input_shape[0] != 1:
+        images = np.repeat(images[:, np.newaxis], compiled.input_shape[0], axis=1)
 
     if args.pipeline:
-        pipelined = PipelinedStreamScheduler(qnet, engine=args.engine)
+        pipelined = PipelinedStreamScheduler(compiled, engine=args.engine)
         config = pipelined.accelerator.config
         batches = [
-            dataset.images[lo : lo + args.batch_size]
+            images[lo : lo + args.batch_size]
             for lo in range(0, count, args.batch_size)
         ]
         start = time.perf_counter()
@@ -242,14 +251,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"Predictions: {shown}{suffix} (synthetic-label accuracy {accuracy:.0%})")
         return 0
 
-    scheduler = BatchScheduler(qnet, engine=args.engine)
+    scheduler = BatchScheduler(compiled, engine=args.engine)
     config = scheduler.accelerator.config
 
     layers: dict[str, LayerReport] = {}
     predictions = []
     start = time.perf_counter()
     for lo in range(0, count, args.batch_size):
-        result = scheduler.run_batch(dataset.images[lo : lo + args.batch_size])
+        result = scheduler.run_batch(images[lo : lo + args.batch_size])
         predictions.append(result.predictions)
         for name, report in result.layers.items():
             layers.setdefault(name, LayerReport(name=name)).merge(report)
@@ -280,6 +289,78 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     shown = predictions[:16].tolist()
     suffix = f" ... ({count} total)" if count > 16 else ""
     print(f"Predictions: {shown}{suffix} (synthetic-label accuracy {accuracy:.0%})")
+    return 0
+
+
+def _zoo_names() -> tuple[str, ...]:
+    from repro.compiler.zoo import zoo_names
+
+    return zoo_names()
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.compiler import (
+        check_network,
+        compile_graph,
+        get_network,
+        graph_from_json,
+        program_batch_cycles,
+    )
+    from repro.data.synthetic import SyntheticDigits
+    from repro.errors import CompileError, ConfigError, GraphError, ShapeError
+
+    try:
+        network = None
+        if args.graph is not None:
+            if args.network is not None:
+                raise ConfigError("pass a zoo network name or --graph, not both")
+            graph = graph_from_json(Path(args.graph).read_text())
+            program = compile_graph(graph)
+        elif args.network is not None:
+            network = get_network(args.network)
+            program = network.program
+        else:
+            raise ConfigError(
+                f"compile needs a zoo network ({', '.join(_zoo_names())})"
+                " or --graph FILE"
+            )
+        config = AcceleratorConfig()
+        cycles = program_batch_cycles(config, program, args.batch)
+        print(program.text())
+        print(
+            f"; batch {args.batch} on {config.rows}x{config.cols}:"
+            f" {cycles['overlapped']:,d} cycles overlapped,"
+            f" {cycles['sequential']:,d} sequential"
+            f" ({len(program.gemm_instructions())} array jobs)"
+        )
+        if args.check:
+            if network is None:
+                raise ConfigError(
+                    "--check needs a zoo network (a bare graph has no"
+                    " golden parameters)"
+                )
+            shape = network.input_shape
+            images = SyntheticDigits(size=shape[-1], seed=args.seed).generate(
+                args.check_images
+            ).images
+            if shape[0] != 1:
+                images = np.repeat(images[:, np.newaxis], shape[0], axis=1)
+            summary = check_network(network, images)
+            print(
+                f"; golden check: {summary['images']} images,"
+                f" {summary['outputs_checked']} stored outputs bit-identical"
+                " to the graph interpretation"
+            )
+        if args.json:
+            Path(args.json).write_text(program.to_json() + "\n")
+            print(f"wrote {args.json}")
+    except (CompileError, ConfigError, GraphError, ShapeError, OSError) as error:
+        print(f"compile: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -318,7 +399,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
 
     import numpy as np
 
-    from repro.capsnet.config import tiny_capsnet_config
+    from repro.compiler.zoo import get_network
     from repro.data.synthetic import SyntheticDigits
     from repro.errors import ConfigError
     from repro.obs import RecordingTracer, export_trace, pipeline_op_lane
@@ -331,9 +412,6 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         load_trace_file,
         make_trace,
     )
-
-    def network_config(name: str):
-        return tiny_capsnet_config() if name == "tiny" else mnist_capsnet_config()
 
     def spec_value(spec: dict, key: str, default, convert):
         raw = spec.get(key)
@@ -352,9 +430,17 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
 
         def build_cost(network_name: str):
             # One cost model (and per-batch-size memo) per distinct network.
+            # Every network comes from the model zoo; the analytic model
+            # prices the paper CapsNets through the validated closed-form
+            # perf model and everything else straight off its compiled
+            # instruction stream.
             if network_name not in cost_by_network:
-                network = network_config(network_name)
                 if args.cost == "analytic":
+                    network = (
+                        get_network(network_name).config
+                        if network_name in ("mnist", "tiny")
+                        else get_network(network_name)
+                    )
                     cost_by_network[network_name] = AnalyticBatchCost(
                         network=network,
                         accel_config=accel_config,
@@ -362,7 +448,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                     )
                 else:
                     cost_by_network[network_name] = ScheduledBatchCost(
-                        network=network,
+                        qnet=get_network(network_name),
                         accel_config=accel_config,
                         accounting=args.accounting,
                         pipeline=args.pipeline,
@@ -437,10 +523,14 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                 requests = args.requests
             images = None
             if args.execute:
-                network = network_config(args.network)
-                images = SyntheticDigits(size=network.image_size, rng=rng).generate(
+                shape = get_network(args.network).input_shape
+                images = SyntheticDigits(size=shape[-1], rng=rng).generate(
                     requests
                 ).images
+                if shape[0] != 1:
+                    # Grayscale synthetic digits replicated across the
+                    # network's input channels (e.g. the CIFAR-shape net).
+                    images = np.repeat(images[:, np.newaxis], shape[0], axis=1)
             simulator = ServingSimulator(
                 trace,
                 server=server,
@@ -493,7 +583,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     import numpy as np
 
-    from repro.capsnet.config import tiny_capsnet_config
+    from repro.compiler.zoo import get_network
     from repro.data.synthetic import SyntheticDigits
     from repro.errors import ConfigError
     from repro.obs import RecordingTracer, ServingMetrics, export_trace, serve_metrics
@@ -507,7 +597,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.compare import compare_reports, decision_diffs
     from repro.serve.runtime import MeasuredBatchCost, ServingRuntime, replay_virtual
     from repro.serve.trace import ArrivalTrace
-    from repro.serve.workers import InlineEngineExecutor, ProcessWorkerPool
+    from repro.serve.workers import (
+        CompiledStreamExecutor,
+        InlineEngineExecutor,
+        ProcessWorkerPool,
+    )
 
     def parse_hostport(text: str, flag: str) -> tuple[str, int]:
         host, _, port_text = text.rpartition(":")
@@ -517,9 +611,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             raise ConfigError(f"{flag} expects HOST:PORT, got {text!r}") from error
 
     try:
-        network = (
-            tiny_capsnet_config() if args.network == "tiny" else mnist_capsnet_config()
-        )
+        compiled = get_network(args.network)
         accel_config = AcceleratorConfig(acc_fifo_depth=args.fifo_depth)
         rng = np.random.default_rng(args.seed)
         if args.trace_file is not None:
@@ -541,7 +633,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     " replay has no scrape interval)"
                 )
             cost = ScheduledBatchCost(
-                network=network, accel_config=accel_config, pipeline=args.pipeline
+                qnet=compiled, accel_config=accel_config, pipeline=args.pipeline
             )
             server = ServerConfig.from_cli_args(args, cost, accel_config=accel_config)
             live = replay_virtual(server, trace, tracer=tracer)
@@ -583,16 +675,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         metrics = ServingMetrics() if args.metrics_listen else None
 
+        # The hand-tuned batched engine serves the plain single-channel
+        # CapsNets; every other zoo entry runs its compiled instruction
+        # stream (inline only — worker processes rebuild from a config).
+        pure_capsnet = (
+            compiled.qnet is not None
+            and "res_w" not in compiled.params
+            and compiled.input_shape[0] == 1
+        )
         if args.workers == "process":
+            if not pure_capsnet:
+                raise ConfigError(
+                    "--workers process serves the single-channel CapsNet zoo"
+                    " entries; use --workers inline for other zoo networks"
+                )
             executor = ProcessWorkerPool(
-                network, arrays=args.arrays, max_batch=args.max_batch
+                compiled.config, arrays=args.arrays, max_batch=args.max_batch
             )
+        elif pure_capsnet:
+            executor = InlineEngineExecutor(compiled.config)
         else:
-            executor = InlineEngineExecutor(network)
+            executor = CompiledStreamExecutor(compiled)
         try:
-            calibration = SyntheticDigits(size=network.image_size, rng=rng).generate(
-                min(512, max(args.max_batch, 64))
-            ).images
+            calibration = SyntheticDigits(
+                size=compiled.input_shape[-1], rng=rng
+            ).generate(min(512, max(args.max_batch, 64))).images
             sizes = [s for s in (1, 2, 4, 8, 16, 32, 64, 128, 256) if s <= args.max_batch]
             cost = MeasuredBatchCost.calibrate(
                 executor, calibration, sizes=sizes, config=accel_config
@@ -786,8 +893,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry-budget axis: attempts per request under faults (serving tier)",
     )
     sweep_parser.add_argument(
-        "--network", choices=("mnist", "tiny"), default=None,
-        help="network shapes (default mnist; tiny with --smoke)",
+        "--network",
+        nargs="+",
+        choices=_zoo_names(),
+        default=None,
+        help="model-zoo network(s); several values sweep the network axis"
+        " (default mnist; tiny with --smoke)",
     )
     sweep_parser.add_argument(
         "--requests", type=int, default=None, help="trace length per serving point"
@@ -819,6 +930,45 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--csv", type=str, default=None, help="write rows CSV")
     sweep_parser.set_defaults(func=_cmd_sweep)
 
+    compile_parser = sub.add_parser(
+        "compile",
+        help="compile a model-zoo network or a JSON graph file to the"
+        " accelerator ISA and print the instruction stream",
+    )
+    compile_parser.add_argument(
+        "network",
+        nargs="?",
+        choices=_zoo_names(),
+        default=None,
+        help="model-zoo network to compile",
+    )
+    compile_parser.add_argument(
+        "--graph",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="compile an IR graph from its JSON serialization instead",
+    )
+    compile_parser.add_argument(
+        "--batch", type=int, default=1, help="batch size for the cycle summary"
+    )
+    compile_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the compiled stream on synthetic images and assert every"
+        " stored output is bit-identical to the golden graph interpretation",
+    )
+    compile_parser.add_argument(
+        "--check-images", type=int, default=4, help="images for --check"
+    )
+    compile_parser.add_argument(
+        "--seed", type=int, default=7, help="synthetic image seed for --check"
+    )
+    compile_parser.add_argument(
+        "--json", type=str, default=None, help="write the compiled program JSON"
+    )
+    compile_parser.set_defaults(func=_cmd_compile)
+
     sim_parser = sub.add_parser(
         "simulate", help="run the batched execution engine on synthetic images"
     )
@@ -830,9 +980,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim_parser.add_argument(
         "--network",
-        choices=("mnist", "tiny"),
+        choices=_zoo_names(),
         default="mnist",
-        help="network configuration to simulate",
+        help="model-zoo network to simulate",
     )
     sim_parser.add_argument(
         "--engine",

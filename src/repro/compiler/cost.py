@@ -1,0 +1,236 @@
+"""Closed-form pricing of compiled programs.
+
+A :class:`~repro.compiler.isa.Program` stamps every array/activation
+instruction with its per-image work shape, so a program can be priced for
+any batch size without executing it — and the pricing is **bit-identical**
+to what :class:`~repro.compiler.executor.StreamExecutor` records when it
+actually runs (asserted in tests):
+
+* :func:`program_events` produces the exact :class:`~repro.hw.report.TraceEvent`
+  sequence a traced execution would append;
+* :func:`program_batch_cycles` gives the batch's sequential and
+  double-buffered totals (``BatchResult.total_cycles`` /
+  ``.overlapped_cycles``);
+* :func:`program_stats` gives the summed :class:`~repro.hw.stats.CycleStats`
+  including buffer access counts (``BatchResult.total_stats``) — the
+  energy model's activity input;
+* :func:`program_ops` / :func:`program_stream_timing` expand the events
+  into :mod:`repro.hw.pipeline` op timelines and price the cross-batch
+  pipelined stream schedule.
+
+This is what makes networks data: serving admission, sweeps and the energy
+model all price zoo networks from their compiled streams, with no
+network-specific scheduling code anywhere downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.compiler.isa import Opcode, Program
+from repro.hw.accelerator import batched_gemm_cycles, gemm_cycles, plan_tiling
+from repro.hw.activation import ActivationMode, batched_activation_latency
+from repro.hw.config import AcceleratorConfig
+from repro.hw.pipeline import (
+    DEFAULT_PRESTAGE_DEPTH,
+    DEFAULT_WINDOW,
+    PipelineOp,
+    StreamTiming,
+    activation_op,
+    cached_stream_timing,
+    job_ops,
+)
+from repro.hw.report import TraceEvent
+from repro.hw.stats import CycleStats
+
+_ACTIVATION_MODES = {
+    Opcode.RELU: ActivationMode.RELU,
+    Opcode.SQUASH: ActivationMode.SQUASH,
+    Opcode.SOFTMAX: ActivationMode.SOFTMAX,
+}
+
+
+def _activation_cycles(
+    config: AcceleratorConfig, opcode: Opcode, n: int, groups: int
+) -> int:
+    mode = _ACTIVATION_MODES[opcode]
+    units = config.cols if mode is ActivationMode.RELU else 1
+    return batched_activation_latency(mode, n, groups, units)
+
+
+def program_events(
+    config: AcceleratorConfig, program: Program, batch: int
+) -> list[TraceEvent]:
+    """The trace a batch-``B`` execution would record, without executing."""
+    events: list[TraceEvent] = []
+    for instr in program.instructions:
+        attrs = instr.attrs
+        if instr.opcode is Opcode.GEMM:
+            events.append(
+                TraceEvent(
+                    kind="gemm",
+                    name=instr.layer,
+                    plan=plan_tiling(config, batch * attrs["m"], attrs["k"], attrs["n"]),
+                    groups=1,
+                )
+            )
+        elif instr.opcode is Opcode.GROUPED_GEMM:
+            events.append(
+                TraceEvent(
+                    kind="gemm",
+                    name=instr.layer,
+                    plan=plan_tiling(config, attrs["m"], attrs["k"], attrs["n"]),
+                    groups=batch * attrs["groups"],
+                    weight_source=attrs["weight_source"],
+                )
+            )
+        elif instr.opcode in _ACTIVATION_MODES and attrs.get("record", True):
+            events.append(
+                TraceEvent(
+                    kind="activation",
+                    name=instr.layer,
+                    cycles=_activation_cycles(
+                        config, instr.opcode, attrs["n"], batch * attrs["groups"]
+                    ),
+                )
+            )
+    return events
+
+
+def program_batch_cycles(
+    config: AcceleratorConfig, program: Program, batch: int
+) -> dict[str, int]:
+    """Sequential and double-buffered totals of one batch, in closed form.
+
+    ``overlapped`` equals ``BatchResult.overlapped_cycles`` and
+    ``sequential`` equals ``BatchResult.total_cycles`` of an actual
+    execution of the same program at the same batch size.
+    """
+    sequential = 0
+    overlapped = 0
+    for instr in program.instructions:
+        attrs = instr.attrs
+        if instr.opcode is Opcode.GEMM:
+            m, k, n = attrs["m"], attrs["k"], attrs["n"]
+            sequential += batched_gemm_cycles(config, batch, m, k, n, overlap=False)["total"]
+            overlapped += batched_gemm_cycles(config, batch, m, k, n, overlap=True)["total"]
+        elif instr.opcode is Opcode.GROUPED_GEMM:
+            m, k, n = attrs["m"], attrs["k"], attrs["n"]
+            count = batch * attrs["groups"]
+            sequential += count * gemm_cycles(config, m, k, n, overlap=False)["total"]
+            overlapped += count * gemm_cycles(config, m, k, n, overlap=True)["total"]
+        elif instr.opcode in _ACTIVATION_MODES and attrs.get("record", True):
+            cycles = _activation_cycles(
+                config, instr.opcode, attrs["n"], batch * attrs["groups"]
+            )
+            sequential += cycles
+            overlapped += cycles
+    return {"sequential": sequential, "overlapped": overlapped}
+
+
+def program_stats(
+    config: AcceleratorConfig, program: Program, batch: int
+) -> CycleStats:
+    """Summed sequential :class:`CycleStats` (``BatchResult.total_stats``).
+
+    Replicates the accelerator's per-job accounting — cycle breakdown,
+    MAC count and buffer access counts — from shapes alone.
+    """
+    total = CycleStats()
+    for instr in program.instructions:
+        attrs = instr.attrs
+        if instr.opcode is Opcode.GEMM:
+            plan = plan_tiling(config, batch * attrs["m"], attrs["k"], attrs["n"])
+            count = 1
+            data_source = "data_buffer"
+            weight_source = "weight_buffer"
+        elif instr.opcode is Opcode.GROUPED_GEMM:
+            plan = plan_tiling(config, attrs["m"], attrs["k"], attrs["n"])
+            count = batch * attrs["groups"]
+            data_source = attrs["data_source"]
+            weight_source = attrs["weight_source"]
+        elif instr.opcode in _ACTIVATION_MODES and attrs.get("record", True):
+            cycles = _activation_cycles(
+                config, instr.opcode, attrs["n"], batch * attrs["groups"]
+            )
+            total.activation_cycles += cycles
+            total.total_cycles += cycles
+            continue
+        else:
+            continue
+        cycles = gemm_cycles(config, plan.m, plan.k, plan.n, overlap=False)
+        stats = CycleStats(
+            total_cycles=cycles["total"] * count,
+            compute_cycles=cycles["compute"] * count,
+            weight_stall_cycles=cycles["weight_stall"] * count,
+            fill_drain_cycles=cycles["fill_drain"] * count,
+            mac_count=plan.m * plan.k * plan.n * count,
+        )
+        weight_words = plan.k * plan.n * len(plan.m_passes) * count
+        data_words = plan.m * plan.k * plan.n_tiles * count
+        if weight_source != "feedback":
+            stats.add_access(f"{weight_source}.read", weight_words)
+        if data_source != "feedback":
+            stats.add_access(f"{data_source}.read", data_words)
+        stats.add_access("accumulator.write", plan.m * plan.n * plan.k_chunks * count)
+        total = total + stats
+    return total
+
+
+def program_ops(
+    config: AcceleratorConfig, program: Program, batch: int
+) -> list[PipelineOp]:
+    """One batch's pipeline op timeline, tile for tile (shape-driven)."""
+    ops: list[PipelineOp] = []
+    for event in program_events(config, program, batch):
+        if event.kind == "gemm":
+            ops.extend(
+                job_ops(
+                    config,
+                    event.plan,
+                    groups=event.groups,
+                    weight_source=event.weight_source,
+                    layer=event.name,
+                )
+            )
+        else:
+            ops.append(activation_op(event.cycles, layer=event.name))
+    return ops
+
+
+def program_stream_timing(
+    config: AcceleratorConfig,
+    program: Program,
+    batch_sizes: Sequence[int],
+    window: int = DEFAULT_WINDOW,
+    prestage_depth: int = DEFAULT_PRESTAGE_DEPTH,
+) -> StreamTiming:
+    """Pipelined stream schedule for a sequence of batches of one program."""
+    memo: dict[int, list[PipelineOp]] = {}
+    ops = []
+    for size in batch_sizes:
+        if size not in memo:
+            memo[size] = program_ops(config, program, size)
+        ops.append(memo[size])
+    return cached_stream_timing(
+        ops, list(batch_sizes), window=window, prestage_depth=prestage_depth
+    )
+
+
+def program_steady_cycles(
+    config: AcceleratorConfig,
+    program: Program,
+    batch: int,
+    stream_length: int = 7,
+    window: int = DEFAULT_WINDOW,
+    prestage_depth: int = DEFAULT_PRESTAGE_DEPTH,
+) -> int:
+    """Steady-state marginal cycles of one batch in a homogeneous stream."""
+    timing = program_stream_timing(
+        config,
+        program,
+        [batch] * max(6, stream_length),
+        window=window,
+        prestage_depth=prestage_depth,
+    )
+    return timing.steady_marginal_cycles

@@ -1,0 +1,284 @@
+"""Bit-accurate batched execution of compiled instruction streams.
+
+:class:`StreamExecutor` runs a :class:`~repro.compiler.isa.Program` over a
+``(B, ...)`` image batch on one :class:`~repro.hw.accelerator.CapsAccAccelerator`.
+Every register holds a batched tensor (leading ``B`` axis prepended to the
+program's per-image shapes); GEMM instructions execute through the
+accelerator's engines (``fast``/``stepped``) and activation instructions
+through a shared :class:`~repro.hw.activation.ActivationUnit` built from the
+network's own LUT ROMs — exactly the components the legacy hand-written
+scheduler used, so outputs *and* cycle accounting are bit-identical by
+construction (and asserted by the drift test).
+
+Cycle recording mirrors the legacy scheduler rule for rule: array
+instructions book their job's sequential stats and double-buffered cycles
+under their ``layer``; recorded activations book the Section IV-C latencies
+over ``B * groups`` arrays; layout/bookkeeping instructions are free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.capsnet.ops import im2col
+from repro.compiler.isa import Instruction, Opcode, Program
+from repro.errors import CompileError, ShapeError
+from repro.fixedpoint.arith import requantize, saturate_raw
+from repro.fixedpoint.quantize import to_raw
+from repro.hw.accelerator import (
+    BatchedGemmJob,
+    BatchedGemmResult,
+    CapsAccAccelerator,
+    GroupedGemmJob,
+)
+from repro.hw.activation import ActivationMode, ActivationUnit, batched_activation_latency
+from repro.hw.report import BatchResult, LayerReport, TraceEvent
+
+#: ``BatchResult`` field <- program output alias (set when the alias exists).
+_RESULT_FIELDS = (
+    "conv1_raw",
+    "primary_raw",
+    "u_hat_raw",
+    "class_caps_raw",
+    "coupling_raw",
+    "length_sumsq_raw",
+)
+
+
+class StreamExecutor:
+    """Executes compiled programs batch by batch with cycle accounting."""
+
+    def __init__(
+        self,
+        program: Program,
+        params: dict[str, np.ndarray],
+        formats,
+        luts=None,
+        accelerator: CapsAccAccelerator | None = None,
+        engine: str = "fast",
+    ) -> None:
+        self.program = program
+        self.params = params
+        if accelerator is None:
+            accelerator = CapsAccAccelerator(formats=formats)
+        self.accelerator = accelerator
+        # Share the network's ROMs so both paths are the same bits.
+        self.activation = ActivationUnit(formats, luts)
+        self.engine = engine
+
+    # ---- bookkeeping ---------------------------------------------------------
+
+    def _record(
+        self,
+        layers: dict[str, LayerReport],
+        trace: list[TraceEvent] | None,
+        name: str,
+        result: BatchedGemmResult | None = None,
+        activation_cycles: int = 0,
+        weight_source: str = "weight_buffer",
+    ) -> None:
+        report = layers.setdefault(name, LayerReport(name=name))
+        if result is not None:
+            report.stats = report.stats + result.stats
+            report.overlapped_cycles += result.overlapped_cycles
+            report.jobs += 1
+            if trace is not None:
+                trace.append(
+                    TraceEvent(
+                        kind="gemm",
+                        name=name,
+                        plan=result.plan,
+                        groups=result.groups,
+                        weight_source=weight_source,
+                    )
+                )
+        if activation_cycles:
+            report.stats.activation_cycles += activation_cycles
+            report.stats.total_cycles += activation_cycles
+            report.overlapped_cycles += activation_cycles
+            if trace is not None:
+                trace.append(
+                    TraceEvent(kind="activation", name=name, cycles=activation_cycles)
+                )
+
+    def _activation_cycles(self, mode: ActivationMode, n: int, groups: int) -> int:
+        units = self.accelerator.config.cols if mode is ActivationMode.RELU else 1
+        return batched_activation_latency(mode, n, groups, units)
+
+    def _load_tile(self, instr: Instruction) -> np.ndarray:
+        key = instr.attrs["key"]
+        if key not in self.params:
+            raise CompileError(f"program references unknown param {key!r}")
+        tile = self.params[key]
+        index = instr.attrs.get("index")
+        if index is not None:
+            tile = tile[index]
+        reshape = instr.attrs.get("reshape")
+        if reshape is not None:
+            tile = tile.reshape(tuple(reshape))
+        if instr.attrs.get("transpose", False):
+            tile = tile.T
+        return np.asarray(tile, dtype=np.int64)
+
+    # ---- execution -----------------------------------------------------------
+
+    def run_batch(
+        self, images: np.ndarray, trace: list[TraceEvent] | None = None
+    ) -> BatchResult:
+        """Execute one batch of real-valued inputs through the program."""
+        program = self.program
+        images = np.asarray(images)
+        expected = program.input_shape
+        if images.ndim == len(expected) and len(expected) == 3 and expected[0] == 1:
+            images = images[:, np.newaxis]
+        if images.ndim != len(expected) + 1 or images.shape[1:] != tuple(expected):
+            raise ShapeError(f"batch shape {images.shape} != (B,) + {tuple(expected)}")
+        batch = images.shape[0]
+        if batch < 1:
+            raise ShapeError("batch must contain at least one image")
+
+        env: dict[str, np.ndarray] = {program.input: to_raw(images, program.input_fmt)}
+        wregs: dict[str, np.ndarray] = {}
+        layers: dict[str, LayerReport] = {}
+        outputs: dict[str, np.ndarray] = {}
+
+        for instr in program.instructions:
+            op = instr.opcode
+            attrs = instr.attrs
+            if op is Opcode.LOAD_T:
+                wregs[instr.dest] = self._load_tile(instr)
+            elif op is Opcode.IM2COL:
+                kernel = attrs["kernel"]
+                stride = attrs["stride"]
+                env[instr.dest] = np.stack(
+                    [
+                        im2col(np.asarray(x, dtype=np.int64), kernel, stride)
+                        for x in env[instr.srcs[0]]
+                    ]
+                )
+            elif op is Opcode.GEMM:
+                job = BatchedGemmJob(
+                    attrs["job"],
+                    env[instr.srcs[0]],
+                    wregs[attrs["wreg"]],
+                    attrs["data_fmt"],
+                    attrs["weight_fmt"],
+                    attrs["acc_fmt"],
+                )
+                result = self.accelerator.run_batched_gemm(job, engine=self.engine)
+                self._record(layers, trace, instr.layer, result)
+                acc = result.acc
+                bias = attrs.get("bias")
+                if bias is not None:
+                    acc = saturate_raw(
+                        acc + self.params[bias][np.newaxis, np.newaxis, :],
+                        attrs["acc_fmt"],
+                    )
+                requant_to = attrs.get("requant_to")
+                if requant_to is not None:
+                    acc = requantize(acc, attrs["acc_fmt"], requant_to)
+                env[instr.dest] = acc
+            elif op is Opcode.GROUPED_GEMM:
+                data = env[instr.srcs[0]]
+                weights = env[instr.srcs[1]]
+                groups = attrs["groups"]
+                job = GroupedGemmJob(
+                    attrs["job"],
+                    data.reshape((batch * groups,) + data.shape[2:]),
+                    weights.reshape((batch * groups,) + weights.shape[2:]),
+                    attrs["data_fmt"],
+                    attrs["weight_fmt"],
+                    attrs["acc_fmt"],
+                    data_source=attrs["data_source"],
+                    weight_source=attrs["weight_source"],
+                )
+                result = self.accelerator.run_grouped_gemm(job, engine=self.engine)
+                self._record(
+                    layers, trace, instr.layer, result,
+                    weight_source=attrs["weight_source"],
+                )
+                acc = result.acc
+                requant_to = attrs.get("requant_to")
+                if requant_to is not None:
+                    acc = requantize(acc, attrs["acc_fmt"], requant_to)
+                env[instr.dest] = acc.reshape((batch,) + tuple(attrs["out_shape"]))
+            elif op is Opcode.RELU:
+                env[instr.dest] = self.activation.relu(
+                    env[instr.srcs[0]], attrs["in_fmt"], attrs["out_fmt"]
+                )
+                if attrs.get("record", True):
+                    self._record(
+                        layers, trace, instr.layer,
+                        activation_cycles=self._activation_cycles(
+                            ActivationMode.RELU, attrs["n"], batch * attrs["groups"]
+                        ),
+                    )
+            elif op is Opcode.SQUASH:
+                env[instr.dest] = self.activation.squash(
+                    env[instr.srcs[0]], attrs["in_fmt"]
+                )
+                if attrs.get("record", True):
+                    self._record(
+                        layers, trace, instr.layer,
+                        activation_cycles=self._activation_cycles(
+                            ActivationMode.SQUASH, attrs["n"], batch * attrs["groups"]
+                        ),
+                    )
+            elif op is Opcode.SOFTMAX:
+                env[instr.dest] = self.activation.softmax(env[instr.srcs[0]], axis=-1)
+                if attrs.get("record", True):
+                    self._record(
+                        layers, trace, instr.layer,
+                        activation_cycles=self._activation_cycles(
+                            ActivationMode.SOFTMAX, attrs["n"], batch * attrs["groups"]
+                        ),
+                    )
+            elif op is Opcode.NORM:
+                # Final length readout: the legacy lowering never charged it.
+                _, sumsq = self.activation.norm(env[instr.srcs[0]], attrs["in_fmt"])
+                env[instr.dest] = sumsq
+            elif op is Opcode.ARGMAX:
+                env[instr.dest] = np.argmax(env[instr.srcs[0]], axis=-1)
+            elif op is Opcode.REQUANT:
+                env[instr.dest] = requantize(
+                    env[instr.srcs[0]], attrs["from_fmt"], attrs["to_fmt"]
+                )
+            elif op is Opcode.RESHAPE:
+                env[instr.dest] = env[instr.srcs[0]].reshape(
+                    (batch,) + tuple(attrs["shape"])
+                )
+            elif op is Opcode.TRANSPOSE:
+                perm = tuple(attrs["perm"])
+                env[instr.dest] = env[instr.srcs[0]].transpose(
+                    (0,) + tuple(p + 1 for p in perm)
+                )
+            elif op is Opcode.SLICE:
+                axis = attrs["axis"] + 1
+                index = (slice(None),) * axis + (slice(attrs["start"], attrs["stop"]),)
+                env[instr.dest] = env[instr.srcs[0]][index]
+            elif op is Opcode.CONCAT:
+                env[instr.dest] = np.stack([env[s] for s in instr.srcs], axis=1)
+            elif op is Opcode.ADD_SAT:
+                a, b = instr.srcs
+                env[instr.dest] = saturate_raw(env[a] + env[b], attrs["fmt"])
+            elif op is Opcode.CONST:
+                env[instr.dest] = np.full(
+                    (batch,) + tuple(attrs["shape"]), attrs["value"], dtype=np.int64
+                )
+            elif op is Opcode.STORE:
+                outputs[attrs["alias"]] = env[instr.srcs[0]]
+            else:  # pragma: no cover - exhaustive over Opcode
+                raise CompileError(f"unknown opcode {op!r}")
+
+        if "predictions" not in outputs:
+            raise CompileError(
+                f"program {program.name!r} stores no 'predictions' output"
+            )
+        fields = {f: outputs[f] for f in _RESULT_FIELDS if f in outputs}
+        return BatchResult(
+            batch=batch,
+            predictions=outputs["predictions"],
+            layers=layers,
+            outputs=outputs,
+            **fields,
+        )

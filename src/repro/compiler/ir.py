@@ -1,0 +1,436 @@
+"""Typed graph IR for the accelerator compiler.
+
+A :class:`Graph` is a small dataflow DAG: :class:`TensorNode`\\ s (per-image
+shape + fixed-point format) connected by :class:`OpNode`\\ s drawn from a
+fixed op vocabulary (``conv2d``, ``gemm``, ``caps_gemm``, ``grouped_gemm``,
+``relu``, ``squash``, ``softmax``, ``route``, ``requant``, ``reshape``,
+``transpose``, ``add``, ``norm``, ``argmax``).  Shapes are **per image** —
+the batch dimension is implicit and added by the executor.
+
+:meth:`Graph.validate` raises :class:`~repro.errors.GraphError` for every
+malformation the lowering pass would otherwise trip over: duplicate
+producers, dangling tensors, unknown params, shape mismatches and cycles.
+:meth:`Graph.topo_sort` returns ops in dependency order (Kahn's algorithm).
+Graphs round-trip through JSON (:meth:`Graph.to_json` /
+:func:`graph_from_json`) so networks really are data — the CLI can compile
+a graph file that never touched Python.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import GraphError
+from repro.fixedpoint.formats import QFormat
+
+
+@dataclass(frozen=True)
+class TensorNode:
+    """One value in the graph: a per-image shape plus its raw format."""
+
+    name: str
+    shape: tuple[int, ...]
+    fmt: QFormat
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """A learned parameter: shape and the format its raw codes use."""
+
+    name: str
+    shape: tuple[int, ...]
+    fmt: QFormat
+
+
+@dataclass
+class OpNode:
+    """One operation: named inputs/outputs plus kind-specific attributes."""
+
+    name: str
+    kind: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+def _conv_out(size: int, kernel: int, stride: int) -> int:
+    return (size - kernel) // stride + 1
+
+
+def _infer_conv2d(op: OpNode, ins: list[tuple[int, ...]], params, _g) -> list[tuple[int, ...]]:
+    (shape,) = ins
+    if len(shape) != 3:
+        raise GraphError(f"{op.name}: conv2d input must be (C, H, W), got {shape}")
+    weight = params[op.attrs["weight"]]
+    if len(weight.shape) != 4 or weight.shape[2] != weight.shape[3]:
+        raise GraphError(f"{op.name}: conv2d weight must be (O, C, K, K)")
+    out_ch, in_ch, kernel, _ = weight.shape
+    if in_ch != shape[0]:
+        raise GraphError(
+            f"{op.name}: input has {shape[0]} channels, weight expects {in_ch}"
+        )
+    stride = int(op.attrs.get("stride", 1))
+    if shape[1] < kernel or shape[2] < kernel:
+        raise GraphError(f"{op.name}: input {shape[1:]} smaller than kernel {kernel}")
+    oh = _conv_out(shape[1], kernel, stride)
+    ow = _conv_out(shape[2], kernel, stride)
+    return [(oh * ow, out_ch)]
+
+
+def _infer_gemm(op: OpNode, ins, params, _g):
+    (shape,) = ins
+    if len(shape) != 2:
+        raise GraphError(f"{op.name}: gemm input must be (M, K), got {shape}")
+    weight = params[op.attrs["weight"]]
+    wshape = weight.shape
+    if len(wshape) != 2:
+        raise GraphError(f"{op.name}: gemm weight must be 2-D")
+    if op.attrs.get("transpose", False):
+        wshape = (wshape[1], wshape[0])
+    if wshape[0] != shape[1]:
+        raise GraphError(
+            f"{op.name}: gemm K mismatch (data {shape}, weight {weight.shape})"
+        )
+    return [(shape[0], wshape[1])]
+
+
+def _infer_caps_gemm(op: OpNode, ins, params, _g):
+    (shape,) = ins
+    weight = params[op.attrs["weight"]]
+    if len(shape) != 2:
+        raise GraphError(f"{op.name}: caps_gemm input must be (num_in, in_dim)")
+    if len(weight.shape) != 4:
+        raise GraphError(
+            f"{op.name}: caps_gemm weight must be (num_in, num_out, out_dim, in_dim)"
+        )
+    num_in, num_out, out_dim, in_dim = weight.shape
+    if (num_in, in_dim) != shape:
+        raise GraphError(
+            f"{op.name}: caps_gemm shape mismatch (data {shape}, weight {weight.shape})"
+        )
+    return [(num_in, num_out, out_dim)]
+
+
+def _infer_grouped_gemm(op: OpNode, ins, params, _g):
+    data, weights = ins
+    if len(data) != 3 or len(weights) != 3:
+        raise GraphError(f"{op.name}: grouped_gemm operands must be (G, M, K)/(G, K, N)")
+    if data[0] != weights[0] or data[2] != weights[1]:
+        raise GraphError(
+            f"{op.name}: grouped_gemm shape mismatch (data {data}, weights {weights})"
+        )
+    return [(data[0], data[1], weights[2])]
+
+
+def _infer_elementwise(op: OpNode, ins, _params, _g):
+    return [ins[0]]
+
+
+def _infer_add(op: OpNode, ins, _params, _g):
+    a, b = ins
+    if a != b:
+        raise GraphError(f"{op.name}: add operands differ in shape ({a} vs {b})")
+    return [a]
+
+
+def _infer_reshape(op: OpNode, ins, _params, _g):
+    (shape,) = ins
+    target = tuple(int(d) for d in op.attrs["shape"])
+    if math.prod(shape) != math.prod(target):
+        raise GraphError(
+            f"{op.name}: cannot reshape {shape} ({math.prod(shape)} elems)"
+            f" to {target} ({math.prod(target)} elems)"
+        )
+    return [target]
+
+
+def _infer_transpose(op: OpNode, ins, _params, _g):
+    (shape,) = ins
+    perm = tuple(int(p) for p in op.attrs["perm"])
+    if sorted(perm) != list(range(len(shape))):
+        raise GraphError(f"{op.name}: perm {perm} invalid for rank-{len(shape)} input")
+    return [tuple(shape[p] for p in perm)]
+
+
+def _infer_route(op: OpNode, ins, _params, _g):
+    (shape,) = ins
+    if len(shape) != 3:
+        raise GraphError(
+            f"{op.name}: route input must be (num_in, num_out, out_dim), got {shape}"
+        )
+    num_in, num_out, out_dim = shape
+    if int(op.attrs.get("iterations", 1)) < 1:
+        raise GraphError(f"{op.name}: route needs at least one iteration")
+    return [(num_out, out_dim), (num_in, num_out)]
+
+
+def _infer_reduce_last(op: OpNode, ins, _params, _g):
+    (shape,) = ins
+    if not shape:
+        raise GraphError(f"{op.name}: cannot reduce a scalar")
+    return [shape[:-1]]
+
+
+#: kind -> (arity, n_outputs, shape-inference function)
+OP_KINDS: dict[str, tuple[int, int, Any]] = {
+    "conv2d": (1, 1, _infer_conv2d),
+    "gemm": (1, 1, _infer_gemm),
+    "caps_gemm": (1, 1, _infer_caps_gemm),
+    "grouped_gemm": (2, 1, _infer_grouped_gemm),
+    "relu": (1, 1, _infer_elementwise),
+    "requant": (1, 1, _infer_elementwise),
+    "squash": (1, 1, _infer_elementwise),
+    "softmax": (1, 1, _infer_elementwise),
+    "add": (2, 1, _infer_add),
+    "reshape": (1, 1, _infer_reshape),
+    "transpose": (1, 1, _infer_transpose),
+    "route": (1, 2, _infer_route),
+    "norm": (1, 1, _infer_reduce_last),
+    "argmax": (1, 1, _infer_reduce_last),
+}
+
+
+@dataclass
+class Graph:
+    """A validated dataflow graph over named tensors."""
+
+    name: str
+    tensors: dict[str, TensorNode] = field(default_factory=dict)
+    params: dict[str, ParamSpec] = field(default_factory=dict)
+    ops: list[OpNode] = field(default_factory=list)
+    inputs: tuple[str, ...] = ()
+    #: output alias -> tensor name (aliases become ``BatchResult.outputs`` keys)
+    outputs: dict[str, str] = field(default_factory=dict)
+
+    # ---- structure -----------------------------------------------------------
+
+    def producers(self) -> dict[str, OpNode]:
+        """Map every produced tensor to its (unique) producing op."""
+        produced: dict[str, OpNode] = {}
+        for op in self.ops:
+            for out in op.outputs:
+                if out in produced:
+                    raise GraphError(
+                        f"tensor {out!r} produced by both"
+                        f" {produced[out].name!r} and {op.name!r}"
+                    )
+                if out in self.inputs:
+                    raise GraphError(f"graph input {out!r} cannot be produced by {op.name!r}")
+                produced[out] = op
+        return produced
+
+    def topo_sort(self) -> list[OpNode]:
+        """Ops in dependency order; raises :class:`GraphError` on cycles."""
+        produced = self.producers()
+        indegree: dict[str, int] = {}
+        consumers: dict[str, list[OpNode]] = {}
+        for op in self.ops:
+            deps = [t for t in op.inputs if t in produced]
+            indegree[op.name] = len(deps)
+            for t in deps:
+                consumers.setdefault(t, []).append(op)
+        ready = [op for op in self.ops if indegree[op.name] == 0]
+        order: list[OpNode] = []
+        while ready:
+            op = ready.pop(0)
+            order.append(op)
+            for out in op.outputs:
+                for consumer in consumers.get(out, ()):
+                    indegree[consumer.name] -= 1
+                    if indegree[consumer.name] == 0:
+                        ready.append(consumer)
+        if len(order) != len(self.ops):
+            stuck = sorted(name for name, deg in indegree.items() if deg > 0)
+            raise GraphError(f"graph {self.name!r} contains a cycle through {stuck}")
+        return order
+
+    def validate(self) -> None:
+        """Raise :class:`GraphError` on any structural or shape problem."""
+        names = set()
+        for op in self.ops:
+            if op.name in names:
+                raise GraphError(f"duplicate op name {op.name!r}")
+            names.add(op.name)
+            if op.kind not in OP_KINDS:
+                raise GraphError(f"{op.name}: unknown op kind {op.kind!r}")
+        for name in self.inputs:
+            if name not in self.tensors:
+                raise GraphError(f"graph input {name!r} has no tensor node")
+        produced = self.producers()
+        for op in self.ops:
+            arity, n_out, _ = OP_KINDS[op.kind]
+            if len(op.inputs) != arity:
+                raise GraphError(
+                    f"{op.name}: {op.kind} takes {arity} input(s), got {len(op.inputs)}"
+                )
+            if len(op.outputs) != n_out:
+                raise GraphError(
+                    f"{op.name}: {op.kind} yields {n_out} output(s), got {len(op.outputs)}"
+                )
+            for tensor in (*op.inputs, *op.outputs):
+                if tensor not in self.tensors:
+                    raise GraphError(f"{op.name}: unknown tensor {tensor!r}")
+            for tensor in op.inputs:
+                if tensor not in produced and tensor not in self.inputs:
+                    raise GraphError(
+                        f"{op.name}: input tensor {tensor!r} is dangling"
+                        " (no producer and not a graph input)"
+                    )
+            weight = op.attrs.get("weight")
+            if weight is not None and weight not in self.params:
+                raise GraphError(f"{op.name}: unknown param {weight!r}")
+            bias = op.attrs.get("bias")
+            if bias is not None and bias not in self.params:
+                raise GraphError(f"{op.name}: unknown param {bias!r}")
+        for alias, tensor in self.outputs.items():
+            if tensor not in self.tensors:
+                raise GraphError(f"output {alias!r} references unknown tensor {tensor!r}")
+        # Shape checks run in topo order (which also detects cycles).
+        for op in self.topo_sort():
+            _, _, infer = OP_KINDS[op.kind]
+            in_shapes = [self.tensors[t].shape for t in op.inputs]
+            expected = infer(op, in_shapes, self.params, self)
+            for tensor, shape in zip(op.outputs, expected):
+                declared = self.tensors[tensor].shape
+                if tuple(declared) != tuple(shape):
+                    raise GraphError(
+                        f"{op.name}: output {tensor!r} declared {declared},"
+                        f" inferred {tuple(shape)}"
+                    )
+
+    # ---- JSON round-trip -----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the graph (shapes, formats, ops, attrs) to JSON."""
+
+        def fmt(q: QFormat) -> list:
+            return [q.total_bits, q.frac_bits, bool(q.signed)]
+
+        doc = {
+            "name": self.name,
+            "tensors": [
+                {"name": t.name, "shape": list(t.shape), "fmt": fmt(t.fmt)}
+                for t in self.tensors.values()
+            ],
+            "params": [
+                {"name": p.name, "shape": list(p.shape), "fmt": fmt(p.fmt)}
+                for p in self.params.values()
+            ],
+            "ops": [
+                {
+                    "name": op.name,
+                    "kind": op.kind,
+                    "inputs": list(op.inputs),
+                    "outputs": list(op.outputs),
+                    "attrs": op.attrs,
+                }
+                for op in self.ops
+            ],
+            "inputs": list(self.inputs),
+            "outputs": self.outputs,
+        }
+        return json.dumps(doc, indent=2)
+
+
+def graph_from_json(text: str) -> Graph:
+    """Rebuild a :class:`Graph` from :meth:`Graph.to_json` output."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid graph JSON: {exc}") from exc
+
+    def fmt(spec) -> QFormat:
+        total, frac, signed = spec
+        return QFormat(total_bits=int(total), frac_bits=int(frac), signed=bool(signed))
+
+    def attr(value: Any) -> Any:
+        # JSON has no tuples; builder-produced attrs (shape, perm) use them.
+        return tuple(value) if isinstance(value, list) else value
+
+    try:
+        graph = Graph(
+            name=doc["name"],
+            tensors={
+                t["name"]: TensorNode(t["name"], tuple(int(d) for d in t["shape"]), fmt(t["fmt"]))
+                for t in doc["tensors"]
+            },
+            params={
+                p["name"]: ParamSpec(p["name"], tuple(int(d) for d in p["shape"]), fmt(p["fmt"]))
+                for p in doc["params"]
+            },
+            ops=[
+                OpNode(
+                    name=o["name"],
+                    kind=o["kind"],
+                    inputs=tuple(o["inputs"]),
+                    outputs=tuple(o["outputs"]),
+                    attrs={k: attr(v) for k, v in o.get("attrs", {}).items()},
+                )
+                for o in doc["ops"]
+            ],
+            inputs=tuple(doc["inputs"]),
+            outputs=dict(doc["outputs"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphError(f"malformed graph document: {exc}") from exc
+    graph.validate()
+    return graph
+
+
+class GraphBuilder:
+    """Incremental graph construction with shape inference.
+
+    Builders declare the input and params, then chain ops — output shapes
+    come from the same inference functions validation uses, so a builder
+    cannot construct a shape-inconsistent graph.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.graph = Graph(name=name)
+        self._counter = 0
+
+    def input(self, name: str, shape: tuple[int, ...], fmt: QFormat) -> str:
+        self.graph.tensors[name] = TensorNode(name, tuple(shape), fmt)
+        self.graph.inputs = (*self.graph.inputs, name)
+        return name
+
+    def param(self, name: str, shape: tuple[int, ...], fmt: QFormat) -> str:
+        self.graph.params[name] = ParamSpec(name, tuple(shape), fmt)
+        return name
+
+    def op(
+        self,
+        kind: str,
+        inputs: str | tuple[str, ...],
+        out_fmt: QFormat | tuple[QFormat, ...],
+        name: str | None = None,
+        **attrs: Any,
+    ) -> str | tuple[str, ...]:
+        """Append an op; returns its output tensor name(s)."""
+        if isinstance(inputs, str):
+            inputs = (inputs,)
+        if name is None:
+            self._counter += 1
+            name = f"{kind}_{self._counter}"
+        _, n_out, infer = OP_KINDS[kind]
+        op = OpNode(name=name, kind=kind, inputs=tuple(inputs), outputs=(), attrs=attrs)
+        shapes = infer(op, [self.graph.tensors[t].shape for t in inputs], self.graph.params, self.graph)
+        fmts = (out_fmt,) * n_out if isinstance(out_fmt, QFormat) else tuple(out_fmt)
+        outputs = []
+        for index, (shape, fmt) in enumerate(zip(shapes, fmts)):
+            tensor = name if n_out == 1 else f"{name}.{index}"
+            self.graph.tensors[tensor] = TensorNode(tensor, tuple(shape), fmt)
+            outputs.append(tensor)
+        op.outputs = tuple(outputs)
+        self.graph.ops.append(op)
+        return outputs[0] if n_out == 1 else tuple(outputs)
+
+    def output(self, alias: str, tensor: str) -> None:
+        self.graph.outputs[alias] = tensor
+
+    def build(self) -> Graph:
+        self.graph.validate()
+        return self.graph

@@ -35,5 +35,13 @@ class ConfigError(ReproError):
     """An invalid accelerator, model or experiment configuration."""
 
 
+class GraphError(ReproError):
+    """A compiler IR graph is malformed (cycle, dangling tensor, bad shape)."""
+
+
+class CompileError(ReproError):
+    """An IR graph cannot be lowered to an accelerator instruction stream."""
+
+
 class DataError(ReproError):
     """A dataset could not be loaded or generated."""

@@ -1,0 +1,329 @@
+"""Frozen hand-coded CapsNet lowering (pre-compiler reference).
+
+:class:`LegacyBatchScheduler` is the original :class:`BatchScheduler` body —
+the CapsNet-specific job list written by hand, before the graph→ISA compiler
+(:mod:`repro.compiler`) took over lowering.  It is kept verbatim as a drift
+reference: ``tests/compiler/test_drift.py`` asserts that the compiled MNIST
+stream reproduces this scheduler's outputs, per-layer cycle statistics and
+trace **exactly**.  Do not modify this file when changing the compiler; that
+would defeat its purpose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.capsnet.ops import im2col
+from repro.capsnet.quantized import QuantizedCapsuleNet
+from repro.errors import ShapeError
+from repro.fixedpoint.arith import requantize, saturate_raw
+from repro.fixedpoint.quantize import to_raw
+from repro.hw.accelerator import (
+    BatchedGemmJob,
+    BatchedGemmResult,
+    CapsAccAccelerator,
+    GroupedGemmJob,
+)
+from repro.hw.activation import ActivationMode, ActivationUnit, batched_activation_latency
+from repro.hw.report import BatchResult, LayerReport, TraceEvent
+
+
+class LegacyBatchScheduler:
+    """The hand-written CapsNet batch lowering (drift reference)."""
+
+    def __init__(
+        self,
+        qnet: QuantizedCapsuleNet,
+        accelerator: CapsAccAccelerator | None = None,
+        engine: str = "fast",
+    ) -> None:
+        self.qnet = qnet
+        if accelerator is None:
+            accelerator = CapsAccAccelerator(formats=qnet.formats)
+        self.accelerator = accelerator
+        # Share the quantized model's ROMs so both paths are the same bits.
+        self.activation = ActivationUnit(qnet.formats, qnet.luts)
+        self.engine = engine
+        #: When set (a list), every job/activation is appended in execution
+        #: order — the stream pipeline's input.  ``None`` disables tracing.
+        self.trace: list[TraceEvent] | None = None
+
+    # ---- bookkeeping ---------------------------------------------------------
+
+    def _record(
+        self,
+        layers: dict[str, LayerReport],
+        name: str,
+        result: BatchedGemmResult | None = None,
+        activation_cycles: int = 0,
+        weight_source: str = "weight_buffer",
+    ) -> None:
+        report = layers.setdefault(name, LayerReport(name=name))
+        if result is not None:
+            report.stats = report.stats + result.stats
+            report.overlapped_cycles += result.overlapped_cycles
+            report.jobs += 1
+            if self.trace is not None:
+                self.trace.append(
+                    TraceEvent(
+                        kind="gemm",
+                        name=name,
+                        plan=result.plan,
+                        groups=result.groups,
+                        weight_source=weight_source,
+                    )
+                )
+        if activation_cycles:
+            report.stats.activation_cycles += activation_cycles
+            report.stats.total_cycles += activation_cycles
+            report.overlapped_cycles += activation_cycles
+            if self.trace is not None:
+                self.trace.append(
+                    TraceEvent(kind="activation", name=name, cycles=activation_cycles)
+                )
+
+    def _activation_cycles(self, mode: ActivationMode, n: int, groups: int) -> int:
+        units = self.accelerator.config.cols if mode is ActivationMode.RELU else 1
+        return batched_activation_latency(mode, n, groups, units)
+
+    # ---- stages --------------------------------------------------------------
+
+    def _conv_layer(
+        self,
+        layers: dict[str, LayerReport],
+        name: str,
+        x_raw: np.ndarray,
+        weight_raw: np.ndarray,
+        bias_raw: np.ndarray,
+        stride: int,
+        data_fmt,
+        weight_fmt,
+        acc_fmt,
+    ) -> np.ndarray:
+        """Lower one convolution for the whole batch to a single stacked job."""
+        kernel_size = weight_raw.shape[2]
+        patches = np.stack(
+            [im2col(np.asarray(x, dtype=np.int64), kernel_size, stride) for x in x_raw]
+        )
+        wmat = weight_raw.reshape(weight_raw.shape[0], -1).T  # (K, N)
+        job = BatchedGemmJob(name, patches, wmat, data_fmt, weight_fmt, acc_fmt)
+        result = self.accelerator.run_batched_gemm(job, engine=self.engine)
+        self._record(layers, name, result)
+        return saturate_raw(result.acc + bias_raw[np.newaxis, np.newaxis, :], acc_fmt)
+
+    def run_batch(self, images: np.ndarray) -> BatchResult:
+        """Execute one batch of ``(B, H, W)`` or ``(B, C, H, W)`` images."""
+        qnet = self.qnet
+        fmts = qnet.formats
+        config = qnet.config
+        images = np.asarray(images)
+        if images.ndim == 3:
+            images = images[:, np.newaxis]
+        expected = (config.in_channels, config.image_size, config.image_size)
+        if images.ndim != 4 or images.shape[1:] != expected:
+            raise ShapeError(f"batch shape {images.shape} != (B,) + {expected}")
+        batch = images.shape[0]
+        if batch < 1:
+            raise ShapeError("batch must contain at least one image")
+        layers: dict[str, LayerReport] = {}
+
+        # ---- Conv1: batch-stacked im2col GEMM --------------------------------
+        image_raw = to_raw(images, fmts.input)
+        conv1_acc_fmt = fmts.acc(fmts.input, fmts.conv1_weight)
+        conv1_acc = self._conv_layer(
+            layers,
+            "conv1",
+            image_raw,
+            qnet.raw_weights["conv1_w"],
+            qnet.raw_weights["conv1_b"],
+            config.conv1.stride,
+            fmts.input,
+            fmts.conv1_weight,
+            conv1_acc_fmt,
+        )
+        conv1_out = self.activation.relu(conv1_acc, conv1_acc_fmt, fmts.conv1_out)
+        size = config.conv1_out_size
+        self._record(
+            layers,
+            "conv1",
+            activation_cycles=self._activation_cycles(
+                ActivationMode.RELU, 1, batch * size**2 * config.conv1.out_channels
+            ),
+        )
+        conv1_raw = conv1_out.transpose(0, 2, 1).reshape(
+            batch, config.conv1.out_channels, size, size
+        )
+
+        # ---- PrimaryCaps: batch-stacked conv GEMM + squash -------------------
+        primary_acc_fmt = fmts.acc(fmts.conv1_out, fmts.primary_weight)
+        primary_acc = self._conv_layer(
+            layers,
+            "primarycaps",
+            conv1_raw,
+            qnet.raw_weights["primary_w"],
+            qnet.raw_weights["primary_b"],
+            config.primary.stride,
+            fmts.conv1_out,
+            fmts.primary_weight,
+            primary_acc_fmt,
+        )
+        preact_flat = requantize(primary_acc, primary_acc_fmt, fmts.primary_preact)
+        spec = config.primary
+        out_size = config.primary_out_size
+        preact = preact_flat.transpose(0, 2, 1).reshape(
+            batch, spec.conv_out_channels, out_size, out_size
+        )
+        grouped = preact.reshape(
+            batch, spec.capsule_channels, spec.capsule_dim, out_size, out_size
+        )
+        capsules = grouped.transpose(0, 3, 4, 1, 2).reshape(batch, -1, spec.capsule_dim)
+        primary_raw = self.activation.squash(capsules, fmts.primary_preact)
+        self._record(
+            layers,
+            "primarycaps",
+            activation_cycles=self._activation_cycles(
+                ActivationMode.SQUASH,
+                spec.capsule_dim,
+                batch * config.num_primary_capsules,
+            ),
+        )
+
+        # ---- ClassCaps FC: one batched job per input capsule -----------------
+        u_hat_raw = self._classcaps_fc(layers, primary_raw)
+
+        # ---- Routing: grouped per-(image, class) jobs ------------------------
+        v_raw, c_raw = self._route(layers, u_hat_raw)
+        _, sumsq = self.activation.norm(v_raw, fmts.caps_data)
+
+        return BatchResult(
+            batch=batch,
+            predictions=np.argmax(sumsq, axis=-1),
+            conv1_raw=conv1_raw,
+            primary_raw=primary_raw,
+            u_hat_raw=u_hat_raw,
+            class_caps_raw=v_raw,
+            coupling_raw=c_raw,
+            length_sumsq_raw=sumsq,
+            layers=layers,
+        )
+
+    def _classcaps_fc(
+        self, layers: dict[str, LayerReport], primary_raw: np.ndarray
+    ) -> np.ndarray:
+        """Per-capsule weight matrices, each streamed by the whole batch."""
+        qnet = self.qnet
+        fmts = qnet.formats
+        config = qnet.config
+        acc_fmt = fmts.acc(fmts.caps_data, fmts.classcaps_weight)
+        batch = primary_raw.shape[0]
+        num_in = config.num_primary_capsules
+        num_out = config.classcaps.num_classes
+        out_dim = config.classcaps.out_dim
+        w = qnet.raw_weights["classcaps_w"]
+        u_hat = np.zeros((batch, num_in, num_out, out_dim), dtype=np.int64)
+        for i in range(num_in):
+            wmat = w[i].reshape(num_out * out_dim, -1).T  # (K, N)
+            job = BatchedGemmJob(
+                f"fc_capsule_{i}",
+                primary_raw[:, i : i + 1, :],  # (B, 1, in_dim)
+                wmat,
+                fmts.caps_data,
+                fmts.classcaps_weight,
+                acc_fmt,
+            )
+            result = self.accelerator.run_batched_gemm(job, engine=self.engine)
+            self._record(layers, "classcaps_fc", result)
+            u_hat[:, i] = requantize(result.acc[:, 0], acc_fmt, fmts.caps_data).reshape(
+                batch, num_out, out_dim
+            )
+        return u_hat
+
+    def _route(
+        self, layers: dict[str, LayerReport], u_hat_raw: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Quantized routing with grouped GEMM jobs across the batch."""
+        qnet = self.qnet
+        fmts = qnet.formats
+        config = qnet.config
+        batch, num_in, num_out, out_dim = u_hat_raw.shape
+        iterations = config.classcaps.routing_iterations
+        sum_acc_fmt = fmts.acc(fmts.caps_data, fmts.coupling)
+        upd_acc_fmt = fmts.acc(fmts.caps_data, fmts.caps_data)
+        b_raw = np.zeros((batch, num_in, num_out), dtype=np.int64)
+
+        if qnet.optimized_routing:
+            c_raw = np.full(
+                (batch, num_in, num_out),
+                qnet._uniform_coupling_code(num_out),
+                dtype=np.int64,
+            )
+        else:
+            c_raw = self.activation.softmax(b_raw, axis=-1)
+            self._record(
+                layers,
+                "softmax1",
+                activation_cycles=self._activation_cycles(
+                    ActivationMode.SOFTMAX, num_out, batch * num_in
+                ),
+            )
+
+        v_raw = np.zeros((batch, num_out, out_dim), dtype=np.int64)
+        for iteration in range(1, iterations + 1):
+            if iteration > 1:
+                c_raw = self.activation.softmax(b_raw, axis=-1)
+                self._record(
+                    layers,
+                    f"softmax{iteration}",
+                    activation_cycles=self._activation_cycles(
+                        ActivationMode.SOFTMAX, num_out, batch * num_in
+                    ),
+                )
+            # Sum: one GEMM per (image, class); predictions arrive from the
+            # data buffer first, from the feedback path afterwards.
+            source = "data_buffer" if iteration == 1 else "feedback"
+            job = GroupedGemmJob(
+                f"sum{iteration}",
+                u_hat_raw.transpose(0, 2, 3, 1).reshape(
+                    batch * num_out, out_dim, num_in
+                ),
+                c_raw.transpose(0, 2, 1).reshape(batch * num_out, num_in, 1),
+                fmts.caps_data,
+                fmts.coupling,
+                sum_acc_fmt,
+                data_source=source,
+                weight_source="routing_buffer",
+            )
+            result = self.accelerator.run_grouped_gemm(job, engine=self.engine)
+            self._record(layers, f"sum{iteration}", result, weight_source="routing_buffer")
+            s_raw = requantize(
+                result.acc[..., 0], sum_acc_fmt, fmts.primary_preact
+            ).reshape(batch, num_out, out_dim)
+            v_raw = self.activation.squash(s_raw, fmts.primary_preact)
+            self._record(
+                layers,
+                f"squash{iteration}",
+                activation_cycles=self._activation_cycles(
+                    ActivationMode.SQUASH, out_dim, batch * num_out
+                ),
+            )
+            if iteration < iterations:
+                job = GroupedGemmJob(
+                    f"update{iteration}",
+                    u_hat_raw.transpose(0, 2, 1, 3).reshape(
+                        batch * num_out, num_in, out_dim
+                    ),
+                    v_raw.reshape(batch * num_out, out_dim, 1),
+                    fmts.caps_data,
+                    fmts.caps_data,
+                    upd_acc_fmt,
+                    data_source="feedback",
+                    weight_source="routing_buffer",
+                )
+                result = self.accelerator.run_grouped_gemm(job, engine=self.engine)
+                self._record(
+                    layers, f"update{iteration}", result, weight_source="routing_buffer"
+                )
+                delta = requantize(result.acc[..., 0], upd_acc_fmt, fmts.logits)
+                delta = delta.reshape(batch, num_out, num_in).transpose(0, 2, 1)
+                b_raw = saturate_raw(b_raw + delta, fmts.logits)
+        return v_raw, c_raw

@@ -1,47 +1,42 @@
-"""Batched multi-image scheduler for whole-network CapsAcc execution.
+"""Batched multi-image scheduling of *compiled* instruction streams.
 
-:class:`BatchScheduler` takes a quantized CapsuleNet and schedules every
-layer of a ``B``-image batch as batched/grouped GEMM jobs on one
-:class:`~repro.hw.accelerator.CapsAccAccelerator`:
+:class:`BatchScheduler` used to be a hand-written, CapsNet-specific job
+list.  It now consumes the graph→ISA compiler (:mod:`repro.compiler`): any
+network — a :class:`~repro.compiler.zoo.CompiledNetwork`, a
+:class:`~repro.capsnet.quantized.QuantizedCapsuleNet` (compiled on the
+fly, program memoized per architecture) or a zoo name string — lowers to
+one instruction stream, and a :class:`~repro.compiler.executor.StreamExecutor`
+runs it batch by batch:
 
-* **Conv1 / PrimaryCaps** — the batch's im2col patches stack into a single
-  ``(B*M, K)`` stream per weight tile (:class:`BatchedGemmJob`), so each
-  convolution tile is loaded once per *batch* instead of once per image —
-  the paper's weight reuse extended across images.
-* **ClassCaps FC** — one batched job per input capsule: the capsule's
-  private weight matrix is loaded once and the ``B`` capsule vectors
-  stream through it (``M = B`` instead of ``M = 1``), amortizing the
-  load-dominated FC stage.
-* **Routing** — coupling coefficients differ per image, so there is no
-  cross-image weight reuse; the per-(image, class) GEMMs execute as one
-  :class:`GroupedGemmJob` whose accounting is their exact sequential sum.
+* **Convolutions** — the batch's im2col patches stack into a single
+  ``(B*M, K)`` stream per weight tile (one ``GEMM`` instruction), so each
+  tile loads once per *batch* instead of once per image — the paper's
+  weight reuse extended across images.
+* **ClassCaps FC** — one ``GEMM`` per input capsule: the capsule's private
+  weight matrix is loaded once and the ``B`` capsule vectors stream
+  through it (``M = B`` instead of ``M = 1``).
+* **Routing** — coupling coefficients differ per image, so the
+  per-(image, class) GEMMs execute as ``GROUPED_GEMM`` instructions whose
+  accounting is their exact sequential sum.
 
-Results are bit-identical, image for image, to
-:class:`~repro.mapping.execute.MappedInference` (asserted in tests).  Every
-layer reports both sequential and double-buffered (Weight2 overlap)
-accounting; buffer transfers between stages are not charged, matching the
-single-image executable lowering.
+For the MNIST CapsNet this is ``compile(mnist_capsnet_graph())``: outputs
+*and* cycle counts are bit-identical to the frozen hand lowering
+(:class:`~repro.hw.legacy_scheduler.LegacyBatchScheduler`, asserted by the
+drift test) and, image for image, to
+:class:`~repro.mapping.execute.MappedInference`.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.capsnet.ops import im2col
-from repro.capsnet.quantized import QuantizedCapsuleNet
+from dataclasses import dataclass
+
+from repro.compiler.executor import StreamExecutor
+from repro.compiler.zoo import CompiledNetwork, as_compiled
 from repro.errors import ShapeError
-from repro.fixedpoint.arith import requantize, saturate_raw
-from repro.fixedpoint.quantize import to_raw
-from repro.hw.accelerator import (
-    BatchedGemmJob,
-    BatchedGemmResult,
-    CapsAccAccelerator,
-    GroupedGemmJob,
-    TilingPlan,
-)
-from repro.hw.activation import ActivationMode, ActivationUnit, batched_activation_latency
+from repro.hw.accelerator import CapsAccAccelerator
 from repro.hw.pipeline import (
     DEFAULT_PRESTAGE_DEPTH,
     DEFAULT_WINDOW,
@@ -51,414 +46,64 @@ from repro.hw.pipeline import (
     cached_stream_timing,
     job_ops,
 )
-from repro.hw.stats import CycleStats
+from repro.hw.report import BatchResult, LayerReport, TraceEvent
 
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One scheduled unit of work, in execution order.
-
-    ``kind`` is ``"gemm"`` (with the job's tiling ``plan``, sequential
-    ``groups`` and ``weight_source``) or ``"activation"`` (with its
-    ``cycles``).  The trace is shape-driven — data never changes it — so
-    one probe per batch size describes every batch of that size.
-    """
-
-    kind: str
-    name: str
-    plan: TilingPlan | None = None
-    groups: int = 1
-    weight_source: str = "weight_buffer"
-    cycles: int = 0
-
-
-@dataclass
-class LayerReport:
-    """Per-layer accounting of one scheduled batch."""
-
-    name: str
-    #: Sequential accounting (weight loads stall compute); activation-unit
-    #: cycles are folded into ``stats.total_cycles`` and broken out in
-    #: ``stats.activation_cycles``.
-    stats: CycleStats = field(default_factory=CycleStats)
-    #: Double-buffered accounting: tile loads hide under the previous
-    #: tile's stream (the Weight2 register of paper Fig 11b).
-    overlapped_cycles: int = 0
-    #: GEMM jobs issued for the layer (post-batching).
-    jobs: int = 0
-
-    @property
-    def gemm_cycles(self) -> int:
-        """Sequential cycles spent on the array (excluding activations)."""
-        return self.stats.total_cycles - self.stats.activation_cycles
-
-    def merge(self, other: "LayerReport") -> None:
-        """Fold another report (e.g. the same layer of a later batch) in."""
-        self.stats = self.stats + other.stats
-        self.overlapped_cycles += other.overlapped_cycles
-        self.jobs += other.jobs
-
-    def utilization(self, num_pes: int) -> float:
-        """Achieved MACs per PE-cycle under double-buffered accounting."""
-        if self.overlapped_cycles == 0:
-            return 0.0
-        return self.stats.mac_count / (self.overlapped_cycles * num_pes)
-
-
-@dataclass
-class BatchResult:
-    """Outputs and per-layer statistics of one scheduled batch."""
-
-    batch: int
-    predictions: np.ndarray
-    conv1_raw: np.ndarray
-    primary_raw: np.ndarray
-    u_hat_raw: np.ndarray
-    class_caps_raw: np.ndarray
-    coupling_raw: np.ndarray
-    length_sumsq_raw: np.ndarray
-    layers: dict[str, LayerReport] = field(default_factory=dict)
-
-    @property
-    def total_stats(self) -> CycleStats:
-        """Summed sequential statistics over all layers."""
-        total = CycleStats()
-        for report in self.layers.values():
-            total = total + report.stats
-        return total
-
-    @property
-    def total_cycles(self) -> int:
-        """Sequential cycles for the whole batch."""
-        return self.total_stats.total_cycles
-
-    @property
-    def overlapped_cycles(self) -> int:
-        """Double-buffered cycles for the whole batch."""
-        return sum(report.overlapped_cycles for report in self.layers.values())
-
-    def cycles_per_image(self, overlap: bool = True) -> float:
-        """Amortized cycles per image."""
-        cycles = self.overlapped_cycles if overlap else self.total_cycles
-        return cycles / self.batch
-
-    def images_per_second(self, clock_mhz: float, overlap: bool = True) -> float:
-        """Modeled hardware throughput at the given clock."""
-        return clock_mhz * 1e6 / self.cycles_per_image(overlap)
-
-    def utilization(self, num_pes: int) -> float:
-        """Overall achieved MACs per PE-cycle (double-buffered)."""
-        if self.overlapped_cycles == 0:
-            return 0.0
-        return self.total_stats.mac_count / (self.overlapped_cycles * num_pes)
+__all__ = [
+    "BatchResult",
+    "BatchScheduler",
+    "LayerReport",
+    "PipelinedStreamScheduler",
+    "StreamResult",
+    "TraceEvent",
+    "clear_traced_ops_cache",
+    "trace_ops",
+]
 
 
 class BatchScheduler:
-    """Schedules whole CapsuleNet layer sequences as batched GEMM jobs."""
+    """Schedules whole compiled networks as batched GEMM jobs.
+
+    ``network`` may be a :class:`CompiledNetwork`, a
+    :class:`QuantizedCapsuleNet` or a zoo name (see
+    :func:`repro.compiler.zoo.as_compiled`).
+    """
 
     def __init__(
         self,
-        qnet: QuantizedCapsuleNet,
+        network,
         accelerator: CapsAccAccelerator | None = None,
         engine: str = "fast",
     ) -> None:
-        self.qnet = qnet
+        compiled = as_compiled(network)
+        self.compiled = compiled
+        #: The quantized golden model, when the network has one (CapsNet
+        #: architectures); ``None`` for pure zoo baselines.
+        self.qnet = compiled.qnet
         if accelerator is None:
-            accelerator = CapsAccAccelerator(formats=qnet.formats)
+            accelerator = CapsAccAccelerator(formats=compiled.formats)
         self.accelerator = accelerator
-        # Share the quantized model's ROMs so both paths are the same bits.
-        self.activation = ActivationUnit(qnet.formats, qnet.luts)
         self.engine = engine
+        # Share the network's ROMs so all paths are the same bits.
+        self._executor = StreamExecutor(
+            compiled.program,
+            compiled.params,
+            compiled.formats,
+            luts=compiled.luts,
+            accelerator=accelerator,
+            engine=engine,
+        )
         #: When set (a list), every job/activation is appended in execution
         #: order — the stream pipeline's input.  ``None`` disables tracing.
         self.trace: list[TraceEvent] | None = None
 
-    # ---- bookkeeping ---------------------------------------------------------
-
-    def _record(
-        self,
-        layers: dict[str, LayerReport],
-        name: str,
-        result: BatchedGemmResult | None = None,
-        activation_cycles: int = 0,
-        weight_source: str = "weight_buffer",
-    ) -> None:
-        report = layers.setdefault(name, LayerReport(name=name))
-        if result is not None:
-            report.stats = report.stats + result.stats
-            report.overlapped_cycles += result.overlapped_cycles
-            report.jobs += 1
-            if self.trace is not None:
-                self.trace.append(
-                    TraceEvent(
-                        kind="gemm",
-                        name=name,
-                        plan=result.plan,
-                        groups=result.groups,
-                        weight_source=weight_source,
-                    )
-                )
-        if activation_cycles:
-            report.stats.activation_cycles += activation_cycles
-            report.stats.total_cycles += activation_cycles
-            report.overlapped_cycles += activation_cycles
-            if self.trace is not None:
-                self.trace.append(
-                    TraceEvent(kind="activation", name=name, cycles=activation_cycles)
-                )
-
-    def _activation_cycles(self, mode: ActivationMode, n: int, groups: int) -> int:
-        units = self.accelerator.config.cols if mode is ActivationMode.RELU else 1
-        return batched_activation_latency(mode, n, groups, units)
-
-    # ---- stages --------------------------------------------------------------
-
-    def _conv_layer(
-        self,
-        layers: dict[str, LayerReport],
-        name: str,
-        x_raw: np.ndarray,
-        weight_raw: np.ndarray,
-        bias_raw: np.ndarray,
-        stride: int,
-        data_fmt,
-        weight_fmt,
-        acc_fmt,
-    ) -> np.ndarray:
-        """Lower one convolution for the whole batch to a single stacked job."""
-        kernel_size = weight_raw.shape[2]
-        patches = np.stack(
-            [im2col(np.asarray(x, dtype=np.int64), kernel_size, stride) for x in x_raw]
-        )
-        wmat = weight_raw.reshape(weight_raw.shape[0], -1).T  # (K, N)
-        job = BatchedGemmJob(name, patches, wmat, data_fmt, weight_fmt, acc_fmt)
-        result = self.accelerator.run_batched_gemm(job, engine=self.engine)
-        self._record(layers, name, result)
-        return saturate_raw(result.acc + bias_raw[np.newaxis, np.newaxis, :], acc_fmt)
+    @property
+    def activation(self):
+        """The shared activation unit (LUT ROMs included)."""
+        return self._executor.activation
 
     def run_batch(self, images: np.ndarray) -> BatchResult:
         """Execute one batch of ``(B, H, W)`` or ``(B, C, H, W)`` images."""
-        qnet = self.qnet
-        fmts = qnet.formats
-        config = qnet.config
-        images = np.asarray(images)
-        if images.ndim == 3:
-            images = images[:, np.newaxis]
-        expected = (config.in_channels, config.image_size, config.image_size)
-        if images.ndim != 4 or images.shape[1:] != expected:
-            raise ShapeError(f"batch shape {images.shape} != (B,) + {expected}")
-        batch = images.shape[0]
-        if batch < 1:
-            raise ShapeError("batch must contain at least one image")
-        layers: dict[str, LayerReport] = {}
-
-        # ---- Conv1: batch-stacked im2col GEMM --------------------------------
-        image_raw = to_raw(images, fmts.input)
-        conv1_acc_fmt = fmts.acc(fmts.input, fmts.conv1_weight)
-        conv1_acc = self._conv_layer(
-            layers,
-            "conv1",
-            image_raw,
-            qnet.raw_weights["conv1_w"],
-            qnet.raw_weights["conv1_b"],
-            config.conv1.stride,
-            fmts.input,
-            fmts.conv1_weight,
-            conv1_acc_fmt,
-        )
-        conv1_out = self.activation.relu(conv1_acc, conv1_acc_fmt, fmts.conv1_out)
-        size = config.conv1_out_size
-        self._record(
-            layers,
-            "conv1",
-            activation_cycles=self._activation_cycles(
-                ActivationMode.RELU, 1, batch * size**2 * config.conv1.out_channels
-            ),
-        )
-        conv1_raw = conv1_out.transpose(0, 2, 1).reshape(
-            batch, config.conv1.out_channels, size, size
-        )
-
-        # ---- PrimaryCaps: batch-stacked conv GEMM + squash -------------------
-        primary_acc_fmt = fmts.acc(fmts.conv1_out, fmts.primary_weight)
-        primary_acc = self._conv_layer(
-            layers,
-            "primarycaps",
-            conv1_raw,
-            qnet.raw_weights["primary_w"],
-            qnet.raw_weights["primary_b"],
-            config.primary.stride,
-            fmts.conv1_out,
-            fmts.primary_weight,
-            primary_acc_fmt,
-        )
-        preact_flat = requantize(primary_acc, primary_acc_fmt, fmts.primary_preact)
-        spec = config.primary
-        out_size = config.primary_out_size
-        preact = preact_flat.transpose(0, 2, 1).reshape(
-            batch, spec.conv_out_channels, out_size, out_size
-        )
-        grouped = preact.reshape(
-            batch, spec.capsule_channels, spec.capsule_dim, out_size, out_size
-        )
-        capsules = grouped.transpose(0, 3, 4, 1, 2).reshape(batch, -1, spec.capsule_dim)
-        primary_raw = self.activation.squash(capsules, fmts.primary_preact)
-        self._record(
-            layers,
-            "primarycaps",
-            activation_cycles=self._activation_cycles(
-                ActivationMode.SQUASH,
-                spec.capsule_dim,
-                batch * config.num_primary_capsules,
-            ),
-        )
-
-        # ---- ClassCaps FC: one batched job per input capsule -----------------
-        u_hat_raw = self._classcaps_fc(layers, primary_raw)
-
-        # ---- Routing: grouped per-(image, class) jobs ------------------------
-        v_raw, c_raw = self._route(layers, u_hat_raw)
-        _, sumsq = self.activation.norm(v_raw, fmts.caps_data)
-
-        return BatchResult(
-            batch=batch,
-            predictions=np.argmax(sumsq, axis=-1),
-            conv1_raw=conv1_raw,
-            primary_raw=primary_raw,
-            u_hat_raw=u_hat_raw,
-            class_caps_raw=v_raw,
-            coupling_raw=c_raw,
-            length_sumsq_raw=sumsq,
-            layers=layers,
-        )
-
-    def _classcaps_fc(
-        self, layers: dict[str, LayerReport], primary_raw: np.ndarray
-    ) -> np.ndarray:
-        """Per-capsule weight matrices, each streamed by the whole batch.
-
-        Deliberately one job per input capsule, not one grouped job: each
-        capsule's private weight matrix is a distinct tile-load sequence
-        the control unit schedules separately, and the per-job dispatch is
-        exactly the cost the batch dimension amortizes (``M = B`` per
-        capsule instead of ``B`` separate ``M = 1`` passes).
-        """
-        qnet = self.qnet
-        fmts = qnet.formats
-        config = qnet.config
-        acc_fmt = fmts.acc(fmts.caps_data, fmts.classcaps_weight)
-        batch = primary_raw.shape[0]
-        num_in = config.num_primary_capsules
-        num_out = config.classcaps.num_classes
-        out_dim = config.classcaps.out_dim
-        w = qnet.raw_weights["classcaps_w"]
-        u_hat = np.zeros((batch, num_in, num_out, out_dim), dtype=np.int64)
-        for i in range(num_in):
-            wmat = w[i].reshape(num_out * out_dim, -1).T  # (K, N)
-            job = BatchedGemmJob(
-                f"fc_capsule_{i}",
-                primary_raw[:, i : i + 1, :],  # (B, 1, in_dim)
-                wmat,
-                fmts.caps_data,
-                fmts.classcaps_weight,
-                acc_fmt,
-            )
-            result = self.accelerator.run_batched_gemm(job, engine=self.engine)
-            self._record(layers, "classcaps_fc", result)
-            u_hat[:, i] = requantize(result.acc[:, 0], acc_fmt, fmts.caps_data).reshape(
-                batch, num_out, out_dim
-            )
-        return u_hat
-
-    def _route(
-        self, layers: dict[str, LayerReport], u_hat_raw: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Quantized routing with grouped GEMM jobs across the batch."""
-        qnet = self.qnet
-        fmts = qnet.formats
-        config = qnet.config
-        batch, num_in, num_out, out_dim = u_hat_raw.shape
-        iterations = config.classcaps.routing_iterations
-        sum_acc_fmt = fmts.acc(fmts.caps_data, fmts.coupling)
-        upd_acc_fmt = fmts.acc(fmts.caps_data, fmts.caps_data)
-        b_raw = np.zeros((batch, num_in, num_out), dtype=np.int64)
-
-        if qnet.optimized_routing:
-            c_raw = np.full(
-                (batch, num_in, num_out),
-                qnet._uniform_coupling_code(num_out),
-                dtype=np.int64,
-            )
-        else:
-            c_raw = self.activation.softmax(b_raw, axis=-1)
-            self._record(
-                layers,
-                "softmax1",
-                activation_cycles=self._activation_cycles(
-                    ActivationMode.SOFTMAX, num_out, batch * num_in
-                ),
-            )
-
-        v_raw = np.zeros((batch, num_out, out_dim), dtype=np.int64)
-        for iteration in range(1, iterations + 1):
-            if iteration > 1:
-                c_raw = self.activation.softmax(b_raw, axis=-1)
-                self._record(
-                    layers,
-                    f"softmax{iteration}",
-                    activation_cycles=self._activation_cycles(
-                        ActivationMode.SOFTMAX, num_out, batch * num_in
-                    ),
-                )
-            # Sum: one GEMM per (image, class); predictions arrive from the
-            # data buffer first, from the feedback path afterwards.
-            source = "data_buffer" if iteration == 1 else "feedback"
-            job = GroupedGemmJob(
-                f"sum{iteration}",
-                u_hat_raw.transpose(0, 2, 3, 1).reshape(
-                    batch * num_out, out_dim, num_in
-                ),
-                c_raw.transpose(0, 2, 1).reshape(batch * num_out, num_in, 1),
-                fmts.caps_data,
-                fmts.coupling,
-                sum_acc_fmt,
-                data_source=source,
-                weight_source="routing_buffer",
-            )
-            result = self.accelerator.run_grouped_gemm(job, engine=self.engine)
-            self._record(layers, f"sum{iteration}", result, weight_source="routing_buffer")
-            s_raw = requantize(
-                result.acc[..., 0], sum_acc_fmt, fmts.primary_preact
-            ).reshape(batch, num_out, out_dim)
-            v_raw = self.activation.squash(s_raw, fmts.primary_preact)
-            self._record(
-                layers,
-                f"squash{iteration}",
-                activation_cycles=self._activation_cycles(
-                    ActivationMode.SQUASH, out_dim, batch * num_out
-                ),
-            )
-            if iteration < iterations:
-                job = GroupedGemmJob(
-                    f"update{iteration}",
-                    u_hat_raw.transpose(0, 2, 1, 3).reshape(
-                        batch * num_out, num_in, out_dim
-                    ),
-                    v_raw.reshape(batch * num_out, out_dim, 1),
-                    fmts.caps_data,
-                    fmts.caps_data,
-                    upd_acc_fmt,
-                    data_source="feedback",
-                    weight_source="routing_buffer",
-                )
-                result = self.accelerator.run_grouped_gemm(job, engine=self.engine)
-                self._record(
-                    layers, f"update{iteration}", result, weight_source="routing_buffer"
-                )
-                delta = requantize(result.acc[..., 0], upd_acc_fmt, fmts.logits)
-                delta = delta.reshape(batch, num_out, num_in).transpose(0, 2, 1)
-                b_raw = saturate_raw(b_raw + delta, fmts.logits)
-        return v_raw, c_raw
+        return self._executor.run_batch(images, trace=self.trace)
 
 
 # ---- stream-level cross-batch pipelining -------------------------------------
@@ -521,11 +166,12 @@ class StreamResult:
 
 
 #: Traced per-batch op timelines, shared across scheduler instances:
-#: ``(network config, optimized_routing, accel config, engine, batch)``
-#: fully determines the trace (scheduling is shape-driven), so a stream
-#: scheduler rebuilt for the same shapes — a serving cost model rebuilt
-#: per run, a sweep point repeating an array size — reuses the settled
-#: timeline instead of re-running the engine probe.
+#: ``(network key, accel config, engine, batch)`` fully determines the
+#: trace (scheduling is shape-driven; the network key identifies the
+#: architecture, not the weights), so a stream scheduler rebuilt for the
+#: same shapes — a serving cost model rebuilt per run, a sweep point
+#: repeating an array size — reuses the settled timeline instead of
+#: re-running the engine probe.
 _TRACED_OPS_CACHE: dict[tuple, list[PipelineOp]] = {}
 
 
@@ -546,29 +192,32 @@ class PipelinedStreamScheduler:
 
     def __init__(
         self,
-        qnet: QuantizedCapsuleNet,
+        network,
         accelerator: CapsAccAccelerator | None = None,
         engine: str = "fast",
         window: int = DEFAULT_WINDOW,
         prestage_depth: int = DEFAULT_PRESTAGE_DEPTH,
     ) -> None:
-        self.scheduler = BatchScheduler(qnet, accelerator=accelerator, engine=engine)
+        self.scheduler = BatchScheduler(network, accelerator=accelerator, engine=engine)
         self.window = window
         self.prestage_depth = prestage_depth
         self._ops_memo: dict[int, list[PipelineOp]] = {}
 
     def _ops_key(self, batch: int) -> tuple:
-        qnet = self.qnet
         return (
-            qnet.config,
-            qnet.optimized_routing,
+            self.compiled.key,
             self.accelerator.config,
             self.scheduler.engine,
             batch,
         )
 
     @property
-    def qnet(self) -> QuantizedCapsuleNet:
+    def compiled(self) -> CompiledNetwork:
+        return self.scheduler.compiled
+
+    @property
+    def qnet(self):
+        """The quantized golden model, when the network has one."""
         return self.scheduler.qnet
 
     @property
@@ -579,7 +228,7 @@ class PipelinedStreamScheduler:
         """Pipeline ops of one batch (shape-driven; probed and memoized).
 
         The memo is two-level: per instance, then module-wide keyed by
-        (network, accelerator config, engine, batch) — a scheduler
+        (network key, accelerator config, engine, batch) — a scheduler
         rebuilt for shapes another instance already traced skips the
         engine probe entirely.
         """
@@ -603,9 +252,9 @@ class PipelinedStreamScheduler:
         """
         if batch_size < 1:
             raise ShapeError("batch must contain at least one image")
-        size = self.qnet.config.image_size
-        channels = self.qnet.config.in_channels
-        probe = np.zeros((batch_size, channels, size, size), dtype=np.float64)
+        probe = np.zeros(
+            (batch_size,) + tuple(self.compiled.input_shape), dtype=np.float64
+        )
         return self._run_traced(probe)
 
     def probe_timing(self, batch_sizes: Sequence[int]) -> StreamTiming:

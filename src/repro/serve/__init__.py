@@ -136,6 +136,7 @@ from repro.serve.trace import (
     uniform_trace,
 )
 from repro.serve.workers import (
+    CompiledStreamExecutor,
     InlineEngineExecutor,
     PredictedExecutor,
     ProcessWorkerPool,
@@ -162,6 +163,7 @@ __all__ = [
     "BatchRecord",
     "ChainedAdmission",
     "Clock",
+    "CompiledStreamExecutor",
     "CompletionSink",
     "CostBank",
     "DeadlineAdmission",

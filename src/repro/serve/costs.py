@@ -48,10 +48,18 @@ import numpy as np
 
 from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
 from repro.capsnet.quantized import QuantizedCapsuleNet
+from repro.compiler.cost import program_batch_cycles, program_ops
+from repro.compiler.isa import Program
+from repro.compiler.zoo import CompiledNetwork, as_compiled
 from repro.errors import ConfigError
 from repro.hw.accelerator import CapsAccAccelerator
 from repro.hw.config import AcceleratorConfig
-from repro.hw.pipeline import DEFAULT_PRESTAGE_DEPTH, DEFAULT_WINDOW
+from repro.hw.pipeline import (
+    DEFAULT_PRESTAGE_DEPTH,
+    DEFAULT_WINDOW,
+    PipelineOp,
+    cached_stream_timing,
+)
 from repro.hw.scheduler import BatchResult, BatchScheduler, PipelinedStreamScheduler
 from repro.perf.model import CapsAccPerformanceModel
 from repro.perf.stream import PROBE_STREAM_LENGTH, AnalyticStreamCost
@@ -83,6 +91,21 @@ def clear_probe_cache() -> None:
 def probe_cache_size() -> int:
     """Number of cached probe results (for tests/telemetry)."""
     return len(_PROBE_CACHE)
+
+
+def _compiled_network_key(compiled: CompiledNetwork) -> tuple:
+    """Cross-model identity of a compiled network's shapes.
+
+    CapsNet architectures reduce to the ``(config, optimized_routing)``
+    pair :class:`AnalyticBatchCost`'s perf-model path uses, so a
+    scheduled and an analytic model pricing the same CapsNet compare
+    equal in :func:`_resolve_cross_prev` (no spurious cross-network
+    probes); other zoo entries keep their own compiled key.
+    """
+    key = compiled.key
+    if key and key[0] == "capsnet":
+        return (key[1], key[2])
+    return key
 
 
 def _pair_marginal(timing) -> int:
@@ -185,7 +208,9 @@ class ScheduledBatchCost:
     Parameters
     ----------
     qnet:
-        Quantized network to schedule; built from ``network`` when omitted.
+        Network to schedule: a :class:`QuantizedCapsuleNet`, a compiled
+        model-zoo entry (:class:`CompiledNetwork`) or a zoo name string;
+        built from ``network`` when omitted.
     network:
         Network configuration (defaults to the paper's MNIST CapsuleNet).
     accel_config:
@@ -203,7 +228,7 @@ class ScheduledBatchCost:
 
     def __init__(
         self,
-        qnet: QuantizedCapsuleNet | None = None,
+        qnet: QuantizedCapsuleNet | CompiledNetwork | str | None = None,
         network: CapsNetConfig | None = None,
         accel_config: AcceleratorConfig | None = None,
         accounting: str = "overlapped",
@@ -223,13 +248,19 @@ class ScheduledBatchCost:
             )
         if qnet is None:
             qnet = QuantizedCapsuleNet(network if network is not None else mnist_capsnet_config())
-        self.qnet = qnet
+        compiled = as_compiled(qnet)
+        #: The compiled network priced by this model (everything downstream
+        #: — probes, pipeline ops, rebuilds — runs its instruction stream).
+        self.compiled = compiled
+        #: The quantized golden model when the network has one (CapsNet
+        #: architectures); ``None`` for pure zoo baselines.
+        self.qnet = compiled.qnet
         accelerator = (
-            CapsAccAccelerator(accel_config, formats=qnet.formats)
+            CapsAccAccelerator(accel_config, formats=compiled.formats)
             if accel_config is not None
             else None
         )
-        self.scheduler = BatchScheduler(qnet, accelerator=accelerator, engine=engine)
+        self.scheduler = BatchScheduler(compiled, accelerator=accelerator, engine=engine)
         self.accounting = accounting
         self.engine = engine
         self.pipeline = pipeline
@@ -241,7 +272,7 @@ class ScheduledBatchCost:
         self._stream: PipelinedStreamScheduler | None = None
         if pipeline:
             self._stream = PipelinedStreamScheduler(
-                qnet,
+                compiled,
                 accelerator=self.scheduler.accelerator,
                 engine=engine,
                 window=window,
@@ -256,7 +287,7 @@ class ScheduledBatchCost:
     @property
     def network_key(self) -> tuple:
         """Hashable identity of the network shapes this model prices."""
-        return (self.qnet.config, self.qnet.optimized_routing)
+        return _compiled_network_key(self.compiled)
 
     def signature(self) -> tuple:
         """Hashable identity of every parameter that shapes a probe."""
@@ -297,8 +328,10 @@ class ScheduledBatchCost:
                 if self._stream is not None:
                     result = self._stream.probe_batch(batch_size)
                 else:
-                    size = self.qnet.config.image_size
-                    probe = np.zeros((batch_size, size, size), dtype=np.float64)
+                    probe = np.zeros(
+                        (batch_size,) + tuple(self.compiled.input_shape),
+                        dtype=np.float64,
+                    )
                     result = self.scheduler.run_batch(probe)
                 cached = _PROBE_CACHE[key] = _batch_cycles(result, self.accounting)
             self._memo[batch_size] = cached
@@ -391,32 +424,95 @@ class ScheduledBatchCost:
         return cycles, result
 
 
-class AnalyticBatchCost:
-    """Closed-form batch costs from the :mod:`repro.perf` model.
+class _ProgramStream:
+    """Pipeline-op pricing of a compiled program (no engine, no weights).
 
-    Orders of magnitude faster than executing the scheduler — useful for
-    long traces — and validated against :class:`ScheduledBatchCost` by
-    :func:`crosscheck` (the analytic model uses the same shared cycle
-    formulas, so agreement is tight but not bit-exact: the scheduler's
-    per-capsule FC jobs and activation interleaving differ slightly).
+    Duck-types the slice of :class:`~repro.perf.stream.AnalyticStreamCost`
+    the cost models use — ``batch_ops`` / ``stream_timing`` /
+    ``steady_cycles`` — but expands the op timeline from the network's
+    compiled instruction stream (:func:`repro.compiler.cost.program_ops`),
+    so *any* zoo network prices its pipelined warm costs in closed form.
     """
 
     def __init__(
         self,
-        network: CapsNetConfig | None = None,
+        config: AcceleratorConfig,
+        program: Program,
+        window: int,
+        prestage_depth: int,
+    ) -> None:
+        self.config = config
+        self.program = program
+        self.window = window
+        self.prestage_depth = prestage_depth
+        self._ops_memo: dict[int, list[PipelineOp]] = {}
+
+    def batch_ops(self, batch_size: int) -> list[PipelineOp]:
+        if batch_size < 1:
+            raise ConfigError("batch size must be positive")
+        if batch_size not in self._ops_memo:
+            self._ops_memo[batch_size] = program_ops(
+                self.config, self.program, batch_size
+            )
+        return self._ops_memo[batch_size]
+
+    def stream_timing(self, batch_sizes):
+        ops = [self.batch_ops(size) for size in batch_sizes]
+        return cached_stream_timing(
+            ops,
+            list(batch_sizes),
+            window=self.window,
+            prestage_depth=self.prestage_depth,
+        )
+
+    def cold_cycles(self, batch_size: int) -> int:
+        return self.stream_timing([batch_size]).finish_cycles
+
+    def steady_cycles(self, batch_size: int) -> int:
+        timing = self.stream_timing([batch_size] * PROBE_STREAM_LENGTH)
+        return timing.steady_marginal_cycles
+
+
+class AnalyticBatchCost:
+    """Closed-form batch costs — no engine execution.
+
+    Two pricing paths share one serving surface:
+
+    * a :class:`CapsNetConfig` (or ``None``, the MNIST default) prices
+      through the :mod:`repro.perf` closed-form model — orders of
+      magnitude faster than executing the scheduler, validated against
+      :class:`ScheduledBatchCost` by :func:`crosscheck` (agreement is
+      tight but not bit-exact: the scheduler's per-capsule FC jobs and
+      activation interleaving differ slightly);
+    * a :class:`CompiledNetwork` / zoo name prices straight off the
+      compiled instruction stream
+      (:func:`repro.compiler.cost.program_batch_cycles`), which **is**
+      bit-exact against the scheduled model — any zoo network serves
+      analytically with no network-specific modeling code.
+    """
+
+    def __init__(
+        self,
+        network: CapsNetConfig | CompiledNetwork | str | None = None,
         accel_config: AcceleratorConfig | None = None,
         optimized_routing: bool = True,
         pipeline: bool = False,
         window: int = DEFAULT_WINDOW,
         prestage_depth: int = DEFAULT_PRESTAGE_DEPTH,
     ) -> None:
-        self.network = network if network is not None else mnist_capsnet_config()
         self._config = accel_config if accel_config is not None else AcceleratorConfig()
-        self.model = CapsAccPerformanceModel(
-            accelerator=self._config,
-            network=self.network,
-            optimized_routing=optimized_routing,
-        )
+        self.compiled: CompiledNetwork | None = None
+        self.model: CapsAccPerformanceModel | None = None
+        if network is None or isinstance(network, CapsNetConfig):
+            self.network = network if network is not None else mnist_capsnet_config()
+            self.model = CapsAccPerformanceModel(
+                accelerator=self._config,
+                network=self.network,
+                optimized_routing=optimized_routing,
+            )
+        else:
+            self.compiled = as_compiled(network)
+            self.network = self.compiled.config
         self.optimized_routing = optimized_routing
         self.pipeline = pipeline
         self.window = window
@@ -424,15 +520,23 @@ class AnalyticBatchCost:
         self._memo: dict[int, int] = {}
         self._warm_memo: dict[int, int] = {}
         self._pair_memo: dict[tuple[int, int], int] = {}
-        self._stream: AnalyticStreamCost | None = None
+        self._stream: AnalyticStreamCost | _ProgramStream | None = None
         if pipeline:
-            self._stream = AnalyticStreamCost(
-                network=self.network,
-                accel_config=self._config,
-                optimized_routing=optimized_routing,
-                window=window,
-                prestage_depth=prestage_depth,
-            )
+            if self.compiled is not None:
+                self._stream = _ProgramStream(
+                    self._config,
+                    self.compiled.program,
+                    window=window,
+                    prestage_depth=prestage_depth,
+                )
+            else:
+                self._stream = AnalyticStreamCost(
+                    network=self.network,
+                    accel_config=self._config,
+                    optimized_routing=optimized_routing,
+                    window=window,
+                    prestage_depth=prestage_depth,
+                )
 
     @property
     def config(self) -> AcceleratorConfig:
@@ -442,12 +546,20 @@ class AnalyticBatchCost:
     @property
     def network_key(self) -> tuple:
         """Hashable identity of the network shapes this model prices."""
+        if self.compiled is not None:
+            return _compiled_network_key(self.compiled)
         return (self.network, self.optimized_routing)
 
     def signature(self) -> tuple:
-        """Hashable identity of every parameter that shapes a probe."""
+        """Hashable identity of every parameter that shapes a probe.
+
+        The compiled-program path keys as ``analytic-program``: its
+        cycle figures are the instruction stream's exact accounting, not
+        the perf model's approximation, so the two paths never share
+        probe-cache entries.
+        """
         return (
-            "analytic",
+            "analytic-program" if self.compiled is not None else "analytic",
             self.network_key,
             self._config,
             self.pipeline,
@@ -469,9 +581,13 @@ class AnalyticBatchCost:
             key = self.signature() + ("cold", batch_size)
             cached = _PROBE_CACHE.get(key)
             if cached is None:
-                cached = _PROBE_CACHE[key] = self.model.run(
-                    batch=batch_size
-                ).total_cycles
+                if self.compiled is not None:
+                    cached = program_batch_cycles(
+                        self._config, self.compiled.program, batch_size
+                    )["overlapped"]
+                else:
+                    cached = self.model.run(batch=batch_size).total_cycles
+                _PROBE_CACHE[key] = cached
             self._memo[batch_size] = cached
         return self._memo[batch_size]
 

@@ -377,8 +377,13 @@ def add_server_arguments(
         metavar="N",
         help="heterogeneous pool: one NxN array per size (overrides --arrays)",
     )
+    from repro.compiler.zoo import zoo_names
+
     parser.add_argument(
-        "--network", choices=("mnist", "tiny"), default=network_default
+        "--network",
+        choices=zoo_names(),
+        default=network_default,
+        help="model-zoo network served by default (tenants can override)",
     )
     parser.add_argument(
         "--pipeline",
@@ -658,7 +663,7 @@ def _rebuild_cost(cost, config: AcceleratorConfig):
     """Clone a cost model onto a different accelerator configuration."""
     if isinstance(cost, ScheduledBatchCost):
         return ScheduledBatchCost(
-            qnet=cost.qnet,
+            qnet=cost.compiled,
             accel_config=config,
             accounting=cost.accounting,
             engine=cost.engine,
@@ -668,7 +673,7 @@ def _rebuild_cost(cost, config: AcceleratorConfig):
         )
     if isinstance(cost, AnalyticBatchCost):
         return AnalyticBatchCost(
-            network=cost.network,
+            network=cost.compiled if cost.compiled is not None else cost.network,
             accel_config=config,
             optimized_routing=cost.optimized_routing,
             pipeline=cost.pipeline,

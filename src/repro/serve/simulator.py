@@ -542,8 +542,18 @@ class ServingSimulator:
             and isinstance(self.cost, ScheduledBatchCost)
             and self.cost.accounting == "overlapped"  # the schedule perf models
         ):
+            # Pure CapsNets check against the closed-form perf model; other
+            # zoo entries (residual variants, baselines) check against
+            # their compiled-stream pricing instead.
+            pure_capsnet = (
+                self.cost.qnet is not None
+                and "res_w" not in self.cost.compiled.params
+            )
             analytic = AnalyticBatchCost(
-                network=self.cost.qnet.config, accel_config=self.cost.config
+                network=(
+                    self.cost.qnet.config if pure_capsnet else self.cost.compiled
+                ),
+                accel_config=self.cost.config,
             )
             sizes = tuple(sorted(batch_sizes))
             check = {

@@ -7,11 +7,15 @@ quantized engine).  An executor models the physical accelerator arrays:
 array and returns the predictions, bit-identical to
 :meth:`repro.capsnet.quantized.QuantizedCapsuleNet.predict_batch`.
 
-Three implementations:
+Four implementations:
 
 * :class:`InlineEngineExecutor` — the batched engine in-process.  With
   the GIL released inside numpy's GEMMs, a thread pool over this executor
   is the fastest option on small hosts and the default.
+* :class:`CompiledStreamExecutor` — any model-zoo network
+  (:class:`~repro.compiler.zoo.CompiledNetwork`) through its compiled
+  instruction stream: residual capsule variants and baselines serve
+  live without a hand-written engine.
 * :class:`ProcessWorkerPool` — one OS process per array with zero-copy
   shared-memory image/prediction buffers, mirroring the simulated
   :class:`~repro.serve.dispatcher.ArrayPool` sizing.  Survives a worker
@@ -60,6 +64,45 @@ class InlineEngineExecutor:
     def execute(self, array: int, images: np.ndarray) -> np.ndarray:
         """Classify ``(N, H, W)`` images; returns ``(N,)`` predictions."""
         return self.engine.predict(images)
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class CompiledStreamExecutor:
+    """Run batches through a compiled zoo network's instruction stream.
+
+    Serves any :class:`~repro.compiler.zoo.CompiledNetwork` — capsule
+    variants and baselines alike — through the compiler's
+    :class:`~repro.compiler.executor.StreamExecutor`, so a network is
+    live-servable the moment it compiles.  Grayscale request images are
+    replicated across the network's input channels, keeping the runtime's
+    single-channel image ring network-agnostic.
+
+    Unlike the batched engine, the stream executor's accelerator model
+    accumulates buffer counters, so concurrent calls serialize through a
+    lock — correctness over peak throughput for the zoo path.
+    """
+
+    def __init__(self, network) -> None:
+        from repro.compiler.executor import StreamExecutor
+        from repro.compiler.zoo import as_compiled
+
+        compiled = as_compiled(network)
+        self.network = compiled
+        self.image_size = compiled.input_shape[-1]
+        self.channels = compiled.input_shape[0]
+        self._executor = StreamExecutor(
+            compiled.program, compiled.params, compiled.formats, luts=compiled.luts
+        )
+        self._lock = threading.Lock()
+
+    def execute(self, array: int, images: np.ndarray) -> np.ndarray:
+        """Classify ``(N, H, W)`` images; returns ``(N,)`` predictions."""
+        if self.channels != 1 and images.ndim == 3:
+            images = np.repeat(images[:, np.newaxis], self.channels, axis=1)
+        with self._lock:
+            return self._executor.run_batch(images).predictions
 
     def close(self) -> None:
         """Nothing to release."""

@@ -32,7 +32,7 @@ from repro.errors import ConfigError
 from repro.sweep.grid import expand_grid
 
 #: Axes the analytic tier understands.
-ANALYTIC_AXES = ("array", "window", "prestage_depth", "batch")
+ANALYTIC_AXES = ("network", "array", "window", "prestage_depth", "batch")
 
 #: Axes the serving tier understands (hardware axes plus policy knobs).
 SERVING_AXES = ANALYTIC_AXES + (
@@ -94,14 +94,25 @@ class SweepSpec:
             raise ConfigError(
                 f"unknown sweep tier {self.tier!r} (choose from {tuple(TIERS)})"
             )
-        if self.network not in ("mnist", "tiny"):
-            raise ConfigError("network must be 'mnist' or 'tiny'")
+        from repro.compiler.zoo import zoo_names
+
+        names = zoo_names()
+        if self.network not in names:
+            raise ConfigError(
+                f"unknown network {self.network!r} (choose from {names})"
+            )
         allowed = TIERS[self.tier]
         for name in self.axes:
             if name not in allowed:
                 raise ConfigError(
                     f"axis {name!r} is not a {self.tier}-tier axis"
                     f" (choose from {allowed})"
+                )
+        for value in self.axes.get("network", ()):
+            if value not in names:
+                raise ConfigError(
+                    f"unknown network {value!r} on the network axis"
+                    f" (choose from {names})"
                 )
         if self.requests < 1:
             raise ConfigError("requests must be positive")
@@ -111,10 +122,17 @@ class SweepSpec:
         return expand_grid(self.axes)
 
 
-def _network_config(name: str):
+def _resolve_network(name: str):
+    """A point's network: the paper CapsNets as configs (the validated
+    closed-form perf-model path), every other zoo entry compiled."""
     from repro.capsnet.config import mnist_capsnet_config, tiny_capsnet_config
+    from repro.compiler.zoo import get_network
 
-    return tiny_capsnet_config() if name == "tiny" else mnist_capsnet_config()
+    if name == "tiny":
+        return tiny_capsnet_config()
+    if name == "mnist":
+        return mnist_capsnet_config()
+    return get_network(name)
 
 
 def _accel_config(array: int):
@@ -133,18 +151,28 @@ def evaluate_analytic_point(spec: SweepSpec, point: dict) -> dict:
     from repro.perf.stream import AnalyticStreamCost
     from repro.serve.costs import AnalyticBatchCost
 
+    from repro.capsnet.config import CapsNetConfig
+    from repro.serve.costs import _ProgramStream
+
     array = int(_setting(spec, point, "array"))
     window = int(_setting(spec, point, "window"))
     prestage = int(_setting(spec, point, "prestage_depth"))
     batch = int(_setting(spec, point, "batch"))
-    network = _network_config(spec.network)
+    network_name = str(_setting(spec, point, "network"))
+    network = _resolve_network(network_name)
     config = _accel_config(array)
-    stream = AnalyticStreamCost(
-        network=network,
-        accel_config=config,
-        window=window,
-        prestage_depth=prestage,
-    )
+    if isinstance(network, CapsNetConfig):
+        stream = AnalyticStreamCost(
+            network=network,
+            accel_config=config,
+            window=window,
+            prestage_depth=prestage,
+        )
+    else:
+        # Zoo entries price straight off their compiled instruction stream.
+        stream = _ProgramStream(
+            config, network.program, window=window, prestage_depth=prestage
+        )
     batch_cost = AnalyticBatchCost(network=network, accel_config=config)
     steady = stream.steady_cycles(batch)
     cold = stream.cold_cycles(batch)
@@ -152,6 +180,7 @@ def evaluate_analytic_point(spec: SweepSpec, point: dict) -> dict:
     steady_per_image = steady / batch
     row = {
         **point,
+        "network": network_name,
         "array": array,
         "window": window,
         "prestage_depth": prestage,
@@ -195,7 +224,8 @@ def evaluate_serving_point(spec: SweepSpec, point: dict) -> dict:
     dispatch = _setting(spec, point, "dispatch")
     crash_rate = float(_setting(spec, point, "crash_rate"))
     max_attempts = int(_setting(spec, point, "max_attempts"))
-    network = _network_config(spec.network)
+    network_name = str(_setting(spec, point, "network"))
+    network = _resolve_network(network_name)
     config = _accel_config(array)
     cost = AnalyticBatchCost(
         network=network,
@@ -221,7 +251,7 @@ def evaluate_serving_point(spec: SweepSpec, point: dict) -> dict:
         deadline_us=(
             spec.deadline_ms * 1000.0 if spec.deadline_ms is not None else None
         ),
-        network_name=spec.network,
+        network_name=network_name,
         fault_plan=(
             FaultPlan(crash_rate=crash_rate, seed=spec.fault_seed)
             if crash_rate > 0.0
@@ -239,6 +269,7 @@ def evaluate_serving_point(spec: SweepSpec, point: dict) -> dict:
     faults = report.faults or {}
     return {
         **point,
+        "network": network_name,
         "array": array,
         "policy": policy,
         "arrays": arrays,
@@ -321,8 +352,13 @@ class SweepResult:
         """Human-readable sweep table for the CLI."""
         if not self.rows:
             return "(no sweep points)"
+        network_column = (
+            [("network", lambda r: str(r["network"]))]
+            if "network" in self.spec.axes
+            else []
+        )
         if self.spec.tier == "analytic":
-            columns = [
+            columns = network_column + [
                 ("array", lambda r: f"{r['array']}x{r['array']}"),
                 ("window", lambda r: str(r["window"])),
                 ("prestage", lambda r: str(r["prestage_depth"])),
@@ -338,7 +374,7 @@ class SweepResult:
                     ("power mW", lambda r: f"{r['power_mw']:.1f}"),
                 ]
         else:
-            columns = [
+            columns = network_column + [
                 ("array", lambda r: f"{r['array']}x{r['array']}"),
                 ("policy", lambda r: str(r["policy"])),
                 ("arrays", lambda r: str(r["arrays"])),

@@ -1,0 +1,24 @@
+"""Shared fixtures for the compiler test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.zoo import compile_qnet, get_network
+from repro.data.synthetic import SyntheticDigits
+
+
+@pytest.fixture(scope="session")
+def tiny_compiled(tiny_qnet):
+    """The tiny CapsNet compiled into a servable network."""
+    return compile_qnet(tiny_qnet, name="tiny")
+
+
+def zoo_images(name: str, count: int = 3) -> np.ndarray:
+    """Synthetic input images matching a zoo network's input shape."""
+    shape = get_network(name).input_shape
+    images = SyntheticDigits(size=shape[-1], seed=11).generate(count).images
+    if shape[0] != 1:
+        images = np.repeat(images[:, np.newaxis], shape[0], axis=1)
+    return images

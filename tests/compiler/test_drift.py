@@ -1,0 +1,90 @@
+"""Compiled streams must not drift from the legacy hand lowering.
+
+``LegacyBatchScheduler`` is the frozen reference: the compiled MNIST
+stream must reproduce its outputs, per-layer accounting, double-buffered
+cycle totals and trace event sequence exactly — and the pipelined
+scheduler must price compiled streams identically to the legacy trace
+expansion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capsnet.quantized import QuantizedCapsuleNet
+from repro.data.synthetic import SyntheticDigits
+from repro.hw.legacy_scheduler import LegacyBatchScheduler
+from repro.hw.pipeline import cached_stream_timing
+from repro.hw.scheduler import BatchScheduler, PipelinedStreamScheduler, trace_ops
+
+RAW_FIELDS = (
+    "predictions",
+    "conv1_raw",
+    "primary_raw",
+    "u_hat_raw",
+    "class_caps_raw",
+    "coupling_raw",
+    "length_sumsq_raw",
+)
+
+
+def assert_no_drift(qnet, images):
+    legacy = LegacyBatchScheduler(qnet)
+    legacy.trace = []
+    compiled = BatchScheduler(qnet)
+    compiled.trace = []
+
+    want = legacy.run_batch(images)
+    got = compiled.run_batch(images)
+
+    for field in RAW_FIELDS:
+        np.testing.assert_array_equal(
+            getattr(got, field), getattr(want, field), err_msg=field
+        )
+    assert list(got.layers) == list(want.layers)
+    for name, report in want.layers.items():
+        assert got.layers[name].stats == report.stats, name
+        assert got.layers[name].overlapped_cycles == report.overlapped_cycles, name
+        assert got.layers[name].jobs == report.jobs, name
+    assert got.total_cycles == want.total_cycles
+    assert got.overlapped_cycles == want.overlapped_cycles
+    assert compiled.trace == legacy.trace
+    return legacy.trace
+
+
+class TestTinyDrift:
+    def test_batched_execution_bit_identical(self, tiny_qnet, tiny_images):
+        assert_no_drift(tiny_qnet, tiny_images[:3])
+
+    def test_non_optimized_routing_bit_identical(self, tiny_config, tiny_weights, tiny_images):
+        qnet = QuantizedCapsuleNet(
+            tiny_config, weights=tiny_weights, optimized_routing=False
+        )
+        assert_no_drift(qnet, tiny_images[:2])
+
+    def test_pipelined_timing_matches_legacy_trace(self, tiny_qnet, tiny_images):
+        legacy = LegacyBatchScheduler(tiny_qnet)
+        legacy.trace = []
+        legacy.run_batch(tiny_images[:2])
+
+        pipelined = PipelinedStreamScheduler(tiny_qnet)
+        sizes = [2] * 7
+        ops = trace_ops(pipelined.accelerator.config, legacy.trace)
+        want = cached_stream_timing(
+            [ops] * len(sizes),
+            list(sizes),
+            window=pipelined.window,
+            prestage_depth=pipelined.prestage_depth,
+        )
+        assert pipelined.probe_timing(sizes) == want
+
+
+class TestMnistDrift:
+    @pytest.fixture(scope="class")
+    def mnist_qnet(self, mnist_config):
+        return QuantizedCapsuleNet(mnist_config)
+
+    def test_paper_network_bit_identical(self, mnist_qnet):
+        images = SyntheticDigits(size=mnist_qnet.config.image_size, seed=5).generate(2).images
+        assert_no_drift(mnist_qnet, images)

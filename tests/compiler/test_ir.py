@@ -1,0 +1,184 @@
+"""IR validation, topological sort, and JSON round-trip."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.ir import (
+    Graph,
+    GraphBuilder,
+    OpNode,
+    TensorNode,
+    graph_from_json,
+)
+from repro.compiler.zoo import capsnet_graph, mlp_graph, mnist_capsnet_graph
+from repro.errors import GraphError
+from repro.fixedpoint.formats import QFormat
+
+F8 = QFormat(8, 4)
+
+
+def chain_graph() -> Graph:
+    """A minimal valid graph: input -> relu -> relu."""
+    b = GraphBuilder("chain")
+    x = b.input("x", (4, 3), F8)
+    y = b.op("relu", x, F8, name="r1")
+    z = b.op("relu", y, F8, name="r2")
+    b.output("out", z)
+    return b.build()
+
+
+class TestBuilder:
+    def test_builder_validates_on_build(self):
+        graph = chain_graph()
+        assert [op.name for op in graph.topo_sort()] == ["r1", "r2"]
+
+    def test_builder_infers_shapes(self):
+        graph = chain_graph()
+        assert graph.tensors["r2"].shape == (4, 3)
+
+    def test_builder_rejects_shape_violation(self):
+        b = GraphBuilder("bad")
+        x = b.input("x", (4, 3), F8)
+        with pytest.raises(GraphError):
+            b.op("reshape", x, F8, name="r", shape=(5, 5))
+
+    def test_builder_rejects_bad_transpose_perm(self):
+        b = GraphBuilder("bad")
+        x = b.input("x", (4, 3), F8)
+        with pytest.raises(GraphError):
+            b.op("transpose", x, F8, name="t", perm=(0, 2, 1))
+
+
+class TestValidation:
+    def test_cycle_raises(self):
+        graph = Graph(name="loop")
+        graph.tensors["a"] = TensorNode("a", (2, 2), F8)
+        graph.tensors["b"] = TensorNode("b", (2, 2), F8)
+        graph.ops = [
+            OpNode(name="fwd", kind="relu", inputs=("a",), outputs=("b",)),
+            OpNode(name="bwd", kind="relu", inputs=("b",), outputs=("a",)),
+        ]
+        with pytest.raises(GraphError, match="cycle"):
+            graph.topo_sort()
+        with pytest.raises(GraphError, match="cycle"):
+            graph.validate()
+
+    def test_dangling_input_raises(self):
+        graph = chain_graph()
+        graph.tensors["ghost"] = TensorNode("ghost", (4, 3), F8)
+        graph.ops[0].inputs = ("ghost",)
+        with pytest.raises(GraphError, match="dangling"):
+            graph.validate()
+
+    def test_unknown_tensor_raises(self):
+        graph = chain_graph()
+        graph.ops[0].inputs = ("missing",)
+        with pytest.raises(GraphError, match="unknown tensor"):
+            graph.validate()
+
+    def test_unknown_op_kind_raises(self):
+        graph = chain_graph()
+        graph.ops[0].kind = "conv9d"
+        with pytest.raises(GraphError, match="unknown op kind"):
+            graph.validate()
+
+    def test_duplicate_op_name_raises(self):
+        graph = chain_graph()
+        graph.ops[1].name = "r1"
+        with pytest.raises(GraphError, match="duplicate"):
+            graph.validate()
+
+    def test_wrong_arity_raises(self):
+        graph = chain_graph()
+        graph.ops[0].inputs = ("x", "x")
+        with pytest.raises(GraphError, match="input"):
+            graph.validate()
+
+    def test_declared_shape_mismatch_raises(self):
+        graph = chain_graph()
+        graph.tensors["r2"] = TensorNode("r2", (9, 9), F8)
+        with pytest.raises(GraphError, match="declared"):
+            graph.validate()
+
+    def test_unknown_param_raises(self):
+        graph = chain_graph()
+        graph.ops[0].attrs = {"weight": "nope"}
+        with pytest.raises(GraphError, match="unknown param"):
+            graph.validate()
+
+    def test_output_alias_must_resolve(self):
+        graph = chain_graph()
+        graph.outputs["out"] = "missing"
+        with pytest.raises(GraphError, match="output"):
+            graph.validate()
+
+    def test_zero_routing_iterations_raises(self):
+        with pytest.raises(GraphError, match="iteration"):
+            b = GraphBuilder("bad")
+            caps = b.input("caps", (8, 4), F8)
+            b.param("w", (8, 2, 6, 4), F8)
+            u = b.op("caps_gemm", caps, F8, name="fc", weight="w")
+            b.op("route", u, (F8, F8), name="route", iterations=0, optimized=True)
+
+
+@st.composite
+def permuted_chains(draw):
+    """A valid linear chain of elementwise ops, ops listed in random order."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    kinds = draw(st.lists(st.sampled_from(["relu", "requant", "squash"]), min_size=n, max_size=n))
+    order = draw(st.permutations(list(range(n))))
+    return kinds, order
+
+
+class TestTopoSort:
+    @given(chain=permuted_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_topo_sort_is_dependency_ordered(self, chain):
+        kinds, order = chain
+        graph = Graph(name="perm")
+        graph.tensors["t0"] = TensorNode("t0", (3, 2), F8)
+        graph.inputs = ("t0",)
+        ops = [
+            OpNode(name=f"op{i}", kind=kind, inputs=(f"t{i}",), outputs=(f"t{i + 1}",))
+            for i, kind in enumerate(kinds)
+        ]
+        for i in range(len(kinds)):
+            graph.tensors[f"t{i + 1}"] = TensorNode(f"t{i + 1}", (3, 2), F8)
+        graph.ops = [ops[i] for i in order]  # scrambled listing order
+        graph.outputs = {"out": f"t{len(kinds)}"}
+        graph.validate()
+        sorted_names = [op.name for op in graph.topo_sort()]
+        assert sorted_names == [f"op{i}" for i in range(len(kinds))]
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize(
+        "graph",
+        [mnist_capsnet_graph(), mlp_graph()],
+        ids=["mnist", "mlp"],
+    )
+    def test_round_trip_preserves_structure(self, graph):
+        restored = graph_from_json(graph.to_json())
+        restored.validate()
+        assert restored.name == graph.name
+        assert restored.inputs == graph.inputs
+        assert restored.outputs == graph.outputs
+        assert restored.tensors == graph.tensors
+        assert restored.params == graph.params
+        assert restored.ops == graph.ops
+
+    def test_round_trip_is_stable(self, tiny_config):
+        graph = capsnet_graph(tiny_config)
+        text = graph.to_json()
+        assert graph_from_json(text).to_json() == text
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(GraphError, match="invalid graph JSON"):
+            graph_from_json("{not json")
+
+    def test_malformed_document_raises(self):
+        with pytest.raises(GraphError, match="malformed"):
+            graph_from_json('{"name": "x"}')

@@ -1,0 +1,76 @@
+"""ISA structure, listings, and program JSON round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.isa import ARRAY_OPCODES, Opcode, program_from_json
+from repro.compiler.lower import compile_graph
+from repro.compiler.zoo import mlp_graph, mnist_capsnet_graph
+from repro.errors import CompileError
+
+
+@pytest.fixture(scope="module")
+def mnist_program():
+    return compile_graph(mnist_capsnet_graph())
+
+
+class TestProgramStructure:
+    def test_compiles_to_nonempty_stream(self, mnist_program):
+        assert mnist_program.num_instructions > 0
+        assert mnist_program.gemm_instructions()
+
+    def test_gemm_instructions_are_array_work(self, mnist_program):
+        for instr in mnist_program.gemm_instructions():
+            assert instr.opcode in ARRAY_OPCODES
+
+    def test_weight_tile_reuse_is_explicit(self, mnist_program):
+        grouped = [
+            instr
+            for instr in mnist_program.instructions
+            if instr.opcode is Opcode.GROUPED_GEMM
+        ]
+        # Routing iterations reuse staged weight tiles and feed partial
+        # sums straight back without a buffer round-trip.
+        assert {i.attrs["weight_source"] for i in grouped} == {"routing_buffer"}
+        assert "feedback" in {i.attrs["data_source"] for i in grouped}
+
+    def test_stores_cover_graph_outputs(self, mnist_program):
+        aliases = {
+            instr.attrs["alias"]
+            for instr in mnist_program.instructions
+            if instr.opcode is Opcode.STORE
+        }
+        assert "predictions" in aliases
+
+    def test_text_listing_is_line_per_instruction(self, mnist_program):
+        lines = mnist_program.text().splitlines()
+        assert len(lines) >= mnist_program.num_instructions
+        assert any("GEMM" in line for line in lines)
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize("graph_fn", [mnist_capsnet_graph, mlp_graph], ids=["mnist", "mlp"])
+    def test_round_trip_preserves_instructions(self, graph_fn):
+        program = compile_graph(graph_fn())
+        restored = program_from_json(program.to_json())
+        assert restored.name == program.name
+        assert restored.instructions == program.instructions
+        assert restored.text() == program.text()
+
+    def test_round_trip_is_stable(self, mnist_program):
+        text = mnist_program.to_json()
+        assert program_from_json(text).to_json() == text
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(CompileError, match="malformed"):
+            program_from_json("{not json")
+
+    def test_malformed_document_raises(self):
+        with pytest.raises(CompileError, match="malformed"):
+            program_from_json('{"name": "x"}')
+
+    def test_unknown_opcode_raises(self):
+        doc = '{"name": "x", "instructions": [{"opcode": "warp_drive"}]}'
+        with pytest.raises(CompileError):
+            program_from_json(doc)

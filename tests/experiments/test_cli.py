@@ -284,3 +284,66 @@ class TestServeCommand:
     def test_live_serve_rejects_pipeline(self, capsys):
         assert cli.main(["serve", "--pipeline", "--requests", "8"]) == 2
         assert "pipeline" in capsys.readouterr().err
+
+
+class TestCompileCommand:
+    def test_compiles_zoo_network(self, capsys):
+        assert cli.main(["compile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "GEMM" in out
+        assert "cycles" in out
+
+    def test_checks_golden_equivalence(self, capsys):
+        assert cli.main(["compile", "tiny", "--check", "--check-images", "2"]) == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_json_dump_round_trips(self, tmp_path, capsys):
+        from repro.compiler import program_from_json
+
+        path = tmp_path / "tiny.json"
+        assert cli.main(["compile", "tiny", "--json", str(path)]) == 0
+        program = program_from_json(path.read_text())
+        assert program.num_instructions > 0
+
+    def test_compiles_graph_file(self, tmp_path, capsys):
+        from repro.compiler import mlp_graph
+
+        path = tmp_path / "mlp-graph.json"
+        path.write_text(mlp_graph().to_json())
+        assert cli.main(["compile", "--graph", str(path)]) == 0
+        assert "GEMM" in capsys.readouterr().out
+
+    def test_graph_file_cannot_be_checked(self, tmp_path, capsys):
+        from repro.compiler import mlp_graph
+
+        path = tmp_path / "mlp-graph.json"
+        path.write_text(mlp_graph().to_json())
+        assert cli.main(["compile", "--graph", str(path), "--check"]) == 2
+        assert "golden" in capsys.readouterr().err
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert cli.main(["compile"]) == 2
+        capsys.readouterr()
+
+    def test_malformed_graph_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert cli.main(["compile", "--graph", str(path)]) == 2
+        assert capsys.readouterr().err
+
+    def test_serve_sim_accepts_zoo_network(self, capsys):
+        assert (
+            cli.main(
+                [
+                    "serve-sim",
+                    "--network",
+                    "mlp",
+                    "--requests",
+                    "8",
+                    "--rate",
+                    "2000",
+                ]
+            )
+            == 0
+        )
+        assert "req/s" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Zoo networks through the serving stack: costs, simulator, executors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.zoo import get_network, zoo_names
+from repro.serve import (
+    AnalyticBatchCost,
+    CompiledStreamExecutor,
+    ScheduledBatchCost,
+    ServerConfig,
+    ServingSimulator,
+    TenantSpec,
+    uniform_trace,
+)
+from tests.compiler.conftest import zoo_images
+
+
+class TestZooCosts:
+    @pytest.mark.parametrize("name", ["tiny", "mlp", "cnn", "tiny-res"])
+    def test_program_pricing_matches_scheduled(self, name):
+        """The analytic program path is bit-exact against real scheduling."""
+        scheduled = ScheduledBatchCost(qnet=name, pipeline=True)
+        analytic = AnalyticBatchCost(network=name, pipeline=True)
+        assert analytic.network_key == scheduled.network_key
+        for batch in (1, 4):
+            assert analytic.batch_cycles(batch) == scheduled.batch_cycles(batch)
+            assert analytic.warm_batch_cycles(
+                batch, batch
+            ) == scheduled.warm_batch_cycles(batch, batch)
+
+    def test_network_key_is_shared_across_cost_kinds(self, tiny_qnet, tiny_config):
+        by_name = ScheduledBatchCost(qnet="tiny")
+        by_qnet = ScheduledBatchCost(qnet=tiny_qnet)
+        by_config = AnalyticBatchCost(network=tiny_config)
+        assert by_name.network_key == by_qnet.network_key == by_config.network_key
+
+    def test_signatures_distinguish_pricing_paths(self, tiny_config):
+        analytic_model = AnalyticBatchCost(network=tiny_config)
+        analytic_program = AnalyticBatchCost(network="tiny-res")
+        assert analytic_model.signature()[0] == "analytic"
+        assert analytic_program.signature()[0] == "analytic-program"
+
+    def test_every_zoo_network_prices(self):
+        for name in zoo_names():
+            cost = AnalyticBatchCost(network=name, pipeline=True)
+            assert cost.batch_cycles(2) > 0
+
+
+class TestZooSimulation:
+    def test_multi_tenant_zoo_trace(self):
+        """Mixed zoo tenants share one pool under weighted-fair service."""
+        cost = AnalyticBatchCost(network="tiny", pipeline=True)
+        server = ServerConfig.from_policy("fifo", cost, arrays=2, max_batch=4)
+        tenants = [
+            TenantSpec(name="caps", trace=uniform_trace(2000.0, 10)),
+            TenantSpec(
+                name="mlp",
+                trace=uniform_trace(1500.0, 10),
+                cost=AnalyticBatchCost(network="mlp", pipeline=True),
+            ),
+            TenantSpec(
+                name="res",
+                trace=uniform_trace(1000.0, 10),
+                cost=AnalyticBatchCost(network="tiny-res", pipeline=True),
+                weight=2.0,
+            ),
+        ]
+        report = ServingSimulator(server=server, tenants=tenants).run()
+        assert len(report.served) == 30
+        assert {record.tenant for record in report.served} == {"caps", "mlp", "res"}
+        assert {entry["tenant"] for entry in report.tenants} == {"caps", "mlp", "res"}
+
+    def test_executed_simulation_serves_zoo_baseline(self):
+        cost = ScheduledBatchCost(qnet="mlp")
+        server = ServerConfig.from_policy("fifo", cost, max_batch=4)
+        trace = uniform_trace(1000.0, 8)
+        images = zoo_images("mlp", count=8)
+        report = ServingSimulator(
+            trace, server=server, images=images, execute=True
+        ).run()
+        assert len(report.served) == 8
+        assert report.predictions is not None
+        assert report.predictions.shape == (8,)
+
+
+class TestCompiledStreamExecutor:
+    def test_serves_non_capsnet_networks(self):
+        network = get_network("mlp")
+        executor = CompiledStreamExecutor(network)
+        images = zoo_images("mlp", count=4)
+        predictions = executor.execute(0, images)
+        want = ScheduledBatchCost(qnet="mlp").execute(images)[1].predictions
+        assert np.array_equal(predictions, want)
+        executor.close()
+
+    def test_tiles_channels_for_multi_channel_networks(self):
+        executor = CompiledStreamExecutor(get_network("cifar"))
+        images = zoo_images("cifar", count=1)[:, 0]  # grayscale (B, H, W)
+        predictions = executor.execute(0, images)
+        assert predictions.shape == (1,)
+        executor.close()

@@ -124,6 +124,43 @@ class TestServingTier:
         assert by_policy["fifo"]["p99_us"] >= by_policy["fifo"]["p50_us"]
 
 
+class TestNetworkAxis:
+    def test_network_axis_sweeps_zoo_entries(self):
+        spec = SweepSpec(
+            tier="analytic",
+            axes={"network": ("tiny", "mlp"), "array": (8,)},
+            synthesis=False,
+        )
+        result = run_sweep(spec)
+        assert [row["network"] for row in result.rows] == ["tiny", "mlp"]
+        for row in result.rows:
+            assert row["steady_cycles_per_image"] > 0
+        assert "network" in result.format_table()
+
+    def test_network_axis_rejects_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown network"):
+            SweepSpec(axes={"network": ("tiny", "alexnet")})
+
+    def test_serving_tier_network_axis(self):
+        spec = SweepSpec(
+            tier="serving",
+            axes={"network": ("tiny", "tiny-res")},
+            requests=100,
+        )
+        result = run_sweep(spec)
+        assert [row["network"] for row in result.rows] == ["tiny", "tiny-res"]
+        for row in result.rows:
+            assert row["throughput_rps"] > 0
+
+    def test_cli_multiple_networks(self, capsys):
+        assert (
+            cli.main(["sweep", "--smoke", "--network", "tiny", "mlp", "--array", "8"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mlp" in out and "tiny" in out
+
+
 class TestProcessFanOut:
     def test_parallel_rows_match_serial(self):
         spec = SweepSpec(

@@ -110,3 +110,46 @@ class TestBenchScale:
         assert report["headline"]["fast_wall_rps"] > (
             report["headline"]["record_wall_rps"]
         )
+
+
+class TestBenchCompiler:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        out_path = tmp_path_factory.mktemp("compiler") / "compiler.json"
+        proc = run_bench(
+            "bench_compiler.py",
+            "--smoke",
+            "--compile-repeats",
+            "1",
+            "--json",
+            str(out_path),
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(out_path.read_text())
+
+    def test_whole_zoo_compiles(self, report):
+        assert report["headline"]["zoo_networks"] == len(report["zoo"])
+        for row in report["zoo"]:
+            assert row["instructions"] > 0
+            assert row["steady_cycles_per_image"] > 0
+
+    def test_drift_gates_hold_exactly(self, report):
+        headline = report["headline"]
+        assert headline["compiled_vs_legacy_cycle_ratio"] == 1.0
+        assert headline["closed_form_vs_legacy_cycle_ratio"] == 1.0
+        assert headline["predictions_identical"] == 1.0
+
+    def test_baseline_guard_passes(self, report, tmp_path):
+        artifact = tmp_path / "bench-compiler-smoke.json"
+        artifact.write_text(json.dumps(report))
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "benchmarks" / "check_perf_regression.py"),
+                str(artifact),
+                str(REPO / "benchmarks" / "baselines" / "bench-compiler-smoke.json"),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
