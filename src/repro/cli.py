@@ -99,9 +99,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         axes["network"] = tuple(networks)
     axes["array"] = tuple(arrays_axis)
     if args.tier == "analytic":
-        if args.policy or args.rate_multiplier or args.crash_rate or args.max_attempts:
+        if (
+            args.policy
+            or args.rate_multiplier
+            or args.crash_rate
+            or args.max_attempts
+            or args.corrupt_rate
+            or args.integrity
+        ):
             print(
-                "sweep: --policy/--rate-multiplier/--crash-rate/--max-attempts"
+                "sweep: --policy/--rate-multiplier/--crash-rate/--max-attempts/"
+                "--corrupt-rate/--integrity"
                 " are serving-tier axes (pass --tier serving)",
                 file=sys.stderr,
             )
@@ -131,6 +139,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             axes["crash_rate"] = tuple(args.crash_rate)
         if args.max_attempts:
             axes["max_attempts"] = tuple(args.max_attempts)
+        if args.corrupt_rate:
+            axes["corrupt_rate"] = tuple(args.corrupt_rate)
+        if args.integrity:
+            axes["integrity"] = tuple(args.integrity)
     try:
         spec = SweepSpec(
             tier=args.tier,
@@ -891,6 +903,20 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         help="retry-budget axis: attempts per request under faults (serving tier)",
+    )
+    sweep_parser.add_argument(
+        "--corrupt-rate",
+        type=float,
+        nargs="+",
+        default=None,
+        help="silent-corruption injection-probability axis (serving tier)",
+    )
+    sweep_parser.add_argument(
+        "--integrity",
+        nargs="+",
+        choices=("none", "checksum", "checksum+canary"),
+        default=None,
+        help="integrity check-mode axis countering corruption (serving tier)",
     )
     sweep_parser.add_argument(
         "--network",

@@ -128,6 +128,35 @@ def program_batch_cycles(
     return {"sequential": sequential, "overlapped": overlapped}
 
 
+def program_checksum_cycles(
+    config: AcceleratorConfig, program: Program, batch: int
+) -> int:
+    """Cycles the ABFT checksum layer adds to one batch, in closed form.
+
+    Per ``GEMM``/``GROUPED_GEMM``: recompute the weight column checksum
+    (``k·n`` adds), fold the data rows against it (``m·k`` adds) and
+    verify the accumulator row sums (``m·n`` adds) — the standard
+    Huang–Abraham overhead of one extra checksum row/column per tile,
+    streamed through the array's full ``rows × cols`` MAC fabric like
+    any other tile pass.  This is the explicit integrity-overhead knob
+    the serving cost models price in when a server arms ``checksum``
+    mode; it stays a single-digit percentage of the GEMM's own
+    ``m·k·n`` work on the paper networks.
+    """
+    fabric = max(config.rows * config.cols, 1)
+    total = 0
+    for instr in program.instructions:
+        attrs = instr.attrs
+        if instr.opcode is Opcode.GEMM:
+            m, k, n = batch * attrs["m"], attrs["k"], attrs["n"]
+            total += -(-(m * k + k * n + m * n) // fabric)
+        elif instr.opcode is Opcode.GROUPED_GEMM:
+            m, k, n = attrs["m"], attrs["k"], attrs["n"]
+            count = batch * attrs["groups"]
+            total += count * -(-(m * k + k * n + m * n) // fabric)
+    return total
+
+
 def program_stats(
     config: AcceleratorConfig, program: Program, batch: int
 ) -> CycleStats:

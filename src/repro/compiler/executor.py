@@ -105,6 +105,53 @@ class StreamExecutor:
         units = self.accelerator.config.cols if mode is ActivationMode.RELU else 1
         return batched_activation_latency(mode, n, groups, units)
 
+    # ---- integrity -----------------------------------------------------------
+
+    def _victim_instruction(self, corruption) -> int:
+        """Index of the array instruction the corruption lands on.
+
+        Seeded from the spec so the choice is bit-reproducible from the
+        fault plan; ``output``-target corruption lands on the final
+        ARGMAX instead and returns ``-1`` here.
+        """
+        import random
+
+        if corruption is None or corruption.target == "output":
+            return -1
+        positions = [
+            index
+            for index, instr in enumerate(self.program.instructions)
+            if instr.opcode in (Opcode.GEMM, Opcode.GROUPED_GEMM)
+        ]
+        if not positions:
+            return -1
+        return positions[random.Random(corruption.seed).randrange(len(positions))]
+
+    @staticmethod
+    def _corrupt_tensor(tensor, corruption, verify, axis, kind):
+        """Apply the seeded flips; raise on an armed checksum mismatch.
+
+        ``axis`` picks the ABFT reduction the check runs (``-2`` column
+        sums for weight tiles, ``-1`` row sums for accumulators), exact
+        in int64.  Verification is numeric only here, at the corrupted
+        instruction — every other instruction's tensors are
+        bit-identical to the clean run by construction, so their checks
+        cannot fire; the *cost* of checking them everywhere is what the
+        cost models price in.
+        """
+        from repro.serve.integrity import DetectedCorruptionError, apply_corruption
+
+        clean = np.asarray(tensor, dtype=np.int64)
+        corrupted = apply_corruption(clean, corruption)
+        if verify and not np.array_equal(
+            corrupted.sum(axis=axis), clean.sum(axis=axis)
+        ):
+            raise DetectedCorruptionError(
+                f"ABFT checksum mismatch on {kind}"
+                f" (target {corruption.target}, {corruption.bits} bit flips)"
+            )
+        return corrupted
+
     def _load_tile(self, instr: Instruction) -> np.ndarray:
         key = instr.attrs["key"]
         if key not in self.params:
@@ -123,10 +170,27 @@ class StreamExecutor:
     # ---- execution -----------------------------------------------------------
 
     def run_batch(
-        self, images: np.ndarray, trace: list[TraceEvent] | None = None
+        self,
+        images: np.ndarray,
+        trace: list[TraceEvent] | None = None,
+        corruption=None,
+        verify_checksums: bool = False,
     ) -> BatchResult:
-        """Execute one batch of real-valued inputs through the program."""
+        """Execute one batch of real-valued inputs through the program.
+
+        ``corruption`` (a :class:`~repro.serve.faults.CorruptionSpec`)
+        injects seeded bit flips into one array instruction's weight
+        tile or accumulator — or, for ``output`` targets, into the
+        final ARGMAX's scores — so the corrupted numerics are
+        bit-reproducible from the fault plan.  ``verify_checksums`` arms
+        the ABFT column/row checksums, raising
+        :class:`~repro.serve.integrity.DetectedCorruptionError` on any
+        in-envelope mismatch (``output`` flips happen after the last
+        checked GEMM and are never caught here).
+        """
         program = self.program
+        victim = self._victim_instruction(corruption)
+        output_pending = corruption is not None and corruption.target == "output"
         images = np.asarray(images)
         expected = program.input_shape
         if images.ndim == len(expected) and len(expected) == 3 and expected[0] == 1:
@@ -142,7 +206,7 @@ class StreamExecutor:
         layers: dict[str, LayerReport] = {}
         outputs: dict[str, np.ndarray] = {}
 
-        for instr in program.instructions:
+        for pos, instr in enumerate(program.instructions):
             op = instr.opcode
             attrs = instr.attrs
             if op is Opcode.LOAD_T:
@@ -157,10 +221,19 @@ class StreamExecutor:
                     ]
                 )
             elif op is Opcode.GEMM:
+                weight_tile = wregs[attrs["wreg"]]
+                if pos == victim and corruption.target == "weight":
+                    weight_tile = self._corrupt_tensor(
+                        weight_tile,
+                        corruption,
+                        verify_checksums,
+                        -2,
+                        f"weight tile {attrs['wreg']}",
+                    )
                 job = BatchedGemmJob(
                     attrs["job"],
                     env[instr.srcs[0]],
-                    wregs[attrs["wreg"]],
+                    weight_tile,
                     attrs["data_fmt"],
                     attrs["weight_fmt"],
                     attrs["acc_fmt"],
@@ -168,6 +241,14 @@ class StreamExecutor:
                 result = self.accelerator.run_batched_gemm(job, engine=self.engine)
                 self._record(layers, trace, instr.layer, result)
                 acc = result.acc
+                if pos == victim and corruption.target == "accumulator":
+                    acc = self._corrupt_tensor(
+                        acc,
+                        corruption,
+                        verify_checksums,
+                        -1,
+                        f"accumulator of {instr.layer}",
+                    )
                 bias = attrs.get("bias")
                 if bias is not None:
                     acc = saturate_raw(
@@ -182,10 +263,21 @@ class StreamExecutor:
                 data = env[instr.srcs[0]]
                 weights = env[instr.srcs[1]]
                 groups = attrs["groups"]
+                grouped_weights = weights.reshape(
+                    (batch * groups,) + weights.shape[2:]
+                )
+                if pos == victim and corruption.target == "weight":
+                    grouped_weights = self._corrupt_tensor(
+                        grouped_weights,
+                        corruption,
+                        verify_checksums,
+                        -2,
+                        f"weight tiles of {instr.layer}",
+                    )
                 job = GroupedGemmJob(
                     attrs["job"],
                     data.reshape((batch * groups,) + data.shape[2:]),
-                    weights.reshape((batch * groups,) + weights.shape[2:]),
+                    grouped_weights,
                     attrs["data_fmt"],
                     attrs["weight_fmt"],
                     attrs["acc_fmt"],
@@ -198,6 +290,14 @@ class StreamExecutor:
                     weight_source=attrs["weight_source"],
                 )
                 acc = result.acc
+                if pos == victim and corruption.target == "accumulator":
+                    acc = self._corrupt_tensor(
+                        acc,
+                        corruption,
+                        verify_checksums,
+                        -1,
+                        f"accumulator of {instr.layer}",
+                    )
                 requant_to = attrs.get("requant_to")
                 if requant_to is not None:
                     acc = requantize(acc, attrs["acc_fmt"], requant_to)
@@ -238,7 +338,16 @@ class StreamExecutor:
                 _, sumsq = self.activation.norm(env[instr.srcs[0]], attrs["in_fmt"])
                 env[instr.dest] = sumsq
             elif op is Opcode.ARGMAX:
-                env[instr.dest] = np.argmax(env[instr.srcs[0]], axis=-1)
+                scores = env[instr.srcs[0]]
+                if output_pending:
+                    # Output-target corruption lands after every checked
+                    # GEMM: flip the readout scores so the served
+                    # predictions are wrong and no inline check can see it.
+                    from repro.serve.integrity import apply_corruption
+
+                    scores = apply_corruption(scores, corruption)
+                    output_pending = False
+                env[instr.dest] = np.argmax(scores, axis=-1)
             elif op is Opcode.REQUANT:
                 env[instr.dest] = requantize(
                     env[instr.srcs[0]], attrs["from_fmt"], attrs["to_fmt"]

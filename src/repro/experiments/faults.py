@@ -15,6 +15,15 @@ budget of a few attempts is enough to hold goodput at 100% under
 transient crash rates (failures appear only when the budget is cut to
 one attempt), and the latency price of fault tolerance is paid in the
 tail, not the median.
+
+:func:`run_integrity` maps the silent-data-corruption axis the same
+way: one trace served under every (corruption rate, check mode) pair —
+no checks, ABFT checksums, checksums + canary probes
+(:mod:`repro.serve.integrity`) — reporting the corrupted-served
+fraction, goodput, and the p99 cost of the checks.  The headline claim:
+with checksums armed the corrupted-served fraction is exactly zero
+(every in-envelope flip is detected and retried), while the unchecked
+server quietly returns corrupted results at the injection rate.
 """
 
 from __future__ import annotations
@@ -46,6 +55,23 @@ class FaultStudyResult:
             ):
                 return entry
         raise KeyError((crash_rate, max_attempts))
+
+
+@dataclass
+class IntegrityStudyResult:
+    """One row per (corruption rate, check mode) grid point."""
+
+    rows: list[dict]
+    rate_multiplier: float
+    offered_rps: float
+    arrays: int
+
+    def row(self, corrupt_rate: float, mode: str) -> dict:
+        """The grid row of one (corruption rate, check mode) pair."""
+        for entry in self.rows:
+            if entry["corrupt_rate"] == corrupt_rate and entry["mode"] == mode:
+                return entry
+        raise KeyError((corrupt_rate, mode))
 
 
 def run(
@@ -129,6 +155,95 @@ def run(
     )
 
 
+def run_integrity(
+    accelerator: AcceleratorConfig | None = None,
+    corrupt_rates: tuple[float, ...] = (0.0, 0.08),
+    check_modes: tuple[str, ...] = ("none", "checksum", "checksum+canary"),
+    network: str = "mnist",
+    rate_multiplier: float = 2.5,
+    requests: int = 192,
+    max_batch: int = 8,
+    max_wait_us: float = 2000.0,
+    arrays: int = 2,
+    seed: int = 7,
+    fault_seed: int = 11,
+) -> IntegrityStudyResult:
+    """Serve one trace under every (corruption rate, check mode) pair.
+
+    Detection coverage and check overhead in one grid: rows with
+    ``mode='none'`` serve corrupted results silently (the
+    corrupted-served fraction tracks the injection rate), checksum rows
+    detect every in-envelope flip and retry it (corrupted-served is
+    exactly zero), and the ``corrupt_rate=0`` rows isolate the pure
+    overhead of pricing the ABFT checksums into every batch.  The
+    network comes from the model zoo because integrity pricing needs a
+    compiled instruction stream to checksum.
+    """
+    from repro.serve import (
+        AnalyticBatchCost,
+        FaultPlan,
+        ServerConfig,
+        ServingSimulator,
+        poisson_trace,
+    )
+
+    accelerator = accelerator if accelerator is not None else AcceleratorConfig()
+    costs = {
+        mode: AnalyticBatchCost(
+            network=network, accel_config=accelerator, integrity=mode
+        )
+        for mode in check_modes
+    }
+    baseline = next(iter(costs.values()))
+    capacity_rps = arrays * accelerator.clock_mhz * 1e6 / baseline.batch_cycles(1)
+    trace = poisson_trace(
+        rate_multiplier * capacity_rps, requests, np.random.default_rng(seed)
+    )
+    rows = []
+    for corrupt_rate in corrupt_rates:
+        for mode in check_modes:
+            server = ServerConfig.from_policy(
+                "fifo",
+                costs[mode],
+                max_batch=max_batch,
+                max_wait_us=max_wait_us,
+                arrays=arrays,
+                fault_plan=(
+                    FaultPlan(corrupt_rate=corrupt_rate, seed=fault_seed)
+                    if corrupt_rate > 0.0
+                    else None
+                ),
+                integrity=mode if mode != "none" else None,
+            )
+            report = ServingSimulator(trace, server=server).run()
+            latency = report.latency_summary()["total"]
+            faults = report.faults or {}
+            corrupted_served = int(faults.get("corrupted_served", 0))
+            rows.append(
+                {
+                    "corrupt_rate": corrupt_rate,
+                    "mode": mode,
+                    "offered": report.offered,
+                    "completed": report.completed,
+                    "goodput": report.goodput,
+                    "corruptions": int(faults.get("corruptions", 0)),
+                    "detected": int(faults.get("detected", 0)),
+                    "corrupted_served": corrupted_served,
+                    "corrupted_fraction": corrupted_served / max(report.offered, 1),
+                    "canaries": int(faults.get("canaries", 0)),
+                    "retries": int(faults.get("retries", 0)),
+                    "p50_us": latency["p50_us"],
+                    "p99_us": latency["p99_us"],
+                }
+            )
+    return IntegrityStudyResult(
+        rows=rows,
+        rate_multiplier=rate_multiplier,
+        offered_rps=trace.offered_rps,
+        arrays=arrays,
+    )
+
+
 def format_report(result: FaultStudyResult) -> str:
     """Printable fault-tolerance grid."""
     rows = [
@@ -160,6 +275,46 @@ def format_report(result: FaultStudyResult) -> str:
         rows,
         title=(
             "Fault-tolerance study: crash rate x retry budget"
+            f" ({result.rate_multiplier:g}x saturation,"
+            f" {result.offered_rps:,.0f} req/s offered,"
+            f" {result.arrays} array(s))"
+        ),
+    )
+
+
+def format_integrity_report(result: IntegrityStudyResult) -> str:
+    """Printable detection-coverage x check-overhead grid."""
+    rows = [
+        (
+            f"{entry['corrupt_rate']:g}",
+            entry["mode"],
+            f"{entry['goodput']:.1%}",
+            str(entry["corruptions"]),
+            str(entry["detected"]),
+            f"{entry['corrupted_fraction']:.1%}",
+            str(entry["canaries"]),
+            str(entry["retries"]),
+            f"{entry['p50_us'] / 1e3:.2f}",
+            f"{entry['p99_us'] / 1e3:.2f}",
+        )
+        for entry in result.rows
+    ]
+    return format_table(
+        [
+            "corrupt rate",
+            "checks",
+            "goodput",
+            "corrupt",
+            "detect",
+            "served bad",
+            "canaries",
+            "retries",
+            "p50 ms",
+            "p99 ms",
+        ],
+        rows,
+        title=(
+            "Integrity study: corruption rate x check mode"
             f" ({result.rate_multiplier:g}x saturation,"
             f" {result.offered_rps:,.0f} req/s offered,"
             f" {result.arrays} array(s))"

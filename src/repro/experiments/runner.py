@@ -29,6 +29,13 @@ from repro.experiments import (
     table3,
 )
 
+class _IntegrityDriver:
+    """Adapter exposing the integrity grid with the uniform interface."""
+
+    run = staticmethod(faults.run_integrity)
+    format_report = staticmethod(faults.format_integrity_report)
+
+
 #: Drivers with a uniform run/format interface, in paper order.
 STANDARD_DRIVERS = {
     "table1": table1,
@@ -45,6 +52,7 @@ STANDARD_DRIVERS = {
     "energy": energy,
     "batching": batching,
     "faults": faults,
+    "integrity": _IntegrityDriver,
 }
 
 

@@ -21,7 +21,10 @@ from __future__ import annotations
 import json
 
 from repro.obs.tracer import (
+    CANARY,
+    CORRUPT,
     CRASH,
+    DETECT,
     FAILED,
     QUARANTINE,
     RECOVER,
@@ -204,6 +207,40 @@ def chrome_trace_events(tracer: RecordingTracer) -> list[dict]:
                     "name": f"{event.kind} array {event.array}",
                     "cat": event.kind,
                     "args": {"array": event.array},
+                }
+            )
+        elif event.kind in (CORRUPT, DETECT):
+            # Integrity markers share the crash marker's array lane: a
+            # detection truncated the batch's compute span there, and an
+            # undetected corruption annotates the span that served it.
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": SERVING_PID,
+                    "tid": ARRAY_TID_BASE + event.array,
+                    "ts": event.ts_us,
+                    "name": f"{event.kind} batch {event.batch}",
+                    "cat": event.kind,
+                    "args": {
+                        "batch": event.batch,
+                        "array": event.array,
+                        "tenant": event.tenant,
+                        "size": event.size,
+                    },
+                }
+            )
+        elif event.kind == CANARY:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": SERVING_PID,
+                    "tid": ARRAY_TID_BASE + event.array,
+                    "ts": event.ts_us,
+                    "name": f"canary array {event.array}",
+                    "cat": CANARY,
+                    "args": {"array": event.array, "detected": bool(event.size)},
                 }
             )
     return events

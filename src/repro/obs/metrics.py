@@ -251,6 +251,18 @@ class ServingMetrics(Tracer):
         self.recoveries = reg.counter(
             "serve_recoveries_total", "Quarantined arrays readmitted to service"
         )
+        self.corruptions = reg.counter(
+            "serve_corrupted_served_total",
+            "Requests served corrupted results (undetected corruption)",
+        )
+        self.detections = reg.counter(
+            "serve_corruption_detected_total",
+            "Batches whose corruption an integrity check caught",
+        )
+        self.canaries = reg.counter(
+            "serve_canary_probes_total",
+            "Canary probes fired (labeled by detection verdict)",
+        )
         self.queue_depth = reg.gauge(
             "serve_queue_depth", "Requests queued across tenants"
         )
@@ -315,6 +327,17 @@ class ServingMetrics(Tracer):
 
     def array_recovered(self, ts_us, array) -> None:
         self.recoveries.inc(array=str(array))
+
+    def batch_corrupted(self, ts_us, placed) -> None:
+        self.corruptions.inc(placed.size, array=str(placed.array))
+
+    def corruption_detected(self, ts_us, placed) -> None:
+        self.detections.inc(array=str(placed.array))
+
+    def canary_probe(self, ts_us, array, detected) -> None:
+        self.canaries.inc(
+            array=str(array), detected=str(bool(detected)).lower()
+        )
 
     # -- driver-sampled gauges ------------------------------------------
 

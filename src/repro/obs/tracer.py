@@ -46,6 +46,12 @@ RETRY = "retry"
 FAILED = "failed"
 QUARANTINE = "quarantine"
 RECOVER = "recover"
+# Integrity kinds: a batch that completed with (undetected) corrupted
+# numerics, a checksum layer catching corruption mid-batch, and a canary
+# probe firing (detected flag in the exporter args).
+CORRUPT = "corrupt"
+DETECT = "detect"
+CANARY = "canary"
 
 EVENT_KINDS = (
     ARRIVE,
@@ -62,6 +68,9 @@ EVENT_KINDS = (
     FAILED,
     QUARANTINE,
     RECOVER,
+    CORRUPT,
+    DETECT,
+    CANARY,
 )
 
 #: Lifecycle order for a single request's events (well-formedness).
@@ -188,6 +197,21 @@ class Tracer:
 
     def array_recovered(self, ts_us: float, array: int) -> None:
         """``array`` passed its health probe and rejoined the pool."""
+
+    def batch_corrupted(self, ts_us: float, placed) -> None:
+        """``placed`` completed *with corrupted numerics undetected* —
+        its members were served wrong answers.  Only a corruption the
+        armed checks cannot see reaches this hook."""
+
+    def corruption_detected(self, ts_us: float, placed) -> None:
+        """An integrity check caught ``placed``'s corruption at ``ts_us``.
+
+        Closes the batch's compute span like a crash; member outcomes
+        follow as retry/failed events through the same machinery.
+        """
+
+    def canary_probe(self, ts_us: float, array: int, detected: bool) -> None:
+        """A canary probe ran on ``array``; ``detected`` is its verdict."""
 
 
 #: Shared null tracer — drivers default to this instance.
@@ -366,6 +390,56 @@ class RecordingTracer(Tracer):
     def array_recovered(self, ts_us: float, array: int) -> None:
         self.events.append(TraceEvent(ts_us=ts_us, kind=RECOVER, array=array))
 
+    def batch_corrupted(self, ts_us: float, placed) -> None:
+        self.events.append(
+            TraceEvent(
+                ts_us=ts_us,
+                kind=CORRUPT,
+                batch=placed.trace_id,
+                array=placed.array,
+                tenant=placed.tenant.name,
+                size=placed.size,
+            )
+        )
+
+    def corruption_detected(self, ts_us: float, placed) -> None:
+        batch_id = placed.trace_id
+        if 0 <= batch_id < len(self.batches):
+            trace = self.batches[batch_id]
+            trace.done_us = ts_us
+            trace.crashed = True
+        events = self.events
+        # A detection closes the compute span exactly like a crash: the
+        # array was busy from dispatch until the checksum caught it.
+        events.append(
+            TraceEvent(
+                ts_us=ts_us,
+                kind=COMPUTE_END,
+                batch=batch_id,
+                array=placed.array,
+                size=placed.size,
+            )
+        )
+        events.append(
+            TraceEvent(
+                ts_us=ts_us,
+                kind=DETECT,
+                batch=batch_id,
+                array=placed.array,
+                tenant=placed.tenant.name,
+                size=placed.size,
+            )
+        )
+
+    def canary_probe(self, ts_us: float, array: int, detected: bool) -> None:
+        # ``size`` doubles as the detected flag (0/1) so TraceEvent stays
+        # slot-compatible; the exporter re-labels it.
+        self.events.append(
+            TraceEvent(
+                ts_us=ts_us, kind=CANARY, array=array, size=1 if detected else 0
+            )
+        )
+
     # -- analysis views -------------------------------------------------
 
     def completed_batches(self) -> list[BatchTrace]:
@@ -463,6 +537,18 @@ class MultiTracer(Tracer):
     def array_recovered(self, ts_us, array) -> None:
         for tracer in self.tracers:
             tracer.array_recovered(ts_us, array)
+
+    def batch_corrupted(self, ts_us, placed) -> None:
+        for tracer in self.tracers:
+            tracer.batch_corrupted(ts_us, placed)
+
+    def corruption_detected(self, ts_us, placed) -> None:
+        for tracer in self.tracers:
+            tracer.corruption_detected(ts_us, placed)
+
+    def canary_probe(self, ts_us, array, detected) -> None:
+        for tracer in self.tracers:
+            tracer.canary_probe(ts_us, array, detected)
 
 
 def combine_tracers(*tracers) -> Tracer:

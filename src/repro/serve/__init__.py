@@ -72,6 +72,8 @@ from repro.serve.costs import (
     probe_cache_size,
 )
 from repro.serve.faults import (
+    CORRUPT_TARGETS,
+    CorruptionSpec,
     FaultInjector,
     FaultPlan,
     FaultStats,
@@ -79,6 +81,12 @@ from repro.serve.faults import (
     InjectedCrashError,
     RetryPolicy,
     load_fault_plan,
+)
+from repro.serve.integrity import (
+    CHECK_MODES,
+    CanaryStream,
+    DetectedCorruptionError,
+    IntegrityPolicy,
 )
 from repro.serve.dispatcher import (
     ArrayPool,
@@ -99,6 +107,7 @@ from repro.serve.policies import (
     ChainedAdmission,
     CostBank,
     DeadlineAdmission,
+    DegradedModeAdmission,
     QueueLimitAdmission,
     ServerConfig,
     TenantSpec,
@@ -147,6 +156,8 @@ __all__ = [
     "ACCOUNTINGS",
     "ADMISSION_POLICIES",
     "BATCHING_POLICIES",
+    "CHECK_MODES",
+    "CORRUPT_TARGETS",
     "DEFAULT_LATENCY_BIN_US",
     "DISPATCH_POLICIES",
     "SERVING_POLICIES",
@@ -161,13 +172,17 @@ __all__ = [
     "BacklogGreedyDispatch",
     "BatchPolicy",
     "BatchRecord",
+    "CanaryStream",
     "ChainedAdmission",
     "Clock",
     "CompiledStreamExecutor",
     "CompletionSink",
+    "CorruptionSpec",
     "CostBank",
     "DeadlineAdmission",
     "DeadlineBatcher",
+    "DegradedModeAdmission",
+    "DetectedCorruptionError",
     "DispatchContext",
     "DynamicBatcher",
     "FaultInjector",
@@ -177,6 +192,7 @@ __all__ = [
     "GreedyWhenIdleDispatch",
     "InjectedCrashError",
     "InlineEngineExecutor",
+    "IntegrityPolicy",
     "LatencyHistogram",
     "LeastRecentDispatch",
     "MeasuredBatchCost",

@@ -40,6 +40,7 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.serve.batcher import QueuedRequest, RequestQueue
 from repro.serve.dispatcher import ArrayPool, DispatchContext
 from repro.serve.faults import FaultInjector, FaultStats, RetryPolicy
+from repro.serve.integrity import CanaryStream, IntegrityPolicy
 from repro.serve.policies import CostBank, ServerConfig, TenantSpec
 
 # Event kinds shared by the discrete-event drivers (simulator and the
@@ -194,6 +195,8 @@ class PlacedBatch:
         "idle_accum_us",
         "trace_id",
         "fault",
+        "corrupt",
+        "correlated",
     )
 
     def __init__(
@@ -231,6 +234,13 @@ class PlacedBatch:
         #: time; the driver surfaces the crash (event-heap entry in the
         #: simulator, a raised error in the live executor path).
         self.fault = False
+        #: :class:`~repro.serve.faults.CorruptionSpec` when the injector
+        #: silently corrupted this batch (None otherwise).  Whether the
+        #: corruption is caught is the integrity policy's call.
+        self.corrupt = None
+        #: True when ``fault`` came from a correlated failure-group
+        #: window rather than an independent crash.
+        self.correlated = False
 
 
 class ServingCore:
@@ -278,6 +288,23 @@ class ServingCore:
         self.retry = server.retry if server.retry is not None else RetryPolicy()
         self.fault_stats = FaultStats()
         self._quarantine_started: dict[int, float] = {}
+        # Integrity layer: the check policy decides whether a corrupted
+        # batch is caught (and so fails like a crash) or served wrong.
+        integrity = getattr(server, "integrity", None)
+        self.integrity = (
+            integrity if integrity is not None else IntegrityPolicy()
+        )
+        self._canary = (
+            CanaryStream(plan, self.integrity, self.pool.count)
+            if self.injector is not None and self.integrity.canary
+            else None
+        )
+        # Degraded-mode admission watches the live fault counters; bind
+        # after the stats object exists so every tenant's policy chain
+        # sees the same accounting the core maintains.
+        for tenant in self.tenants:
+            if hasattr(tenant.admission, "bind_faults"):
+                tenant.admission.bind_faults(self.fault_stats)
 
     def offer(self, tenant: TenantState, request: QueuedRequest, now_us: float) -> bool:
         """Run admission for one arrival; queue it if admitted."""
@@ -382,10 +409,31 @@ class ServingCore:
             stacked=stacked,
         )
         if self.injector is not None:
-            placed.fault = self.injector.should_crash(array, start, members)
+            placed.fault, placed.corrupt, placed.correlated = (
+                self.injector.decide(array, start, members)
+            )
+            if placed.corrupt is not None:
+                self.fault_stats.corruptions += 1
+            if self._canary is not None:
+                self._canary.on_placement(
+                    array, now_us, self.fault_stats, self.tracer
+                )
         if self.tracer.enabled:
             self.tracer.batch_placed(now_us, placed)
         return placed
+
+    def detects_corruption(self, placed: PlacedBatch) -> bool:
+        """Whether the armed integrity checks catch this batch's fault.
+
+        Deterministic given the plan and the policy, so every driver —
+        the simulator's bookkeeping and the live executor's *actual*
+        ABFT verification (exact int64 column sums) — reaches the same
+        verdict, which is what the sim-vs-live detection-counter
+        identity gate rides on.
+        """
+        return placed.corrupt is not None and self.integrity.detects(
+            placed.corrupt.target
+        )
 
     def release(self, array: int, now_us: float) -> bool:
         """One batch on ``array`` completed; returns whether it idled.
@@ -445,18 +493,39 @@ class ServingCore:
             else:
                 failed.append(attempt)
         stats = self.fault_stats
-        stats.crashes += 1
-        if placed.fault:
-            stats.injected += 1
+        detected = placed.corrupt is not None and not placed.fault
+        if detected:
+            stats.detected += 1
+        else:
+            stats.crashes += 1
+            if placed.fault:
+                stats.injected += 1
+                if placed.correlated:
+                    stats.correlated += 1
         stats.failed += len(failed)
         tracer = self.tracer
         if tracer.enabled:
-            tracer.batch_crashed(now_us, placed)
+            if detected:
+                tracer.corruption_detected(now_us, placed)
+            else:
+                tracer.batch_crashed(now_us, placed)
             if quarantined:
                 tracer.array_quarantined(now_us, array)
             for request in failed:
                 tracer.request_failed(now_us, request.index, tenant.name)
         return retries, failed, quarantined
+
+    def served_corrupt(self, placed: PlacedBatch, now_us: float) -> None:
+        """A corrupted batch completed *undetected*; account the damage.
+
+        Called by the drivers' completion handlers when a batch carrying
+        a :class:`~repro.serve.faults.CorruptionSpec` reaches its sink —
+        the outcome the checksum mode exists to make impossible for
+        weight/accumulator targets.
+        """
+        self.fault_stats.corrupted_served += placed.size
+        if self.tracer.enabled:
+            self.tracer.batch_corrupted(now_us, placed)
 
     def requeue(
         self, tenant: TenantState, requests: list[QueuedRequest], now_us: float

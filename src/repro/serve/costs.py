@@ -48,7 +48,11 @@ import numpy as np
 
 from repro.capsnet.config import CapsNetConfig, mnist_capsnet_config
 from repro.capsnet.quantized import QuantizedCapsuleNet
-from repro.compiler.cost import program_batch_cycles, program_ops
+from repro.compiler.cost import (
+    program_batch_cycles,
+    program_checksum_cycles,
+    program_ops,
+)
 from repro.compiler.isa import Program
 from repro.compiler.zoo import CompiledNetwork, as_compiled
 from repro.errors import ConfigError
@@ -120,12 +124,14 @@ def _pair_warm_cycles(
     batch_size: int,
     cold: int,
     cache_key: tuple | None = None,
+    extra: int = 0,
 ) -> int:
     """Memoized mixed-size warm cost from a two-size probe stream.
 
     Shared by both cost models; ``probe`` maps a batch-size stream to its
-    :class:`~repro.hw.pipeline.StreamTiming`.  Clamped to the cold cost:
-    an array is never worse off for having stayed warm.
+    :class:`~repro.hw.pipeline.StreamTiming`.  ``extra`` adds per-batch
+    overhead outside the pipeline (the integrity-check cycles).  Clamped
+    to the cold cost: an array is never worse off for having stayed warm.
     """
     if prev_size < 1:
         raise ConfigError("previous batch size must be positive")
@@ -137,7 +143,7 @@ def _pair_warm_cycles(
             timing = probe(
                 [prev_size] * PAIR_PROBE_PREFIX + [batch_size] * PAIR_PROBE_SUFFIX
             )
-            cached = min(_pair_marginal(timing), cold)
+            cached = min(_pair_marginal(timing) + extra, cold)
             if global_key is not None:
                 _PROBE_CACHE[global_key] = cached
         memo[key] = cached
@@ -150,6 +156,7 @@ def _cross_pair_cycles(
     prev_size: int,
     batch_size: int,
     cold: int,
+    extra: int = 0,
 ) -> int:
     """Warm cost of a cross-network hand-off, from a two-model probe stream.
 
@@ -172,7 +179,7 @@ def _cross_pair_cycles(
         window=receiver.window,
         prestage_depth=receiver.prestage_depth,
     )
-    return min(_pair_marginal(timing), cold)
+    return min(_pair_marginal(timing) + extra, cold)
 
 
 def _resolve_cross_prev(receiver, prev_cost):
@@ -192,6 +199,15 @@ def _resolve_cross_prev(receiver, prev_cost):
     if not getattr(prev_cost, "pipeline", False):
         return None
     return prev_cost
+
+
+def _check_integrity_mode(integrity: str) -> None:
+    from repro.serve.integrity import CHECK_MODES
+
+    if integrity not in CHECK_MODES:
+        raise ConfigError(
+            f"integrity mode must be one of {CHECK_MODES}, not {integrity!r}"
+        )
 
 
 def _batch_cycles(result: BatchResult, accounting: str) -> int:
@@ -224,6 +240,13 @@ class ScheduledBatchCost:
         accounting — pipelining is meaningless without double-buffering).
     window / prestage_depth:
         Stream-pipeline parameters (see :mod:`repro.hw.pipeline`).
+    integrity:
+        Check mode to price (one of
+        :data:`~repro.serve.integrity.CHECK_MODES`): ``checksum`` and
+        ``checksum+canary`` add the ABFT verification cycles
+        (:func:`~repro.compiler.cost.program_checksum_cycles`) to every
+        batch, so the throughput cost of checking is part of every
+        schedule.  Canary probes ride along free (observability).
     """
 
     def __init__(
@@ -236,11 +259,13 @@ class ScheduledBatchCost:
         pipeline: bool = False,
         window: int = DEFAULT_WINDOW,
         prestage_depth: int = DEFAULT_PRESTAGE_DEPTH,
+        integrity: str = "none",
     ) -> None:
         if accounting not in ACCOUNTINGS:
             raise ConfigError(
                 f"unknown accounting {accounting!r} (choose from {ACCOUNTINGS})"
             )
+        _check_integrity_mode(integrity)
         if pipeline and accounting != "overlapped":
             raise ConfigError(
                 "the pipelined warm cost requires the overlapped accounting"
@@ -266,9 +291,11 @@ class ScheduledBatchCost:
         self.pipeline = pipeline
         self.window = window
         self.prestage_depth = prestage_depth
+        self.integrity = integrity
         self._memo: dict[int, int] = {}
         self._warm_memo: dict[int, int] = {}
         self._pair_memo: dict[tuple[int, int], int] = {}
+        self._integrity_memo: dict[int, int] = {}
         self._stream: PipelinedStreamScheduler | None = None
         if pipeline:
             self._stream = PipelinedStreamScheduler(
@@ -300,7 +327,18 @@ class ScheduledBatchCost:
             self.pipeline,
             self.window,
             self.prestage_depth,
+            self.integrity,
         )
+
+    def integrity_cycles(self, batch_size: int) -> int:
+        """ABFT verification cycles this model adds per batch (memoized)."""
+        if self.integrity == "none":
+            return 0
+        if batch_size not in self._integrity_memo:
+            self._integrity_memo[batch_size] = program_checksum_cycles(
+                self.config, self.compiled.program, batch_size
+            )
+        return self._integrity_memo[batch_size]
 
     def pipeline_ops(self, batch_size: int):
         """This model's pipeline op timeline for one batch (pipelined only)."""
@@ -333,7 +371,9 @@ class ScheduledBatchCost:
                         dtype=np.float64,
                     )
                     result = self.scheduler.run_batch(probe)
-                cached = _PROBE_CACHE[key] = _batch_cycles(result, self.accounting)
+                cached = _PROBE_CACHE[key] = _batch_cycles(
+                    result, self.accounting
+                ) + self.integrity_cycles(batch_size)
             self._memo[batch_size] = cached
         return self._memo[batch_size]
 
@@ -369,6 +409,7 @@ class ScheduledBatchCost:
                 batch_size,
                 self.batch_cycles(batch_size),
                 cache_key=self.signature() + ("pair",),
+                extra=self.integrity_cycles(batch_size),
             )
         if batch_size not in self._warm_memo:
             key = self.signature() + ("warm", batch_size)
@@ -378,7 +419,9 @@ class ScheduledBatchCost:
                 steady = self._stream.probe_timing(
                     [batch_size] * PROBE_STREAM_LENGTH
                 ).steady_marginal_cycles
-                cached = _PROBE_CACHE[key] = min(steady, cold)
+                cached = _PROBE_CACHE[key] = min(
+                    steady + self.integrity_cycles(batch_size), cold
+                )
             self._warm_memo[batch_size] = cached
         return self._warm_memo[batch_size]
 
@@ -389,7 +432,12 @@ class ScheduledBatchCost:
         cached = _PROBE_CACHE.get(key)
         if cached is None:
             cached = _PROBE_CACHE[key] = _cross_pair_cycles(
-                self, prev_cost, prev_size, batch_size, self.batch_cycles(batch_size)
+                self,
+                prev_cost,
+                prev_size,
+                batch_size,
+                self.batch_cycles(batch_size),
+                extra=self.integrity_cycles(batch_size),
             )
         return cached
 
@@ -417,7 +465,9 @@ class ScheduledBatchCost:
         cycle figure the batch is charged.
         """
         result = self.scheduler.run_batch(images)
-        cycles = _batch_cycles(result, self.accounting)
+        cycles = _batch_cycles(result, self.accounting) + self.integrity_cycles(
+            result.batch
+        )
         self._memo.setdefault(result.batch, cycles)
         if warm:
             return self.warm_batch_cycles(result.batch, prev_size), result
@@ -499,7 +549,9 @@ class AnalyticBatchCost:
         pipeline: bool = False,
         window: int = DEFAULT_WINDOW,
         prestage_depth: int = DEFAULT_PRESTAGE_DEPTH,
+        integrity: str = "none",
     ) -> None:
+        _check_integrity_mode(integrity)
         self._config = accel_config if accel_config is not None else AcceleratorConfig()
         self.compiled: CompiledNetwork | None = None
         self.model: CapsAccPerformanceModel | None = None
@@ -517,9 +569,17 @@ class AnalyticBatchCost:
         self.pipeline = pipeline
         self.window = window
         self.prestage_depth = prestage_depth
+        self.integrity = integrity
+        if integrity != "none" and self.compiled is None:
+            raise ConfigError(
+                "integrity pricing needs a compiled network: the perf-model"
+                " path has no instruction stream to checksum — pass a zoo"
+                " name or CompiledNetwork instead of a CapsNetConfig"
+            )
         self._memo: dict[int, int] = {}
         self._warm_memo: dict[int, int] = {}
         self._pair_memo: dict[tuple[int, int], int] = {}
+        self._integrity_memo: dict[int, int] = {}
         self._stream: AnalyticStreamCost | _ProgramStream | None = None
         if pipeline:
             if self.compiled is not None:
@@ -565,7 +625,18 @@ class AnalyticBatchCost:
             self.pipeline,
             self.window,
             self.prestage_depth,
+            self.integrity,
         )
+
+    def integrity_cycles(self, batch_size: int) -> int:
+        """ABFT verification cycles this model adds per batch (memoized)."""
+        if self.integrity == "none":
+            return 0
+        if batch_size not in self._integrity_memo:
+            self._integrity_memo[batch_size] = program_checksum_cycles(
+                self._config, self.compiled.program, batch_size
+            )
+        return self._integrity_memo[batch_size]
 
     def pipeline_ops(self, batch_size: int):
         """This model's pipeline op timeline for one batch (pipelined only)."""
@@ -582,9 +653,12 @@ class AnalyticBatchCost:
             cached = _PROBE_CACHE.get(key)
             if cached is None:
                 if self.compiled is not None:
-                    cached = program_batch_cycles(
-                        self._config, self.compiled.program, batch_size
-                    )["overlapped"]
+                    cached = (
+                        program_batch_cycles(
+                            self._config, self.compiled.program, batch_size
+                        )["overlapped"]
+                        + self.integrity_cycles(batch_size)
+                    )
                 else:
                     cached = self.model.run(batch=batch_size).total_cycles
                 _PROBE_CACHE[key] = cached
@@ -618,6 +692,7 @@ class AnalyticBatchCost:
                 batch_size,
                 self.batch_cycles(batch_size),
                 cache_key=self.signature() + ("pair",),
+                extra=self.integrity_cycles(batch_size),
             )
         if batch_size not in self._warm_memo:
             key = self.signature() + ("warm", batch_size)
@@ -625,7 +700,9 @@ class AnalyticBatchCost:
             if cached is None:
                 cold = self.batch_cycles(batch_size)
                 cached = _PROBE_CACHE[key] = min(
-                    self._stream.steady_cycles(batch_size), cold
+                    self._stream.steady_cycles(batch_size)
+                    + self.integrity_cycles(batch_size),
+                    cold,
                 )
             self._warm_memo[batch_size] = cached
         return self._warm_memo[batch_size]
@@ -637,7 +714,12 @@ class AnalyticBatchCost:
         cached = _PROBE_CACHE.get(key)
         if cached is None:
             cached = _PROBE_CACHE[key] = _cross_pair_cycles(
-                self, prev_cost, prev_size, batch_size, self.batch_cycles(batch_size)
+                self,
+                prev_cost,
+                prev_size,
+                batch_size,
+                self.batch_cycles(batch_size),
+                extra=self.integrity_cycles(batch_size),
             )
         return cached
 

@@ -52,6 +52,7 @@ from repro.serve.dispatcher import (
     RoundRobinDispatch,
 )
 from repro.serve.faults import FaultPlan, RetryPolicy, load_fault_plan
+from repro.serve.integrity import CHECK_MODES, IntegrityPolicy
 from repro.serve.trace import ArrivalTrace
 
 
@@ -205,6 +206,78 @@ class DeadlineAdmission:
         return "shed-infeasible"
 
 
+@dataclass
+class DegradedModeAdmission:
+    """Shed early while the serving pool is degraded.
+
+    Degradation has two triggers, both watched at admission time:
+
+    * **quarantined capacity** — any array currently out of service
+      (:meth:`~repro.serve.dispatcher.ArrayPool.quarantined_ids`), read
+      straight off the pool every arrival;
+    * **corruption detections** — the integrity layer catching corrupted
+      numerics (checksum or canary).  The policy binds to the run's
+      :class:`~repro.serve.faults.FaultStats` via :meth:`bind_faults`;
+      each *new* detection opens (or extends) a ``hold_us`` degraded
+      window, so a burst of detections keeps admission tight until the
+      pool has been clean for a while.
+
+    While degraded, arrivals shed once ``degraded_limit`` requests are
+    queued (normally ``queue_limit``), so the shrunken pool works a
+    short queue instead of accumulating a backlog of guaranteed SLA
+    misses.  The decision depends only on policy state the simulator and
+    virtual replay share, so degraded-mode runs stay decision-identical
+    across those drivers; the live runtime's wall-clock hold windows
+    legitimately differ.
+    """
+
+    queue_limit: int = 64
+    degraded_limit: int = 8
+    hold_us: float = 5000.0
+    _stats: object | None = field(default=None, repr=False, compare=False)
+    _seen_detections: int = field(default=0, repr=False, compare=False)
+    _degraded_until_us: float = field(
+        default=-math.inf, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 0 or self.degraded_limit < 0:
+            raise ConfigError("admission queue limits must be non-negative")
+        if self.degraded_limit > self.queue_limit:
+            raise ConfigError(
+                "degraded_limit must not exceed queue_limit (a degraded"
+                " pool admits less, never more)"
+            )
+        if not (math.isfinite(self.hold_us) and self.hold_us >= 0):
+            raise ConfigError("hold_us must be finite and non-negative")
+
+    def bind_faults(self, stats) -> None:
+        """Watch a run's fault statistics for corruption detections."""
+        self._stats = stats
+        self._seen_detections = 0
+        self._degraded_until_us = -math.inf
+
+    def _detections(self) -> int:
+        stats = self._stats
+        if stats is None:
+            return 0
+        return stats.detected + stats.canary_detected
+
+    def admit(self, request, now_us, queue, pool) -> bool:
+        """Admit against the tight limit while the pool is degraded."""
+        detections = self._detections()
+        if detections > self._seen_detections:
+            self._seen_detections = detections
+            self._degraded_until_us = now_us + self.hold_us
+        degraded = bool(pool.quarantined_ids()) or now_us < self._degraded_until_us
+        limit = self.degraded_limit if degraded else self.queue_limit
+        return len(queue) < limit
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        return f"degraded[{self.queue_limit}->{self.degraded_limit}]"
+
+
 @dataclass(frozen=True)
 class ChainedAdmission:
     """Admit only when every chained policy admits."""
@@ -227,6 +300,12 @@ class ChainedAdmission:
             if hasattr(policy, "bind_batching"):
                 policy.bind_batching(batching)
 
+    def bind_faults(self, stats) -> None:
+        """Propagate the run's fault statistics to chained policies."""
+        for policy in self.policies:
+            if hasattr(policy, "bind_faults"):
+                policy.bind_faults(stats)
+
     def admit(self, request, now_us, queue, pool) -> bool:
         """All chained policies must admit."""
         return all(
@@ -243,6 +322,7 @@ ADMISSION_POLICIES: dict[str, Callable] = {
     "admit-all": AdmitAll,
     "queue-limit": QueueLimitAdmission,
     "deadline": DeadlineAdmission,
+    "degraded": DegradedModeAdmission,
 }
 
 #: name -> batching-policy constructor.
@@ -416,6 +496,23 @@ def add_server_arguments(
         " serve",
     )
     parser.add_argument(
+        "--integrity",
+        choices=CHECK_MODES,
+        default=None,
+        help="arm silent-data-corruption detection: 'checksum' = ABFT"
+        " column checksums on every compiled GEMM, 'checksum+canary'"
+        " additionally probes arrays with known-answer canaries; same"
+        " detection decisions in serve-sim and serve",
+    )
+    parser.add_argument(
+        "--canary-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fire a canary probe every N placements per array"
+        " (checksum+canary mode; default 16)",
+    )
+    parser.add_argument(
         "--max-attempts",
         type=int,
         default=None,
@@ -464,8 +561,17 @@ class ServerConfig:
     #: duration); None uses :class:`~repro.serve.faults.RetryPolicy`
     #: defaults.
     retry: RetryPolicy | None = None
+    #: Silent-data-corruption detection: an
+    #: :class:`~repro.serve.integrity.IntegrityPolicy`, a mode string
+    #: from :data:`~repro.serve.integrity.CHECK_MODES`, or None
+    #: (normalized to the disabled policy).
+    integrity: IntegrityPolicy | str | None = None
 
     def __post_init__(self) -> None:
+        if self.integrity is None:
+            self.integrity = IntegrityPolicy()
+        elif isinstance(self.integrity, str):
+            self.integrity = IntegrityPolicy(mode=self.integrity)
         if self.admission is None:
             self.admission = AdmitAll()
         if self.batching is None:
@@ -558,6 +664,18 @@ class ServerConfig:
             retry = RetryPolicy(
                 **{k: v for k, v in retry_overrides.items() if v is not None}
             )
+        integrity = None
+        mode = getattr(args, "integrity", None)
+        canary_every = getattr(args, "canary_every", None)
+        if canary_every is not None and mode != "checksum+canary":
+            raise ConfigError(
+                "--canary-every only applies to --integrity checksum+canary"
+            )
+        if mode is not None and mode != "none":
+            kwargs = {"mode": mode}
+            if canary_every is not None:
+                kwargs["canary_every"] = canary_every
+            integrity = IntegrityPolicy(**kwargs)
         return cls.from_policy(
             args.policy,
             cost,
@@ -574,6 +692,7 @@ class ServerConfig:
             network_name=args.network,
             fault_plan=fault_plan,
             retry=retry,
+            integrity=integrity,
         )
 
     def describe(self) -> str:
@@ -585,6 +704,8 @@ class ServerConfig:
             label += f"/disp:{self.dispatch.describe()}"
         if self.fault_plan is not None and not self.fault_plan.empty:
             label += f"/{self.fault_plan.describe()}"
+        if self.integrity.enabled:
+            label += f"/{self.integrity.describe()}"
         return label
 
     def policy_json(self) -> dict:
@@ -603,6 +724,10 @@ class ServerConfig:
             payload["fault_plan"] = self.fault_plan.to_dict()
             retry = self.retry if self.retry is not None else RetryPolicy()
             payload["retry"] = retry.describe()
+        if self.integrity.enabled:
+            payload["integrity"] = self.integrity.mode
+            if self.integrity.canary:
+                payload["canary_every"] = self.integrity.canary_every
         return payload
 
 
@@ -670,6 +795,7 @@ def _rebuild_cost(cost, config: AcceleratorConfig):
             pipeline=cost.pipeline,
             window=cost.window,
             prestage_depth=cost.prestage_depth,
+            integrity=cost.integrity,
         )
     if isinstance(cost, AnalyticBatchCost):
         return AnalyticBatchCost(
@@ -679,6 +805,7 @@ def _rebuild_cost(cost, config: AcceleratorConfig):
             pipeline=cost.pipeline,
             window=cost.window,
             prestage_depth=cost.prestage_depth,
+            integrity=cost.integrity,
         )
     raise ConfigError(
         "heterogeneous pools need a scheduled or analytic cost model"

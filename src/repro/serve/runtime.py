@@ -330,6 +330,11 @@ class RuntimeEngine:
         self.tick(now_us)
         done = placed.done_us if done_us is None else done_us
         self.core.release(placed.array, now_us)
+        if placed.corrupt is not None:
+            # Undetected corruption: the batch completes and its members
+            # are served wrong answers — counted, traced (same order as
+            # the simulator's done handler for stream identity).
+            self.core.served_corrupt(placed, done)
         tracer = self.core.tracer
         if tracer.enabled:
             tracer.batch_completed(done, placed)
@@ -561,6 +566,12 @@ def replay_virtual(
                     placed.duration_us
                 )
                 heapq.heappush(events, (detect, EVENT_CRASH, seq, next_batch))
+            elif engine.core.detects_corruption(placed):
+                # Same detection instant as the simulator: the checksum
+                # layer catches the corruption when the batch finishes.
+                heapq.heappush(
+                    events, (placed.done_us, EVENT_CRASH, seq, next_batch)
+                )
             else:
                 heapq.heappush(
                     events, (placed.done_us, EVENT_DONE, seq, next_batch)
@@ -951,7 +962,10 @@ class ServingRuntime:
                 raise InjectedCrashError(
                     f"injected crash on array {placed.array}"
                 )
-            predictions = self.executor.execute(placed.array, images)
+            if placed.corrupt is not None:
+                predictions = self._execute_corrupt(placed, images)
+            else:
+                predictions = self.executor.execute(placed.array, images)
         except BaseException as error:  # noqa: BLE001 - must never hang the loop
             self._loop.call_soon_threadsafe(self._batch_failed, placed, error)
             return
@@ -959,6 +973,35 @@ class ServingRuntime:
         self._loop.call_soon_threadsafe(
             self._batch_done, placed, predictions, done_us
         )
+
+    def _execute_corrupt(
+        self, placed: PlacedBatch, images: np.ndarray
+    ) -> np.ndarray:
+        """Run a corruption-doomed batch through the executor.
+
+        Executors exposing ``execute_corrupt`` (the compiled stream
+        path) run the *real* corrupted numerics — the seeded bit flips of
+        ``placed.corrupt`` — and raise
+        :class:`~repro.serve.integrity.DetectedCorruptionError` when the
+        armed ABFT checksums catch them, which by construction happens
+        exactly when the core's bookkeeping predicts detection.
+        Model-level executors without the hook fall back to the
+        bookkeeping verdict directly so the drivers still agree.
+        """
+        from repro.serve.integrity import DetectedCorruptionError
+
+        core = self.engine.core
+        execute_corrupt = getattr(self.executor, "execute_corrupt", None)
+        if execute_corrupt is not None:
+            return execute_corrupt(
+                placed.array, images, placed.corrupt, core.integrity.checks
+            )
+        if core.detects_corruption(placed):
+            raise DetectedCorruptionError(
+                f"corruption detected on array {placed.array}"
+                f" (target {placed.corrupt.target})"
+            )
+        return self.executor.execute(placed.array, images)
 
     def _batch_done(
         self, placed: PlacedBatch, predictions: np.ndarray, done_us: float

@@ -329,6 +329,13 @@ class ServingSimulator:
                 " --fast / record_requests=False (or the StreamingSink)"
                 " when a fault plan is set"
             )
+        integrity = getattr(self.server, "integrity", None)
+        if integrity is not None and integrity.enabled:
+            raise ConfigError(
+                "integrity checking requires the recording path: drop"
+                " --fast / record_requests=False (or the StreamingSink)"
+                " when an integrity mode is armed"
+            )
 
     def _run_recorded(
         self, with_crosscheck: bool, sink: RecordingSink | None = None
@@ -421,6 +428,10 @@ class ServingSimulator:
             elif kind == _DONE:
                 placed = running.pop(payload)
                 core.release(placed.array, now)
+                if placed.corrupt is not None:
+                    # Undetected corruption: the batch completes and its
+                    # members are served wrong answers — counted, traced.
+                    core.served_corrupt(placed, now)
                 if tracer.enabled:
                     tracer.batch_completed(now, placed)
                 makespan = max(makespan, now)
@@ -459,6 +470,7 @@ class ServingSimulator:
                 if placed is None:
                     break
                 members = placed.members
+                detected = core.detects_corruption(placed)
                 batch_index = sink.on_batch(
                     tenant=placed.tenant.name,
                     array=placed.array,
@@ -473,7 +485,7 @@ class ServingSimulator:
                     member_deadlines=[m.deadline_us for m in members],
                     member_idle_snaps=[idle_at_arrival[m.index] for m in members],
                     idle_accum_us=idle_accum,
-                    crashed=placed.fault,
+                    crashed=placed.fault or detected,
                 )
                 running[batch_index] = placed
                 if placed.fault:
@@ -481,6 +493,13 @@ class ServingSimulator:
                         placed.duration_us
                     )
                     heapq.heappush(events, (detect, _CRASH, seq, batch_index))
+                elif detected:
+                    # The checksum layer catches the corruption when the
+                    # batch finishes computing — the array was busy for the
+                    # full span, then the batch fails like a crash.
+                    heapq.heappush(
+                        events, (placed.done_us, _CRASH, seq, batch_index)
+                    )
                 else:
                     heapq.heappush(
                         events, (placed.done_us, _DONE, seq, batch_index)

@@ -756,6 +756,22 @@ class ServingReport:
             ),
             *(
                 [
+                    f"  integrity: {self.faults['corruptions']} corruptions"
+                    f" ({self.faults['detected']} detected,"
+                    f" {self.faults['corrupted_served']} requests served"
+                    " corrupted);"
+                    f" canaries {self.faults['canaries']}"
+                    f" ({self.faults['canary_detected']} detections)"
+                ]
+                if self.faults
+                and (
+                    self.faults.get("corruptions")
+                    or self.faults.get("canaries")
+                )
+                else []
+            ),
+            *(
+                [
                     f"  pipeline: {self.warm_batches}/{self.batch_count} warm batches,"
                     f" {self.drain_saved_total_us:,.0f}us drain saved"
                 ]

@@ -104,6 +104,25 @@ class CompiledStreamExecutor:
         with self._lock:
             return self._executor.run_batch(images).predictions
 
+    def execute_corrupt(
+        self, array: int, images: np.ndarray, spec, verify: bool
+    ) -> np.ndarray:
+        """Classify with ``spec``'s seeded bit flips injected mid-stream.
+
+        The corruption lands inside the instruction stream (weight tile,
+        accumulator, or readout scores per the spec's target), so the
+        served numerics are really corrupted — and ``verify`` arms the
+        ABFT checksums that raise
+        :class:`~repro.serve.integrity.DetectedCorruptionError` for any
+        in-envelope flip.
+        """
+        if self.channels != 1 and images.ndim == 3:
+            images = np.repeat(images[:, np.newaxis], self.channels, axis=1)
+        with self._lock:
+            return self._executor.run_batch(
+                images, corruption=spec, verify_checksums=verify
+            ).predictions
+
     def close(self) -> None:
         """Nothing to release."""
 

@@ -44,6 +44,8 @@ SERVING_AXES = ANALYTIC_AXES + (
     "dispatch",
     "crash_rate",
     "max_attempts",
+    "corrupt_rate",
+    "integrity",
 )
 
 #: Tier name -> allowed axes.
@@ -80,6 +82,11 @@ class SweepSpec:
     #: fault plans — so keep fault grids modest).
     crash_rate: float = 0.0
     max_attempts: int = 3
+    #: Integrity axes: seeded silent-corruption injection rate and the
+    #: check mode countering it (armed points also run the recording
+    #: path, and price the network off its compiled stream).
+    corrupt_rate: float = 0.0
+    integrity: str = "none"
     fault_seed: int = 1
     requests: int = 2000
     deadline_ms: float | None = None
@@ -113,6 +120,14 @@ class SweepSpec:
                 raise ConfigError(
                     f"unknown network {value!r} on the network axis"
                     f" (choose from {names})"
+                )
+        from repro.serve.integrity import CHECK_MODES
+
+        for mode in (self.integrity, *self.axes.get("integrity", ())):
+            if mode not in CHECK_MODES:
+                raise ConfigError(
+                    f"unknown integrity mode {mode!r}"
+                    f" (choose from {CHECK_MODES})"
                 )
         if self.requests < 1:
             raise ConfigError("requests must be positive")
@@ -224,8 +239,18 @@ def evaluate_serving_point(spec: SweepSpec, point: dict) -> dict:
     dispatch = _setting(spec, point, "dispatch")
     crash_rate = float(_setting(spec, point, "crash_rate"))
     max_attempts = int(_setting(spec, point, "max_attempts"))
+    corrupt_rate = float(_setting(spec, point, "corrupt_rate"))
+    integrity = str(_setting(spec, point, "integrity"))
     network_name = str(_setting(spec, point, "network"))
     network = _resolve_network(network_name)
+    if integrity != "none":
+        # Integrity pricing checksums a compiled instruction stream, so
+        # armed points price the paper CapsNets off their zoo entries.
+        from repro.capsnet.config import CapsNetConfig
+        from repro.compiler.zoo import get_network
+
+        if isinstance(network, CapsNetConfig):
+            network = get_network(network_name)
     config = _accel_config(array)
     cost = AnalyticBatchCost(
         network=network,
@@ -233,6 +258,7 @@ def evaluate_serving_point(spec: SweepSpec, point: dict) -> dict:
         pipeline=spec.pipeline,
         window=window,
         prestage_depth=prestage,
+        integrity=integrity,
     )
     capacity_rps = arrays * config.clock_mhz * 1e6 / cost.batch_cycles(1)
     trace = poisson_trace(
@@ -253,16 +279,24 @@ def evaluate_serving_point(spec: SweepSpec, point: dict) -> dict:
         ),
         network_name=network_name,
         fault_plan=(
-            FaultPlan(crash_rate=crash_rate, seed=spec.fault_seed)
-            if crash_rate > 0.0
+            FaultPlan(
+                crash_rate=crash_rate,
+                corrupt_rate=corrupt_rate,
+                seed=spec.fault_seed,
+            )
+            if crash_rate > 0.0 or corrupt_rate > 0.0
             else None
         ),
         retry=RetryPolicy(max_attempts=max_attempts),
+        integrity=integrity if integrity != "none" else None,
     )
-    # Fault points need the recording path (the streaming fast path
-    # refuses fault plans); fault-free points keep the fast tier.
+    # Fault and integrity points need the recording path (the streaming
+    # fast path refuses both); clean points keep the fast tier.
     report = ServingSimulator(trace, server=server).run(
-        record_requests=crash_rate > 0.0, latency_bin_us=spec.latency_bin_us
+        record_requests=crash_rate > 0.0
+        or corrupt_rate > 0.0
+        or integrity != "none",
+        latency_bin_us=spec.latency_bin_us,
     )
     latency = report.latency_summary()["total"]
     utilization = [stat["utilization"] for stat in report.array_stats]
@@ -276,6 +310,11 @@ def evaluate_serving_point(spec: SweepSpec, point: dict) -> dict:
         "rate_multiplier": rate_multiplier,
         "crash_rate": crash_rate,
         "max_attempts": max_attempts,
+        "corrupt_rate": corrupt_rate,
+        "integrity": integrity,
+        "corruptions": int(faults.get("corruptions", 0)),
+        "detected": int(faults.get("detected", 0)),
+        "corrupted_served": int(faults.get("corrupted_served", 0)),
         "offered_rps": report.offered_rps,
         "throughput_rps": report.throughput_rps,
         "served": report.completed,
@@ -392,6 +431,16 @@ class SweepResult:
                     ("tries", lambda r: str(r["max_attempts"])),
                     ("goodput", lambda r: f"{r['goodput']:.1%}"),
                     ("failed", lambda r: str(r["failed"])),
+                ]
+            if any(
+                row.get("corrupt_rate") or row.get("integrity", "none") != "none"
+                for row in self.rows
+            ):
+                columns += [
+                    ("corrupt", lambda r: f"{r['corrupt_rate']:g}"),
+                    ("checks", lambda r: str(r["integrity"])),
+                    ("detect", lambda r: str(r["detected"])),
+                    ("bad", lambda r: str(r["corrupted_served"])),
                 ]
         header = " ".join(f"{name:>10s}" for name, _ in columns)
         lines = [

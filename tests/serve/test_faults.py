@@ -104,6 +104,81 @@ class TestFaultPlan:
         with pytest.raises(ConfigError):
             load_fault_plan("array_down=0@500:100")  # window ends first
 
+    #: Table of invalid plan specs: (id, spec, fragment the ConfigError
+    #: must contain — every rejection names the offending field).
+    INVALID_SPECS = [
+        ("negative-crash-rate", '{"crash_rate": -0.5}', "crash_rate"),
+        ("crash-rate-above-one", "crash_rate=1.5", "crash_rate"),
+        ("negative-corrupt-rate", '{"corrupt_rate": -0.1}', "corrupt_rate"),
+        ("corrupt-rate-above-one", "corrupt_rate=2", "corrupt_rate"),
+        ("zero-corrupt-bits", '{"corrupt_bits": 0}', "corrupt_bits"),
+        ("too-many-corrupt-bits", "corrupt_bits=17", "corrupt_bits"),
+        ("bad-corrupt-target", "corrupt_target=bias", "corrupt_target"),
+        ("negative-max-crashes", '{"max_crashes": -1}', "max_crashes"),
+        ("negative-hang", "hang_us=-10", "hang_us"),
+        ("infinite-hang", '{"hang_us": Infinity}', "hang_us"),
+        ("unknown-key", '{"flip_rate": 0.1}', "flip_rate"),
+        ("unknown-inline-key", "flip_rate=0.1", "flip_rate"),
+        ("inverted-window", '{"array_down": [[0, 500.0, 100.0]]}', "array_down"),
+        (
+            "overlapping-windows",
+            '{"array_down": [[0, 100.0, 500.0], [0, 400.0, 900.0]]}',
+            "overlap",
+        ),
+        ("empty-failure-group", '{"failure_groups": [[[], 0.0, 10.0]]}', "arrays"),
+        (
+            "inverted-group-window",
+            '{"failure_groups": [[[0, 1], 50.0, 10.0]]}',
+            "failure_groups",
+        ),
+        ("malformed-window", "array_down=0-100-500", "array@start:end"),
+        ("malformed-group", "failure_groups=0:1@", "array:array@start:end"),
+        ("not-key-value", "crash_rate", "key=value"),
+        ("json-not-object", "{", "JSON"),
+    ]
+
+    @pytest.mark.parametrize(
+        ("spec", "fragment"),
+        [entry[1:] for entry in INVALID_SPECS],
+        ids=[entry[0] for entry in INVALID_SPECS],
+    )
+    def test_invalid_specs_name_the_field(self, spec, fragment):
+        with pytest.raises(ConfigError) as excinfo:
+            load_fault_plan(spec)
+        assert fragment in str(excinfo.value)
+
+    def test_adjacent_windows_do_not_overlap(self):
+        # end == start of the next window is back-to-back, not overlap.
+        plan = load_fault_plan(
+            '{"array_down": [[0, 100.0, 500.0], [0, 500.0, 900.0]]}'
+        )
+        assert len(plan.array_down) == 2
+        # Same windows on different arrays never conflict either.
+        load_fault_plan('{"array_down": [[0, 0.0, 10.0], [1, 0.0, 10.0]]}')
+
+    def test_corruption_round_trips_through_dict(self):
+        plan = FaultPlan(
+            corrupt_batches=(2, 7),
+            corrupt_rate=0.1,
+            corrupt_bits=3,
+            corrupt_target="accumulator",
+            failure_groups=(((0, 2), 100.0, 400.0),),
+            seed=5,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_inline_corruption_and_groups_parse(self):
+        plan = load_fault_plan(
+            "corrupt_batches=2:7,corrupt_rate=0.1,corrupt_bits=3,"
+            "corrupt_target=accumulator,failure_groups=0:2@100:400"
+        )
+        assert plan.corrupt_batches == (2, 7)
+        assert plan.corrupt_rate == 0.1
+        assert plan.corrupt_bits == 3
+        assert plan.corrupt_target == "accumulator"
+        assert plan.failure_groups == (((0, 2), 100.0, 400.0),)
+        assert plan.corrupts and not plan.empty
+
 
 class TestFaultInjector:
     def test_crash_batch_ordinals_match_once(self):

@@ -61,7 +61,12 @@ def fill(queue, arrivals, deadline_us=math.inf, start=0):
 
 class TestRegistries:
     def test_registry_names_resolve(self):
-        assert set(ADMISSION_POLICIES) == {"admit-all", "queue-limit", "deadline"}
+        assert set(ADMISSION_POLICIES) == {
+            "admit-all",
+            "queue-limit",
+            "deadline",
+            "degraded",
+        }
         assert set(BATCHING_POLICIES) == {"max-wait", "deadline"}
         assert set(DISPATCH_POLICIES) == {
             "least-recent",
